@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the graph substrate hot paths: CSR construction,
+//! edge tests, and the k-hop BFS that neighbor selection runs per query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::traversal::{khop_nodes, KhopBuffer};
+use mqo_graph::{GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 20_000u32;
+    let edges: Vec<(u32, u32)> =
+        (0..100_000).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    c.bench_function("csr_build_100k_edges", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(n as usize, edges.len());
+            for &(u, v) in &edges {
+                builder.add_edge(u, v).unwrap();
+            }
+            black_box(builder.build())
+        })
+    });
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Cora, Some(1.0), 1);
+    let g = bundle.tag.graph();
+    let mut buf = KhopBuffer::new(g.num_nodes());
+    let mut out = Vec::new();
+    let nodes: Vec<NodeId> = (0..g.num_nodes() as u32).step_by(7).map(NodeId).collect();
+    for k in [1u8, 2, 3] {
+        c.bench_function(&format!("khop_bfs_cora_k{k}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &v in &nodes {
+                    khop_nodes(g, v, k, &mut buf, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+}
+
+fn bench_edge_tests(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Pubmed, Some(0.5), 1);
+    let g = bundle.tag.graph();
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = g.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..10_000)
+        .map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n))))
+        .collect();
+    c.bench_function("has_edge_10k_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &pairs {
+                hits += usize::from(g.has_edge(u, v));
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_khop, bench_edge_tests);
+criterion_main!(benches);

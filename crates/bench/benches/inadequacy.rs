@@ -1,0 +1,68 @@
+//! Text-inadequacy scoring throughput: D(t_i) must be cheap relative to
+//! an LLM call, since it runs once per query before any dispatch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mqo_core::surrogate::SurrogateConfig;
+use mqo_core::{Executor, InadequacyScorer};
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{ModelProfile, SimLlm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scoring(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Cora, Some(0.5), 1);
+    let tag = &bundle.tag;
+    let split = LabeledSplit::generate(
+        tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 300 },
+        &mut StdRng::seed_from_u64(1),
+    )
+    .unwrap();
+    let llm =
+        SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
+    let exec = Executor::new(tag, &llm, 4, 1);
+    let scorer =
+        InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(1), 10, 2).unwrap();
+
+    c.bench_function("inadequacy_score_300_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &v in split.queries() {
+                acc += scorer.score(tag, v);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("inadequacy_rank_300_queries", |b| {
+        b.iter(|| black_box(scorer.rank_ascending(tag, split.queries())))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Cora, Some(0.4), 1);
+    let tag = &bundle.tag;
+    let split = LabeledSplit::generate(
+        tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 100 },
+        &mut StdRng::seed_from_u64(1),
+    )
+    .unwrap();
+    let llm =
+        SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
+    let exec = Executor::new(tag, &llm, 4, 1);
+    let mut group = c.benchmark_group("scorer_build");
+    group.sample_size(10);
+    group.bench_function("surrogate_cv_plus_calibration", |b| {
+        b.iter(|| {
+            black_box(
+                InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(1), 10, 2)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring, bench_training);
+criterion_main!(benches);

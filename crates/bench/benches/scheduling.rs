@@ -1,0 +1,46 @@
+//! Query-scheduling cost: the boosting scheduler recounts neighbor-label
+//! support for every pending query each round; this measures that loop at
+//! the paper's scale (1,000 queries, 50 rounds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mqo_core::boosting::pseudo_label_utilization;
+use mqo_core::LabelStore;
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Cora, Some(1.0), 1);
+    let tag = &bundle.tag;
+    let split = LabeledSplit::generate(
+        tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 1000 },
+        &mut StdRng::seed_from_u64(1),
+    )
+    .unwrap();
+    let labels = LabelStore::from_split(tag, &split);
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    for scheduled in [false, true] {
+        let name = if scheduled { "with_scheduling" } else { "without_scheduling" };
+        group.bench_function(format!("{name}_1000q_50rounds"), |b| {
+            b.iter(|| {
+                black_box(pseudo_label_utilization(
+                    tag,
+                    &labels,
+                    split.queries(),
+                    2,
+                    10,
+                    50,
+                    scheduled,
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

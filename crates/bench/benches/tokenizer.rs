@@ -1,0 +1,40 @@
+//! Tokenizer throughput: counting is on the hot path of budget
+//! enforcement (every prompt is counted before dispatch).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mqo_data::{dataset, DatasetId};
+use mqo_llm::{NeighborEntry, NodePromptSpec};
+use mqo_token::Tokenizer;
+
+fn bench_count(c: &mut Criterion) {
+    let bundle = dataset(DatasetId::Cora, Some(0.5), 1);
+    let tag = &bundle.tag;
+    let t0 = tag.text(mqo_graph::NodeId(0));
+    let neighbors: Vec<NeighborEntry> = (1..5)
+        .map(|i| NeighborEntry {
+            title: tag.text(mqo_graph::NodeId(i)).title.clone(),
+            label: Some("Theory".into()),
+        })
+        .collect();
+    let prompt = NodePromptSpec {
+        title: &t0.title,
+        abstract_text: &t0.body,
+        neighbors: &neighbors,
+        categories: tag.class_names(),
+        ranked: false,
+    }
+    .render();
+
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(Throughput::Bytes(prompt.len() as u64));
+    group.bench_function("count_full_prompt", |b| {
+        b.iter(|| black_box(Tokenizer.count(black_box(&prompt))))
+    });
+    group.bench_function("tokenize_full_prompt", |b| {
+        b.iter(|| black_box(Tokenizer.tokenize(black_box(&prompt)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Extension experiment (the paper's future work, §VII): graph-level
+//! token pruning. Sweeps the node-text budget for relevance-ranked vs
+//! random node inclusion on a synthetic graph-classification collection —
+//! "refining token pruning to exclude irrelevant subgraph tokens".
+
+use mqo_bench::harness::SEED;
+use mqo_bench::report::{print_table, write_json};
+use mqo_core::graphlevel::{run_graph_task, NodeBudget};
+use mqo_data::graphlevel::{generate_collection, GraphCollectionSpec};
+use mqo_llm::graphllm::SimGraphLlm;
+use mqo_llm::{LanguageModel, ModelProfile};
+use serde_json::json;
+
+fn main() {
+    let spec = GraphCollectionSpec { num_graphs: 300, ..Default::default() };
+    let collection = generate_collection(&spec, SEED);
+    let llm = SimGraphLlm::new(
+        collection.lexicon.clone(),
+        collection.class_names.clone(),
+        collection.spec.topics_per_class,
+        ModelProfile::gpt35(),
+    );
+
+    let all = run_graph_task(&collection, &llm, NodeBudget::All, SEED).unwrap();
+    let mut rows = vec![vec![
+        "all nodes".to_string(),
+        format!("{:.1}", all.mean_nodes_included),
+        format!("{:.1}", all.accuracy() * 100.0),
+        "—".into(),
+        all.prompt_tokens.to_string(),
+    ]];
+    let mut artifacts = vec![json!({
+        "budget": "all",
+        "mean_nodes": all.mean_nodes_included,
+        "accuracy": all.accuracy() * 100.0,
+        "prompt_tokens": all.prompt_tokens,
+    })];
+    for k in [2usize, 4, 6, 8, 12] {
+        llm.meter().reset();
+        let rel =
+            run_graph_task(&collection, &llm, NodeBudget::RelevanceK(k), SEED).unwrap();
+        let rnd = run_graph_task(&collection, &llm, NodeBudget::RandomK(k), SEED).unwrap();
+        rows.push(vec![
+            format!("k = {k}"),
+            format!("{k}"),
+            format!("{:.1}", rel.accuracy() * 100.0),
+            format!("{:.1}", rnd.accuracy() * 100.0),
+            rel.prompt_tokens.to_string(),
+        ]);
+        artifacts.push(json!({
+            "budget": k,
+            "accuracy_relevance": rel.accuracy() * 100.0,
+            "accuracy_random": rnd.accuracy() * 100.0,
+            "prompt_tokens_relevance": rel.prompt_tokens,
+        }));
+    }
+    print_table(
+        "Extension — graph-level token pruning (300 graphs, 4 communities)",
+        &["node budget", "nodes/prompt", "relevance-ranked", "random", "tokens (ranked)"],
+        &rows,
+    );
+    println!("\nShape: relevance-ranked inclusion approaches the all-nodes accuracy");
+    println!("with a fraction of the tokens; random inclusion trails it at every k.");
+    write_json("ext_graphlevel", &json!(artifacts));
+}

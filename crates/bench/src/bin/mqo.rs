@@ -1,0 +1,332 @@
+//! `mqo` — command-line interface to the library.
+//!
+//! ```text
+//! mqo generate <dataset> [--scale S] [--seed N] --out FILE
+//! mqo inspect  FILE
+//! mqo classify <dataset|FILE> [--method M] [--queries N] [--prune TAU]
+//!              [--boost] [--model gpt35|gpt4o-mini] [--threads T]
+//! mqo plan     <dataset> --dollars X [--queries N] [--method M]
+//! mqo tables
+//! ```
+//!
+//! Datasets: cora, citeseer, pubmed, ogbn-arxiv, ogbn-products.
+//! Methods: zero-shot, 1hop, 2hop, sns, llmrank.
+//!
+//! Argument parsing is hand-rolled (std only) — the tool has five verbs
+//! and a dozen flags, not enough to justify a parser dependency.
+
+use mqo_core::boosting::{run_with_boosting, BoostConfig};
+use mqo_core::metrics::ConfusionMatrix;
+use mqo_core::parallel::run_all_parallel;
+use mqo_core::planner::plan_campaign;
+use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
+use mqo_core::pruning::PrunePlan;
+use mqo_core::surrogate::SurrogateConfig;
+use mqo_core::{Executor, InadequacyScorer, LabelStore};
+use mqo_data::{dataset, persist, DatasetBundle, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+use mqo_token::GPT_35_TURBO_0125;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         mqo generate <dataset> [--scale S] [--seed N] --out FILE\n  \
+         mqo inspect  FILE\n  \
+         mqo classify <dataset|FILE> [--method zero-shot|1hop|2hop|sns|llmrank]\n               \
+         [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n  \
+         mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
+         mqo tables"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags take no value; value flags consume the next arg.
+            match name {
+                "boost" => {
+                    flags.insert(name.to_string(), "true".to_string());
+                    i += 1;
+                }
+                _ => {
+                    if i + 1 < args.len() {
+                        flags.insert(name.to_string(), args[i + 1].clone());
+                        i += 2;
+                    } else {
+                        flags.insert(name.to_string(), String::new());
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn dataset_by_name(name: &str) -> Option<DatasetId> {
+    DatasetId::ALL.into_iter().find(|id| id.name() == name)
+}
+
+/// Load from file when the argument looks like a path, else generate.
+fn resolve_bundle(arg: &str, scale: Option<f64>, seed: u64) -> Result<DatasetBundle, String> {
+    if let Some(id) = dataset_by_name(arg) {
+        return Ok(dataset(id, scale, seed));
+    }
+    let path = std::path::Path::new(arg);
+    if path.exists() {
+        // Attach the spec whose name is stored in the file; fall back to
+        // Cora's spec shape for foreign files.
+        let probe = persist::load(path, DatasetId::Cora.spec())
+            .map_err(|e| format!("cannot load {arg}: {e}"))?;
+        let spec = dataset_by_name(probe.tag.name())
+            .map(|id| id.spec())
+            .unwrap_or_else(|| DatasetId::Cora.spec());
+        return persist::load(path, spec).map_err(|e| format!("cannot load {arg}: {e}"));
+    }
+    Err(format!("'{arg}' is neither a known dataset nor an existing file"))
+}
+
+fn make_predictor(method: &str, bundle: &DatasetBundle) -> Result<Box<dyn Predictor>, String> {
+    let n = bundle.tag.num_nodes();
+    Ok(match method {
+        "zero-shot" => Box::new(ZeroShot),
+        "1hop" => Box::new(KhopRandom::new(1, n)),
+        "2hop" => Box::new(KhopRandom::new(2, n)),
+        "sns" => Box::new(Sns::fit(&bundle.tag)),
+        "llmrank" => Box::new(LlmRanked::fit(&bundle.tag, 2)),
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn split_for(bundle: &DatasetBundle, queries: usize, seed: u64) -> Result<LabeledSplit, String> {
+    let cfg = match bundle.spec.split {
+        SplitConfig::PerClass { per_class, .. } => {
+            SplitConfig::PerClass { per_class, num_queries: queries }
+        }
+        SplitConfig::Fraction { labeled_fraction, .. } => {
+            SplitConfig::Fraction { labeled_fraction, num_queries: queries }
+        }
+    };
+    LabeledSplit::generate(&bundle.tag, cfg, &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| format!("cannot split: {e}"))
+}
+
+fn cmd_generate(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = pos.first().ok_or("missing dataset name")?;
+    let id = dataset_by_name(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    let scale = flags.get("scale").map(|s| s.parse().map_err(|_| "bad --scale")).transpose()?;
+    let seed = flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let out = flags.get("out").ok_or("missing --out FILE")?;
+    let bundle = dataset(id, scale, seed);
+    persist::save(&bundle, out).map_err(|e| format!("cannot save: {e}"))?;
+    println!(
+        "wrote {} ({} nodes, {} edges) to {out}",
+        bundle.tag.name(),
+        bundle.tag.num_nodes(),
+        bundle.tag.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(pos: &[String]) -> Result<(), String> {
+    let arg = pos.first().ok_or("missing file or dataset")?;
+    let bundle = resolve_bundle(arg, None, 42)?;
+    let s = mqo_graph::stats::summarize(&bundle.tag);
+    println!("dataset     : {}", s.name);
+    println!("nodes       : {}", s.nodes);
+    println!("edges       : {}", s.edges);
+    println!("classes     : {}", s.classes);
+    println!("homophily   : {:.3}", s.homophily);
+    println!("mean degree : {:.2}", s.mean_degree);
+    println!("text words  : {:.0} per node", s.mean_text_words);
+    println!("scale       : {:.4}", bundle.scale);
+    Ok(())
+}
+
+fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let arg = pos.first().ok_or("missing dataset or file")?;
+    let seed = flags.get("seed").map_or(Ok(42u64), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let bundle = resolve_bundle(arg, flags.get("scale").and_then(|s| s.parse().ok()), seed)?;
+    let queries: usize =
+        flags.get("queries").map_or(Ok(200), |s| s.parse().map_err(|_| "bad --queries"))?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("1hop");
+    let threads: usize =
+        flags.get("threads").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --threads"))?;
+    let profile = match flags.get("model").map(String::as_str) {
+        None | Some("gpt35") => ModelProfile::gpt35(),
+        Some("gpt4o-mini") => ModelProfile::gpt4o_mini(),
+        Some(other) => return Err(format!("unknown model '{other}'")),
+    };
+
+    let split = split_for(&bundle, queries, seed)?;
+    let llm = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
+    let m = if bundle.tag.name() == "ogbn-products" { 10 } else { 4 };
+    let exec = Executor::new(&bundle.tag, &llm, m, seed);
+    let predictor = make_predictor(method, &bundle)?;
+
+    let plan = match flags.get("prune") {
+        Some(tau_s) => {
+            let tau: f64 = tau_s.parse().map_err(|_| "bad --prune")?;
+            let scorer = InadequacyScorer::build(
+                &exec,
+                &split,
+                &SurrogateConfig::small(seed),
+                10,
+                seed,
+            )
+            .map_err(|e| format!("scorer: {e}"))?;
+            PrunePlan::by_inadequacy(&scorer, &bundle.tag, split.queries(), tau)
+        }
+        None => PrunePlan::default(),
+    };
+
+    let outcome = if flags.contains_key("boost") {
+        let mut labels = LabelStore::from_split(&bundle.tag, &split);
+        let (out, rounds) = run_with_boosting(
+            &exec,
+            predictor.as_ref(),
+            &mut labels,
+            split.queries(),
+            BoostConfig::default(),
+            &plan,
+        )
+        .map_err(|e| format!("boosting: {e}"))?;
+        println!("boosting rounds: {}", rounds.len());
+        out
+    } else {
+        let labels = LabelStore::from_split(&bundle.tag, &split);
+        if threads > 1 {
+            run_all_parallel(
+                &exec,
+                predictor.as_ref(),
+                &labels,
+                split.queries(),
+                |v| plan.is_pruned(v),
+                threads,
+            )
+            .map_err(|e| format!("run: {e}"))?
+        } else {
+            exec.run_all(predictor.as_ref(), &labels, split.queries(), |v| plan.is_pruned(v))
+                .map_err(|e| format!("run: {e}"))?
+        }
+    };
+
+    let matrix = ConfusionMatrix::from_outcome(&bundle.tag, &outcome);
+    println!("method          : {}", predictor.name());
+    println!("queries         : {}", outcome.records.len());
+    println!("accuracy        : {:.1}%", outcome.accuracy() * 100.0);
+    println!("macro F1        : {:.3}", matrix.macro_f1());
+    println!("with neighbors  : {}", outcome.queries_with_neighbors());
+    println!("prompt tokens   : {}", outcome.prompt_tokens());
+    let totals = llm.meter().totals();
+    println!(
+        "est. cost       : ${:.4} at {} prices",
+        GPT_35_TURBO_0125.cost(totals),
+        GPT_35_TURBO_0125.name
+    );
+    Ok(())
+}
+
+fn cmd_plan(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let arg = pos.first().ok_or("missing dataset")?;
+    let seed = 42;
+    let bundle = resolve_bundle(arg, None, seed)?;
+    let dollars: f64 = flags
+        .get("dollars")
+        .ok_or("missing --dollars X")?
+        .parse()
+        .map_err(|_| "bad --dollars")?;
+    let queries: usize =
+        flags.get("queries").map_or(Ok(1000), |s| s.parse().map_err(|_| "bad --queries"))?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("1hop");
+
+    let split = split_for(&bundle, queries, seed)?;
+    let llm = SimLlm::new(
+        bundle.lexicon.clone(),
+        bundle.tag.class_names().to_vec(),
+        ModelProfile::gpt35(),
+    );
+    let exec = Executor::new(&bundle.tag, &llm, 4, seed);
+    let predictor = make_predictor(method, &bundle)?;
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let plan = plan_campaign(
+        &exec,
+        predictor.as_ref(),
+        &labels,
+        split.queries(),
+        30,
+        &GPT_35_TURBO_0125,
+        dollars,
+    )
+    .map_err(|e| format!("plan: {e}"))?;
+    println!("campaign plan for {} × {} queries ({method}):", bundle.tag.name(), plan.queries);
+    println!("  mean tokens/query    : {:.0} ({:.0} neighbor text)", plan.tokens_full, plan.tokens_neighbor);
+    println!("  unoptimized          : {:.0} tokens = ${:.4}", plan.est_tokens_unpruned, plan.est_cost_unpruned);
+    println!("  budget               : ${dollars:.4}");
+    println!("  → prune τ            : {:.0}%", plan.tau * 100.0);
+    println!("  planned              : {:.0} tokens = ${:.4}", plan.est_tokens_planned, plan.est_cost_planned);
+    Ok(())
+}
+
+fn cmd_tables() {
+    println!("table/figure → regenerating binary (cargo run --release -p mqo-bench --bin <name>)");
+    for (what, bin) in [
+        ("Fig. 1    — GNN vs LLM paradigms", "fig1_paradigm"),
+        ("Fig. 2    — partial information decomposition", "fig2_pid"),
+        ("Table II  — dataset statistics", "table2_datasets"),
+        ("Table III — prompt templates", "table3_prompts"),
+        ("Fig. 3    — IG proxy by label presence", "fig3_info_gain"),
+        ("Table IV  — token pruning × methods", "table4_prune_methods"),
+        ("Fig. 7    — budget sweep, ranked vs random", "fig7_budget_sweep"),
+        ("Table V   — reducible tokens", "table5_savings"),
+        ("Table VI  — inadequacy separation", "table6_inadequacy"),
+        ("Fig. 8    — scheduling utilization", "fig8_scheduling"),
+        ("Table VII — query boosting", "table7_boost"),
+        ("Table VIII— joint strategy", "table8_joint"),
+        ("Table IX  — instruction-tuned backbones", "table9_instruct"),
+        ("Table X   — link prediction", "table10_linkpred"),
+        ("Extension — graph-level pruning (§VII)", "ext_graphlevel"),
+        ("Analysis  — prefix sharing (§II-C context)", "prefix_sharing"),
+        ("Analysis  — accuracy/cost frontier (intro)", "cost_frontier"),
+        ("Ablations — γ, ranking quality, SNS dim", "ablations"),
+        ("Calibration check", "calibrate"),
+    ] {
+        println!("  {what:44} {bin}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(verb) = args.first() else { return usage() };
+    let (pos, flags) = parse_flags(&args[1..]);
+    let result = match verb.as_str() {
+        "generate" => cmd_generate(&pos, &flags),
+        "inspect" => cmd_inspect(&pos),
+        "classify" => cmd_classify(&pos, &flags),
+        "plan" => cmd_plan(&pos, &flags),
+        "tables" => {
+            cmd_tables();
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Table III: the prompt templates, rendered on a real generated node so
+//! the exact strings the LLM sees are inspectable, with token costs.
+
+use mqo_bench::harness::{setup, SEED};
+use mqo_bench::report::write_json;
+use mqo_core::predictor::{KhopRandom, Predictor, SelectCtx, Sns};
+use mqo_core::LabelStore;
+use mqo_data::DatasetId;
+use mqo_llm::{ModelProfile, NeighborEntry, NodePromptSpec};
+use mqo_token::Tokenizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+fn main() {
+    std::env::set_var("MQO_QUERIES", "50");
+    let ctx = setup(DatasetId::Cora, ModelProfile::gpt35());
+    let tag = &ctx.bundle.tag;
+    let labels = LabelStore::from_split(tag, &ctx.split);
+    let v = ctx.split.queries()[0];
+    let t = tag.text(v);
+    let rng = StdRng::seed_from_u64(SEED);
+
+    let select = |p: &dyn Predictor| -> Vec<NeighborEntry> {
+        let sctx = SelectCtx { tag, labels: &labels, max_neighbors: 4 };
+        p.select_neighbors(&sctx, v, &mut StdRng::seed_from_u64(1))
+            .into_iter()
+            .map(|n| p.entry_for(&sctx, n))
+            .collect()
+    };
+
+    let zero = NodePromptSpec {
+        title: &t.title,
+        abstract_text: &t.body,
+        neighbors: &[],
+        categories: tag.class_names(),
+        ranked: false,
+    }
+    .render();
+
+    let khop = KhopRandom::new(1, tag.num_nodes());
+    let khop_entries = select(&khop);
+    let khop_prompt = NodePromptSpec {
+        title: &t.title,
+        abstract_text: &t.body,
+        neighbors: &khop_entries,
+        categories: tag.class_names(),
+        ranked: false,
+    }
+    .render();
+
+    let sns = Sns::fit(tag);
+    let sns_entries = select(&sns);
+    let sns_prompt = NodePromptSpec {
+        title: &t.title,
+        abstract_text: &t.body,
+        neighbors: &sns_entries,
+        categories: tag.class_names(),
+        ranked: true,
+    }
+    .render();
+
+    let _ = rng;
+    for (name, prompt) in [
+        ("vanilla zero-shot", &zero),
+        ("1-hop random", &khop_prompt),
+        ("SNS", &sns_prompt),
+    ] {
+        println!("\n===== Table III template: {name} ({} tokens) =====", Tokenizer.count(prompt));
+        println!("{prompt}");
+    }
+    write_json(
+        "table3_prompts",
+        &json!({
+            "node": v.0,
+            "templates": {
+                "vanilla_zero_shot": {"tokens": Tokenizer.count(&zero), "text": zero},
+                "khop_random": {"tokens": Tokenizer.count(&khop_prompt), "text": khop_prompt},
+                "sns": {"tokens": Tokenizer.count(&sns_prompt), "text": sns_prompt},
+            }
+        }),
+    );
+}

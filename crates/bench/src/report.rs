@@ -1,0 +1,98 @@
+//! Table printing and JSON result artifacts.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Directory for JSON artifacts (`results/` at the workspace root, or
+/// `$MQO_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MQO_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the current dir to find the workspace root.
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.toml").exists() && cur.join("crates").exists() {
+            return cur.join("results");
+        }
+        if !cur.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Write a JSON artifact under `results/<name>.json`.
+pub fn write_json(name: &str, value: &Value) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("\n[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Format a signed percentage delta with two decimals (Table IV's Δ%).
+pub fn delta_pct(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.2}%", (new - old) / old * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.723), "72.3");
+        assert_eq!(delta_pct(0.725, 0.723), "+0.28%");
+        assert_eq!(delta_pct(0.5, 0.0), "n/a");
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The exploratory information-gain experiment behind Fig. 3 (§IV-B2).
+//!
+//! Each query runs twice — vanilla zero-shot and k-hop random — and the
+//! accuracy gain of the neighbor-equipped run is used as a proxy for the
+//! information gain `IG^{N_i}`, split by whether the query's neighbor text
+//! contained any labels (`N_i^L ≠ ∅`).
+
+use crate::error::Result;
+use crate::executor::Executor;
+use crate::labels::LabelStore;
+use crate::predictor::{Predictor, ZeroShot};
+use mqo_graph::NodeId;
+
+/// Fig. 3 outcome for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfoGainReport {
+    /// Queries whose k-hop neighbor text contained at least one label.
+    pub with_labels: usize,
+    /// Queries with label-free neighbor text.
+    pub without_labels: usize,
+    /// Accuracy gain (k-hop − zero-shot) on the `N_i^L ≠ ∅` group.
+    pub gain_with_labels: f64,
+    /// Accuracy gain on the `N_i^L = ∅` group.
+    pub gain_without_labels: f64,
+}
+
+impl InfoGainReport {
+    /// Proportion of queries with labeled neighbors (the pie chart).
+    pub fn labeled_fraction(&self) -> f64 {
+        let total = self.with_labels + self.without_labels;
+        if total == 0 {
+            0.0
+        } else {
+            self.with_labels as f64 / total as f64
+        }
+    }
+}
+
+/// Run the paired experiment and group the gains.
+pub fn info_gain_experiment(
+    exec: &Executor<'_>,
+    khop: &dyn Predictor,
+    labels: &LabelStore,
+    queries: &[NodeId],
+) -> Result<InfoGainReport> {
+    let zero = exec.run_all(&ZeroShot, labels, queries, |_| false)?;
+    let with = exec.run_all(khop, labels, queries, |_| false)?;
+
+    let mut stats = [(0usize, 0usize, 0usize); 2]; // (n, zero_correct, khop_correct)
+    for (z, k) in zero.records.iter().zip(&with.records) {
+        debug_assert_eq!(z.node, k.node);
+        let group = usize::from(k.labeled_neighbors > 0);
+        stats[group].0 += 1;
+        stats[group].1 += usize::from(z.correct);
+        stats[group].2 += usize::from(k.correct);
+    }
+    let gain = |(n, zc, kc): (usize, usize, usize)| -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            (kc as f64 - zc as f64) / n as f64
+        }
+    };
+    Ok(InfoGainReport {
+        with_labels: stats[1].0,
+        without_labels: stats[0].0,
+        gain_with_labels: gain(stats[1]),
+        gain_without_labels: gain(stats[0]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::KhopRandom;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_graph::{LabeledSplit, SplitConfig};
+    use mqo_llm::{ModelProfile, SimLlm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn groups_queries_and_computes_gains() {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 44);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 150 },
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 9);
+        let labels = LabelStore::from_split(tag, &split);
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let report = info_gain_experiment(&exec, &p, &labels, split.queries()).unwrap();
+        assert_eq!(report.with_labels + report.without_labels, 150);
+        assert!(report.labeled_fraction() > 0.0 && report.labeled_fraction() < 1.0);
+        // Fig. 3's key finding: labeled-neighbor queries gain more.
+        assert!(
+            report.gain_with_labels >= report.gain_without_labels,
+            "labels should raise the gain: {report:?}"
+        );
+    }
+
+    #[test]
+    fn empty_query_set_is_harmless() {
+        let bundle = dataset(DatasetId::Cora, Some(0.2), 45);
+        let tag = &bundle.tag;
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let report = info_gain_experiment(&exec, &p, &labels, &[]).unwrap();
+        assert_eq!(report.with_labels, 0);
+        assert_eq!(report.labeled_fraction(), 0.0);
+    }
+}

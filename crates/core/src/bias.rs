@@ -1,0 +1,159 @@
+//! Category-bias estimation on the calibration subset `V_L^c` (§V-A1).
+//!
+//! "We first randomly select a small subset of nodes `V_L^c` from `V_L`
+//! and use their text attributes to generate LLM predictions … we calculate
+//! the distribution of misclassification ratios for each class
+//! `w = (w_1, …, w_K)`."
+//!
+//! These calibration queries are *real* LLM calls (they cost tokens and are
+//! metered); the subset is sized `10 × K` per §VI-A3.
+
+use crate::error::Result;
+use crate::executor::Executor;
+use crate::labels::LabelStore;
+use crate::predictor::ZeroShot;
+use mqo_graph::{ClassId, LabeledSplit, NodeId, Tag};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The estimated per-class misclassification ratios plus the calibration
+/// artifacts needed to fit the merger `g_θ2`.
+#[derive(Debug, Clone)]
+pub struct BiasEstimate {
+    /// `w_k` = fraction of calibration nodes of class `k` the LLM got wrong
+    /// from text alone.
+    pub w: Vec<f64>,
+    /// The calibration nodes `V_L^c`.
+    pub calib_nodes: Vec<NodeId>,
+    /// The LLM's zero-shot prediction for each calibration node.
+    pub predictions: Vec<ClassId>,
+}
+
+impl BiasEstimate {
+    /// The bias term `b_i = p_i · wᵀ` (Eq. 9).
+    pub fn bias_term(&self, probs: &[f32]) -> f64 {
+        probs.iter().zip(&self.w).map(|(&p, &w)| p as f64 * w).sum()
+    }
+
+    /// Whether the LLM misclassified calibration node at index `i`.
+    pub fn misclassified(&self, tag: &Tag, i: usize) -> bool {
+        self.predictions[i] != tag.label(self.calib_nodes[i])
+    }
+}
+
+/// Run the calibration queries and estimate `w`.
+///
+/// `per_class` is the number of calibration nodes per class (paper: 10);
+/// classes with fewer labeled nodes contribute what they have.
+pub fn estimate_bias(
+    exec: &Executor<'_>,
+    split: &LabeledSplit,
+    per_class: usize,
+    seed: u64,
+) -> Result<BiasEstimate> {
+    let tag = exec.tag;
+    let k = tag.num_classes();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb1a5);
+
+    // Stratified sample of V_L.
+    let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for &v in split.labeled() {
+        by_class[tag.label(v).index()].push(v);
+    }
+    let mut calib_nodes = Vec::with_capacity(per_class * k);
+    for pool in &mut by_class {
+        pool.shuffle(&mut rng);
+        calib_nodes.extend(pool.iter().take(per_class));
+    }
+
+    // Zero-shot queries on the calibration nodes (real, metered cost).
+    let labels = LabelStore::from_split(tag, split);
+    let outcome = exec.run_all(&ZeroShot, &labels, &calib_nodes, |_| false)?;
+    let predictions: Vec<ClassId> = outcome.records.iter().map(|r| r.predicted).collect();
+
+    let mut wrong = vec![0usize; k];
+    let mut total = vec![0usize; k];
+    for (i, &v) in calib_nodes.iter().enumerate() {
+        let c = tag.label(v).index();
+        total[c] += 1;
+        if predictions[i] != tag.label(v) {
+            wrong[c] += 1;
+        }
+    }
+    let w = (0..k)
+        .map(|c| if total[c] == 0 { 0.0 } else { wrong[c] as f64 / total[c] as f64 })
+        .collect();
+
+    Ok(BiasEstimate { w, calib_nodes, predictions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_graph::SplitConfig;
+    use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+
+    #[test]
+    fn estimates_per_class_ratios_on_synthetic_cora() {
+        let bundle = dataset(DatasetId::Cora, Some(0.4), 11);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 100 },
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 0);
+        let est = estimate_bias(&exec, &split, 10, 5).unwrap();
+        assert_eq!(est.w.len(), 7);
+        assert_eq!(est.calib_nodes.len(), 70);
+        assert!(est.w.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        // The simulated model is far from perfect but far from broken.
+        let mean_w: f64 = est.w.iter().sum::<f64>() / 7.0;
+        assert!((0.02..0.8).contains(&mean_w), "mean misclassification {mean_w}");
+        // Calibration queries were real LLM calls.
+        assert_eq!(llm.meter().totals().requests, 70);
+    }
+
+    #[test]
+    fn bias_term_weights_probabilities() {
+        let est = BiasEstimate {
+            w: vec![0.0, 1.0],
+            calib_nodes: vec![],
+            predictions: vec![],
+        };
+        // All mass on the error-free class → zero bias; on the bad class → 1.
+        assert_eq!(est.bias_term(&[1.0, 0.0]), 0.0);
+        assert_eq!(est.bias_term(&[0.0, 1.0]), 1.0);
+        assert!((est.bias_term(&[0.5, 0.5]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 12);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 15, num_queries: 50 },
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 0);
+        let a = estimate_bias(&exec, &split, 5, 9).unwrap();
+        let b = estimate_bias(&exec, &split, 5, 9).unwrap();
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.calib_nodes, b.calib_nodes);
+    }
+}

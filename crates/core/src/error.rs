@@ -1,0 +1,67 @@
+//! Error type for the MQO engine.
+
+use std::fmt;
+
+/// Errors surfaced by the MQO strategies and execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The LLM client failed.
+    Llm(mqo_llm::Error),
+    /// Graph/split operations failed.
+    Graph(mqo_graph::Error),
+    /// A strategy was configured inconsistently.
+    Config {
+        /// What is wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Llm(e) => write!(f, "llm error: {e}"),
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Config { detail } => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Llm(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Config { .. } => None,
+        }
+    }
+}
+
+impl From<mqo_llm::Error> for Error {
+    fn from(e: mqo_llm::Error) -> Self {
+        Error::Llm(e)
+    }
+}
+
+impl From<mqo_graph::Error> for Error {
+    fn from(e: mqo_graph::Error) -> Self {
+        Error::Graph(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: Error = mqo_llm::Error::ScriptExhausted.into();
+        assert!(e.to_string().contains("llm error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = Error::Config { detail: "bad tau".into() };
+        assert!(c.to_string().contains("bad tau"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

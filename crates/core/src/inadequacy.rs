@@ -1,0 +1,173 @@
+//! The text-inadequacy measure `D(t_i)` (Eq. 10).
+//!
+//! Two inadequacy channels — the surrogate's posterior entropy `H(p_i)`
+//! (ambiguity of the node's own text) and the bias term `b_i = p_i · wᵀ`
+//! (how much the node's likely classes overlap with the LLM's weak spots) —
+//! are merged by a linear regression `g_θ2` fitted on the calibration
+//! subset against the misclassification indicator:
+//!
+//! `θ2* = argmin Σ_{V_L^c} (1(ŷ≠y) − g_θ2(H(p_i) ‖ b_i))²`.
+//!
+//! `D(t_i)` is a proxy for `H(y_i | t_i)`: small for saturated nodes, large
+//! for non-saturated ones.
+
+use crate::bias::{estimate_bias, BiasEstimate};
+use crate::error::Result;
+use crate::executor::Executor;
+use crate::surrogate::{Surrogate, SurrogateConfig};
+use mqo_graph::{LabeledSplit, NodeId, Tag};
+use mqo_nn::LinearRegression;
+
+/// A fitted inadequacy scorer: everything needed to compute `D(t_i)` for
+/// any node from its text alone.
+pub struct InadequacyScorer {
+    surrogate: Surrogate,
+    bias: BiasEstimate,
+    merger: LinearRegression,
+}
+
+impl InadequacyScorer {
+    /// Build the scorer: train `f_θ1`, run the `V_L^c` calibration queries
+    /// (metered LLM cost), and fit `g_θ2`.
+    ///
+    /// `per_class_calib` is the calibration subset size per class
+    /// (paper: 10).
+    pub fn build(
+        exec: &Executor<'_>,
+        split: &LabeledSplit,
+        surrogate_cfg: &SurrogateConfig,
+        per_class_calib: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let tag = exec.tag;
+        let surrogate = Surrogate::train(tag, split, surrogate_cfg);
+        let bias = estimate_bias(exec, split, per_class_calib, seed)?;
+
+        // Fit the merger on the calibration nodes' out-of-fold features.
+        let mut xs = Vec::with_capacity(bias.calib_nodes.len());
+        let mut ys = Vec::with_capacity(bias.calib_nodes.len());
+        for (i, &v) in bias.calib_nodes.iter().enumerate() {
+            let p = surrogate.proba(tag, v);
+            let h = mqo_nn::entropy(&p);
+            let b = bias.bias_term(&p) as f32;
+            xs.push(vec![h, b]);
+            ys.push(if bias.misclassified(tag, i) { 1.0 } else { 0.0 });
+        }
+        let merger = LinearRegression::fit(&xs, &ys, 1e-3);
+        Ok(InadequacyScorer { surrogate, bias, merger })
+    }
+
+    /// `D(t_i)` for node `v`.
+    pub fn score(&self, tag: &Tag, v: NodeId) -> f64 {
+        let p = self.surrogate.proba(tag, v);
+        let h = mqo_nn::entropy(&p);
+        let b = self.bias.bias_term(&p) as f32;
+        self.merger.predict(&[h, b]) as f64
+    }
+
+    /// The underlying surrogate (for analyses that need raw entropies).
+    pub fn surrogate(&self) -> &Surrogate {
+        &self.surrogate
+    }
+
+    /// The estimated per-class misclassification ratios `w`.
+    pub fn bias_weights(&self) -> &[f64] {
+        &self.bias.w
+    }
+
+    /// The fitted merger coefficients (entropy weight, bias weight, bias).
+    pub fn merger_coefficients(&self) -> (f32, f32, f32) {
+        (self.merger.weights[0], self.merger.weights[1], self.merger.bias)
+    }
+
+    /// Rank `queries` ascending by `D(t_i)` (Algorithm 1 step 2). Ties
+    /// break by node id for determinism.
+    pub fn rank_ascending(&self, tag: &Tag, queries: &[NodeId]) -> Vec<NodeId> {
+        let mut scored: Vec<(NodeId, f64)> =
+            queries.iter().map(|&v| (v, self.score(tag, v))).collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(v, _)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_graph::SplitConfig;
+    use mqo_llm::{ModelProfile, SimLlm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_scorer() -> (mqo_data::DatasetBundle, LabeledSplit, InadequacyScorer) {
+        let bundle = dataset(DatasetId::Cora, Some(0.4), 21);
+        let split = LabeledSplit::generate(
+            &bundle.tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 200 },
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            bundle.tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(&bundle.tag, &llm, 4, 0);
+        let scorer =
+            InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(3), 10, 4).unwrap();
+        (bundle, split, scorer)
+    }
+
+    #[test]
+    fn scores_are_finite_and_orderable() {
+        let (bundle, split, scorer) = build_scorer();
+        for &v in split.queries().iter().take(30) {
+            let d = scorer.score(&bundle.tag, v);
+            assert!(d.is_finite());
+        }
+        let ranked = scorer.rank_ascending(&bundle.tag, split.queries());
+        assert_eq!(ranked.len(), split.queries().len());
+        // Ascending order.
+        for w in ranked.windows(2) {
+            assert!(scorer.score(&bundle.tag, w[0]) <= scorer.score(&bundle.tag, w[1]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn informative_nodes_rank_earlier_on_average() {
+        // The latent informativeness drives both LLM saturation and the
+        // surrogate's confidence; D(t_i) must pick up on it: the first
+        // (most saturated) half of the ranking should have higher mean
+        // informativeness than the second half.
+        let (bundle, split, scorer) = build_scorer();
+        let ranked = scorer.rank_ascending(&bundle.tag, split.queries());
+        let half = ranked.len() / 2;
+        // Adversarial nodes have confident-but-wrong text: both the LLM
+        // and the surrogate are sure about them, so they legitimately rank
+        // early; compare text *decisiveness* |alpha| rather than raw alpha.
+        let mean = |vs: &[NodeId]| -> f64 {
+            vs.iter().map(|v| bundle.alphas[v.index()].abs() as f64).sum::<f64>()
+                / vs.len() as f64
+        };
+        let front = mean(&ranked[..half]);
+        let back = mean(&ranked[half..]);
+        assert!(
+            front > back + 0.02,
+            "ranking does not separate text decisiveness: front {front:.3} vs back {back:.3}"
+        );
+    }
+
+    #[test]
+    fn merger_learns_positive_relationship() {
+        // More entropy and more bias should mean more inadequacy; at least
+        // the combined prediction must vary (non-degenerate fit).
+        let (bundle, split, scorer) = build_scorer();
+        let scores: Vec<f64> =
+            split.queries().iter().take(50).map(|&v| scorer.score(&bundle.tag, v)).collect();
+        let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1e-3, "degenerate inadequacy scores");
+    }
+}

@@ -1,0 +1,461 @@
+//! Link prediction under both strategies (§VI-J, Table X).
+//!
+//! Task: given a node pair, predict whether an edge exists. Test pairs are
+//! held-out true edges (removed from the *known* adjacency) plus sampled
+//! non-edges. Prompts carry the pair's texts and, except under Vanilla /
+//! pruned execution, the known neighbor links of each endpoint.
+//!
+//! Strategy adaptations from the paper:
+//! * **token pruning** — no category information exists, so
+//!   `D(t_i, t_j) = 1 − max(f(x_i ‖ x_j))`: one minus the confidence of a
+//!   binary surrogate trained on known edges vs. sampled non-edges;
+//! * **query boosting** — no labels to conflict, so the candidate rule is
+//!   just `|N_i| ≥ γ1`; predicted-positive pairs are added to the known
+//!   adjacency, enriching later prompts with new (possibly common)
+//!   neighbor links.
+
+use crate::error::Result;
+use mqo_encoder::{HashedEncoder, TextEncoder};
+use mqo_graph::{NodeId, Tag};
+use mqo_llm::parse::parse_yes_no;
+use mqo_llm::{LanguageModel, LinkPromptSpec};
+use mqo_nn::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A link-prediction test set over one graph.
+#[derive(Debug, Clone)]
+pub struct LinkDataset {
+    /// Test pairs (canonicalized `a < b`).
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Ground truth: does the edge exist in the original graph?
+    pub truth: Vec<bool>,
+    /// Known adjacency: the original neighbors minus held-out test edges.
+    known: Vec<Vec<u32>>,
+}
+
+impl LinkDataset {
+    /// Build: hold out `n_pos` real edges and sample `n_neg` non-edges.
+    pub fn build(tag: &Tag, n_pos: usize, n_neg: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11a8_e44c);
+        let g = tag.graph();
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().filter(|(a, b)| a != b).collect();
+        edges.shuffle(&mut rng);
+        let positives: Vec<(NodeId, NodeId)> = edges.into_iter().take(n_pos).collect();
+        let held: HashSet<(u32, u32)> =
+            positives.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
+
+        let n = tag.num_nodes() as u32;
+        let mut negatives = Vec::with_capacity(n_neg);
+        while negatives.len() < n_neg {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b || g.has_edge(NodeId(a), NodeId(b)) {
+                continue;
+            }
+            negatives.push((NodeId(a.min(b)), NodeId(a.max(b))));
+        }
+
+        let mut known: Vec<Vec<u32>> = (0..n as usize)
+            .map(|v| {
+                g.neighbors(NodeId(v as u32))
+                    .iter()
+                    .copied()
+                    .filter(|&u| {
+                        let key = ((v as u32).min(u), (v as u32).max(u));
+                        !held.contains(&key)
+                    })
+                    .collect()
+            })
+            .collect();
+        for adj in &mut known {
+            adj.sort_unstable();
+        }
+
+        let mut pairs = positives;
+        let split = pairs.len();
+        pairs.extend(negatives);
+        let truth: Vec<bool> = (0..pairs.len()).map(|i| i < split).collect();
+        LinkDataset { pairs, truth, known }
+    }
+
+    /// Known neighbors of `v` (held-out test edges excluded; discovered
+    /// links included once added).
+    pub fn known_neighbors(&self, v: NodeId) -> &[u32] {
+        &self.known[v.index()]
+    }
+
+    /// Record a discovered link (query boosting step 3).
+    pub fn add_discovered(&mut self, a: NodeId, b: NodeId) {
+        if !self.known[a.index()].contains(&b.0) {
+            self.known[a.index()].push(b.0);
+        }
+        if !self.known[b.index()].contains(&a.0) {
+            self.known[b.index()].push(a.0);
+        }
+    }
+
+    /// Total known links of a pair, the scheduling criterion `|N_i|`.
+    pub fn pair_support(&self, a: NodeId, b: NodeId) -> usize {
+        self.known[a.index()].len() + self.known[b.index()].len()
+    }
+
+    /// The `p`-quantile of pair support over the test pairs — the natural
+    /// starting γ1 for link boosting (γ1 must sit *above* typical support,
+    /// or every pair qualifies in round one and nothing gets enriched).
+    pub fn support_quantile(&self, p: f64) -> usize {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.pairs.is_empty() {
+            return 0;
+        }
+        let mut supports: Vec<usize> =
+            self.pairs.iter().map(|&(a, b)| self.pair_support(a, b)).collect();
+        supports.sort_unstable();
+        supports[((supports.len() - 1) as f64 * p).round() as usize]
+    }
+}
+
+/// How a link run executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkStrategy {
+    /// Node-pair text alone.
+    Vanilla,
+    /// Pair text plus known neighbor links.
+    Base,
+    /// Base plus query boosting (candidate rule `|N_i| ≥ γ1`).
+    Boost {
+        /// Minimum pair support for candidacy.
+        gamma1: usize,
+    },
+    /// Base with the top `tau` most-confident pairs pruned to Vanilla.
+    Prune {
+        /// Pruned fraction.
+        tau: f64,
+    },
+    /// Prune + boost.
+    Both {
+        /// Pruned fraction.
+        tau: f64,
+        /// Minimum pair support for candidacy.
+        gamma1: usize,
+    },
+}
+
+/// Outcome of a link run.
+#[derive(Debug, Clone, Default)]
+pub struct LinkOutcome {
+    /// Per-pair correctness, in execution order.
+    pub correct: Vec<bool>,
+    /// Number of pairs whose prompt included neighbor links.
+    pub with_links: usize,
+    /// Total prompt tokens.
+    pub prompt_tokens: u64,
+}
+
+impl LinkOutcome {
+    /// Fraction of pairs predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.correct.is_empty() {
+            return 0.0;
+        }
+        self.correct.iter().filter(|&&c| c).count() as f64 / self.correct.len() as f64
+    }
+}
+
+/// The binary surrogate for link pruning: `D(t_i, t_j) = 1 − max prob`.
+pub struct LinkSurrogate {
+    encoder: HashedEncoder,
+    mlp: Mlp,
+}
+
+impl LinkSurrogate {
+    /// Train on `n_train` known edges and as many sampled non-edges.
+    pub fn train(tag: &Tag, data: &LinkDataset, n_train: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5066_a3e1);
+        let encoder = HashedEncoder::new(128);
+        let n = tag.num_nodes() as u32;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let test_pairs: HashSet<(u32, u32)> =
+            data.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        // Positive examples: known (non-held-out) edges.
+        let mut pos = 0;
+        'outer: for v in 0..n {
+            for &u in data.known_neighbors(NodeId(v)) {
+                if v < u && !test_pairs.contains(&(v, u)) {
+                    xs.push(Self::pair_features(&encoder, tag, NodeId(v), NodeId(u)));
+                    ys.push(1usize);
+                    pos += 1;
+                    if pos >= n_train {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // Negative examples: random non-edges.
+        let mut neg = 0;
+        while neg < pos {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b || tag.graph().has_edge(NodeId(a), NodeId(b)) {
+                continue;
+            }
+            xs.push(Self::pair_features(&encoder, tag, NodeId(a), NodeId(b)));
+            ys.push(0usize);
+            neg += 1;
+        }
+        let mut mlp = Mlp::new(
+            MlpConfig {
+                hidden: vec![32],
+                lr: 0.01,
+                weight_decay: 1e-4,
+                epochs: 25,
+                batch_size: 32,
+                seed,
+            },
+            256,
+            2,
+        );
+        mlp.fit(&xs, &ys);
+        LinkSurrogate { encoder, mlp }
+    }
+
+    fn pair_features(encoder: &HashedEncoder, tag: &Tag, a: NodeId, b: NodeId) -> Vec<f32> {
+        let mut fa = encoder.encode(&tag.text(a).full());
+        let fb = encoder.encode(&tag.text(b).full());
+        fa.extend(fb);
+        fa
+    }
+
+    /// `D(t_i, t_j)`: one minus the surrogate's confidence.
+    pub fn inadequacy(&self, tag: &Tag, a: NodeId, b: NodeId) -> f64 {
+        let p = self.mlp.predict_proba(&Self::pair_features(&self.encoder, tag, a, b));
+        1.0 - p.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64
+    }
+}
+
+/// Execute a link-prediction run.
+pub fn run_link_task(
+    tag: &Tag,
+    llm: &dyn LanguageModel,
+    data: &LinkDataset,
+    strategy: LinkStrategy,
+    max_links: usize,
+    seed: u64,
+) -> Result<LinkOutcome> {
+    let mut data = data.clone();
+    let mut out = LinkOutcome::default();
+    let order: Vec<usize> = (0..data.pairs.len()).collect();
+
+    // Pruned set, where applicable.
+    let pruned: HashSet<usize> = match strategy {
+        LinkStrategy::Prune { tau } | LinkStrategy::Both { tau, .. } => {
+            let sur = LinkSurrogate::train(tag, &data, 400, seed);
+            let mut scored: Vec<(usize, f64)> = data
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| (i, sur.inadequacy(tag, a, b)))
+                .collect();
+            scored.sort_by(|x, y| {
+                x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+            });
+            let cut = (scored.len() as f64 * tau).round() as usize;
+            scored.into_iter().take(cut).map(|(i, _)| i).collect()
+        }
+        _ => HashSet::new(),
+    };
+
+    let boosting_gamma = match strategy {
+        LinkStrategy::Boost { gamma1 } | LinkStrategy::Both { gamma1, .. } => Some(gamma1),
+        _ => None,
+    };
+
+    let run_pair = |data: &LinkDataset,
+                    out: &mut LinkOutcome,
+                    i: usize|
+     -> Result<bool> {
+        let (a, b) = data.pairs[i];
+        let include = match strategy {
+            LinkStrategy::Vanilla => false,
+            _ => !pruned.contains(&i),
+        };
+        let (ta, tb) = (tag.text(a), tag.text(b));
+        let titles = |v: NodeId| -> Vec<String> {
+            // Newest-first: links discovered by query boosting are appended
+            // to the adjacency, and they are exactly the enrichment the
+            // strategy wants surfaced in later prompts.
+            data.known_neighbors(v)
+                .iter()
+                .rev()
+                .take(max_links)
+                .map(|&u| tag.text(NodeId(u)).title.clone())
+                .collect()
+        };
+        let (na, nb) = if include { (titles(a), titles(b)) } else { (Vec::new(), Vec::new()) };
+        let prompt = LinkPromptSpec {
+            title_a: &ta.title,
+            abstract_a: &ta.body,
+            title_b: &tb.title,
+            abstract_b: &tb.body,
+            neighbors_a: &na,
+            neighbors_b: &nb,
+        }
+        .render();
+        let completion = llm.complete(&prompt)?;
+        let predicted = parse_yes_no(&completion.text).unwrap_or(false);
+        out.correct.push(predicted == data.truth[i]);
+        out.prompt_tokens += completion.usage.prompt_tokens;
+        if include && (!na.is_empty() || !nb.is_empty()) {
+            out.with_links += 1;
+        }
+        Ok(predicted)
+    };
+
+    match boosting_gamma {
+        None => {
+            for &i in &order {
+                run_pair(&data, &mut out, i)?;
+            }
+        }
+        Some(gamma1) => {
+            let mut gamma1 = gamma1;
+            let mut pending: Vec<usize> = order;
+            while !pending.is_empty() {
+                let candidates: Vec<usize> = loop {
+                    let c: Vec<usize> = pending
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            let (a, b) = data.pairs[i];
+                            pruned.contains(&i) || data.pair_support(a, b) >= gamma1
+                        })
+                        .collect();
+                    if !c.is_empty() {
+                        break c;
+                    }
+                    if gamma1 == 0 {
+                        break pending.clone();
+                    }
+                    gamma1 -= 1;
+                };
+                // Execute the round, then fold discovered links in.
+                let mut discovered = Vec::new();
+                for &i in &candidates {
+                    let yes = run_pair(&data, &mut out, i)?;
+                    if yes {
+                        discovered.push(data.pairs[i]);
+                    }
+                }
+                for (a, b) in discovered {
+                    data.add_discovered(a, b);
+                }
+                let done: HashSet<usize> = candidates.into_iter().collect();
+                pending.retain(|i| !done.contains(i));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_llm::{ModelProfile, SimLinkLlm};
+
+    fn setup() -> (mqo_data::DatasetBundle, LinkDataset, SimLinkLlm) {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 55);
+        let data = LinkDataset::build(&bundle.tag, 100, 100, 1);
+        let llm = SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35());
+        (bundle, data, llm)
+    }
+
+    #[test]
+    fn dataset_holds_out_test_edges() {
+        let (bundle, data, _) = setup();
+        assert_eq!(data.pairs.len(), 200);
+        assert_eq!(data.truth.iter().filter(|&&t| t).count(), 100);
+        // Held-out positive edges are absent from the known adjacency.
+        for (i, &(a, b)) in data.pairs.iter().enumerate() {
+            if data.truth[i] {
+                assert!(
+                    !data.known_neighbors(a).contains(&b.0),
+                    "test edge leaked into known adjacency"
+                );
+            }
+            assert!(bundle.tag.graph().has_edge(a, b) == data.truth[i]);
+        }
+    }
+
+    #[test]
+    fn base_run_beats_chance() {
+        let (bundle, data, llm) = setup();
+        let out =
+            run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
+        assert_eq!(out.correct.len(), 200);
+        assert!(out.accuracy() > 0.6, "base link accuracy {}", out.accuracy());
+        assert!(out.with_links > 150);
+    }
+
+    #[test]
+    fn vanilla_omits_links_and_costs_less() {
+        let (bundle, data, llm) = setup();
+        let v = run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Vanilla, 4, 3).unwrap();
+        let llm2 = SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35());
+        let b = run_link_task(&bundle.tag, &llm2, &data, LinkStrategy::Base, 4, 3).unwrap();
+        assert_eq!(v.with_links, 0);
+        assert!(v.prompt_tokens < b.prompt_tokens);
+    }
+
+    #[test]
+    fn prune_reduces_link_prompts_without_collapse() {
+        let (bundle, data, llm) = setup();
+        let base =
+            run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
+        let llm2 = SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35());
+        let pruned = run_link_task(
+            &bundle.tag,
+            &llm2,
+            &data,
+            LinkStrategy::Prune { tau: 0.2 },
+            4,
+            3,
+        )
+        .unwrap();
+        assert!(pruned.with_links < base.with_links);
+        assert!(pruned.accuracy() > base.accuracy() - 0.08,
+            "pruning collapsed accuracy: {} vs {}", pruned.accuracy(), base.accuracy());
+    }
+
+    #[test]
+    fn boost_executes_all_pairs() {
+        let (bundle, data, llm) = setup();
+        let out = run_link_task(
+            &bundle.tag,
+            &llm,
+            &data,
+            LinkStrategy::Boost { gamma1: 3 },
+            4,
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.correct.len(), 200);
+        assert!(out.accuracy() > 0.55, "boost accuracy {}", out.accuracy());
+    }
+
+    #[test]
+    fn discovered_links_enrich_adjacency() {
+        let (bundle, mut data, _) = setup();
+        let (a, b) = data.pairs[0];
+        let before = data.pair_support(a, b);
+        data.add_discovered(a, b);
+        assert_eq!(data.pair_support(a, b), before + 2);
+        // Idempotent.
+        data.add_discovered(a, b);
+        assert_eq!(data.pair_support(a, b), before + 2);
+        let _ = bundle;
+    }
+}

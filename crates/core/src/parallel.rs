@@ -1,0 +1,145 @@
+//! Parallel multi-query execution.
+//!
+//! Queries inside one round of the paper's execution model are
+//! *independent* — they share no state until their pseudo-labels are folded
+//! in after the round — so they can be dispatched concurrently, exactly as
+//! a production deployment would batch requests against an LLM endpoint.
+//!
+//! The parallel path preserves the sequential path's results bit-for-bit:
+//! per-query RNGs are derived from `(executor seed, node)` (see
+//! [`Executor::query_rng`]), the [`mqo_token::UsageMeter`] is thread-safe,
+//! and records are re-assembled in input order.
+//!
+//! Scoped threads come from `crossbeam` (no `'static` bounds on the
+//! executor borrows).
+
+use crate::error::{Error, Result};
+use crate::executor::{ExecOutcome, Executor, QueryRecord};
+use crate::labels::LabelStore;
+use crate::predictor::Predictor;
+use mqo_graph::NodeId;
+use parking_lot::Mutex;
+
+/// Execute `queries` across `threads` workers. Semantically identical to
+/// [`Executor::run_all`] (same records, same order); only wall-clock and
+/// the interleaving of meter updates differ.
+pub fn run_all_parallel(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &LabelStore,
+    queries: &[NodeId],
+    prune_set: impl Fn(NodeId) -> bool + Sync,
+    threads: usize,
+) -> Result<ExecOutcome> {
+    assert!(threads >= 1, "need at least one worker");
+    if exec.budget.is_some() {
+        // The hard-budget path is order-dependent (the meter decides when
+        // to start stripping neighbor text); run it sequentially.
+        return Err(Error::Config {
+            detail: "hard budgets require sequential execution".into(),
+        });
+    }
+    let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
+        queries.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let v = queries[i];
+                let mut rng = exec.query_rng(v);
+                let record = exec.run_one(predictor, labels, v, &mut rng, prune_set(v));
+                *slots[i].lock() = Some(record);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let mut out = ExecOutcome::default();
+    for slot in slots {
+        let record = slot.into_inner().expect("every slot filled")?;
+        out.records.push(record);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::test_fixtures::two_cliques;
+    use crate::predictor::KhopRandom;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_graph::{LabeledSplit, SplitConfig};
+    use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 31);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 150 },
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 5);
+        let labels = LabelStore::from_split(tag, &split);
+        let predictor = KhopRandom::new(1, tag.num_nodes());
+
+        let seq = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+        let par =
+            run_all_parallel(&exec, &predictor, &labels, split.queries(), |_| false, 4)
+                .unwrap();
+        assert_eq!(seq.records, par.records, "parallel execution changed results");
+        // Meter totals also agree (both runs doubled the counts).
+        assert_eq!(llm.meter().totals().requests as usize, 2 * split.queries().len());
+    }
+
+    #[test]
+    fn parallel_respects_prune_set() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let out =
+            run_all_parallel(&exec, &p, &labels, &qs, |v| v.0 % 2 == 0, 3).unwrap();
+        for r in &out.records {
+            assert_eq!(r.pruned, r.node.0 % 2 == 0 || r.neighbors_included == 0);
+        }
+    }
+
+    #[test]
+    fn hard_budget_is_rejected() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 2]);
+        let exec = Executor::new(&tag, &llm, 4, 0).with_budget(100);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let err = run_all_parallel(&exec, &p, &labels, &[NodeId(0)], |_| false, 2);
+        assert!(matches!(err, Err(Error::Config { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["x"]);
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let _ = run_all_parallel(&exec, &p, &labels, &[], |_| false, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The token pruning strategy (Algorithm 1) plus the budget-sweep and
+//! token-savings machinery behind Fig. 7 and Table V.
+
+use crate::error::Result;
+use crate::executor::{ExecOutcome, Executor};
+use crate::inadequacy::InadequacyScorer;
+use crate::labels::LabelStore;
+use crate::predictor::Predictor;
+use mqo_graph::{NodeId, Tag};
+use mqo_llm::NeighborEntry;
+use mqo_token::Tokenizer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The set of queries whose neighbor text is omitted.
+#[derive(Debug, Clone, Default)]
+pub struct PrunePlan {
+    pruned: HashSet<NodeId>,
+}
+
+impl PrunePlan {
+    /// Plan from an explicit set.
+    pub fn from_set(pruned: HashSet<NodeId>) -> Self {
+        PrunePlan { pruned }
+    }
+
+    /// Algorithm 1: rank queries ascending by `D(t_i)` and prune the top
+    /// `tau` fraction (the most saturated).
+    pub fn by_inadequacy(
+        scorer: &InadequacyScorer,
+        tag: &Tag,
+        queries: &[NodeId],
+        tau: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must be a fraction");
+        let ranked = scorer.rank_ascending(tag, queries);
+        let cut = (ranked.len() as f64 * tau).round() as usize;
+        PrunePlan { pruned: ranked.into_iter().take(cut).collect() }
+    }
+
+    /// Baseline: prune a uniformly random `tau` fraction (the Fig. 7 / Q8
+    /// comparison strategy).
+    pub fn random(queries: &[NodeId], tau: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must be a fraction");
+        let mut qs = queries.to_vec();
+        qs.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = (qs.len() as f64 * tau).round() as usize;
+        PrunePlan { pruned: qs.into_iter().take(cut).collect() }
+    }
+
+    /// Whether `v`'s neighbor text is omitted.
+    #[inline]
+    pub fn is_pruned(&self, v: NodeId) -> bool {
+        self.pruned.contains(&v)
+    }
+
+    /// Number of pruned queries.
+    pub fn len(&self) -> usize {
+        self.pruned.len()
+    }
+
+    /// Whether nothing is pruned.
+    pub fn is_empty(&self) -> bool {
+        self.pruned.is_empty()
+    }
+}
+
+/// Execute `queries` under a prune plan (Algorithm 1 steps 8–13).
+pub fn run_with_pruning(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &LabelStore,
+    queries: &[NodeId],
+    plan: &PrunePlan,
+) -> Result<ExecOutcome> {
+    exec.run_all(predictor, labels, queries, |v| plan.is_pruned(v))
+}
+
+/// One point of the Fig. 7 budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Fraction of queries whose neighbor text was omitted.
+    pub tau: f64,
+    /// Accuracy with inadequacy-ranked pruning.
+    pub accuracy_pruned: f64,
+    /// Accuracy with random pruning at the same budget.
+    pub accuracy_random: f64,
+}
+
+/// Run the Fig. 7 sweep: for each `tau`, compare inadequacy-ranked against
+/// random pruning on the same queries.
+pub fn budget_sweep(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &LabelStore,
+    queries: &[NodeId],
+    scorer: &InadequacyScorer,
+    taus: &[f64],
+    seed: u64,
+) -> Result<Vec<SweepPoint>> {
+    let mut out = Vec::with_capacity(taus.len());
+    for (i, &tau) in taus.iter().enumerate() {
+        let ranked_plan = PrunePlan::by_inadequacy(scorer, exec.tag, queries, tau);
+        let random_plan = PrunePlan::random(queries, tau, seed.wrapping_add(i as u64));
+        let a = run_with_pruning(exec, predictor, labels, queries, &ranked_plan)?;
+        let b = run_with_pruning(exec, predictor, labels, queries, &random_plan)?;
+        out.push(SweepPoint {
+            tau,
+            accuracy_pruned: a.accuracy(),
+            accuracy_random: b.accuracy(),
+        });
+    }
+    Ok(out)
+}
+
+/// A neighbor-text configuration for the Table V savings estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborTextConfig {
+    /// Neighbors per prompt.
+    pub neighbors: usize,
+    /// Whether abstracts are included alongside titles.
+    pub include_abstract: bool,
+}
+
+/// Table V row: estimated mean neighbor-text tokens under `config`,
+/// measured by sampling `samples` nodes and tokenizing the rendered
+/// neighbor blocks.
+pub fn mean_neighbor_text_tokens(
+    tag: &Tag,
+    config: NeighborTextConfig,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tag.num_nodes() as u32;
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let mut block = String::new();
+        for i in 0..config.neighbors {
+            let v = NodeId(rng.gen_range(0..n));
+            let t = tag.text(v);
+            let title = if config.include_abstract {
+                format!("{} {}", t.title, t.body)
+            } else {
+                t.title.clone()
+            };
+            let entry = NeighborEntry { title, label: None };
+            block.push_str(&format!("Neighbor Paper{i}: {{{{\nTitle: {}\n}}}}\n", entry.title));
+        }
+        total += Tokenizer.count(&block) as u64;
+    }
+    total as f64 / samples as f64
+}
+
+/// Table V bottom line: tokens reducible by pruning all saturated queries,
+/// `|V| · τ · mean_neighbor_tokens`, at the paper's *full* dataset scale.
+pub fn reducible_tokens(full_scale_nodes: usize, saturated_frac: f64, mean_tokens: f64) -> f64 {
+    full_scale_nodes as f64 * saturated_frac * mean_tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::test_fixtures::two_cliques;
+    use crate::predictor::KhopRandom;
+    use mqo_llm::ScriptedLlm;
+
+    #[test]
+    fn random_plan_prunes_requested_fraction() {
+        let qs: Vec<NodeId> = (0..100).map(NodeId).collect();
+        let plan = PrunePlan::random(&qs, 0.2, 1);
+        assert_eq!(plan.len(), 20);
+        let plan0 = PrunePlan::random(&qs, 0.0, 1);
+        assert!(plan0.is_empty());
+        let plan1 = PrunePlan::random(&qs, 1.0, 1);
+        assert_eq!(plan1.len(), 100);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let qs: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let a = PrunePlan::random(&qs, 0.4, 9);
+        let b = PrunePlan::random(&qs, 0.4, 9);
+        for v in &qs {
+            assert_eq!(a.is_pruned(*v), b.is_pruned(*v));
+        }
+    }
+
+    #[test]
+    fn pruned_queries_save_tokens() {
+        let tag = two_cliques();
+        let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 4]);
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs = vec![NodeId(0), NodeId(1)];
+        let none = run_with_pruning(&exec, &p, &labels, &qs, &PrunePlan::default()).unwrap();
+        let llm2 = ScriptedLlm::new(vec!["Category: ['Alpha']"; 4]);
+        let exec2 = Executor::new(&tag, &llm2, 4, 0);
+        let all = run_with_pruning(
+            &exec2,
+            &p,
+            &labels,
+            &qs,
+            &PrunePlan::random(&qs, 1.0, 0),
+        )
+        .unwrap();
+        assert!(all.prompt_tokens() < none.prompt_tokens());
+        assert_eq!(all.queries_with_neighbors(), 0);
+        assert_eq!(none.queries_with_neighbors(), 2);
+    }
+
+    #[test]
+    fn mean_neighbor_tokens_scale_with_config() {
+        let tag = two_cliques();
+        let t4 = mean_neighbor_text_tokens(
+            &tag,
+            NeighborTextConfig { neighbors: 4, include_abstract: false },
+            50,
+            1,
+        );
+        let t10 = mean_neighbor_text_tokens(
+            &tag,
+            NeighborTextConfig { neighbors: 10, include_abstract: false },
+            50,
+            1,
+        );
+        let t4a = mean_neighbor_text_tokens(
+            &tag,
+            NeighborTextConfig { neighbors: 4, include_abstract: true },
+            50,
+            1,
+        );
+        assert!(t10 > 2.0 * t4, "10 neighbors should cost ~2.5x of 4");
+        assert!(t4a > t4, "abstracts should add tokens");
+    }
+
+    #[test]
+    fn reducible_tokens_matches_paper_arithmetic() {
+        // Ogbn-Products row, "4 neighbors title only": 2,449,029 × 79.4% ×
+        // 61.745 ≈ 120M.
+        let r = reducible_tokens(2_449_029, 0.794, 61.745);
+        assert!((r - 120_064_000.0).abs() < 1_000_000.0, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be a fraction")]
+    fn rejects_bad_tau() {
+        PrunePlan::random(&[NodeId(0)], 1.5, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The surrogate classifier `f_θ1` (Eq. 8).
+//!
+//! An MLP over text features trained on the labeled set, cross-validated
+//! (3 folds per §VI-A3) so that probabilities on labeled nodes are
+//! out-of-fold (needed downstream to fit the merger `g_θ2` without
+//! leakage); query-node probabilities average the fold models.
+//!
+//! Feature encoding follows the dataset size, as in the paper: TF-IDF over
+//! a fitted vocabulary for the small graphs, feature hashing for the OGB
+//! graphs. Hyperparameters follow §VI-A3: small = linear model, lr 0.01,
+//! no weight decay; large = a small grid search over depth / width / lr /
+//! weight decay scored by out-of-fold accuracy.
+
+use mqo_encoder::{HashedEncoder, TextEncoder, TfIdfEncoder, Vocabulary};
+use mqo_graph::{LabeledSplit, NodeId, Tag};
+use mqo_nn::{entropy, CrossValProbs, MlpConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Which feature encoder backs the surrogate.
+enum Encoder {
+    TfIdf(TfIdfEncoder),
+    Hashed(HashedEncoder),
+}
+
+impl Encoder {
+    fn encode(&self, text: &str) -> Vec<f32> {
+        match self {
+            Encoder::TfIdf(e) => e.encode(text),
+            Encoder::Hashed(e) => e.encode(text),
+        }
+    }
+}
+
+/// Configuration of the surrogate training pipeline.
+#[derive(Debug, Clone)]
+pub struct SurrogateConfig {
+    /// TF-IDF vocabulary cap (ignored when hashing).
+    pub max_features: usize,
+    /// Use feature hashing at this dimension instead of TF-IDF.
+    pub hashed_dim: Option<usize>,
+    /// Candidate MLP configurations; the best by out-of-fold accuracy is
+    /// kept (singleton for the small datasets = no search).
+    pub candidates: Vec<MlpConfig>,
+    /// Cross-validation folds (paper: 3).
+    pub folds: usize,
+    /// Cap on labeled training samples (keeps the OGB surrogates cheap).
+    pub max_train: usize,
+    /// Seed for sampling and training.
+    pub seed: u64,
+}
+
+impl SurrogateConfig {
+    /// Small-dataset setup (§VI-A3): linear MLP, lr 0.01, no weight decay.
+    pub fn small(seed: u64) -> Self {
+        SurrogateConfig {
+            max_features: 2000,
+            hashed_dim: None,
+            candidates: vec![MlpConfig {
+                hidden: vec![],
+                lr: 0.01,
+                weight_decay: 0.0,
+                epochs: 60,
+                batch_size: 32,
+                seed,
+            }],
+            folds: 3,
+            max_train: usize::MAX,
+            seed,
+        }
+    }
+
+    /// Large-dataset setup (§VI-A3): feature hashing plus a reduced grid
+    /// over {layers, hidden, lr, weight decay}, scored out-of-fold.
+    pub fn large(seed: u64) -> Self {
+        let grid = [
+            (vec![96], 0.01, 1e-4),
+            (vec![128], 0.001, 1e-3),
+            (vec![256, 96], 0.01, 1e-4),
+            (vec![256, 96], 0.001, 1e-3),
+        ];
+        SurrogateConfig {
+            max_features: 0,
+            hashed_dim: Some(256),
+            candidates: grid
+                .into_iter()
+                .map(|(hidden, lr, wd)| MlpConfig {
+                    hidden,
+                    lr,
+                    weight_decay: wd,
+                    epochs: 20,
+                    batch_size: 64,
+                    seed,
+                })
+                .collect(),
+            folds: 3,
+            max_train: 2000,
+            seed,
+        }
+    }
+}
+
+/// The trained surrogate.
+pub struct Surrogate {
+    encoder: Encoder,
+    cv: CrossValProbs,
+    /// Node → index into the training arrays (for out-of-fold lookups).
+    train_index: HashMap<NodeId, usize>,
+    /// Out-of-fold accuracy of the winning configuration.
+    pub oof_accuracy: f64,
+}
+
+impl Surrogate {
+    /// Train on the labeled set of `split`.
+    pub fn train(tag: &Tag, split: &LabeledSplit, config: &SurrogateConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5a5a);
+        let mut train_nodes: Vec<NodeId> = split.labeled().to_vec();
+        if train_nodes.len() > config.max_train {
+            train_nodes.shuffle(&mut rng);
+            train_nodes.truncate(config.max_train);
+        }
+
+        let encoder = match config.hashed_dim {
+            Some(dim) => Encoder::Hashed(HashedEncoder::new(dim)),
+            None => {
+                // Vocabulary over the texts the surrogate will actually see:
+                // labeled plus query nodes.
+                let texts: Vec<String> = train_nodes
+                    .iter()
+                    .chain(split.queries())
+                    .map(|&v| tag.text(v).full())
+                    .collect();
+                let vocab =
+                    Vocabulary::fit(texts.iter().map(|s| s.as_str()), 2, config.max_features);
+                Encoder::TfIdf(TfIdfEncoder::new(vocab))
+            }
+        };
+
+        let xs: Vec<Vec<f32>> =
+            train_nodes.iter().map(|&v| encoder.encode(&tag.text(v).full())).collect();
+        let ys: Vec<usize> = train_nodes.iter().map(|&v| tag.label(v).index()).collect();
+
+        // Pick the candidate with the best out-of-fold accuracy.
+        let mut best: Option<(f64, CrossValProbs)> = None;
+        for cand in &config.candidates {
+            let cv = CrossValProbs::fit(cand, &xs, &ys, tag.num_classes(), config.folds);
+            let acc = (0..xs.len())
+                .filter(|&i| mqo_nn::metrics::argmax(&cv.oof_probs[i]) == ys[i])
+                .count() as f64
+                / xs.len() as f64;
+            if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+                best = Some((acc, cv));
+            }
+        }
+        let (oof_accuracy, cv) = best.expect("at least one candidate config");
+
+        let train_index =
+            train_nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        Surrogate { encoder, cv, train_index, oof_accuracy }
+    }
+
+    /// Class probabilities for any node: out-of-fold if the node was in
+    /// the training set, fold-model average otherwise.
+    pub fn proba(&self, tag: &Tag, v: NodeId) -> Vec<f32> {
+        if let Some(&i) = self.train_index.get(&v) {
+            return self.cv.oof_probs[i].clone();
+        }
+        self.cv.predict_proba(&self.encoder.encode(&tag.text(v).full()))
+    }
+
+    /// Entropy `H(p_i)` of the node's class posterior (Eq. 8).
+    pub fn entropy_of(&self, tag: &Tag, v: NodeId) -> f32 {
+        entropy(&self.proba(tag, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_data::{dataset, DatasetId};
+    use mqo_graph::SplitConfig;
+
+    fn trained() -> (Tag, LabeledSplit, Surrogate) {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 3);
+        let tag = bundle.tag;
+        let split = LabeledSplit::generate(
+            &tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 200 },
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let sur = Surrogate::train(&tag, &split, &SurrogateConfig::small(7));
+        (tag, split, sur)
+    }
+
+    #[test]
+    fn learns_better_than_chance_on_synthetic_cora() {
+        let (_, _, sur) = trained();
+        assert!(sur.oof_accuracy > 0.30, "oof accuracy {}", sur.oof_accuracy);
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let (tag, split, sur) = trained();
+        for &v in split.queries().iter().take(10).chain(split.labeled().iter().take(10)) {
+            let p = sur.proba(&tag, v);
+            assert_eq!(p.len(), tag.num_classes());
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn entropy_lower_for_informative_nodes_on_average() {
+        // Regenerate to get the alphas (latent informativeness).
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 3);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 200 },
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let sur = Surrogate::train(tag, &split, &SurrogateConfig::small(7));
+        let (mut h_hi, mut n_hi, mut h_lo, mut n_lo) = (0.0f64, 0, 0.0f64, 0);
+        for &v in split.queries() {
+            let h = sur.entropy_of(tag, v) as f64;
+            if bundle.alphas[v.index()] > 0.25 {
+                h_hi += h;
+                n_hi += 1;
+            } else {
+                h_lo += h;
+                n_lo += 1;
+            }
+        }
+        let (h_hi, h_lo) = (h_hi / n_hi as f64, h_lo / n_lo as f64);
+        assert!(
+            h_hi < h_lo,
+            "informative nodes should have lower surrogate entropy: {h_hi:.3} vs {h_lo:.3}"
+        );
+    }
+
+    #[test]
+    fn large_config_searches_and_trains() {
+        let bundle = dataset(DatasetId::Cora, Some(0.2), 5);
+        let tag = bundle.tag;
+        let split = LabeledSplit::generate(
+            &tag,
+            SplitConfig::Fraction { labeled_fraction: 0.3, num_queries: 100 },
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let mut cfg = SurrogateConfig::large(3);
+        cfg.candidates.truncate(2); // keep the unit test quick
+        cfg.max_train = 200;
+        let sur = Surrogate::train(&tag, &split, &cfg);
+        assert!(sur.oof_accuracy > 0.25, "oof {}", sur.oof_accuracy);
+        let p = sur.proba(&tag, split.queries()[0]);
+        assert_eq!(p.len(), tag.num_classes());
+    }
+}

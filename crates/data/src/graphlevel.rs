@@ -1,0 +1,251 @@
+//! Graph-level classification dataset (the paper's future-work setting,
+//! §VII: "extending these strategies to graph-level tasks, such as
+//! refining token pruning to exclude irrelevant subgraph tokens").
+//!
+//! A collection of small graphs (ego-net-sized), each with a *graph*
+//! label. A graph class is defined by an affinity to a couple of node
+//! topics: the graph's *relevant* nodes carry text from those topics,
+//! while a configurable fraction of *irrelevant* nodes carry filler or
+//! off-topic text — the "irrelevant subgraph tokens" that graph-level
+//! token pruning should exclude.
+
+use mqo_graph::{ClassId, GraphBuilder, NodeText, Tag};
+use mqo_text::{DocumentSpec, Lexicon, TextSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of a graph-classification collection.
+#[derive(Debug, Clone)]
+pub struct GraphCollectionSpec {
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Graph-class names.
+    pub graph_classes: Vec<String>,
+    /// Node topics per graph class (each class owns this many topics; the
+    /// node-topic universe is `graph_classes.len() × topics_per_class`).
+    pub topics_per_class: usize,
+    /// Nodes per graph, inclusive range.
+    pub nodes_per_graph: (usize, usize),
+    /// Fraction of *irrelevant* nodes per graph (off-topic / filler).
+    pub irrelevant_frac: f64,
+    /// Mean degree of the intra-graph topology.
+    pub mean_degree: f64,
+    /// Node-text shape.
+    pub doc: DocumentSpec,
+    /// Informativeness of relevant node texts.
+    pub alpha: (f64, f64),
+}
+
+impl Default for GraphCollectionSpec {
+    fn default() -> Self {
+        GraphCollectionSpec {
+            num_graphs: 200,
+            graph_classes: vec![
+                "Molecular biology".into(),
+                "Systems".into(),
+                "Optimization".into(),
+                "Vision".into(),
+            ],
+            topics_per_class: 2,
+            nodes_per_graph: (12, 30),
+            irrelevant_frac: 0.4,
+            mean_degree: 4.0,
+            doc: DocumentSpec { title_words: 7, body_words: 25, cross_noise: 0.1, zipf_s: 1.05 },
+            alpha: (0.3, 0.7),
+        }
+    }
+}
+
+/// One small graph in the collection.
+#[derive(Debug, Clone)]
+pub struct SmallGraph {
+    /// The graph with node texts (node labels are the node *topics*).
+    pub tag: Tag,
+    /// The graph-level label.
+    pub label: ClassId,
+    /// Latent per-node relevance flags (analysis/tests only — strategies
+    /// must rank relevance from text, not read this).
+    pub relevant: Vec<bool>,
+}
+
+/// A generated graph-classification collection.
+#[derive(Debug, Clone)]
+pub struct GraphCollection {
+    /// The graphs.
+    pub graphs: Vec<SmallGraph>,
+    /// The shared node-topic lexicon.
+    pub lexicon: Arc<Lexicon>,
+    /// Graph-class names.
+    pub class_names: Vec<String>,
+    /// The spec used.
+    pub spec: GraphCollectionSpec,
+}
+
+impl GraphCollection {
+    /// Node topics owned by graph class `g`.
+    pub fn topics_of(&self, g: ClassId) -> Vec<u16> {
+        let t = self.spec.topics_per_class;
+        (0..t).map(|i| (g.index() * t + i) as u16).collect()
+    }
+}
+
+/// Generate a collection.
+pub fn generate_collection(spec: &GraphCollectionSpec, seed: u64) -> GraphCollection {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e_e7);
+    let kg = spec.graph_classes.len();
+    let num_topics = (kg * spec.topics_per_class) as u16;
+    let lexicon = Arc::new(Lexicon::with_markers(seed ^ 0x9a9a, num_topics, 150, 2000, 0));
+    let sampler = TextSampler::new(&lexicon, spec.doc);
+
+    let topic_names: Vec<String> =
+        (0..num_topics).map(|t| format!("topic-{t}")).collect();
+
+    let mut graphs = Vec::with_capacity(spec.num_graphs);
+    for gi in 0..spec.num_graphs {
+        let label = ClassId::from(gi % kg);
+        let own_topics: Vec<u16> = (0..spec.topics_per_class)
+            .map(|i| (label.index() * spec.topics_per_class + i) as u16)
+            .collect();
+        let n = rng.gen_range(spec.nodes_per_graph.0..=spec.nodes_per_graph.1);
+
+        // Topology: random graph at the target mean degree (connectivity
+        // is not required; ego-nets in the wild are often fragmented).
+        let mut b = GraphBuilder::new(n);
+        let m = ((n as f64) * spec.mean_degree / 2.0) as usize;
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+
+        let mut texts = Vec::with_capacity(n);
+        let mut node_topics = Vec::with_capacity(n);
+        let mut relevant = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_relevant = rng.gen::<f64>() >= spec.irrelevant_frac;
+            let topic = if is_relevant {
+                own_topics[rng.gen_range(0..own_topics.len())]
+            } else {
+                // Off-topic: any topic of another graph class.
+                loop {
+                    let t = rng.gen_range(0..num_topics);
+                    if !own_topics.contains(&t) {
+                        break t;
+                    }
+                }
+            };
+            let alpha = if is_relevant {
+                rng.gen_range(spec.alpha.0..spec.alpha.1)
+            } else {
+                // Irrelevant nodes are *confidently about something else*
+                // (or plain filler); either way they waste prompt tokens.
+                rng.gen_range(0.05..0.5)
+            };
+            texts.push(NodeText::new(
+                sampler.sample_title(ClassId(topic), alpha, &mut rng),
+                sampler.sample_body(ClassId(topic), alpha, &mut rng),
+            ));
+            node_topics.push(ClassId(topic));
+            relevant.push(is_relevant);
+        }
+        let tag = Tag::new(
+            format!("graph-{gi}"),
+            b.build(),
+            texts,
+            node_topics,
+            topic_names.clone(),
+        )
+        .expect("consistent arrays");
+        graphs.push(SmallGraph { tag, label, relevant });
+    }
+    GraphCollection {
+        graphs,
+        lexicon,
+        class_names: spec.graph_classes.clone(),
+        spec: spec.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_text::WordKind;
+
+    #[test]
+    fn collection_has_requested_shape() {
+        let spec = GraphCollectionSpec { num_graphs: 40, ..Default::default() };
+        let c = generate_collection(&spec, 1);
+        assert_eq!(c.graphs.len(), 40);
+        for g in &c.graphs {
+            let n = g.tag.num_nodes();
+            assert!((12..=30).contains(&n));
+            assert_eq!(g.relevant.len(), n);
+            assert!(g.label.index() < 4);
+        }
+        // Balanced labels by construction.
+        let counts: Vec<usize> =
+            (0..4).map(|k| c.graphs.iter().filter(|g| g.label.index() == k).count()).collect();
+        assert_eq!(counts, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn relevant_nodes_carry_own_class_topics() {
+        let c = generate_collection(&GraphCollectionSpec::default(), 2);
+        for g in c.graphs.iter().take(20) {
+            let own = c.topics_of(g.label);
+            for v in g.tag.node_ids() {
+                let topic = g.tag.label(v).0;
+                if g.relevant[v.index()] {
+                    assert!(own.contains(&topic), "relevant node off-topic");
+                } else {
+                    assert!(!own.contains(&topic), "irrelevant node on-topic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_fraction_is_respected() {
+        let spec = GraphCollectionSpec {
+            num_graphs: 100,
+            irrelevant_frac: 0.4,
+            ..Default::default()
+        };
+        let c = generate_collection(&spec, 3);
+        let (mut total, mut irrelevant) = (0usize, 0usize);
+        for g in &c.graphs {
+            total += g.relevant.len();
+            irrelevant += g.relevant.iter().filter(|&&r| !r).count();
+        }
+        let frac = irrelevant as f64 / total as f64;
+        assert!((frac - 0.4).abs() < 0.05, "irrelevant fraction {frac}");
+    }
+
+    #[test]
+    fn texts_decode_against_the_shared_lexicon() {
+        let c = generate_collection(&GraphCollectionSpec::default(), 4);
+        let g = &c.graphs[0];
+        let text = g.tag.text(mqo_graph::NodeId(0)).full();
+        let decodable = text
+            .split_whitespace()
+            .filter(|w| {
+                matches!(
+                    c.lexicon.kind_of_word(w),
+                    Some(WordKind::Class(_)) | Some(WordKind::Shared)
+                )
+            })
+            .count();
+        assert!(decodable > 10, "texts must come from the collection lexicon");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_collection(&GraphCollectionSpec::default(), 9);
+        let b = generate_collection(&GraphCollectionSpec::default(), 9);
+        assert_eq!(a.graphs[3].tag.text(mqo_graph::NodeId(1)), b.graphs[3].tag.text(mqo_graph::NodeId(1)));
+        assert_eq!(a.graphs[3].relevant, b.graphs[3].relevant);
+    }
+}

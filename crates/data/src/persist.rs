@@ -1,0 +1,295 @@
+//! Binary persistence for generated datasets.
+//!
+//! Every bench binary regenerates its datasets from the seed, which is
+//! reproducible but wasteful for the OGB-size graphs. This module saves a
+//! [`DatasetBundle`]'s *contents* — graph, texts, labels, latents, and the
+//! lexicon's construction parameters (the lexicon itself is deterministic,
+//! so five integers reconstruct it) — in a length-prefixed little-endian
+//! binary format framed with `bytes` (the workspace's one binary-IO
+//! dependency; see DESIGN.md).
+//!
+//! Format (`MQOTAG1\n` magic, then little-endian fields):
+//!
+//! ```text
+//! header   magic[8] | name | scale f64
+//! lexicon  seed u64 | classes u16 | per_class u32 | shared u32 | markers u32
+//! classes  count u16 | name*
+//! graph    nodes u32 | edges u64 | (u32, u32)*        (each edge once)
+//! nodes    per node: label u16 | alpha f32 | adversarial u8 | title | body
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. The spec is *not* persisted
+//! (it is code, not data); [`load`] returns the bundle with the spec the
+//! caller supplies.
+
+use crate::generate::DatasetBundle;
+use crate::spec::DatasetSpec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mqo_graph::{ClassId, GraphBuilder, NodeText, Tag};
+use mqo_text::Lexicon;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"MQOTAG1\n";
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid dataset image.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt dataset file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Corrupt("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Corrupt("truncated string body"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::Corrupt("invalid utf-8"))
+}
+
+/// Serialize a bundle to bytes.
+pub fn to_bytes(bundle: &DatasetBundle) -> Bytes {
+    let tag = &bundle.tag;
+    let mut buf = BytesMut::with_capacity(tag.num_nodes() * 256);
+    buf.put_slice(MAGIC);
+    put_str(&mut buf, tag.name());
+    buf.put_f64_le(bundle.scale);
+
+    let lex = &bundle.lexicon;
+    buf.put_u64_le(lex.seed());
+    buf.put_u16_le(lex.num_classes());
+    buf.put_u32_le(lex.class_size());
+    buf.put_u32_le(lex.shared_size());
+    buf.put_u32_le(lex.marker_size());
+
+    buf.put_u16_le(tag.num_classes() as u16);
+    for name in tag.class_names() {
+        put_str(&mut buf, name);
+    }
+
+    buf.put_u32_le(tag.num_nodes() as u32);
+    buf.put_u64_le(tag.num_edges());
+    for (u, v) in tag.graph().edges() {
+        buf.put_u32_le(u.0);
+        buf.put_u32_le(v.0);
+    }
+
+    for v in tag.node_ids() {
+        buf.put_u16_le(tag.label(v).0);
+        buf.put_f32_le(bundle.alphas[v.index()]);
+        buf.put_u8(u8::from(bundle.adversarial[v.index()]));
+        let t = tag.text(v);
+        put_str(&mut buf, &t.title);
+        put_str(&mut buf, &t.body);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a bundle; the caller supplies the spec (code, not data).
+pub fn from_bytes(mut buf: Bytes, spec: DatasetSpec) -> Result<DatasetBundle, PersistError> {
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(PersistError::Corrupt("bad magic"));
+    }
+    let name = get_str(&mut buf)?;
+    if buf.remaining() < 8 + 8 + 2 + 4 + 4 + 4 {
+        return Err(PersistError::Corrupt("truncated header"));
+    }
+    let scale = buf.get_f64_le();
+    let lex_seed = buf.get_u64_le();
+    let lex_classes = buf.get_u16_le();
+    let lex_per_class = buf.get_u32_le();
+    let lex_shared = buf.get_u32_le();
+    let lex_markers = buf.get_u32_le();
+    let lexicon = Arc::new(Lexicon::with_markers(
+        lex_seed,
+        lex_classes,
+        lex_per_class,
+        lex_shared,
+        lex_markers,
+    ));
+
+    if buf.remaining() < 2 {
+        return Err(PersistError::Corrupt("truncated class count"));
+    }
+    let k = buf.get_u16_le() as usize;
+    let mut class_names = Vec::with_capacity(k);
+    for _ in 0..k {
+        class_names.push(get_str(&mut buf)?);
+    }
+
+    if buf.remaining() < 12 {
+        return Err(PersistError::Corrupt("truncated graph header"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let m = buf.get_u64_le();
+    let mut builder = GraphBuilder::with_capacity(n, m as usize);
+    for _ in 0..m {
+        if buf.remaining() < 8 {
+            return Err(PersistError::Corrupt("truncated edge list"));
+        }
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        builder.add_edge(u, v).map_err(|_| PersistError::Corrupt("edge out of range"))?;
+    }
+
+    let mut labels = Vec::with_capacity(n);
+    let mut alphas = Vec::with_capacity(n);
+    let mut adversarial = Vec::with_capacity(n);
+    let mut texts = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 7 {
+            return Err(PersistError::Corrupt("truncated node record"));
+        }
+        labels.push(ClassId(buf.get_u16_le()));
+        alphas.push(buf.get_f32_le());
+        adversarial.push(buf.get_u8() != 0);
+        let title = get_str(&mut buf)?;
+        let body = get_str(&mut buf)?;
+        texts.push(NodeText::new(title, body));
+    }
+
+    let tag = Tag::new(name, builder.build(), texts, labels, class_names)
+        .map_err(|_| PersistError::Corrupt("inconsistent arrays"))?;
+    Ok(DatasetBundle { tag, lexicon, alphas, adversarial, spec, scale })
+}
+
+/// Save a bundle to a file.
+pub fn save(bundle: &DatasetBundle, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    Ok(fs::write(path, to_bytes(bundle))?)
+}
+
+/// Load a bundle from a file, attaching `spec`.
+pub fn load(path: impl AsRef<Path>, spec: DatasetSpec) -> Result<DatasetBundle, PersistError> {
+    from_bytes(Bytes::from(fs::read(path)?), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DatasetId;
+    use crate::{dataset, generate};
+    use mqo_graph::NodeId;
+
+    fn roundtrip(bundle: &DatasetBundle) -> DatasetBundle {
+        from_bytes(to_bytes(bundle), bundle.spec.clone()).expect("roundtrip")
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_everything() {
+        let original = dataset(DatasetId::Cora, Some(0.2), 61);
+        let back = roundtrip(&original);
+        assert_eq!(back.tag.name(), original.tag.name());
+        assert_eq!(back.tag.num_nodes(), original.tag.num_nodes());
+        assert_eq!(back.tag.num_edges(), original.tag.num_edges());
+        assert_eq!(back.tag.class_names(), original.tag.class_names());
+        assert_eq!(back.alphas, original.alphas);
+        assert_eq!(back.adversarial, original.adversarial);
+        assert_eq!(back.scale, original.scale);
+        for v in original.tag.node_ids().take(50) {
+            assert_eq!(back.tag.text(v), original.tag.text(v));
+            assert_eq!(back.tag.label(v), original.tag.label(v));
+            assert_eq!(back.tag.graph().neighbors(v), original.tag.graph().neighbors(v));
+        }
+        // The reconstructed lexicon decodes the reconstructed texts.
+        let text = back.tag.text(NodeId(0)).full();
+        let decodable = text
+            .split_whitespace()
+            .filter(|w| back.lexicon.kind_of_word(w).is_some())
+            .count();
+        assert!(decodable > 10, "lexicon reconstruction broken");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mqo-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cora.mqotag");
+        let original = dataset(DatasetId::Cora, Some(0.15), 62);
+        save(&original, &path).unwrap();
+        let back = load(&path, original.spec.clone()).unwrap();
+        assert_eq!(back.tag.num_nodes(), original.tag.num_nodes());
+        assert_eq!(back.alphas, original.alphas);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicked() {
+        let spec = DatasetId::Cora.spec();
+        assert!(from_bytes(Bytes::from_static(b""), spec.clone()).is_err());
+        assert!(from_bytes(Bytes::from_static(b"NOTMAGIC"), spec.clone()).is_err());
+        // Valid magic, truncated afterwards.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(3);
+        buf.put_slice(b"co"); // promised 3 bytes, gave 2
+        assert!(matches!(
+            from_bytes(buf.freeze(), spec),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn generated_and_loaded_bundles_behave_identically() {
+        // The loaded bundle must drive the simulator identically: same
+        // lexicon, same texts → same decisions.
+        use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+        let spec = DatasetId::Citeseer.spec();
+        let original = generate(&spec, 0.15, 63);
+        let back = roundtrip(&original);
+        let prompt = |b: &DatasetBundle| {
+            let t = b.tag.text(NodeId(5));
+            mqo_llm::NodePromptSpec {
+                title: &t.title,
+                abstract_text: &t.body,
+                neighbors: &[],
+                categories: b.tag.class_names(),
+                ranked: false,
+            }
+            .render()
+        };
+        let llm_a = SimLlm::new(
+            original.lexicon.clone(),
+            original.tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let llm_b = SimLlm::new(
+            back.lexicon.clone(),
+            back.tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        assert_eq!(
+            llm_a.complete(&prompt(&original)).unwrap().text,
+            llm_b.complete(&prompt(&back)).unwrap().text
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Dataset specification: everything the generator needs, plus the paper's
+//! full-scale statistics for the analytic tables (Table V uses full node
+//! counts even when the executed graph is scaled).
+
+use mqo_graph::SplitConfig;
+use mqo_text::DocumentSpec;
+
+/// Parameters of one synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name, e.g. `"cora"`.
+    pub name: &'static str,
+    /// Full-scale node count (Table II).
+    pub nodes: usize,
+    /// Full-scale undirected edge count (Table II).
+    pub edges: u64,
+    /// Class names in label order.
+    pub class_names: Vec<String>,
+    /// Target edge homophily ratio.
+    pub homophily: f64,
+    /// Fraction of nodes drawn from the high-informativeness component
+    /// (calibrated to the paper's zero-shot accuracy).
+    pub saturated_frac: f64,
+    /// Fraction of *adversarial* nodes: their text is strongly informative
+    /// about a specific wrong class (boundary papers / products that read
+    /// like another category). No amount of neighbor evidence rescues
+    /// them, which is what caps the real-world benefit of neighbor text on
+    /// the fine-grained OGB taxonomies (Table IV's near-zero deltas).
+    pub adversarial_frac: f64,
+    /// Uniform range of informativeness for the high component.
+    pub alpha_high: (f64, f64),
+    /// Uniform range of informativeness for the low component.
+    pub alpha_low: (f64, f64),
+    /// Document shape (title/body lengths, cross-class noise).
+    pub doc: DocumentSpec,
+    /// Pareto tail index for degree skew (smaller = heavier tail).
+    pub degree_tail: f64,
+    /// Fraction of edges created by triadic closure (wedge closing):
+    /// citation/co-purchase graphs are strongly clustered, and common-
+    /// neighbor structure is what link prediction's query boosting feeds
+    /// on (§VI-J).
+    pub closure_frac: f64,
+    /// Discriminative words per class in the lexicon.
+    pub lexicon_per_class: u32,
+    /// Shared (filler) words in the lexicon.
+    pub lexicon_shared: u32,
+    /// Link-marker words in the lexicon (see [`mqo_text::WordKind::Marker`]).
+    pub lexicon_markers: u32,
+    /// Probability that an edge plants its marker words into both endpoint
+    /// texts ("citing papers quote each other's terms"); drives how much
+    /// pair-level signal link prediction has (§VI-J).
+    pub link_marker_prob: f64,
+    /// How `V_L` / `V_Q` are carved out.
+    pub split: SplitConfig,
+}
+
+impl DatasetSpec {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Check the spec for internal consistency; the generator calls this
+    /// so misconfigured specs fail loudly instead of producing degenerate
+    /// worlds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.class_names.is_empty() {
+            return Err("spec needs at least one class".into());
+        }
+        if self.nodes == 0 {
+            return Err("spec needs nodes".into());
+        }
+        for (name, v) in [
+            ("homophily", self.homophily),
+            ("saturated_frac", self.saturated_frac),
+            ("adversarial_frac", self.adversarial_frac),
+            ("link_marker_prob", self.link_marker_prob),
+            ("closure_frac", self.closure_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        if self.saturated_frac + self.adversarial_frac > 1.0 {
+            return Err(format!(
+                "saturated ({}) + adversarial ({}) exceed 1",
+                self.saturated_frac, self.adversarial_frac
+            ));
+        }
+        for (name, (lo, hi)) in [("alpha_high", self.alpha_high), ("alpha_low", self.alpha_low)] {
+            if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo >= hi {
+                return Err(format!("{name} = ({lo}, {hi}) is not a valid sub-range of [0, 1]"));
+            }
+        }
+        if self.lexicon_per_class == 0 {
+            return Err("classes need discriminative vocabulary".into());
+        }
+        Ok(())
+    }
+
+    /// Scaled node count for a generation scale factor.
+    pub fn scaled_nodes(&self, scale: f64) -> usize {
+        ((self.nodes as f64 * scale).round() as usize).max(self.num_classes() * 25)
+    }
+
+    /// Scaled edge count (keeps mean degree constant as nodes shrink).
+    pub fn scaled_edges(&self, scale: f64) -> u64 {
+        ((self.edges as f64 * scale).round() as u64).max(self.scaled_nodes(scale) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "t",
+            nodes: 10_000,
+            edges: 50_000,
+            class_names: vec!["a".into(), "b".into()],
+            homophily: 0.8,
+            saturated_frac: 0.7,
+            adversarial_frac: 0.0,
+            alpha_high: (0.3, 0.7),
+            alpha_low: (0.0, 0.1),
+            doc: DocumentSpec::default(),
+            degree_tail: 2.5,
+            closure_frac: 0.25,
+            lexicon_per_class: 100,
+            lexicon_shared: 1000,
+            lexicon_markers: 500,
+            link_marker_prob: 0.5,
+            split: SplitConfig::PerClass { per_class: 20, num_queries: 100 },
+        }
+    }
+
+    #[test]
+    fn validate_accepts_the_fixture() {
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fractions() {
+        let mut s = spec();
+        s.homophily = 1.5;
+        assert!(s.validate().unwrap_err().contains("homophily"));
+        let mut s = spec();
+        s.saturated_frac = 0.8;
+        s.adversarial_frac = 0.3;
+        assert!(s.validate().unwrap_err().contains("exceed 1"));
+        let mut s = spec();
+        s.alpha_high = (0.7, 0.3);
+        assert!(s.validate().unwrap_err().contains("alpha_high"));
+        let mut s = spec();
+        s.class_names.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_preserves_mean_degree() {
+        let s = spec();
+        let full_deg = 2.0 * s.edges as f64 / s.nodes as f64;
+        let scaled_deg =
+            2.0 * s.scaled_edges(0.1) as f64 / s.scaled_nodes(0.1) as f64;
+        assert!((full_deg - scaled_deg).abs() / full_deg < 0.05);
+    }
+
+    #[test]
+    fn scaling_never_collapses_below_viability() {
+        let s = spec();
+        assert!(s.scaled_nodes(1e-9) >= 50);
+        assert!(s.scaled_edges(1e-9) >= s.scaled_nodes(1e-9) as u64);
+    }
+}

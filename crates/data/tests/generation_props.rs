@@ -1,0 +1,210 @@
+//! Property and mechanism tests for the dataset generator: the
+//! adversarial population, triadic closure, and link markers.
+
+use mqo_data::{dataset, generate, DatasetId, DatasetSpec};
+use mqo_graph::{NodeId, SplitConfig};
+use mqo_text::{DocumentSpec, WordKind};
+use proptest::prelude::*;
+
+fn base_spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "gen-prop",
+        nodes: 600,
+        edges: 2400,
+        class_names: (0..5).map(|c| format!("Topic {c}")).collect(),
+        homophily: 0.8,
+        saturated_frac: 0.6,
+        adversarial_frac: 0.15,
+        alpha_high: (0.3, 0.7),
+        alpha_low: (0.0, 0.1),
+        doc: DocumentSpec { title_words: 7, body_words: 40, cross_noise: 0.25, zipf_s: 1.05 },
+        degree_tail: 2.5,
+        closure_frac: 0.25,
+        lexicon_per_class: 100,
+        lexicon_shared: 1000,
+        lexicon_markers: 500,
+        link_marker_prob: 0.6,
+        split: SplitConfig::PerClass { per_class: 10, num_queries: 60 },
+    }
+}
+
+/// Count class-word occurrences of each class in a text.
+fn class_counts(lex: &mqo_text::Lexicon, text: &str, k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for w in text.split_whitespace() {
+        if let Some(WordKind::Class(c)) = lex.kind_of_word(w) {
+            counts[c as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn adversarial_nodes_signal_a_wrong_class() {
+    let b = generate(&base_spec(), 1.0, 7);
+    let mut checked = 0;
+    for v in b.tag.node_ids() {
+        if !b.adversarial[v.index()] {
+            continue;
+        }
+        let counts = class_counts(&b.lexicon, &b.tag.text(v).full(), 5);
+        let dominant = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_ne!(
+            dominant,
+            b.tag.label(v).index(),
+            "adversarial node {v} signals its own class"
+        );
+        checked += 1;
+    }
+    // ~15% of 600 nodes.
+    assert!((60..=130).contains(&checked), "adversarial count {checked}");
+}
+
+#[test]
+fn adversarial_alphas_are_marked_negative() {
+    let b = generate(&base_spec(), 1.0, 8);
+    for v in b.tag.node_ids() {
+        if b.adversarial[v.index()] {
+            assert!(b.alphas[v.index()] < 0.0);
+        } else {
+            assert!(b.alphas[v.index()] >= 0.0);
+        }
+    }
+}
+
+/// Global clustering proxy: closed wedges among sampled wedges.
+fn closure_rate(tag: &mqo_graph::Tag, samples: usize, seed: u64) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let g = tag.graph();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wedges = 0usize;
+    let mut closed = 0usize;
+    while wedges < samples {
+        let v = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+        let neigh = g.neighbors(v);
+        if neigh.len() < 2 {
+            continue;
+        }
+        let a = neigh[rng.gen_range(0..neigh.len())];
+        let b = neigh[rng.gen_range(0..neigh.len())];
+        if a == b {
+            continue;
+        }
+        wedges += 1;
+        if g.has_edge(NodeId(a), NodeId(b)) {
+            closed += 1;
+        }
+    }
+    closed as f64 / samples as f64
+}
+
+#[test]
+fn triadic_closure_raises_clustering() {
+    let with = generate(&base_spec(), 1.0, 9);
+    let mut no_closure = base_spec();
+    no_closure.closure_frac = 0.0;
+    let without = generate(&no_closure, 1.0, 9);
+    let c_with = closure_rate(&with.tag, 3000, 1);
+    let c_without = closure_rate(&without.tag, 3000, 1);
+    assert!(
+        c_with > c_without + 0.03,
+        "closure did not raise clustering: {c_with:.3} vs {c_without:.3}"
+    );
+}
+
+#[test]
+fn linked_nodes_share_markers_unlinked_mostly_dont() {
+    let b = generate(&base_spec(), 1.0, 10);
+    let lex = &b.lexicon;
+    let markers = |v: NodeId| -> std::collections::HashSet<u32> {
+        b.tag
+            .text(v)
+            .body
+            .split_whitespace()
+            .filter_map(|w| lex.decode(w))
+            .filter(|&id| matches!(lex.kind_of(id), Some(WordKind::Marker)))
+            .collect()
+    };
+    let mut edge_shared = 0usize;
+    let mut edges = 0usize;
+    for (u, v) in b.tag.graph().edges().take(400) {
+        edges += 1;
+        if !markers(u).is_disjoint(&markers(v)) {
+            edge_shared += 1;
+        }
+    }
+    let edge_rate = edge_shared as f64 / edges as f64;
+    assert!(edge_rate > 0.35, "marker coverage on edges too low: {edge_rate}");
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = b.tag.num_nodes() as u32;
+    let mut nonedge_shared = 0usize;
+    let mut nonedges = 0;
+    while nonedges < 400 {
+        let u = NodeId(rng.gen_range(0..n));
+        let v = NodeId(rng.gen_range(0..n));
+        if u == v || b.tag.graph().has_edge(u, v) {
+            continue;
+        }
+        nonedges += 1;
+        if !markers(u).is_disjoint(&markers(v)) {
+            nonedge_shared += 1;
+        }
+    }
+    let nonedge_rate = nonedge_shared as f64 / nonedges as f64;
+    assert!(
+        nonedge_rate < edge_rate / 3.0,
+        "marker false-positive rate too high: {nonedge_rate} vs {edge_rate}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Generation never panics and always satisfies structural invariants
+    /// across the knob space.
+    #[test]
+    fn generator_is_total(
+        seed in 0u64..500,
+        homophily in 0.4f64..0.95,
+        saturated in 0.2f64..0.85,
+        adversarial in 0.0f64..0.14,
+        closure in 0.0f64..0.5,
+    ) {
+        let mut spec = base_spec();
+        spec.homophily = homophily;
+        spec.saturated_frac = saturated;
+        spec.adversarial_frac = adversarial;
+        spec.closure_frac = closure;
+        let b = generate(&spec, 1.0, seed);
+        prop_assert_eq!(b.tag.num_nodes(), 600);
+        prop_assert!(b.tag.graph().validate().is_ok());
+        prop_assert_eq!(b.alphas.len(), 600);
+        prop_assert_eq!(b.adversarial.len(), 600);
+        // Edge count in a generous band around target.
+        let e = b.tag.num_edges() as f64;
+        prop_assert!((1200.0..=3000.0).contains(&e), "edges {}", e);
+    }
+}
+
+#[test]
+fn registry_datasets_have_connected_cores() {
+    // Not full connectivity (generators are random), but the small
+    // datasets must not be dust: mean degree above 1 and isolated nodes a
+    // small minority.
+    for id in DatasetId::SMALL {
+        let b = dataset(id, Some(0.3), 5);
+        let g = b.tag.graph();
+        let isolated = mqo_graph::stats::isolated_count(g);
+        assert!(
+            (isolated as f64) < 0.35 * g.num_nodes() as f64,
+            "{}: {isolated}/{} isolated",
+            id.name(),
+            g.num_nodes()
+        );
+        assert!(mqo_graph::stats::mean_degree(g) > 1.5, "{} too sparse", id.name());
+    }
+}

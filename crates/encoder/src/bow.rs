@@ -1,0 +1,92 @@
+//! Bag-of-words encoding (term counts or binary occurrence).
+
+use crate::vocab::{words, Vocabulary};
+use crate::TextEncoder;
+
+/// Term-count or binary bag-of-words encoder over a fitted [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct BowEncoder {
+    vocab: Vocabulary,
+    binary: bool,
+}
+
+impl BowEncoder {
+    /// Counting encoder.
+    pub fn new(vocab: Vocabulary) -> Self {
+        BowEncoder { vocab, binary: false }
+    }
+
+    /// Binary (0/1 occurrence) encoder — the classic Planetoid feature
+    /// format the paper's datasets use.
+    pub fn binary(vocab: Vocabulary) -> Self {
+        BowEncoder { vocab, binary: true }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+}
+
+impl TextEncoder for BowEncoder {
+    fn dim(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn encode_into(&self, text: &str, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim());
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for w in words(text) {
+            if let Some(i) = self.vocab.get(&w) {
+                if self.binary {
+                    out[i as usize] = 1.0;
+                } else {
+                    out[i as usize] += 1.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> BowEncoder {
+        BowEncoder::new(Vocabulary::fit(["a b c", "a b", "a"], 1, 10))
+    }
+
+    #[test]
+    fn counts_terms() {
+        let e = enc();
+        let v = e.encode("a a b zzz");
+        let a = e.vocab().get("a").unwrap() as usize;
+        let b = e.vocab().get("b").unwrap() as usize;
+        assert_eq!(v[a], 2.0);
+        assert_eq!(v[b], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 3.0); // zzz out of vocab
+    }
+
+    #[test]
+    fn binary_caps_at_one() {
+        let e = BowEncoder::binary(Vocabulary::fit(["a b"], 1, 10));
+        let v = e.encode("a a a b");
+        assert!(v.iter().all(|&x| x == 0.0 || x == 1.0));
+        assert_eq!(v.iter().sum::<f32>(), 2.0);
+    }
+
+    #[test]
+    fn encode_into_clears_previous_content() {
+        let e = enc();
+        let mut buf = vec![9.0; e.dim()];
+        e.encode_into("", &mut buf);
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn out_of_vocab_text_encodes_to_zero() {
+        let e = enc();
+        let v = e.encode("unknown words only");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

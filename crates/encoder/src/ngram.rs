@@ -1,0 +1,123 @@
+//! Word n-gram features: unigrams plus adjacent-pair bigrams, hashed into
+//! a fixed dimension. Bigrams capture local phrase structure (e.g.
+//! "storage engines" vs the words apart), which sharpens the surrogate on
+//! corpora where single words are ambiguous — an encoder ablation knob the
+//! paper's BoW baseline doesn't have.
+
+use crate::vocab::words;
+use crate::TextEncoder;
+
+#[inline]
+fn fnv1a_str(a: &str, b: Option<&str>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in a.as_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    if let Some(b) = b {
+        h ^= 0x1f; // separator
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        for &byte in b.as_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Signed hashed unigram + bigram encoder with L2 normalization.
+#[derive(Debug, Clone, Copy)]
+pub struct NgramEncoder {
+    dim: usize,
+    /// Relative weight of bigram features vs unigrams.
+    bigram_weight: f32,
+}
+
+impl NgramEncoder {
+    /// Encoder with `dim` output features and equal bigram weight.
+    pub fn new(dim: usize) -> Self {
+        Self::with_bigram_weight(dim, 1.0)
+    }
+
+    /// Encoder with an explicit bigram weight (0 = unigrams only).
+    pub fn with_bigram_weight(dim: usize, bigram_weight: f32) -> Self {
+        assert!(dim > 0, "ngram encoder needs a positive dimension");
+        assert!(bigram_weight >= 0.0, "bigram weight must be non-negative");
+        NgramEncoder { dim, bigram_weight }
+    }
+}
+
+impl TextEncoder for NgramEncoder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode_into(&self, text: &str, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        let tokens: Vec<String> = words(text).collect();
+        for w in &tokens {
+            let h = fnv1a_str(w, None);
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            out[(h % self.dim as u64) as usize] += sign;
+        }
+        if self.bigram_weight > 0.0 {
+            for pair in tokens.windows(2) {
+                let h = fnv1a_str(&pair[0], Some(&pair[1]));
+                let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+                out[(h % self.dim as u64) as usize] += sign * self.bigram_weight;
+            }
+        }
+        let norm_sq: f32 = out.iter().map(|x| x * x).sum();
+        if norm_sq > 0.0 {
+            let inv = norm_sq.sqrt().recip();
+            out.iter_mut().for_each(|x| *x *= inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+
+    #[test]
+    fn word_order_matters_with_bigrams() {
+        let e = NgramEncoder::new(512);
+        let ab = e.encode("storage engines compaction writes");
+        let ba = e.encode("writes compaction engines storage");
+        // Same unigrams, different bigrams → similar but not identical.
+        let sim = cosine(&ab, &ba);
+        assert!(sim > 0.3 && sim < 0.999, "sim {sim}");
+    }
+
+    #[test]
+    fn unigram_only_mode_ignores_order() {
+        let e = NgramEncoder::with_bigram_weight(512, 0.0);
+        let ab = e.encode("alpha beta gamma");
+        let ba = e.encode("gamma beta alpha");
+        assert!((cosine(&ab, &ba) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_and_unit_norm() {
+        let e = NgramEncoder::new(128);
+        let a = e.encode("repeatable text input");
+        assert_eq!(a, e.encode("repeatable text input"));
+        let n: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        let e = NgramEncoder::new(64);
+        assert!(e.encode("").iter().all(|&x| x == 0.0));
+        assert!(e.encode("x").iter().any(|&x| x != 0.0)); // single word, no bigram
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimension")]
+    fn zero_dim_rejected() {
+        NgramEncoder::new(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cosine similarity and top-k ranking (the SNS neighbor-ranking step).
+
+/// Cosine similarity between two equal-length vectors; 0.0 if either is a
+/// zero vector.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Indices of the `k` candidates most similar to `query`, most similar
+/// first. Ties break by ascending candidate index for determinism.
+pub fn top_k_similar(query: &[f32], candidates: &[Vec<f32>], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, f32)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, cosine(query, c)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_similarity_zero() {
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn opposite_vectors_have_similarity_minus_one() {
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_yields_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let q = vec![1.0, 0.0];
+        let cands = vec![
+            vec![0.0, 1.0],  // orthogonal
+            vec![1.0, 0.1],  // very close
+            vec![1.0, 1.0],  // 45 degrees
+        ];
+        assert_eq!(top_k_similar(&q, &cands, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_truncates_and_handles_small_candidate_sets() {
+        let q = vec![1.0];
+        let cands = vec![vec![1.0]];
+        assert_eq!(top_k_similar(&q, &cands, 5), vec![0]);
+        assert!(top_k_similar(&q, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let q = vec![1.0, 0.0];
+        let cands = vec![vec![2.0, 0.0], vec![3.0, 0.0]]; // both cosine 1.0
+        assert_eq!(top_k_similar(&q, &cands, 2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Smoothed TF-IDF encoding with L2 normalization.
+
+use crate::vocab::{words, Vocabulary};
+use crate::TextEncoder;
+
+/// TF-IDF encoder over a fitted [`Vocabulary`]; vectors are L2-normalized
+/// so dot products are cosine similarities (the SimCSE-replacement property
+/// SNS relies on).
+#[derive(Debug, Clone)]
+pub struct TfIdfEncoder {
+    vocab: Vocabulary,
+    /// Precomputed per-feature idf.
+    idf: Vec<f32>,
+}
+
+impl TfIdfEncoder {
+    /// Build from a fitted vocabulary.
+    pub fn new(vocab: Vocabulary) -> Self {
+        let idf = (0..vocab.len() as u32).map(|i| vocab.idf(i)).collect();
+        TfIdfEncoder { vocab, idf }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+}
+
+impl TextEncoder for TfIdfEncoder {
+    fn dim(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn encode_into(&self, text: &str, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim());
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for w in words(text) {
+            if let Some(i) = self.vocab.get(&w) {
+                out[i as usize] += 1.0;
+            }
+        }
+        let mut norm_sq = 0.0f32;
+        for (x, &idf) in out.iter_mut().zip(&self.idf) {
+            *x *= idf;
+            norm_sq += *x * *x;
+        }
+        if norm_sq > 0.0 {
+            let inv = norm_sq.sqrt().recip();
+            out.iter_mut().for_each(|x| *x *= inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> TfIdfEncoder {
+        TfIdfEncoder::new(Vocabulary::fit(
+            ["common rare1 x", "common rare2 y", "common z"],
+            1,
+            100,
+        ))
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let e = enc();
+        let v = e.encode("common rare1");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = enc();
+        let v = e.encode("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rare_words_outweigh_common_ones() {
+        let e = enc();
+        let v = e.encode("common rare1");
+        let c = e.vocab().get("common").unwrap() as usize;
+        let r = e.vocab().get("rare1").unwrap() as usize;
+        assert!(v[r] > v[c]);
+    }
+
+    #[test]
+    fn topical_similarity_orders_correctly() {
+        // Docs sharing rare words should be more similar than docs sharing
+        // only the common word.
+        let e = enc();
+        let a = e.encode("rare1 common x");
+        let b = e.encode("rare1 common x");
+        let c = e.encode("rare2 common y");
+        let sim_ab = crate::similarity::cosine(&a, &b);
+        let sim_ac = crate::similarity::cosine(&a, &c);
+        assert!(sim_ab > sim_ac);
+    }
+}

@@ -1,0 +1,151 @@
+//! Corpus-fitted vocabulary with document-frequency pruning.
+
+use std::collections::HashMap;
+
+/// Word → dense feature index, with document frequencies retained for
+//  TF-IDF weighting.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    index: HashMap<String, u32>,
+    /// Document frequency of each kept word, parallel to indices.
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+/// Lowercase alphanumeric word iterator shared by all encoders.
+pub(crate) fn words(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_ascii_lowercase())
+}
+
+impl Vocabulary {
+    /// Fit a vocabulary over `corpus`, keeping words that appear in at
+    /// least `min_df` documents, capped at the `max_features` most frequent
+    /// (ties broken lexicographically for determinism).
+    pub fn fit<'a, I>(corpus: I, min_df: u32, max_features: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut num_docs = 0u32;
+        let mut seen: Vec<String> = Vec::new();
+        for doc in corpus {
+            num_docs += 1;
+            seen.clear();
+            for w in words(doc) {
+                if !seen.contains(&w) {
+                    seen.push(w);
+                }
+            }
+            for w in &seen {
+                *df.entry(w.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(String, u32)> =
+            df.into_iter().filter(|&(_, c)| c >= min_df).collect();
+        // Most frequent first; lexicographic tiebreak for determinism.
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        kept.truncate(max_features);
+        let mut index = HashMap::with_capacity(kept.len());
+        let mut doc_freq = Vec::with_capacity(kept.len());
+        for (i, (w, c)) in kept.into_iter().enumerate() {
+            index.insert(w, i as u32);
+            doc_freq.push(c);
+        }
+        Vocabulary { index, doc_freq, num_docs }
+    }
+
+    /// Number of kept words (= feature dimension).
+    pub fn len(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_freq.is_empty()
+    }
+
+    /// Feature index of `word` (must be lowercased by the caller or come
+    /// from the shared word iterator).
+    pub fn get(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Document frequency of feature `i`.
+    pub fn doc_freq(&self, i: u32) -> u32 {
+        self.doc_freq[i as usize]
+    }
+
+    /// Number of documents the vocabulary was fitted on.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency of feature `i`:
+    /// `ln((1 + n) / (1 + df)) + 1` (sklearn's smooth-idf).
+    pub fn idf(&self, i: u32) -> f32 {
+        let n = self.num_docs as f32;
+        let df = self.doc_freq[i as usize] as f32;
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_counts_document_frequency_not_term_frequency() {
+        let v = Vocabulary::fit(["a a a b", "a c", "c c"], 1, 100);
+        assert_eq!(v.len(), 3);
+        let a = v.get("a").unwrap();
+        assert_eq!(v.doc_freq(a), 2); // appears in 2 docs despite 4 tokens
+    }
+
+    #[test]
+    fn min_df_prunes_rare_words() {
+        let v = Vocabulary::fit(["a b", "a c", "a d"], 2, 100);
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").is_none());
+    }
+
+    #[test]
+    fn max_features_keeps_most_frequent() {
+        let v = Vocabulary::fit(["a b c", "a b", "a"], 1, 2);
+        assert_eq!(v.len(), 2);
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").is_some());
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn lowercases() {
+        let v = Vocabulary::fit(["Alpha BETA"], 1, 10);
+        assert!(v.get("alpha").is_some());
+        assert!(v.get("beta").is_some());
+        assert!(v.get("Alpha").is_none());
+    }
+
+    #[test]
+    fn idf_decreases_with_frequency() {
+        let v = Vocabulary::fit(["a b", "a", "a c"], 1, 10);
+        let a = v.get("a").unwrap();
+        let b = v.get("b").unwrap();
+        assert!(v.idf(a) < v.idf(b));
+    }
+
+    #[test]
+    fn deterministic_index_assignment() {
+        let docs = ["x y z", "y z", "z"];
+        let v1 = Vocabulary::fit(docs, 1, 10);
+        let v2 = Vocabulary::fit(docs, 1, 10);
+        for w in ["x", "y", "z"] {
+            assert_eq!(v1.get(w), v2.get(w));
+        }
+        // Frequency order: z (3) before y (2) before x (1).
+        assert_eq!(v1.get("z"), Some(0));
+        assert_eq!(v1.get("y"), Some(1));
+        assert_eq!(v1.get("x"), Some(2));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mqo-gnn — graph neural network baselines
+//!
+//! The paper's introduction motivates "LLMs as predictors" against the
+//! conventional GNN workflow (Fig. 1): encode text attributes into
+//! features, then train a GNN semi-supervised. This crate supplies that
+//! comparator from scratch — a two-layer **GCN** (symmetric-normalized
+//! propagation with self-loops, Kipf & Welling) and **GraphSAGE-mean**
+//! (separate self and mean-aggregated neighbor transforms, Hamilton et
+//! al.) — full-batch, hand-derived backprop, Adam.
+//!
+//! Used by the `gnn_vs_llm` example and the paradigm-comparison ablation
+//! bench; the MQO strategies themselves never need a GNN.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labelprop;
+pub mod matrix;
+pub mod model;
+pub mod propagation;
+
+pub use labelprop::{label_propagation, LabelPropConfig};
+pub use model::{GnnConfig, GnnKind, GnnModel};
+pub use propagation::Propagation;

@@ -1,0 +1,147 @@
+//! Minimal dense row-major matrix for full-batch GNN training.
+
+/// Dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` entries.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (`rows×cols` · `cols×n` → `rows×n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let out_row = out.row_mut(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`cols×rows` · `rows×n` → `cols×n`).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`rows×cols` · `n×cols` → `rows×n`).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let out_row = out.row_mut(r);
+            for (n, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(n);
+                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Apply ReLU in place.
+    pub fn relu_in_place(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = x.max(0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] }
+    }
+
+    #[test]
+    fn matmul_small() {
+        let b = Matrix { rows: 3, cols: 2, data: vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0] };
+        let c = a().matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        let b = Matrix { rows: 2, cols: 2, data: vec![1.0, 0.0, 0.0, 2.0] };
+        let c = a().t_matmul(&b); // aᵀ (3×2) · b (2×2) = 3×2
+        assert_eq!(c.rows, 3);
+        assert_eq!(c.cols, 2);
+        assert_eq!(c.data, vec![1.0, 8.0, 2.0, 10.0, 3.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_t_matches_manual() {
+        let b = Matrix { rows: 2, cols: 3, data: vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0] };
+        let c = a().matmul_t(&b); // 2×3 · 3×2
+        assert_eq!(c.data, vec![6.0, 2.0, 15.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix { rows: 1, cols: 3, data: vec![-1.0, 0.0, 2.0] };
+        m.relu_in_place();
+        assert_eq!(m.data, vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_checks_dims() {
+        a().matmul(&a());
+    }
+}

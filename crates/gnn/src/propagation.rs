@@ -1,0 +1,164 @@
+//! Sparse propagation operators: the `P · X` step of message passing.
+
+use crate::matrix::Matrix;
+use mqo_graph::{Csr, NodeId};
+
+/// A sparse propagation operator stored as per-node neighbor weights.
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    /// Per node: `(neighbor, weight)` pairs (self-loop included for GCN).
+    rows: Vec<Vec<(u32, f32)>>,
+}
+
+impl Propagation {
+    /// GCN operator: `D̂^{-1/2} (A + I) D̂^{-1/2}` (symmetric normalization
+    /// with self-loops).
+    pub fn gcn(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let deg_hat: Vec<f32> =
+            (0..n).map(|v| g.degree(NodeId(v as u32)) as f32 + 1.0).collect();
+        let rows = (0..n)
+            .map(|v| {
+                let dv = deg_hat[v].sqrt();
+                let mut row: Vec<(u32, f32)> = g
+                    .neighbors(NodeId(v as u32))
+                    .iter()
+                    .map(|&u| (u, 1.0 / (dv * deg_hat[u as usize].sqrt())))
+                    .collect();
+                row.push((v as u32, 1.0 / (dv * dv)));
+                row
+            })
+            .collect();
+        Propagation { rows }
+    }
+
+    /// GraphSAGE mean aggregator: `D^{-1} A` (no self-loop; the self term
+    /// gets its own weight matrix in the model).
+    pub fn mean(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let rows = (0..n)
+            .map(|v| {
+                let neigh = g.neighbors(NodeId(v as u32));
+                if neigh.is_empty() {
+                    Vec::new()
+                } else {
+                    let w = 1.0 / neigh.len() as f32;
+                    neigh.iter().map(|&u| (u, w)).collect()
+                }
+            })
+            .collect();
+        Propagation { rows }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `P · X`: propagate features.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows, self.rows.len(), "propagation row mismatch");
+        let mut out = Matrix::zeros(x.rows, x.cols);
+        for (v, row) in self.rows.iter().enumerate() {
+            let out_row = out.row_mut(v);
+            for &(u, w) in row {
+                for (o, &xi) in out_row.iter_mut().zip(x.row(u as usize)) {
+                    *o += w * xi;
+                }
+            }
+        }
+        out
+    }
+
+    /// `Pᵀ · X`: the adjoint, needed by backprop. GCN's operator is
+    /// symmetric; the mean aggregator is not.
+    pub fn apply_transpose(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows, self.rows.len(), "propagation row mismatch");
+        let mut out = Matrix::zeros(x.rows, x.cols);
+        for (v, row) in self.rows.iter().enumerate() {
+            let x_row = x.row(v);
+            for &(u, w) in row {
+                let out_row = out.row_mut(u as usize);
+                for (o, &xi) in out_row.iter_mut().zip(x_row) {
+                    *o += w * xi;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_graph::GraphBuilder;
+
+    fn path2() -> Csr {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn gcn_rows_sum_to_one_on_regular_graphs() {
+        // Path of 2: both nodes degree 1, d̂ = 2; weights 1/2 each.
+        let p = Propagation::gcn(&path2());
+        let x = Matrix { rows: 2, cols: 1, data: vec![1.0, 1.0] };
+        let y = p.apply(&x);
+        assert!((y.data[0] - 1.0).abs() < 1e-6);
+        assert!((y.data[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_aggregator_averages_neighbors() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let p = Propagation::mean(&b.build());
+        let x = Matrix { rows: 3, cols: 1, data: vec![9.0, 2.0, 4.0] };
+        let y = p.apply(&x);
+        assert!((y.data[0] - 3.0).abs() < 1e-6); // mean(2, 4)
+        assert!((y.data[1] - 9.0).abs() < 1e-6);
+        assert!((y.data[2] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_nodes_propagate_nothing_under_mean() {
+        let p = Propagation::mean(&GraphBuilder::new(2).build());
+        let x = Matrix { rows: 2, cols: 1, data: vec![5.0, 7.0] };
+        let y = p.apply(&x);
+        assert_eq!(y.data, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn gcn_transpose_equals_forward_by_symmetry() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let p = Propagation::gcn(&b.build());
+        let x = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let fwd = p.apply(&x);
+        let adj = p.apply_transpose(&x);
+        // Summation order differs; compare approximately.
+        for (a, b) in fwd.data.iter().zip(&adj.data) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_transpose_is_the_adjoint() {
+        // <Px, y> == <x, Pᵀy> for arbitrary x, y.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let p = Propagation::mean(&b.build());
+        let x = Matrix { rows: 3, cols: 1, data: vec![1.0, 2.0, 3.0] };
+        let y = Matrix { rows: 3, cols: 1, data: vec![4.0, 5.0, 6.0] };
+        let px = p.apply(&x);
+        let pty = p.apply_transpose(&y);
+        let lhs: f32 = px.data.iter().zip(&y.data).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data.iter().zip(&pty.data).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

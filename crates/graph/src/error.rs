@@ -1,0 +1,59 @@
+//! Error type for graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An edge referenced a node id outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes in the graph.
+        num_nodes: u32,
+    },
+    /// A label referenced a class id outside `0..num_classes`.
+    ClassOutOfRange {
+        /// The offending class id.
+        class: u16,
+        /// The number of classes.
+        num_classes: u16,
+    },
+    /// Mismatched lengths between parallel per-node arrays.
+    LengthMismatch {
+        /// What the arrays describe, e.g. `"labels"`.
+        what: &'static str,
+        /// Expected length (number of nodes).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A split was requested that cannot be satisfied, e.g. more labeled
+    /// nodes per class than the class contains.
+    InfeasibleSplit {
+        /// Human-readable description of the infeasibility.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+            }
+            Error::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class id {class} out of range (graph has {num_classes} classes)")
+            }
+            Error::LengthMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected {expected} entries, got {actual}")
+            }
+            Error::InfeasibleSplit { detail } => write!(f, "infeasible split: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

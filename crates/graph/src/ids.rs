@@ -1,0 +1,103 @@
+//! Strongly-typed identifiers for nodes and classes.
+//!
+//! Raw `u32`/`u16` indices are easy to transpose in a code base that juggles
+//! node ids, class ids, round numbers, and vocabulary ids; the newtypes here
+//! make such transpositions type errors while compiling down to the raw
+//! integer (they are `repr(transparent)` and `Copy`).
+
+use std::fmt;
+
+/// Identifier of a node in a graph: a dense index in `0..num_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// Identifier of a class (label category): a dense index in `0..num_classes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u16> for ClassId {
+    fn from(v: u16) -> Self {
+        ClassId(v)
+    }
+}
+
+impl From<usize> for ClassId {
+    fn from(v: usize) -> Self {
+        ClassId(v as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(42u32);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "v42");
+        assert_eq!(NodeId::from(42usize), n);
+    }
+
+    #[test]
+    fn class_id_roundtrip() {
+        let c = ClassId::from(3u16);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "c3");
+        assert_eq!(ClassId::from(3usize), c);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ClassId(0) < ClassId(5));
+    }
+}

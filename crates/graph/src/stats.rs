@@ -1,0 +1,161 @@
+//! Graph statistics used for dataset calibration and reporting (Table II)
+//! and for sanity-checking the synthetic generators against the paper's
+//! datasets (edge homophily in particular drives the query-boosting
+//! results).
+
+use crate::csr::Csr;
+use crate::ids::{ClassId, NodeId};
+use crate::tag::Tag;
+
+/// Fraction of edges whose endpoints share a label (edge homophily ratio).
+/// Returns 1.0 for an edgeless graph by convention (vacuously homophilous).
+pub fn edge_homophily(g: &Csr, labels: &[ClassId]) -> f64 {
+    let mut same = 0u64;
+    let mut total = 0u64;
+    for (u, v) in g.edges() {
+        total += 1;
+        if labels[u.index()] == labels[v.index()] {
+            same += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Mean degree (adjacency entries per node).
+pub fn mean_degree(g: &Csr) -> f64 {
+    if g.num_nodes() == 0 {
+        0.0
+    } else {
+        g.adjacency_len() as f64 / g.num_nodes() as f64
+    }
+}
+
+/// Maximum degree over all nodes.
+pub fn max_degree(g: &Csr) -> usize {
+    (0..g.num_nodes()).map(|v| g.degree(NodeId(v as u32))).max().unwrap_or(0)
+}
+
+/// Number of nodes with degree zero.
+pub fn isolated_count(g: &Csr) -> usize {
+    (0..g.num_nodes()).filter(|&v| g.degree(NodeId(v as u32)) == 0).count()
+}
+
+/// Per-class node counts.
+pub fn class_counts(tag: &Tag) -> Vec<usize> {
+    let mut counts = vec![0usize; tag.num_classes()];
+    for &l in tag.labels() {
+        counts[l.index()] += 1;
+    }
+    counts
+}
+
+/// Summary row for the Table II reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: u64,
+    /// Class count.
+    pub classes: usize,
+    /// Edge homophily ratio.
+    pub homophily: f64,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Mean whitespace-token length of `title + body`.
+    pub mean_text_words: f64,
+}
+
+/// Compute a [`TagSummary`] for reporting.
+pub fn summarize(tag: &Tag) -> TagSummary {
+    let total_words: usize = tag
+        .node_ids()
+        .map(|v| {
+            let t = tag.text(v);
+            t.title.split_whitespace().count() + t.body.split_whitespace().count()
+        })
+        .sum();
+    TagSummary {
+        name: tag.name().to_string(),
+        nodes: tag.num_nodes(),
+        edges: tag.num_edges(),
+        classes: tag.num_classes(),
+        homophily: edge_homophily(tag.graph(), tag.labels()),
+        mean_degree: mean_degree(tag.graph()),
+        mean_text_words: if tag.num_nodes() == 0 {
+            0.0
+        } else {
+            total_words as f64 / tag.num_nodes() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeText, Tag};
+
+    fn fixture() -> Tag {
+        // Triangle 0-1-2 plus pendant 3. Labels: 0,0,1,1.
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        Tag::new(
+            "fix",
+            b.build(),
+            vec![
+                NodeText::new("a b", "c"),
+                NodeText::new("d", ""),
+                NodeText::new("e f g", "h i"),
+                NodeText::new("", ""),
+            ],
+            vec![ClassId(0), ClassId(0), ClassId(1), ClassId(1)],
+            vec!["x".into(), "y".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn homophily_counts_same_label_edges() {
+        let t = fixture();
+        // Edges: (0,1) same, (1,2) diff, (0,2) diff, (2,3) same => 2/4.
+        assert!((edge_homophily(t.graph(), t.labels()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homophily_of_edgeless_graph_is_one() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(edge_homophily(&g, &[ClassId(0), ClassId(1), ClassId(0)]), 1.0);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let t = fixture();
+        assert_eq!(max_degree(t.graph()), 3);
+        assert_eq!(isolated_count(t.graph()), 0);
+        assert!((mean_degree(t.graph()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_count_totals() {
+        let t = fixture();
+        assert_eq!(class_counts(&t), vec![2, 2]);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = summarize(&fixture());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.classes, 2);
+        // Words: 3 + 1 + 5 + 0 = 9 over 4 nodes.
+        assert!((s.mean_text_words - 2.25).abs() < 1e-12);
+    }
+}

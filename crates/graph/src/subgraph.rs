@@ -1,0 +1,98 @@
+//! Induced-subgraph extraction (ego-nets for the graph-level extension).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use crate::traversal::{khop_nodes, KhopBuffer};
+
+/// The induced subgraph on `nodes`: a fresh [`Csr`] over dense local ids
+/// plus the mapping back to the original node ids (`local -> global`).
+///
+/// Duplicate input nodes are collapsed; local ids follow first occurrence.
+pub fn induced_subgraph(g: &Csr, nodes: &[NodeId]) -> (Csr, Vec<NodeId>) {
+    let mut local_of = std::collections::HashMap::with_capacity(nodes.len());
+    let mut globals = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        if let std::collections::hash_map::Entry::Vacant(e) = local_of.entry(v) {
+            e.insert(globals.len() as u32);
+            globals.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(globals.len());
+    for (lu, &gu) in globals.iter().enumerate() {
+        for &gv in g.neighbors(gu) {
+            if let Some(&lv) = local_of.get(&NodeId(gv)) {
+                if (lu as u32) <= lv {
+                    b.add_edge(lu as u32, lv).expect("local ids in range");
+                }
+            }
+        }
+    }
+    (b.build(), globals)
+}
+
+/// The ego-net of `center`: the induced subgraph on `center` plus every
+/// node within `radius` hops. The center is local node 0.
+pub fn ego_net(g: &Csr, center: NodeId, radius: u8) -> (Csr, Vec<NodeId>) {
+    let mut buf = KhopBuffer::new(g.num_nodes());
+    let mut hops = Vec::new();
+    khop_nodes(g, center, radius, &mut buf, &mut hops);
+    let mut nodes = Vec::with_capacity(hops.len() + 1);
+    nodes.push(center);
+    nodes.extend(hops.iter().map(|h| h.node));
+    induced_subgraph(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3 plus triangle 1-4, 2-4.
+    fn fixture() -> Csr {
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (1, 4), (2, 4)] {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = fixture();
+        let (sub, map) = induced_subgraph(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3); // the triangle
+        assert_eq!(map, vec![NodeId(1), NodeId(2), NodeId(4)]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_handles_duplicates_and_isolates() {
+        let g = fixture();
+        let (sub, map) = induced_subgraph(&g, &[NodeId(0), NodeId(0), NodeId(3)]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 0); // 0 and 3 are not adjacent
+        assert_eq!(map, vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn ego_net_radius_one() {
+        let g = fixture();
+        let (sub, map) = ego_net(&g, NodeId(1), 1);
+        // Ego 1 with neighbors 0, 2, 4.
+        assert_eq!(map[0], NodeId(1));
+        assert_eq!(sub.num_nodes(), 4);
+        let names: Vec<u32> = map.iter().map(|n| n.0).collect();
+        assert!(names.contains(&0) && names.contains(&2) && names.contains(&4));
+        // Edges inside: (1,0), (1,2), (1,4), (2,4).
+        assert_eq!(sub.num_edges(), 4);
+    }
+
+    #[test]
+    fn ego_net_of_isolated_node_is_singleton() {
+        let g = GraphBuilder::new(3).build();
+        let (sub, map) = ego_net(&g, NodeId(2), 2);
+        assert_eq!(sub.num_nodes(), 1);
+        assert_eq!(map, vec![NodeId(2)]);
+    }
+}

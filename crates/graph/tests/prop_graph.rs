@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate invariants.
+
+use mqo_graph::traversal::{khop_nodes, KhopBuffer};
+use mqo_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over `n` nodes.
+fn edges_strategy(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let edge = (0..n, 0..n);
+        (Just(n), prop::collection::vec(edge, 0..200))
+    })
+}
+
+proptest! {
+    /// Building from any edge list yields a structurally valid CSR.
+    #[test]
+    fn build_always_valid((n, edges) in edges_strategy(64)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in &edges {
+            b.add_edge(*u, *v).unwrap();
+        }
+        let g = b.build();
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_nodes(), n as usize);
+    }
+
+    /// has_edge agrees with membership in the original (deduplicated) list.
+    #[test]
+    fn has_edge_agrees_with_input((n, edges) in edges_strategy(32)) {
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in &edges {
+            b.add_edge(*u, *v).unwrap();
+        }
+        let g = b.build();
+        use std::collections::HashSet;
+        let set: HashSet<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        for u in 0..n {
+            for v in 0..n {
+                let expect = set.contains(&if u <= v { (u, v) } else { (v, u) });
+                prop_assert_eq!(g.has_edge(NodeId(u), NodeId(v)), expect);
+            }
+        }
+        prop_assert_eq!(g.num_edges() as usize, set.len());
+    }
+
+    /// k-hop BFS never returns the source, never returns duplicates, and
+    /// hop distances are consistent with edge relaxation (each returned
+    /// node at hop d > 1 has some neighbor at hop d - 1).
+    #[test]
+    fn khop_invariants((n, edges) in edges_strategy(32), src in 0u32..32, k in 0u8..4) {
+        let src = src % n;
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in &edges {
+            b.add_edge(*u, *v).unwrap();
+        }
+        let g = b.build();
+        let mut buf = KhopBuffer::new(g.num_nodes());
+        let mut out = Vec::new();
+        khop_nodes(&g, NodeId(src), k, &mut buf, &mut out);
+
+        use std::collections::HashMap;
+        let mut dist: HashMap<u32, u8> = HashMap::new();
+        dist.insert(src, 0);
+        for h in &out {
+            prop_assert_ne!(h.node.0, src);
+            prop_assert!(h.hop >= 1 && h.hop <= k);
+            prop_assert!(dist.insert(h.node.0, h.hop).is_none(), "duplicate in k-hop output");
+        }
+        for h in &out {
+            let ok = g
+                .neighbors(h.node)
+                .iter()
+                .any(|&u| dist.get(&u).is_some_and(|&d| d + 1 == h.hop));
+            prop_assert!(ok, "hop distance not supported by a predecessor");
+        }
+    }
+
+    /// BFS with a larger k is a superset of BFS with a smaller k.
+    #[test]
+    fn khop_monotone_in_k((n, edges) in edges_strategy(24), src in 0u32..24) {
+        let src = src % n;
+        let mut b = GraphBuilder::new(n as usize);
+        for (u, v) in &edges {
+            b.add_edge(*u, *v).unwrap();
+        }
+        let g = b.build();
+        let mut buf = KhopBuffer::new(g.num_nodes());
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        khop_nodes(&g, NodeId(src), 1, &mut buf, &mut o1);
+        khop_nodes(&g, NodeId(src), 3, &mut buf, &mut o2);
+        let bigger: std::collections::HashSet<u32> = o2.iter().map(|h| h.node.0).collect();
+        for h in &o1 {
+            prop_assert!(bigger.contains(&h.node.0));
+        }
+    }
+}

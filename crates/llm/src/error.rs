@@ -1,0 +1,37 @@
+//! Error type for LLM clients.
+
+use std::fmt;
+
+/// Errors surfaced by LLM clients and response parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The completion did not contain a parseable answer.
+    MalformedResponse {
+        /// The completion text that failed to parse (truncated).
+        response: String,
+    },
+    /// A scripted client ran out of queued responses.
+    ScriptExhausted,
+    /// The prompt was missing a structural element the model requires.
+    MalformedPrompt {
+        /// What was missing.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MalformedResponse { response } => {
+                write!(f, "could not parse LLM response: {response:.80?}")
+            }
+            Error::ScriptExhausted => write!(f, "scripted LLM has no more queued responses"),
+            Error::MalformedPrompt { detail } => write!(f, "malformed prompt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

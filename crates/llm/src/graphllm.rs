@@ -1,0 +1,233 @@
+//! Simulated LLM for *graph-level* classification prompts — the paper's
+//! future-work setting (§VII). A prompt carries the texts of (a subset of)
+//! a small graph's nodes; the model aggregates topic evidence across the
+//! included texts and maps it to a graph class through an affinity it
+//! knows from pretraining (imperfectly, as usual).
+
+use crate::error::Result;
+use crate::model::{Completion, LanguageModel};
+use crate::profile::{hash01, ModelProfile};
+use crate::prompt::TASK_HEADER;
+use crate::simllm_fnv;
+use mqo_text::{Lexicon, WordKind};
+use mqo_token::{Tokenizer, Usage, UsageMeter};
+use std::sync::Arc;
+
+/// Everything needed to render a graph-classification prompt.
+#[derive(Debug, Clone)]
+pub struct GraphPromptSpec<'a> {
+    /// Included node texts, `(title, body)` pairs.
+    pub nodes: &'a [(String, String)],
+    /// Graph-class names.
+    pub classes: &'a [String],
+}
+
+impl GraphPromptSpec<'_> {
+    /// Render the prompt.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "The following are papers sampled from one research community graph:\n",
+        );
+        for (i, (title, body)) in self.nodes.iter().enumerate() {
+            s.push_str(&format!("Paper{i}: Title: {title}\nAbstract: {body}\n"));
+        }
+        s.push('\n');
+        s.push_str(TASK_HEADER);
+        s.push_str("\nCommunities:\n[");
+        s.push_str(&self.classes.join(", "));
+        s.push_str("]\nWhich community does this graph belong to?\nPlease output the most likely community as a Python list: Community: ['XX'].");
+        s
+    }
+}
+
+/// Simulated graph classifier.
+pub struct SimGraphLlm {
+    lexicon: Arc<Lexicon>,
+    class_names: Vec<String>,
+    /// Node topics owned by each graph class (the affinity).
+    topics_per_class: usize,
+    profile: ModelProfile,
+    meter: UsageMeter,
+}
+
+impl SimGraphLlm {
+    /// Build over the collection's lexicon and affinity layout (graph
+    /// class `g` owns topics `g·topics_per_class ..` consecutively, as the
+    /// generator lays them out).
+    pub fn new(
+        lexicon: Arc<Lexicon>,
+        class_names: Vec<String>,
+        topics_per_class: usize,
+        profile: ModelProfile,
+    ) -> Self {
+        assert_eq!(
+            class_names.len() * topics_per_class,
+            lexicon.num_classes() as usize,
+            "affinity layout must cover the topic universe"
+        );
+        SimGraphLlm { lexicon, class_names, topics_per_class, profile, meter: UsageMeter::new() }
+    }
+
+    fn decide(&self, prompt: &str) -> usize {
+        let body = prompt.split(TASK_HEADER).next().unwrap_or(prompt);
+        let num_topics = self.lexicon.num_classes() as usize;
+        let mut topic_counts = vec![0.0f64; num_topics];
+        for w in Tokenizer.words(body) {
+            let lower = w.to_ascii_lowercase();
+            if let Some(WordKind::Class(t)) = self.lexicon.kind_of_word(&lower) {
+                let id = self.lexicon.decode(&lower).unwrap_or(0);
+                // Per-topic knowledge mask, as in the node-level simulator.
+                let kappa = (self.profile.knowledge
+                    * (0.7 + 0.6 * hash01(self.profile.seed, t as u64)))
+                .min(0.95);
+                if hash01(self.profile.seed ^ 0x5eed, id as u64) < kappa {
+                    topic_counts[t as usize] += 1.0;
+                }
+            }
+        }
+        let noise_seed = self.profile.seed ^ simllm_fnv(prompt.as_bytes());
+        let k = self.class_names.len();
+        let temp = self.profile.temperature / (1.0 + (k as f64 / 8.0).ln().max(0.0));
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for g in 0..k {
+            let evidence: f64 = (0..self.topics_per_class)
+                .map(|i| (1.0 + topic_counts[g * self.topics_per_class + i]).ln())
+                .sum();
+            let u = hash01(noise_seed, g as u64).clamp(1e-12, 1.0 - 1e-12);
+            let gumbel = -(-(u.ln())).ln();
+            let prior = -self.profile.bias_strength * hash01(self.profile.seed ^ 0xb1a5, g as u64);
+            let score = self.profile.target_weight * evidence + prior + temp * gumbel;
+            if score > best_score {
+                best_score = score;
+                best = g;
+            }
+        }
+        best
+    }
+}
+
+impl LanguageModel for SimGraphLlm {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion> {
+        let g = self.decide(prompt);
+        let text = format!("Community: ['{}'].", self.class_names[g]);
+        let usage = Usage {
+            prompt_tokens: Tokenizer.count(prompt) as u64,
+            completion_tokens: Tokenizer.count(&text) as u64,
+        };
+        self.meter.record(usage);
+        Ok(Completion { text, usage })
+    }
+
+    fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_category;
+    use mqo_graph::ClassId;
+    use mqo_text::{DocumentSpec, TextSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<Lexicon>, Vec<String>, SimGraphLlm) {
+        // 3 graph classes × 2 topics = 6 node topics.
+        let lex = Arc::new(Lexicon::new(5, 6, 120, 1500));
+        let classes: Vec<String> = ["Bio", "Sys", "Opt"].map(String::from).to_vec();
+        let llm = SimGraphLlm::new(lex.clone(), classes.clone(), 2, ModelProfile::gpt35());
+        (lex, classes, llm)
+    }
+
+    fn graph_prompt(
+        lex: &Lexicon,
+        classes: &[String],
+        graph_class: usize,
+        n_relevant: usize,
+        n_irrelevant: usize,
+        seed: u64,
+    ) -> String {
+        let sampler = TextSampler::new(lex, DocumentSpec {
+            title_words: 6,
+            body_words: 20,
+            cross_noise: 0.1,
+            zipf_s: 1.05,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::new();
+        for i in 0..n_relevant {
+            let topic = (graph_class * 2 + i % 2) as u16;
+            nodes.push((
+                sampler.sample_title(ClassId(topic), 0.6, &mut rng),
+                sampler.sample_body(ClassId(topic), 0.6, &mut rng),
+            ));
+        }
+        for i in 0..n_irrelevant {
+            let topic = (((graph_class + 1) % 3) * 2 + i % 2) as u16;
+            nodes.push((
+                sampler.sample_title(ClassId(topic), 0.6, &mut rng),
+                sampler.sample_body(ClassId(topic), 0.6, &mut rng),
+            ));
+        }
+        GraphPromptSpec { nodes: &nodes, classes }.render()
+    }
+
+    #[test]
+    fn relevant_nodes_classify_the_graph() {
+        let (lex, classes, llm) = setup();
+        let mut correct = 0;
+        for seed in 0..30 {
+            let g = (seed % 3) as usize;
+            let p = graph_prompt(&lex, &classes, g, 6, 0, seed);
+            if parse_category(&llm.complete(&p).unwrap().text, &classes) == Some(g) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 26, "only {correct}/30 clean graphs classified");
+    }
+
+    #[test]
+    fn irrelevant_nodes_dilute_the_signal() {
+        let (lex, classes, llm) = setup();
+        let (mut clean, mut diluted) = (0, 0);
+        for seed in 0..40 {
+            let g = (seed % 3) as usize;
+            let p0 = graph_prompt(&lex, &classes, g, 3, 0, seed + 100);
+            let p1 = graph_prompt(&lex, &classes, g, 3, 9, seed + 100);
+            if parse_category(&llm.complete(&p0).unwrap().text, &classes) == Some(g) {
+                clean += 1;
+            }
+            if parse_category(&llm.complete(&p1).unwrap().text, &classes) == Some(g) {
+                diluted += 1;
+            }
+        }
+        assert!(
+            diluted < clean,
+            "irrelevant subgraph tokens should hurt: clean {clean} vs diluted {diluted}"
+        );
+    }
+
+    #[test]
+    fn prompts_are_metered_and_deterministic() {
+        let (lex, classes, llm) = setup();
+        let p = graph_prompt(&lex, &classes, 1, 4, 2, 7);
+        let a = llm.complete(&p).unwrap();
+        let b = llm.complete(&p).unwrap();
+        assert_eq!(a.text, b.text);
+        assert!(a.usage.prompt_tokens > 100);
+        assert_eq!(llm.meter().totals().requests, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity layout")]
+    fn rejects_mismatched_layout() {
+        let lex = Arc::new(Lexicon::new(5, 6, 50, 100));
+        SimGraphLlm::new(lex, vec!["A".into()], 2, ModelProfile::gpt35());
+    }
+}

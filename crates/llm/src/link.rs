@@ -1,0 +1,281 @@
+//! Simulated LLM for link-prediction prompts (§VI-J).
+//!
+//! The decision reads the prompt only: it builds per-class recognized-word
+//! profiles for Paper A and Paper B, measures their topical similarity
+//! (homophily: real citation edges mostly connect same-topic papers, so
+//! similarity is genuine evidence), counts common entries between the two
+//! neighbor-link lists (triadic closure evidence — the cue query boosting
+//! enriches), and thresholds the combination under Gumbel noise.
+
+use crate::error::Result;
+use crate::model::{Completion, LanguageModel};
+use crate::profile::{hash01, ModelProfile};
+use crate::prompt::TASK_HEADER;
+use mqo_text::{Lexicon, WordKind};
+use mqo_token::{Tokenizer, Usage, UsageMeter};
+use std::sync::Arc;
+
+/// Simulated yes/no edge-existence model.
+pub struct SimLinkLlm {
+    lexicon: Arc<Lexicon>,
+    profile: ModelProfile,
+    /// Yes/no decision threshold on the combined evidence score.
+    threshold: f64,
+    meter: UsageMeter,
+}
+
+impl SimLinkLlm {
+    /// Build a link model over the dataset's lexicon.
+    pub fn new(lexicon: Arc<Lexicon>, profile: ModelProfile) -> Self {
+        SimLinkLlm { lexicon, profile, threshold: 1.05, meter: UsageMeter::new() }
+    }
+
+    /// Override the decision threshold (calibration hook).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Per-class recognized-word counts plus the set of link-marker word
+    /// ids present in `text`.
+    fn read_text(&self, text: &str) -> (Vec<f64>, std::collections::HashSet<u32>) {
+        let k = self.lexicon.num_classes() as usize;
+        let mut counts = vec![0.0f64; k];
+        let mut markers = std::collections::HashSet::new();
+        for w in Tokenizer.words(text) {
+            let lower = w.to_ascii_lowercase();
+            match self.lexicon.kind_of_word(&lower) {
+                Some(WordKind::Class(c)) => {
+                    let id = self.lexicon.decode(&lower).unwrap_or(0);
+                    if hash01(self.profile.seed ^ 0x5eed, id as u64) < self.profile.knowledge {
+                        counts[c as usize] += 1.0;
+                    }
+                }
+                Some(WordKind::Marker) => {
+                    if let Some(id) = self.lexicon.decode(&lower) {
+                        markers.insert(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        (counts, markers)
+    }
+
+    /// Relative margin of a count vector: `(max − runner-up) / max`, 0 for
+    /// empty or flat profiles. High only when the text commits to a topic.
+    fn margin(counts: &[f64]) -> f64 {
+        let mut max = 0.0f64;
+        let mut second = 0.0f64;
+        for &c in counts {
+            if c > max {
+                second = max;
+                max = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        if max <= 0.0 {
+            0.0
+        } else {
+            (max - second) / max
+        }
+    }
+
+    /// Centered cosine (Pearson correlation of the count vectors): raw
+    /// counts are all-positive, so uncentered cosine has a large baseline
+    /// even for unrelated texts — centering removes it, making cross-class
+    /// pairs score near zero or negative.
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let ma: f64 = a.iter().sum::<f64>() / n;
+        let mb: f64 = b.iter().sum::<f64>() / n;
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let (cx, cy) = (x - ma, y - mb);
+            dot += cx * cy;
+            na += cx * cx;
+            nb += cy * cy;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+
+    fn decide(&self, prompt: &str) -> bool {
+        // Sections: "Paper A: ..." up to "Paper B:", then up to the cites
+        // lists / task.
+        let body = prompt.split(TASK_HEADER).next().unwrap_or(prompt);
+        let (a_sec, rest) = match body.split_once("Paper B:") {
+            Some((a, r)) => (a, r),
+            None => (body, ""),
+        };
+        let (b_sec, links) = match rest.split_once("cites the following papers:") {
+            Some((b, l)) => (b, l),
+            None => (rest, ""),
+        };
+        // Neighbor lists: lines starting with "- ". The second list starts
+        // after another "cites the following papers:" marker.
+        let (list_a_raw, list_b_raw) = match links.split_once("cites the following papers:") {
+            Some((a, b)) => (a, b),
+            None => (links, ""),
+        };
+        let collect = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter_map(|l| l.trim().strip_prefix("- ").map(str::to_string))
+                .collect()
+        };
+        let list_a = collect(list_a_raw);
+        let list_b = collect(list_b_raw);
+        let common = list_a.iter().filter(|t| list_b.contains(t)).count() as f64;
+
+        let (pa, ma) = self.read_text(a_sec);
+        let (pb, mb) = self.read_text(b_sec);
+        // Topical similarity only counts when *both* texts actually commit
+        // to a topic: weight by the smaller decision margin, so noisy
+        // profiles (uninformative texts, few classes) contribute nothing.
+        let sim = Self::cosine(&pa, &pb) * Self::margin(&pa).min(Self::margin(&pb));
+        let common_markers = ma.intersection(&mb).count() as f64;
+
+        let noise_seed = self.profile.seed ^ crate::simllm_fnv(prompt.as_bytes());
+        let u = hash01(noise_seed, 0).clamp(1e-12, 1.0 - 1e-12);
+        let gumbel = -(-(u.ln())).ln();
+        let score = 1.4 * sim
+            + 1.8 * (1.0 + common_markers).ln()
+            + 1.1 * (1.0 + common).ln()
+            + self.profile.temperature * 0.3 * gumbel;
+        score > self.threshold
+    }
+}
+
+impl LanguageModel for SimLinkLlm {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion> {
+        let yes = self.decide(prompt);
+        let text = if yes { "Answer: ['Yes']." } else { "Answer: ['No']." }.to_string();
+        let usage = Usage {
+            prompt_tokens: Tokenizer.count(prompt) as u64,
+            completion_tokens: Tokenizer.count(&text) as u64,
+        };
+        self.meter.record(usage);
+        Ok(Completion { text, usage })
+    }
+
+    fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_yes_no;
+    use crate::prompt::LinkPromptSpec;
+    use mqo_graph::ClassId;
+    use mqo_text::{DocumentSpec, TextSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<Lexicon>, SimLinkLlm) {
+        let lex = Arc::new(Lexicon::new(5, 4, 150, 1200));
+        let llm = SimLinkLlm::new(lex.clone(), ModelProfile::gpt35());
+        (lex, llm)
+    }
+
+    fn pair_prompt(
+        lex: &Lexicon,
+        class_a: u16,
+        class_b: u16,
+        common_neighbors: usize,
+        seed: u64,
+    ) -> String {
+        let sampler = TextSampler::new(lex, DocumentSpec::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ta = sampler.sample_title(ClassId(class_a), 0.6, &mut rng);
+        let aa = sampler.sample_body(ClassId(class_a), 0.6, &mut rng);
+        let tb = sampler.sample_title(ClassId(class_b), 0.6, &mut rng);
+        let ab = sampler.sample_body(ClassId(class_b), 0.6, &mut rng);
+        let shared: Vec<String> = (0..common_neighbors)
+            .map(|i| format!("shared neighbor paper {i}"))
+            .collect();
+        let mut na = shared.clone();
+        na.push("private to a".into());
+        let mut nb = shared;
+        nb.push("private to b".into());
+        LinkPromptSpec {
+            title_a: &ta,
+            abstract_a: &aa,
+            title_b: &tb,
+            abstract_b: &ab,
+            neighbors_a: &na,
+            neighbors_b: &nb,
+        }
+        .render()
+    }
+
+    #[test]
+    fn same_class_pairs_mostly_yes() {
+        let (lex, llm) = setup();
+        let yes = (0..40)
+            .filter(|&s| {
+                let p = pair_prompt(&lex, 1, 1, 0, s);
+                parse_yes_no(&llm.complete(&p).unwrap().text) == Some(true)
+            })
+            .count();
+        assert!(yes >= 28, "only {yes}/40 same-class pairs predicted linked");
+    }
+
+    #[test]
+    fn cross_class_pairs_mostly_no() {
+        let (lex, llm) = setup();
+        let yes = (0..40)
+            .filter(|&s| {
+                let p = pair_prompt(&lex, 0, 2, 0, s + 100);
+                parse_yes_no(&llm.complete(&p).unwrap().text) == Some(true)
+            })
+            .count();
+        assert!(yes <= 12, "{yes}/40 cross-class pairs predicted linked");
+    }
+
+    #[test]
+    fn common_neighbors_push_toward_yes() {
+        let (lex, llm) = setup();
+        let yes_without = (0..40)
+            .filter(|&s| {
+                let p = pair_prompt(&lex, 0, 2, 0, s + 200);
+                parse_yes_no(&llm.complete(&p).unwrap().text) == Some(true)
+            })
+            .count();
+        let yes_with = (0..40)
+            .filter(|&s| {
+                let p = pair_prompt(&lex, 0, 2, 3, s + 200);
+                parse_yes_no(&llm.complete(&p).unwrap().text) == Some(true)
+            })
+            .count();
+        assert!(
+            yes_with > yes_without,
+            "common neighbors had no effect: {yes_without} vs {yes_with}"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_metered() {
+        let (lex, llm) = setup();
+        let p = pair_prompt(&lex, 1, 1, 1, 7);
+        let a = llm.complete(&p).unwrap();
+        let b = llm.complete(&p).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(llm.meter().totals().requests, 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! The client trait and test doubles.
+
+use crate::error::{Error, Result};
+use mqo_token::{Tokenizer, Usage, UsageMeter};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One completion returned by a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The generated text.
+    pub text: String,
+    /// Token usage of this request.
+    pub usage: Usage,
+}
+
+/// An LLM client: prompt in, completion out, usage metered.
+///
+/// Object-safe (`&self` methods only) so strategies can hold
+/// `&dyn LanguageModel`; interior mutability handles metering and any
+/// client-side state. `Send + Sync` so one client can serve the parallel
+/// executor's workers, as an HTTP connection pool would.
+pub trait LanguageModel: Send + Sync {
+    /// Model display name (e.g. `"gpt-3.5-turbo-0125"`).
+    fn name(&self) -> &str;
+
+    /// Run one completion request.
+    fn complete(&self, prompt: &str) -> Result<Completion>;
+
+    /// The client's accumulated token usage.
+    fn meter(&self) -> &UsageMeter;
+}
+
+/// A scripted fake: returns queued responses in order, metering prompt
+/// tokens like a real client. For unit tests of execution machinery.
+#[derive(Debug, Default)]
+pub struct ScriptedLlm {
+    responses: Mutex<VecDeque<String>>,
+    prompts_seen: Mutex<Vec<String>>,
+    meter: UsageMeter,
+}
+
+impl ScriptedLlm {
+    /// New scripted client with the given response queue.
+    pub fn new<I, S>(responses: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ScriptedLlm {
+            responses: Mutex::new(responses.into_iter().map(Into::into).collect()),
+            prompts_seen: Mutex::new(Vec::new()),
+            meter: UsageMeter::new(),
+        }
+    }
+
+    /// Prompts received so far (for assertions).
+    pub fn prompts_seen(&self) -> Vec<String> {
+        self.prompts_seen.lock().clone()
+    }
+}
+
+impl LanguageModel for ScriptedLlm {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion> {
+        let text = self.responses.lock().pop_front().ok_or(Error::ScriptExhausted)?;
+        self.prompts_seen.lock().push(prompt.to_string());
+        let usage = Usage {
+            prompt_tokens: Tokenizer.count(prompt) as u64,
+            completion_tokens: Tokenizer.count(&text) as u64,
+        };
+        self.meter.record(usage);
+        Ok(Completion { text, usage })
+    }
+
+    fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_returns_in_order_and_meters() {
+        let llm = ScriptedLlm::new(["first", "second"]);
+        let a = llm.complete("prompt one").unwrap();
+        let b = llm.complete("prompt two words").unwrap();
+        assert_eq!(a.text, "first");
+        assert_eq!(b.text, "second");
+        assert!(matches!(llm.complete("x"), Err(Error::ScriptExhausted)));
+        let t = llm.meter().totals();
+        assert_eq!(t.requests, 2);
+        let expected =
+            (Tokenizer.count("prompt one") + Tokenizer.count("prompt two words")) as u64;
+        assert_eq!(t.prompt_tokens, expected);
+        assert_eq!(llm.prompts_seen(), vec!["prompt one", "prompt two words"]);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let llm = ScriptedLlm::new(["yes"]);
+        let dynref: &dyn LanguageModel = &llm;
+        assert_eq!(dynref.name(), "scripted");
+        assert_eq!(dynref.complete("p").unwrap().text, "yes");
+    }
+}

@@ -1,0 +1,216 @@
+//! OpenAI-compatible chat-completions client scaffolding.
+//!
+//! The experiments in this repository run against [`crate::SimLlm`], but a
+//! production deployment would talk to a real endpoint. This module
+//! provides the wire types (serde round-trippable) and a transport-generic
+//! client implementing [`LanguageModel`], so swapping the simulator for a
+//! real backend is a one-line change:
+//!
+//! ```
+//! # use mqo_llm::openai::{ChatClient, Transport, ChatRequest, ChatResponse, choice};
+//! # use mqo_llm::LanguageModel;
+//! struct MyHttp; // e.g. a reqwest- or ureq-based transport
+//! impl Transport for MyHttp {
+//!     fn send(&self, req: &ChatRequest) -> Result<ChatResponse, String> {
+//!         // POST /v1/chat/completions with serde_json::to_string(req)…
+//! #       Ok(choice("Category: ['Theory']", 10, 4))
+//!     }
+//! }
+//! let llm = ChatClient::new("gpt-3.5-turbo-0125", MyHttp);
+//! let c = llm.complete("prompt").unwrap();
+//! # assert!(c.text.contains("Theory"));
+//! ```
+//!
+//! No networking dependency is pulled in — the transport is the caller's
+//! choice, and tests use an in-memory one.
+
+use crate::error::{Error, Result};
+use crate::model::{Completion, LanguageModel};
+use mqo_token::{Usage, UsageMeter};
+use serde::{Deserialize, Serialize};
+
+/// One chat message (role + content).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ChatMessage {
+    /// `"system"`, `"user"`, or `"assistant"`.
+    pub role: String,
+    /// Message text.
+    pub content: String,
+}
+
+/// A `/v1/chat/completions` request body.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChatRequest {
+    /// Model id, e.g. `"gpt-3.5-turbo-0125"`.
+    pub model: String,
+    /// Conversation; the paradigm uses a single user message.
+    pub messages: Vec<ChatMessage>,
+    /// Sampling temperature (0.0 for reproducible predictions).
+    pub temperature: f32,
+}
+
+/// A `/v1/chat/completions` response body (the fields we consume).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChatResponse {
+    /// Generated choices; the first is used.
+    pub choices: Vec<ChatChoice>,
+    /// Token usage as reported by the endpoint.
+    pub usage: ApiUsage,
+}
+
+/// One response choice.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChatChoice {
+    /// The assistant message.
+    pub message: ChatMessage,
+}
+
+/// The endpoint's usage object.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ApiUsage {
+    /// Prompt-side tokens.
+    pub prompt_tokens: u64,
+    /// Completion-side tokens.
+    pub completion_tokens: u64,
+}
+
+/// Convenience constructor for a single-choice response (tests, mocks).
+pub fn choice(content: &str, prompt_tokens: u64, completion_tokens: u64) -> ChatResponse {
+    ChatResponse {
+        choices: vec![ChatChoice {
+            message: ChatMessage { role: "assistant".into(), content: content.into() },
+        }],
+        usage: ApiUsage { prompt_tokens, completion_tokens },
+    }
+}
+
+/// The pluggable wire layer: anything that can ship a request and return a
+/// parsed response. Implementations own auth, retries at the HTTP level,
+/// and rate limiting.
+pub trait Transport: Send + Sync {
+    /// Send one request. Errors are surfaced as strings; the client wraps
+    /// them into [`Error::MalformedResponse`]-style failures.
+    fn send(&self, request: &ChatRequest) -> std::result::Result<ChatResponse, String>;
+}
+
+/// A transport-generic OpenAI-compatible client.
+pub struct ChatClient<T: Transport> {
+    model: String,
+    transport: T,
+    meter: UsageMeter,
+}
+
+impl<T: Transport> ChatClient<T> {
+    /// Client for `model` over `transport`.
+    pub fn new(model: impl Into<String>, transport: T) -> Self {
+        ChatClient { model: model.into(), transport, meter: UsageMeter::new() }
+    }
+}
+
+impl<T: Transport> LanguageModel for ChatClient<T> {
+    fn name(&self) -> &str {
+        &self.model
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion> {
+        let request = ChatRequest {
+            model: self.model.clone(),
+            messages: vec![ChatMessage { role: "user".into(), content: prompt.to_string() }],
+            temperature: 0.0,
+        };
+        let response = self.transport.send(&request).map_err(|e| Error::MalformedResponse {
+            response: format!("transport error: {e}"),
+        })?;
+        let text = response
+            .choices
+            .first()
+            .map(|c| c.message.content.clone())
+            .ok_or_else(|| Error::MalformedResponse { response: "empty choices".into() })?;
+        let usage = Usage {
+            prompt_tokens: response.usage.prompt_tokens,
+            completion_tokens: response.usage.completion_tokens,
+        };
+        self.meter.record(usage);
+        Ok(Completion { text, usage })
+    }
+
+    fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct MockTransport {
+        requests: Mutex<Vec<ChatRequest>>,
+        reply: ChatResponse,
+        fail: bool,
+    }
+
+    impl Transport for MockTransport {
+        fn send(&self, request: &ChatRequest) -> std::result::Result<ChatResponse, String> {
+            self.requests.lock().push(request.clone());
+            if self.fail {
+                Err("503 service unavailable".into())
+            } else {
+                Ok(self.reply.clone())
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_round_trip_as_json() {
+        let req = ChatRequest {
+            model: "gpt-3.5-turbo-0125".into(),
+            messages: vec![ChatMessage { role: "user".into(), content: "hi".into() }],
+            temperature: 0.0,
+        };
+        let s = serde_json::to_string(&req).unwrap();
+        assert!(s.contains("\"model\":\"gpt-3.5-turbo-0125\""));
+        let back: ChatRequest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, req);
+
+        // A realistic response payload parses.
+        let payload = r#"{
+            "choices": [{"message": {"role": "assistant", "content": "Category: ['Theory']"}}],
+            "usage": {"prompt_tokens": 120, "completion_tokens": 7}
+        }"#;
+        let resp: ChatResponse = serde_json::from_str(payload).unwrap();
+        assert_eq!(resp.choices[0].message.content, "Category: ['Theory']");
+        assert_eq!(resp.usage.prompt_tokens, 120);
+    }
+
+    #[test]
+    fn client_sends_prompt_and_meters_api_usage() {
+        let transport = MockTransport {
+            requests: Mutex::new(Vec::new()),
+            reply: choice("Category: ['Agents']", 99, 6),
+            fail: false,
+        };
+        let client = ChatClient::new("gpt-4o-mini", transport);
+        let c = client.complete("the prompt").unwrap();
+        assert_eq!(c.text, "Category: ['Agents']");
+        assert_eq!(c.usage.prompt_tokens, 99);
+        assert_eq!(client.meter().totals().prompt_tokens, 99);
+        let reqs = client.transport.requests.lock();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].messages[0].content, "the prompt");
+        assert_eq!(reqs[0].temperature, 0.0);
+    }
+
+    #[test]
+    fn transport_failure_surfaces_as_error() {
+        let transport = MockTransport {
+            requests: Mutex::new(Vec::new()),
+            reply: choice("x", 1, 1),
+            fail: true,
+        };
+        let client = ChatClient::new("gpt-4", transport);
+        let err = client.complete("p").unwrap_err();
+        assert!(err.to_string().contains("503"));
+        assert_eq!(client.meter().totals().requests, 0, "failed calls are not metered");
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration tests for the simulator's behavioural mechanisms: context
+//! dilution, temperature normalization, and knowledge masking. These are
+//! the load-bearing properties behind the Fig. 7 endpoint inversion and
+//! the Table IV near-zero deltas.
+
+use mqo_graph::ClassId;
+use mqo_llm::parse::parse_category;
+use mqo_llm::{LanguageModel, ModelProfile, NeighborEntry, NodePromptSpec, SimLlm};
+use mqo_text::{DocumentSpec, Lexicon, TextSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn names(k: usize) -> Vec<String> {
+    (0..k).map(|c| format!("Topic {c}")).collect()
+}
+
+fn prompt(
+    lex: &Lexicon,
+    cats: &[String],
+    class: u16,
+    alpha: f64,
+    neighbors: &[NeighborEntry],
+    seed: u64,
+) -> String {
+    let sampler = TextSampler::new(lex, DocumentSpec::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let title = sampler.sample_title(ClassId(class), alpha, &mut rng);
+    let body = sampler.sample_body(ClassId(class), alpha, &mut rng);
+    NodePromptSpec {
+        title: &title,
+        abstract_text: &body,
+        neighbors,
+        categories: cats,
+        ranked: false,
+    }
+    .render()
+}
+
+/// Context dilution: appending *uninformative* neighbor titles must lower
+/// accuracy on borderline-informative targets (the "lost in the middle"
+/// mechanism behind Pubmed's inversion).
+#[test]
+fn irrelevant_neighbor_text_hurts_borderline_targets() {
+    let lex = Arc::new(Lexicon::new(3, 3, 200, 2000));
+    let cats = names(3);
+    let llm = SimLlm::new(lex.clone(), cats.clone(), ModelProfile::gpt35());
+    let sampler = TextSampler::new(&lex, DocumentSpec::default());
+    let (mut plain, mut noisy) = (0, 0);
+    for seed in 0..120 {
+        let class = (seed % 3) as u16;
+        // Neighbors: shared-vocabulary-only titles (alpha 0 — no class
+        // signal at all, pure distraction).
+        let mut rng = StdRng::seed_from_u64(seed + 900);
+        let neighbors: Vec<NeighborEntry> = (0..4)
+            .map(|_| NeighborEntry {
+                title: sampler.sample_title(ClassId(class), 0.0, &mut rng),
+                label: None,
+            })
+            .collect();
+        let p0 = prompt(&lex, &cats, class, 0.18, &[], seed);
+        let p1 = prompt(&lex, &cats, class, 0.18, &neighbors, seed);
+        if parse_category(&llm.complete(&p0).unwrap().text, &cats) == Some(class as usize) {
+            plain += 1;
+        }
+        if parse_category(&llm.complete(&p1).unwrap().text, &cats) == Some(class as usize) {
+            noisy += 1;
+        }
+    }
+    assert!(
+        noisy < plain,
+        "irrelevant neighbor context should hurt borderline targets: {plain} vs {noisy}"
+    );
+}
+
+/// Temperature normalization: a 40-class model must remain nearly as
+/// decisive on clearly-informative text as a 7-class model (real logit
+/// noise does not scale with label-space size).
+#[test]
+fn large_label_spaces_stay_decisive_on_clear_text() {
+    let acc_for = |k: u16| -> f64 {
+        let lex = Arc::new(Lexicon::new(4, k, 150, 2000));
+        let cats = names(k as usize);
+        let llm = SimLlm::new(lex.clone(), cats.clone(), ModelProfile::gpt35());
+        let mut correct = 0;
+        for seed in 0..100 {
+            let class = (seed % k as u64) as u16;
+            let p = prompt(&lex, &cats, class, 0.6, &[], seed + 50);
+            if parse_category(&llm.complete(&p).unwrap().text, &cats)
+                == Some(class as usize)
+            {
+                correct += 1;
+            }
+        }
+        correct as f64 / 100.0
+    };
+    let small = acc_for(7);
+    let large = acc_for(40);
+    assert!(small > 0.85, "7-class baseline too weak: {small}");
+    assert!(
+        large > small - 0.10,
+        "40-class decisiveness collapsed: {large} vs {small}"
+    );
+}
+
+/// Knowledge masking: a model with lower `knowledge` recognizes fewer
+/// discriminative words and is measurably less accurate on moderately
+/// informative text.
+#[test]
+fn knowledge_controls_accuracy() {
+    let lex = Arc::new(Lexicon::new(6, 5, 200, 2000));
+    let cats = names(5);
+    let acc_for = |knowledge: f64| -> f64 {
+        let profile = ModelProfile { knowledge, ..ModelProfile::gpt35() };
+        let llm = SimLlm::new(lex.clone(), cats.clone(), profile);
+        let mut correct = 0;
+        for seed in 0..150 {
+            let class = (seed % 5) as u16;
+            let p = prompt(&lex, &cats, class, 0.12, &[], seed + 700);
+            if parse_category(&llm.complete(&p).unwrap().text, &cats)
+                == Some(class as usize)
+            {
+                correct += 1;
+            }
+        }
+        correct as f64 / 150.0
+    };
+    let strong = acc_for(0.9);
+    let weak = acc_for(0.2);
+    assert!(
+        strong > weak + 0.08,
+        "knowledge knob has no effect: strong {strong} vs weak {weak}"
+    );
+}
+
+/// Wrong neighbor labels must be able to mislead: the homophily prior is a
+/// double-edged sword (this is what makes boosting's scheduling matter).
+#[test]
+fn wrong_labels_mislead_borderline_targets() {
+    let lex = Arc::new(Lexicon::new(9, 4, 200, 2000));
+    let cats = names(4);
+    let llm = SimLlm::new(lex.clone(), cats.clone(), ModelProfile::gpt35());
+    let (mut plain, mut misled) = (0, 0);
+    for seed in 0..120 {
+        let class = (seed % 4) as u16;
+        let wrong = ((class + 1) % 4) as usize;
+        let neighbors: Vec<NeighborEntry> = (0..3)
+            .map(|_| NeighborEntry { title: "xx".into(), label: Some(cats[wrong].clone()) })
+            .collect();
+        let p0 = prompt(&lex, &cats, class, 0.15, &[], seed + 300);
+        let p1 = prompt(&lex, &cats, class, 0.15, &neighbors, seed + 300);
+        if parse_category(&llm.complete(&p0).unwrap().text, &cats) == Some(class as usize) {
+            plain += 1;
+        }
+        if parse_category(&llm.complete(&p1).unwrap().text, &cats) == Some(class as usize) {
+            misled += 1;
+        }
+    }
+    assert!(
+        misled + 10 < plain,
+        "wrong labels failed to mislead: {plain} vs {misled}"
+    );
+}

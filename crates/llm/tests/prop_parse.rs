@@ -1,0 +1,42 @@
+//! Property tests for response parsing: whatever garbage or overlap the
+//! category names contain, parsing never panics and exact answers always
+//! resolve to the right class.
+
+use mqo_llm::parse::{parse_category, parse_yes_no};
+use proptest::prelude::*;
+
+proptest! {
+    /// Never panics on arbitrary input.
+    #[test]
+    fn parse_is_total(text in "\\PC{0,200}") {
+        let cats = vec!["Alpha".to_string(), "Beta Gamma".to_string()];
+        let _ = parse_category(&text, &cats);
+        let _ = parse_yes_no(&text);
+    }
+
+    /// A well-formed answer resolves to its category, regardless of the
+    /// surrounding prose.
+    #[test]
+    fn exact_answers_resolve(
+        prefix in "[a-zA-Z ,.]{0,60}",
+        idx in 0usize..4,
+    ) {
+        let cats: Vec<String> =
+            ["Case Based", "Theory", "Neural Networks", "Rule Learning"]
+                .map(String::from)
+                .to_vec();
+        let text = format!("{prefix} Category: ['{}'].", cats[idx]);
+        prop_assert_eq!(parse_category(&text, &cats), Some(idx));
+    }
+
+    /// Nested category names resolve to the longest written form even via
+    /// the no-bracket fallback.
+    #[test]
+    fn nested_names_resolve_to_longest(prefix in "[a-z ]{0,40}") {
+        let cats: Vec<String> = ["Beauty", "All Beauty"].map(String::from).to_vec();
+        let text = format!("{prefix} the category is All Beauty");
+        prop_assert_eq!(parse_category(&text, &cats), Some(1));
+        let text = format!("{prefix} the category is Beauty");
+        prop_assert_eq!(parse_category(&text, &cats), Some(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! K-fold cross-validation for unbiased class probabilities.
+//!
+//! §VI-A3: "We employ 3-fold cross-validation to obtain the average
+//! category probability distribution and entropy." Concretely: the labeled
+//! set is split into k folds; for each fold a fresh MLP is trained on the
+//! other k−1 folds, giving *out-of-fold* probabilities for the held-out
+//! labeled nodes (needed to fit `g_θ2` and the bias vector `w` without
+//! training-set leakage) — while probabilities for *query* nodes are the
+//! average over the k fold models.
+
+use crate::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic k-fold assignment: returns `fold_of[i] ∈ 0..k` for each of
+/// `n` items, folds as balanced as possible.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(n >= k, "need at least one item per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut fold_of = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        fold_of[i] = rank % k;
+    }
+    fold_of
+}
+
+/// Result of cross-validated probability estimation.
+pub struct CrossValProbs {
+    /// Out-of-fold probability vectors for the labeled items, parallel to
+    /// the training input order.
+    pub oof_probs: Vec<Vec<f32>>,
+    /// The k fold models, for averaging predictions on unseen items.
+    pub fold_models: Vec<Mlp>,
+}
+
+impl CrossValProbs {
+    /// Train `k` fold models on `(xs, ys)` with `num_classes` classes.
+    pub fn fit(
+        config: &MlpConfig,
+        xs: &[Vec<f32>],
+        ys: &[usize],
+        num_classes: usize,
+        k: usize,
+    ) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/label length mismatch");
+        let n = xs.len();
+        let in_dim = xs[0].len();
+        let fold_of = kfold_indices(n, k, config.seed ^ 0xc0ffee);
+        let mut oof_probs: Vec<Vec<f32>> = vec![Vec::new(); n];
+        let mut fold_models = Vec::with_capacity(k);
+        for fold in 0..k {
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            for i in 0..n {
+                if fold_of[i] != fold {
+                    train_x.push(xs[i].clone());
+                    train_y.push(ys[i]);
+                }
+            }
+            let mut model = Mlp::new(
+                MlpConfig { seed: config.seed.wrapping_add(fold as u64), ..config.clone() },
+                in_dim,
+                num_classes,
+            );
+            model.fit(&train_x, &train_y);
+            for i in 0..n {
+                if fold_of[i] == fold {
+                    oof_probs[i] = model.predict_proba(&xs[i]);
+                }
+            }
+            fold_models.push(model);
+        }
+        CrossValProbs { oof_probs, fold_models }
+    }
+
+    /// Average class probabilities over the fold models for an unseen item.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        let k = self.fold_models.len();
+        let mut acc = self.fold_models[0].predict_proba(x);
+        for m in &self.fold_models[1..] {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        let inv = (k as f32).recip();
+        acc.iter_mut().for_each(|a| *a *= inv);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::argmax;
+    use rand::Rng;
+
+    #[test]
+    fn folds_are_balanced_and_cover_everything() {
+        let f = kfold_indices(10, 3, 1);
+        assert_eq!(f.len(), 10);
+        let counts: Vec<usize> =
+            (0..3).map(|k| f.iter().filter(|&&x| x == k).count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        assert_eq!(kfold_indices(20, 3, 7), kfold_indices(20, 3, 7));
+        assert_ne!(kfold_indices(20, 3, 7), kfold_indices(20, 3, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn rejects_single_fold() {
+        kfold_indices(10, 1, 0);
+    }
+
+    #[test]
+    fn cross_val_probs_classify_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let c = i % 3;
+            let center = [(0.0, 4.0), (4.0, 0.0), (-4.0, -4.0)][c];
+            xs.push(vec![
+                center.0 + rng.gen_range(-1.0f32..1.0),
+                center.1 + rng.gen_range(-1.0f32..1.0),
+            ]);
+            ys.push(c);
+        }
+        let cfg = MlpConfig { epochs: 40, ..Default::default() };
+        let cv = CrossValProbs::fit(&cfg, &xs, &ys, 3, 3);
+        // Out-of-fold predictions should be mostly right.
+        let correct = (0..xs.len())
+            .filter(|&i| argmax(&cv.oof_probs[i]) == ys[i])
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.9);
+        // Unseen-point prediction averages fold models and sums to 1.
+        let p = cv.predict_proba(&[0.0, 4.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(argmax(&p), 0);
+    }
+
+    #[test]
+    fn every_labeled_item_gets_oof_probability() {
+        let xs: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32 / 10.0]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| (i >= 15) as usize).collect();
+        let cfg = MlpConfig { epochs: 5, ..Default::default() };
+        let cv = CrossValProbs::fit(&cfg, &xs, &ys, 2, 3);
+        assert!(cv.oof_probs.iter().all(|p| p.len() == 2));
+    }
+}

@@ -1,0 +1,274 @@
+//! Discrete information theory: entropy, mutual information, and the
+//! Williams–Beer partial information decomposition (PID) the paper's
+//! single-query analysis rests on (§IV, Fig. 2, Eqs. 3–6).
+//!
+//! For two sources `(X1, X2)` and a target `Y` with a known joint pmf:
+//!
+//! * redundancy `R = Σ_y p(y) · min_i I_spec(X_i; y)` (the I_min measure),
+//! * unique information `U_i = I(X_i; Y) − R`,
+//! * synergy `S = I(X1, X2; Y) − R − U1 − U2`,
+//!
+//! which is exactly the decomposition of Eq. 3; Eq. 4
+//! (`I(t; y) = R + U_t`) and Eq. 5 (`IG = U_N + S`) follow by
+//! construction and are verified in the tests and the `fig2_pid` bench
+//! binary on distributions mimicking saturated / non-saturated nodes.
+
+use std::collections::HashMap;
+
+/// A joint distribution over `(x1, x2, y)` triples with discrete states.
+#[derive(Debug, Clone, Default)]
+pub struct Joint {
+    p: HashMap<(u8, u8, u8), f64>,
+}
+
+impl Joint {
+    /// Build from weighted triples; weights are normalized to sum to 1.
+    pub fn from_weights(entries: &[((u8, u8, u8), f64)]) -> Self {
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "joint distribution needs positive mass");
+        let mut p = HashMap::new();
+        for &(k, w) in entries {
+            if w > 0.0 {
+                *p.entry(k).or_insert(0.0) += w / total;
+            }
+        }
+        Joint { p }
+    }
+
+    /// Estimate from observed samples.
+    pub fn from_samples(samples: &[(u8, u8, u8)]) -> Self {
+        assert!(!samples.is_empty(), "need samples");
+        let w = 1.0;
+        let entries: Vec<((u8, u8, u8), f64)> = samples.iter().map(|&s| (s, w)).collect();
+        Self::from_weights(&entries)
+    }
+
+    fn states_y(&self) -> Vec<u8> {
+        let mut ys: Vec<u8> = self.p.keys().map(|k| k.2).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        ys
+    }
+
+    fn p_y(&self, y: u8) -> f64 {
+        self.p.iter().filter(|(k, _)| k.2 == y).map(|(_, &v)| v).sum()
+    }
+
+    /// Marginal pmf of source `i` (0 or 1) paired with y: `p(x_i, y)`.
+    fn p_xi_y(&self, i: usize, xi: u8, y: u8) -> f64 {
+        self.p
+            .iter()
+            .filter(|(k, _)| k.2 == y && (if i == 0 { k.0 } else { k.1 }) == xi)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    fn p_xi(&self, i: usize, xi: u8) -> f64 {
+        self.p
+            .iter()
+            .filter(|(k, _)| (if i == 0 { k.0 } else { k.1 }) == xi)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    fn states_xi(&self, i: usize) -> Vec<u8> {
+        let mut xs: Vec<u8> =
+            self.p.keys().map(|k| if i == 0 { k.0 } else { k.1 }).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+
+    /// Mutual information `I(X_i; Y)` in bits.
+    pub fn mi_source(&self, i: usize) -> f64 {
+        let mut mi = 0.0;
+        for &xi in &self.states_xi(i) {
+            for &y in &self.states_y() {
+                let pxy = self.p_xi_y(i, xi, y);
+                if pxy > 0.0 {
+                    mi += pxy * (pxy / (self.p_xi(i, xi) * self.p_y(y))).log2();
+                }
+            }
+        }
+        mi
+    }
+
+    /// Joint mutual information `I(X1, X2; Y)` in bits.
+    pub fn mi_joint(&self) -> f64 {
+        // p(x1, x2) marginal.
+        let mut p_x: HashMap<(u8, u8), f64> = HashMap::new();
+        for (&(a, b, _), &v) in &self.p {
+            *p_x.entry((a, b)).or_insert(0.0) += v;
+        }
+        let mut mi = 0.0;
+        for (&(a, b, y), &pxy) in &self.p {
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (p_x[&(a, b)] * self.p_y(y))).log2();
+            }
+        }
+        mi
+    }
+
+    /// Specific information of source `i` about outcome `y`:
+    /// `I_spec = Σ_x p(x|y) · log2( p(y|x) / p(y) )`.
+    fn specific_information(&self, i: usize, y: u8) -> f64 {
+        let py = self.p_y(y);
+        if py == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for &xi in &self.states_xi(i) {
+            let pxy = self.p_xi_y(i, xi, y);
+            let px = self.p_xi(i, xi);
+            if pxy > 0.0 && px > 0.0 {
+                let p_x_given_y = pxy / py;
+                let p_y_given_x = pxy / px;
+                acc += p_x_given_y * (p_y_given_x / py).log2();
+            }
+        }
+        acc
+    }
+
+    /// The Williams–Beer redundancy `I_min`.
+    pub fn redundancy(&self) -> f64 {
+        self.states_y()
+            .iter()
+            .map(|&y| {
+                self.p_y(y)
+                    * self
+                        .specific_information(0, y)
+                        .min(self.specific_information(1, y))
+            })
+            .sum()
+    }
+
+    /// Full PID: `(R, U1, U2, S)`, Eq. 3's four terms.
+    pub fn pid(&self) -> Pid {
+        let r = self.redundancy();
+        let u1 = (self.mi_source(0) - r).max(0.0);
+        let u2 = (self.mi_source(1) - r).max(0.0);
+        let s = (self.mi_joint() - r - u1 - u2).max(0.0);
+        Pid { redundancy: r, unique_1: u1, unique_2: u2, synergy: s }
+    }
+}
+
+/// The four PID atoms of Eq. 3 / Fig. 2 (bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pid {
+    /// `R(X1, X2; Y)` — information present in both sources.
+    pub redundancy: f64,
+    /// `U(X1 \ X2; Y)` — information only in source 1.
+    pub unique_1: f64,
+    /// `U(X2 \ X1; Y)` — information only in source 2.
+    pub unique_2: f64,
+    /// `S(X1, X2; Y)` — information only in the combination.
+    pub synergy: f64,
+}
+
+impl Pid {
+    /// The information gain of adding source 2 given source 1
+    /// (the paper's Eq. 5: `IG = U2 + S`).
+    pub fn information_gain(&self) -> f64 {
+        self.unique_2 + self.synergy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    /// X1 = X2 = Y (perfect copies): everything is redundancy.
+    #[test]
+    fn copies_are_pure_redundancy() {
+        let j = Joint::from_weights(&[((0, 0, 0), 1.0), ((1, 1, 1), 1.0)]);
+        let pid = j.pid();
+        assert!((pid.redundancy - 1.0).abs() < EPS, "{pid:?}");
+        assert!(pid.unique_1 < EPS && pid.unique_2 < EPS && pid.synergy < EPS);
+    }
+
+    /// Y = XOR(X1, X2) with independent uniform sources: pure synergy.
+    #[test]
+    fn xor_is_pure_synergy() {
+        let j = Joint::from_weights(&[
+            ((0, 0, 0), 1.0),
+            ((0, 1, 1), 1.0),
+            ((1, 0, 1), 1.0),
+            ((1, 1, 0), 1.0),
+        ]);
+        let pid = j.pid();
+        assert!(pid.redundancy < EPS, "{pid:?}");
+        assert!(pid.unique_1 < EPS && pid.unique_2 < EPS);
+        assert!((pid.synergy - 1.0).abs() < EPS);
+    }
+
+    /// Y = X1 with X2 independent noise: pure unique-1.
+    #[test]
+    fn single_informative_source_is_pure_unique() {
+        let j = Joint::from_weights(&[
+            ((0, 0, 0), 1.0),
+            ((0, 1, 0), 1.0),
+            ((1, 0, 1), 1.0),
+            ((1, 1, 1), 1.0),
+        ]);
+        let pid = j.pid();
+        assert!((pid.unique_1 - 1.0).abs() < EPS, "{pid:?}");
+        assert!(pid.redundancy < EPS && pid.unique_2 < EPS && pid.synergy < EPS);
+    }
+
+    /// Eq. 3 identity: the four atoms sum to the joint MI, and Eq. 4:
+    /// `I(X1; Y) = R + U1`, on an arbitrary noisy distribution.
+    #[test]
+    fn eq3_and_eq4_identities_hold() {
+        let j = Joint::from_weights(&[
+            ((0, 0, 0), 4.0),
+            ((0, 1, 0), 1.0),
+            ((1, 0, 0), 1.0),
+            ((1, 1, 1), 3.0),
+            ((0, 1, 1), 1.0),
+            ((1, 0, 1), 2.0),
+        ]);
+        let pid = j.pid();
+        let sum = pid.redundancy + pid.unique_1 + pid.unique_2 + pid.synergy;
+        assert!((sum - j.mi_joint()).abs() < 1e-6, "Eq. 3 broken: {sum} vs {}", j.mi_joint());
+        assert!(
+            (pid.redundancy + pid.unique_1 - j.mi_source(0)).abs() < 1e-6,
+            "Eq. 4 broken"
+        );
+        // Eq. 5: IG = I(X1,X2;Y) − I(X1;Y) = U2 + S.
+        let ig = j.mi_joint() - j.mi_source(0);
+        assert!((pid.information_gain() - ig).abs() < 1e-6, "Eq. 5 broken");
+    }
+
+    /// Eq. 6's bound: IG ≤ H(y | X1) — checked via IG ≤ H(Y) − I(X1; Y).
+    #[test]
+    fn eq6_upper_bound_holds() {
+        let j = Joint::from_weights(&[
+            ((0, 0, 0), 3.0),
+            ((0, 1, 1), 2.0),
+            ((1, 0, 1), 2.0),
+            ((1, 1, 0), 3.0),
+            ((0, 0, 1), 1.0),
+        ]);
+        let h_y: f64 = j
+            .states_y()
+            .iter()
+            .map(|&y| {
+                let p = j.p_y(y);
+                if p > 0.0 { -p * p.log2() } else { 0.0 }
+            })
+            .sum();
+        let pid = j.pid();
+        assert!(pid.information_gain() <= h_y - j.mi_source(0) + 1e-9);
+    }
+
+    #[test]
+    fn estimation_from_samples_matches_weights() {
+        let samples: Vec<(u8, u8, u8)> =
+            [(0, 0, 0), (0, 0, 0), (1, 1, 1), (1, 1, 1)].to_vec();
+        let a = Joint::from_samples(&samples);
+        let b = Joint::from_weights(&[((0, 0, 0), 1.0), ((1, 1, 1), 1.0)]);
+        assert!((a.mi_joint() - b.mi_joint()).abs() < EPS);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mqo-nn — from-scratch neural network substrate
+//!
+//! The paper's token-pruning strategy needs two trained models:
+//!
+//! * the surrogate classifier `f_θ1` — an MLP over text features, trained
+//!   on `V_L` with cross-entropy, whose class posterior entropy `H(p_i)` is
+//!   the first inadequacy channel (Eq. 8);
+//! * the merger `g_θ2` — a linear regression from `(H(p_i) ‖ b_i)` to the
+//!   misclassification indicator, fitted on the calibration subset `V_L^c`
+//!   (Eq. 10).
+//!
+//! Plus 3-fold cross-validation to obtain unbiased class probabilities on
+//! the labeled set, per the implementation details in §VI-A3. Everything is
+//! implemented here from scratch: dense layers, ReLU, softmax +
+//! cross-entropy, Adam with weight decay, mini-batching, k-fold CV, and
+//! closed-form ridge/linear regression. `f32` throughout; deterministic
+//! given the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod info;
+pub mod linreg;
+pub mod metrics;
+pub mod mlp;
+
+pub use cv::{kfold_indices, CrossValProbs};
+pub use linreg::LinearRegression;
+pub use metrics::{accuracy, entropy, softmax_in_place};
+pub use mlp::{Mlp, MlpConfig};

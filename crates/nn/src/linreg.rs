@@ -1,0 +1,163 @@
+//! Closed-form (ridge-regularized) linear regression.
+//!
+//! This is the merger `g_θ2` of Eq. 10: a regression from the
+//! two-dimensional inadequacy features `(H(p_i) ‖ b_i)` to the
+//! misclassification indicator. With such tiny input dimensions, the
+//! normal equations with a small ridge term are exact, fast, and free of
+//! learning-rate tuning; Gaussian elimination with partial pivoting solves
+//! the (d+1)×(d+1) system.
+
+/// Fitted linear regression `y ≈ w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Coefficients, one per input feature.
+    pub weights: Vec<f32>,
+    /// Intercept.
+    pub bias: f32,
+}
+
+impl LinearRegression {
+    /// Fit by ridge-regularized least squares (`ridge` is added to the
+    /// diagonal of the Gram matrix, excluding the intercept).
+    ///
+    /// Panics if `xs` is empty, rows disagree in length, or lengths of
+    /// `xs`/`ys` differ.
+    pub fn fit(xs: &[Vec<f32>], ys: &[f32], ridge: f32) -> Self {
+        assert!(!xs.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "ragged feature rows");
+        let n = d + 1; // augmented with intercept
+        // Build normal equations A·θ = c with A = XᵀX + ridge·I, in f64 for
+        // stability.
+        let mut a = vec![0.0f64; n * n];
+        let mut c = vec![0.0f64; n];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..n {
+                let xi = if i < d { x[i] as f64 } else { 1.0 };
+                c[i] += xi * y as f64;
+                for j in 0..n {
+                    let xj = if j < d { x[j] as f64 } else { 1.0 };
+                    a[i * n + j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            a[i * n + i] += ridge as f64;
+        }
+        // Tiny ridge on the intercept too, so degenerate systems (e.g. all
+        // targets equal) stay solvable.
+        a[d * n + d] += 1e-9;
+        let theta = solve(&mut a, &mut c, n);
+        LinearRegression {
+            weights: theta[..d].iter().map(|&v| v as f32).collect(),
+            bias: theta[d] as f32,
+        }
+    }
+
+    /// Predict for one feature row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f32>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting; consumes `a` (n×n) and `c`.
+fn solve(a: &mut [f64], c: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[best * n + col].abs() {
+                best = row;
+            }
+        }
+        if best != col {
+            for j in 0..n {
+                a.swap(col * n + j, best * n + j);
+            }
+            c.swap(col, best);
+        }
+        let pivot = a[col * n + col];
+        if pivot.abs() < 1e-12 {
+            continue; // singular direction; ridge should prevent this
+        }
+        for row in col + 1..n {
+            let f = a[row * n + col] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= f * a[col * n + j];
+            }
+            c[row] -= f * c[col];
+        }
+    }
+    let mut theta = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = c[row];
+        for j in row + 1..n {
+            acc -= a[row * n + j] * theta[j];
+        }
+        let pivot = a[row * n + row];
+        theta[row] = if pivot.abs() < 1e-12 { 0.0 } else { acc / pivot };
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2x0 - 3x1 + 5
+        let xs: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32 * 0.3, (i as f32 * 0.7).sin()])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
+        let m = LinearRegression::fit(&xs, &ys, 1e-6);
+        assert!((m.weights[0] - 2.0).abs() < 1e-3, "{:?}", m);
+        assert!((m.weights[1] + 3.0).abs() < 1e-3);
+        assert!((m.bias - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predict_matches_fit_on_training_points() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1.0, 3.0, 5.0, 7.0]; // y = 2x + 1
+        let m = LinearRegression::fit(&xs, &ys, 1e-6);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((m.predict(x) - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_targets_fit_as_intercept() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let ys = vec![0.7, 0.7, 0.7];
+        let m = LinearRegression::fit(&xs, &ys, 1e-3);
+        assert!((m.predict(&[9.0, 9.0]) - 0.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 4.0 * x[0]).collect();
+        let loose = LinearRegression::fit(&xs, &ys, 1e-6);
+        let tight = LinearRegression::fit(&xs, &ys, 100.0);
+        assert!(tight.weights[0].abs() < loose.weights[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        LinearRegression::fit(&[], &[], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0], 0.1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Probability / evaluation helpers shared across the workspace.
+
+/// Numerically-stable in-place softmax.
+pub fn softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in logits.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = sum.recip();
+    logits.iter_mut().for_each(|x| *x *= inv);
+}
+
+/// Shannon entropy (nats) of a probability distribution. Zero entries are
+/// skipped (0·ln 0 = 0 by convention).
+pub fn entropy(p: &[f32]) -> f32 {
+    let mut h = 0.0f32;
+    for &x in p {
+        if x > 0.0 {
+            h -= x * x.ln();
+        }
+    }
+    h
+}
+
+/// Fraction of positions where prediction equals truth. Panics on length
+/// mismatch; returns 0.0 for empty inputs.
+pub fn accuracy<T: PartialEq>(pred: &[T], truth: &[T]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy inputs must align");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Index of the maximum entry (first on ties). Panics on empty input.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut v = vec![1000.0f32, 1001.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_ln_k() {
+        let p = vec![0.25f32; 4];
+        assert!((entropy(&p) - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy::<u8>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+        assert_eq!(argmax(&[0.1, 0.9]), 1);
+    }
+}

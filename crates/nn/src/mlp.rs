@@ -1,0 +1,359 @@
+//! Multi-layer perceptron with ReLU hidden layers, softmax cross-entropy
+//! loss, and Adam with decoupled weight decay.
+//!
+//! Sized for the paper's surrogate-classifier role: feature dimensions in
+//! the hundreds-to-thousands, label sets of a few thousand nodes, 1–3
+//! layers. Per-sample forward/backward with minibatch gradient accumulation
+//! keeps the code simple and is plenty fast at that scale in release
+//! builds.
+
+use crate::metrics::{argmax, softmax_in_place};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Training hyperparameters (defaults follow the paper's small-dataset
+/// configuration: a linear model, lr 0.01, no weight decay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths; empty = linear (logistic-regression) model.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled (AdamW-style) weight decay.
+    pub weight_decay: f32,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: Vec::new(),
+            lr: 0.01,
+            weight_decay: 0.0,
+            epochs: 60,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer with its Adam state.
+#[derive(Debug, Clone)]
+struct Dense {
+    rows: usize, // output dim
+    cols: usize, // input dim
+    w: Vec<f32>, // row-major rows×cols
+    b: Vec<f32>,
+    // Gradient accumulators and Adam moments, parallel to w/b.
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Dense {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        // He/Kaiming-uniform init.
+        let bound = (6.0 / cols as f32).sqrt();
+        let w = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        Dense {
+            rows,
+            cols,
+            w,
+            b: vec![0.0; rows],
+            gw: vec![0.0; rows * cols],
+            gb: vec![0.0; rows],
+            mw: vec![0.0; rows * cols],
+            vw: vec![0.0; rows * cols],
+            mb: vec![0.0; rows],
+            vb: vec![0.0; rows],
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.cols);
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = self.b[r];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Accumulate grads for this sample; returns grad wrt input.
+    #[allow(clippy::needless_range_loop)] // rows index three arrays in lockstep
+    fn backward(&mut self, x: &[f32], grad_out: &[f32], grad_in: &mut Vec<f32>) {
+        grad_in.clear();
+        grad_in.resize(self.cols, 0.0);
+        for r in 0..self.rows {
+            let g = grad_out[r];
+            if g == 0.0 {
+                continue;
+            }
+            self.gb[r] += g;
+            let row_w = &self.w[r * self.cols..(r + 1) * self.cols];
+            let row_g = &mut self.gw[r * self.cols..(r + 1) * self.cols];
+            for c in 0..self.cols {
+                row_g[c] += g * x[c];
+                grad_in[c] += g * row_w[c];
+            }
+        }
+    }
+
+    fn adam_step(&mut self, lr: f32, wd: f32, t: i32, batch: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t);
+        let bc2 = 1.0 - B2.powi(t);
+        let inv_batch = batch.recip();
+        for i in 0..self.w.len() {
+            let g = self.gw[i] * inv_batch;
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
+            let mhat = self.mw[i] / bc1;
+            let vhat = self.vw[i] / bc2;
+            self.w[i] -= lr * (mhat / (vhat.sqrt() + EPS) + wd * self.w[i]);
+            self.gw[i] = 0.0;
+        }
+        for i in 0..self.b.len() {
+            let g = self.gb[i] * inv_batch;
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
+            let mhat = self.mb[i] / bc1;
+            let vhat = self.vb[i] / bc2;
+            self.b[i] -= lr * mhat / (vhat.sqrt() + EPS);
+            self.gb[i] = 0.0;
+        }
+    }
+}
+
+/// A trained (or trainable) MLP classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    config: MlpConfig,
+    in_dim: usize,
+    out_dim: usize,
+    step: i32,
+}
+
+impl Mlp {
+    /// Freshly-initialized network mapping `in_dim` features to `out_dim`
+    /// class logits.
+    pub fn new(config: MlpConfig, in_dim: usize, out_dim: usize) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut dims = vec![in_dim];
+        dims.extend(&config.hidden);
+        dims.push(out_dim);
+        let layers =
+            dims.windows(2).map(|d| Dense::new(d[1], d[0], &mut rng)).collect();
+        Mlp { layers, config, in_dim, out_dim, step: 0 }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of classes.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Train on `(xs, ys)` with softmax cross-entropy. `xs` are feature
+    /// rows (each `in_dim` long), `ys` class indices `< out_dim`.
+    pub fn fit(&mut self, xs: &[Vec<f32>], ys: &[usize]) {
+        assert_eq!(xs.len(), ys.len(), "feature/label length mismatch");
+        assert!(!xs.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        // Per-layer activation buffers reused across samples.
+        let n_layers = self.layers.len();
+        let mut acts: Vec<Vec<f32>> = vec![Vec::new(); n_layers + 1];
+        let mut grad_buf: Vec<f32> = Vec::new();
+        let mut grad_next: Vec<f32> = Vec::new();
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                for &i in chunk {
+                    debug_assert_eq!(xs[i].len(), self.in_dim);
+                    // Forward, keeping post-activation values.
+                    acts[0].clear();
+                    acts[0].extend_from_slice(&xs[i]);
+                    for (l, layer) in self.layers.iter().enumerate() {
+                        let (head, tail) = acts.split_at_mut(l + 1);
+                        layer.forward(&head[l], &mut tail[0]);
+                        if l + 1 < n_layers {
+                            tail[0].iter_mut().for_each(|x| *x = x.max(0.0));
+                        }
+                    }
+                    // Softmax + CE gradient at the output.
+                    grad_buf.clear();
+                    grad_buf.extend_from_slice(&acts[n_layers]);
+                    softmax_in_place(&mut grad_buf);
+                    grad_buf[ys[i]] -= 1.0;
+                    // Backward.
+                    for l in (0..n_layers).rev() {
+                        self.layers[l].backward(&acts[l], &grad_buf, &mut grad_next);
+                        if l > 0 {
+                            // ReLU gate on the pre-layer activation.
+                            for (g, &a) in grad_next.iter_mut().zip(&acts[l]) {
+                                if a <= 0.0 {
+                                    *g = 0.0;
+                                }
+                            }
+                        }
+                        std::mem::swap(&mut grad_buf, &mut grad_next);
+                    }
+                }
+                self.step += 1;
+                let (lr, wd) = (self.config.lr, self.config.weight_decay);
+                let batch = chunk.len() as f32;
+                let t = self.step;
+                for layer in &mut self.layers {
+                    layer.adam_step(lr, wd, t, batch);
+                }
+            }
+        }
+    }
+
+    /// Class probability vector for one feature row.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "feature dimension mismatch");
+        let n_layers = self.layers.len();
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if l + 1 < n_layers {
+                next.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        softmax_in_place(&mut cur);
+        cur
+    }
+
+    /// Most likely class for one feature row.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    /// Two well-separated Gaussian-ish blobs in 2D.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { (-2.0, -2.0) } else { (2.0, 2.0) };
+            xs.push(vec![
+                center.0 + rng.gen_range(-1.0..1.0),
+                center.1 + rng.gen_range(-1.0..1.0),
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_model_separates_blobs() {
+        let (xs, ys) = blobs(200, 1);
+        let mut m = Mlp::new(MlpConfig { epochs: 40, ..Default::default() }, 2, 2);
+        m.fit(&xs, &ys);
+        let preds: Vec<usize> = xs.iter().map(|x| m.predict(x)).collect();
+        assert!(accuracy(&preds, &ys) > 0.95);
+    }
+
+    #[test]
+    fn hidden_layer_solves_xor() {
+        // XOR needs nonlinearity: a linear model caps at 50%.
+        let xs: Vec<Vec<f32>> = (0..400)
+            .map(|i| {
+                let a = (i / 2) % 2;
+                let b = i % 2;
+                vec![a as f32 + (i as f32 * 0.0007).sin() * 0.05,
+                     b as f32 + (i as f32 * 0.0011).cos() * 0.05]
+            })
+            .collect();
+        let ys: Vec<usize> = (0..400).map(|i| (((i / 2) % 2) ^ (i % 2)) as usize).collect();
+        let mut m = Mlp::new(
+            MlpConfig { hidden: vec![16], lr: 0.02, epochs: 120, ..Default::default() },
+            2,
+            2,
+        );
+        m.fit(&xs, &ys);
+        let preds: Vec<usize> = xs.iter().map(|x| m.predict(x)).collect();
+        assert!(accuracy(&preds, &ys) > 0.95, "acc {}", accuracy(&preds, &ys));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = blobs(50, 2);
+        let mut m = Mlp::new(MlpConfig::default(), 2, 2);
+        m.fit(&xs, &ys);
+        let p = m.predict_proba(&xs[0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = blobs(80, 3);
+        let cfg = MlpConfig { epochs: 10, seed: 5, ..Default::default() };
+        let mut a = Mlp::new(cfg.clone(), 2, 2);
+        let mut b = Mlp::new(cfg, 2, 2);
+        a.fit(&xs, &ys);
+        b.fit(&xs, &ys);
+        assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fit_rejects_misaligned_inputs() {
+        let mut m = Mlp::new(MlpConfig::default(), 2, 2);
+        m.fit(&[vec![0.0, 0.0]], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_rejects_wrong_dim() {
+        let m = Mlp::new(MlpConfig::default(), 3, 2);
+        m.predict_proba(&[1.0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (xs, ys) = blobs(100, 4);
+        let mut free = Mlp::new(MlpConfig { epochs: 30, ..Default::default() }, 2, 2);
+        let mut decayed = Mlp::new(
+            MlpConfig { epochs: 30, weight_decay: 0.5, ..Default::default() },
+            2,
+            2,
+        );
+        free.fit(&xs, &ys);
+        decayed.fit(&xs, &ys);
+        let norm = |m: &Mlp| -> f32 { m.layers[0].w.iter().map(|w| w * w).sum() };
+        assert!(norm(&decayed) < norm(&free));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the neural substrate.
+
+use mqo_nn::metrics::{argmax, entropy, softmax_in_place};
+use mqo_nn::{kfold_indices, LinearRegression, Mlp, MlpConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax outputs are a valid distribution for any finite logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..20)) {
+        let mut p = logits.clone();
+        softmax_in_place(&mut p);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Softmax preserves the argmax.
+        prop_assert_eq!(argmax(&p), argmax(&logits));
+    }
+
+    /// Entropy is non-negative and at most ln K.
+    #[test]
+    fn entropy_bounds(logits in prop::collection::vec(-20.0f32..20.0, 1..16)) {
+        let mut p = logits;
+        softmax_in_place(&mut p);
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-6);
+        prop_assert!(h <= (p.len() as f32).ln() + 1e-4);
+    }
+
+    /// K-fold assignment is balanced and total.
+    #[test]
+    fn kfold_balanced(n in 4usize..200, k in 2usize..4, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let folds = kfold_indices(n, k, seed);
+        prop_assert_eq!(folds.len(), n);
+        let mut counts = vec![0usize; k];
+        for &f in &folds {
+            prop_assert!(f < k);
+            counts[f] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced folds {:?}", counts);
+    }
+
+    /// Linear regression recovers a noiseless affine map.
+    #[test]
+    fn linreg_recovers_affine(
+        w0 in -5.0f32..5.0,
+        w1 in -5.0f32..5.0,
+        b in -5.0f32..5.0,
+    ) {
+        let xs: Vec<Vec<f32>> = (0..25)
+            .map(|i| vec![(i as f32) * 0.37 - 4.0, ((i * i) % 11) as f32 * 0.5])
+            .collect();
+        let ys: Vec<f32> = xs.iter().map(|x| w0 * x[0] + w1 * x[1] + b).collect();
+        let m = LinearRegression::fit(&xs, &ys, 1e-6);
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((m.predict(x) - y).abs() < 0.05, "{} vs {}", m.predict(x), y);
+        }
+    }
+
+    /// Training never produces NaN predictions, whatever the seed or rate.
+    #[test]
+    fn mlp_stays_finite(seed in any::<u64>(), lr in 0.0005f32..0.1) {
+        let xs: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 7) as f32, (i % 3) as f32]).collect();
+        let ys: Vec<usize> = (0..40).map(|i| i % 3).collect();
+        let mut m = Mlp::new(
+            MlpConfig { hidden: vec![8], lr, epochs: 15, seed, ..Default::default() },
+            2,
+            3,
+        );
+        m.fit(&xs, &ys);
+        for x in &xs {
+            let p = m.predict_proba(x);
+            prop_assert!(p.iter().all(|v| v.is_finite()));
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Seeded pseudo-word lexicon with an injective, decodable encoding.
+//!
+//! Word ids are laid out as:
+//!
+//! ```text
+//! [0, shared)                         shared (non-discriminative) words
+//! [shared + c·per_class, … + per_class)   class-c discriminative words
+//! ```
+//!
+//! A word's surface form is its id written in base-`C·V` where each digit is
+//! a consonant–vowel syllable; the per-seed shuffle of the consonant and
+//! vowel tables changes surface forms without breaking injectivity, and the
+//! inverse tables make decoding exact.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const CONSONANTS: &[u8; 16] = b"bdfgklmnprstvzjh";
+
+/// What role a word plays in the generative language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordKind {
+    /// A shared filler word carrying no class signal.
+    Shared,
+    /// A link-marker word: carries no class signal, but appears in the
+    /// texts of *both* endpoints of specific edges (the "citing papers
+    /// quote each other's terms" phenomenon link prediction exploits).
+    Marker,
+    /// A discriminative word owned by class `c` (dense class index).
+    Class(u16),
+}
+
+/// The lexicon: sizes plus the seeded syllable permutation.
+///
+/// Word-id layout: `[0, shared)` shared filler, `[shared, shared + markers)`
+/// link markers, then `per_class` discriminative words per class.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    seed: u64,
+    shared: u32,
+    markers: u32,
+    per_class: u32,
+    num_classes: u16,
+    consonants: [u8; 16],
+    vowels: [u8; 4],
+    /// Inverse lookup: ASCII byte -> consonant digit (or 0xFF).
+    inv_consonant: [u8; 256],
+    /// Inverse lookup: ASCII byte -> vowel digit (or 0xFF).
+    inv_vowel: [u8; 256],
+}
+
+impl Lexicon {
+    /// Create a lexicon without a marker segment. See
+    /// [`Lexicon::with_markers`].
+    pub fn new(seed: u64, num_classes: u16, per_class: u32, shared: u32) -> Self {
+        Self::with_markers(seed, num_classes, per_class, shared, 0)
+    }
+
+    /// Create a lexicon with `shared` filler words, `markers` link-marker
+    /// words, and `per_class` discriminative words for each of
+    /// `num_classes` classes. `seed` permutes the syllable tables so
+    /// corpora from different seeds share no surface forms by accident of
+    /// table order.
+    pub fn with_markers(
+        seed: u64,
+        num_classes: u16,
+        per_class: u32,
+        shared: u32,
+        markers: u32,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ec7_0a11_dead_beef);
+        let mut consonants = *CONSONANTS;
+        let mut vowels = [b'a', b'e', b'i', b'o'];
+        consonants.shuffle(&mut rng);
+        vowels.shuffle(&mut rng);
+        let mut inv_consonant = [0xFFu8; 256];
+        let mut inv_vowel = [0xFFu8; 256];
+        for (i, &c) in consonants.iter().enumerate() {
+            inv_consonant[c as usize] = i as u8;
+        }
+        for (i, &v) in vowels.iter().enumerate() {
+            inv_vowel[v as usize] = i as u8;
+        }
+        Lexicon {
+            seed,
+            shared,
+            markers,
+            per_class,
+            num_classes,
+            consonants,
+            vowels,
+            inv_consonant,
+            inv_vowel,
+        }
+    }
+
+    /// The seed this lexicon was built from (with
+    /// [`Lexicon::with_markers`]'s other parameters, this fully
+    /// reconstructs the lexicon — the basis of dataset persistence).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shared words.
+    pub fn shared_size(&self) -> u32 {
+        self.shared
+    }
+
+    /// Number of link-marker words.
+    pub fn marker_size(&self) -> u32 {
+        self.markers
+    }
+
+    /// Number of discriminative words per class.
+    pub fn class_size(&self) -> u32 {
+        self.per_class
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> u16 {
+        self.num_classes
+    }
+
+    /// Total number of word ids.
+    pub fn total_words(&self) -> u32 {
+        self.shared + self.markers + self.per_class * self.num_classes as u32
+    }
+
+    /// Word id of the `i`-th shared word.
+    pub fn shared_id(&self, i: u32) -> u32 {
+        debug_assert!(i < self.shared);
+        i
+    }
+
+    /// Word id of the `i`-th link-marker word.
+    pub fn marker_id(&self, i: u32) -> u32 {
+        debug_assert!(i < self.markers);
+        self.shared + i
+    }
+
+    /// Word id of the `i`-th discriminative word of class `c`.
+    pub fn class_id(&self, c: u16, i: u32) -> u32 {
+        debug_assert!(c < self.num_classes && i < self.per_class);
+        self.shared + self.markers + c as u32 * self.per_class + i
+    }
+
+    /// Classify a word id.
+    pub fn kind_of(&self, id: u32) -> Option<WordKind> {
+        if id < self.shared {
+            Some(WordKind::Shared)
+        } else if id < self.shared + self.markers {
+            Some(WordKind::Marker)
+        } else {
+            let rel = id - self.shared - self.markers;
+            let c = rel / self.per_class;
+            if c < self.num_classes as u32 {
+                Some(WordKind::Class(c as u16))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Surface form of word `id`: base-64 syllables (consonant + vowel),
+    /// least-significant syllable first, always at least two syllables so
+    /// words look like words ("tibo", "rakedu", …).
+    pub fn word(&self, id: u32) -> String {
+        let mut s = String::with_capacity(8);
+        let mut rest = id as u64;
+        let base = 64u64; // 16 consonants × 4 vowels
+        let mut syllables = 0;
+        loop {
+            let digit = (rest % base) as usize;
+            rest /= base;
+            s.push(self.consonants[digit / 4] as char);
+            s.push(self.vowels[digit % 4] as char);
+            syllables += 1;
+            if rest == 0 && syllables >= 2 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Decode a surface form back to its word id. Returns `None` for
+    /// strings not produced by [`Lexicon::word`] (wrong alphabet, odd
+    /// length, out-of-range id). Punctuation should be stripped by the
+    /// caller's tokenizer first.
+    pub fn decode(&self, word: &str) -> Option<u32> {
+        let bytes = word.as_bytes();
+        if bytes.len() < 4 || !bytes.len().is_multiple_of(2) {
+            return None;
+        }
+        let mut id: u64 = 0;
+        // Most-significant syllable is last; walk pairs in reverse.
+        for pair in bytes.chunks_exact(2).rev() {
+            let c = self.inv_consonant[pair[0] as usize];
+            let v = self.inv_vowel[pair[1] as usize];
+            if c == 0xFF || v == 0xFF {
+                return None;
+            }
+            id = id * 64 + (c as u64 * 4 + v as u64);
+            if id > u32::MAX as u64 {
+                return None;
+            }
+        }
+        let id = id as u32;
+        if id < self.total_words() {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Decode + classify in one call: the primary entry point for the
+    /// simulated LLM's prompt reader.
+    pub fn kind_of_word(&self, word: &str) -> Option<WordKind> {
+        self.decode(word).and_then(|id| self.kind_of(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> Lexicon {
+        Lexicon::new(42, 5, 100, 1000)
+    }
+
+    #[test]
+    fn layout_sizes() {
+        let l = lex();
+        assert_eq!(l.total_words(), 1500);
+        assert_eq!(l.shared_id(0), 0);
+        assert_eq!(l.class_id(0, 0), 1000);
+        assert_eq!(l.class_id(4, 99), 1499);
+    }
+
+    #[test]
+    fn kinds() {
+        let l = lex();
+        assert_eq!(l.kind_of(999), Some(WordKind::Shared));
+        assert_eq!(l.kind_of(1000), Some(WordKind::Class(0)));
+        assert_eq!(l.kind_of(1499), Some(WordKind::Class(4)));
+        assert_eq!(l.kind_of(1500), None);
+    }
+
+    #[test]
+    fn words_roundtrip_for_all_ids() {
+        let l = lex();
+        for id in 0..l.total_words() {
+            let w = l.word(id);
+            assert_eq!(l.decode(&w), Some(id), "word {w} failed to roundtrip");
+        }
+    }
+
+    #[test]
+    fn words_are_distinct() {
+        let l = lex();
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..l.total_words() {
+            assert!(seen.insert(l.word(id)), "duplicate surface form for id {id}");
+        }
+    }
+
+    #[test]
+    fn words_look_pronounceable() {
+        let l = lex();
+        for id in [0, 63, 64, 4095, 4096] {
+            let w = l.word(id);
+            assert!(w.len() >= 4 && w.len() % 2 == 0);
+            assert!(w.is_ascii());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let l = lex();
+        assert_eq!(l.decode(""), None);
+        assert_eq!(l.decode("x"), None);
+        assert_eq!(l.decode("the"), None);
+        assert_eq!(l.decode("Category"), None);
+        assert_eq!(l.decode("ab1c"), None);
+    }
+
+    #[test]
+    fn different_seeds_different_surfaces() {
+        let a = Lexicon::new(1, 2, 10, 10);
+        let b = Lexicon::new(2, 2, 10, 10);
+        // Not all ids need differ, but the table shuffle should change most.
+        let differing =
+            (0..30).filter(|&id| a.word(id) != b.word(id)).count();
+        assert!(differing > 10, "seed had no effect on surface forms");
+    }
+
+    #[test]
+    fn marker_segment_sits_between_shared_and_class_words() {
+        let l = Lexicon::with_markers(3, 2, 50, 100, 30);
+        assert_eq!(l.total_words(), 100 + 30 + 100);
+        assert_eq!(l.kind_of(99), Some(WordKind::Shared));
+        assert_eq!(l.kind_of(l.marker_id(0)), Some(WordKind::Marker));
+        assert_eq!(l.kind_of(l.marker_id(29)), Some(WordKind::Marker));
+        assert_eq!(l.kind_of(130), Some(WordKind::Class(0)));
+        // Marker words still roundtrip through the surface encoding.
+        let w = l.word(l.marker_id(7));
+        assert_eq!(l.kind_of_word(&w), Some(WordKind::Marker));
+    }
+
+    #[test]
+    fn zero_marker_lexicon_matches_legacy_layout() {
+        let a = Lexicon::new(42, 5, 100, 1000);
+        let b = Lexicon::with_markers(42, 5, 100, 1000, 0);
+        assert_eq!(a.total_words(), b.total_words());
+        assert_eq!(a.class_id(2, 5), b.class_id(2, 5));
+    }
+
+    #[test]
+    fn kind_of_word_end_to_end() {
+        let l = lex();
+        let w = l.word(l.class_id(3, 7));
+        assert_eq!(l.kind_of_word(&w), Some(WordKind::Class(3)));
+        let s = l.word(l.shared_id(12));
+        assert_eq!(l.kind_of_word(&s), Some(WordKind::Shared));
+    }
+}

@@ -1,0 +1,32 @@
+//! # mqo-text — synthetic language substrate
+//!
+//! The paper runs on five real text-attributed-graph datasets whose node
+//! texts (paper titles/abstracts, product descriptions) we cannot download
+//! in this environment. This crate provides the replacement: a *generative
+//! synthetic language* whose statistical structure carries exactly the
+//! signal the paper's experiments depend on —
+//!
+//! * every class owns a vocabulary of discriminative pseudo-words;
+//! * a large shared vocabulary provides non-discriminative filler;
+//! * each node's text is a mixture whose class-vocabulary weight is the
+//!   node's latent *text informativeness* (the knob that creates the
+//!   saturated / non-saturated split of Definition 2 in the paper).
+//!
+//! Words are produced by an **injective, decodable encoding** from word ids
+//! to pronounceable strings ([`Lexicon::word`] / [`Lexicon::decode`]), so
+//! downstream consumers (the simulated LLM, the feature encoders) can map a
+//! surface form back to its id in O(len) without any dictionary, while the
+//! per-seed syllable permutation still makes different corpora look
+//! different.
+//!
+//! Nothing in this crate reads ambient entropy; all sampling goes through a
+//! caller-provided `Rng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod lexicon;
+
+pub use document::{DocumentSpec, TextSampler};
+pub use lexicon::{Lexicon, WordKind};

@@ -1,0 +1,72 @@
+//! Property tests for the lexicon's injective decodable encoding and the
+//! document sampler's statistical contracts.
+
+use mqo_graph::ClassId;
+use mqo_text::{DocumentSpec, Lexicon, TextSampler, WordKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every id in range round-trips through its surface form, for any
+    /// seed and layout.
+    #[test]
+    fn word_roundtrip(
+        seed in any::<u64>(),
+        classes in 1u16..12,
+        per_class in 1u32..200,
+        shared in 0u32..500,
+        markers in 0u32..200,
+        probe in any::<u32>(),
+    ) {
+        let lex = Lexicon::with_markers(seed, classes, per_class, shared, markers);
+        let id = probe % lex.total_words().max(1);
+        let w = lex.word(id);
+        prop_assert_eq!(lex.decode(&w), Some(id));
+        prop_assert!(lex.kind_of(id).is_some());
+    }
+
+    /// Kind boundaries partition the id space exactly.
+    #[test]
+    fn kinds_partition_the_space(
+        seed in any::<u64>(),
+        classes in 1u16..8,
+        per_class in 1u32..100,
+        shared in 0u32..300,
+        markers in 0u32..100,
+    ) {
+        let lex = Lexicon::with_markers(seed, classes, per_class, shared, markers);
+        let (mut s, mut m, mut c) = (0u32, 0u32, 0u32);
+        for id in 0..lex.total_words() {
+            match lex.kind_of(id) {
+                Some(WordKind::Shared) => s += 1,
+                Some(WordKind::Marker) => m += 1,
+                Some(WordKind::Class(_)) => c += 1,
+                None => prop_assert!(false, "id {} unclassified", id),
+            }
+        }
+        prop_assert_eq!(s, shared);
+        prop_assert_eq!(m, markers);
+        prop_assert_eq!(c, per_class * classes as u32);
+        prop_assert_eq!(lex.kind_of(lex.total_words()), None);
+    }
+
+    /// Sampled documents contain only words from the lexicon, and the
+    /// own-class fraction grows with informativeness.
+    #[test]
+    fn documents_come_from_the_lexicon(
+        seed in any::<u64>(),
+        class in 0u16..4,
+        alpha in 0.0f64..0.95,
+    ) {
+        let lex = Lexicon::with_markers(7, 4, 80, 400, 0);
+        let sampler = TextSampler::new(&lex, DocumentSpec {
+            title_words: 6, body_words: 40, cross_noise: 0.2, zipf_s: 1.0,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = sampler.sample_body(ClassId(class), alpha, &mut rng);
+        for w in body.split_whitespace() {
+            prop_assert!(lex.kind_of_word(w).is_some(), "alien word {}", w);
+        }
+    }
+}

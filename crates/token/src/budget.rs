@@ -1,0 +1,77 @@
+//! Budget ⇄ pruned-fraction arithmetic from the running example (§V-C).
+//!
+//! With `q = |V_Q|` queries, `tv` average tokens per *full* query and `tn`
+//! average tokens of neighbor text, executing a τ fraction of queries
+//! without neighbor text costs
+//!
+//! ```text
+//! B(τ) = τ·q·(tv − tn) + (1 − τ)·q·tv = q·tv − τ·q·tn
+//! ```
+//!
+//! so the fraction needed to fit a budget `B` is
+//! `τ = (q·tv − B) / (q·tn)`, clamped to `[0, 1]`.
+
+/// Fraction of queries that must omit neighbor text to fit budget `b`.
+///
+/// * `q` — number of queries,
+/// * `tokens_full` — mean tokens of a full query (`Tokens(v)`),
+/// * `tokens_neighbor` — mean tokens of the neighbor text (`Tokens(N)`).
+///
+/// Returns a value in `[0, 1]`. A budget too small even with every query
+/// pruned saturates at 1.0 (the execution engine will then additionally
+/// refuse queries once the meter hits the hard budget).
+pub fn tau_for_budget(q: u64, tokens_full: f64, tokens_neighbor: f64, b: f64) -> f64 {
+    assert!(tokens_neighbor > 0.0, "neighbor text must cost tokens");
+    assert!(
+        tokens_full >= tokens_neighbor,
+        "full query must cost at least its neighbor text"
+    );
+    let full_cost = q as f64 * tokens_full;
+    let tau = (full_cost - b) / (q as f64 * tokens_neighbor);
+    tau.clamp(0.0, 1.0)
+}
+
+/// Token budget implied by pruning a τ fraction of queries (inverse of
+/// [`tau_for_budget`]).
+pub fn budget_for_tau(q: u64, tokens_full: f64, tokens_neighbor: f64, tau: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&tau), "tau must be a fraction");
+    q as f64 * tokens_full - tau * q as f64 * tokens_neighbor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let (q, tv, tn) = (1000, 1200.0, 800.0);
+        for tau in [0.0, 0.2, 0.5, 1.0] {
+            let b = budget_for_tau(q, tv, tn, tau);
+            let back = tau_for_budget(q, tv, tn, b);
+            assert!((back - tau).abs() < 1e-12, "tau {tau} -> {back}");
+        }
+    }
+
+    #[test]
+    fn generous_budget_needs_no_pruning() {
+        assert_eq!(tau_for_budget(1000, 1200.0, 800.0, 2_000_000.0), 0.0);
+    }
+
+    #[test]
+    fn tiny_budget_saturates() {
+        assert_eq!(tau_for_budget(1000, 1200.0, 800.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn paper_shape_twenty_percent() {
+        // Pruning 20% of 1,000 queries with tv=1200, tn=800 saves 160k.
+        let b = budget_for_tau(1000, 1200.0, 800.0, 0.2);
+        assert!((b - (1_200_000.0 - 160_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor text must cost tokens")]
+    fn rejects_zero_neighbor_tokens() {
+        tau_for_budget(10, 100.0, 0.0, 50.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Token usage accounting.
+//!
+//! [`UsageMeter`] is shared between an LLM client (which records every
+//! request's prompt/completion token counts through `&self`) and the
+//! execution engine (which reads totals to enforce the Eq. 2 budget
+//! constraint). Interior mutability via `parking_lot::Mutex` keeps the
+//! `LanguageModel` trait object-safe with `&self` methods.
+
+use parking_lot::Mutex;
+
+/// Token usage of a single request (mirrors the OpenAI `usage` object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    /// Tokens in the prompt (input).
+    pub prompt_tokens: u64,
+    /// Tokens in the generated completion (output).
+    pub completion_tokens: u64,
+}
+
+impl Usage {
+    /// Prompt + completion.
+    pub fn total(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Accumulated usage across many requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Totals {
+    /// Number of requests recorded.
+    pub requests: u64,
+    /// Sum of prompt tokens.
+    pub prompt_tokens: u64,
+    /// Sum of completion tokens.
+    pub completion_tokens: u64,
+}
+
+impl Totals {
+    /// Prompt + completion.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Thread-safe accumulating token ledger.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    inner: Mutex<Totals>,
+}
+
+impl UsageMeter {
+    /// Fresh meter with zero totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request's usage.
+    pub fn record(&self, usage: Usage) {
+        let mut t = self.inner.lock();
+        t.requests += 1;
+        t.prompt_tokens += usage.prompt_tokens;
+        t.completion_tokens += usage.completion_tokens;
+    }
+
+    /// Snapshot the running totals.
+    pub fn totals(&self) -> Totals {
+        *self.inner.lock()
+    }
+
+    /// Reset to zero (between experiment arms).
+    pub fn reset(&self) {
+        *self.inner.lock() = Totals::default();
+    }
+
+    /// Whether recording `next` prompt tokens would exceed `budget` input
+    /// tokens. The paper's budget B constrains *input* tokens (prompt side),
+    /// since completions are single category names.
+    pub fn would_exceed(&self, next_prompt_tokens: u64, budget: u64) -> bool {
+        self.inner.lock().prompt_tokens + next_prompt_tokens > budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let m = UsageMeter::new();
+        m.record(Usage { prompt_tokens: 100, completion_tokens: 5 });
+        m.record(Usage { prompt_tokens: 50, completion_tokens: 3 });
+        let t = m.totals();
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.prompt_tokens, 150);
+        assert_eq!(t.completion_tokens, 8);
+        assert_eq!(t.total_tokens(), 158);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = UsageMeter::new();
+        m.record(Usage { prompt_tokens: 10, completion_tokens: 1 });
+        m.reset();
+        assert_eq!(m.totals(), Totals::default());
+    }
+
+    #[test]
+    fn budget_check() {
+        let m = UsageMeter::new();
+        m.record(Usage { prompt_tokens: 900, completion_tokens: 0 });
+        assert!(!m.would_exceed(100, 1000));
+        assert!(m.would_exceed(101, 1000));
+    }
+
+    #[test]
+    fn meter_is_sync_across_threads() {
+        let m = std::sync::Arc::new(UsageMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(Usage { prompt_tokens: 1, completion_tokens: 1 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.totals().requests, 4000);
+        assert_eq!(m.totals().prompt_tokens, 4000);
+    }
+}

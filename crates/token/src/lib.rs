@@ -1,0 +1,45 @@
+//! # mqo-token — tokenization, accounting, pricing, and budget math
+//!
+//! Every cost number in the paper is denominated in LLM input tokens, so
+//! this crate is the measurement substrate:
+//!
+//! * [`Tokenizer`] — a deterministic BPE-flavoured tokenizer (whitespace /
+//!   punctuation split plus fixed-width subword chunking). It does not aim
+//!   for byte parity with tiktoken — only the *ratios* between prompt
+//!   variants matter for reproducing the paper's shape — but it has the
+//!   right qualitative behaviour: longer words cost more tokens,
+//!   punctuation is visible, counts are stable.
+//! * [`UsageMeter`] — a thread-safe token ledger that LLM clients append to
+//!   on every request; the execution engine reads it to enforce budgets
+//!   (Eq. 2's constraint `Σ Tokens(π ∘ v_i) ≤ B`).
+//! * [`pricing`] — per-model $ / 1k-token price tables (GPT-3.5-0125,
+//!   GPT-4o-mini, GPT-4) used by the cost-planning example and Table V.
+//! * [`budget`] — the running-example arithmetic (§V-C): converting a token
+//!   budget `B` into the pruned fraction τ% and back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! ```
+//! use mqo_token::{Tokenizer, budget::tau_for_budget, GPT_35_TURBO_0125};
+//!
+//! let prompt = "Target paper: Title: storage engines\nAbstract: compaction";
+//! let tokens = Tokenizer.count(prompt);
+//! assert!(tokens > 5);
+//!
+//! // 1,000 queries averaging 1,200 tokens, 800 of which are neighbor text,
+//! // under a $0.40 budget at GPT-3.5 prices:
+//! let budget_tokens = 0.40 / GPT_35_TURBO_0125.input_per_1k * 1000.0;
+//! let tau = tau_for_budget(1000, 1200.0, 800.0, budget_tokens);
+//! assert!(tau > 0.49 && tau < 0.51); // prune half the queries
+//! ```
+
+pub mod budget;
+pub mod ledger;
+pub mod pricing;
+pub mod tokenizer;
+
+pub use budget::{budget_for_tau, tau_for_budget};
+pub use ledger::{Usage, UsageMeter};
+pub use pricing::{ModelPricing, GPT_35_TURBO_0125, GPT_4, GPT_4O_MINI};
+pub use tokenizer::Tokenizer;

@@ -1,0 +1,67 @@
+//! Per-model price tables (USD per 1,000 tokens).
+//!
+//! The intro's cost motivation uses GPT-3.5 at $0.0005 / 1k input tokens
+//! and extrapolates to GPT-4; the constants here match the prices the paper
+//! quotes (early-2024 OpenAI list prices).
+
+use crate::ledger::Totals;
+
+/// Prices for one model, in USD per 1,000 tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPricing {
+    /// Model display name.
+    pub name: &'static str,
+    /// USD per 1k prompt tokens.
+    pub input_per_1k: f64,
+    /// USD per 1k completion tokens.
+    pub output_per_1k: f64,
+}
+
+/// GPT-3.5-turbo-0125 — the paper's default LLM ($0.0005 / 1k input).
+pub const GPT_35_TURBO_0125: ModelPricing =
+    ModelPricing { name: "gpt-3.5-turbo-0125", input_per_1k: 0.0005, output_per_1k: 0.0015 };
+
+/// GPT-4o-mini — the paper's second black-box LLM.
+pub const GPT_4O_MINI: ModelPricing =
+    ModelPricing { name: "gpt-4o-mini", input_per_1k: 0.00015, output_per_1k: 0.0006 };
+
+/// GPT-4 — used in the intro's $360,000 extrapolation ($0.03 / 1k input).
+pub const GPT_4: ModelPricing =
+    ModelPricing { name: "gpt-4", input_per_1k: 0.03, output_per_1k: 0.06 };
+
+impl ModelPricing {
+    /// Dollar cost of the given accumulated usage.
+    pub fn cost(&self, totals: Totals) -> f64 {
+        totals.prompt_tokens as f64 / 1000.0 * self.input_per_1k
+            + totals.completion_tokens as f64 / 1000.0 * self.output_per_1k
+    }
+
+    /// Dollar cost of `tokens` input tokens only (Table V style estimates).
+    pub fn input_cost(&self, tokens: u64) -> f64 {
+        tokens as f64 / 1000.0 * self.input_per_1k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_intro_arithmetic_holds() {
+        // "each query ... at least 1,200 tokens ... a single query would
+        // cost at least $0.0006" with GPT-3.5.
+        let per_query = GPT_35_TURBO_0125.input_cost(1200);
+        assert!((per_query - 0.0006).abs() < 1e-12);
+        // "10 million queries would cost at least $6,000"
+        assert!((GPT_35_TURBO_0125.input_cost(1200) * 10_000_000.0 - 6000.0).abs() < 1e-6);
+        // "while using GPT-4 would increase the cost to $360,000"
+        assert!((GPT_4.input_cost(1200) * 10_000_000.0 - 360_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_combines_input_and_output() {
+        let t = Totals { requests: 1, prompt_tokens: 1000, completion_tokens: 1000 };
+        let c = GPT_35_TURBO_0125.cost(t);
+        assert!((c - 0.002).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic BPE-flavoured tokenizer.
+//!
+//! Rules (chosen to mimic the qualitative behaviour of GPT tokenizers):
+//!
+//! * runs of alphanumeric characters are words; a word costs
+//!   `ceil(len / SUBWORD)` tokens where `SUBWORD = 4` approximates the
+//!   well-known "≈4 characters per token" heuristic;
+//! * every punctuation / symbol character is its own token;
+//! * whitespace is free (merged into the following token, as BPE does).
+//!
+//! Counting never allocates; [`Tokenizer::tokenize`] (used by tests and the
+//! simulated LLM's prompt reader) yields borrowed word slices.
+
+/// Characters per subword chunk.
+const SUBWORD: usize = 4;
+
+/// The workspace tokenizer. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Create a tokenizer.
+    pub fn new() -> Self {
+        Tokenizer
+    }
+
+    /// Number of tokens in `text`. O(len), zero allocation.
+    pub fn count(&self, text: &str) -> usize {
+        let mut tokens = 0usize;
+        let mut word_len = 0usize;
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                word_len += 1;
+            } else {
+                if word_len > 0 {
+                    tokens += word_len.div_ceil(SUBWORD);
+                    word_len = 0;
+                }
+                if !ch.is_whitespace() {
+                    tokens += 1;
+                }
+            }
+        }
+        if word_len > 0 {
+            tokens += word_len.div_ceil(SUBWORD);
+        }
+        tokens
+    }
+
+    /// Iterate the alphanumeric words of `text` as borrowed slices
+    /// (punctuation skipped). This is the view the simulated LLM reads.
+    pub fn words<'a>(&self, text: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        text.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty())
+    }
+
+    /// Tokenize into subword pieces (owned); for debugging and tests.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut word = String::new();
+        let flush = |word: &mut String, out: &mut Vec<String>| {
+            if !word.is_empty() {
+                let chars: Vec<char> = word.chars().collect();
+                for chunk in chars.chunks(SUBWORD) {
+                    out.push(chunk.iter().collect());
+                }
+                word.clear();
+            }
+        };
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                word.push(ch);
+            } else {
+                flush(&mut word, &mut out);
+                if !ch.is_whitespace() {
+                    out.push(ch.to_string());
+                }
+            }
+        }
+        flush(&mut word, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(Tokenizer.count(""), 0);
+        assert_eq!(Tokenizer.count("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(Tokenizer.count("the"), 1);
+        assert_eq!(Tokenizer.count("a b c"), 3);
+    }
+
+    #[test]
+    fn long_words_split_into_subwords() {
+        assert_eq!(Tokenizer.count("data"), 1); // 4 chars
+        assert_eq!(Tokenizer.count("datab"), 2); // 5 chars
+        assert_eq!(Tokenizer.count("databases"), 3); // 9 chars
+    }
+
+    #[test]
+    fn punctuation_costs_one_each() {
+        assert_eq!(Tokenizer.count("['XX']"), 5); // [ ' ] plus the word XX
+        assert_eq!(Tokenizer.count("a, b."), 4);
+    }
+
+    #[test]
+    fn count_matches_tokenize_len() {
+        for text in [
+            "Target paper: Title: foo\nAbstract: bar baz",
+            "Category: ['Database']",
+            "word punctuation-heavy, (parenthetical) text!",
+            "",
+        ] {
+            assert_eq!(Tokenizer.count(text), Tokenizer.tokenize(text).len(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn words_iterator_strips_punctuation() {
+        let words: Vec<&str> = Tokenizer.words("Title: hello, world-wide!").collect();
+        assert_eq!(words, vec!["Title", "hello", "world", "wide"]);
+    }
+
+    #[test]
+    fn unicode_does_not_panic() {
+        assert!(Tokenizer.count("naïve café résumé — “quotes”") > 0);
+    }
+
+    #[test]
+    fn count_is_additive_over_concatenation_with_space() {
+        let a = "some words here";
+        let b = "and more there";
+        let joined = format!("{a} {b}");
+        assert_eq!(Tokenizer.count(&joined), Tokenizer.count(a) + Tokenizer.count(b));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the tokenizer and budget arithmetic.
+
+use mqo_token::budget::{budget_for_tau, tau_for_budget};
+use mqo_token::Tokenizer;
+use proptest::prelude::*;
+
+proptest! {
+    /// The fast counting path agrees with the materializing path on any
+    /// input, including multi-byte unicode.
+    #[test]
+    fn count_equals_tokenize_len(text in "\\PC{0,200}") {
+        prop_assert_eq!(Tokenizer.count(&text), Tokenizer.tokenize(&text).len());
+    }
+
+    /// Counting is additive across a whitespace join.
+    #[test]
+    fn count_additive_over_space(a in "[a-zA-Z0-9 ,.]{0,80}", b in "[a-zA-Z0-9 ,.]{0,80}") {
+        let joined = format!("{a} {b}");
+        prop_assert_eq!(
+            Tokenizer.count(&joined),
+            Tokenizer.count(&a) + Tokenizer.count(&b)
+        );
+    }
+
+    /// Tokens are never longer than the subword width for words, and the
+    /// total character mass is conserved (no token invents characters).
+    #[test]
+    fn tokens_cover_input(text in "[a-z ]{0,120}") {
+        let tokens = Tokenizer.tokenize(&text);
+        let token_chars: usize = tokens.iter().map(|t| t.chars().count()).sum();
+        let input_chars = text.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert_eq!(token_chars, input_chars);
+        for t in &tokens {
+            prop_assert!(t.chars().count() <= 4);
+        }
+    }
+
+    /// Budget ⇄ τ roundtrips wherever τ is interior.
+    #[test]
+    fn budget_tau_roundtrip(
+        q in 1u64..100_000,
+        tn in 1.0f64..5000.0,
+        extra in 0.0f64..5000.0,
+        tau in 0.0f64..1.0,
+    ) {
+        let tv = tn + extra;
+        let b = budget_for_tau(q, tv, tn, tau);
+        let back = tau_for_budget(q, tv, tn, b);
+        prop_assert!((back - tau).abs() < 1e-6, "tau {} -> {}", tau, back);
+    }
+
+    /// τ is monotone non-increasing in the budget.
+    #[test]
+    fn tau_monotone_in_budget(
+        q in 1u64..10_000,
+        tn in 1.0f64..2000.0,
+        extra in 0.0f64..2000.0,
+        b1 in 0.0f64..1e8,
+        delta in 0.0f64..1e8,
+    ) {
+        let tv = tn + extra;
+        let t1 = tau_for_budget(q, tv, tn, b1);
+        let t2 = tau_for_budget(q, tv, tn, b1 + delta);
+        prop_assert!(t2 <= t1 + 1e-12);
+    }
+}

