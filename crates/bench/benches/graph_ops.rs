@@ -31,7 +31,7 @@ fn bench_khop(c: &mut Criterion) {
     let mut out = Vec::new();
     let nodes: Vec<NodeId> = (0..g.num_nodes() as u32).step_by(7).map(NodeId).collect();
     for k in [1u8, 2, 3] {
-        c.bench_function(&format!("khop_bfs_cora_k{k}"), |b| {
+        c.bench_function(format!("khop_bfs_cora_k{k}"), |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for &v in &nodes {

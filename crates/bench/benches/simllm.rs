@@ -37,8 +37,7 @@ fn bench_complete(c: &mut Criterion) {
     });
 
     let labels = LabelStore::empty(tag.num_nodes());
-    let queries: Vec<mqo_graph::NodeId> =
-        (0..100u32).map(mqo_graph::NodeId).collect();
+    let queries: Vec<mqo_graph::NodeId> = (0..100u32).map(mqo_graph::NodeId).collect();
     let mut group = c.benchmark_group("executor");
     group.sample_size(20);
     group.bench_function("run_100_queries_1hop", |b| {

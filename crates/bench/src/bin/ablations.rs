@@ -81,10 +81,8 @@ fn main() {
     let full_plan = PrunePlan::by_inadequacy(&scorer, tag, queries, tau);
 
     // Entropy channel alone: rank by H(p_i) without the bias merger.
-    let mut by_entropy: Vec<(NodeId, f32)> = queries
-        .iter()
-        .map(|&v| (v, scorer.surrogate().entropy_of(tag, v)))
-        .collect();
+    let mut by_entropy: Vec<(NodeId, f32)> =
+        queries.iter().map(|&v| (v, scorer.surrogate().entropy_of(tag, v))).collect();
     by_entropy.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     let cut = (queries.len() as f64 * tau).round() as usize;
     let entropy_plan = PrunePlan::from_set(
@@ -96,9 +94,8 @@ fn main() {
     let zero = exec.run_all(&ZeroShot, &labels, queries, |_| false).unwrap();
     let oracle_saturated: Vec<NodeId> =
         zero.records.iter().filter(|r| r.correct).map(|r| r.node).collect();
-    let oracle_plan = PrunePlan::from_set(
-        oracle_saturated.into_iter().take(cut).collect::<HashSet<_>>(),
-    );
+    let oracle_plan =
+        PrunePlan::from_set(oracle_saturated.into_iter().take(cut).collect::<HashSet<_>>());
 
     let random_plan = PrunePlan::random(queries, tau, SEED);
 
@@ -143,11 +140,7 @@ fn main() {
         rows.push(vec![dim.to_string(), format!("{:.1}", out.accuracy() * 100.0)]);
         sns_json.push(json!({"dim": dim, "accuracy": out.accuracy() * 100.0}));
     }
-    print_table(
-        "Ablation 3 — SNS hashed-embedding width (Cora)",
-        &["dim", "accuracy"],
-        &rows,
-    );
+    print_table("Ablation 3 — SNS hashed-embedding width (Cora)", &["dim", "accuracy"], &rows);
     artifacts.insert("sns_dimension".into(), json!(sns_json));
 
     // ----- 4. boosting vs pure label propagation ----------------------------
@@ -160,10 +153,8 @@ fn main() {
         &labeled,
         mqo_gnn::LabelPropConfig::default(),
     );
-    let lp_acc = queries
-        .iter()
-        .filter(|&&v| lp_preds[v.index()] == tag.label(v))
-        .count() as f64
+    let lp_acc = queries.iter().filter(|&&v| lp_preds[v.index()] == tag.label(v)).count()
+        as f64
         / queries.len() as f64;
     let zero = exec.run_all(&ZeroShot, &labels, queries, |_| false).unwrap();
     let khop2 = KhopRandom::new(2, tag.num_nodes());

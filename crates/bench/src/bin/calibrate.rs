@@ -37,9 +37,8 @@ fn main() {
         ];
         let mut row = vec![id.name().to_string()];
         for (mi, m) in methods.iter().enumerate() {
-            let out = exec
-                .run_all(m.as_ref(), &labels, ctx.split.queries(), |_| false)
-                .unwrap();
+            let out =
+                exec.run_all(m.as_ref(), &labels, ctx.split.queries(), |_| false).unwrap();
             row.push(format!("{:.1} ({:.1})", out.accuracy() * 100.0, PAPER[d].1[mi]));
         }
         rows.push(row);

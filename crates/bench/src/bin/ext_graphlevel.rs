@@ -37,8 +37,7 @@ fn main() {
     })];
     for k in [2usize, 4, 6, 8, 12] {
         llm.meter().reset();
-        let rel =
-            run_graph_task(&collection, &llm, NodeBudget::RelevanceK(k), SEED).unwrap();
+        let rel = run_graph_task(&collection, &llm, NodeBudget::RelevanceK(k), SEED).unwrap();
         let rnd = run_graph_task(&collection, &llm, NodeBudget::RandomK(k), SEED).unwrap();
         rows.push(vec![
             format!("k = {k}"),

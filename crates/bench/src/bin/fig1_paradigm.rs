@@ -10,7 +10,9 @@ use mqo_core::predictor::{KhopRandom, Sns, ZeroShot};
 use mqo_core::{Executor, LabelStore};
 use mqo_data::DatasetId;
 use mqo_encoder::{HashedEncoder, TextEncoder};
-use mqo_gnn::{label_propagation, matrix::Matrix, GnnConfig, GnnKind, GnnModel, LabelPropConfig};
+use mqo_gnn::{
+    label_propagation, matrix::Matrix, GnnConfig, GnnKind, GnnModel, LabelPropConfig,
+};
 use mqo_llm::{LanguageModel, ModelProfile};
 use mqo_token::GPT_35_TURBO_0125;
 use serde_json::json;
@@ -57,17 +59,20 @@ fn main() {
             format!("{train_secs:.1}s train"),
             "$0 (self-hosted)".into(),
         ]);
-        artifacts.push(json!({"predictor": name, "accuracy": acc * 100.0, "train_secs": train_secs}));
+        artifacts.push(
+            json!({"predictor": name, "accuracy": acc * 100.0, "train_secs": train_secs}),
+        );
     }
     // Label propagation: the no-text control.
-    let lp_labeled: Vec<_> =
-        split.labeled().iter().map(|&v| (v, tag.label(v))).collect();
-    let lp = label_propagation(tag.graph(), tag.num_classes(), &lp_labeled, LabelPropConfig::default());
-    let lp_acc = split
-        .queries()
-        .iter()
-        .filter(|&&v| lp[v.index()] == tag.label(v))
-        .count() as f64
+    let lp_labeled: Vec<_> = split.labeled().iter().map(|&v| (v, tag.label(v))).collect();
+    let lp = label_propagation(
+        tag.graph(),
+        tag.num_classes(),
+        &lp_labeled,
+        LabelPropConfig::default(),
+    );
+    let lp_acc = split.queries().iter().filter(|&&v| lp[v.index()] == tag.label(v)).count()
+        as f64
         / split.queries().len() as f64;
     rows.push(vec![
         "Label propagation".into(),

@@ -22,10 +22,7 @@ fn main() {
 
     // --- Canonical distributions (the Fig. 2 regions in isolation) -------
     for (name, joint) in [
-        (
-            "copies (pure R)",
-            Joint::from_weights(&[((0, 0, 0), 1.0), ((1, 1, 1), 1.0)]),
-        ),
+        ("copies (pure R)", Joint::from_weights(&[((0, 0, 0), 1.0), ((1, 1, 1), 1.0)])),
         (
             "XOR (pure S)",
             Joint::from_weights(&[

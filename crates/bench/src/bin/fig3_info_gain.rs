@@ -21,8 +21,7 @@ fn main() {
         let labels = LabelStore::from_split(tag, &ctx.split);
         let exec = Executor::new(tag, &ctx.llm, m_for(id), SEED);
         let khop = KhopRandom::new(1, tag.num_nodes());
-        let report =
-            info_gain_experiment(&exec, &khop, &labels, ctx.split.queries()).unwrap();
+        let report = info_gain_experiment(&exec, &khop, &labels, ctx.split.queries()).unwrap();
         rows.push(vec![
             id.name().to_string(),
             report.with_labels.to_string(),
@@ -43,7 +42,14 @@ fn main() {
     }
     print_table(
         "Fig. 3 — IG proxy by neighbor-label presence (percentage points)",
-        &["dataset", "#N_L!=0", "#N_L==0", "% with labels", "gain w/ labels", "gain w/o labels"],
+        &[
+            "dataset",
+            "#N_L!=0",
+            "#N_L==0",
+            "% with labels",
+            "gain w/ labels",
+            "gain w/o labels",
+        ],
         &rows,
     );
     write_json("fig3_info_gain", &json!(artifacts));

@@ -23,16 +23,9 @@ fn main() {
         let scorer =
             InadequacyScorer::build(&exec, &ctx.split, &surrogate_for(id), 10, SEED).unwrap();
         let khop = KhopRandom::new(1, tag.num_nodes());
-        let points = budget_sweep(
-            &exec,
-            &khop,
-            &labels,
-            ctx.split.queries(),
-            &scorer,
-            &taus,
-            SEED,
-        )
-        .unwrap();
+        let points =
+            budget_sweep(&exec, &khop, &labels, ctx.split.queries(), &scorer, &taus, SEED)
+                .unwrap();
 
         let rows: Vec<Vec<String>> = points
             .iter()

@@ -5,6 +5,7 @@
 //! mqo inspect  FILE
 //! mqo classify <dataset|FILE> [--method M] [--queries N] [--prune TAU]
 //!              [--boost] [--model gpt35|gpt4o-mini] [--threads T]
+//!              [--budget B] [--retries N] [--trace FILE]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -15,6 +16,7 @@
 //! Argument parsing is hand-rolled (std only) — the tool has five verbs
 //! and a dozen flags, not enough to justify a parser dependency.
 
+use mqo_bench::harness::Trace;
 use mqo_core::boosting::{run_with_boosting, BoostConfig};
 use mqo_core::metrics::ConfusionMatrix;
 use mqo_core::parallel::run_all_parallel;
@@ -25,12 +27,13 @@ use mqo_core::surrogate::SurrogateConfig;
 use mqo_core::{Executor, InadequacyScorer, LabelStore};
 use mqo_data::{dataset, persist, DatasetBundle, DatasetId};
 use mqo_graph::{LabeledSplit, SplitConfig};
-use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
+use mqo_llm::{LanguageModel, LenientLlm, ModelProfile, RetryingLlm, SimLlm, ValidatingLlm};
 use mqo_token::GPT_35_TURBO_0125;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -38,7 +41,8 @@ fn usage() -> ExitCode {
          mqo generate <dataset> [--scale S] [--seed N] --out FILE\n  \
          mqo inspect  FILE\n  \
          mqo classify <dataset|FILE> [--method zero-shot|1hop|2hop|sns|llmrank]\n               \
-         [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n  \
+         [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n               \
+         [--budget B] [--retries N] [--trace FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -110,7 +114,11 @@ fn make_predictor(method: &str, bundle: &DatasetBundle) -> Result<Box<dyn Predic
     })
 }
 
-fn split_for(bundle: &DatasetBundle, queries: usize, seed: u64) -> Result<LabeledSplit, String> {
+fn split_for(
+    bundle: &DatasetBundle,
+    queries: usize,
+    seed: u64,
+) -> Result<LabeledSplit, String> {
     let cfg = match bundle.spec.split {
         SplitConfig::PerClass { per_class, .. } => {
             SplitConfig::PerClass { per_class, num_queries: queries }
@@ -171,22 +179,49 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     };
 
     let split = split_for(&bundle, queries, seed)?;
-    let llm = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
+    // The client stack a production deployment runs: simulated model →
+    // strict format validation → bounded retries with the format reminder
+    // → lenient recovery (the executor's deterministic parse fallback is
+    // the last resort rather than aborting a campaign).
+    // Retries re-send the prompt after the budget check has passed, so
+    // under a hard budget they default off (each retry could spend tokens
+    // the check never saw); pass --retries explicitly to trade strict
+    // Eq. 2 accounting for format robustness.
+    let default_retries = if flags.contains_key("budget") { 1 } else { 3 };
+    let retries: u32 = flags
+        .get("retries")
+        .map_or(Ok(default_retries), |s| s.parse().map_err(|_| "bad --retries"))?;
+    let sim = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
+    let mut retrying = RetryingLlm::new(
+        ValidatingLlm::new(sim, bundle.tag.class_names().to_vec()),
+        retries.max(1),
+    );
+    let trace = flags
+        .get("trace")
+        .map(Trace::create)
+        .transpose()
+        .map_err(|e| format!("cannot create trace file: {e}"))?;
+    if let Some(t) = &trace {
+        retrying = retrying.with_sink(Arc::new(t.clone()));
+    }
+    let llm = LenientLlm::new(retrying);
     let m = if bundle.tag.name() == "ogbn-products" { 10 } else { 4 };
-    let exec = Executor::new(&bundle.tag, &llm, m, seed);
+    let mut exec = Executor::new(&bundle.tag, &llm, m, seed);
+    if let Some(b) = flags.get("budget") {
+        exec = exec.with_budget(b.parse().map_err(|_| "bad --budget")?);
+    }
+    if let Some(t) = &trace {
+        exec = exec.with_sink(t);
+        llm.meter().attach_sink(Arc::new(t.clone()));
+    }
     let predictor = make_predictor(method, &bundle)?;
 
     let plan = match flags.get("prune") {
         Some(tau_s) => {
             let tau: f64 = tau_s.parse().map_err(|_| "bad --prune")?;
-            let scorer = InadequacyScorer::build(
-                &exec,
-                &split,
-                &SurrogateConfig::small(seed),
-                10,
-                seed,
-            )
-            .map_err(|e| format!("scorer: {e}"))?;
+            let scorer =
+                InadequacyScorer::build(&exec, &split, &SurrogateConfig::small(seed), 10, seed)
+                    .map_err(|e| format!("scorer: {e}"))?;
             PrunePlan::by_inadequacy(&scorer, &bundle.tag, split.queries(), tau)
         }
         None => PrunePlan::default(),
@@ -231,11 +266,24 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     println!("with neighbors  : {}", outcome.queries_with_neighbors());
     println!("prompt tokens   : {}", outcome.prompt_tokens());
     let totals = llm.meter().totals();
+    if let Some(b) = exec.budget {
+        println!(
+            "budget          : {} of {} input tokens spent ({} queries starved)",
+            totals.prompt_tokens,
+            b,
+            outcome.budget_starved(),
+        );
+    }
     println!(
         "est. cost       : ${:.4} at {} prices",
         GPT_35_TURBO_0125.cost(totals),
         GPT_35_TURBO_0125.name
     );
+    if let Some(t) = &trace {
+        mqo_obs::EventSink::flush(t);
+        print!("{}", t.summary());
+        println!("trace written   : {}", flags["trace"]);
+    }
     Ok(())
 }
 
@@ -272,16 +320,27 @@ fn cmd_plan(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Strin
     )
     .map_err(|e| format!("plan: {e}"))?;
     println!("campaign plan for {} × {} queries ({method}):", bundle.tag.name(), plan.queries);
-    println!("  mean tokens/query    : {:.0} ({:.0} neighbor text)", plan.tokens_full, plan.tokens_neighbor);
-    println!("  unoptimized          : {:.0} tokens = ${:.4}", plan.est_tokens_unpruned, plan.est_cost_unpruned);
+    println!(
+        "  mean tokens/query    : {:.0} ({:.0} neighbor text)",
+        plan.tokens_full, plan.tokens_neighbor
+    );
+    println!(
+        "  unoptimized          : {:.0} tokens = ${:.4}",
+        plan.est_tokens_unpruned, plan.est_cost_unpruned
+    );
     println!("  budget               : ${dollars:.4}");
     println!("  → prune τ            : {:.0}%", plan.tau * 100.0);
-    println!("  planned              : {:.0} tokens = ${:.4}", plan.est_tokens_planned, plan.est_cost_planned);
+    println!(
+        "  planned              : {:.0} tokens = ${:.4}",
+        plan.est_tokens_planned, plan.est_cost_planned
+    );
     Ok(())
 }
 
 fn cmd_tables() {
-    println!("table/figure → regenerating binary (cargo run --release -p mqo-bench --bin <name>)");
+    println!(
+        "table/figure → regenerating binary (cargo run --release -p mqo-bench --bin <name>)"
+    );
     for (what, bin) in [
         ("Fig. 1    — GNN vs LLM paradigms", "fig1_paradigm"),
         ("Fig. 2    — partial information decomposition", "fig2_pid"),

@@ -54,8 +54,7 @@ fn main() {
                 })
                 .collect()
         };
-        for (arm, prompts) in
-            [("base", render_all(false)), ("w/ prune 20%", render_all(true))]
+        for (arm, prompts) in [("base", render_all(false)), ("w/ prune 20%", render_all(true))]
         {
             let total_tokens: usize = prompts.iter().map(|p| Tokenizer.count(p)).sum();
             // Global common prefix across all prompts.
@@ -65,11 +64,9 @@ fn main() {
                 .fold(prompts[0].len(), |acc, p| acc.min(common_prefix_len(&prompts[0], p)));
             // Mean pairwise (consecutive) shared prefix — what a radix-tree
             // cache would hit when prompts are served in order.
-            let pairwise: usize = prompts
-                .windows(2)
-                .map(|w| common_prefix_len(&w[0], &w[1]))
-                .sum::<usize>()
-                / (prompts.len() - 1);
+            let pairwise: usize =
+                prompts.windows(2).map(|w| common_prefix_len(&w[0], &w[1])).sum::<usize>()
+                    / (prompts.len() - 1);
             let mean_len: usize =
                 prompts.iter().map(|p| p.len()).sum::<usize>() / prompts.len();
             rows.push(vec![

@@ -14,28 +14,40 @@ fn main() {
     let tag = &ctx.bundle.tag;
     let labels = LabelStore::from_split(tag, &ctx.split);
     let exec = Executor::new(tag, &ctx.llm, 4, SEED);
-    let scorer = InadequacyScorer::build(&exec, &ctx.split, &surrogate_for(DatasetId::Cora), 10, SEED).unwrap();
+    let scorer =
+        InadequacyScorer::build(&exec, &ctx.split, &surrogate_for(DatasetId::Cora), 10, SEED)
+            .unwrap();
     println!("surrogate oof acc: {:.3}", scorer.surrogate().oof_accuracy);
-    println!("bias weights w: {:?}", scorer.bias_weights().iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+    println!(
+        "bias weights w: {:?}",
+        scorer.bias_weights().iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!("merger coeffs (H, b, bias): {:?}", scorer.merger_coefficients());
 
     let zero = exec.run_all(&ZeroShot, &labels, ctx.split.queries(), |_| false).unwrap();
     let ranked = scorer.rank_ascending(tag, ctx.split.queries());
-    let correct: std::collections::HashSet<_> = zero.records.iter().filter(|r| r.correct).map(|r| r.node).collect();
+    let correct: std::collections::HashSet<_> =
+        zero.records.iter().filter(|r| r.correct).map(|r| r.node).collect();
     // In each ranking decile, what fraction is zero-shot-correct (saturated)?
     let n = ranked.len();
     for d in 0..5 {
-        let lo = d * n / 5; let hi = (d + 1) * n / 5;
-        let frac = ranked[lo..hi].iter().filter(|v| correct.contains(v)).count() as f64 / (hi - lo) as f64;
+        let lo = d * n / 5;
+        let hi = (d + 1) * n / 5;
+        let frac = ranked[lo..hi].iter().filter(|v| correct.contains(v)).count() as f64
+            / (hi - lo) as f64;
         println!("quintile {d}: saturated frac {:.3}", frac);
     }
     // alpha composition of pruned top-40%
     let cut = (n as f64 * 0.4) as usize;
     let (mut adv, mut weak, mut strong) = (0, 0, 0);
     for v in &ranked[..cut] {
-        if ctx.bundle.adversarial[v.index()] { adv += 1; }
-        else if ctx.bundle.alphas[v.index()] < 0.15 { weak += 1; }
-        else { strong += 1; }
+        if ctx.bundle.adversarial[v.index()] {
+            adv += 1;
+        } else if ctx.bundle.alphas[v.index()] < 0.15 {
+            weak += 1;
+        } else {
+            strong += 1;
+        }
     }
     println!("top-40% pruned: adversarial {adv}, weak {weak}, strong {strong}");
 }

@@ -39,8 +39,7 @@ fn main() {
         for (name, strategy) in strategies {
             let llm = SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35())
                 .with_threshold(1.05);
-            let out =
-                run_link_task(&bundle.tag, &llm, &data, strategy, 4, SEED).unwrap();
+            let out = run_link_task(&bundle.tag, &llm, &data, strategy, 4, SEED).unwrap();
             row.push(format!("{:.1}", out.accuracy() * 100.0));
             per_strategy.push(json!({
                 "strategy": name,

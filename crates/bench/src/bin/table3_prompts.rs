@@ -61,12 +61,13 @@ fn main() {
     .render();
 
     let _ = rng;
-    for (name, prompt) in [
-        ("vanilla zero-shot", &zero),
-        ("1-hop random", &khop_prompt),
-        ("SNS", &sns_prompt),
-    ] {
-        println!("\n===== Table III template: {name} ({} tokens) =====", Tokenizer.count(prompt));
+    for (name, prompt) in
+        [("vanilla zero-shot", &zero), ("1-hop random", &khop_prompt), ("SNS", &sns_prompt)]
+    {
+        println!(
+            "\n===== Table III template: {name} ({} tokens) =====",
+            Tokenizer.count(prompt)
+        );
         println!("{prompt}");
     }
     write_json(

@@ -40,9 +40,8 @@ fn main() {
             Box::new(Sns::fit(tag)),
         ];
         for (mi, method) in methods.iter().enumerate() {
-            let base = exec
-                .run_all(method.as_ref(), &labels, ctx.split.queries(), |_| false)
-                .unwrap();
+            let base =
+                exec.run_all(method.as_ref(), &labels, ctx.split.queries(), |_| false).unwrap();
             let pruned =
                 run_with_pruning(&exec, method.as_ref(), &labels, ctx.split.queries(), &plan)
                     .unwrap();
@@ -76,9 +75,7 @@ fn main() {
         delta_row.extend(measured[mi].iter().map(|&(b, p)| delta_pct(p, b)));
         rows.push(delta_row);
         let mut paper_row = vec!["  (paper Δ%)".to_string()];
-        paper_row.extend(
-            (0..5).map(|d| delta_pct(PAPER[mi].2[d], PAPER[mi].1[d])),
-        );
+        paper_row.extend((0..5).map(|d| delta_pct(PAPER[mi].2[d], PAPER[mi].1[d])));
         rows.push(paper_row);
     }
     print_table(

@@ -19,10 +19,22 @@ const PAPER_TAU: [f64; 5] = [0.690, 0.601, 0.900, 0.731, 0.794];
 
 fn main() {
     let configs = [
-        ("4 neighbors, title only", NeighborTextConfig { neighbors: 4, include_abstract: false }),
-        ("10 neighbors, title only", NeighborTextConfig { neighbors: 10, include_abstract: false }),
-        ("4 neighbors, title+abstract", NeighborTextConfig { neighbors: 4, include_abstract: true }),
-        ("10 neighbors, title+abstract", NeighborTextConfig { neighbors: 10, include_abstract: true }),
+        (
+            "4 neighbors, title only",
+            NeighborTextConfig { neighbors: 4, include_abstract: false },
+        ),
+        (
+            "10 neighbors, title only",
+            NeighborTextConfig { neighbors: 10, include_abstract: false },
+        ),
+        (
+            "4 neighbors, title+abstract",
+            NeighborTextConfig { neighbors: 4, include_abstract: true },
+        ),
+        (
+            "10 neighbors, title+abstract",
+            NeighborTextConfig { neighbors: 10, include_abstract: true },
+        ),
     ];
     let mut rows = Vec::new();
     let mut artifacts = Vec::new();

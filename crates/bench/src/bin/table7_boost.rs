@@ -71,9 +71,11 @@ fn main() {
             }
             rows.push(base_row);
             let mut boost_row = vec!["  w/ query boost".to_string()];
-            boost_row.extend(per_ds.iter().map(|(b, q)| {
-                format!("{:.1}{}", q * 100.0, if q > b { "↑" } else { "" })
-            }));
+            boost_row.extend(
+                per_ds
+                    .iter()
+                    .map(|(b, q)| format!("{:.1}{}", q * 100.0, if q > b { "↑" } else { "" })),
+            );
             if profile.name.contains("3.5") {
                 boost_row.push(format!("paper: {:?}", PAPER_35[mi].2));
             }

@@ -25,21 +25,33 @@ fn main() {
         let tag = &ctx.bundle.tag;
         let exec = Executor::new(tag, &ctx.llm, 4, SEED);
         let predictor = TunedPredictor::new(backbone, tag.num_nodes());
-        let scorer =
-            InadequacyScorer::build(&exec, &ctx.split, &surrogate_for(DatasetId::Cora), 10, SEED)
-                .unwrap();
+        let scorer = InadequacyScorer::build(
+            &exec,
+            &ctx.split,
+            &surrogate_for(DatasetId::Cora),
+            10,
+            SEED,
+        )
+        .unwrap();
         let queries = ctx.split.queries();
 
         let labels = LabelStore::from_split(tag, &ctx.split);
         let base = exec.run_all(&predictor, &labels, queries, |_| false).unwrap();
 
         let mut bl = LabelStore::from_split(tag, &ctx.split);
-        let (boosted, _) =
-            run_with_boosting(&exec, &predictor, &mut bl, queries, boost, &PrunePlan::default())
-                .unwrap();
+        let (boosted, _) = run_with_boosting(
+            &exec,
+            &predictor,
+            &mut bl,
+            queries,
+            boost,
+            &PrunePlan::default(),
+        )
+        .unwrap();
 
         let random_plan = PrunePlan::random(queries, tau, SEED);
-        let random = run_with_pruning(&exec, &predictor, &labels, queries, &random_plan).unwrap();
+        let random =
+            run_with_pruning(&exec, &predictor, &labels, queries, &random_plan).unwrap();
 
         let our_plan = PrunePlan::by_inadequacy(&scorer, tag, queries, tau);
         let ours = run_with_pruning(&exec, &predictor, &labels, queries, &our_plan).unwrap();
@@ -48,7 +60,13 @@ fn main() {
         let (both, _) =
             run_joint(&exec, &predictor, &mut jl, queries, &scorer, tau, boost).unwrap();
 
-        let accs = [base.accuracy(), boosted.accuracy(), random.accuracy(), ours.accuracy(), both.accuracy()];
+        let accs = [
+            base.accuracy(),
+            boosted.accuracy(),
+            random.accuracy(),
+            ours.accuracy(),
+            both.accuracy(),
+        ];
         rows.push(
             std::iter::once(backbone.name.to_string())
                 .chain(accs.iter().map(|a| format!("{:.1}", a * 100.0)))

@@ -4,8 +4,11 @@ use mqo_core::surrogate::SurrogateConfig;
 use mqo_data::{dataset, DatasetBundle, DatasetId};
 use mqo_graph::{LabeledSplit, SplitConfig};
 use mqo_llm::{ModelProfile, SimLlm};
+use mqo_obs::{Event, EventSink, FileSink, Recorder, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
+use std::sync::Arc;
 
 /// The workspace-wide experiment seed (reruns are bit-identical).
 pub const SEED: u64 = 20_250_704;
@@ -66,6 +69,44 @@ pub fn surrogate_for(id: DatasetId) -> SurrogateConfig {
             SurrogateConfig::small(SEED)
         }
         _ => SurrogateConfig::large(SEED),
+    }
+}
+
+/// Telemetry wiring for a traced run: every event goes both to a JSONL
+/// file (for offline analysis) and to an in-memory recorder (for the
+/// end-of-run summary). Cheap to clone — clones share the same sinks — so
+/// one trace can feed the executor (by reference) and the meter / retry
+/// layers (by `Arc`) at once.
+#[derive(Clone)]
+pub struct Trace {
+    file: Arc<FileSink>,
+    recorder: Arc<Recorder>,
+}
+
+impl Trace {
+    /// Create (truncate) the JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Trace {
+            file: Arc::new(FileSink::create(path)?),
+            recorder: Arc::new(Recorder::new()),
+        })
+    }
+
+    /// One-screen summary of everything recorded so far (p50/p99 prompt
+    /// tokens, retries, rounds, prune rate, …).
+    pub fn summary(&self) -> Summary {
+        Summary::from_events(&self.recorder.events())
+    }
+}
+
+impl EventSink for Trace {
+    fn emit(&self, event: &Event) {
+        self.file.emit(event);
+        self.recorder.emit(event);
+    }
+
+    fn flush(&self) {
+        self.file.flush();
     }
 }
 

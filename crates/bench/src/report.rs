@@ -14,11 +14,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let joined: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         println!("  {}", joined.join("  "));
     };
     line(headers.iter().map(|s| s.to_string()).collect());

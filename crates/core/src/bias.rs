@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn bias_term_weights_probabilities() {
-        let est = BiasEstimate {
-            w: vec![0.0, 1.0],
-            calib_nodes: vec![],
-            predictions: vec![],
-        };
+        let est = BiasEstimate { w: vec![0.0, 1.0], calib_nodes: vec![], predictions: vec![] };
         // All mass on the error-free class → zero bias; on the bad class → 1.
         assert_eq!(est.bias_term(&[1.0, 0.0]), 0.0);
         assert_eq!(est.bias_term(&[0.0, 1.0]), 1.0);

@@ -87,8 +87,7 @@ pub fn run_with_boosting(
     while !pending.is_empty() {
         // Step 1: candidate selection with incremental relaxation.
         let candidates: Vec<NodeId> = loop {
-            let ctx =
-                SelectCtx { tag: exec.tag, labels, max_neighbors: exec.max_neighbors };
+            let ctx = SelectCtx { tag: exec.tag, labels, max_neighbors: exec.max_neighbors };
             let mut c = Vec::new();
             for &v in &pending {
                 if plan.is_pruned(v) {
@@ -136,6 +135,13 @@ pub fn run_with_boosting(
         for r in &round_records {
             labels.add_pseudo(r.node, r.predicted);
         }
+        exec.sink.emit(&mqo_obs::Event::RoundCompleted {
+            round: (traces.len() - 1) as u32,
+            executed: round_records.len() as u64,
+            gamma1: gamma1 as u64,
+            gamma2: gamma2 as u64,
+            pseudo_label_uses: round_records.iter().map(|r| r.pseudo_neighbors as u64).sum(),
+        });
         out.records.extend(round_records);
         let executed: HashSet<NodeId> = candidates.into_iter().collect();
         pending.retain(|v| !executed.contains(v));
@@ -194,18 +200,13 @@ pub fn pseudo_label_utilization(
                 .iter()
                 .map(|&v| {
                     khop_nodes(tag.graph(), v, k_hops, &mut buf, &mut scratch);
-                    let labeled =
-                        scratch.iter().filter(|h| labels.is_labeled(h.node)).count();
-                    let pending_neighbors = scratch
-                        .iter()
-                        .filter(|h| pending_set.contains(&h.node))
-                        .count();
+                    let labeled = scratch.iter().filter(|h| labels.is_labeled(h.node)).count();
+                    let pending_neighbors =
+                        scratch.iter().filter(|h| pending_set.contains(&h.node)).count();
                     (v, labeled, pending_neighbors)
                 })
                 .collect();
-            support.sort_by(|a, b| {
-                b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0))
-            });
+            support.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
             support.into_iter().take(per_round).map(|(v, _, _)| v).collect()
         } else {
             pending.iter().take(per_round).copied().collect()
@@ -220,8 +221,7 @@ pub fn pseudo_label_utilization(
                 |n| labels.is_labeled(n),
                 &mut rng,
             );
-            utilization +=
-                selected.iter().filter(|h| labels.is_pseudo(h.node)).count() as u64;
+            utilization += selected.iter().filter(|h| labels.is_pseudo(h.node)).count() as u64;
         }
         // Pseudo-labels appear after the whole round, as in Algorithm 2.
         for &v in &batch {
@@ -271,6 +271,53 @@ mod tests {
     }
 
     #[test]
+    fn rounds_are_visible_to_telemetry() {
+        let tag = two_cliques();
+        let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 3).with_sink(&sink);
+        let mut labels = LabelStore::empty(tag.num_nodes());
+        labels.add_pseudo(NodeId(1), ClassId(0));
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = vec![NodeId(0), NodeId(2), NodeId(7), NodeId(9)];
+        let (out, traces) = run_with_boosting(
+            &exec,
+            &p,
+            &mut labels,
+            &qs,
+            BoostConfig { gamma1: 2, gamma2: 2 },
+            &PrunePlan::default(),
+        )
+        .unwrap();
+        let rounds = sink.of_kind("round_completed");
+        assert_eq!(rounds.len(), traces.len(), "one event per round");
+        let (mut executed_total, mut pseudo_total) = (0u64, 0u64);
+        for (i, e) in rounds.iter().enumerate() {
+            match e {
+                mqo_obs::Event::RoundCompleted {
+                    round,
+                    executed,
+                    gamma1,
+                    gamma2,
+                    pseudo_label_uses,
+                } => {
+                    assert_eq!(*round as usize, i);
+                    assert_eq!(*executed, traces[i].executed as u64);
+                    assert_eq!(*gamma1, traces[i].gamma1 as u64);
+                    assert_eq!(*gamma2, traces[i].gamma2 as u64);
+                    executed_total += executed;
+                    pseudo_total += pseudo_label_uses;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(executed_total as usize, out.records.len());
+        assert_eq!(pseudo_total, out.pseudo_label_uses());
+        // The per-query stream is emitted alongside the round stream.
+        assert_eq!(sink.of_kind("query_executed").len(), out.records.len());
+    }
+
+    #[test]
     fn relaxation_terminates_with_no_labels_at_all() {
         let tag = two_cliques();
         let llm = ScriptedLlm::new(vec!["Category: ['Beta']"; 12]);
@@ -314,8 +361,7 @@ mod tests {
             &PrunePlan::default(),
         )
         .unwrap();
-        let total_pseudo_uses: usize =
-            out.records.iter().map(|r| r.pseudo_neighbors).sum();
+        let total_pseudo_uses: usize = out.records.iter().map(|r| r.pseudo_neighbors).sum();
         assert!(total_pseudo_uses > 0, "no pseudo-label ever reached a prompt");
     }
 

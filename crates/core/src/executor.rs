@@ -13,9 +13,11 @@ use crate::predictor::{Predictor, SelectCtx};
 use mqo_graph::{ClassId, NodeId, Tag};
 use mqo_llm::parse::parse_category;
 use mqo_llm::{LanguageModel, NeighborEntry, NodePromptSpec};
+use mqo_obs::{Event, EventSink, NULL_SINK};
 use mqo_token::{ledger::Totals, Tokenizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Outcome of one executed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +40,10 @@ pub struct QueryRecord {
     pub pruned: bool,
     /// Whether the completion failed to parse (fallback prediction used).
     pub parse_failed: bool,
+    /// Whether the budget was too tight for even the neighbor-free prompt:
+    /// no request was sent and the deterministic fallback prediction was
+    /// recorded instead.
+    pub budget_starved: bool,
 }
 
 /// Aggregated outcome of a multi-query run.
@@ -72,6 +78,11 @@ impl ExecOutcome {
     pub fn pseudo_label_uses(&self) -> u64 {
         self.records.iter().map(|r| r.pseudo_neighbors as u64).sum()
     }
+
+    /// Queries the budget starved entirely (no LLM request was sent).
+    pub fn budget_starved(&self) -> usize {
+        self.records.iter().filter(|r| r.budget_starved).count()
+    }
 }
 
 /// The execution engine, bound to one dataset and one model.
@@ -86,17 +97,30 @@ pub struct Executor<'a> {
     pub budget: Option<u64>,
     /// Seed for neighbor-sampling randomness.
     pub seed: u64,
+    /// Telemetry sink for per-query events (defaults to the no-op sink).
+    pub sink: &'a dyn EventSink,
 }
 
 impl<'a> Executor<'a> {
     /// Engine without a hard budget.
-    pub fn new(tag: &'a Tag, llm: &'a dyn LanguageModel, max_neighbors: usize, seed: u64) -> Self {
-        Executor { tag, llm, max_neighbors, budget: None, seed }
+    pub fn new(
+        tag: &'a Tag,
+        llm: &'a dyn LanguageModel,
+        max_neighbors: usize,
+        seed: u64,
+    ) -> Self {
+        Executor { tag, llm, max_neighbors, budget: None, seed, sink: &NULL_SINK }
     }
 
     /// Set a hard input-token budget.
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Emit per-query telemetry to `sink`.
+    pub fn with_sink(mut self, sink: &'a dyn EventSink) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -133,15 +157,22 @@ impl<'a> Executor<'a> {
         rng: &mut StdRng,
         force_prune: bool,
     ) -> Result<QueryRecord> {
+        let started = Instant::now();
         let ctx = SelectCtx { tag: self.tag, labels, max_neighbors: self.max_neighbors };
         let neighbors =
             if force_prune { Vec::new() } else { predictor.select_neighbors(&ctx, v, rng) };
         let mut prompt = self.render(predictor, v, &neighbors, labels, predictor.ranked());
         let mut pruned = force_prune || neighbors.is_empty();
         let mut used_neighbors = neighbors;
+        let mut budget_starved = false;
 
-        // Budget enforcement: if this prompt would overflow, fall back to
-        // the neighbor-free prompt for this and (implicitly) later queries.
+        // Budget enforcement (Eq. 2), applied to the *final* prompt. The
+        // first check may downgrade a neighbor-rich prompt to the
+        // neighbor-free fallback; the second check covers the fallback
+        // itself and prompts that arrived pruned (force-pruned queries are
+        // not exempt). If even the neighbor-free prompt would overflow, the
+        // query is budget-starved: no request is sent at all, so a
+        // budgeted run can never overshoot.
         if let Some(b) = self.budget {
             let cost = Tokenizer.count(&prompt) as u64;
             if !pruned && self.llm.meter().would_exceed(cost, b) {
@@ -149,19 +180,43 @@ impl<'a> Executor<'a> {
                 prompt = self.render(predictor, v, &used_neighbors, labels, false);
                 pruned = true;
             }
+            let final_cost = Tokenizer.count(&prompt) as u64;
+            if self.llm.meter().would_exceed(final_cost, b) {
+                used_neighbors = Vec::new();
+                pruned = true;
+                budget_starved = true;
+            }
         }
 
         let labeled_neighbors =
             used_neighbors.iter().filter(|&&n| labels.is_labeled(n)).count();
         let pseudo_neighbors = used_neighbors.iter().filter(|&&n| labels.is_pseudo(n)).count();
 
-        let completion = self.llm.complete(&prompt)?;
-        let parsed = parse_category(&completion.text, self.tag.class_names());
-        let parse_failed = parsed.is_none();
-        // Fallback for unparseable responses: the first category. Real
-        // clients would retry; the deterministic fallback keeps runs
-        // reproducible and is exercised by < 1% of simulated responses.
-        let predicted = ClassId::from(parsed.unwrap_or(0));
+        let (predicted, parse_failed, prompt_tokens) = if budget_starved {
+            // No tokens to spend: answer with the same deterministic
+            // fallback used for unparseable responses, without touching
+            // the model or the meter.
+            (ClassId::from(0usize), false, 0)
+        } else {
+            let completion = self.llm.complete(&prompt)?;
+            let parsed = parse_category(&completion.text, self.tag.class_names());
+            // Fallback for unparseable responses: the first category. Real
+            // clients would retry; the deterministic fallback keeps runs
+            // reproducible and is exercised by < 1% of simulated responses.
+            (
+                ClassId::from(parsed.unwrap_or(0)),
+                parsed.is_none(),
+                completion.usage.prompt_tokens,
+            )
+        };
+
+        self.sink.emit(&Event::QueryExecuted {
+            node: v.0,
+            prompt_tokens,
+            pruned,
+            parse_failed,
+            wall_micros: started.elapsed().as_micros() as u64,
+        });
 
         Ok(QueryRecord {
             node: v,
@@ -170,9 +225,10 @@ impl<'a> Executor<'a> {
             neighbors_included: used_neighbors.len(),
             labeled_neighbors,
             pseudo_neighbors,
-            prompt_tokens: completion.usage.prompt_tokens,
+            prompt_tokens,
             pruned,
             parse_failed,
+            budget_starved,
         })
     }
 
@@ -281,9 +337,8 @@ mod tests {
         let exec = Executor::new(&tag, &llm, 4, 0);
         let labels = LabelStore::empty(tag.num_nodes());
         let p = KhopRandom::new(1, tag.num_nodes());
-        let out = exec
-            .run_all(&p, &labels, &[NodeId(0), NodeId(7)], |v| v == NodeId(0))
-            .unwrap();
+        let out =
+            exec.run_all(&p, &labels, &[NodeId(0), NodeId(7)], |v| v == NodeId(0)).unwrap();
         assert!(out.records[0].pruned);
         assert_eq!(out.records[0].neighbors_included, 0);
         assert!(!out.records[1].pruned);
@@ -313,6 +368,76 @@ mod tests {
         let exec_free = Executor::new(&tag, &llm_free, 5, 0);
         let free = exec_free.run_all(&p, &labels, &qs, |_| false).unwrap();
         assert!(out.prompt_tokens() < free.prompt_tokens());
+    }
+
+    #[test]
+    fn hard_budget_is_never_overshot() {
+        // Regression: the fallback prompt used to be sent without
+        // re-checking its cost, and force-pruned queries skipped the
+        // budget check entirely — both overshot the Eq. 2 budget. Sweep
+        // budgets from "starves everything" to "fits everything" and
+        // assert the invariant on actual metered spend.
+        let tag = two_cliques();
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = (0..6).map(NodeId).collect();
+        for budget in [1u64, 50, 120, 400, 100_000] {
+            for force_prune_all in [false, true] {
+                let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+                let exec = Executor::new(&tag, &llm, 5, 0).with_budget(budget);
+                let labels = LabelStore::empty(tag.num_nodes());
+                let out = exec.run_all(&p, &labels, &qs, |_| force_prune_all).unwrap();
+                assert_eq!(out.records.len(), qs.len(), "every query gets a record");
+                assert!(
+                    llm.meter().totals().prompt_tokens <= budget,
+                    "budget {budget} overshot: spent {} (force_prune={force_prune_all})",
+                    llm.meter().totals().prompt_tokens,
+                );
+                assert!(out.prompt_tokens() <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_starved_queries_send_no_request() {
+        let tag = two_cliques();
+        let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        // A budget of 1 starves even the neighbor-free prompt.
+        let exec = Executor::new(&tag, &llm, 5, 0).with_budget(1);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let out = exec.run_all(&p, &labels, &qs, |_| false).unwrap();
+        assert_eq!(out.budget_starved(), 3);
+        assert!(llm.prompts_seen().is_empty(), "no request reached the model");
+        assert_eq!(llm.meter().totals().requests, 0);
+        for r in &out.records {
+            assert!(r.budget_starved && r.pruned);
+            assert_eq!(r.prompt_tokens, 0);
+            assert_eq!(r.predicted, ClassId(0), "deterministic fallback");
+        }
+    }
+
+    #[test]
+    fn query_events_reach_the_sink() {
+        let tag = two_cliques();
+        let llm = ScriptedLlm::new(["Category: ['Alpha']", "total nonsense?!"]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let out = exec.run_all(&ZeroShot, &labels, &[NodeId(0), NodeId(7)], |_| false).unwrap();
+        let events = sink.of_kind("query_executed");
+        assert_eq!(events.len(), 2);
+        match &events[1] {
+            mqo_obs::Event::QueryExecuted {
+                node, prompt_tokens, pruned, parse_failed, ..
+            } => {
+                assert_eq!(*node, 7);
+                assert_eq!(*prompt_tokens, out.records[1].prompt_tokens);
+                assert!(*pruned, "zero-shot prompts are neighbor-free");
+                assert!(*parse_failed);
+            }
+            other => panic!("expected QueryExecuted, got {other:?}"),
+        }
     }
 
     #[test]

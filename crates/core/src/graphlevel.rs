@@ -87,8 +87,7 @@ pub fn run_graph_task(
     let mut out = GraphOutcome::default();
     let mut total_included = 0usize;
     for g in &collection.graphs {
-        let texts: Vec<String> =
-            g.tag.node_ids().map(|v| g.tag.text(v).full()).collect();
+        let texts: Vec<String> = g.tag.node_ids().map(|v| g.tag.text(v).full()).collect();
         let included: Vec<usize> = match budget {
             NodeBudget::All => (0..texts.len()).collect(),
             NodeBudget::RandomK(k) => {
@@ -156,8 +155,7 @@ mod tests {
         // be enriched in relevant nodes.
         let (mut top_rel, mut top_n) = (0usize, 0usize);
         for g in c.graphs.iter().take(30) {
-            let texts: Vec<String> =
-                g.tag.node_ids().map(|v| g.tag.text(v).full()).collect();
+            let texts: Vec<String> = g.tag.node_ids().map(|v| g.tag.text(v).full()).collect();
             let ranked = rank_by_centrality(&texts, 128);
             let half = ranked.len() / 2;
             for &i in &ranked[..half] {
@@ -166,10 +164,7 @@ mod tests {
             }
         }
         let frac = top_rel as f64 / top_n as f64;
-        assert!(
-            frac > 0.7,
-            "centrality ranking not enriched in relevant nodes: {frac:.3}"
-        );
+        assert!(frac > 0.7, "centrality ranking not enriched in relevant nodes: {frac:.3}");
     }
 
     #[test]

@@ -106,8 +106,7 @@ mod tests {
         let g = GraphBuilder::new(20).build();
         let texts = (0..20).map(|i| NodeText::new(format!("t{i}"), "")).collect();
         let labels = (0..20).map(|i| ClassId::from((i % 2) as usize)).collect();
-        let tag =
-            Tag::new("t", g, texts, labels, vec!["a".into(), "b".into()]).unwrap();
+        let tag = Tag::new("t", g, texts, labels, vec!["a".into(), "b".into()]).unwrap();
         let split = LabeledSplit::generate(
             &tag,
             SplitConfig::PerClass { per_class: 3, num_queries: 10 },

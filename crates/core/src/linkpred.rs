@@ -273,10 +273,7 @@ pub fn run_link_task(
         _ => None,
     };
 
-    let run_pair = |data: &LinkDataset,
-                    out: &mut LinkOutcome,
-                    i: usize|
-     -> Result<bool> {
+    let run_pair = |data: &LinkDataset, out: &mut LinkOutcome, i: usize| -> Result<bool> {
         let (a, b) = data.pairs[i];
         let include = match strategy {
             LinkStrategy::Vanilla => false,
@@ -393,8 +390,7 @@ mod tests {
     #[test]
     fn base_run_beats_chance() {
         let (bundle, data, llm) = setup();
-        let out =
-            run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
+        let out = run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
         assert_eq!(out.correct.len(), 200);
         assert!(out.accuracy() > 0.6, "base link accuracy {}", out.accuracy());
         assert!(out.with_links > 150);
@@ -413,35 +409,26 @@ mod tests {
     #[test]
     fn prune_reduces_link_prompts_without_collapse() {
         let (bundle, data, llm) = setup();
-        let base =
-            run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
+        let base = run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Base, 4, 3).unwrap();
         let llm2 = SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35());
-        let pruned = run_link_task(
-            &bundle.tag,
-            &llm2,
-            &data,
-            LinkStrategy::Prune { tau: 0.2 },
-            4,
-            3,
-        )
-        .unwrap();
+        let pruned =
+            run_link_task(&bundle.tag, &llm2, &data, LinkStrategy::Prune { tau: 0.2 }, 4, 3)
+                .unwrap();
         assert!(pruned.with_links < base.with_links);
-        assert!(pruned.accuracy() > base.accuracy() - 0.08,
-            "pruning collapsed accuracy: {} vs {}", pruned.accuracy(), base.accuracy());
+        assert!(
+            pruned.accuracy() > base.accuracy() - 0.08,
+            "pruning collapsed accuracy: {} vs {}",
+            pruned.accuracy(),
+            base.accuracy()
+        );
     }
 
     #[test]
     fn boost_executes_all_pairs() {
         let (bundle, data, llm) = setup();
-        let out = run_link_task(
-            &bundle.tag,
-            &llm,
-            &data,
-            LinkStrategy::Boost { gamma1: 3 },
-            4,
-            3,
-        )
-        .unwrap();
+        let out =
+            run_link_task(&bundle.tag, &llm, &data, LinkStrategy::Boost { gamma1: 3 }, 4, 3)
+                .unwrap();
         assert_eq!(out.correct.len(), 200);
         assert!(out.accuracy() > 0.55, "boost accuracy {}", out.accuracy());
     }

@@ -120,6 +120,7 @@ mod tests {
                     prompt_tokens: 0,
                     pruned: false,
                     parse_failed: false,
+                    budget_starved: false,
                 })
                 .collect(),
         }

@@ -10,8 +10,10 @@
 //! [`Executor::query_rng`]), the [`mqo_token::UsageMeter`] is thread-safe,
 //! and records are re-assembled in input order.
 //!
-//! Scoped threads come from `crossbeam` (no `'static` bounds on the
-//! executor borrows).
+//! Scoped threads come from `std::thread::scope` (no `'static` bounds on
+//! the executor borrows). A panic inside one query is contained to that
+//! query and surfaced as [`Error::WorkerPanic`] rather than tearing down
+//! the process.
 
 use crate::error::{Error, Result};
 use crate::executor::{ExecOutcome, Executor, QueryRecord};
@@ -19,6 +21,19 @@ use crate::labels::LabelStore;
 use crate::predictor::Predictor;
 use mqo_graph::NodeId;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Render a caught panic payload to text (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Execute `queries` across `threads` workers. Semantically identical to
 /// [`Executor::run_all`] (same records, same order); only wall-clock and
@@ -43,21 +58,41 @@ pub fn run_all_parallel(
         queries.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
+    std::thread::scope(|scope| {
+        // Shadow the owned values with references so the `move` closures
+        // (which must own their `worker` index) only copy borrows.
+        let (next, slots, prune_set) = (&next, &slots, &prune_set);
+        for worker in 0..threads {
+            scope.spawn(move || {
+                let started = std::time::Instant::now();
+                let mut handled = 0u64;
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let v = queries[i];
+                    // Contain per-query panics: a poisoned predictor or a bug
+                    // in one prompt path must not abort the other workers'
+                    // queries.
+                    let record = catch_unwind(AssertUnwindSafe(|| {
+                        let mut rng = exec.query_rng(v);
+                        exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(Error::WorkerPanic { node: v, detail: panic_message(payload) })
+                    });
+                    handled += 1;
+                    *slots[i].lock() = Some(record);
                 }
-                let v = queries[i];
-                let mut rng = exec.query_rng(v);
-                let record = exec.run_one(predictor, labels, v, &mut rng, prune_set(v));
-                *slots[i].lock() = Some(record);
+                exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
+                    worker: worker as u32,
+                    queries: handled,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                });
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     let mut out = ExecOutcome::default();
     for slot in slots {
@@ -71,7 +106,7 @@ pub fn run_all_parallel(
 mod tests {
     use super::*;
     use crate::predictor::test_fixtures::two_cliques;
-    use crate::predictor::KhopRandom;
+    use crate::predictor::{KhopRandom, SelectCtx};
     use mqo_data::{dataset, DatasetId};
     use mqo_graph::{LabeledSplit, SplitConfig};
     use mqo_llm::{LanguageModel, ModelProfile, SimLlm};
@@ -98,9 +133,8 @@ mod tests {
         let predictor = KhopRandom::new(1, tag.num_nodes());
 
         let seq = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
-        let par =
-            run_all_parallel(&exec, &predictor, &labels, split.queries(), |_| false, 4)
-                .unwrap();
+        let par = run_all_parallel(&exec, &predictor, &labels, split.queries(), |_| false, 4)
+            .unwrap();
         assert_eq!(seq.records, par.records, "parallel execution changed results");
         // Meter totals also agree (both runs doubled the counts).
         assert_eq!(llm.meter().totals().requests as usize, 2 * split.queries().len());
@@ -114,8 +148,7 @@ mod tests {
         let labels = LabelStore::empty(tag.num_nodes());
         let p = KhopRandom::new(1, tag.num_nodes());
         let qs: Vec<NodeId> = (0..6).map(NodeId).collect();
-        let out =
-            run_all_parallel(&exec, &p, &labels, &qs, |v| v.0 % 2 == 0, 3).unwrap();
+        let out = run_all_parallel(&exec, &p, &labels, &qs, |v| v.0 % 2 == 0, 3).unwrap();
         for r in &out.records {
             assert_eq!(r.pruned, r.node.0 % 2 == 0 || r.neighbors_included == 0);
         }
@@ -141,5 +174,66 @@ mod tests {
         let labels = LabelStore::empty(tag.num_nodes());
         let p = KhopRandom::new(1, tag.num_nodes());
         let _ = run_all_parallel(&exec, &p, &labels, &[], |_| false, 0);
+    }
+
+    #[test]
+    fn each_worker_reports_throughput() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = (0..6).map(NodeId).collect();
+        run_all_parallel(&exec, &p, &labels, &qs, |_| false, 3).unwrap();
+        let reports = sink.of_kind("worker_throughput");
+        assert_eq!(reports.len(), 3, "one report per worker");
+        let total: u64 = reports
+            .iter()
+            .map(|e| match e {
+                mqo_obs::Event::WorkerThroughput { queries, .. } => *queries,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 6, "workers collectively handled every query");
+    }
+
+    /// A predictor that panics on a specific node — exercises panic
+    /// containment in the worker loop.
+    struct PanicOn(NodeId);
+
+    impl Predictor for PanicOn {
+        fn name(&self) -> &str {
+            "panic-on"
+        }
+        fn select_neighbors(
+            &self,
+            _ctx: &SelectCtx<'_>,
+            v: NodeId,
+            _rng: &mut StdRng,
+        ) -> Vec<NodeId> {
+            if v == self.0 {
+                panic!("deliberate test panic for node {}", v.0);
+            }
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_abort() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 6]);
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = PanicOn(NodeId(2));
+        let qs: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let err = run_all_parallel(&exec, &p, &labels, &qs, |_| false, 2).unwrap_err();
+        match err {
+            Error::WorkerPanic { node, detail } => {
+                assert_eq!(node, NodeId(2));
+                assert!(detail.contains("deliberate test panic"), "got: {detail}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 }

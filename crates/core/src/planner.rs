@@ -61,8 +61,7 @@ pub fn plan_campaign(
     budget_dollars: f64,
 ) -> Result<CampaignPlan> {
     assert!(!queries.is_empty(), "cannot plan an empty campaign");
-    let probe: Vec<NodeId> =
-        queries.iter().take(probe_size.max(1)).copied().collect();
+    let probe: Vec<NodeId> = queries.iter().take(probe_size.max(1)).copied().collect();
     let mut full_total = 0usize;
     let mut pruned_total = 0usize;
     for &v in &probe {
@@ -71,8 +70,7 @@ pub fn plan_campaign(
         pruned_total += p;
     }
     let tokens_full = full_total as f64 / probe.len() as f64;
-    let tokens_neighbor =
-        (tokens_full - pruned_total as f64 / probe.len() as f64).max(1.0);
+    let tokens_neighbor = (tokens_full - pruned_total as f64 / probe.len() as f64).max(1.0);
 
     let token_budget = budget_dollars / pricing.input_per_1k * 1000.0;
     let q = queries.len() as u64;
@@ -157,8 +155,10 @@ mod tests {
         let tight = plan(0.02);
         assert!(tight.tau > 0.3, "tight budget should prune: tau {}", tight.tau);
         assert!(tight.est_cost_planned < tight.est_cost_unpruned);
-        assert!(tight.est_tokens_planned <= 0.02 / GPT_35_TURBO_0125.input_per_1k * 1000.0 * 1.02
-            || tight.tau == 1.0);
+        assert!(
+            tight.est_tokens_planned <= 0.02 / GPT_35_TURBO_0125.input_per_1k * 1000.0 * 1.02
+                || tight.tau == 1.0
+        );
     }
 
     #[test]
@@ -178,8 +178,8 @@ mod tests {
         )
         .unwrap();
         // planned = unpruned − τ·q·tokens_neighbor, by construction.
-        let expected = plan.est_tokens_unpruned
-            - plan.tau * plan.queries as f64 * plan.tokens_neighbor;
+        let expected =
+            plan.est_tokens_unpruned - plan.tau * plan.queries as f64 * plan.tokens_neighbor;
         assert!((plan.est_tokens_planned - expected).abs() < 1e-6);
     }
 }

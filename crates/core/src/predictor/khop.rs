@@ -42,7 +42,12 @@ impl Predictor for KhopRandom {
         &self.name
     }
 
-    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, rng: &mut StdRng) -> Vec<NodeId> {
+    fn select_neighbors(
+        &self,
+        ctx: &SelectCtx<'_>,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
         let mut guard = self.buf.lock();
         let (buf, scratch) = &mut *guard;
         khop_nodes(ctx.tag.graph(), v, self.k, buf, scratch);

@@ -46,7 +46,12 @@ impl Predictor for LlmRanked {
         true
     }
 
-    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn select_neighbors(
+        &self,
+        ctx: &SelectCtx<'_>,
+        v: NodeId,
+        _rng: &mut StdRng,
+    ) -> Vec<NodeId> {
         let mut guard = self.buf.lock();
         let (buf, scratch) = &mut *guard;
         khop_nodes(ctx.tag.graph(), v, self.k, buf, scratch);

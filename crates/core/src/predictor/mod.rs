@@ -43,7 +43,8 @@ pub trait Predictor: Send + Sync {
 
     /// Select up to `ctx.max_neighbors` neighbors for query node `v` given
     /// the current label knowledge.
-    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, rng: &mut StdRng) -> Vec<NodeId>;
+    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, rng: &mut StdRng)
+        -> Vec<NodeId>;
 
     /// Render one selected neighbor as a prompt entry. The default uses the
     /// neighbor's full title plus its known label; instruction-tuned

@@ -39,10 +39,7 @@ impl Sns {
     /// Build with an explicit embedding dimension.
     pub fn fit_with_dim(tag: &Tag, dim: usize) -> Self {
         let encoder = HashedEncoder::new(dim);
-        let embeddings = tag
-            .node_ids()
-            .map(|v| encoder.encode(&tag.text(v).full()))
-            .collect();
+        let embeddings = tag.node_ids().map(|v| encoder.encode(&tag.text(v).full())).collect();
         Sns { embeddings, max_hop: 5, buf: Mutex::new(KhopBuffer::new(tag.num_nodes())) }
     }
 
@@ -61,7 +58,12 @@ impl Predictor for Sns {
         true
     }
 
-    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn select_neighbors(
+        &self,
+        ctx: &SelectCtx<'_>,
+        v: NodeId,
+        _rng: &mut StdRng,
+    ) -> Vec<NodeId> {
         let mut buf = self.buf.lock();
         let candidates = collect_labeled_progressive(
             ctx.tag.graph(),
@@ -119,8 +121,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let picked = sns.select_neighbors(&ctx, NodeId(0), &mut rng);
         assert_eq!(picked.len(), 2);
-        assert!(picked.contains(&NodeId(1)) && picked.contains(&NodeId(2)),
-            "similarity ranking failed: {picked:?}");
+        assert!(
+            picked.contains(&NodeId(1)) && picked.contains(&NodeId(2)),
+            "similarity ranking failed: {picked:?}"
+        );
     }
 
     #[test]

@@ -13,7 +13,12 @@ impl Predictor for ZeroShot {
         "vanilla zero-shot"
     }
 
-    fn select_neighbors(&self, _ctx: &SelectCtx<'_>, _v: NodeId, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn select_neighbors(
+        &self,
+        _ctx: &SelectCtx<'_>,
+        _v: NodeId,
+        _rng: &mut StdRng,
+    ) -> Vec<NodeId> {
         Vec::new()
     }
 }

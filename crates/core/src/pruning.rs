@@ -199,14 +199,8 @@ mod tests {
         let none = run_with_pruning(&exec, &p, &labels, &qs, &PrunePlan::default()).unwrap();
         let llm2 = ScriptedLlm::new(vec!["Category: ['Alpha']"; 4]);
         let exec2 = Executor::new(&tag, &llm2, 4, 0);
-        let all = run_with_pruning(
-            &exec2,
-            &p,
-            &labels,
-            &qs,
-            &PrunePlan::random(&qs, 1.0, 0),
-        )
-        .unwrap();
+        let all = run_with_pruning(&exec2, &p, &labels, &qs, &PrunePlan::random(&qs, 1.0, 0))
+            .unwrap();
         assert!(all.prompt_tokens() < none.prompt_tokens());
         assert_eq!(all.queries_with_neighbors(), 0);
         assert_eq!(none.queries_with_neighbors(), 2);

@@ -102,12 +102,8 @@ impl<'a, 'e> OnlineClassifier<'a, 'e> {
     /// fixed point.
     fn drain_supported(&mut self, out: &mut Vec<QueryRecord>) -> Result<()> {
         loop {
-            let ready: Vec<NodeId> = self
-                .pending
-                .iter()
-                .copied()
-                .filter(|&v| self.supported(v))
-                .collect();
+            let ready: Vec<NodeId> =
+                self.pending.iter().copied().filter(|&v| self.supported(v)).collect();
             if ready.is_empty() {
                 return Ok(());
             }

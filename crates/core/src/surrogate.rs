@@ -156,8 +156,7 @@ impl Surrogate {
         }
         let (oof_accuracy, cv) = best.expect("at least one candidate config");
 
-        let train_index =
-            train_nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let train_index = train_nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         Surrogate { encoder, cv, train_index, oof_accuracy }
     }
 

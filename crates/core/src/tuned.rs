@@ -48,7 +48,8 @@ pub fn instructglm_backbones() -> Vec<Backbone> {
 pub fn tuned_profile(backbone: &Backbone) -> ModelProfile {
     // Distinct seeds so backbones develop individual quirks, as distinct
     // fine-tunes would.
-    let seed = 0x717e ^ ((backbone.hops as u64) << 8)
+    let seed = 0x717e
+        ^ ((backbone.hops as u64) << 8)
         ^ ((backbone.raw_text as u64) << 16)
         ^ ((backbone.path as u64) << 24);
     ModelProfile::instruction_tuned(backbone.name, seed)
@@ -81,7 +82,12 @@ impl Predictor for TunedPredictor {
         self.backbone.name
     }
 
-    fn select_neighbors(&self, ctx: &SelectCtx<'_>, v: NodeId, rng: &mut StdRng) -> Vec<NodeId> {
+    fn select_neighbors(
+        &self,
+        ctx: &SelectCtx<'_>,
+        v: NodeId,
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
         // Path descriptions let the backbone reference one extra neighbor
         // of context per prompt.
         let bump = usize::from(self.backbone.path);

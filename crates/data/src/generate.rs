@@ -367,7 +367,7 @@ mod tests {
             }
             let own = b.tag.label(v).0;
             let text = b.tag.text(v).full();
-            let mut counts = vec![0usize; 5];
+            let mut counts = [0usize; 5];
             for w in text.split_whitespace() {
                 if let Some(mqo_text::WordKind::Class(c)) = lex.kind_of_word(w) {
                     counts[c as usize] += 1;

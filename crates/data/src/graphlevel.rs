@@ -51,7 +51,12 @@ impl Default for GraphCollectionSpec {
             nodes_per_graph: (12, 30),
             irrelevant_frac: 0.4,
             mean_degree: 4.0,
-            doc: DocumentSpec { title_words: 7, body_words: 25, cross_noise: 0.1, zipf_s: 1.05 },
+            doc: DocumentSpec {
+                title_words: 7,
+                body_words: 25,
+                cross_noise: 0.1,
+                zipf_s: 1.05,
+            },
             alpha: (0.3, 0.7),
         }
     }
@@ -98,8 +103,7 @@ pub fn generate_collection(spec: &GraphCollectionSpec, seed: u64) -> GraphCollec
     let lexicon = Arc::new(Lexicon::with_markers(seed ^ 0x9a9a, num_topics, 150, 2000, 0));
     let sampler = TextSampler::new(&lexicon, spec.doc);
 
-    let topic_names: Vec<String> =
-        (0..num_topics).map(|t| format!("topic-{t}")).collect();
+    let topic_names: Vec<String> = (0..num_topics).map(|t| format!("topic-{t}")).collect();
 
     let mut graphs = Vec::with_capacity(spec.num_graphs);
     for gi in 0..spec.num_graphs {
@@ -151,14 +155,9 @@ pub fn generate_collection(spec: &GraphCollectionSpec, seed: u64) -> GraphCollec
             node_topics.push(ClassId(topic));
             relevant.push(is_relevant);
         }
-        let tag = Tag::new(
-            format!("graph-{gi}"),
-            b.build(),
-            texts,
-            node_topics,
-            topic_names.clone(),
-        )
-        .expect("consistent arrays");
+        let tag =
+            Tag::new(format!("graph-{gi}"), b.build(), texts, node_topics, topic_names.clone())
+                .expect("consistent arrays");
         graphs.push(SmallGraph { tag, label, relevant });
     }
     GraphCollection {
@@ -209,11 +208,8 @@ mod tests {
 
     #[test]
     fn irrelevant_fraction_is_respected() {
-        let spec = GraphCollectionSpec {
-            num_graphs: 100,
-            irrelevant_frac: 0.4,
-            ..Default::default()
-        };
+        let spec =
+            GraphCollectionSpec { num_graphs: 100, irrelevant_frac: 0.4, ..Default::default() };
         let c = generate_collection(&spec, 3);
         let (mut total, mut irrelevant) = (0usize, 0usize);
         for g in &c.graphs {
@@ -245,7 +241,10 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate_collection(&GraphCollectionSpec::default(), 9);
         let b = generate_collection(&GraphCollectionSpec::default(), 9);
-        assert_eq!(a.graphs[3].tag.text(mqo_graph::NodeId(1)), b.graphs[3].tag.text(mqo_graph::NodeId(1)));
+        assert_eq!(
+            a.graphs[3].tag.text(mqo_graph::NodeId(1)),
+            b.graphs[3].tag.text(mqo_graph::NodeId(1))
+        );
         assert_eq!(a.graphs[3].relevant, b.graphs[3].relevant);
     }
 }

@@ -222,10 +222,8 @@ mod tests {
         }
         // The reconstructed lexicon decodes the reconstructed texts.
         let text = back.tag.text(NodeId(0)).full();
-        let decodable = text
-            .split_whitespace()
-            .filter(|w| back.lexicon.kind_of_word(w).is_some())
-            .count();
+        let decodable =
+            text.split_whitespace().filter(|w| back.lexicon.kind_of_word(w).is_some()).count();
         assert!(decodable > 10, "lexicon reconstruction broken");
     }
 
@@ -252,10 +250,7 @@ mod tests {
         buf.put_slice(MAGIC);
         buf.put_u32_le(3);
         buf.put_slice(b"co"); // promised 3 bytes, gave 2
-        assert!(matches!(
-            from_bytes(buf.freeze(), spec),
-            Err(PersistError::Corrupt(_))
-        ));
+        assert!(matches!(from_bytes(buf.freeze(), spec), Err(PersistError::Corrupt(_))));
     }
 
     #[test]

@@ -32,8 +32,7 @@ impl DatasetId {
 
     /// The three small (Planetoid-style) datasets used for the
     /// query-boosting classification experiments.
-    pub const SMALL: [DatasetId; 3] =
-        [DatasetId::Cora, DatasetId::Citeseer, DatasetId::Pubmed];
+    pub const SMALL: [DatasetId; 3] = [DatasetId::Cora, DatasetId::Citeseer, DatasetId::Pubmed];
 
     /// Canonical lowercase name.
     pub fn name(self) -> &'static str {
@@ -181,11 +180,11 @@ fn ogbn_arxiv() -> DatasetSpec {
         nodes: 169_343,
         edges: 1_166_243,
         class_names: names(&[
-            "cs.AI", "cs.AR", "cs.CC", "cs.CE", "cs.CG", "cs.CL", "cs.CR", "cs.CV",
-            "cs.CY", "cs.DB", "cs.DC", "cs.DL", "cs.DM", "cs.DS", "cs.ET", "cs.FL",
-            "cs.GL", "cs.GR", "cs.GT", "cs.HC", "cs.IR", "cs.IT", "cs.LG", "cs.LO",
-            "cs.MA", "cs.MM", "cs.MS", "cs.NA", "cs.NE", "cs.NI", "cs.OH", "cs.OS",
-            "cs.PF", "cs.PL", "cs.RO", "cs.SC", "cs.SD", "cs.SE", "cs.SI", "cs.SY",
+            "cs.AI", "cs.AR", "cs.CC", "cs.CE", "cs.CG", "cs.CL", "cs.CR", "cs.CV", "cs.CY",
+            "cs.DB", "cs.DC", "cs.DL", "cs.DM", "cs.DS", "cs.ET", "cs.FL", "cs.GL", "cs.GR",
+            "cs.GT", "cs.HC", "cs.IR", "cs.IT", "cs.LG", "cs.LO", "cs.MA", "cs.MM", "cs.MS",
+            "cs.NA", "cs.NE", "cs.NI", "cs.OH", "cs.OS", "cs.PF", "cs.PL", "cs.RO", "cs.SC",
+            "cs.SD", "cs.SE", "cs.SI", "cs.SY",
         ]),
         homophily: 0.66,
         saturated_frac: 0.75,
@@ -210,18 +209,53 @@ fn ogbn_products() -> DatasetSpec {
         nodes: 2_449_029,
         edges: 61_859_140,
         class_names: names(&[
-            "Home & Kitchen", "Health & Personal Care", "Beauty", "Sports & Outdoors",
-            "Books", "Patio Lawn & Garden", "Toys & Games", "CDs & Vinyl",
-            "Cell Phones & Accessories", "Grocery & Gourmet Food", "Arts Crafts & Sewing",
-            "Clothing Shoes & Jewelry", "Electronics", "Movies & TV", "Software",
-            "Video Games", "Automotive", "Pet Supplies", "Office Products",
-            "Industrial & Scientific", "Musical Instruments", "Tools & Home Improvement",
-            "Magazine Subscriptions", "Baby Products", "Appliances", "Kitchen & Dining",
-            "Collectibles & Fine Art", "All Beauty", "Luxury Beauty", "Amazon Fashion",
-            "Computers", "All Electronics", "Purchase Circles", "MP3 Players & Accessories",
-            "Gift Cards", "Office & School Supplies", "Home Improvement", "Camera & Photo",
-            "GPS & Navigation", "Digital Music", "Car Electronics", "Baby", "Kindle Store",
-            "Buy a Kindle", "Furniture & Decor", "Everything Else", "Oral Care",
+            "Home & Kitchen",
+            "Health & Personal Care",
+            "Beauty",
+            "Sports & Outdoors",
+            "Books",
+            "Patio Lawn & Garden",
+            "Toys & Games",
+            "CDs & Vinyl",
+            "Cell Phones & Accessories",
+            "Grocery & Gourmet Food",
+            "Arts Crafts & Sewing",
+            "Clothing Shoes & Jewelry",
+            "Electronics",
+            "Movies & TV",
+            "Software",
+            "Video Games",
+            "Automotive",
+            "Pet Supplies",
+            "Office Products",
+            "Industrial & Scientific",
+            "Musical Instruments",
+            "Tools & Home Improvement",
+            "Magazine Subscriptions",
+            "Baby Products",
+            "Appliances",
+            "Kitchen & Dining",
+            "Collectibles & Fine Art",
+            "All Beauty",
+            "Luxury Beauty",
+            "Amazon Fashion",
+            "Computers",
+            "All Electronics",
+            "Purchase Circles",
+            "MP3 Players & Accessories",
+            "Gift Cards",
+            "Office & School Supplies",
+            "Home Improvement",
+            "Camera & Photo",
+            "GPS & Navigation",
+            "Digital Music",
+            "Car Electronics",
+            "Baby",
+            "Kindle Store",
+            "Buy a Kindle",
+            "Furniture & Decor",
+            "Everything Else",
+            "Oral Care",
         ]),
         homophily: 0.81,
         saturated_frac: 0.765,

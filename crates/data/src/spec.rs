@@ -87,9 +87,12 @@ impl DatasetSpec {
                 self.saturated_frac, self.adversarial_frac
             ));
         }
-        for (name, (lo, hi)) in [("alpha_high", self.alpha_high), ("alpha_low", self.alpha_low)] {
+        for (name, (lo, hi)) in [("alpha_high", self.alpha_high), ("alpha_low", self.alpha_low)]
+        {
             if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo >= hi {
-                return Err(format!("{name} = ({lo}, {hi}) is not a valid sub-range of [0, 1]"));
+                return Err(format!(
+                    "{name} = ({lo}, {hi}) is not a valid sub-range of [0, 1]"
+                ));
             }
         }
         if self.lexicon_per_class == 0 {
@@ -161,8 +164,7 @@ mod tests {
     fn scaling_preserves_mean_degree() {
         let s = spec();
         let full_deg = 2.0 * s.edges as f64 / s.nodes as f64;
-        let scaled_deg =
-            2.0 * s.scaled_edges(0.1) as f64 / s.scaled_nodes(0.1) as f64;
+        let scaled_deg = 2.0 * s.scaled_edges(0.1) as f64 / s.scaled_nodes(0.1) as f64;
         assert!((full_deg - scaled_deg).abs() / full_deg < 0.05);
     }
 

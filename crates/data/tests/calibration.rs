@@ -12,7 +12,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Zero-shot accuracy of `profile` on `n_queries` random nodes.
-fn zero_shot_accuracy(id: DatasetId, scale: Option<f64>, n_queries: usize, profile: ModelProfile) -> f64 {
+fn zero_shot_accuracy(
+    id: DatasetId,
+    scale: Option<f64>,
+    n_queries: usize,
+    profile: ModelProfile,
+) -> f64 {
     let bundle = dataset(id, scale, 42);
     let tag = &bundle.tag;
     let llm = SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), profile);
@@ -59,8 +64,7 @@ fn pubmed_zero_shot_matches_paper() {
 
 #[test]
 fn arxiv_zero_shot_matches_paper() {
-    let acc =
-        zero_shot_accuracy(DatasetId::OgbnArxiv, Some(0.05), 500, ModelProfile::gpt35());
+    let acc = zero_shot_accuracy(DatasetId::OgbnArxiv, Some(0.05), 500, ModelProfile::gpt35());
     assert!((acc - 0.731).abs() < 0.07, "arxiv zero-shot {acc:.3}, paper 0.731");
 }
 
@@ -76,8 +80,5 @@ fn gpt4o_mini_is_weaker_on_small_datasets() {
     // Tables VII/VIII: GPT-4o-mini scores below GPT-3.5 on these datasets.
     let a35 = zero_shot_accuracy(DatasetId::Cora, Some(0.5), 400, ModelProfile::gpt35());
     let a4o = zero_shot_accuracy(DatasetId::Cora, Some(0.5), 400, ModelProfile::gpt4o_mini());
-    assert!(
-        a4o < a35 + 0.01,
-        "gpt-4o-mini ({a4o:.3}) should not beat gpt-3.5 ({a35:.3}) here"
-    );
+    assert!(a4o < a35 + 0.01, "gpt-4o-mini ({a4o:.3}) should not beat gpt-3.5 ({a35:.3}) here");
 }

@@ -22,11 +22,8 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 /// Indices of the `k` candidates most similar to `query`, most similar
 /// first. Ties break by ascending candidate index for determinism.
 pub fn top_k_similar(query: &[f32], candidates: &[Vec<f32>], k: usize) -> Vec<usize> {
-    let mut scored: Vec<(usize, f32)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (i, cosine(query, c)))
-        .collect();
+    let mut scored: Vec<(usize, f32)> =
+        candidates.iter().enumerate().map(|(i, c)| (i, cosine(query, c))).collect();
     scored.sort_by(|a, b| {
         b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     });
@@ -63,9 +60,9 @@ mod tests {
     fn top_k_orders_by_similarity() {
         let q = vec![1.0, 0.0];
         let cands = vec![
-            vec![0.0, 1.0],  // orthogonal
-            vec![1.0, 0.1],  // very close
-            vec![1.0, 1.0],  // 45 degrees
+            vec![0.0, 1.0], // orthogonal
+            vec![1.0, 0.1], // very close
+            vec![1.0, 1.0], // 45 degrees
         ];
         assert_eq!(top_k_similar(&q, &cands, 2), vec![1, 2]);
     }

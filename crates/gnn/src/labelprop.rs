@@ -104,11 +104,9 @@ mod tests {
             &[(NodeId(0), ClassId(0)), (NodeId(7), ClassId(1))],
             LabelPropConfig::default(),
         );
-        for v in 0..4 {
-            assert_eq!(preds[v], ClassId(0), "node {v}");
-        }
-        for v in 4..8 {
-            assert_eq!(preds[v], ClassId(1), "node {v}");
+        for (v, p) in preds.iter().enumerate().take(8) {
+            let expected = if v < 4 { ClassId(0) } else { ClassId(1) };
+            assert_eq!(*p, expected, "node {v}");
         }
     }
 
@@ -154,13 +152,14 @@ mod tests {
         .unwrap();
         let labeled: Vec<(NodeId, ClassId)> =
             split.labeled().iter().map(|&v| (v, tag.label(v))).collect();
-        let preds =
-            label_propagation(tag.graph(), tag.num_classes(), &labeled, LabelPropConfig::default());
-        let acc = split
-            .queries()
-            .iter()
-            .filter(|&&v| preds[v.index()] == tag.label(v))
-            .count() as f64
+        let preds = label_propagation(
+            tag.graph(),
+            tag.num_classes(),
+            &labeled,
+            LabelPropConfig::default(),
+        );
+        let acc = split.queries().iter().filter(|&&v| preds[v.index()] == tag.label(v)).count()
+            as f64
             / split.queries().len() as f64;
         assert!(acc > 0.4, "label propagation accuracy {acc}");
     }

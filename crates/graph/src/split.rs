@@ -171,7 +171,7 @@ mod tests {
         assert_eq!(s.queries().len(), 50);
         s.validate().unwrap();
         // Exactly 3 labeled per class.
-        let mut per = vec![0; 5];
+        let mut per = [0; 5];
         for &v in s.labeled() {
             per[t.label(v).index()] += 1;
         }

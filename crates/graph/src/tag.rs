@@ -59,10 +59,18 @@ impl Tag {
     ) -> Result<Self> {
         let n = graph.num_nodes();
         if texts.len() != n {
-            return Err(Error::LengthMismatch { what: "texts", expected: n, actual: texts.len() });
+            return Err(Error::LengthMismatch {
+                what: "texts",
+                expected: n,
+                actual: texts.len(),
+            });
         }
         if labels.len() != n {
-            return Err(Error::LengthMismatch { what: "labels", expected: n, actual: labels.len() });
+            return Err(Error::LengthMismatch {
+                what: "labels",
+                expected: n,
+                actual: labels.len(),
+            });
         }
         let k = class_names.len() as u16;
         for &l in &labels {
@@ -200,14 +208,16 @@ mod tests {
     #[test]
     fn rejects_mismatched_lengths() {
         let g = GraphBuilder::new(2).build();
-        let err = Tag::new("x", g, vec![NodeText::default()], vec![ClassId(0); 2], vec!["a".into()]);
+        let err =
+            Tag::new("x", g, vec![NodeText::default()], vec![ClassId(0); 2], vec!["a".into()]);
         assert!(matches!(err, Err(Error::LengthMismatch { what: "texts", .. })));
     }
 
     #[test]
     fn rejects_label_out_of_range() {
         let g = GraphBuilder::new(1).build();
-        let err = Tag::new("x", g, vec![NodeText::default()], vec![ClassId(5)], vec!["a".into()]);
+        let err =
+            Tag::new("x", g, vec![NodeText::default()], vec![ClassId(5)], vec!["a".into()]);
         assert!(matches!(err, Err(Error::ClassOutOfRange { class: 5, .. })));
     }
 }

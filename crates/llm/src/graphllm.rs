@@ -65,7 +65,13 @@ impl SimGraphLlm {
             lexicon.num_classes() as usize,
             "affinity layout must cover the topic universe"
         );
-        SimGraphLlm { lexicon, class_names, topics_per_class, profile, meter: UsageMeter::new() }
+        SimGraphLlm {
+            lexicon,
+            class_names,
+            topics_per_class,
+            profile,
+            meter: UsageMeter::new(),
+        }
     }
 
     fn decide(&self, prompt: &str) -> usize {
@@ -96,7 +102,8 @@ impl SimGraphLlm {
                 .sum();
             let u = hash01(noise_seed, g as u64).clamp(1e-12, 1.0 - 1e-12);
             let gumbel = -(-(u.ln())).ln();
-            let prior = -self.profile.bias_strength * hash01(self.profile.seed ^ 0xb1a5, g as u64);
+            let prior =
+                -self.profile.bias_strength * hash01(self.profile.seed ^ 0xb1a5, g as u64);
             let score = self.profile.target_weight * evidence + prior + temp * gumbel;
             if score > best_score {
                 best_score = score;
@@ -153,12 +160,10 @@ mod tests {
         n_irrelevant: usize,
         seed: u64,
     ) -> String {
-        let sampler = TextSampler::new(lex, DocumentSpec {
-            title_words: 6,
-            body_words: 20,
-            cross_noise: 0.1,
-            zipf_s: 1.05,
-        });
+        let sampler = TextSampler::new(
+            lex,
+            DocumentSpec { title_words: 6, body_words: 20, cross_noise: 0.1, zipf_s: 1.05 },
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut nodes = Vec::new();
         for i in 0..n_relevant {

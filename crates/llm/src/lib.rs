@@ -41,6 +41,7 @@ pub mod profile;
 pub mod prompt;
 pub mod retry;
 pub mod simllm;
+pub mod validate;
 
 pub(crate) use simllm::fnv64 as simllm_fnv;
 
@@ -48,6 +49,7 @@ pub use error::{Error, Result};
 pub use link::SimLinkLlm;
 pub use model::{Completion, LanguageModel, ScriptedLlm};
 pub use profile::ModelProfile;
-pub use retry::RetryingLlm;
 pub use prompt::{LinkPromptSpec, NeighborEntry, NodePromptSpec};
+pub use retry::RetryingLlm;
 pub use simllm::SimLlm;
+pub use validate::{LenientLlm, ValidatingLlm};

@@ -129,9 +129,7 @@ impl SimLinkLlm {
             None => (links, ""),
         };
         let collect = |s: &str| -> Vec<String> {
-            s.lines()
-                .filter_map(|l| l.trim().strip_prefix("- ").map(str::to_string))
-                .collect()
+            s.lines().filter_map(|l| l.trim().strip_prefix("- ").map(str::to_string)).collect()
         };
         let list_a = collect(list_a_raw);
         let list_b = collect(list_b_raw);
@@ -206,9 +204,8 @@ mod tests {
         let aa = sampler.sample_body(ClassId(class_a), 0.6, &mut rng);
         let tb = sampler.sample_title(ClassId(class_b), 0.6, &mut rng);
         let ab = sampler.sample_body(ClassId(class_b), 0.6, &mut rng);
-        let shared: Vec<String> = (0..common_neighbors)
-            .map(|i| format!("shared neighbor paper {i}"))
-            .collect();
+        let shared: Vec<String> =
+            (0..common_neighbors).map(|i| format!("shared neighbor paper {i}")).collect();
         let mut na = shared.clone();
         na.push("private to a".into());
         let mut nb = shared;

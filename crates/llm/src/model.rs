@@ -66,8 +66,10 @@ impl LanguageModel for ScriptedLlm {
     }
 
     fn complete(&self, prompt: &str) -> Result<Completion> {
-        let text = self.responses.lock().pop_front().ok_or(Error::ScriptExhausted)?;
+        // Record the prompt before consulting the script: a failing call
+        // still *saw* the prompt, and retry tests assert on exactly that.
         self.prompts_seen.lock().push(prompt.to_string());
+        let text = self.responses.lock().pop_front().ok_or(Error::ScriptExhausted)?;
         let usage = Usage {
             prompt_tokens: Tokenizer.count(prompt) as u64,
             completion_tokens: Tokenizer.count(&text) as u64,
@@ -94,11 +96,12 @@ mod tests {
         assert_eq!(b.text, "second");
         assert!(matches!(llm.complete("x"), Err(Error::ScriptExhausted)));
         let t = llm.meter().totals();
-        assert_eq!(t.requests, 2);
+        assert_eq!(t.requests, 2, "failed calls are not metered");
         let expected =
             (Tokenizer.count("prompt one") + Tokenizer.count("prompt two words")) as u64;
         assert_eq!(t.prompt_tokens, expected);
-        assert_eq!(llm.prompts_seen(), vec!["prompt one", "prompt two words"]);
+        // Failed attempts still record the prompt they were sent.
+        assert_eq!(llm.prompts_seen(), vec!["prompt one", "prompt two words", "x"]);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! The experiments in this repository run against [`crate::SimLlm`], but a
 //! production deployment would talk to a real endpoint. This module
-//! provides the wire types (serde round-trippable) and a transport-generic
-//! client implementing [`LanguageModel`], so swapping the simulator for a
-//! real backend is a one-line change:
+//! provides the wire types (JSON round-trippable via explicit
+//! `to_json`/`from_json` conversions — no derive machinery) and a
+//! transport-generic client implementing [`LanguageModel`], so swapping
+//! the simulator for a real backend is a one-line change:
 //!
 //! ```
 //! # use mqo_llm::openai::{ChatClient, Transport, ChatRequest, ChatResponse, choice};
@@ -12,7 +13,7 @@
 //! struct MyHttp; // e.g. a reqwest- or ureq-based transport
 //! impl Transport for MyHttp {
 //!     fn send(&self, req: &ChatRequest) -> Result<ChatResponse, String> {
-//!         // POST /v1/chat/completions with serde_json::to_string(req)…
+//!         // POST /v1/chat/completions with serde_json::to_string(&req.to_json())…
 //! #       Ok(choice("Category: ['Theory']", 10, 4))
 //!     }
 //! }
@@ -27,10 +28,25 @@
 use crate::error::{Error, Result};
 use crate::model::{Completion, LanguageModel};
 use mqo_token::{Usage, UsageMeter};
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+/// Pull a string field out of a JSON object.
+fn str_field(v: &Value, key: &str) -> std::result::Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+/// Pull an unsigned integer field out of a JSON object.
+fn u64_field(v: &Value, key: &str) -> std::result::Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
 
 /// One chat message (role + content).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChatMessage {
     /// `"system"`, `"user"`, or `"assistant"`.
     pub role: String,
@@ -38,8 +54,20 @@ pub struct ChatMessage {
     pub content: String,
 }
 
+impl ChatMessage {
+    /// Wire representation.
+    pub fn to_json(&self) -> Value {
+        json!({ "role": &self.role, "content": &self.content })
+    }
+
+    /// Parse from the wire representation.
+    pub fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        Ok(ChatMessage { role: str_field(v, "role")?, content: str_field(v, "content")? })
+    }
+}
+
 /// A `/v1/chat/completions` request body.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChatRequest {
     /// Model id, e.g. `"gpt-3.5-turbo-0125"`.
     pub model: String,
@@ -49,8 +77,35 @@ pub struct ChatRequest {
     pub temperature: f32,
 }
 
+impl ChatRequest {
+    /// Wire representation.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "model": &self.model,
+            "messages": self.messages.iter().map(ChatMessage::to_json).collect::<Vec<_>>(),
+            "temperature": self.temperature,
+        })
+    }
+
+    /// Parse from the wire representation.
+    pub fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        let messages = v
+            .get("messages")
+            .and_then(Value::as_array)
+            .ok_or("missing 'messages' array")?
+            .iter()
+            .map(ChatMessage::from_json)
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let temperature = v
+            .get("temperature")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-numeric 'temperature'")? as f32;
+        Ok(ChatRequest { model: str_field(v, "model")?, messages, temperature })
+    }
+}
+
 /// A `/v1/chat/completions` response body (the fields we consume).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChatResponse {
     /// Generated choices; the first is used.
     pub choices: Vec<ChatChoice>,
@@ -58,15 +113,61 @@ pub struct ChatResponse {
     pub usage: ApiUsage,
 }
 
+impl ChatResponse {
+    /// Wire representation.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "choices": self.choices.iter().map(ChatChoice::to_json).collect::<Vec<_>>(),
+            "usage": {
+                "prompt_tokens": self.usage.prompt_tokens,
+                "completion_tokens": self.usage.completion_tokens,
+            },
+        })
+    }
+
+    /// Parse from the wire representation (unknown fields are ignored,
+    /// matching how real endpoints extend the schema).
+    pub fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        let choices = v
+            .get("choices")
+            .and_then(Value::as_array)
+            .ok_or("missing 'choices' array")?
+            .iter()
+            .map(ChatChoice::from_json)
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let usage = v.get("usage").ok_or("missing 'usage' object")?;
+        Ok(ChatResponse {
+            choices,
+            usage: ApiUsage {
+                prompt_tokens: u64_field(usage, "prompt_tokens")?,
+                completion_tokens: u64_field(usage, "completion_tokens")?,
+            },
+        })
+    }
+}
+
 /// One response choice.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChatChoice {
     /// The assistant message.
     pub message: ChatMessage,
 }
 
+impl ChatChoice {
+    /// Wire representation.
+    pub fn to_json(&self) -> Value {
+        json!({ "message": self.message.to_json() })
+    }
+
+    /// Parse from the wire representation.
+    pub fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        let message = v.get("message").ok_or("missing 'message' object")?;
+        Ok(ChatChoice { message: ChatMessage::from_json(message)? })
+    }
+}
+
 /// The endpoint's usage object.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApiUsage {
     /// Prompt-side tokens.
     pub prompt_tokens: u64,
@@ -168,19 +269,34 @@ mod tests {
             messages: vec![ChatMessage { role: "user".into(), content: "hi".into() }],
             temperature: 0.0,
         };
-        let s = serde_json::to_string(&req).unwrap();
+        let s = serde_json::to_string(&req.to_json()).unwrap();
         assert!(s.contains("\"model\":\"gpt-3.5-turbo-0125\""));
-        let back: ChatRequest = serde_json::from_str(&s).unwrap();
+        let back = ChatRequest::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
         assert_eq!(back, req);
 
-        // A realistic response payload parses.
+        // A realistic response payload parses, extra fields and all.
         let payload = r#"{
+            "id": "chatcmpl-abc123",
+            "object": "chat.completion",
             "choices": [{"message": {"role": "assistant", "content": "Category: ['Theory']"}}],
-            "usage": {"prompt_tokens": 120, "completion_tokens": 7}
+            "usage": {"prompt_tokens": 120, "completion_tokens": 7, "total_tokens": 127}
         }"#;
-        let resp: ChatResponse = serde_json::from_str(payload).unwrap();
+        let resp = ChatResponse::from_json(&serde_json::from_str(payload).unwrap()).unwrap();
         assert_eq!(resp.choices[0].message.content, "Category: ['Theory']");
         assert_eq!(resp.usage.prompt_tokens, 120);
+        let round = ChatResponse::from_json(&resp.to_json()).unwrap();
+        assert_eq!(round, resp);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_with_field_names() {
+        let missing = serde_json::from_str(r#"{"choices": []}"#).unwrap();
+        let err = ChatResponse::from_json(&missing).unwrap_err();
+        assert!(err.contains("usage"), "got: {err}");
+
+        let bad_role = serde_json::from_str(r#"{"role": 7, "content": "x"}"#).unwrap();
+        let err = ChatMessage::from_json(&bad_role).unwrap_err();
+        assert!(err.contains("role"), "got: {err}");
     }
 
     #[test]

@@ -21,9 +21,7 @@ pub fn extract_bracketed(text: &str) -> Option<&str> {
             let inner = inner
                 .strip_prefix('\'')
                 .or_else(|| inner.strip_prefix('"'))
-                .map(|s| {
-                    s.strip_suffix('\'').or_else(|| s.strip_suffix('"')).unwrap_or(s)
-                })
+                .map(|s| s.strip_suffix('\'').or_else(|| s.strip_suffix('"')).unwrap_or(s))
                 .unwrap_or(inner)
                 .trim();
             if !inner.is_empty() {
@@ -49,9 +47,7 @@ pub fn extract_bracketed(text: &str) -> Option<&str> {
 pub fn parse_category(text: &str, categories: &[String]) -> Option<usize> {
     if let Some(inner) = extract_bracketed(text) {
         let needle = inner.trim().to_ascii_lowercase();
-        if let Some(i) =
-            categories.iter().position(|c| c.to_ascii_lowercase() == needle)
-        {
+        if let Some(i) = categories.iter().position(|c| c.to_ascii_lowercase() == needle) {
             return Some(i);
         }
     }

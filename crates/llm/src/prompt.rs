@@ -84,8 +84,7 @@ impl NodePromptSpec<'_> {
 }
 
 /// Marker for the link-prediction task section.
-pub const LINK_TASK: &str =
-    "Does an edge exist between Paper A and Paper B?";
+pub const LINK_TASK: &str = "Does an edge exist between Paper A and Paper B?";
 
 /// Everything needed to render a link-prediction prompt (§VI-J): the two
 /// endpoint texts plus known neighbor links of each endpoint.
@@ -134,7 +133,9 @@ impl LinkPromptSpec<'_> {
         s.push_str(TASK_HEADER);
         s.push('\n');
         s.push_str(LINK_TASK);
-        s.push_str("\nPlease output the answer as a Python list: Answer: ['Yes'] or Answer: ['No'].");
+        s.push_str(
+            "\nPlease output the answer as a Python list: Answer: ['Yes'] or Answer: ['No'].",
+        );
         s
     }
 }
@@ -224,9 +225,8 @@ mod tests {
         use mqo_token::Tokenizer;
         let cats = cats();
         let long_title = "word ".repeat(12);
-        let neighbors: Vec<NeighborEntry> = (0..10)
-            .map(|_| NeighborEntry { title: long_title.clone(), label: None })
-            .collect();
+        let neighbors: Vec<NeighborEntry> =
+            (0..10).map(|_| NeighborEntry { title: long_title.clone(), label: None }).collect();
         let base = NodePromptSpec {
             title: "short title",
             abstract_text: "short abstract",

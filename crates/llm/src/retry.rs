@@ -5,11 +5,14 @@
 //! "please answer in the requested format" reminder) gives a stochastic
 //! model a fresh decision. Every attempt's tokens are metered by the
 //! underlying client — retries are not free, which matters in an MQO
-//! setting.
+//! setting — and every retry is visible to telemetry as
+//! [`Event::RetryAttempt`] / [`Event::RetryExhausted`].
 
 use crate::error::Result;
 use crate::model::{Completion, LanguageModel};
+use mqo_obs::{Event, EventSink, NullSink};
 use mqo_token::UsageMeter;
+use std::sync::Arc;
 
 /// Marker appended to retried prompts (also used by tests to detect
 /// retries).
@@ -19,13 +22,20 @@ pub const RETRY_SUFFIX: &str = "\nPlease answer strictly in the requested format
 pub struct RetryingLlm<L> {
     inner: L,
     max_attempts: u32,
+    sink: Arc<dyn EventSink>,
 }
 
 impl<L: LanguageModel> RetryingLlm<L> {
     /// Retry up to `max_attempts` total attempts (≥ 1).
     pub fn new(inner: L, max_attempts: u32) -> Self {
         assert!(max_attempts >= 1, "need at least one attempt");
-        RetryingLlm { inner, max_attempts }
+        RetryingLlm { inner, max_attempts, sink: Arc::new(NullSink) }
+    }
+
+    /// Report retries to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Access the wrapped client.
@@ -46,14 +56,24 @@ impl<L: LanguageModel> LanguageModel for RetryingLlm<L> {
             match self.inner.complete(&attempt_prompt) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
-                    last_err = Some(e);
                     if attempt + 1 < self.max_attempts {
+                        self.sink.emit(&Event::RetryAttempt {
+                            attempt: attempt + 1,
+                            max_attempts: self.max_attempts,
+                            error: e.to_string(),
+                        });
                         attempt_prompt = format!("{prompt}{RETRY_SUFFIX}");
                     }
+                    last_err = Some(e);
                 }
             }
         }
-        Err(last_err.expect("at least one attempt was made"))
+        let err = last_err.expect("at least one attempt was made");
+        self.sink.emit(&Event::RetryExhausted {
+            attempts: self.max_attempts,
+            error: err.to_string(),
+        });
+        Err(err)
     }
 
     fn meter(&self) -> &UsageMeter {
@@ -66,6 +86,7 @@ mod tests {
     use super::*;
     use crate::error::Error;
     use crate::model::ScriptedLlm;
+    use mqo_obs::Recorder;
     use parking_lot::Mutex;
 
     /// A model that fails N times before succeeding.
@@ -108,19 +129,48 @@ mod tests {
 
     #[test]
     fn retried_prompts_carry_the_format_reminder() {
-        // Scripted model errors when empty, so two responses + 3 attempts
-        // means the second attempt sees the suffixed prompt.
+        // An exhausted script fails every attempt, so all three prompts
+        // reach the model; attempts 2+ must carry the retry suffix.
         let scripted = ScriptedLlm::new(Vec::<String>::new());
-        let retrying = RetryingLlm::new(scripted, 2);
-        let _ = retrying.complete("base prompt");
+        let retrying = RetryingLlm::new(scripted, 3);
+        assert!(retrying.complete("base prompt").is_err());
         let prompts = retrying.inner().prompts_seen();
-        // ScriptedLlm records prompts only on success; exhausted scripts
-        // record nothing — so instead check via a fresh scripted run:
-        assert!(prompts.is_empty());
+        assert_eq!(prompts.len(), 3, "every attempt reaches the model");
+        assert_eq!(prompts[0], "base prompt");
+        for p in &prompts[1..] {
+            assert_eq!(p, &format!("base prompt{RETRY_SUFFIX}"));
+        }
+        // A first-attempt success never sees the suffix.
         let scripted = ScriptedLlm::new(["ok"]);
         let retrying = RetryingLlm::new(scripted, 3);
         assert_eq!(retrying.complete("base prompt").unwrap().text, "ok");
         assert_eq!(retrying.inner().prompts_seen(), vec!["base prompt".to_string()]);
+    }
+
+    #[test]
+    fn retries_are_visible_to_telemetry() {
+        let sink = Arc::new(Recorder::new());
+        let flaky = Flaky { failures_left: Mutex::new(1), meter: UsageMeter::new() };
+        let retrying = RetryingLlm::new(flaky, 3).with_sink(sink.clone());
+        assert!(retrying.complete("p").is_ok());
+        let attempts = sink.of_kind("retry_attempt");
+        assert_eq!(attempts.len(), 1);
+        assert_eq!(
+            attempts[0],
+            Event::RetryAttempt {
+                attempt: 1,
+                max_attempts: 3,
+                error: "could not parse LLM response: \"garbage\"".to_string(),
+            }
+        );
+        assert!(sink.of_kind("retry_exhausted").is_empty());
+
+        let sink = Arc::new(Recorder::new());
+        let flaky = Flaky { failures_left: Mutex::new(9), meter: UsageMeter::new() };
+        let retrying = RetryingLlm::new(flaky, 2).with_sink(sink.clone());
+        assert!(retrying.complete("p").is_err());
+        assert_eq!(sink.of_kind("retry_attempt").len(), 1);
+        assert_eq!(sink.of_kind("retry_exhausted").len(), 1);
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl SimLlm {
         // κ_c = knowledge · (0.7 + 0.6·u_c), capped: some classes the
         // model knows better than others.
         let kappa: Vec<f64> = (0..k)
-            .map(|c| (profile.knowledge * (0.7 + 0.6 * hash01(profile.seed, c as u64))).min(0.95))
+            .map(|c| {
+                (profile.knowledge * (0.7 + 0.6 * hash01(profile.seed, c as u64))).min(0.95)
+            })
             .collect();
         let prior: Vec<f64> = (0..k)
             .map(|c| -profile.bias_strength * hash01(profile.seed ^ 0xb1a5, c as u64))
@@ -85,7 +87,8 @@ impl SimLlm {
     /// Count recognized class words in `text`, accumulating into `counts`.
     fn scan(&self, text: &str, counts: &mut [f64], weight: f64) {
         for w in Tokenizer.words(text) {
-            if let Some(WordKind::Class(c)) = self.lexicon.kind_of_word(&w.to_ascii_lowercase()) {
+            if let Some(WordKind::Class(c)) = self.lexicon.kind_of_word(&w.to_ascii_lowercase())
+            {
                 if let Some(id) = self.lexicon.decode(&w.to_ascii_lowercase()) {
                     if self.knows(id, c) {
                         counts[c as usize] += weight;
@@ -319,10 +322,7 @@ mod tests {
                 cued += 1;
             }
         }
-        assert!(
-            cued >= plain + 15,
-            "labels did not help enough: plain {plain}, cued {cued}"
-        );
+        assert!(cued >= plain + 15, "labels did not help enough: plain {plain}, cued {cued}");
     }
 
     #[test]
@@ -342,13 +342,11 @@ mod tests {
                 .collect();
             let p0 = prompt_for(&lex, &names, class, 0.04, &[], seed + 3000);
             let p1 = prompt_for(&lex, &names, class, 0.04, &neighbors, seed + 3000);
-            if parse_category(&llm.complete(&p0).unwrap().text, &names)
-                == Some(class as usize)
+            if parse_category(&llm.complete(&p0).unwrap().text, &names) == Some(class as usize)
             {
                 plain += 1;
             }
-            if parse_category(&llm.complete(&p1).unwrap().text, &names)
-                == Some(class as usize)
+            if parse_category(&llm.complete(&p1).unwrap().text, &names) == Some(class as usize)
             {
                 cued += 1;
             }

@@ -86,9 +86,7 @@ fn large_label_spaces_stay_decisive_on_clear_text() {
         for seed in 0..100 {
             let class = (seed % k as u64) as u16;
             let p = prompt(&lex, &cats, class, 0.6, &[], seed + 50);
-            if parse_category(&llm.complete(&p).unwrap().text, &cats)
-                == Some(class as usize)
-            {
+            if parse_category(&llm.complete(&p).unwrap().text, &cats) == Some(class as usize) {
                 correct += 1;
             }
         }
@@ -97,10 +95,7 @@ fn large_label_spaces_stay_decisive_on_clear_text() {
     let small = acc_for(7);
     let large = acc_for(40);
     assert!(small > 0.85, "7-class baseline too weak: {small}");
-    assert!(
-        large > small - 0.10,
-        "40-class decisiveness collapsed: {large} vs {small}"
-    );
+    assert!(large > small - 0.10, "40-class decisiveness collapsed: {large} vs {small}");
 }
 
 /// Knowledge masking: a model with lower `knowledge` recognizes fewer
@@ -117,9 +112,7 @@ fn knowledge_controls_accuracy() {
         for seed in 0..150 {
             let class = (seed % 5) as u16;
             let p = prompt(&lex, &cats, class, 0.12, &[], seed + 700);
-            if parse_category(&llm.complete(&p).unwrap().text, &cats)
-                == Some(class as usize)
-            {
+            if parse_category(&llm.complete(&p).unwrap().text, &cats) == Some(class as usize) {
                 correct += 1;
             }
         }
@@ -156,8 +149,5 @@ fn wrong_labels_mislead_borderline_targets() {
             misled += 1;
         }
     }
-    assert!(
-        misled + 10 < plain,
-        "wrong labels failed to mislead: {plain} vs {misled}"
-    );
+    assert!(misled + 10 < plain, "wrong labels failed to mislead: {plain} vs {misled}");
 }

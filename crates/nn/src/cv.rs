@@ -136,9 +136,7 @@ mod tests {
         let cfg = MlpConfig { epochs: 40, ..Default::default() };
         let cv = CrossValProbs::fit(&cfg, &xs, &ys, 3, 3);
         // Out-of-fold predictions should be mostly right.
-        let correct = (0..xs.len())
-            .filter(|&i| argmax(&cv.oof_probs[i]) == ys[i])
-            .count();
+        let correct = (0..xs.len()).filter(|&i| argmax(&cv.oof_probs[i]) == ys[i]).count();
         assert!(correct as f64 / xs.len() as f64 > 0.9);
         // Unseen-point prediction averages fold models and sums to 1.
         let p = cv.predict_proba(&[0.0, 4.0]);

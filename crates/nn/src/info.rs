@@ -72,8 +72,7 @@ impl Joint {
     }
 
     fn states_xi(&self, i: usize) -> Vec<u8> {
-        let mut xs: Vec<u8> =
-            self.p.keys().map(|k| if i == 0 { k.0 } else { k.1 }).collect();
+        let mut xs: Vec<u8> = self.p.keys().map(|k| if i == 0 { k.0 } else { k.1 }).collect();
         xs.sort_unstable();
         xs.dedup();
         xs
@@ -135,9 +134,7 @@ impl Joint {
             .iter()
             .map(|&y| {
                 self.p_y(y)
-                    * self
-                        .specific_information(0, y)
-                        .min(self.specific_information(1, y))
+                    * self.specific_information(0, y).min(self.specific_information(1, y))
             })
             .sum()
     }
@@ -232,10 +229,7 @@ mod tests {
         let pid = j.pid();
         let sum = pid.redundancy + pid.unique_1 + pid.unique_2 + pid.synergy;
         assert!((sum - j.mi_joint()).abs() < 1e-6, "Eq. 3 broken: {sum} vs {}", j.mi_joint());
-        assert!(
-            (pid.redundancy + pid.unique_1 - j.mi_source(0)).abs() < 1e-6,
-            "Eq. 4 broken"
-        );
+        assert!((pid.redundancy + pid.unique_1 - j.mi_source(0)).abs() < 1e-6, "Eq. 4 broken");
         // Eq. 5: IG = I(X1,X2;Y) − I(X1;Y) = U2 + S.
         let ig = j.mi_joint() - j.mi_source(0);
         assert!((pid.information_gain() - ig).abs() < 1e-6, "Eq. 5 broken");
@@ -256,7 +250,11 @@ mod tests {
             .iter()
             .map(|&y| {
                 let p = j.p_y(y);
-                if p > 0.0 { -p * p.log2() } else { 0.0 }
+                if p > 0.0 {
+                    -p * p.log2()
+                } else {
+                    0.0
+                }
             })
             .sum();
         let pid = j.pid();
@@ -265,8 +263,7 @@ mod tests {
 
     #[test]
     fn estimation_from_samples_matches_weights() {
-        let samples: Vec<(u8, u8, u8)> =
-            [(0, 0, 0), (0, 0, 0), (1, 1, 1), (1, 1, 1)].to_vec();
+        let samples: Vec<(u8, u8, u8)> = [(0, 0, 0), (0, 0, 0), (1, 1, 1), (1, 1, 1)].to_vec();
         let a = Joint::from_samples(&samples);
         let b = Joint::from_weights(&[((0, 0, 0), 1.0), ((1, 1, 1), 1.0)]);
         assert!((a.mi_joint() - b.mi_joint()).abs() < EPS);

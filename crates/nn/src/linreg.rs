@@ -28,8 +28,8 @@ impl LinearRegression {
         let d = xs[0].len();
         assert!(xs.iter().all(|x| x.len() == d), "ragged feature rows");
         let n = d + 1; // augmented with intercept
-        // Build normal equations A·θ = c with A = XᵀX + ridge·I, in f64 for
-        // stability.
+                       // Build normal equations A·θ = c with A = XᵀX + ridge·I, in f64 for
+                       // stability.
         let mut a = vec![0.0f64; n * n];
         let mut c = vec![0.0f64; n];
         for (x, &y) in xs.iter().zip(ys) {
@@ -112,9 +112,8 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relation() {
         // y = 2x0 - 3x1 + 5
-        let xs: Vec<Vec<f32>> = (0..20)
-            .map(|i| vec![i as f32 * 0.3, (i as f32 * 0.7).sin()])
-            .collect();
+        let xs: Vec<Vec<f32>> =
+            (0..20).map(|i| vec![i as f32 * 0.3, (i as f32 * 0.7).sin()]).collect();
         let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
         let m = LinearRegression::fit(&xs, &ys, 1e-6);
         assert!((m.weights[0] - 2.0).abs() < 1e-3, "{:?}", m);

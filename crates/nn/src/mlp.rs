@@ -159,8 +159,7 @@ impl Mlp {
         let mut dims = vec![in_dim];
         dims.extend(&config.hidden);
         dims.push(out_dim);
-        let layers =
-            dims.windows(2).map(|d| Dense::new(d[1], d[0], &mut rng)).collect();
+        let layers = dims.windows(2).map(|d| Dense::new(d[1], d[0], &mut rng)).collect();
         Mlp { layers, config, in_dim, out_dim, step: 0 }
     }
 
@@ -292,8 +291,10 @@ mod tests {
             .map(|i| {
                 let a = (i / 2) % 2;
                 let b = i % 2;
-                vec![a as f32 + (i as f32 * 0.0007).sin() * 0.05,
-                     b as f32 + (i as f32 * 0.0011).cos() * 0.05]
+                vec![
+                    a as f32 + (i as f32 * 0.0007).sin() * 0.05,
+                    b as f32 + (i as f32 * 0.0011).cos() * 0.05,
+                ]
             })
             .collect();
         let ys: Vec<usize> = (0..400).map(|i| (((i / 2) % 2) ^ (i % 2)) as usize).collect();
@@ -346,11 +347,8 @@ mod tests {
     fn weight_decay_shrinks_weights() {
         let (xs, ys) = blobs(100, 4);
         let mut free = Mlp::new(MlpConfig { epochs: 30, ..Default::default() }, 2, 2);
-        let mut decayed = Mlp::new(
-            MlpConfig { epochs: 30, weight_decay: 0.5, ..Default::default() },
-            2,
-            2,
-        );
+        let mut decayed =
+            Mlp::new(MlpConfig { epochs: 30, weight_decay: 0.5, ..Default::default() }, 2, 2);
         free.fit(&xs, &ys);
         decayed.fit(&xs, &ys);
         let norm = |m: &Mlp| -> f32 { m.layers[0].w.iter().map(|w| w * w).sum() };

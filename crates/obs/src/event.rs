@@ -1,0 +1,222 @@
+//! The structured event vocabulary of the MQO pipeline.
+//!
+//! Events are small owned values: emitting one must never borrow from the
+//! hot path, and a sink may stash them indefinitely (the in-memory
+//! [`crate::Recorder`] does exactly that).
+
+use std::fmt::Write as _;
+
+/// One observable occurrence inside the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// One query finished in [`Executor::run_one`]: the prompt was built
+    /// (and possibly budget-pruned), sent, and the response parsed.
+    QueryExecuted {
+        /// Query node id.
+        node: u32,
+        /// Prompt-side tokens of the prompt actually sent.
+        prompt_tokens: u64,
+        /// Whether neighbor text was stripped (Algorithm 1 or budget).
+        pruned: bool,
+        /// Whether the response failed to parse into a known class.
+        parse_failed: bool,
+        /// Wall-clock time for the query, in microseconds.
+        wall_micros: u64,
+    },
+    /// One worker thread of `run_all_parallel` drained its share.
+    WorkerThroughput {
+        /// Worker index (0-based).
+        worker: u32,
+        /// Queries this worker executed.
+        queries: u64,
+        /// Wall-clock time the worker spent, in microseconds.
+        wall_micros: u64,
+    },
+    /// One round of Algorithm 2 (query boosting) completed.
+    RoundCompleted {
+        /// Round index (0-based).
+        round: u32,
+        /// Queries executed this round.
+        executed: u64,
+        /// γ1 in effect when the round's candidates were selected.
+        gamma1: u64,
+        /// γ2 in effect when the round's candidates were selected.
+        gamma2: u64,
+        /// Pseudo-label slots that reached prompts this round.
+        pseudo_label_uses: u64,
+    },
+    /// A retry wrapper re-sent a prompt after a failure.
+    RetryAttempt {
+        /// 1-based attempt number that failed (the re-send is attempt+1).
+        attempt: u32,
+        /// Configured attempt ceiling.
+        max_attempts: u32,
+        /// The failure that triggered the retry.
+        error: String,
+    },
+    /// A retry wrapper gave up.
+    RetryExhausted {
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final failure.
+        error: String,
+    },
+    /// The hard token budget (Eq. 2) started binding: a `would_exceed`
+    /// check first denied a prompt. Emitted once per meter.
+    BudgetPressure {
+        /// The budget in effect.
+        budget: u64,
+        /// Prompt tokens already spent when the denial happened.
+        prompt_tokens_used: u64,
+        /// Cost of the prompt that was denied.
+        denied_cost: u64,
+    },
+}
+
+/// Append `s` JSON-escaped (quoted) onto `out`.
+fn escape_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event {
+    /// The event's `"type"` tag in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::QueryExecuted { .. } => "query_executed",
+            Event::WorkerThroughput { .. } => "worker_throughput",
+            Event::RoundCompleted { .. } => "round_completed",
+            Event::RetryAttempt { .. } => "retry_attempt",
+            Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::BudgetPressure { .. } => "budget_pressure",
+        }
+    }
+
+    /// Render as one JSON object (no trailing newline). The encoding is
+    /// hand-rolled so this crate stays dependency-free; the schema is flat
+    /// (a `type` tag plus scalar fields), so this is straightforward.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"type\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match self {
+            Event::QueryExecuted { node, prompt_tokens, pruned, parse_failed, wall_micros } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"prompt_tokens\":{prompt_tokens},\"pruned\":{pruned},\
+                     \"parse_failed\":{parse_failed},\"wall_micros\":{wall_micros}"
+                );
+            }
+            Event::WorkerThroughput { worker, queries, wall_micros } => {
+                let _ = write!(
+                    s,
+                    ",\"worker\":{worker},\"queries\":{queries},\"wall_micros\":{wall_micros}"
+                );
+            }
+            Event::RoundCompleted { round, executed, gamma1, gamma2, pseudo_label_uses } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"executed\":{executed},\"gamma1\":{gamma1},\
+                     \"gamma2\":{gamma2},\"pseudo_label_uses\":{pseudo_label_uses}"
+                );
+            }
+            Event::RetryAttempt { attempt, max_attempts, error } => {
+                let _ = write!(s, ",\"attempt\":{attempt},\"max_attempts\":{max_attempts}");
+                s.push_str(",\"error\":");
+                escape_json(&mut s, error);
+            }
+            Event::RetryExhausted { attempts, error } => {
+                let _ = write!(s, ",\"attempts\":{attempts}");
+                s.push_str(",\"error\":");
+                escape_json(&mut s, error);
+            }
+            Event::BudgetPressure { budget, prompt_tokens_used, denied_cost } => {
+                let _ = write!(
+                    s,
+                    ",\"budget\":{budget},\"prompt_tokens_used\":{prompt_tokens_used},\
+                     \"denied_cost\":{denied_cost}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_flat_objects_with_type_tags() {
+        let e = Event::QueryExecuted {
+            node: 7,
+            prompt_tokens: 420,
+            pruned: true,
+            parse_failed: false,
+            wall_micros: 1234,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"query_executed\",\"node\":7,\"prompt_tokens\":420,\
+             \"pruned\":true,\"parse_failed\":false,\"wall_micros\":1234"
+                .to_owned()
+                + "}"
+        );
+    }
+
+    #[test]
+    fn error_strings_are_escaped() {
+        let e = Event::RetryExhausted { attempts: 3, error: "bad \"quote\"\nline".into() };
+        let j = e.to_json();
+        assert!(j.contains("\\\"quote\\\""), "got: {j}");
+        assert!(j.contains("\\n"), "got: {j}");
+        assert!(!j.contains('\n'), "JSONL lines must be newline-free: {j}");
+    }
+
+    #[test]
+    fn every_kind_tags_itself() {
+        let cases = [
+            (
+                Event::WorkerThroughput { worker: 0, queries: 1, wall_micros: 2 },
+                "worker_throughput",
+            ),
+            (
+                Event::RoundCompleted {
+                    round: 0,
+                    executed: 5,
+                    gamma1: 3,
+                    gamma2: 2,
+                    pseudo_label_uses: 4,
+                },
+                "round_completed",
+            ),
+            (
+                Event::RetryAttempt { attempt: 1, max_attempts: 3, error: "x".into() },
+                "retry_attempt",
+            ),
+            (
+                Event::BudgetPressure { budget: 100, prompt_tokens_used: 90, denied_cost: 20 },
+                "budget_pressure",
+            ),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind);
+            assert!(e.to_json().starts_with(&format!("{{\"type\":\"{kind}\"")));
+        }
+    }
+}

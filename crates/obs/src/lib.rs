@@ -1,0 +1,45 @@
+//! Structured-event telemetry for the MQO pipeline.
+//!
+//! Zero dependencies by design: every other crate in the workspace can
+//! depend on this one without cycles, and the no-op path costs nothing.
+//!
+//! The pieces:
+//!
+//! - [`Event`] — the closed vocabulary of things worth observing: query
+//!   executions, boosting rounds, retries, worker throughput, and the
+//!   moment the hard token budget (Eq. 2 of the paper) starts binding.
+//! - [`EventSink`] — where events go. [`NullSink`] (the default) drops
+//!   them, [`Recorder`] keeps them in memory for tests and summaries,
+//!   [`FileSink`] streams JSONL to disk (conventionally under
+//!   `results/logs/`), and [`Tee`] fans out to two sinks.
+//! - [`Histogram`] / [`Counter`] — fixed-bucket, lock-free aggregation
+//!   primitives.
+//! - [`Summary`] — the one-screen digest (p50/p99 prompt tokens, retry
+//!   counts, rounds, prune rate) the bench harness prints for `--trace`.
+//!
+//! ```
+//! use mqo_obs::{Event, EventSink, Recorder, Summary};
+//!
+//! let sink = Recorder::new();
+//! sink.emit(&Event::QueryExecuted {
+//!     node: 3,
+//!     prompt_tokens: 412,
+//!     pruned: false,
+//!     parse_failed: false,
+//!     wall_micros: 90,
+//! });
+//! let summary = Summary::from_events(&sink.events());
+//! assert_eq!(summary.queries, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+mod summary;
+
+pub use event::Event;
+pub use metrics::{Counter, Histogram};
+pub use sink::{EventSink, FileSink, NullSink, Recorder, Tee, NULL_SINK};
+pub use summary::Summary;

@@ -1,0 +1,217 @@
+//! Fixed-bucket histograms and monotonic counters.
+//!
+//! Both are lock-free (plain atomics) so hot paths and summary readers can
+//! share them without a mutex. Buckets are fixed at construction — no
+//! rebalancing, no allocation after `new` — which keeps `record` to one
+//! binary search plus three atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` samples with fixed bucket upper bounds.
+///
+/// Bucket `i` holds samples `v <= bounds[i]` (and `> bounds[i-1]`); one
+/// extra overflow bucket catches everything above the last bound.
+/// Quantiles are resolved to the upper bound of the bucket containing the
+/// target rank — an overestimate by at most one bucket width, the usual
+/// fixed-bucket trade.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram with the given strictly increasing bucket upper bounds.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must strictly increase");
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// `n` equal-width buckets covering `(0, n*width]`.
+    pub fn linear(width: u64, n: usize) -> Self {
+        assert!(width > 0 && n > 0, "need positive width and bucket count");
+        Histogram::new((1..=n as u64).map(|i| i * width).collect())
+    }
+
+    /// Power-of-two bounds `1, 2, 4, … 2^(n-1)`.
+    pub fn exponential(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "need 1..=64 doubling buckets");
+        Histogram::new((0..n as u32).map(|i| 1u64 << i).collect())
+    }
+
+    /// Buckets sized for prompt-token counts (width 64 up to 16384; paper
+    /// prompts run a few hundred to a few thousand tokens).
+    pub fn token_buckets() -> Self {
+        Histogram::linear(64, 256)
+    }
+
+    /// Buckets sized for per-query latencies in microseconds (doubling
+    /// from 1µs to ~1.2h).
+    pub fn latency_buckets() -> Self {
+        Histogram::exponential(42)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank-⌈q·n⌉ sample; the exact recorded max for
+    /// the overflow bucket. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    // Clamp to the observed max: a tail bucket's bound can
+                    // overshoot what was actually recorded.
+                    self.bounds[i].min(self.max())
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::linear(10, 10); // bounds 10, 20, … 100
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Rank 50 lands in the (40, 50] bucket.
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.0), 10);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = Histogram::exponential(4); // bounds 1, 2, 4, 8
+        h.record(100);
+        h.record(3);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.5), 4);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max_within_buckets() {
+        let h = Histogram::linear(1000, 4);
+        h.record(5);
+        // The sample's bucket bound is 1000, but only 5 was ever seen.
+        assert_eq!(h.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::token_buckets();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(vec![5, 5]);
+    }
+}

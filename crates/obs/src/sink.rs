@@ -1,0 +1,218 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! Sinks are shared by reference across worker threads, so the trait
+//! requires `Send + Sync` and `emit` takes `&self`. The no-op [`NullSink`]
+//! is the default everywhere and must cost nothing measurable — it is a
+//! unit struct whose `emit` compiles to nothing, so instrumented hot paths
+//! only pay for constructing the event *after* checking nothing cheaper
+//! would do; event construction itself is a handful of scalar copies.
+
+use crate::event::Event;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for structured events.
+pub trait EventSink: Send + Sync {
+    /// Accept one event. Must be cheap and non-blocking in spirit; heavy
+    /// sinks buffer internally.
+    fn emit(&self, event: &Event);
+
+    /// Flush any buffered events to their final destination.
+    fn flush(&self) {}
+}
+
+/// The default sink: drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn emit(&self, _event: &Event) {}
+}
+
+/// The canonical shared no-op sink, usable as a `&'static dyn EventSink`
+/// default without allocating.
+pub static NULL_SINK: NullSink = NullSink;
+
+/// An in-memory sink for tests and summaries.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Snapshot of everything recorded so far, in emission order (order
+    /// between threads is their interleaving order).
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recorder lock").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder lock").len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events of one kind (by `type` tag).
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.kind() == kind).collect()
+    }
+}
+
+impl EventSink for Recorder {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("recorder lock").push(event.clone());
+    }
+}
+
+/// A sink writing one JSON object per line (JSONL).
+///
+/// Lines are buffered; call [`EventSink::flush`] (the bench harness does,
+/// and `Drop` does too) before reading the file back.
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Create (truncate) the trace file at `path`, creating parent
+    /// directories as needed — traces conventionally live under
+    /// `results/logs/`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(FileSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for FileSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("file sink lock");
+        // I/O errors on a telemetry path must not kill the experiment;
+        // drop the line instead.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("file sink lock").flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        EventSink::flush(self);
+    }
+}
+
+/// Fan one event stream out to two sinks (chain `Tee`s for more).
+pub struct Tee<'a> {
+    first: &'a dyn EventSink,
+    second: &'a dyn EventSink,
+}
+
+impl<'a> Tee<'a> {
+    /// Forward every event to both `first` and `second`.
+    pub fn new(first: &'a dyn EventSink, second: &'a dyn EventSink) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl EventSink for Tee<'_> {
+    fn emit(&self, event: &Event) {
+        self.first.emit(event);
+        self.second.emit(event);
+    }
+
+    fn flush(&self) {
+        self.first.flush();
+        self.second.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::RetryAttempt { attempt: 1, max_attempts: 3, error: "boom".into() }
+    }
+
+    #[test]
+    fn sinks_are_object_safe_and_sync() {
+        fn assert_sink<S: EventSink>(_: &S) {}
+        assert_sink(&NullSink);
+        assert_sink(&Recorder::new());
+        let _obj: &dyn EventSink = &NULL_SINK;
+        fn assert_sync<T: Sync>(_: &T) {}
+        assert_sync(&NULL_SINK);
+    }
+
+    #[test]
+    fn recorder_keeps_order_and_filters_by_kind() {
+        let r = Recorder::new();
+        r.emit(&sample());
+        r.emit(&Event::RetryExhausted { attempts: 3, error: "boom".into() });
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.of_kind("retry_exhausted").len(), 1);
+        assert_eq!(r.events()[0].kind(), "retry_attempt");
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join("mqo-obs-test");
+        let path = dir.join("trace.jsonl");
+        let sink = FileSink::create(&path).unwrap();
+        sink.emit(&sample());
+        sink.emit(&Event::BudgetPressure { budget: 10, prompt_tokens_used: 8, denied_cost: 5 });
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"type\":\""), "line not an object: {line}");
+            assert!(line.ends_with('}'), "line not closed: {line}");
+        }
+        assert!(lines[1].contains("\"budget\":10"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let tee = Tee::new(&a, &b);
+        tee.emit(&sample());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn threads_can_share_one_recorder() {
+        let r = Recorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        r.emit(&sample());
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 400);
+    }
+}

@@ -1,0 +1,188 @@
+//! One-screen run summaries aggregated from an event stream.
+
+use crate::event::Event;
+use crate::metrics::Histogram;
+use std::fmt;
+
+/// Aggregate view of a traced run: what `--trace` prints after the table.
+#[derive(Debug)]
+pub struct Summary {
+    /// Queries executed.
+    pub queries: u64,
+    /// Queries whose prompt had neighbor text stripped.
+    pub pruned: u64,
+    /// Queries whose response failed to parse.
+    pub parse_failed: u64,
+    /// Prompt-token distribution across executed queries.
+    pub prompt_tokens: Histogram,
+    /// Per-query wall-time distribution (microseconds).
+    pub latency: Histogram,
+    /// Retry attempts observed.
+    pub retries: u64,
+    /// Retry sequences that gave up.
+    pub retries_exhausted: u64,
+    /// Boosting rounds completed.
+    pub rounds: u64,
+    /// Pseudo-label slots that reached prompts, summed over rounds.
+    pub pseudo_label_uses: u64,
+    /// Workers that reported throughput.
+    pub workers: u64,
+    /// Budget-pressure events (0 or 1 per meter).
+    pub budget_pressure: u64,
+}
+
+impl Summary {
+    /// Aggregate `events` (any order).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = Summary {
+            queries: 0,
+            pruned: 0,
+            parse_failed: 0,
+            prompt_tokens: Histogram::token_buckets(),
+            latency: Histogram::latency_buckets(),
+            retries: 0,
+            retries_exhausted: 0,
+            rounds: 0,
+            pseudo_label_uses: 0,
+            workers: 0,
+            budget_pressure: 0,
+        };
+        for e in events {
+            match e {
+                Event::QueryExecuted {
+                    prompt_tokens,
+                    pruned,
+                    parse_failed,
+                    wall_micros,
+                    ..
+                } => {
+                    s.queries += 1;
+                    s.pruned += u64::from(*pruned);
+                    s.parse_failed += u64::from(*parse_failed);
+                    s.prompt_tokens.record(*prompt_tokens);
+                    s.latency.record(*wall_micros);
+                }
+                Event::WorkerThroughput { .. } => s.workers += 1,
+                Event::RoundCompleted { pseudo_label_uses, .. } => {
+                    s.rounds += 1;
+                    s.pseudo_label_uses += pseudo_label_uses;
+                }
+                Event::RetryAttempt { .. } => s.retries += 1,
+                Event::RetryExhausted { .. } => s.retries_exhausted += 1,
+                Event::BudgetPressure { .. } => s.budget_pressure += 1,
+            }
+        }
+        s
+    }
+
+    /// Fraction of executed queries that were pruned (0.0 when empty).
+    pub fn prune_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.queries as f64
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace summary")?;
+        writeln!(f, "  queries executed   {:>8}", self.queries)?;
+        writeln!(
+            f,
+            "  prompt tokens      {:>8} p50   {:>8} p99   {:>10.1} mean",
+            self.prompt_tokens.quantile(0.5),
+            self.prompt_tokens.quantile(0.99),
+            self.prompt_tokens.mean(),
+        )?;
+        writeln!(
+            f,
+            "  query latency (µs) {:>8} p50   {:>8} p99",
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.99),
+        )?;
+        writeln!(
+            f,
+            "  prune rate         {:>7.1}%   ({} of {})",
+            100.0 * self.prune_rate(),
+            self.pruned,
+            self.queries,
+        )?;
+        writeln!(f, "  parse failures     {:>8}", self.parse_failed)?;
+        writeln!(
+            f,
+            "  retries            {:>8}   ({} exhausted)",
+            self.retries, self.retries_exhausted,
+        )?;
+        writeln!(
+            f,
+            "  boosting rounds    {:>8}   ({} pseudo-label uses)",
+            self.rounds, self.pseudo_label_uses,
+        )?;
+        if self.workers > 0 {
+            writeln!(f, "  parallel workers   {:>8}", self.workers)?;
+        }
+        if self.budget_pressure > 0 {
+            writeln!(f, "  budget pressure    {:>8} event(s)", self.budget_pressure)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(tokens: u64, pruned: bool) -> Event {
+        Event::QueryExecuted {
+            node: 0,
+            prompt_tokens: tokens,
+            pruned,
+            parse_failed: false,
+            wall_micros: 100,
+        }
+    }
+
+    #[test]
+    fn aggregates_the_whole_vocabulary() {
+        let events = vec![
+            q(100, false),
+            q(300, true),
+            q(500, false),
+            q(700, true),
+            Event::RoundCompleted {
+                round: 0,
+                executed: 4,
+                gamma1: 3,
+                gamma2: 2,
+                pseudo_label_uses: 5,
+            },
+            Event::RetryAttempt { attempt: 1, max_attempts: 3, error: "x".into() },
+            Event::RetryExhausted { attempts: 3, error: "x".into() },
+            Event::WorkerThroughput { worker: 0, queries: 4, wall_micros: 400 },
+            Event::BudgetPressure { budget: 10, prompt_tokens_used: 9, denied_cost: 2 },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.pruned, 2);
+        assert!((s.prune_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.pseudo_label_uses, 5);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.retries_exhausted, 1);
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.budget_pressure, 1);
+        // p50 of {100, 300, 500, 700} resolves to 300's bucket.
+        assert_eq!(s.prompt_tokens.quantile(0.5), 320);
+    }
+
+    #[test]
+    fn display_fits_one_screen() {
+        let s = Summary::from_events(&[q(128, false)]);
+        let text = s.to_string();
+        assert!(text.lines().count() <= 12, "summary too tall:\n{text}");
+        assert!(text.contains("p50"));
+        assert!(text.contains("prune rate"));
+    }
+}

@@ -84,7 +84,12 @@ impl<'a> TextSampler<'a> {
 
     /// Sample one word id for a node of class `class` with the given
     /// informativeness.
-    pub fn sample_word<R: Rng>(&self, class: ClassId, informativeness: f64, rng: &mut R) -> u32 {
+    pub fn sample_word<R: Rng>(
+        &self,
+        class: ClassId,
+        informativeness: f64,
+        rng: &mut R,
+    ) -> u32 {
         let u: f64 = rng.gen();
         if u < informativeness {
             self.lexicon.class_id(class.0, self.zipf_rank(rng))
@@ -120,12 +125,22 @@ impl<'a> TextSampler<'a> {
     }
 
     /// Sample a title for a node of `class` with the given informativeness.
-    pub fn sample_title<R: Rng>(&self, class: ClassId, informativeness: f64, rng: &mut R) -> String {
+    pub fn sample_title<R: Rng>(
+        &self,
+        class: ClassId,
+        informativeness: f64,
+        rng: &mut R,
+    ) -> String {
         self.sample_text(class, informativeness, self.spec.title_words, rng)
     }
 
     /// Sample a body (abstract / description).
-    pub fn sample_body<R: Rng>(&self, class: ClassId, informativeness: f64, rng: &mut R) -> String {
+    pub fn sample_body<R: Rng>(
+        &self,
+        class: ClassId,
+        informativeness: f64,
+        rng: &mut R,
+    ) -> String {
         self.sample_text(class, informativeness, self.spec.body_words, rng)
     }
 }

@@ -269,7 +269,7 @@ mod tests {
         let l = lex();
         for id in [0, 63, 64, 4095, 4096] {
             let w = l.word(id);
-            assert!(w.len() >= 4 && w.len() % 2 == 0);
+            assert!(w.len() >= 4 && w.len().is_multiple_of(2));
             assert!(w.is_ascii());
         }
     }
@@ -289,8 +289,7 @@ mod tests {
         let a = Lexicon::new(1, 2, 10, 10);
         let b = Lexicon::new(2, 2, 10, 10);
         // Not all ids need differ, but the table shuffle should change most.
-        let differing =
-            (0..30).filter(|&id| a.word(id) != b.word(id)).count();
+        let differing = (0..30).filter(|&id| a.word(id) != b.word(id)).count();
         assert!(differing > 10, "seed had no effect on surface forms");
     }
 

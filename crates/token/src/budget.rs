@@ -22,10 +22,7 @@
 /// refuse queries once the meter hits the hard budget).
 pub fn tau_for_budget(q: u64, tokens_full: f64, tokens_neighbor: f64, b: f64) -> f64 {
     assert!(tokens_neighbor > 0.0, "neighbor text must cost tokens");
-    assert!(
-        tokens_full >= tokens_neighbor,
-        "full query must cost at least its neighbor text"
-    );
+    assert!(tokens_full >= tokens_neighbor, "full query must cost at least its neighbor text");
     let full_cost = q as f64 * tokens_full;
     let tau = (full_cost - b) / (q as f64 * tokens_neighbor);
     tau.clamp(0.0, 1.0)

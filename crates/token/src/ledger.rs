@@ -6,7 +6,10 @@
 //! constraint). Interior mutability via `parking_lot::Mutex` keeps the
 //! `LanguageModel` trait object-safe with `&self` methods.
 
+use mqo_obs::{Event, EventSink};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Token usage of a single request (mirrors the OpenAI `usage` object).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,15 +46,30 @@ impl Totals {
 }
 
 /// Thread-safe accumulating token ledger.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct UsageMeter {
     inner: Mutex<Totals>,
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
+    pressure_reported: AtomicBool,
+}
+
+impl std::fmt::Debug for UsageMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UsageMeter").field("totals", &self.totals()).finish_non_exhaustive()
+    }
 }
 
 impl UsageMeter {
     /// Fresh meter with zero totals.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a telemetry sink: the meter emits [`Event::BudgetPressure`]
+    /// the first time a [`UsageMeter::would_exceed`] check binds (returns
+    /// `true`), i.e. the moment the Eq. 2 budget starts shaping the run.
+    pub fn attach_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.sink.lock() = Some(sink);
     }
 
     /// Record one request's usage.
@@ -67,16 +85,29 @@ impl UsageMeter {
         *self.inner.lock()
     }
 
-    /// Reset to zero (between experiment arms).
+    /// Reset to zero (between experiment arms). Also re-arms the
+    /// budget-pressure event.
     pub fn reset(&self) {
         *self.inner.lock() = Totals::default();
+        self.pressure_reported.store(false, Ordering::Relaxed);
     }
 
     /// Whether recording `next` prompt tokens would exceed `budget` input
     /// tokens. The paper's budget B constrains *input* tokens (prompt side),
     /// since completions are single category names.
     pub fn would_exceed(&self, next_prompt_tokens: u64, budget: u64) -> bool {
-        self.inner.lock().prompt_tokens + next_prompt_tokens > budget
+        let used = self.inner.lock().prompt_tokens;
+        let exceeds = used + next_prompt_tokens > budget;
+        if exceeds && !self.pressure_reported.swap(true, Ordering::Relaxed) {
+            if let Some(sink) = self.sink.lock().as_ref() {
+                sink.emit(&Event::BudgetPressure {
+                    budget,
+                    prompt_tokens_used: used,
+                    denied_cost: next_prompt_tokens,
+                });
+            }
+        }
+        exceeds
     }
 }
 
@@ -110,6 +141,28 @@ mod tests {
         m.record(Usage { prompt_tokens: 900, completion_tokens: 0 });
         assert!(!m.would_exceed(100, 1000));
         assert!(m.would_exceed(101, 1000));
+    }
+
+    #[test]
+    fn budget_pressure_emitted_once_when_check_first_binds() {
+        let m = UsageMeter::new();
+        let sink = Arc::new(mqo_obs::Recorder::new());
+        m.attach_sink(sink.clone());
+        m.record(Usage { prompt_tokens: 900, completion_tokens: 0 });
+        assert!(!m.would_exceed(50, 1000));
+        assert!(sink.is_empty(), "no pressure below the budget");
+        assert!(m.would_exceed(200, 1000));
+        assert!(m.would_exceed(300, 1000));
+        let events = sink.of_kind("budget_pressure");
+        assert_eq!(events.len(), 1, "pressure reported once, on first bind");
+        assert_eq!(
+            events[0],
+            Event::BudgetPressure { budget: 1000, prompt_tokens_used: 900, denied_cost: 200 }
+        );
+        // Reset re-arms the event for the next experiment arm.
+        m.reset();
+        assert!(m.would_exceed(2000, 1000));
+        assert_eq!(sink.of_kind("budget_pressure").len(), 2);
     }
 
     #[test]

@@ -38,8 +38,7 @@ fn main() {
     let with_n = probe_exec.run_all(&predictor, &labels, &probe, |_| false).expect("probe");
     let without_n = probe_exec.run_all(&predictor, &labels, &probe, |_| true).expect("probe");
     let tokens_full = with_n.prompt_tokens() as f64 / probe.len() as f64;
-    let tokens_neighbor =
-        tokens_full - without_n.prompt_tokens() as f64 / probe.len() as f64;
+    let tokens_neighbor = tokens_full - without_n.prompt_tokens() as f64 / probe.len() as f64;
     println!(
         "probe: full query ≈ {tokens_full:.0} tokens, neighbor text ≈ {tokens_neighbor:.0} tokens"
     );

@@ -30,7 +30,10 @@ fn main() {
         ("w/ token pruning (20%)", LinkStrategy::Prune { tau: 0.2 }),
         ("w/ both", LinkStrategy::Both { tau: 0.2, gamma1 }),
     ];
-    println!("\n{:<26} {:>9} {:>12} {:>14}", "strategy", "accuracy", "with links", "prompt tokens");
+    println!(
+        "\n{:<26} {:>9} {:>12} {:>14}",
+        "strategy", "accuracy", "with links", "prompt tokens"
+    );
     for (name, strategy) in strategies {
         let llm =
             SimLinkLlm::new(bundle.lexicon.clone(), ModelProfile::gpt35()).with_threshold(1.05);

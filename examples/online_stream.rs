@@ -49,8 +49,7 @@ fn main() {
         max_buffered = max_buffered.max(online.pending());
     }
     records.extend(online.flush().expect("flush"));
-    let online_acc =
-        records.iter().filter(|r| r.correct).count() as f64 / records.len() as f64;
+    let online_acc = records.iter().filter(|r| r.correct).count() as f64 / records.len() as f64;
     let pseudo_uses: usize = records.iter().map(|r| r.pseudo_neighbors).sum();
 
     println!("stream of {} arrivals on {}:", split.queries().len(), tag.name());

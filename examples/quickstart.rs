@@ -41,7 +41,8 @@ fn main() {
 
     // 3. An LLM client. `SimLlm` implements the same `LanguageModel` trait
     //    an HTTP client would.
-    let llm = SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
+    let llm =
+        SimLlm::new(bundle.lexicon.clone(), tag.class_names().to_vec(), ModelProfile::gpt35());
     let exec = Executor::new(tag, &llm, 4, 42);
 
     // 4. Baseline: 1-hop random neighbor selection for every query.

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, tests. CI and pre-push both run
+# exactly this, so "check.sh passes" == "the tree is green".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

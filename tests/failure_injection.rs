@@ -28,7 +28,7 @@ impl LanguageModel for Flaky<'_> {
     fn complete(&self, prompt: &str) -> mqo_llm::Result<Completion> {
         let mut calls = self.calls.lock();
         *calls += 1;
-        if *calls % self.period == 0 {
+        if (*calls).is_multiple_of(self.period) {
             return Err(LlmError::MalformedResponse { response: "HTTP 500".into() });
         }
         drop(calls);
@@ -116,19 +116,15 @@ fn starvation_budget_degrades_to_zero_shot_not_refusal() {
 fn completion_tokens_are_metered_exactly() {
     let (bundle, split, _) = world();
     let responses =
-        vec!["Category: ['Theory'].", "The most likely category for the target paper is Theory."];
+        ["Category: ['Theory'].", "The most likely category for the target paper is Theory."];
     let llm = ScriptedLlm::new(responses.iter().cycle().take(40).copied());
     let exec = Executor::new(&bundle.tag, &llm, 4, 1);
     let labels = LabelStore::from_split(&bundle.tag, &split);
     let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
     let queries: Vec<_> = split.queries().iter().take(40).copied().collect();
     exec.run_all(&predictor, &labels, &queries, |_| false).unwrap();
-    let expected: u64 = responses
-        .iter()
-        .cycle()
-        .take(40)
-        .map(|r| Tokenizer.count(r) as u64)
-        .sum();
+    let expected: u64 =
+        responses.iter().cycle().take(40).map(|r| Tokenizer.count(r) as u64).sum();
     assert_eq!(llm.meter().totals().completion_tokens, expected);
     // Usage structs agree with the meter on the prompt side too.
     let _ = Usage::default();

@@ -103,17 +103,15 @@ fn ranked_pruning_beats_random_pruning_at_high_tau() {
     // the random baseline over a few seeds to cut variance.
     let tau = 0.6;
     let ranked_plan = PrunePlan::by_inadequacy(&scorer, tag, w.split.queries(), tau);
-    let ranked =
-        run_with_pruning(&exec, &predictor, &labels, w.split.queries(), &ranked_plan)
-            .unwrap()
-            .accuracy();
+    let ranked = run_with_pruning(&exec, &predictor, &labels, w.split.queries(), &ranked_plan)
+        .unwrap()
+        .accuracy();
     let mut random_acc = 0.0;
     for seed in 0..3 {
         let plan = PrunePlan::random(w.split.queries(), tau, seed);
-        random_acc +=
-            run_with_pruning(&exec, &predictor, &labels, w.split.queries(), &plan)
-                .unwrap()
-                .accuracy();
+        random_acc += run_with_pruning(&exec, &predictor, &labels, w.split.queries(), &plan)
+            .unwrap()
+            .accuracy();
     }
     random_acc /= 3.0;
     assert!(

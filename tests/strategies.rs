@@ -31,8 +31,7 @@ fn setup(
         &mut StdRng::seed_from_u64(seed ^ 1),
     )
     .unwrap();
-    let llm =
-        SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
+    let llm = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
     (bundle, split, llm)
 }
 
@@ -90,8 +89,7 @@ fn scheduling_raises_utilization_on_synthetic_cora() {
     let mut sched = 0u64;
     let mut unsched = 0u64;
     for seed in 0..3 {
-        sched +=
-            pseudo_label_utilization(tag, &labels, split.queries(), 2, 10, 50, true, seed);
+        sched += pseudo_label_utilization(tag, &labels, split.queries(), 2, 10, 50, true, seed);
         unsched +=
             pseudo_label_utilization(tag, &labels, split.queries(), 2, 10, 50, false, seed);
     }

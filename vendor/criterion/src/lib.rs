@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`: wall-clock measurement with
+//! median/mean reporting. No statistical analysis, no HTML reports — just
+//! honest timings so relative comparisons (e.g. "no-op sink costs
+//! nothing") remain meaningful.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (defeats constant folding of benchmark inputs).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported as bytes/sec).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `sample_size` samples of auto-scaled batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and pick a batch size targeting ~5ms per sample.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let mut line = format!(
+        "{name:<50} median {median:>12?}   mean {mean:>12?}   ({} samples)",
+        samples.len()
+    );
+    if let Some(Throughput::Bytes(b)) = throughput {
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("   {:.1} MiB/s", b as f64 / secs / (1 << 20) as f64));
+        }
+    }
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Finish the group (marker only; all reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Configure from CLI args (accepted and ignored; present so
+    /// `cargo bench -- <filter>` does not fail).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(&id, &mut b.samples, None);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Mark the run complete.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion { sample_size: 3 };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 3, "benchmark body never ran");
+    }
+
+    #[test]
+    fn groups_honor_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Bytes(1024));
+        g.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}
