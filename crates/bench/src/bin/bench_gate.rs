@@ -1,0 +1,116 @@
+//! `bench_gate` — the bench-regression gate CI runs after the smoke bench.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance PCT]
+//! ```
+//!
+//! Compares a fresh `mqo classify --stats-json` snapshot against the
+//! committed baseline (`BENCH_PR2.json`) and exits non-zero when the two
+//! cache-efficiency contracts regress beyond the tolerance (default 5%):
+//!
+//! * **tokens_sent** — metered prompt tokens must not *increase* by more
+//!   than the tolerance (the cache stopped saving what it used to save);
+//! * **serve_rate** — the fraction of lookups served without a metered
+//!   request must not *drop* by more than the tolerance, relative.
+//!
+//! `serve_rate` rather than raw hits: under threads the hit/coalesced
+//! split races (a waiter may find the entry cached by the time it looks),
+//! but their sum — lookups that sent nothing — is deterministic.
+//!
+//! Accuracy and wall time are reported for context but never gate:
+//! accuracy is checked bit-exactly by the test suite, and wall time is
+//! noise on shared CI runners.
+
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance PCT]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn field(v: &serde_json::Value, name: &str, path: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("{path} has no numeric field '{name}'"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 5.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            tolerance =
+                args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("bad --tolerance")?;
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("expected exactly two JSON files".into());
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+
+    let mut ok = true;
+    println!("bench gate: {current_path} vs {baseline_path} (tolerance {tolerance}%)");
+
+    let base_tokens = field(&baseline, "tokens_sent", baseline_path)?;
+    let cur_tokens = field(&current, "tokens_sent", current_path)?;
+    let token_delta =
+        if base_tokens > 0.0 { 100.0 * (cur_tokens - base_tokens) / base_tokens } else { 0.0 };
+    let token_ok = token_delta <= tolerance;
+    println!(
+        "  tokens_sent : {cur_tokens:.0} vs {base_tokens:.0}  ({token_delta:+.2}%)  {}",
+        if token_ok { "ok" } else { "REGRESSED" }
+    );
+    ok &= token_ok;
+
+    let base_rate = field(&baseline, "serve_rate", baseline_path)?;
+    let cur_rate = field(&current, "serve_rate", current_path)?;
+    let rate_delta =
+        if base_rate > 0.0 { 100.0 * (cur_rate - base_rate) / base_rate } else { 0.0 };
+    let rate_ok = rate_delta >= -tolerance;
+    println!(
+        "  serve_rate  : {cur_rate:.4} vs {base_rate:.4}  ({rate_delta:+.2}%)  {}",
+        if rate_ok { "ok" } else { "REGRESSED" }
+    );
+    ok &= rate_ok;
+
+    // Context only — never gates.
+    if let (Ok(b), Ok(c)) =
+        (field(&baseline, "accuracy", baseline_path), field(&current, "accuracy", current_path))
+    {
+        println!("  accuracy    : {c:.4} vs {b:.4}  (informational)");
+    }
+    if let (Ok(b), Ok(c)) = (
+        field(&baseline, "wall_seconds", baseline_path),
+        field(&current, "wall_seconds", current_path),
+    ) {
+        println!("  wall_seconds: {c:.3} vs {b:.3}  (informational)");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate: FAIL — cache efficiency regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => die(&e),
+    }
+}

@@ -6,6 +6,8 @@
 //! mqo classify <dataset|FILE> [--method M] [--queries N] [--prune TAU]
 //!              [--boost] [--model gpt35|gpt4o-mini] [--threads T]
 //!              [--budget B] [--retries N] [--trace FILE]
+//!              [--cache-cap N] [--no-cache] [--repeat K] [--batch B]
+//!              [--stats-json FILE]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -19,15 +21,18 @@
 use mqo_bench::harness::Trace;
 use mqo_core::boosting::{run_with_boosting, BoostConfig};
 use mqo_core::metrics::ConfusionMatrix;
-use mqo_core::parallel::run_all_parallel;
+use mqo_core::parallel::{run_all_batched, run_all_parallel};
 use mqo_core::planner::plan_campaign;
 use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
 use mqo_core::pruning::PrunePlan;
 use mqo_core::surrogate::SurrogateConfig;
 use mqo_core::{Executor, InadequacyScorer, LabelStore};
 use mqo_data::{dataset, persist, DatasetBundle, DatasetId};
-use mqo_graph::{LabeledSplit, SplitConfig};
-use mqo_llm::{LanguageModel, LenientLlm, ModelProfile, RetryingLlm, SimLlm, ValidatingLlm};
+use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
+use mqo_llm::{
+    CachedLlm, LanguageModel, LenientLlm, ModelProfile, RetryingLlm, SimLlm, ValidatingLlm,
+};
+use mqo_obs::Tee;
 use mqo_token::GPT_35_TURBO_0125;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +47,8 @@ fn usage() -> ExitCode {
          mqo inspect  FILE\n  \
          mqo classify <dataset|FILE> [--method zero-shot|1hop|2hop|sns|llmrank]\n               \
          [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n               \
-         [--budget B] [--retries N] [--trace FILE]\n  \
+         [--budget B] [--retries N] [--trace FILE] [--cache-cap N] [--no-cache]\n               \
+         [--repeat K] [--batch B] [--stats-json FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -57,7 +63,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags consume the next arg.
             match name {
-                "boost" => {
+                "boost" | "no-cache" => {
                     flags.insert(name.to_string(), "true".to_string());
                     i += 1;
                 }
@@ -204,17 +210,42 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     if let Some(t) = &trace {
         retrying = retrying.with_sink(Arc::new(t.clone()));
     }
-    let llm = LenientLlm::new(retrying);
+    // The response cache wraps the *whole* stack so hits skip validation
+    // and retries entirely; `--no-cache` keeps the wrapper (capacity 0 is
+    // a transparent pass-through) so both arms run identical code.
+    let cache_cap: usize = if flags.contains_key("no-cache") {
+        0
+    } else {
+        flags.get("cache-cap").map_or(Ok(4096), |s| s.parse().map_err(|_| "bad --cache-cap"))?
+    };
+    let llm = CachedLlm::new(LenientLlm::new(retrying), cache_cap);
     let m = if bundle.tag.name() == "ogbn-products" { 10 } else { 4 };
+    // Round-based invalidation rides the telemetry stream: the invalidator
+    // is an event sink that advances the cache epoch on RoundCompleted, so
+    // boosting-enriched prompts are never answered from a previous round.
+    let invalidator = llm.round_invalidator();
+    let tee = trace.as_ref().map(|t| Tee::new(&invalidator, t));
     let mut exec = Executor::new(&bundle.tag, &llm, m, seed);
     if let Some(b) = flags.get("budget") {
         exec = exec.with_budget(b.parse().map_err(|_| "bad --budget")?);
     }
+    exec = match &tee {
+        Some(t) => exec.with_sink(t),
+        None => exec.with_sink(&invalidator),
+    };
     if let Some(t) = &trace {
-        exec = exec.with_sink(t);
         llm.meter().attach_sink(Arc::new(t.clone()));
     }
     let predictor = make_predictor(method, &bundle)?;
+
+    // `--repeat K` replays the query list K times — the serving-style
+    // workload (overlapping traffic) where a response cache pays off.
+    let repeat: usize =
+        flags.get("repeat").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --repeat"))?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    let run_queries: Vec<NodeId> = split.queries().repeat(repeat);
 
     let plan = match flags.get("prune") {
         Some(tau_s) => {
@@ -227,13 +258,14 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         None => PrunePlan::default(),
     };
 
+    let run_started = std::time::Instant::now();
     let outcome = if flags.contains_key("boost") {
         let mut labels = LabelStore::from_split(&bundle.tag, &split);
         let (out, rounds) = run_with_boosting(
             &exec,
             predictor.as_ref(),
             &mut labels,
-            split.queries(),
+            &run_queries,
             BoostConfig::default(),
             &plan,
         )
@@ -242,21 +274,34 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         out
     } else {
         let labels = LabelStore::from_split(&bundle.tag, &split);
-        if threads > 1 {
+        if let Some(b) = flags.get("batch") {
+            let batch: usize = b.parse().map_err(|_| "bad --batch")?;
+            run_all_batched(
+                &exec,
+                predictor.as_ref(),
+                &labels,
+                &run_queries,
+                |v| plan.is_pruned(v),
+                threads,
+                batch.max(1),
+            )
+            .map_err(|e| format!("run: {e}"))?
+        } else if threads > 1 {
             run_all_parallel(
                 &exec,
                 predictor.as_ref(),
                 &labels,
-                split.queries(),
+                &run_queries,
                 |v| plan.is_pruned(v),
                 threads,
             )
             .map_err(|e| format!("run: {e}"))?
         } else {
-            exec.run_all(predictor.as_ref(), &labels, split.queries(), |v| plan.is_pruned(v))
+            exec.run_all(predictor.as_ref(), &labels, &run_queries, |v| plan.is_pruned(v))
                 .map_err(|e| format!("run: {e}"))?
         }
     };
+    let wall_seconds = run_started.elapsed().as_secs_f64();
 
     let matrix = ConfusionMatrix::from_outcome(&bundle.tag, &outcome);
     println!("method          : {}", predictor.name());
@@ -279,10 +324,50 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         GPT_35_TURBO_0125.cost(totals),
         GPT_35_TURBO_0125.name
     );
+    let cstats = llm.stats();
+    if cache_cap > 0 {
+        println!(
+            "cache           : {} hit, {} miss, {} coalesced ({:.1}% served; {} evict, {} stale)",
+            cstats.cache.hits,
+            cstats.cache.misses,
+            cstats.coalesced,
+            100.0 * cstats.serve_rate(),
+            cstats.cache.evictions,
+            cstats.cache.stale_drops,
+        );
+        println!(
+            "tokens saved    : {} (+{} radix-prefix reusable)",
+            cstats.tokens_saved, cstats.prefix_reuse_tokens,
+        );
+    }
     if let Some(t) = &trace {
+        llm.report(t);
         mqo_obs::EventSink::flush(t);
         print!("{}", t.summary());
         println!("trace written   : {}", flags["trace"]);
+    }
+    if let Some(path) = flags.get("stats-json") {
+        let stats = serde_json::json!({
+            "dataset": bundle.tag.name(),
+            "method": predictor.name(),
+            "queries": outcome.records.len(),
+            "repeat": repeat,
+            "cache_cap": cache_cap,
+            "accuracy": outcome.accuracy(),
+            "tokens_sent": totals.prompt_tokens,
+            "requests_sent": totals.requests,
+            "cache_hits": cstats.cache.hits,
+            "cache_misses": cstats.cache.misses,
+            "coalesced": cstats.coalesced,
+            "serve_rate": cstats.serve_rate(),
+            "tokens_saved": cstats.tokens_saved,
+            "prefix_reuse_tokens": cstats.prefix_reuse_tokens,
+            "wall_seconds": wall_seconds,
+        });
+        let body =
+            serde_json::to_string_pretty(&stats).map_err(|e| format!("stats json: {e}"))?;
+        std::fs::write(path, body + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("stats written   : {path}");
     }
     Ok(())
 }

@@ -5,24 +5,24 @@
 //! paper's black-box strategies compare and compose with it.
 //!
 //! Method: for each dataset's query set, render all prompts and measure
-//! (a) the longest prefix common to every prompt, and (b) pairwise shared
+//! (a) the longest prefix common to every prompt, (b) pairwise shared
 //! prefixes between consecutive prompts — the quantity a radix-tree prompt
-//! cache would reuse — before and after token pruning.
+//! cache would reuse when prompts arrive in order — and (c) the *realized*
+//! segment-level reuse a [`mqo_cache::PrefixStore`] observes over the same
+//! serving order. All prefix quantities are measured in tokenizer tokens
+//! (the unit providers bill), via [`mqo_cache::common_prefix_tokens`];
+//! byte counts are kept only as a secondary column.
 
 use mqo_bench::harness::{m_for, setup, surrogate_for, SEED};
 use mqo_bench::report::{print_table, write_json};
+use mqo_cache::{common_prefix_bytes, common_prefix_tokens, PrefixStore};
 use mqo_core::predictor::KhopRandom;
 use mqo_core::pruning::PrunePlan;
 use mqo_core::{Executor, InadequacyScorer, LabelStore};
 use mqo_data::DatasetId;
-use mqo_llm::ModelProfile;
+use mqo_llm::{prompt::segments, ModelProfile};
 use mqo_token::Tokenizer;
 use serde_json::json;
-
-/// Length (in chars) of the common prefix of two strings.
-fn common_prefix_len(a: &str, b: &str) -> usize {
-    a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count()
-}
 
 fn main() {
     let mut rows = Vec::new();
@@ -57,38 +57,58 @@ fn main() {
         for (arm, prompts) in [("base", render_all(false)), ("w/ prune 20%", render_all(true))]
         {
             let total_tokens: usize = prompts.iter().map(|p| Tokenizer.count(p)).sum();
-            // Global common prefix across all prompts.
-            let global = prompts
-                .iter()
-                .skip(1)
-                .fold(prompts[0].len(), |acc, p| acc.min(common_prefix_len(&prompts[0], p)));
-            // Mean pairwise (consecutive) shared prefix — what a radix-tree
-            // cache would hit when prompts are served in order.
-            let pairwise: usize =
-                prompts.windows(2).map(|w| common_prefix_len(&w[0], &w[1])).sum::<usize>()
+            // Global common prefix across all prompts (tokens).
+            let global = prompts.iter().skip(1).fold(Tokenizer.count(&prompts[0]), |acc, p| {
+                acc.min(common_prefix_tokens(&prompts[0], p))
+            });
+            // Mean pairwise (consecutive) shared prefix — what a serving
+            // cache keyed on arrival adjacency would hit.
+            let pair_tok: usize =
+                prompts.windows(2).map(|w| common_prefix_tokens(&w[0], &w[1])).sum::<usize>()
                     / (prompts.len() - 1);
-            let mean_len: usize =
-                prompts.iter().map(|p| p.len()).sum::<usize>() / prompts.len();
+            let pair_bytes: usize =
+                prompts.windows(2).map(|w| common_prefix_bytes(&w[0], &w[1])).sum::<usize>()
+                    / (prompts.len() - 1);
+            // Realized reuse over the whole serving order: feed every
+            // prompt through the radix-style segment store the runtime
+            // cache layer uses (`CachedLlm` accounts this same quantity
+            // for actually-sent traffic).
+            let mut store = PrefixStore::new();
+            for p in &prompts {
+                store.observe_segments(&segments(p));
+            }
+            let realized = store.reused_tokens();
+            let mean_tokens = total_tokens / prompts.len();
             rows.push(vec![
                 format!("{} / {arm}", id.name()),
                 format!("{total_tokens}"),
-                format!("{global} B"),
-                format!("{pairwise} B"),
-                format!("{:.1}%", pairwise as f64 / mean_len as f64 * 100.0),
+                format!("{global} t"),
+                format!("{pair_tok} t"),
+                format!("{:.1}%", pair_tok as f64 / mean_tokens as f64 * 100.0),
+                format!("{:.1}%", realized as f64 / store.total_tokens() as f64 * 100.0),
             ]);
             artifacts.push(json!({
                 "dataset": id.name(),
                 "arm": arm,
                 "total_prompt_tokens": total_tokens,
-                "global_common_prefix_bytes": global,
-                "mean_pairwise_prefix_bytes": pairwise,
-                "mean_prompt_bytes": mean_len,
+                "global_common_prefix_tokens": global,
+                "mean_pairwise_prefix_tokens": pair_tok,
+                "mean_pairwise_prefix_bytes": pair_bytes,
+                "realized_reuse_tokens": realized,
+                "realized_reuse_fraction": realized as f64 / store.total_tokens() as f64,
             }));
         }
     }
     print_table(
         "Prefix sharing across the query set (§II-C context)",
-        &["dataset / arm", "total tokens", "global prefix", "pairwise prefix", "prefix share"],
+        &[
+            "dataset / arm",
+            "total tokens",
+            "global prefix",
+            "pairwise prefix",
+            "prefix share",
+            "realized reuse",
+        ],
         &rows,
     );
     println!("\nThe paradigm front-loads each prompt with the *target* node's unique");

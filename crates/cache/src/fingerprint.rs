@@ -1,0 +1,61 @@
+//! Canonical prompt identity.
+//!
+//! A response cache must never conflate two requests that could answer
+//! differently. For a black-box client the answer is a function of
+//! `(model, rendered prompt)` — sampling noise aside, which the simulated
+//! models seed from the prompt itself — so the fingerprint hashes exactly
+//! those two, with a separator that makes `("ab", "c")` and `("a", "bc")`
+//! distinct.
+
+/// A 64-bit canonical identity for one `(model, prompt)` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of one request: FNV-1a over the model profile name, a NUL
+/// separator (impossible inside either string's meaningful content), and
+/// the rendered prompt.
+pub fn fingerprint(model: &str, prompt: &str) -> Fingerprint {
+    let h = fnv1a(FNV_OFFSET, model.as_bytes());
+    let h = fnv1a(h, &[0u8]);
+    Fingerprint(fnv1a(h, prompt.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinguishes_inputs() {
+        assert_eq!(fingerprint("m", "p"), fingerprint("m", "p"));
+        assert_ne!(fingerprint("m", "p"), fingerprint("m", "q"));
+        assert_ne!(fingerprint("m", "p"), fingerprint("n", "p"));
+    }
+
+    #[test]
+    fn separator_prevents_concatenation_collisions() {
+        assert_ne!(fingerprint("ab", "c"), fingerprint("a", "bc"));
+        assert_ne!(fingerprint("", "abc"), fingerprint("abc", ""));
+    }
+
+    #[test]
+    fn spreads_over_similar_prompts() {
+        // Structurally similar prompts (the MQO workload) must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let p = format!("Target paper: Title: paper {i}\nAbstract: text\n");
+            assert!(seen.insert(fingerprint("gpt-3.5-turbo-0125", &p)), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The bounded response cache: LRU eviction + round-based invalidation.
+//!
+//! Correctness rule for the MQO pipeline: a completion cached during
+//! boosting round *k* must not be served in round *k+1*, because the label
+//! store (and therefore the pseudo-label context a fresh render would
+//! carry) may have changed between rounds. Fingerprints already make a
+//! *re-rendered* prompt miss; the **epoch** closes the remaining hole —
+//! identical prompt text whose surrounding knowledge state moved on. Each
+//! entry remembers the epoch it was inserted at; [`ResponseCache::get`]
+//! treats entries from an older epoch as stale (dropped and counted, never
+//! returned), and [`ResponseCache::advance_epoch`] bumps the epoch — the
+//! boosting loop does so at every round boundary via [`RoundInvalidator`].
+//!
+//! Eviction is classic LRU over an intrusive doubly-linked list threaded
+//! through the entry map, so `get`/`insert` are O(1) and the scan-free
+//! bound holds at any capacity.
+
+use crate::fingerprint::Fingerprint;
+use mqo_obs::{Event, EventSink};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone counters describing cache behaviour over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that found nothing servable (includes stale drops).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries dropped because their epoch predated the current round.
+    pub stale_drops: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    epoch: u64,
+    prev: Option<Fingerprint>,
+    next: Option<Fingerprint>,
+}
+
+/// The LRU list + map state guarded by one mutex.
+struct Inner<V> {
+    map: HashMap<u64, Entry<V>>,
+    head: Option<Fingerprint>,
+    tail: Option<Fingerprint>,
+}
+
+impl<V> Inner<V> {
+    fn unlink(&mut self, fp: Fingerprint) {
+        let (prev, next) = {
+            let e = self.map.get(&fp.0).expect("unlink of resident entry");
+            (e.prev, e.next)
+        };
+        match prev {
+            Some(p) => self.map.get_mut(&p.0).expect("prev resident").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.map.get_mut(&n.0).expect("next resident").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    fn push_front(&mut self, fp: Fingerprint) {
+        let old_head = self.head;
+        {
+            let e = self.map.get_mut(&fp.0).expect("push of resident entry");
+            e.prev = None;
+            e.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.map.get_mut(&h.0).expect("head resident").prev = Some(fp);
+        }
+        self.head = Some(fp);
+        if self.tail.is_none() {
+            self.tail = Some(fp);
+        }
+    }
+}
+
+/// A thread-safe, LRU-bounded, epoch-invalidated response cache.
+///
+/// Generic over the cached value so this crate stays independent of the
+/// LLM client types; `mqo-llm`'s `CachedLlm` instantiates it with
+/// completions. A capacity of **zero disables the cache** (every lookup
+/// misses, nothing is stored) — callers use that for `--no-cache` without
+/// changing their wiring.
+pub struct ResponseCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stale_drops: AtomicU64,
+}
+
+impl<V: Clone> ResponseCache<V> {
+    /// Cache bounded to `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), head: None, tail: None }),
+            capacity,
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can store anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The LRU bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries (stale entries count until they are looked up or
+    /// evicted — invalidation is lazy).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current invalidation epoch (boosting round boundary counter).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidate every entry inserted before now: entries from earlier
+    /// epochs are dropped (and counted as stale) on their next lookup.
+    /// Called at every boosting round boundary.
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look `fp` up, refreshing its recency on a hit.
+    pub fn get(&self, fp: Fingerprint) -> Option<V> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        match inner.map.get(&fp.0) {
+            Some(e) if e.epoch == epoch => {
+                let value = e.value.clone();
+                inner.unlink(fp);
+                inner.push_front(fp);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                // Stale: cached under an older round's knowledge state.
+                inner.unlink(fp);
+                inner.map.remove(&fp.0);
+                drop(inner);
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `fp → value` at the current epoch, evicting the
+    /// least-recently-used entry if the bound is exceeded.
+    pub fn insert(&self, fp: Fingerprint, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&fp.0) {
+            inner.unlink(fp);
+            let e = inner.map.get_mut(&fp.0).expect("resident");
+            e.value = value;
+            e.epoch = epoch;
+            inner.push_front(fp);
+            return;
+        }
+        inner.map.insert(fp.0, Entry { value, epoch, prev: None, next: None });
+        inner.push_front(fp);
+        if inner.map.len() > self.capacity {
+            let victim = inner.tail.expect("over-capacity cache has a tail");
+            inner.unlink(victim);
+            inner.map.remove(&victim.0);
+            drop(inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An event-sink adapter that advances the cache epoch whenever a boosting
+/// round completes, so round-based invalidation rides the telemetry stream
+/// the boosting loop already emits instead of a bespoke callback.
+pub struct RoundInvalidator<V> {
+    cache: Arc<ResponseCache<V>>,
+}
+
+impl<V: Clone> RoundInvalidator<V> {
+    /// Invalidate `cache` on every [`Event::RoundCompleted`].
+    pub fn new(cache: Arc<ResponseCache<V>>) -> Self {
+        RoundInvalidator { cache }
+    }
+}
+
+impl<V: Clone + Send + Sync> EventSink for RoundInvalidator<V> {
+    fn emit(&self, event: &Event) {
+        if matches!(event, Event::RoundCompleted { .. }) {
+            self.cache.advance_epoch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    fn fp(s: &str) -> Fingerprint {
+        fingerprint("m", s)
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = ResponseCache::new(4);
+        assert_eq!(c.get(fp("a")), None);
+        c.insert(fp("a"), 1);
+        assert_eq!(c.get(fp("a")), Some(1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_follows_lru_order_exactly() {
+        // Insert a, b, c into a 3-entry cache; touch a so b becomes LRU;
+        // inserting d must evict b (not a, the older-but-refreshed entry),
+        // and inserting e must then evict c.
+        let c = ResponseCache::new(3);
+        c.insert(fp("a"), 1);
+        c.insert(fp("b"), 2);
+        c.insert(fp("c"), 3);
+        assert_eq!(c.get(fp("a")), Some(1), "refresh a's recency");
+        c.insert(fp("d"), 4);
+        assert_eq!(c.get(fp("b")), None, "b was least recently used");
+        assert_eq!(c.get(fp("a")), Some(1));
+        c.insert(fp("e"), 5);
+        assert_eq!(c.get(fp("c")), None, "c was next in LRU order");
+        assert_eq!(c.get(fp("d")), Some(4));
+        assert_eq!(c.get(fp("e")), Some(5));
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let c = ResponseCache::new(2);
+        c.insert(fp("a"), 1);
+        c.insert(fp("b"), 2);
+        c.insert(fp("a"), 10); // refresh, not a new entry
+        assert_eq!(c.len(), 2);
+        c.insert(fp("x"), 3); // evicts b, the true LRU
+        assert_eq!(c.get(fp("b")), None);
+        assert_eq!(c.get(fp("a")), Some(10));
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_everything_resident() {
+        let c = ResponseCache::new(4);
+        c.insert(fp("a"), 1);
+        c.insert(fp("b"), 2);
+        c.advance_epoch();
+        assert_eq!(c.get(fp("a")), None, "pre-round entry must not serve");
+        assert_eq!(c.get(fp("b")), None);
+        let s = c.stats();
+        assert_eq!(s.stale_drops, 2);
+        assert_eq!(s.hits, 0);
+        // Entries inserted after the bump serve normally.
+        c.insert(fp("a"), 9);
+        assert_eq!(c.get(fp("a")), Some(9));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let c = ResponseCache::new(0);
+        assert!(!c.enabled());
+        c.insert(fp("a"), 1);
+        assert_eq!(c.get(fp("a")), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn round_invalidator_listens_for_round_events_only() {
+        let cache = Arc::new(ResponseCache::new(4));
+        cache.insert(fp("a"), 1);
+        let inv = RoundInvalidator::new(cache.clone());
+        inv.emit(&Event::WorkerThroughput { worker: 0, queries: 1, wall_micros: 1 });
+        assert_eq!(cache.get(fp("a")), Some(1), "unrelated events do not invalidate");
+        inv.emit(&Event::RoundCompleted {
+            round: 0,
+            executed: 1,
+            gamma1: 3,
+            gamma2: 2,
+            pseudo_label_uses: 0,
+        });
+        assert_eq!(cache.get(fp("a")), None, "round boundary invalidates");
+        assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let c = Arc::new(ResponseCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let key = fp(&format!("k{}", (i + t) % 80));
+                        if c.get(key).is_none() {
+                            c.insert(key, i);
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 2000);
+        assert!(c.len() <= 64);
+    }
+}

@@ -102,6 +102,120 @@ pub fn run_all_parallel(
     Ok(out)
 }
 
+/// Execute `queries` across `threads` workers in **prefix-coherent
+/// batches**: prompts are pre-rendered, sorted lexicographically (queries
+/// whose rendered prompts share long leading segments become neighbors),
+/// and chunked into batches of `batch_size` that workers claim whole.
+///
+/// A serving-side prefix cache (vLLM-style radix attention, or a provider's
+/// prompt-caching tier) keys reuse on *adjacency in arrival order*; this
+/// scheduler maximizes that adjacency without changing any result. Records
+/// are still re-assembled in input order and are bit-for-bit identical to
+/// [`Executor::run_all`] — pre-rendering is safe because per-query RNGs
+/// derive from `(seed, node)` alone, so the render inside `run_one` repeats
+/// the estimate render exactly.
+///
+/// Each dispatched batch emits [`mqo_obs::Event::BatchDispatched`] carrying
+/// the tokens shared between consecutive prompts inside the batch (measured
+/// with [`mqo_cache::common_prefix_tokens`]) — the realized reuse a
+/// prefix-caching endpoint would see from this ordering.
+pub fn run_all_batched(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &LabelStore,
+    queries: &[NodeId],
+    prune_set: impl Fn(NodeId) -> bool + Sync,
+    threads: usize,
+    batch_size: usize,
+) -> Result<ExecOutcome> {
+    assert!(threads >= 1, "need at least one worker");
+    assert!(batch_size >= 1, "need a positive batch size");
+    if exec.budget.is_some() {
+        // Same constraint as `run_all_parallel`: the hard-budget path is
+        // order-dependent, and batching reorders execution.
+        return Err(Error::Config {
+            detail: "hard budgets require sequential execution".into(),
+        });
+    }
+
+    // Pre-render every prompt for ordering. A panicking predictor is
+    // tolerated here (empty sort key); the worker's `catch_unwind` around
+    // `run_one` surfaces it as `Error::WorkerPanic` exactly as the
+    // unbatched path does.
+    let prompts: Vec<String> = queries
+        .iter()
+        .map(|&v| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = exec.query_rng(v);
+                exec.render_for_estimate(predictor, labels, v, &mut rng, prune_set(v))
+            }))
+            .unwrap_or_default()
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_by(|&a, &b| prompts[a].cmp(&prompts[b]).then(a.cmp(&b)));
+    let batches: Vec<&[usize]> = order.chunks(batch_size).collect();
+
+    let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
+        queries.iter().map(|_| Mutex::new(None)).collect();
+    let next_batch = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let (next_batch, slots, prompts, batches, prune_set) =
+            (&next_batch, &slots, &prompts, &batches, &prune_set);
+        for worker in 0..threads {
+            scope.spawn(move || {
+                let started = std::time::Instant::now();
+                let mut handled = 0u64;
+                loop {
+                    let b = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if b >= batches.len() {
+                        break;
+                    }
+                    let batch = batches[b];
+                    let shared: u64 = batch
+                        .windows(2)
+                        .map(|w| {
+                            mqo_cache::common_prefix_tokens(&prompts[w[0]], &prompts[w[1]])
+                                as u64
+                        })
+                        .sum();
+                    exec.sink.emit(&mqo_obs::Event::BatchDispatched {
+                        batch: b as u32,
+                        queries: batch.len() as u64,
+                        shared_prefix_tokens: shared,
+                    });
+                    for &i in batch {
+                        let v = queries[i];
+                        let record = catch_unwind(AssertUnwindSafe(|| {
+                            let mut rng = exec.query_rng(v);
+                            exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(Error::WorkerPanic { node: v, detail: panic_message(payload) })
+                        });
+                        handled += 1;
+                        *slots[i].lock() = Some(record);
+                    }
+                }
+                exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
+                    worker: worker as u32,
+                    queries: handled,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                });
+            });
+        }
+    });
+
+    let mut out = ExecOutcome::default();
+    for slot in slots {
+        let record = slot.into_inner().expect("every slot filled")?;
+        out.records.push(record);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +310,76 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 6, "workers collectively handled every query");
+    }
+
+    #[test]
+    fn batched_matches_sequential_bit_for_bit() {
+        let bundle = dataset(DatasetId::Cora, Some(0.3), 31);
+        let tag = &bundle.tag;
+        let split = LabeledSplit::generate(
+            tag,
+            SplitConfig::PerClass { per_class: 20, num_queries: 120 },
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let llm = SimLlm::new(
+            bundle.lexicon.clone(),
+            tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let exec = Executor::new(tag, &llm, 4, 5);
+        let labels = LabelStore::from_split(tag, &split);
+        let predictor = KhopRandom::new(1, tag.num_nodes());
+
+        let seq = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+        let bat =
+            run_all_batched(&exec, &predictor, &labels, split.queries(), |_| false, 4, 16)
+                .unwrap();
+        assert_eq!(seq.records, bat.records, "batched execution changed results");
+    }
+
+    #[test]
+    fn batches_are_dispatched_and_cover_every_query() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = (0..6).map(NodeId).collect();
+        run_all_batched(&exec, &p, &labels, &qs, |_| false, 2, 4).unwrap();
+        let dispatched = sink.of_kind("batch_dispatched");
+        assert_eq!(dispatched.len(), 2, "6 queries at batch size 4 → 2 batches");
+        let covered: u64 = dispatched
+            .iter()
+            .map(|e| match e {
+                mqo_obs::Event::BatchDispatched { queries, .. } => *queries,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .sum();
+        assert_eq!(covered, 6, "batches collectively cover every query");
+    }
+
+    #[test]
+    fn batched_rejects_hard_budget() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 2]);
+        let exec = Executor::new(&tag, &llm, 4, 0).with_budget(100);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let err = run_all_batched(&exec, &p, &labels, &[NodeId(0)], |_| false, 2, 4);
+        assert!(matches!(err, Err(Error::Config { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive batch size")]
+    fn zero_batch_size_rejected() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["x"]);
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let _ = run_all_batched(&exec, &p, &labels, &[], |_| false, 1, 0);
     }
 
     /// A predictor that panics on a specific node — exercises panic

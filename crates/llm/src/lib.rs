@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cached;
 pub mod error;
 pub mod graphllm;
 pub mod link;
@@ -45,6 +46,7 @@ pub mod validate;
 
 pub(crate) use simllm::fnv64 as simllm_fnv;
 
+pub use cached::{CachedLlm, CachedLlmStats};
 pub use error::{Error, Result};
 pub use link::SimLinkLlm;
 pub use model::{Completion, LanguageModel, ScriptedLlm};

@@ -83,6 +83,44 @@ impl NodePromptSpec<'_> {
     }
 }
 
+/// Line prefix of each neighbor block inside the neighbor section.
+pub const NEIGHBOR_BLOCK_PREFIX: &str = "Neighbor Paper";
+
+/// Split a rendered prompt into its structural segments: the target block,
+/// the neighbor-section header, each neighbor block, and the task block.
+///
+/// This is the segmentation `mqo_cache::PrefixStore` consumes: it cuts at
+/// blank lines (which separate the Table III sections) and additionally at
+/// every [`NEIGHBOR_BLOCK_PREFIX`] line, so two prompts sharing the same
+/// leading neighbor blocks register that reuse even though the blocks live
+/// inside one paragraph. Blank separator lines are whitespace-only and
+/// therefore token-free: the segments' token counts sum exactly to the
+/// whole prompt's.
+pub fn segments(prompt: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut seg_start = 0usize;
+    let mut pos = 0usize;
+    for line in prompt.split_inclusive('\n') {
+        let line_start = pos;
+        pos += line.len();
+        let body = line.trim_end_matches('\n');
+        if body.is_empty() {
+            if line_start > seg_start {
+                out.push(&prompt[seg_start..line_start]);
+            }
+            seg_start = pos; // skip the blank separator itself
+        } else if body.starts_with(NEIGHBOR_BLOCK_PREFIX) && line_start > seg_start {
+            out.push(&prompt[seg_start..line_start]);
+            seg_start = line_start;
+        }
+    }
+    if pos > seg_start {
+        out.push(&prompt[seg_start..pos]);
+    }
+    out.retain(|s| !s.trim().is_empty());
+    out
+}
+
 /// Marker for the link-prediction task section.
 pub const LINK_TASK: &str = "Does an edge exist between Paper A and Paper B?";
 
@@ -217,6 +255,50 @@ mod tests {
         assert!(p.contains("Paper B: Title: B"));
         assert!(p.contains("- cited one"));
         assert!(p.contains(LINK_TASK));
+    }
+
+    #[test]
+    fn segments_cut_at_sections_and_neighbor_blocks() {
+        use mqo_token::Tokenizer;
+        let cats = cats();
+        let neighbors = vec![
+            NeighborEntry { title: "n0".into(), label: Some("Database".into()) },
+            NeighborEntry { title: "n1".into(), label: None },
+        ];
+        let p = NodePromptSpec {
+            title: "t",
+            abstract_text: "a",
+            neighbors: &neighbors,
+            categories: &cats,
+            ranked: false,
+        }
+        .render();
+        let segs = segments(&p);
+        // Target block, neighbor header, two neighbor blocks, task block.
+        assert_eq!(segs.len(), 5, "segments: {segs:#?}");
+        assert!(segs[0].starts_with(TARGET_HEADER));
+        assert!(segs[1].starts_with(NEIGHBOR_HEADER));
+        assert!(segs[2].starts_with("Neighbor Paper0"));
+        assert!(segs[3].starts_with("Neighbor Paper1"));
+        assert!(segs[4].starts_with(TASK_HEADER));
+        let sum: usize = segs.iter().map(|s| Tokenizer.count(s)).sum();
+        assert_eq!(sum, Tokenizer.count(&p), "segmentation must not change token mass");
+    }
+
+    #[test]
+    fn zero_shot_segments_are_target_and_task() {
+        let cats = cats();
+        let p = NodePromptSpec {
+            title: "t",
+            abstract_text: "a",
+            neighbors: &[],
+            categories: &cats,
+            ranked: false,
+        }
+        .render();
+        let segs = segments(&p);
+        assert_eq!(segs.len(), 2);
+        assert!(segs[1].starts_with(TASK_HEADER));
     }
 
     #[test]

@@ -61,6 +61,35 @@ pub enum Event {
         /// The final failure.
         error: String,
     },
+    /// End-of-run snapshot of the client-side prompt cache (emitted once
+    /// per cached client, after the run drains).
+    CacheStats {
+        /// Lookups served from the response cache.
+        hits: u64,
+        /// Lookups that found nothing servable.
+        misses: u64,
+        /// Entries evicted by the LRU bound.
+        evictions: u64,
+        /// Entries dropped by round-based invalidation.
+        stale_drops: u64,
+        /// Requests coalesced onto an identical in-flight request.
+        coalesced: u64,
+        /// Prompt tokens never sent thanks to hits + coalescing.
+        tokens_saved: u64,
+        /// Leading tokens of sent prompts a radix prefix cache would have
+        /// reused (realized, in serving order).
+        prefix_reuse_tokens: u64,
+    },
+    /// The batched scheduler dispatched one prefix-coherent batch.
+    BatchDispatched {
+        /// Batch index (0-based, in dispatch order).
+        batch: u32,
+        /// Queries in the batch.
+        queries: u64,
+        /// Tokens shared between consecutive prompts inside the batch —
+        /// the adjacency reuse a serving-side prefix cache would see.
+        shared_prefix_tokens: u64,
+    },
     /// The hard token budget (Eq. 2) started binding: a `would_exceed`
     /// check first denied a prompt. Emitted once per meter.
     BudgetPressure {
@@ -101,6 +130,8 @@ impl Event {
             Event::RoundCompleted { .. } => "round_completed",
             Event::RetryAttempt { .. } => "retry_attempt",
             Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::CacheStats { .. } => "cache_stats",
+            Event::BatchDispatched { .. } => "batch_dispatched",
             Event::BudgetPressure { .. } => "budget_pressure",
         }
     }
@@ -143,6 +174,30 @@ impl Event {
                 let _ = write!(s, ",\"attempts\":{attempts}");
                 s.push_str(",\"error\":");
                 escape_json(&mut s, error);
+            }
+            Event::CacheStats {
+                hits,
+                misses,
+                evictions,
+                stale_drops,
+                coalesced,
+                tokens_saved,
+                prefix_reuse_tokens,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\
+                     \"stale_drops\":{stale_drops},\"coalesced\":{coalesced},\
+                     \"tokens_saved\":{tokens_saved},\
+                     \"prefix_reuse_tokens\":{prefix_reuse_tokens}"
+                );
+            }
+            Event::BatchDispatched { batch, queries, shared_prefix_tokens } => {
+                let _ = write!(
+                    s,
+                    ",\"batch\":{batch},\"queries\":{queries},\
+                     \"shared_prefix_tokens\":{shared_prefix_tokens}"
+                );
             }
             Event::BudgetPressure { budget, prompt_tokens_used, denied_cost } => {
                 let _ = write!(
@@ -212,6 +267,22 @@ mod tests {
             (
                 Event::BudgetPressure { budget: 100, prompt_tokens_used: 90, denied_cost: 20 },
                 "budget_pressure",
+            ),
+            (
+                Event::CacheStats {
+                    hits: 5,
+                    misses: 3,
+                    evictions: 1,
+                    stale_drops: 2,
+                    coalesced: 1,
+                    tokens_saved: 640,
+                    prefix_reuse_tokens: 72,
+                },
+                "cache_stats",
+            ),
+            (
+                Event::BatchDispatched { batch: 2, queries: 16, shared_prefix_tokens: 320 },
+                "batch_dispatched",
             ),
         ];
         for (e, kind) in cases {

@@ -29,6 +29,24 @@ pub struct Summary {
     pub workers: u64,
     /// Budget-pressure events (0 or 1 per meter).
     pub budget_pressure: u64,
+    /// Response-cache hits (summed over cache-stats snapshots).
+    pub cache_hits: u64,
+    /// Response-cache misses.
+    pub cache_misses: u64,
+    /// LRU evictions.
+    pub cache_evictions: u64,
+    /// Entries dropped by round-based invalidation.
+    pub cache_stale_drops: u64,
+    /// Requests coalesced onto identical in-flight requests.
+    pub cache_coalesced: u64,
+    /// Prompt tokens never sent thanks to the cache.
+    pub cache_tokens_saved: u64,
+    /// Realized radix-prefix reuse tokens across sent prompts.
+    pub prefix_reuse_tokens: u64,
+    /// Prefix-coherent batches dispatched by the batched scheduler.
+    pub batches: u64,
+    /// Tokens shared between consecutive prompts inside batches.
+    pub batch_shared_prefix_tokens: u64,
 }
 
 impl Summary {
@@ -46,6 +64,15 @@ impl Summary {
             pseudo_label_uses: 0,
             workers: 0,
             budget_pressure: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_stale_drops: 0,
+            cache_coalesced: 0,
+            cache_tokens_saved: 0,
+            prefix_reuse_tokens: 0,
+            batches: 0,
+            batch_shared_prefix_tokens: 0,
         };
         for e in events {
             match e {
@@ -70,6 +97,27 @@ impl Summary {
                 Event::RetryAttempt { .. } => s.retries += 1,
                 Event::RetryExhausted { .. } => s.retries_exhausted += 1,
                 Event::BudgetPressure { .. } => s.budget_pressure += 1,
+                Event::CacheStats {
+                    hits,
+                    misses,
+                    evictions,
+                    stale_drops,
+                    coalesced,
+                    tokens_saved,
+                    prefix_reuse_tokens,
+                } => {
+                    s.cache_hits += hits;
+                    s.cache_misses += misses;
+                    s.cache_evictions += evictions;
+                    s.cache_stale_drops += stale_drops;
+                    s.cache_coalesced += coalesced;
+                    s.cache_tokens_saved += tokens_saved;
+                    s.prefix_reuse_tokens += prefix_reuse_tokens;
+                }
+                Event::BatchDispatched { queries: _, shared_prefix_tokens, .. } => {
+                    s.batches += 1;
+                    s.batch_shared_prefix_tokens += shared_prefix_tokens;
+                }
             }
         }
         s
@@ -123,6 +171,29 @@ impl fmt::Display for Summary {
         if self.workers > 0 {
             writeln!(f, "  parallel workers   {:>8}", self.workers)?;
         }
+        if self.cache_hits + self.cache_misses > 0 {
+            writeln!(
+                f,
+                "  cache              {:>8} hit   {:>8} miss  ({} evict, {} stale, {} coalesced)",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_evictions,
+                self.cache_stale_drops,
+                self.cache_coalesced,
+            )?;
+            writeln!(
+                f,
+                "  tokens saved       {:>8}   (+{} radix-prefix reusable)",
+                self.cache_tokens_saved, self.prefix_reuse_tokens,
+            )?;
+        }
+        if self.batches > 0 {
+            writeln!(
+                f,
+                "  batches            {:>8}   ({} shared-prefix tokens in-batch)",
+                self.batches, self.batch_shared_prefix_tokens,
+            )?;
+        }
         if self.budget_pressure > 0 {
             writeln!(f, "  budget pressure    {:>8} event(s)", self.budget_pressure)?;
         }
@@ -162,6 +233,17 @@ mod tests {
             Event::RetryExhausted { attempts: 3, error: "x".into() },
             Event::WorkerThroughput { worker: 0, queries: 4, wall_micros: 400 },
             Event::BudgetPressure { budget: 10, prompt_tokens_used: 9, denied_cost: 2 },
+            Event::CacheStats {
+                hits: 7,
+                misses: 4,
+                evictions: 1,
+                stale_drops: 2,
+                coalesced: 3,
+                tokens_saved: 900,
+                prefix_reuse_tokens: 40,
+            },
+            Event::BatchDispatched { batch: 0, queries: 2, shared_prefix_tokens: 11 },
+            Event::BatchDispatched { batch: 1, queries: 2, shared_prefix_tokens: 9 },
         ];
         let s = Summary::from_events(&events);
         assert_eq!(s.queries, 4);
@@ -173,6 +255,12 @@ mod tests {
         assert_eq!(s.retries_exhausted, 1);
         assert_eq!(s.workers, 1);
         assert_eq!(s.budget_pressure, 1);
+        assert_eq!((s.cache_hits, s.cache_misses), (7, 4));
+        assert_eq!(s.cache_coalesced, 3);
+        assert_eq!(s.cache_tokens_saved, 900);
+        assert_eq!(s.prefix_reuse_tokens, 40);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_shared_prefix_tokens, 20);
         // p50 of {100, 300, 500, 700} resolves to 300's bucket.
         assert_eq!(s.prompt_tokens.quantile(0.5), 320);
     }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Deterministic cache-efficiency smoke bench + regression gate.
+#
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR2.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR2.json
+#
+# The workload replays a fixed Cora query set three times through the
+# simulated LLM with the response cache on, so tokens_sent and serve_rate
+# are bit-deterministic (in-flight dedup guarantees one send per unique
+# prompt regardless of thread interleaving). The gate fails when metered
+# tokens rise or the serve rate drops by more than 5% vs the committed
+# baseline — i.e. when a change quietly breaks the cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_PR2.json
+CURRENT=target/bench_smoke_current.json
+
+echo "==> building release binaries"
+cargo build --release -q -p mqo-bench --bin mqo --bin bench_gate
+
+echo "==> smoke workload (cora x3, cached, batched)"
+./target/release/mqo classify cora \
+  --queries 120 --repeat 3 --seed 42 --threads 4 --batch 16 \
+  --stats-json "$CURRENT"
+
+if [[ "${1:-}" == "--update" ]]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+else
+  ./target/release/bench_gate "$BASELINE" "$CURRENT"
+fi

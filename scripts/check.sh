@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> toolchain"
+rustc --version
+cargo --version
+cargo fmt --version
+cargo clippy --version
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
