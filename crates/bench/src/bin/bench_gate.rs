@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Compares a fresh `mqo classify --stats-json` snapshot against the
-//! committed baseline (`BENCH_PR2.json`) and exits non-zero when the two
+//! committed baseline (`BENCH_PR3.json`) and exits non-zero when the two
 //! cache-efficiency contracts regress beyond the tolerance (default 5%):
 //!
 //! * **tokens_sent** — metered prompt tokens must not *increase* by more

@@ -6,8 +6,9 @@
 //! mqo classify <dataset|FILE> [--method M] [--queries N] [--prune TAU]
 //!              [--boost] [--model gpt35|gpt4o-mini] [--threads T]
 //!              [--budget B] [--retries N] [--trace FILE]
-//!              [--cache-cap N] [--no-cache] [--repeat K] [--batch B]
-//!              [--stats-json FILE]
+//!              [--trace-chrome FILE] [--serve-metrics ADDR]
+//!              [--cost-json FILE] [--cache-cap N] [--no-cache]
+//!              [--repeat K] [--batch B] [--stats-json FILE]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -32,7 +33,10 @@ use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
 use mqo_llm::{
     CachedLlm, LanguageModel, LenientLlm, ModelProfile, RetryingLlm, SimLlm, ValidatingLlm,
 };
-use mqo_obs::Tee;
+use mqo_obs::{
+    ChromeTraceSink, CostLedger, Fanout, MetricsServer, MetricsSink, MonotonicClock, SpanId,
+    Tracer,
+};
 use mqo_token::GPT_35_TURBO_0125;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +51,8 @@ fn usage() -> ExitCode {
          mqo inspect  FILE\n  \
          mqo classify <dataset|FILE> [--method zero-shot|1hop|2hop|sns|llmrank]\n               \
          [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n               \
-         [--budget B] [--retries N] [--trace FILE] [--cache-cap N] [--no-cache]\n               \
+         [--budget B] [--retries N] [--trace FILE] [--trace-chrome FILE]\n               \
+         [--serve-metrics ADDR] [--cost-json FILE] [--cache-cap N] [--no-cache]\n               \
          [--repeat K] [--batch B] [--stats-json FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
@@ -207,8 +212,43 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         .map(Trace::create)
         .transpose()
         .map_err(|e| format!("cannot create trace file: {e}"))?;
+    let chrome = flags
+        .get("trace-chrome")
+        .map(ChromeTraceSink::create)
+        .transpose()
+        .map_err(|e| format!("cannot create chrome trace file: {e}"))?
+        .map(Arc::new);
+    let metrics = flags.get("serve-metrics").map(|_| Arc::new(MetricsSink::new()));
+    let ledger = flags.get("cost-json").map(|_| Arc::new(CostLedger::new()));
+    // Spans are stamped from the process monotonic clock only when a
+    // Chrome trace asked for them; the disabled tracer otherwise makes
+    // every span a free no-op (no ids, no clock reads, no events).
+    let tracer = Arc::new(if chrome.is_some() {
+        Tracer::new(Arc::new(MonotonicClock))
+    } else {
+        Tracer::disabled()
+    });
+    // Every observer shares one fanout; the cache invalidator joins it
+    // below once the client stack exists.
+    let fanout = Arc::new(Fanout::new());
     if let Some(t) = &trace {
-        retrying = retrying.with_sink(Arc::new(t.clone()));
+        fanout.push(Arc::new(t.clone()));
+    }
+    if let Some(c) = &chrome {
+        fanout.push(c.clone());
+    }
+    if let Some(m) = &metrics {
+        fanout.push(m.clone());
+    }
+    if let Some(l) = &ledger {
+        fanout.push(l.clone());
+    }
+    let observed = !fanout.is_empty();
+    if observed {
+        retrying = retrying.with_sink(fanout.clone());
+    }
+    if tracer.enabled() {
+        retrying = retrying.with_tracer(tracer.clone());
     }
     // The response cache wraps the *whole* stack so hits skip validation
     // and retries entirely; `--no-cache` keeps the wrapper (capacity 0 is
@@ -224,17 +264,14 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     // is an event sink that advances the cache epoch on RoundCompleted, so
     // boosting-enriched prompts are never answered from a previous round.
     let invalidator = llm.round_invalidator();
-    let tee = trace.as_ref().map(|t| Tee::new(&invalidator, t));
-    let mut exec = Executor::new(&bundle.tag, &llm, m, seed);
+    fanout.push(Arc::new(invalidator));
+    let mut exec =
+        Executor::new(&bundle.tag, &llm, m, seed).with_sink(&*fanout).with_tracer(&tracer);
     if let Some(b) = flags.get("budget") {
         exec = exec.with_budget(b.parse().map_err(|_| "bad --budget")?);
     }
-    exec = match &tee {
-        Some(t) => exec.with_sink(t),
-        None => exec.with_sink(&invalidator),
-    };
-    if let Some(t) = &trace {
-        llm.meter().attach_sink(Arc::new(t.clone()));
+    if observed {
+        llm.meter().attach_sink(fanout.clone());
     }
     let predictor = make_predictor(method, &bundle)?;
 
@@ -257,6 +294,29 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         }
         None => PrunePlan::default(),
     };
+
+    // The metrics endpoint comes up before the run so `/metrics` and
+    // `/progress` can be polled while queries are in flight; it stays up
+    // until the process exits.
+    let _server = match (&metrics, flags.get("serve-metrics")) {
+        (Some(m), Some(addr)) => {
+            let srv = MetricsServer::start(addr, m.clone())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            println!("metrics         : http://{}/metrics (and /progress)", srv.addr());
+            Some(srv)
+        }
+        _ => None,
+    };
+
+    // Root span of the whole campaign. Workers and rounds with no open
+    // span on their own thread inherit it through the executor's scope.
+    let run_span = tracer.span(
+        &*fanout,
+        "run",
+        || format!("classify {} ({method})", bundle.tag.name()),
+        SpanId::NONE,
+    );
+    exec.set_span_scope(run_span.id());
 
     let run_started = std::time::Instant::now();
     let outcome = if flags.contains_key("boost") {
@@ -302,6 +362,7 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         }
     };
     let wall_seconds = run_started.elapsed().as_secs_f64();
+    drop(run_span);
 
     let matrix = ConfusionMatrix::from_outcome(&bundle.tag, &outcome);
     println!("method          : {}", predictor.name());
@@ -340,11 +401,26 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
             cstats.tokens_saved, cstats.prefix_reuse_tokens,
         );
     }
+    if observed {
+        llm.report(&*fanout);
+    }
     if let Some(t) = &trace {
-        llm.report(t);
         mqo_obs::EventSink::flush(t);
         print!("{}", t.summary());
         println!("trace written   : {}", flags["trace"]);
+    }
+    if let Some(c) = &chrome {
+        mqo_obs::EventSink::flush(&**c);
+        println!("chrome trace    : {} ({} spans)", flags["trace-chrome"], c.span_count());
+    }
+    if let Some(l) = &ledger {
+        let report = l.report();
+        print!("{report}");
+        let reconciles = report.reconciles_with(totals.prompt_tokens);
+        let path = &flags["cost-json"];
+        std::fs::write(path, report.to_json(totals.prompt_tokens))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("cost ledger     : {path} (reconciles with meter: {reconciles})");
     }
     if let Some(path) = flags.get("stats-json") {
         let stats = serde_json::json!({

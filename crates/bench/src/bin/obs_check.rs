@@ -1,0 +1,243 @@
+//! `obs_check` — CI validator for the observability artifacts.
+//!
+//! ```text
+//! obs_check <chrome_trace.json> <cost.json>
+//! ```
+//!
+//! Checks the two artifacts `mqo classify --trace-chrome --cost-json`
+//! produces on the smoke workload:
+//!
+//! * the Chrome trace is valid JSON in trace-event format, every span's
+//!   parent exists, children nest *inside* their parent's interval, and
+//!   the causal chain is intact (`llm_call` under `query`, `query` under
+//!   `round`/`run`, `retry` under `query`);
+//! * the cost ledger conserves tokens — `billed == rendered −
+//!   pruned_saved − cache_saved − starved` per round and in total, the
+//!   total is the sum of the rounds, and the recorded `unattributed` /
+//!   `reconciles` fields match what the numbers actually say.
+//!
+//! The gate is structural, not statistical: it holds on any workload, so
+//! there is no baseline and no tolerance.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("obs_check: {msg}");
+    eprintln!("usage: obs_check <chrome_trace.json> <cost.json>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn u64_field(v: &serde_json::Value, name: &str, ctx: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("{ctx} has no numeric field '{name}'"))
+}
+
+/// One complete ("ph":"X") event from the trace.
+struct Span {
+    name: String,
+    ts: u64,
+    end: u64,
+    parent: u64,
+}
+
+fn check_chrome(path: &str) -> Result<usize, String> {
+    let doc = load(path)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("{path} has no traceEvents array"))?;
+
+    let mut spans: HashMap<u64, Span> = HashMap::new();
+    for ev in events {
+        match ev.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => {
+                let args = ev.get("args").ok_or("X event without args")?;
+                let id = u64_field(args, "id", "span args")?;
+                let ts = u64_field(ev, "ts", "span")?;
+                let dur = u64_field(ev, "dur", "span")?;
+                let span = Span {
+                    name: ev
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .ok_or("span without name")?
+                        .to_string(),
+                    ts,
+                    end: ts + dur,
+                    parent: u64_field(args, "parent", "span args")?,
+                };
+                if spans.insert(id, span).is_some() {
+                    return Err(format!("duplicate span id {id}"));
+                }
+            }
+            Some("M") | None => {} // metadata rows gate nothing
+            Some(other) => return Err(format!("unexpected event phase '{other}'")),
+        }
+    }
+    if spans.is_empty() {
+        return Err("trace contains no spans".into());
+    }
+
+    // Ancestor names of `id`, walking parent links (root excluded).
+    let ancestors = |mut id: u64| -> Result<Vec<String>, String> {
+        let mut names = Vec::new();
+        let mut hops = 0;
+        while id != 0 {
+            let span = spans.get(&id).ok_or_else(|| format!("parent id {id} has no span"))?;
+            names.push(span.name.clone());
+            id = span.parent;
+            hops += 1;
+            if hops > spans.len() {
+                return Err("parent links form a cycle".into());
+            }
+        }
+        Ok(names)
+    };
+
+    let has_rounds = spans.values().any(|s| s.name == "round");
+    let mut queries = 0usize;
+    for (&id, span) in &spans {
+        if span.parent != 0 {
+            let parent = spans
+                .get(&span.parent)
+                .ok_or_else(|| format!("span {id} ({}) has unknown parent", span.name))?;
+            if span.ts < parent.ts || span.end > parent.end {
+                return Err(format!(
+                    "span {id} ({}) [{}..{}] escapes parent {} [{}..{}]",
+                    span.name, span.ts, span.end, parent.name, parent.ts, parent.end
+                ));
+            }
+        }
+        let up = ancestors(span.parent)?;
+        match span.name.as_str() {
+            "run" if span.parent != 0 => {
+                return Err(format!("run span {id} is not a root"));
+            }
+            "query" => {
+                queries += 1;
+                if !up.iter().any(|n| n == "run") {
+                    return Err(format!("query span {id} has no run ancestor"));
+                }
+                if has_rounds && !up.iter().any(|n| n == "round") {
+                    return Err(format!("query span {id} outside every round"));
+                }
+            }
+            "llm_call" | "retry" if !up.iter().any(|n| n == "query") => {
+                return Err(format!("{} span {id} has no query ancestor", span.name));
+            }
+            _ => {}
+        }
+    }
+    if queries == 0 {
+        return Err("trace contains no query spans".into());
+    }
+    Ok(spans.len())
+}
+
+/// `billed == rendered − pruned_saved − cache_saved − starved` for one
+/// ledger row; also returns the row's fields for the sum check.
+fn check_conserves(row: &serde_json::Value, ctx: &str) -> Result<[u64; 7], String> {
+    let fields = [
+        "queries",
+        "rendered_tokens",
+        "billed_tokens",
+        "pruned_saved_tokens",
+        "cache_saved_tokens",
+        "starved_tokens",
+        "enrichment_tokens",
+    ];
+    let mut out = [0u64; 7];
+    for (slot, name) in out.iter_mut().zip(fields) {
+        *slot = u64_field(row, name, ctx)?;
+    }
+    let [_, rendered, billed, pruned, cached, starved, _] = out;
+    let expect = rendered
+        .checked_sub(pruned)
+        .and_then(|r| r.checked_sub(cached))
+        .and_then(|r| r.checked_sub(starved));
+    if expect != Some(billed) {
+        return Err(format!(
+            "{ctx} violates conservation: billed {billed} != rendered {rendered} \
+             - pruned {pruned} - cached {cached} - starved {starved}"
+        ));
+    }
+    if row.get("conserves").and_then(|c| c.as_bool()) != Some(true) {
+        return Err(format!("{ctx} does not record conserves=true"));
+    }
+    Ok(out)
+}
+
+fn check_cost(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    let rounds = doc
+        .get("rounds")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path} has no rounds array"))?;
+    let mut sum = [0u64; 7];
+    for (i, round) in rounds.iter().enumerate() {
+        let row = check_conserves(round, &format!("{path} round {i}"))?;
+        for (acc, x) in sum.iter_mut().zip(row) {
+            *acc += x;
+        }
+    }
+    let total =
+        check_conserves(doc.get("total").ok_or_else(|| format!("{path} has no total"))?, path)?;
+    if total != sum {
+        return Err(format!("{path} total {total:?} is not the sum of its rounds {sum:?}"));
+    }
+
+    let meter = u64_field(&doc, "meter_billed_tokens", path)?;
+    let unattributed = meter as i64 - total[2] as i64;
+    let recorded = doc
+        .get("unattributed_tokens")
+        .and_then(|u| u.as_i64())
+        .ok_or_else(|| format!("{path} has no unattributed_tokens"))?;
+    if recorded != unattributed {
+        return Err(format!(
+            "{path} records unattributed {recorded} but meter {meter} - billed {} = {unattributed}",
+            total[2]
+        ));
+    }
+    if unattributed < 0 {
+        return Err(format!("{path} attributes more than the meter billed ({unattributed})"));
+    }
+    let reconciles = doc.get("reconciles").and_then(|r| r.as_bool()).unwrap_or(false);
+    if reconciles != (unattributed == 0) {
+        return Err(format!(
+            "{path} records reconciles={reconciles} but unattributed is {unattributed}"
+        ));
+    }
+    println!(
+        "  cost ledger : {} rounds, {} billed, {unattributed} unattributed (reconciles: {reconciles})",
+        rounds.len(),
+        total[2]
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [chrome_path, cost_path] = args.as_slice() else {
+        return Err("expected exactly two artifact paths".into());
+    };
+    let spans = check_chrome(chrome_path)?;
+    println!("  chrome trace: {spans} spans, nesting and causal chain intact");
+    check_cost(cost_path)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("obs check: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => die(&e),
+    }
+}

@@ -238,6 +238,13 @@ impl<V: Clone + Send + Sync> EventSink for RoundInvalidator<V> {
             self.cache.advance_epoch();
         }
     }
+
+    /// The invalidator consumes round boundaries but records nothing, so
+    /// it must not make emitters render optional extra detail (e.g. the
+    /// executor's hypothetical full-prompt cost attribution).
+    fn observing(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

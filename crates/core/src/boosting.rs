@@ -118,20 +118,35 @@ pub fn run_with_boosting(
 
         traces.push(RoundTrace { executed: candidates.len(), gamma1, gamma2 });
 
+        // Scope query spans under this round's span (restored after the
+        // round so a trailing caller-side scope survives).
+        let round_index = traces.len() - 1;
+        let round_span = exec.tracer.span(
+            exec.sink,
+            "round",
+            || format!("round {round_index}"),
+            exec.tracer.current_or(exec.span_scope()),
+        );
+        let outer_scope = exec.span_scope();
+        exec.set_span_scope(round_span.id());
+
         // Steps 2–3: execute candidates, then fold their pseudo-labels in.
         // Labels are frozen during the round (all candidates see the same
         // knowledge state, as in Algorithm 2).
         let mut round_records = Vec::with_capacity(candidates.len());
         for &v in &candidates {
             let mut rng = exec.query_rng(v);
-            round_records.push(exec.run_one(
-                predictor,
-                labels,
-                v,
-                &mut rng,
-                plan.is_pruned(v),
-            )?);
+            let record = exec.run_one(predictor, labels, v, &mut rng, plan.is_pruned(v));
+            match record {
+                Ok(r) => round_records.push(r),
+                Err(e) => {
+                    exec.set_span_scope(outer_scope);
+                    return Err(e);
+                }
+            }
         }
+        exec.set_span_scope(outer_scope);
+        drop(round_span);
         for r in &round_records {
             labels.add_pseudo(r.node, r.predicted);
         }

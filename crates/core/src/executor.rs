@@ -13,11 +13,13 @@ use crate::predictor::{Predictor, SelectCtx};
 use mqo_graph::{ClassId, NodeId, Tag};
 use mqo_llm::parse::parse_category;
 use mqo_llm::{LanguageModel, NeighborEntry, NodePromptSpec};
-use mqo_obs::{Event, EventSink, NULL_SINK};
+use mqo_obs::{
+    Clock, Event, EventSink, SpanId, Tracer, DISABLED_TRACER, MONOTONIC_CLOCK, NULL_SINK,
+};
 use mqo_token::{ledger::Totals, Tokenizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Outcome of one executed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +101,16 @@ pub struct Executor<'a> {
     pub seed: u64,
     /// Telemetry sink for per-query events (defaults to the no-op sink).
     pub sink: &'a dyn EventSink,
+    /// Time source for wall-clock measurements (defaults to the process
+    /// monotonic clock; inject a [`mqo_obs::ManualClock`] for
+    /// deterministic timings in tests).
+    pub clock: &'a dyn Clock,
+    /// Causal-span tracer (defaults to the disabled tracer, which makes
+    /// every span a no-op).
+    pub tracer: &'a Tracer,
+    /// Fallback parent for query spans on threads with no open span (set
+    /// to the run/round span id by the orchestration layers).
+    span_scope: AtomicU64,
 }
 
 impl<'a> Executor<'a> {
@@ -109,7 +121,17 @@ impl<'a> Executor<'a> {
         max_neighbors: usize,
         seed: u64,
     ) -> Self {
-        Executor { tag, llm, max_neighbors, budget: None, seed, sink: &NULL_SINK }
+        Executor {
+            tag,
+            llm,
+            max_neighbors,
+            budget: None,
+            seed,
+            sink: &NULL_SINK,
+            clock: &MONOTONIC_CLOCK,
+            tracer: &DISABLED_TRACER,
+            span_scope: AtomicU64::new(SpanId::NONE.0),
+        }
     }
 
     /// Set a hard input-token budget.
@@ -122,6 +144,30 @@ impl<'a> Executor<'a> {
     pub fn with_sink(mut self, sink: &'a dyn EventSink) -> Self {
         self.sink = sink;
         self
+    }
+
+    /// Measure wall time with `clock` instead of the monotonic default.
+    pub fn with_clock(mut self, clock: &'a dyn Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Open causal spans on `tracer` around queries and model calls.
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Set the fallback parent span for queries executed from threads
+    /// with no open span of their own (worker threads inherit the
+    /// run/round span this way).
+    pub fn set_span_scope(&self, scope: SpanId) {
+        self.span_scope.store(scope.0, Ordering::Relaxed);
+    }
+
+    /// The current fallback parent span.
+    pub fn span_scope(&self) -> SpanId {
+        SpanId(self.span_scope.load(Ordering::Relaxed))
     }
 
     /// Render the prompt for `v` with the given neighbor set.
@@ -157,7 +203,13 @@ impl<'a> Executor<'a> {
         rng: &mut StdRng,
         force_prune: bool,
     ) -> Result<QueryRecord> {
-        let started = Instant::now();
+        let started = self.clock.now_micros();
+        let query_span = self.tracer.span(
+            self.sink,
+            "query",
+            || format!("node {}", v.0),
+            self.tracer.current_or(self.span_scope()),
+        );
         let ctx = SelectCtx { tag: self.tag, labels, max_neighbors: self.max_neighbors };
         let neighbors =
             if force_prune { Vec::new() } else { predictor.select_neighbors(&ctx, v, rng) };
@@ -165,6 +217,28 @@ impl<'a> Executor<'a> {
         let mut pruned = force_prune || neighbors.is_empty();
         let mut used_neighbors = neighbors;
         let mut budget_starved = false;
+
+        // Cost attribution (ledger input): what the query *would* have
+        // cost with its full neighbor selection. For force-pruned queries
+        // that means rendering the hypothetical neighbor-rich prompt —
+        // optional extra work, skipped unless a sink is actually
+        // observing. The per-query RNG is derived from `(seed, node)` and
+        // otherwise unused on the pruned path, so drawing the hypothetical
+        // selection from it cannot perturb results.
+        let observing = self.sink.observing();
+        let rendered_tokens = if !observing {
+            0
+        } else if force_prune {
+            let would = predictor.select_neighbors(&ctx, v, rng);
+            if would.is_empty() {
+                Tokenizer.count(&prompt) as u64
+            } else {
+                let full = self.render(predictor, v, &would, labels, predictor.ranked());
+                Tokenizer.count(&full) as u64
+            }
+        } else {
+            Tokenizer.count(&prompt) as u64
+        };
 
         // Budget enforcement (Eq. 2), applied to the *final* prompt. The
         // first check may downgrade a neighbor-rich prompt to the
@@ -191,14 +265,23 @@ impl<'a> Executor<'a> {
         let labeled_neighbors =
             used_neighbors.iter().filter(|&&n| labels.is_labeled(n)).count();
         let pseudo_neighbors = used_neighbors.iter().filter(|&&n| labels.is_pseudo(n)).count();
+        let final_tokens = if observing { Tokenizer.count(&prompt) as u64 } else { 0 };
 
-        let (predicted, parse_failed, prompt_tokens) = if budget_starved {
+        let (predicted, parse_failed, prompt_tokens, cache_saved_tokens) = if budget_starved {
             // No tokens to spend: answer with the same deterministic
             // fallback used for unparseable responses, without touching
             // the model or the meter.
-            (ClassId::from(0usize), false, 0)
+            (ClassId::from(0usize), false, 0, 0)
         } else {
-            let completion = self.llm.complete(&prompt)?;
+            let completion = {
+                let _llm_span = self.tracer.span(
+                    self.sink,
+                    "llm_call",
+                    || format!("{} tokens", Tokenizer.count(&prompt)),
+                    self.tracer.current(),
+                );
+                self.llm.complete(&prompt)?
+            };
             let parsed = parse_category(&completion.text, self.tag.class_names());
             // Fallback for unparseable responses: the first category. Real
             // clients would retry; the deterministic fallback keeps runs
@@ -207,6 +290,7 @@ impl<'a> Executor<'a> {
                 ClassId::from(parsed.unwrap_or(0)),
                 parsed.is_none(),
                 completion.usage.prompt_tokens,
+                completion.cache_saved_tokens,
             )
         };
 
@@ -215,8 +299,43 @@ impl<'a> Executor<'a> {
             prompt_tokens,
             pruned,
             parse_failed,
-            wall_micros: started.elapsed().as_micros() as u64,
+            wall_micros: self.clock.now_micros().saturating_sub(started),
         });
+        if observing {
+            // Pseudo-label cue lines in the final prompt: the Algorithm 2
+            // enrichment spend, reported as a subset of billed tokens.
+            let enrichment_tokens: u64 = used_neighbors
+                .iter()
+                .filter(|&&n| labels.is_pseudo(n))
+                .filter_map(|&n| labels.get(n))
+                .map(|c| {
+                    Tokenizer.count(&format!("Category: {}", self.tag.class_name(c))) as u64
+                })
+                .sum();
+            // The final prompt's tokens go to exactly one bucket: refused
+            // by the budget, avoided by a cache serve, or billed. Retry
+            // re-sends and lenient parse recoveries spend *extra* metered
+            // tokens beyond these flows; the ledger surfaces that
+            // difference as its unattributed bucket, so the per-query
+            // identity below holds unconditionally.
+            let (billed, cache_saved, starved) = if budget_starved {
+                (0, 0, final_tokens)
+            } else if cache_saved_tokens > 0 {
+                (0, final_tokens, 0)
+            } else {
+                (final_tokens, 0, 0)
+            };
+            self.sink.emit(&Event::QueryCost {
+                node: v.0,
+                rendered_tokens,
+                billed_tokens: billed,
+                pruned_saved_tokens: rendered_tokens.saturating_sub(final_tokens),
+                cache_saved_tokens: cache_saved,
+                starved_tokens: starved,
+                enrichment_tokens,
+            });
+        }
+        drop(query_span);
 
         Ok(QueryRecord {
             node: v,

@@ -64,7 +64,11 @@ pub fn run_all_parallel(
         let (next, slots, prune_set) = (&next, &slots, &prune_set);
         for worker in 0..threads {
             scope.spawn(move || {
-                let started = std::time::Instant::now();
+                // Fresh threads have no span stack: name their trace track
+                // (1-based; 0 is the main thread) so query spans land on
+                // per-worker rows, parented to the executor's span scope.
+                mqo_obs::set_thread_track(worker as u32 + 1);
+                let started = exec.clock.now_micros();
                 let mut handled = 0u64;
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -88,7 +92,7 @@ pub fn run_all_parallel(
                 exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
                     worker: worker as u32,
                     queries: handled,
-                    wall_micros: started.elapsed().as_micros() as u64,
+                    wall_micros: exec.clock.now_micros().saturating_sub(started),
                 });
             });
         }
@@ -166,7 +170,8 @@ pub fn run_all_batched(
             (&next_batch, &slots, &prompts, &batches, &prune_set);
         for worker in 0..threads {
             scope.spawn(move || {
-                let started = std::time::Instant::now();
+                mqo_obs::set_thread_track(worker as u32 + 1);
+                let started = exec.clock.now_micros();
                 let mut handled = 0u64;
                 loop {
                     let b = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -174,6 +179,14 @@ pub fn run_all_batched(
                         break;
                     }
                     let batch = batches[b];
+                    // Queries executed while this guard is live nest under
+                    // the batch span via the worker's thread-local stack.
+                    let batch_span = exec.tracer.span(
+                        exec.sink,
+                        "batch",
+                        || format!("batch {b} ({} queries)", batch.len()),
+                        exec.tracer.current_or(exec.span_scope()),
+                    );
                     let shared: u64 = batch
                         .windows(2)
                         .map(|w| {
@@ -198,11 +211,12 @@ pub fn run_all_batched(
                         handled += 1;
                         *slots[i].lock() = Some(record);
                     }
+                    drop(batch_span);
                 }
                 exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
                     worker: worker as u32,
                     queries: handled,
-                    wall_micros: started.elapsed().as_micros() as u64,
+                    wall_micros: exec.clock.now_micros().saturating_sub(started),
                 });
             });
         }

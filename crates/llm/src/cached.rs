@@ -140,10 +140,18 @@ impl<L: LanguageModel> CachedLlm<L> {
         })
     }
 
-    /// A served-from-cache completion: same text, zero billed usage.
+    /// A served-from-cache completion: same text, zero billed usage, with
+    /// the tokens the serve avoided carried in `cache_saved_tokens` so the
+    /// cost ledger can attribute the saving (zeroed `usage` alone is
+    /// ambiguous — lenient parse recoveries also return zero usage).
     fn served(&self, prompt: &str, cached: &Completion) -> Completion {
-        self.tokens_saved.fetch_add(Tokenizer.count(prompt) as u64, Ordering::Relaxed);
-        Completion { text: cached.text.clone(), usage: Usage::default() }
+        let saved = Tokenizer.count(prompt) as u64;
+        self.tokens_saved.fetch_add(saved, Ordering::Relaxed);
+        Completion {
+            text: cached.text.clone(),
+            usage: Usage::default(),
+            cache_saved_tokens: saved,
+        }
     }
 }
 
@@ -227,6 +235,12 @@ mod tests {
         let second = llm.complete(&prompt(0)).unwrap();
         assert_eq!(second.text, first.text);
         assert_eq!(second.usage, Usage::default(), "hit is not billed");
+        assert_eq!(first.cache_saved_tokens, 0, "leader saved nothing");
+        assert_eq!(
+            second.cache_saved_tokens,
+            Tokenizer.count(&prompt(0)) as u64,
+            "serve carries the avoided prompt tokens for the cost ledger"
+        );
         assert_eq!(llm.meter().totals().requests, 1, "one request reached the model");
         let s = llm.stats();
         assert_eq!((s.cache.hits, s.cache.misses), (1, 1));

@@ -12,6 +12,20 @@ pub struct Completion {
     pub text: String,
     /// Token usage of this request.
     pub usage: Usage,
+    /// Prompt tokens this completion *would* have billed but did not,
+    /// because a caching layer served it (cache hit or in-flight dedup).
+    /// Zero for completions that actually reached a model. Kept separate
+    /// from `usage` so "billed" stays exactly what Eq. 2 budgets
+    /// constrain, while the cost ledger still sees the avoided spend.
+    pub cache_saved_tokens: u64,
+}
+
+impl Completion {
+    /// A completion that reached the model: `usage` as billed, nothing
+    /// saved by caching.
+    pub fn billed(text: impl Into<String>, usage: Usage) -> Self {
+        Completion { text: text.into(), usage, cache_saved_tokens: 0 }
+    }
 }
 
 /// An LLM client: prompt in, completion out, usage metered.
@@ -75,7 +89,7 @@ impl LanguageModel for ScriptedLlm {
             completion_tokens: Tokenizer.count(&text) as u64,
         };
         self.meter.record(usage);
-        Ok(Completion { text, usage })
+        Ok(Completion::billed(text, usage))
     }
 
     fn meter(&self) -> &UsageMeter {

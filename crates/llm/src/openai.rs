@@ -232,7 +232,7 @@ impl<T: Transport> LanguageModel for ChatClient<T> {
             completion_tokens: response.usage.completion_tokens,
         };
         self.meter.record(usage);
-        Ok(Completion { text, usage })
+        Ok(Completion::billed(text, usage))
     }
 
     fn meter(&self) -> &UsageMeter {

@@ -10,7 +10,7 @@
 
 use crate::error::Result;
 use crate::model::{Completion, LanguageModel};
-use mqo_obs::{Event, EventSink, NullSink};
+use mqo_obs::{Event, EventSink, NullSink, Tracer};
 use mqo_token::UsageMeter;
 use std::sync::Arc;
 
@@ -23,18 +23,27 @@ pub struct RetryingLlm<L> {
     inner: L,
     max_attempts: u32,
     sink: Arc<dyn EventSink>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<L: LanguageModel> RetryingLlm<L> {
     /// Retry up to `max_attempts` total attempts (≥ 1).
     pub fn new(inner: L, max_attempts: u32) -> Self {
         assert!(max_attempts >= 1, "need at least one attempt");
-        RetryingLlm { inner, max_attempts, sink: Arc::new(NullSink) }
+        RetryingLlm { inner, max_attempts, sink: Arc::new(NullSink), tracer: None }
     }
 
     /// Report retries to `sink`.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Open a `retry` span per re-attempt, parented to the caller's
+    /// current span (the executor's `llm_call`), so retries nest inside
+    /// the query they belong to in the Chrome trace.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -53,6 +62,15 @@ impl<L: LanguageModel> LanguageModel for RetryingLlm<L> {
         let mut last_err = None;
         let mut attempt_prompt = prompt.to_string();
         for attempt in 0..self.max_attempts {
+            let _retry_span = match (&self.tracer, attempt) {
+                (Some(t), a) if a > 0 => Some(t.span(
+                    &*self.sink,
+                    "retry",
+                    || format!("attempt {}", a + 1),
+                    t.current(),
+                )),
+                _ => None,
+            };
             match self.inner.complete(&attempt_prompt) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
@@ -105,7 +123,7 @@ mod tests {
                 *left -= 1;
                 return Err(Error::MalformedResponse { response: "garbage".into() });
             }
-            Ok(Completion { text: "Category: ['X']".into(), usage: Default::default() })
+            Ok(Completion::billed("Category: ['X']", Default::default()))
         }
         fn meter(&self) -> &UsageMeter {
             &self.meter
@@ -177,5 +195,24 @@ mod tests {
     #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
         RetryingLlm::new(ScriptedLlm::new(["x"]), 0);
+    }
+
+    #[test]
+    fn re_attempts_open_retry_spans() {
+        let sink = Arc::new(Recorder::new());
+        let tracer = Arc::new(Tracer::new(Arc::new(mqo_obs::ManualClock::new())));
+        let flaky = Flaky { failures_left: Mutex::new(2), meter: UsageMeter::new() };
+        let retrying = RetryingLlm::new(flaky, 3).with_sink(sink.clone()).with_tracer(tracer);
+        assert!(retrying.complete("p").is_ok());
+        let enters = sink.of_kind("span_enter");
+        assert_eq!(enters.len(), 2, "one span per re-attempt, none for attempt 1");
+        match &enters[0] {
+            Event::SpanEnter { name, detail, .. } => {
+                assert_eq!(name, "retry");
+                assert_eq!(detail, "attempt 2");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(sink.of_kind("span_exit").len(), 2, "spans close even on error paths");
     }
 }

@@ -208,7 +208,7 @@ impl LanguageModel for SimLlm {
             completion_tokens: Tokenizer.count(&text) as u64,
         };
         self.meter.record(usage);
-        Ok(Completion { text, usage })
+        Ok(Completion::billed(text, usage))
     }
 
     fn meter(&self) -> &UsageMeter {

@@ -89,7 +89,7 @@ impl<L: LanguageModel> LanguageModel for LenientLlm<L> {
     fn complete(&self, prompt: &str) -> Result<Completion> {
         match self.inner.complete(prompt) {
             Err(Error::MalformedResponse { response }) => {
-                Ok(Completion { text: response, usage: Default::default() })
+                Ok(Completion::billed(response, Default::default()))
             }
             other => other,
         }

@@ -1,0 +1,239 @@
+//! Chrome trace-event export for causal spans.
+//!
+//! [`ChromeTraceSink`] consumes the [`Event::SpanEnter`] /
+//! [`Event::SpanExit`] stream and writes the [Trace Event Format] JSON
+//! that `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one complete (`"ph":"X"`) event per span, one track (`tid`)
+//! per worker thread, with span id / parent / detail preserved in `args`
+//! so the causal tree survives into the viewer.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! All other events are ignored, so the sink can sit on the same fanout
+//! as the JSONL trace and the metrics sink.
+
+use crate::event::{escape_json, Event};
+use crate::sink::EventSink;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One span whose enter has been seen (exit pending or recorded).
+#[derive(Debug, Clone)]
+struct SpanRec {
+    id: u64,
+    parent: u64,
+    name: String,
+    detail: String,
+    track: u32,
+    start: u64,
+    /// `None` while open; flush closes stragglers at the last seen time.
+    end: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    open: HashMap<u64, SpanRec>,
+    done: Vec<SpanRec>,
+    /// Latest timestamp seen on any span event; open spans are clamped
+    /// here at export time so a crashed run still renders.
+    last_ts: u64,
+}
+
+/// An [`EventSink`] exporting the span stream as Chrome trace JSON.
+///
+/// The file is (re)written on every [`EventSink::flush`] and on drop, so
+/// the artifact on disk is loadable even if the process exits mid-run.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    state: Mutex<State>,
+}
+
+impl ChromeTraceSink {
+    /// Export spans to the JSON file at `path` (parents created, file
+    /// truncated on first write).
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        // Fail now (bad path, permissions) rather than silently at flush.
+        fs::write(&path, "{\"traceEvents\":[]}\n")?;
+        Ok(ChromeTraceSink { path, state: Mutex::new(State::default()) })
+    }
+
+    /// Spans recorded so far (open + closed) — for tests.
+    pub fn span_count(&self) -> usize {
+        let s = self.state.lock().expect("chrome sink lock");
+        s.open.len() + s.done.len()
+    }
+
+    fn render(state: &State) -> String {
+        let mut out = String::with_capacity(256 + 160 * (state.done.len() + state.open.len()));
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let closed_late = state.open.values().cloned().map(|mut rec| {
+            rec.end = Some(state.last_ts.max(rec.start));
+            rec
+        });
+        for rec in state.done.iter().cloned().chain(closed_late) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let end = rec.end.expect("every exported span has an end");
+            out.push_str("{\"name\":");
+            escape_json(&mut out, &rec.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"mqo\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                rec.start,
+                end.saturating_sub(rec.start),
+                rec.track
+            );
+            let _ = write!(
+                out,
+                ",\"args\":{{\"id\":{},\"parent\":{},\"detail\":",
+                rec.id, rec.parent
+            );
+            escape_json(&mut out, &rec.detail);
+            out.push_str("}}");
+        }
+        // Name the tracks so the viewer reads "worker 3", not "tid 3".
+        let mut tracks: Vec<u32> = state
+            .done
+            .iter()
+            .chain(state.open.values())
+            .map(|r| r.track)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        tracks.sort_unstable();
+        for t in tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let label = if t == 0 { "main".to_string() } else { format!("worker {t}") };
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+                 \"args\":{{\"name\":"
+            );
+            escape_json(&mut out, &label);
+            out.push_str("}}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::SpanEnter { id, parent, name, detail, track, at_micros } => {
+                let mut s = self.state.lock().expect("chrome sink lock");
+                s.last_ts = s.last_ts.max(*at_micros);
+                s.open.insert(
+                    *id,
+                    SpanRec {
+                        id: *id,
+                        parent: *parent,
+                        name: name.clone(),
+                        detail: detail.clone(),
+                        track: *track,
+                        start: *at_micros,
+                        end: None,
+                    },
+                );
+            }
+            Event::SpanExit { id, at_micros } => {
+                let mut s = self.state.lock().expect("chrome sink lock");
+                s.last_ts = s.last_ts.max(*at_micros);
+                if let Some(mut rec) = s.open.remove(id) {
+                    rec.end = Some(*at_micros);
+                    s.done.push(rec);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&self) {
+        let s = self.state.lock().expect("chrome sink lock");
+        // Telemetry I/O failures must not kill the run.
+        let _ = fs::write(&self.path, Self::render(&s));
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        EventSink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(id: u64, parent: u64, name: &str, track: u32, at: u64) -> Event {
+        Event::SpanEnter {
+            id,
+            parent,
+            name: name.into(),
+            detail: format!("d{id}"),
+            track,
+            at_micros: at,
+        }
+    }
+
+    #[test]
+    fn exports_complete_events_with_parent_args() {
+        let dir = std::env::temp_dir().join("mqo-obs-chrome-test");
+        let path = dir.join("trace.json");
+        let sink = ChromeTraceSink::create(&path).unwrap();
+        sink.emit(&enter(1, 0, "run", 0, 0));
+        sink.emit(&enter(2, 1, "query", 1, 10));
+        sink.emit(&Event::SpanExit { id: 2, at_micros: 25 });
+        sink.emit(&Event::SpanExit { id: 1, at_micros: 30 });
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"name\":\"query\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":10,\"dur\":15"), "query interval: {text}");
+        assert!(text.contains("\"id\":2,\"parent\":1"));
+        assert!(text.contains("\"tid\":1"));
+        assert!(text.contains("worker 1"), "track metadata names workers");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_spans_are_clamped_at_last_seen_time() {
+        let dir = std::env::temp_dir().join("mqo-obs-chrome-open");
+        let path = dir.join("trace.json");
+        let sink = ChromeTraceSink::create(&path).unwrap();
+        sink.emit(&enter(1, 0, "run", 0, 5));
+        sink.emit(&enter(2, 1, "query", 0, 10));
+        sink.emit(&Event::SpanExit { id: 2, at_micros: 40 });
+        // Span 1 never exits (simulates a crash); flush still exports it.
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ts\":5,\"dur\":35"), "open span clamped to last ts: {text}");
+        assert_eq!(sink.span_count(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_span_events_are_ignored() {
+        let dir = std::env::temp_dir().join("mqo-obs-chrome-ignore");
+        let sink = ChromeTraceSink::create(dir.join("t.json")).unwrap();
+        sink.emit(&Event::BudgetPressure { budget: 1, prompt_tokens_used: 1, denied_cost: 1 });
+        assert_eq!(sink.span_count(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

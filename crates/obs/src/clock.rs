@@ -1,0 +1,107 @@
+//! Injectable monotonic time.
+//!
+//! The executor and the span tracer both need "microseconds since some
+//! fixed origin" for durations. Reading `Instant::now()` directly makes
+//! every duration nondeterministic, so tests end up asserting
+//! `wall_micros > 0` instead of an exact value. A [`Clock`] is the seam:
+//! production code uses the process-wide [`MonotonicClock`]; tests inject
+//! a [`ManualClock`] and advance it by hand, making span durations and
+//! `wall_micros` bit-exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A source of monotonic time in microseconds.
+///
+/// The origin is arbitrary but fixed for the lifetime of the process:
+/// only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since this clock's (arbitrary) origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Process-wide anchor for [`MonotonicClock`]: all instances share one
+/// origin, so readings from different call sites are comparable.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// The real monotonic clock ([`Instant`]-backed). A unit struct so a
+/// `&'static MonotonicClock` default costs nothing to construct.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+/// The canonical shared real clock, usable as a `&'static dyn Clock`
+/// default without allocating.
+pub static MONOTONIC_CLOCK: MonotonicClock = MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        anchor().elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A manual clock starting at 0µs.
+    pub const fn new() -> Self {
+        ManualClock(AtomicU64::new(0))
+    }
+
+    /// A manual clock starting at `micros`.
+    pub const fn at(micros: u64) -> Self {
+        ManualClock(AtomicU64::new(micros))
+    }
+
+    /// Advance the clock by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.0.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Set the absolute reading (must not go backwards in tests that
+    /// compute durations, but the clock itself does not enforce it).
+    pub fn set(&self, micros: u64) {
+        self.0.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let a = MONOTONIC_CLOCK.now_micros();
+        let b = MonotonicClock.now_micros();
+        assert!(b >= a, "separate instances share one origin");
+    }
+
+    #[test]
+    fn manual_clock_is_fully_scripted() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(7);
+        assert_eq!(c.now_micros(), 7);
+        c.set(1000);
+        c.advance(1);
+        assert_eq!(c.now_micros(), 1001);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let manual = ManualClock::at(5);
+        let clocks: [&dyn Clock; 2] = [&MONOTONIC_CLOCK, &manual];
+        assert_eq!(clocks[1].now_micros(), 5);
+    }
+}

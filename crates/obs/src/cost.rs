@@ -1,0 +1,361 @@
+//! The token-cost attribution ledger.
+//!
+//! Every executed query emits one [`Event::QueryCost`] naming where its
+//! tokens went: billed to the provider, saved by Algorithm 1 pruning or
+//! the Eq. 2 budget downgrade, avoided by a cache serve, or refused by
+//! the hard budget. [`CostLedger`] folds that stream into per-round
+//! [`RoundCost`] rows (sealed by [`Event::RoundCompleted`]) plus a
+//! whole-run total, and checks the conservation identity
+//!
+//! ```text
+//! billed == rendered - pruned_saved - cache_saved - starved
+//! ```
+//!
+//! per query, per round, and against the usage meter's billed total.
+//! Retry re-sends and lenient parse recoveries bill tokens without a
+//! matching `QueryCost` flow; the ledger surfaces that difference as an
+//! explicit `unattributed` bucket rather than silently absorbing it, so
+//! on a retry-free run reconciliation is *exact*.
+
+use crate::event::Event;
+use crate::sink::EventSink;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Token flows aggregated over a set of queries (one round, or the run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCost {
+    /// Queries attributed.
+    pub queries: u64,
+    /// Tokens the prompts would have cost with full neighbor selections.
+    pub rendered_tokens: u64,
+    /// Tokens actually billed by the provider.
+    pub billed_tokens: u64,
+    /// Tokens removed by pruning / budget downgrades before sending.
+    pub pruned_saved_tokens: u64,
+    /// Tokens of final prompts avoided by cache serves and dedup.
+    pub cache_saved_tokens: u64,
+    /// Tokens of final prompts refused outright by the hard budget.
+    pub starved_tokens: u64,
+    /// Tokens spent on pseudo-label cue lines (subset of billed).
+    pub enrichment_tokens: u64,
+}
+
+impl RoundCost {
+    fn absorb(&mut self, e: &Event) {
+        if let Event::QueryCost {
+            rendered_tokens,
+            billed_tokens,
+            pruned_saved_tokens,
+            cache_saved_tokens,
+            starved_tokens,
+            enrichment_tokens,
+            ..
+        } = e
+        {
+            self.queries += 1;
+            self.rendered_tokens += rendered_tokens;
+            self.billed_tokens += billed_tokens;
+            self.pruned_saved_tokens += pruned_saved_tokens;
+            self.cache_saved_tokens += cache_saved_tokens;
+            self.starved_tokens += starved_tokens;
+            self.enrichment_tokens += enrichment_tokens;
+        }
+    }
+
+    fn add(&mut self, other: &RoundCost) {
+        self.queries += other.queries;
+        self.rendered_tokens += other.rendered_tokens;
+        self.billed_tokens += other.billed_tokens;
+        self.pruned_saved_tokens += other.pruned_saved_tokens;
+        self.cache_saved_tokens += other.cache_saved_tokens;
+        self.starved_tokens += other.starved_tokens;
+        self.enrichment_tokens += other.enrichment_tokens;
+    }
+
+    /// Whether the conservation identity holds for these flows.
+    pub fn conserves(&self) -> bool {
+        self.rendered_tokens
+            .checked_sub(self.pruned_saved_tokens)
+            .and_then(|r| r.checked_sub(self.cache_saved_tokens))
+            .and_then(|r| r.checked_sub(self.starved_tokens))
+            == Some(self.billed_tokens)
+    }
+
+    fn json_object(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"rendered_tokens\":{},\"billed_tokens\":{},\
+             \"pruned_saved_tokens\":{},\"cache_saved_tokens\":{},\
+             \"starved_tokens\":{},\"enrichment_tokens\":{},\"conserves\":{}}}",
+            self.queries,
+            self.rendered_tokens,
+            self.billed_tokens,
+            self.pruned_saved_tokens,
+            self.cache_saved_tokens,
+            self.starved_tokens,
+            self.enrichment_tokens,
+            self.conserves(),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct LedgerState {
+    rounds: Vec<RoundCost>,
+    current: RoundCost,
+}
+
+/// An [`EventSink`] accumulating [`Event::QueryCost`] flows into rounds.
+///
+/// The executor emits a query's cost *before* the round's
+/// [`Event::RoundCompleted`], so attribution lands in the right round by
+/// construction; runs without boosting (no round events) report one
+/// implicit round covering everything.
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    state: Mutex<LedgerState>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Snapshot the ledger (open round included as a trailing row).
+    pub fn report(&self) -> CostReport {
+        let state = self.state.lock().expect("cost ledger lock");
+        let mut rounds = state.rounds.clone();
+        if state.current.queries > 0 {
+            rounds.push(state.current);
+        }
+        let mut total = RoundCost::default();
+        for r in &rounds {
+            total.add(r);
+        }
+        CostReport { rounds, total }
+    }
+}
+
+impl EventSink for CostLedger {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::QueryCost { .. } => {
+                self.state.lock().expect("cost ledger lock").current.absorb(event);
+            }
+            Event::RoundCompleted { .. } => {
+                let mut state = self.state.lock().expect("cost ledger lock");
+                let sealed = std::mem::take(&mut state.current);
+                state.rounds.push(sealed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A sealed view of the ledger: per-round rows plus the run total.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// One row per boosting round (the last may be a partial round for
+    /// queries after the final `RoundCompleted`).
+    pub rounds: Vec<RoundCost>,
+    /// Sum over all rounds.
+    pub total: RoundCost,
+}
+
+impl CostReport {
+    /// Billed tokens the meter saw that no query accounts for — retry
+    /// re-sends and recovered parse failures. Zero on a clean run.
+    pub fn unattributed(&self, meter_billed: u64) -> i64 {
+        meter_billed as i64 - self.total.billed_tokens as i64
+    }
+
+    /// Exact reconciliation: every round conserves and the meter's billed
+    /// total matches the attributed billed total to the token.
+    pub fn reconciles_with(&self, meter_billed: u64) -> bool {
+        self.rounds.iter().all(RoundCost::conserves)
+            && self.total.conserves()
+            && self.unattributed(meter_billed) == 0
+    }
+
+    /// Render as a JSON document (for `--cost-json`), embedding the meter
+    /// total and the reconciliation verdict.
+    pub fn to_json(&self, meter_billed: u64) -> String {
+        let mut out = String::with_capacity(256 + 196 * self.rounds.len());
+        out.push_str("{\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.json_object());
+        }
+        out.push_str("],\"total\":");
+        out.push_str(&self.total.json_object());
+        let _ = write!(
+            out,
+            ",\"meter_billed_tokens\":{meter_billed},\"unattributed_tokens\":{},\
+             \"reconciles\":{}}}",
+            self.unattributed(meter_billed),
+            self.reconciles_with(meter_billed),
+        );
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cost ledger (tokens)\n  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+            "round",
+            "queries",
+            "rendered",
+            "billed",
+            "pruned-saved",
+            "cache-saved",
+            "starved",
+            "enrichment"
+        )?;
+        for (i, r) in self.rounds.iter().enumerate() {
+            writeln!(
+                f,
+                "  {i:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+                r.queries,
+                r.rendered_tokens,
+                r.billed_tokens,
+                r.pruned_saved_tokens,
+                r.cache_saved_tokens,
+                r.starved_tokens,
+                r.enrichment_tokens,
+            )?;
+        }
+        let t = &self.total;
+        writeln!(
+            f,
+            "  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+            "total",
+            t.queries,
+            t.rendered_tokens,
+            t.billed_tokens,
+            t.pruned_saved_tokens,
+            t.cache_saved_tokens,
+            t.starved_tokens,
+            t.enrichment_tokens,
+        )?;
+        writeln!(
+            f,
+            "  conservation: {} == {} - {} - {} - {} [{}]",
+            t.billed_tokens,
+            t.rendered_tokens,
+            t.pruned_saved_tokens,
+            t.cache_saved_tokens,
+            t.starved_tokens,
+            if t.conserves() { "ok" } else { "VIOLATED" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(
+        node: u32,
+        rendered: u64,
+        billed: u64,
+        pruned: u64,
+        cached: u64,
+        starved: u64,
+    ) -> Event {
+        Event::QueryCost {
+            node,
+            rendered_tokens: rendered,
+            billed_tokens: billed,
+            pruned_saved_tokens: pruned,
+            cache_saved_tokens: cached,
+            starved_tokens: starved,
+            enrichment_tokens: 2,
+        }
+    }
+
+    fn round(round: u32) -> Event {
+        Event::RoundCompleted { round, executed: 1, gamma1: 3, gamma2: 2, pseudo_label_uses: 0 }
+    }
+
+    #[test]
+    fn rounds_seal_on_round_completed() {
+        let ledger = CostLedger::new();
+        ledger.emit(&cost(1, 100, 100, 0, 0, 0));
+        ledger.emit(&cost(2, 200, 150, 50, 0, 0));
+        ledger.emit(&round(0));
+        ledger.emit(&cost(3, 80, 0, 0, 80, 0));
+        ledger.emit(&round(1));
+        let report = ledger.report();
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.rounds[0].queries, 2);
+        assert_eq!(report.rounds[0].billed_tokens, 250);
+        assert_eq!(report.rounds[1].cache_saved_tokens, 80);
+        assert_eq!(report.total.billed_tokens, 250);
+        assert_eq!(report.total.rendered_tokens, 380);
+        assert!(report.total.conserves());
+    }
+
+    #[test]
+    fn unrounded_runs_get_one_implicit_round() {
+        let ledger = CostLedger::new();
+        ledger.emit(&cost(1, 120, 120, 0, 0, 0));
+        ledger.emit(&cost(2, 90, 30, 60, 0, 0));
+        let report = ledger.report();
+        assert_eq!(report.rounds.len(), 1);
+        assert_eq!(report.total.queries, 2);
+        assert!(report.reconciles_with(150));
+        assert!(!report.reconciles_with(151));
+    }
+
+    #[test]
+    fn starved_queries_conserve() {
+        let mut rc = RoundCost::default();
+        rc.absorb(&cost(5, 300, 0, 120, 0, 180));
+        assert!(rc.conserves(), "rendered 300 = pruned 120 + starved 180 + billed 0");
+        rc.absorb(&cost(6, 100, 90, 10, 10, 0));
+        assert!(!rc.conserves(), "double-counted save must be caught");
+    }
+
+    #[test]
+    fn unattributed_surfaces_retry_overhead() {
+        let ledger = CostLedger::new();
+        ledger.emit(&cost(1, 100, 100, 0, 0, 0));
+        let report = ledger.report();
+        // The meter saw one retry re-send of 104 tokens on top.
+        assert_eq!(report.unattributed(204), 104);
+        assert!(!report.reconciles_with(204));
+        assert_eq!(report.unattributed(100), 0);
+        assert!(report.reconciles_with(100));
+    }
+
+    #[test]
+    fn json_report_embeds_the_verdict() {
+        let ledger = CostLedger::new();
+        ledger.emit(&cost(1, 100, 60, 40, 0, 0));
+        ledger.emit(&round(0));
+        let json = ledger.report().to_json(60);
+        assert!(json.contains("\"rounds\":[{\"queries\":1"), "got: {json}");
+        assert!(json.contains("\"meter_billed_tokens\":60"));
+        assert!(json.contains("\"unattributed_tokens\":0"));
+        assert!(json.contains("\"reconciles\":true"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn display_prints_rounds_total_and_conservation() {
+        let ledger = CostLedger::new();
+        ledger.emit(&cost(1, 100, 60, 40, 0, 0));
+        ledger.emit(&round(0));
+        let text = ledger.report().to_string();
+        assert!(text.contains("cost ledger"), "got: {text}");
+        assert!(text.contains("total"));
+        assert!(text.contains("conservation: 60 == 100 - 40 - 0 - 0 [ok]"), "got: {text}");
+    }
+}

@@ -100,10 +100,59 @@ pub enum Event {
         /// Cost of the prompt that was denied.
         denied_cost: u64,
     },
+    /// A causal span opened (see [`crate::Tracer`]).
+    SpanEnter {
+        /// Span id (unique per tracer, never 0).
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span kind: `run`, `round`, `batch`, `query`, `llm_call`, `retry`.
+        name: String,
+        /// Free-form detail (e.g. `"node 17"`).
+        detail: String,
+        /// Display track (0 = main thread, workers 1-based).
+        track: u32,
+        /// Monotonic enter time in microseconds.
+        at_micros: u64,
+    },
+    /// A causal span closed.
+    SpanExit {
+        /// Span id matching the [`Event::SpanEnter`].
+        id: u64,
+        /// Monotonic exit time in microseconds.
+        at_micros: u64,
+    },
+    /// Token-cost attribution for one executed query: where its tokens
+    /// went or were saved. Conservation: `billed_tokens == rendered_tokens
+    /// - pruned_saved_tokens - cache_saved_tokens - starved_tokens` holds
+    /// unconditionally; retry re-sends and lenient parse recoveries spend
+    /// extra metered tokens *outside* these flows and surface as the
+    /// unattributed bucket in [`crate::CostLedger`] reconciliation.
+    QueryCost {
+        /// Query node id.
+        node: u32,
+        /// Tokens of the prompt the query *would* send with its full
+        /// neighbor selection (before pruning or budget downgrades).
+        rendered_tokens: u64,
+        /// Tokens actually billed by the provider for this query.
+        billed_tokens: u64,
+        /// Tokens removed by Algorithm 1 pruning or the Eq. 2 budget
+        /// downgrade (rendered minus the final prompt).
+        pruned_saved_tokens: u64,
+        /// Tokens of the final prompt avoided by a cache serve or
+        /// in-flight dedup.
+        cache_saved_tokens: u64,
+        /// Tokens of the final prompt refused outright by the hard
+        /// budget (no request was sent).
+        starved_tokens: u64,
+        /// Tokens the final prompt spends on Algorithm 2 pseudo-label
+        /// cue lines (a subset of `billed_tokens`, not a separate flow).
+        enrichment_tokens: u64,
+    },
 }
 
 /// Append `s` JSON-escaped (quoted) onto `out`.
-fn escape_json(out: &mut String, s: &str) {
+pub(crate) fn escape_json(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -133,6 +182,9 @@ impl Event {
             Event::CacheStats { .. } => "cache_stats",
             Event::BatchDispatched { .. } => "batch_dispatched",
             Event::BudgetPressure { .. } => "budget_pressure",
+            Event::SpanEnter { .. } => "span_enter",
+            Event::SpanExit { .. } => "span_exit",
+            Event::QueryCost { .. } => "query_cost",
         }
     }
 
@@ -206,6 +258,35 @@ impl Event {
                      \"denied_cost\":{denied_cost}"
                 );
             }
+            Event::SpanEnter { id, parent, name, detail, track, at_micros } => {
+                let _ = write!(s, ",\"id\":{id},\"parent\":{parent},\"name\":");
+                escape_json(&mut s, name);
+                s.push_str(",\"detail\":");
+                escape_json(&mut s, detail);
+                let _ = write!(s, ",\"track\":{track},\"at_micros\":{at_micros}");
+            }
+            Event::SpanExit { id, at_micros } => {
+                let _ = write!(s, ",\"id\":{id},\"at_micros\":{at_micros}");
+            }
+            Event::QueryCost {
+                node,
+                rendered_tokens,
+                billed_tokens,
+                pruned_saved_tokens,
+                cache_saved_tokens,
+                starved_tokens,
+                enrichment_tokens,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"rendered_tokens\":{rendered_tokens},\
+                     \"billed_tokens\":{billed_tokens},\
+                     \"pruned_saved_tokens\":{pruned_saved_tokens},\
+                     \"cache_saved_tokens\":{cache_saved_tokens},\
+                     \"starved_tokens\":{starved_tokens},\
+                     \"enrichment_tokens\":{enrichment_tokens}"
+                );
+            }
         }
         s.push('}');
         s
@@ -232,6 +313,21 @@ mod tests {
                 .to_owned()
                 + "}"
         );
+    }
+
+    #[test]
+    fn span_detail_strings_are_escaped() {
+        let e = Event::SpanEnter {
+            id: 1,
+            parent: 0,
+            name: "query".into(),
+            detail: "title with \"quotes\"\nand newline".into(),
+            track: 0,
+            at_micros: 0,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\\\"quotes\\\""), "got: {j}");
+        assert!(!j.contains('\n'), "JSONL lines must be newline-free: {j}");
     }
 
     #[test]
@@ -283,6 +379,30 @@ mod tests {
             (
                 Event::BatchDispatched { batch: 2, queries: 16, shared_prefix_tokens: 320 },
                 "batch_dispatched",
+            ),
+            (
+                Event::SpanEnter {
+                    id: 3,
+                    parent: 1,
+                    name: "query".into(),
+                    detail: "node 17".into(),
+                    track: 2,
+                    at_micros: 99,
+                },
+                "span_enter",
+            ),
+            (Event::SpanExit { id: 3, at_micros: 120 }, "span_exit"),
+            (
+                Event::QueryCost {
+                    node: 17,
+                    rendered_tokens: 500,
+                    billed_tokens: 300,
+                    pruned_saved_tokens: 200,
+                    cache_saved_tokens: 0,
+                    starved_tokens: 0,
+                    enrichment_tokens: 12,
+                },
+                "query_cost",
             ),
         ];
         for (e, kind) in cases {

@@ -1,0 +1,199 @@
+//! A minimal std-only HTTP endpoint serving live metrics.
+//!
+//! [`MetricsServer`] binds a `TcpListener`, answers `GET /metrics` with
+//! the Prometheus text exposition of a [`MetricsSink`]'s registry and
+//! `GET /progress` with its compact JSON snapshot, and shuts down cleanly
+//! on drop. It is deliberately not a web server: one short-lived
+//! connection at a time, request line only, `Connection: close` — exactly
+//! enough for `curl` and a Prometheus scraper, with zero dependencies.
+
+use crate::registry::MetricsSink;
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Background thread serving `GET /metrics` and `GET /progress` for a
+/// [`MetricsSink`]. Listening starts in [`MetricsServer::start`]; the
+/// socket closes when the server is dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// start serving `sink` in a background thread.
+    pub fn start(addr: &str, sink: Arc<MetricsSink>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept so the thread can notice the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_worker = Arc::clone(&stop);
+        let handle = thread::Builder::new().name("mqo-metrics".into()).spawn(move || {
+            while !stop_worker.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // A broken scrape must not take the server down.
+                        let _ = serve_one(stream, &sink);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nonblocking(false)?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /metrics HTTP/1.1" — method and path are all we route on.
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = sink.registry().render_prometheus();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/progress" => {
+            let mut body = sink.progress_json();
+            body.push('\n');
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "try /metrics or /progress\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Blocking one-shot `GET` against a [`MetricsServer`] — test helper kept
+/// in the crate so integration tests and the smoke script share one
+/// correct client.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::sink::EventSink;
+
+    fn sink_with_traffic() -> Arc<MetricsSink> {
+        let sink = Arc::new(MetricsSink::new());
+        sink.emit(&Event::QueryExecuted {
+            node: 1,
+            prompt_tokens: 120,
+            pruned: false,
+            parse_failed: false,
+            wall_micros: 80,
+        });
+        sink.emit(&Event::RoundCompleted {
+            round: 0,
+            executed: 1,
+            gamma1: 3,
+            gamma2: 2,
+            pseudo_label_uses: 0,
+        });
+        sink
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_progress_json() {
+        let sink = sink_with_traffic();
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&sink)).unwrap();
+        let (status, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("mqo_queries_total 1"), "body: {body}");
+        assert!(body.contains("# TYPE mqo_prompt_tokens histogram"));
+        let (status, body) = http_get(server.addr(), "/progress").unwrap();
+        assert!(status.contains("200"));
+        assert!(body.contains("\"queries\":1"), "body: {body}");
+        assert!(body.contains("\"rounds_completed\":1"));
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = MetricsServer::start("127.0.0.1:0", Arc::new(MetricsSink::new())).unwrap();
+        let (status, _) = http_get(server.addr(), "/nope").unwrap();
+        assert!(status.contains("404"), "status: {status}");
+    }
+
+    #[test]
+    fn scrapes_see_live_updates() {
+        let sink = Arc::new(MetricsSink::new());
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&sink)).unwrap();
+        let (_, before) = http_get(server.addr(), "/metrics").unwrap();
+        assert!(before.contains("mqo_queries_total 0"));
+        sink.emit(&Event::QueryExecuted {
+            node: 9,
+            prompt_tokens: 64,
+            pruned: true,
+            parse_failed: false,
+            wall_micros: 10,
+        });
+        let (_, after) = http_get(server.addr(), "/metrics").unwrap();
+        assert!(after.contains("mqo_queries_total 1"), "scrape is live: {after}");
+    }
+
+    #[test]
+    fn drop_frees_the_port() {
+        let server = MetricsServer::start("127.0.0.1:0", Arc::new(MetricsSink::new())).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone; a fresh bind to the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after drop");
+    }
+}

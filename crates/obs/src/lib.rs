@@ -6,14 +6,26 @@
 //! The pieces:
 //!
 //! - [`Event`] — the closed vocabulary of things worth observing: query
-//!   executions, boosting rounds, retries, worker throughput, and the
-//!   moment the hard token budget (Eq. 2 of the paper) starts binding.
+//!   executions, boosting rounds, retries, worker throughput, the moment
+//!   the hard token budget (Eq. 2 of the paper) starts binding, causal
+//!   span enter/exit pairs, and per-query token-cost attribution.
 //! - [`EventSink`] — where events go. [`NullSink`] (the default) drops
-//!   them, [`Recorder`] keeps them in memory for tests and summaries,
-//!   [`FileSink`] streams JSONL to disk (conventionally under
-//!   `results/logs/`), and [`Tee`] fans out to two sinks.
-//! - [`Histogram`] / [`Counter`] — fixed-bucket, lock-free aggregation
-//!   primitives.
+//!   them, [`Recorder`] keeps a bounded ring in memory for tests and
+//!   summaries, [`FileSink`] streams JSONL to disk (conventionally under
+//!   `results/logs/`), [`Tee`] fans out to two sinks, and [`Fanout`] to
+//!   any number.
+//! - [`Tracer`] / [`SpanGuard`] — causal spans (run → round → batch →
+//!   query → llm_call/retry) stamped by an injectable [`Clock`], exported
+//!   as Chrome trace JSON by [`ChromeTraceSink`] for
+//!   `chrome://tracing` / Perfetto.
+//! - [`Registry`] / [`MetricsSink`] / [`MetricsServer`] — live named
+//!   counters, gauges and histograms with Prometheus text exposition over
+//!   a std-only HTTP endpoint (`GET /metrics`, `GET /progress`).
+//! - [`CostLedger`] — the token-cost attribution ledger: where every
+//!   prompt token went (billed, pruned, cache-saved, starved), reconciled
+//!   exactly against the usage meter.
+//! - [`Histogram`] / [`Counter`] / [`Gauge`] — fixed-bucket, lock-free
+//!   aggregation primitives.
 //! - [`Summary`] — the one-screen digest (p50/p99 prompt tokens, retry
 //!   counts, rounds, prune rate) the bench harness prints for `--trace`.
 //!
@@ -34,12 +46,26 @@
 
 #![warn(missing_docs)]
 
+mod chrome;
+mod clock;
+mod cost;
 mod event;
+mod http;
 mod metrics;
+mod registry;
 mod sink;
+mod span;
 mod summary;
 
+pub use chrome::ChromeTraceSink;
+pub use clock::{Clock, ManualClock, MonotonicClock, MONOTONIC_CLOCK};
+pub use cost::{CostLedger, CostReport, RoundCost};
 pub use event::Event;
-pub use metrics::{Counter, Histogram};
-pub use sink::{EventSink, FileSink, NullSink, Recorder, Tee, NULL_SINK};
+pub use http::{http_get, MetricsServer};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{MetricsSink, Registry};
+pub use sink::{
+    EventSink, Fanout, FileSink, NullSink, Recorder, Tee, NULL_SINK, RECORDER_DEFAULT_CAPACITY,
+};
+pub use span::{set_thread_track, thread_track, SpanGuard, SpanId, Tracer, DISABLED_TRACER};
 pub use summary::Summary;

@@ -33,6 +33,34 @@ impl Counter {
     }
 }
 
+/// A settable instantaneous value (e.g. the boosting round currently
+/// executing). Same lock-free shape as [`Counter`], but writes replace
+/// rather than accumulate.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Set the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Set to `v` if larger (monotone high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A histogram over `u64` samples with fixed bucket upper bounds.
 ///
 /// Bucket `i` holds samples `v <= bounds[i]` (and `> bounds[i-1]`); one
@@ -120,6 +148,22 @@ impl Histogram {
         } else {
             self.sum() as f64 / n as f64
         }
+    }
+
+    /// Cumulative bucket view for exposition: `(upper_bound,
+    /// cumulative_count)` per bound, in Prometheus `le` semantics. The
+    /// overflow bucket is not listed — it is the `+Inf` bucket, whose
+    /// cumulative count is [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut seen = 0u64;
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&b, c)| {
+                seen += c.load(Ordering::Relaxed);
+                (b, seen)
+            })
+            .collect()
     }
 
     /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
@@ -213,5 +257,29 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(vec![5, 5]);
+    }
+
+    #[test]
+    fn gauge_sets_and_high_water_marks() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set(3);
+        assert_eq!(g.get(), 3, "set replaces");
+        g.set_max(2);
+        assert_eq!(g.get(), 3, "set_max never lowers");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn cumulative_buckets_follow_le_semantics() {
+        let h = Histogram::linear(10, 3); // bounds 10, 20, 30
+        for v in [5, 10, 11, 25, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.cumulative_buckets(), vec![(10, 2), (20, 3), (30, 4)]);
+        assert_eq!(h.count(), 5, "+Inf bucket count is the total");
     }
 }

@@ -1,0 +1,428 @@
+//! A named-metric registry with Prometheus text exposition, and the
+//! [`MetricsSink`] that keeps it live during a run.
+//!
+//! The [`Registry`] is the scrape surface: counters, gauges, and
+//! histograms registered by name, rendered in the [Prometheus text
+//! format] by [`Registry::render_prometheus`]. All primitives are the
+//! lock-free atomics from [`crate::metrics`], so updating a metric on the
+//! hot path never contends with a scrape.
+//!
+//! [Prometheus text format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+//!
+//! [`MetricsSink`] adapts the event stream onto a registry: every
+//! [`Event`] increments its series the moment it is emitted, which is
+//! what makes `GET /metrics` meaningful *while* a long boosting run
+//! executes (the JSONL trace and the summary are post-hoc views). It also
+//! serves the compact JSON snapshot behind `GET /progress`.
+
+use crate::event::Event;
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::sink::EventSink;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One registered metric.
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A collection of named metrics, rendered for scraping. Registration is
+/// get-or-create: two callers registering the same name share one metric.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn assert_metric_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid Prometheus metric name: {name:?}"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        assert_metric_name(name);
+        let mut entries = self.entries.lock().expect("registry lock");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry { name: name.into(), help: help.into(), metric: metric.clone() });
+        metric
+    }
+
+    /// Register (or fetch) a counter. Panics if `name` is already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a histogram; `make` builds the bucket layout
+    /// on first registration.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Histogram,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, || Metric::Histogram(Arc::new(make()))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Render every metric in the Prometheus text exposition format, in
+    /// registration order.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry lock");
+        let mut out = String::with_capacity(64 * entries.len());
+        for e in entries.iter() {
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    for (le, cumulative) in h.cumulative_buckets() {
+                        let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", e.name);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, h.count());
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An [`EventSink`] that turns the event stream into live registry series
+/// — attach it to the executor's fanout and scrape away.
+pub struct MetricsSink {
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    pruned: Arc<Counter>,
+    parse_failures: Arc<Counter>,
+    prompt_tokens: Arc<Counter>,
+    prompt_token_hist: Arc<Histogram>,
+    latency_hist: Arc<Histogram>,
+    rounds: Arc<Counter>,
+    current_round: Arc<Gauge>,
+    pseudo_label_uses: Arc<Counter>,
+    retries: Arc<Counter>,
+    retries_exhausted: Arc<Counter>,
+    workers: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_shared_prefix_tokens: Arc<Counter>,
+    budget_pressure: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_coalesced: Arc<Counter>,
+    cache_tokens_saved: Arc<Counter>,
+    spans: Arc<Counter>,
+    cost_rendered: Arc<Counter>,
+    cost_billed: Arc<Counter>,
+    cost_pruned_saved: Arc<Counter>,
+    cost_cache_saved: Arc<Counter>,
+    cost_starved: Arc<Counter>,
+    cost_enrichment: Arc<Counter>,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink::new()
+    }
+}
+
+impl MetricsSink {
+    /// A sink over a fresh registry.
+    pub fn new() -> Self {
+        MetricsSink::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// A sink registering its series on `registry` (share one registry to
+    /// scrape several runs from one endpoint).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        MetricsSink {
+            queries: r.counter("mqo_queries_total", "Queries executed"),
+            pruned: r.counter("mqo_queries_pruned_total", "Queries sent without neighbor text"),
+            parse_failures: r
+                .counter("mqo_parse_failures_total", "Completions that failed to parse"),
+            prompt_tokens: r
+                .counter("mqo_prompt_tokens_total", "Billed prompt tokens across queries"),
+            prompt_token_hist: r.histogram(
+                "mqo_prompt_tokens",
+                "Billed prompt tokens per query",
+                || Histogram::linear(256, 64),
+            ),
+            latency_hist: r.histogram(
+                "mqo_query_latency_micros",
+                "Per-query wall time in microseconds",
+                || Histogram::exponential(32),
+            ),
+            rounds: r.counter("mqo_rounds_total", "Boosting rounds completed"),
+            current_round: r
+                .gauge("mqo_current_round", "Boosting rounds completed so far (live)"),
+            pseudo_label_uses: r.counter(
+                "mqo_pseudo_label_uses_total",
+                "Pseudo-label slots that reached prompts",
+            ),
+            retries: r.counter("mqo_retries_total", "Retry attempts"),
+            retries_exhausted: r
+                .counter("mqo_retries_exhausted_total", "Retry sequences that gave up"),
+            workers: r.counter("mqo_workers_total", "Worker throughput reports"),
+            batches: r.counter("mqo_batches_total", "Prefix-coherent batches dispatched"),
+            batch_shared_prefix_tokens: r.counter(
+                "mqo_batch_shared_prefix_tokens_total",
+                "Tokens shared between consecutive prompts inside batches",
+            ),
+            budget_pressure: r
+                .counter("mqo_budget_pressure_total", "Hard-budget pressure events"),
+            cache_hits: r.counter("mqo_cache_hits_total", "Response-cache hits"),
+            cache_misses: r.counter("mqo_cache_misses_total", "Response-cache misses"),
+            cache_coalesced: r.counter(
+                "mqo_cache_coalesced_total",
+                "Requests coalesced onto in-flight twins",
+            ),
+            cache_tokens_saved: r
+                .counter("mqo_cache_tokens_saved_total", "Prompt tokens never sent (cache)"),
+            spans: r.counter("mqo_spans_total", "Causal spans opened"),
+            cost_rendered: r
+                .counter("mqo_cost_rendered_tokens_total", "Ledger: tokens rendered"),
+            cost_billed: r.counter("mqo_cost_billed_tokens_total", "Ledger: tokens billed"),
+            cost_pruned_saved: r.counter(
+                "mqo_cost_pruned_saved_tokens_total",
+                "Ledger: tokens saved by pruning/budget downgrade",
+            ),
+            cost_cache_saved: r.counter(
+                "mqo_cost_cache_saved_tokens_total",
+                "Ledger: tokens avoided by cache serve/dedup",
+            ),
+            cost_starved: r.counter(
+                "mqo_cost_starved_tokens_total",
+                "Ledger: tokens refused by the hard budget",
+            ),
+            cost_enrichment: r.counter(
+                "mqo_cost_enrichment_tokens_total",
+                "Ledger: tokens spent on pseudo-label cues",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry this sink feeds.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Compact machine-readable snapshot for `GET /progress`: enough to
+    /// watch a long run converge without scraping the full exposition.
+    pub fn progress_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"rounds_completed\":{},\"current_round\":{},\
+             \"billed_tokens\":{},\"rendered_tokens\":{},\"pruned_saved_tokens\":{},\
+             \"cache_saved_tokens\":{},\"starved_tokens\":{},\"enrichment_tokens\":{},\
+             \"retries\":{},\"parse_failures\":{},\"batches\":{}}}",
+            self.queries.get(),
+            self.rounds.get(),
+            self.current_round.get(),
+            self.prompt_tokens.get(),
+            self.cost_rendered.get(),
+            self.cost_pruned_saved.get(),
+            self.cost_cache_saved.get(),
+            self.cost_starved.get(),
+            self.cost_enrichment.get(),
+            self.retries.get(),
+            self.parse_failures.get(),
+            self.batches.get(),
+        )
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::QueryExecuted {
+                prompt_tokens, pruned, parse_failed, wall_micros, ..
+            } => {
+                self.queries.inc();
+                self.pruned.add(u64::from(*pruned));
+                self.parse_failures.add(u64::from(*parse_failed));
+                self.prompt_tokens.add(*prompt_tokens);
+                self.prompt_token_hist.record(*prompt_tokens);
+                self.latency_hist.record(*wall_micros);
+            }
+            Event::WorkerThroughput { .. } => self.workers.inc(),
+            Event::RoundCompleted { round, pseudo_label_uses, .. } => {
+                self.rounds.inc();
+                self.current_round.set_max(u64::from(*round) + 1);
+                self.pseudo_label_uses.add(*pseudo_label_uses);
+            }
+            Event::RetryAttempt { .. } => self.retries.inc(),
+            Event::RetryExhausted { .. } => self.retries_exhausted.inc(),
+            Event::CacheStats { hits, misses, coalesced, tokens_saved, .. } => {
+                self.cache_hits.add(*hits);
+                self.cache_misses.add(*misses);
+                self.cache_coalesced.add(*coalesced);
+                self.cache_tokens_saved.add(*tokens_saved);
+            }
+            Event::BatchDispatched { shared_prefix_tokens, .. } => {
+                self.batches.inc();
+                self.batch_shared_prefix_tokens.add(*shared_prefix_tokens);
+            }
+            Event::BudgetPressure { .. } => self.budget_pressure.inc(),
+            Event::SpanEnter { .. } => self.spans.inc(),
+            Event::SpanExit { .. } => {}
+            Event::QueryCost {
+                rendered_tokens,
+                billed_tokens,
+                pruned_saved_tokens,
+                cache_saved_tokens,
+                starved_tokens,
+                enrichment_tokens,
+                ..
+            } => {
+                self.cost_rendered.add(*rendered_tokens);
+                self.cost_billed.add(*billed_tokens);
+                self.cost_pruned_saved.add(*pruned_saved_tokens);
+                self.cost_cache_saved.add(*cache_saved_tokens);
+                self.cost_starved.add(*starved_tokens);
+                self.cost_enrichment.add(*enrichment_tokens);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_exposes_all_three_types() {
+        let r = Registry::new();
+        let c = r.counter("mqo_test_total", "a counter");
+        c.add(3);
+        let g = r.gauge("mqo_test_gauge", "a gauge");
+        g.set(7);
+        let h = r.histogram("mqo_test_hist", "a histogram", || Histogram::linear(10, 2));
+        h.record(5);
+        h.record(15);
+        h.record(99);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP mqo_test_total a counter"));
+        assert!(text.contains("# TYPE mqo_test_total counter"));
+        assert!(text.contains("mqo_test_total 3"));
+        assert!(text.contains("# TYPE mqo_test_gauge gauge"));
+        assert!(text.contains("mqo_test_gauge 7"));
+        assert!(text.contains("mqo_test_hist_bucket{le=\"10\"} 1"));
+        assert!(text.contains("mqo_test_hist_bucket{le=\"20\"} 2"));
+        assert!(text.contains("mqo_test_hist_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("mqo_test_hist_sum 119"));
+        assert!(text.contains("mqo_test_hist_count 3"));
+    }
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("mqo_shared_total", "shared");
+        let b = r.counter("mqo_shared_total", "shared");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying counter");
+        assert_eq!(
+            r.render_prometheus().matches("# TYPE mqo_shared_total").count(),
+            1,
+            "registered once"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_is_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("mqo_x", "x");
+        let _ = r.gauge("mqo_x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn bad_names_are_rejected() {
+        let _ = Registry::new().counter("1bad name", "x");
+    }
+
+    #[test]
+    fn sink_turns_events_into_series() {
+        let sink = MetricsSink::new();
+        sink.emit(&Event::QueryExecuted {
+            node: 1,
+            prompt_tokens: 100,
+            pruned: true,
+            parse_failed: false,
+            wall_micros: 50,
+        });
+        sink.emit(&Event::RoundCompleted {
+            round: 2,
+            executed: 1,
+            gamma1: 3,
+            gamma2: 2,
+            pseudo_label_uses: 4,
+        });
+        sink.emit(&Event::QueryCost {
+            node: 1,
+            rendered_tokens: 150,
+            billed_tokens: 100,
+            pruned_saved_tokens: 50,
+            cache_saved_tokens: 0,
+            starved_tokens: 0,
+            enrichment_tokens: 8,
+        });
+        let text = sink.registry().render_prometheus();
+        assert!(text.contains("mqo_queries_total 1"));
+        assert!(text.contains("mqo_queries_pruned_total 1"));
+        assert!(text.contains("mqo_prompt_tokens_total 100"));
+        assert!(text.contains("mqo_rounds_total 1"));
+        assert!(text.contains("mqo_current_round 3"));
+        assert!(text.contains("mqo_cost_rendered_tokens_total 150"));
+        assert!(text.contains("mqo_cost_pruned_saved_tokens_total 50"));
+        let progress = sink.progress_json();
+        assert!(progress.contains("\"queries\":1"));
+        assert!(progress.contains("\"billed_tokens\":100"));
+        assert!(progress.contains("\"rendered_tokens\":150"));
+    }
+}

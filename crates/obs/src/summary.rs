@@ -47,6 +47,20 @@ pub struct Summary {
     pub batches: u64,
     /// Tokens shared between consecutive prompts inside batches.
     pub batch_shared_prefix_tokens: u64,
+    /// Causal spans opened.
+    pub spans: u64,
+    /// Ledger: tokens prompts would cost fully rendered.
+    pub cost_rendered_tokens: u64,
+    /// Ledger: tokens billed across attributed queries.
+    pub cost_billed_tokens: u64,
+    /// Ledger: tokens saved by pruning / budget downgrades.
+    pub cost_pruned_saved_tokens: u64,
+    /// Ledger: tokens avoided by cache serves and dedup.
+    pub cost_cache_saved_tokens: u64,
+    /// Ledger: tokens refused by the hard budget.
+    pub cost_starved_tokens: u64,
+    /// Ledger: tokens spent on pseudo-label cue lines.
+    pub cost_enrichment_tokens: u64,
 }
 
 impl Summary {
@@ -73,6 +87,13 @@ impl Summary {
             prefix_reuse_tokens: 0,
             batches: 0,
             batch_shared_prefix_tokens: 0,
+            spans: 0,
+            cost_rendered_tokens: 0,
+            cost_billed_tokens: 0,
+            cost_pruned_saved_tokens: 0,
+            cost_cache_saved_tokens: 0,
+            cost_starved_tokens: 0,
+            cost_enrichment_tokens: 0,
         };
         for e in events {
             match e {
@@ -117,6 +138,24 @@ impl Summary {
                 Event::BatchDispatched { queries: _, shared_prefix_tokens, .. } => {
                     s.batches += 1;
                     s.batch_shared_prefix_tokens += shared_prefix_tokens;
+                }
+                Event::SpanEnter { .. } => s.spans += 1,
+                Event::SpanExit { .. } => {}
+                Event::QueryCost {
+                    rendered_tokens,
+                    billed_tokens,
+                    pruned_saved_tokens,
+                    cache_saved_tokens,
+                    starved_tokens,
+                    enrichment_tokens,
+                    ..
+                } => {
+                    s.cost_rendered_tokens += rendered_tokens;
+                    s.cost_billed_tokens += billed_tokens;
+                    s.cost_pruned_saved_tokens += pruned_saved_tokens;
+                    s.cost_cache_saved_tokens += cache_saved_tokens;
+                    s.cost_starved_tokens += starved_tokens;
+                    s.cost_enrichment_tokens += enrichment_tokens;
                 }
             }
         }
@@ -197,6 +236,21 @@ impl fmt::Display for Summary {
         if self.budget_pressure > 0 {
             writeln!(f, "  budget pressure    {:>8} event(s)", self.budget_pressure)?;
         }
+        if self.spans > 0 {
+            writeln!(f, "  causal spans       {:>8}", self.spans)?;
+        }
+        if self.cost_rendered_tokens > 0 {
+            writeln!(
+                f,
+                "  token cost         {:>8} billed = {} rendered - {} pruned - {} cached - {} starved",
+                self.cost_billed_tokens,
+                self.cost_rendered_tokens,
+                self.cost_pruned_saved_tokens,
+                self.cost_cache_saved_tokens,
+                self.cost_starved_tokens,
+            )?;
+            writeln!(f, "  enrichment tokens  {:>8}", self.cost_enrichment_tokens)?;
+        }
         Ok(())
     }
 }
@@ -244,6 +298,24 @@ mod tests {
             },
             Event::BatchDispatched { batch: 0, queries: 2, shared_prefix_tokens: 11 },
             Event::BatchDispatched { batch: 1, queries: 2, shared_prefix_tokens: 9 },
+            Event::SpanEnter {
+                id: 1,
+                parent: 0,
+                name: "run".into(),
+                detail: String::new(),
+                track: 0,
+                at_micros: 0,
+            },
+            Event::SpanExit { id: 1, at_micros: 10 },
+            Event::QueryCost {
+                node: 1,
+                rendered_tokens: 500,
+                billed_tokens: 350,
+                pruned_saved_tokens: 100,
+                cache_saved_tokens: 50,
+                starved_tokens: 0,
+                enrichment_tokens: 6,
+            },
         ];
         let s = Summary::from_events(&events);
         assert_eq!(s.queries, 4);
@@ -261,6 +333,11 @@ mod tests {
         assert_eq!(s.prefix_reuse_tokens, 40);
         assert_eq!(s.batches, 2);
         assert_eq!(s.batch_shared_prefix_tokens, 20);
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.cost_rendered_tokens, 500);
+        assert_eq!(s.cost_billed_tokens, 350);
+        assert_eq!(s.cost_cache_saved_tokens, 50);
+        assert_eq!(s.cost_enrichment_tokens, 6);
         // p50 of {100, 300, 500, 700} resolves to 300's bucket.
         assert_eq!(s.prompt_tokens.quantile(0.5), 320);
     }

@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
-# Deterministic cache-efficiency smoke bench + regression gate.
+# Deterministic cache-efficiency smoke bench + regression gate, plus the
+# observability artifact check.
 #
-#   scripts/bench_smoke.sh            # run and gate against BENCH_PR2.json
-#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR2.json
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR3.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR3.json
 #
-# The workload replays a fixed Cora query set three times through the
-# simulated LLM with the response cache on, so tokens_sent and serve_rate
-# are bit-deterministic (in-flight dedup guarantees one send per unique
-# prompt regardless of thread interleaving). The gate fails when metered
-# tokens rise or the serve rate drops by more than 5% vs the committed
-# baseline — i.e. when a change quietly breaks the cache.
+# The gated workload replays a fixed Cora query set three times through
+# the simulated LLM with the response cache on, so tokens_sent and
+# serve_rate are bit-deterministic (in-flight dedup guarantees one send
+# per unique prompt regardless of thread interleaving). The gate fails
+# when metered tokens rise or the serve rate drops by more than 5% vs the
+# committed baseline — i.e. when a change quietly breaks the cache.
+#
+# The second, boosted run exercises the observability layer end to end:
+# it must produce a loadable Chrome trace with an intact causal chain and
+# a cost ledger whose conservation identity holds (obs_check exits
+# non-zero otherwise). Both artifacts are left under target/ for CI to
+# upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR2.json
+BASELINE=BENCH_PR3.json
 CURRENT=target/bench_smoke_current.json
+OBS_TRACE=target/obs_trace.json
+OBS_COST=target/obs_cost.json
 
 echo "==> building release binaries"
-cargo build --release -q -p mqo-bench --bin mqo --bin bench_gate
+cargo build --release -q -p mqo-bench --bin mqo --bin bench_gate --bin obs_check
 
 echo "==> smoke workload (cora x3, cached, batched)"
 ./target/release/mqo classify cora \
   --queries 120 --repeat 3 --seed 42 --threads 4 --batch 16 \
   --stats-json "$CURRENT"
+
+echo "==> observability workload (cora, boosted, traced + cost ledger)"
+./target/release/mqo classify cora \
+  --queries 60 --boost --seed 42 \
+  --trace-chrome "$OBS_TRACE" --cost-json "$OBS_COST"
+./target/release/obs_check "$OBS_TRACE" "$OBS_COST"
 
 if [[ "${1:-}" == "--update" ]]; then
   cp "$CURRENT" "$BASELINE"
