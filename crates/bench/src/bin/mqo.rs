@@ -9,6 +9,8 @@
 //!              [--trace-chrome FILE] [--serve-metrics ADDR]
 //!              [--cost-json FILE] [--cache-cap N] [--no-cache]
 //!              [--repeat K] [--batch B] [--stats-json FILE]
+//!              [--faults SPEC] [--fault-kill-after N]
+//!              [--journal FILE] [--resume] [--dump-records FILE]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -20,7 +22,8 @@
 //! and a dozen flags, not enough to justify a parser dependency.
 
 use mqo_bench::harness::Trace;
-use mqo_core::boosting::{run_with_boosting, BoostConfig};
+use mqo_core::boosting::{run_with_boosting_policy, BoostConfig, DegradePolicy};
+use mqo_core::journal::{RunHeader, RunJournal};
 use mqo_core::metrics::ConfusionMatrix;
 use mqo_core::parallel::{run_all_batched, run_all_parallel};
 use mqo_core::planner::plan_campaign;
@@ -29,13 +32,15 @@ use mqo_core::pruning::PrunePlan;
 use mqo_core::surrogate::SurrogateConfig;
 use mqo_core::{Executor, InadequacyScorer, LabelStore};
 use mqo_data::{dataset, persist, DatasetBundle, DatasetId};
+use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
 use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
 use mqo_llm::{
-    CachedLlm, LanguageModel, LenientLlm, ModelProfile, RetryingLlm, SimLlm, ValidatingLlm,
+    CachedLlm, LanguageModel, LenientLlm, ModelProfile, ResilienceConfig, ResilientLlm,
+    RetryingLlm, SimLlm, ValidatingLlm,
 };
 use mqo_obs::{
     ChromeTraceSink, CostLedger, Fanout, MetricsServer, MetricsSink, MonotonicClock, SpanId,
-    Tracer,
+    Tracer, WaitClock,
 };
 use mqo_token::GPT_35_TURBO_0125;
 use rand::rngs::StdRng;
@@ -53,7 +58,9 @@ fn usage() -> ExitCode {
          [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n               \
          [--budget B] [--retries N] [--trace FILE] [--trace-chrome FILE]\n               \
          [--serve-metrics ADDR] [--cost-json FILE] [--cache-cap N] [--no-cache]\n               \
-         [--repeat K] [--batch B] [--stats-json FILE]\n  \
+         [--repeat K] [--batch B] [--stats-json FILE]\n               \
+         [--faults error=R,malformed=R,rate-limit=R,latency=R,truncate=R,outage=S+L]\n               \
+         [--fault-kill-after N] [--journal FILE] [--resume] [--dump-records FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -68,7 +75,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags consume the next arg.
             match name {
-                "boost" | "no-cache" => {
+                "boost" | "no-cache" | "resume" => {
                     flags.insert(name.to_string(), "true".to_string());
                     i += 1;
                 }
@@ -189,24 +196,29 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         Some(other) => return Err(format!("unknown model '{other}'")),
     };
 
+    // `--repeat K` replays the query list K times — the serving-style
+    // workload (overlapping traffic) where a response cache pays off.
+    let repeat: usize =
+        flags.get("repeat").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --repeat"))?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    let budget: Option<u64> =
+        flags.get("budget").map(|b| b.parse().map_err(|_| "bad --budget")).transpose()?;
+
     let split = split_for(&bundle, queries, seed)?;
     // The client stack a production deployment runs: simulated model →
-    // strict format validation → bounded retries with the format reminder
-    // → lenient recovery (the executor's deterministic parse fallback is
-    // the last resort rather than aborting a campaign).
-    // Retries re-send the prompt after the budget check has passed, so
-    // under a hard budget they default off (each retry could spend tokens
-    // the check never saw); pass --retries explicitly to trade strict
-    // Eq. 2 accounting for format robustness.
-    let default_retries = if flags.contains_key("budget") { 1 } else { 3 };
-    let retries: u32 = flags
-        .get("retries")
-        .map_or(Ok(default_retries), |s| s.parse().map_err(|_| "bad --retries"))?;
-    let sim = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
-    let mut retrying = RetryingLlm::new(
-        ValidatingLlm::new(sim, bundle.tag.class_names().to_vec()),
-        retries.max(1),
-    );
+    // fault injection (identity pass-through without --faults) →
+    // resilience (backoff, deadline, circuit breaker, rate-limit pacing)
+    // → strict format validation → bounded retries with the format
+    // reminder → lenient recovery (the executor's deterministic parse
+    // fallback is the last resort rather than aborting a campaign).
+    // Validation sits *above* resilience so the breaker counts transport
+    // failures only, never format rejections.
+    // With a hard budget the retry layer re-checks each retried prompt
+    // against Eq. 2, so retries stay on by default either way.
+    let retries: u32 =
+        flags.get("retries").map_or(Ok(3), |s| s.parse().map_err(|_| "bad --retries"))?;
     let trace = flags
         .get("trace")
         .map(Trace::create)
@@ -244,6 +256,41 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         fanout.push(l.clone());
     }
     let observed = !fanout.is_empty();
+
+    let wait_clock: Arc<dyn WaitClock> = Arc::new(MonotonicClock);
+    let sim = SimLlm::new(bundle.lexicon.clone(), bundle.tag.class_names().to_vec(), profile);
+    let schedule = match flags.get("faults") {
+        Some(spec) => {
+            let cfg = FaultConfig::parse(spec).map_err(|e| format!("bad --faults: {e}"))?;
+            FaultSchedule::seeded(seed, cfg)
+        }
+        None => FaultSchedule::clean(),
+    };
+    let mut faulty = FaultyLlm::new(sim, schedule, wait_clock.clone());
+    if let Some(n) = flags.get("fault-kill-after") {
+        faulty = faulty.with_kill_after(n.parse().map_err(|_| "bad --fault-kill-after")?);
+    }
+    if observed {
+        faulty = faulty.with_sink(fanout.clone());
+    }
+    let mut resilient = ResilientLlm::new(
+        faulty,
+        ResilienceConfig { seed, ..ResilienceConfig::default() },
+        wait_clock,
+    );
+    if observed {
+        resilient = resilient.with_sink(fanout.clone());
+    }
+    if tracer.enabled() {
+        resilient = resilient.with_tracer(tracer.clone());
+    }
+    let mut retrying = RetryingLlm::new(
+        ValidatingLlm::new(resilient, bundle.tag.class_names().to_vec()),
+        retries.max(1),
+    );
+    if let Some(b) = budget {
+        retrying = retrying.with_budget(b);
+    }
     if observed {
         retrying = retrying.with_sink(fanout.clone());
     }
@@ -265,23 +312,49 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     // boosting-enriched prompts are never answered from a previous round.
     let invalidator = llm.round_invalidator();
     fanout.push(Arc::new(invalidator));
-    let mut exec =
-        Executor::new(&bundle.tag, &llm, m, seed).with_sink(&*fanout).with_tracer(&tracer);
-    if let Some(b) = flags.get("budget") {
-        exec = exec.with_budget(b.parse().map_err(|_| "bad --budget")?);
+    // The run journal is created (or resumed) before the executor borrows
+    // it; the header fingerprints the run shape so `--resume` refuses a
+    // journal written by a different campaign.
+    let journal: Option<RunJournal> = match flags.get("journal") {
+        Some(path) => {
+            let header = RunHeader {
+                dataset: bundle.tag.name().to_string(),
+                method: method.to_string(),
+                seed,
+                queries: (split.queries().len() * repeat) as u64,
+                boost: flags.contains_key("boost"),
+                budget,
+            };
+            Some(if flags.contains_key("resume") {
+                RunJournal::resume(path, &header)
+                    .map_err(|e| format!("cannot resume journal {path}: {e}"))?
+            } else {
+                RunJournal::create(path, &header)
+                    .map_err(|e| format!("cannot create journal {path}: {e}"))?
+            })
+        }
+        None if flags.contains_key("resume") => {
+            return Err("--resume requires --journal FILE".into())
+        }
+        None => None,
+    };
+    // Degraded mode is always on in the CLI: a failed query becomes a
+    // recorded outcome instead of aborting the whole campaign.
+    let mut exec = Executor::new(&bundle.tag, &llm, m, seed)
+        .with_sink(&*fanout)
+        .with_tracer(&tracer)
+        .with_degrade();
+    if let Some(j) = &journal {
+        exec = exec.with_journal(j);
+    }
+    if let Some(b) = budget {
+        exec = exec.with_budget(b);
     }
     if observed {
         llm.meter().attach_sink(fanout.clone());
     }
     let predictor = make_predictor(method, &bundle)?;
 
-    // `--repeat K` replays the query list K times — the serving-style
-    // workload (overlapping traffic) where a response cache pays off.
-    let repeat: usize =
-        flags.get("repeat").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --repeat"))?;
-    if repeat == 0 {
-        return Err("--repeat must be at least 1".into());
-    }
     let run_queries: Vec<NodeId> = split.queries().repeat(repeat);
 
     let plan = match flags.get("prune") {
@@ -321,13 +394,14 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     let run_started = std::time::Instant::now();
     let outcome = if flags.contains_key("boost") {
         let mut labels = LabelStore::from_split(&bundle.tag, &split);
-        let (out, rounds) = run_with_boosting(
+        let (out, rounds) = run_with_boosting_policy(
             &exec,
             predictor.as_ref(),
             &mut labels,
             &run_queries,
             BoostConfig::default(),
             &plan,
+            DegradePolicy::default(),
         )
         .map_err(|e| format!("boosting: {e}"))?;
         println!("boosting rounds: {}", rounds.len());
@@ -378,6 +452,17 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
             totals.prompt_tokens,
             b,
             outcome.budget_starved(),
+        );
+    }
+    if outcome.failed() > 0 {
+        println!("failed queries  : {}", outcome.failed());
+    }
+    if let Some(j) = &journal {
+        println!(
+            "journal         : {} ({} replayed, {} recorded)",
+            j.path().display(),
+            j.replayed(),
+            j.recorded(),
         );
     }
     println!(
@@ -438,12 +523,30 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
             "serve_rate": cstats.serve_rate(),
             "tokens_saved": cstats.tokens_saved,
             "prefix_reuse_tokens": cstats.prefix_reuse_tokens,
+            "failed": outcome.failed(),
+            "replayed": journal.as_ref().map_or(0, |j| j.replayed()),
             "wall_seconds": wall_seconds,
         });
         let body =
             serde_json::to_string_pretty(&stats).map_err(|e| format!("stats json: {e}"))?;
         std::fs::write(path, body + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("stats written   : {path}");
+    }
+    if let Some(path) = flags.get("dump-records") {
+        // Records sorted by node, one journal-format line each: resumed
+        // and from-scratch runs of the same campaign must dump identical
+        // bytes, which is exactly what the chaos gate diffs.
+        let mut records = outcome.records.clone();
+        records.sort_by_key(|r| (r.node.0, r.prompt_tokens));
+        let mut body = String::new();
+        for r in &records {
+            let line = serde_json::to_string(&mqo_core::journal::record_to_json(r))
+                .map_err(|e| format!("record json: {e}"))?;
+            body.push_str(&line);
+            body.push('\n');
+        }
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("records written : {path}");
     }
     Ok(())
 }

@@ -10,11 +10,14 @@
 //! * the Chrome trace is valid JSON in trace-event format, every span's
 //!   parent exists, children nest *inside* their parent's interval, and
 //!   the causal chain is intact (`llm_call` under `query`, `query` under
-//!   `round`/`run`, `retry` under `query`);
+//!   `round`/`run`, `retry` and `backoff` under `llm_call` — so on a
+//!   faulty run every backoff and format retry is attributable to the
+//!   exact model call that provoked it);
 //! * the cost ledger conserves tokens — `billed == rendered −
-//!   pruned_saved − cache_saved − starved` per round and in total, the
-//!   total is the sum of the rounds, and the recorded `unattributed` /
-//!   `reconciles` fields match what the numbers actually say.
+//!   pruned_saved − cache_saved − starved − failed` per round and in
+//!   total, the total is the sum of the rounds, and the recorded
+//!   `unattributed` / `reconciles` fields match what the numbers
+//!   actually say.
 //!
 //! The gate is structural, not statistical: it holds on any workload, so
 //! there is no baseline and no tolerance.
@@ -128,8 +131,11 @@ fn check_chrome(path: &str) -> Result<usize, String> {
                     return Err(format!("query span {id} outside every round"));
                 }
             }
-            "llm_call" | "retry" if !up.iter().any(|n| n == "query") => {
-                return Err(format!("{} span {id} has no query ancestor", span.name));
+            "llm_call" if !up.iter().any(|n| n == "query") => {
+                return Err(format!("llm_call span {id} has no query ancestor"));
+            }
+            "retry" | "backoff" if !up.iter().any(|n| n == "llm_call") => {
+                return Err(format!("{} span {id} has no llm_call ancestor", span.name));
             }
             _ => {}
         }
@@ -140,9 +146,9 @@ fn check_chrome(path: &str) -> Result<usize, String> {
     Ok(spans.len())
 }
 
-/// `billed == rendered − pruned_saved − cache_saved − starved` for one
-/// ledger row; also returns the row's fields for the sum check.
-fn check_conserves(row: &serde_json::Value, ctx: &str) -> Result<[u64; 7], String> {
+/// `billed == rendered − pruned_saved − cache_saved − starved − failed`
+/// for one ledger row; also returns the row's fields for the sum check.
+fn check_conserves(row: &serde_json::Value, ctx: &str) -> Result<[u64; 8], String> {
     let fields = [
         "queries",
         "rendered_tokens",
@@ -150,21 +156,23 @@ fn check_conserves(row: &serde_json::Value, ctx: &str) -> Result<[u64; 7], Strin
         "pruned_saved_tokens",
         "cache_saved_tokens",
         "starved_tokens",
+        "failed_tokens",
         "enrichment_tokens",
     ];
-    let mut out = [0u64; 7];
+    let mut out = [0u64; 8];
     for (slot, name) in out.iter_mut().zip(fields) {
         *slot = u64_field(row, name, ctx)?;
     }
-    let [_, rendered, billed, pruned, cached, starved, _] = out;
+    let [_, rendered, billed, pruned, cached, starved, failed, _] = out;
     let expect = rendered
         .checked_sub(pruned)
         .and_then(|r| r.checked_sub(cached))
-        .and_then(|r| r.checked_sub(starved));
+        .and_then(|r| r.checked_sub(starved))
+        .and_then(|r| r.checked_sub(failed));
     if expect != Some(billed) {
         return Err(format!(
             "{ctx} violates conservation: billed {billed} != rendered {rendered} \
-             - pruned {pruned} - cached {cached} - starved {starved}"
+             - pruned {pruned} - cached {cached} - starved {starved} - failed {failed}"
         ));
     }
     if row.get("conserves").and_then(|c| c.as_bool()) != Some(true) {
@@ -179,7 +187,7 @@ fn check_cost(path: &str) -> Result<(), String> {
         .get("rounds")
         .and_then(|r| r.as_array())
         .ok_or_else(|| format!("{path} has no rounds array"))?;
-    let mut sum = [0u64; 7];
+    let mut sum = [0u64; 8];
     for (i, round) in rounds.iter().enumerate() {
         let row = check_conserves(round, &format!("{path} round {i}"))?;
         for (acc, x) in sum.iter_mut().zip(row) {

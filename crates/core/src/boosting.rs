@@ -46,6 +46,28 @@ pub struct RoundTrace {
     pub gamma2: usize,
 }
 
+/// How boosting treats queries that fail under a degraded executor
+/// ([`Executor::with_degrade`]). Failed queries produce no pseudo-label —
+/// the γ1/γ2 rule naturally treats them as unexecuted — and are retried
+/// in later rounds with escalating fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// After this many failures, retry the query *text-only* (pruned-style,
+    /// no neighbor enrichment): repeated failures are often prompt-size
+    /// correlated, and the neighbor-free prompt is the cheapest to re-send.
+    pub fallback_after: usize,
+    /// After this many failures, stop retrying and record the failed
+    /// outcome permanently. Bounds total work under a hard outage, so the
+    /// round loop always terminates.
+    pub give_up_after: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy { fallback_after: 2, give_up_after: 4 }
+    }
+}
+
 /// Count `|N_i^L|` and `LC_i` over a query's *selected* neighbor set.
 fn label_support(
     predictor: &dyn Predictor,
@@ -69,6 +91,9 @@ fn label_support(
 /// in (`plan` queries execute without neighbor text but still produce
 /// pseudo-labels; they are scheduled in the first round since they cannot
 /// be enriched and their early pseudo-labels benefit everyone else).
+///
+/// Uses the default [`DegradePolicy`]; see [`run_with_boosting_policy`]
+/// for the failure semantics under a degraded executor.
 pub fn run_with_boosting(
     exec: &Executor<'_>,
     predictor: &dyn Predictor,
@@ -77,12 +102,67 @@ pub fn run_with_boosting(
     config: BoostConfig,
     plan: &PrunePlan,
 ) -> Result<(ExecOutcome, Vec<RoundTrace>)> {
+    run_with_boosting_policy(
+        exec,
+        predictor,
+        labels,
+        queries,
+        config,
+        plan,
+        DegradePolicy::default(),
+    )
+}
+
+/// [`run_with_boosting`] with an explicit failure policy.
+///
+/// Under a degraded executor ([`Executor::with_degrade`]) a failed query
+/// contributes **no pseudo-label** — the γ1/γ2 candidacy rule therefore
+/// treats it as unexecuted, exactly like a query that never ran — and
+/// stays pending for later rounds. After `policy.fallback_after` failures
+/// it retries text-only (neighbor-free); after `policy.give_up_after`
+/// failures the failed outcome is recorded permanently. With a journal
+/// attached ([`Executor::with_journal`]), previously completed queries
+/// replay before round one and each round is sealed (fsync'd) as it
+/// completes.
+pub fn run_with_boosting_policy(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &mut LabelStore,
+    queries: &[NodeId],
+    config: BoostConfig,
+    plan: &PrunePlan,
+    policy: DegradePolicy,
+) -> Result<(ExecOutcome, Vec<RoundTrace>)> {
+    assert!(policy.give_up_after >= 1, "give_up_after must be positive");
     let mut pending: Vec<NodeId> = queries.to_vec();
     let mut out = ExecOutcome::default();
+
+    // Crash-safe resume: queries the journal already holds replay with
+    // zero LLM requests. Their pseudo-labels are folded in up front so
+    // the remaining rounds see the same label knowledge they would have
+    // accumulated live (failed queries never pseudo-label).
+    let replayed: Vec<_> = pending.iter().filter_map(|&v| exec.replay_journaled(v)).collect();
+    if !replayed.is_empty() {
+        let done: HashSet<NodeId> = replayed.iter().map(|r| r.node).collect();
+        pending.retain(|v| !done.contains(v));
+        for r in &replayed {
+            if !r.failed() {
+                labels.add_pseudo(r.node, r.predicted);
+            }
+        }
+        out.records.extend(replayed);
+    }
+
     let mut traces = Vec::new();
     let mut gamma1 = config.gamma1;
     let mut gamma2 = config.gamma2;
     let k = exec.tag.num_classes();
+    // Consecutive failures per node, for the fallback/give-up escalation.
+    let mut failures: std::collections::HashMap<NodeId, usize> =
+        std::collections::HashMap::new();
+    let force_prune = |failures: &std::collections::HashMap<NodeId, usize>, v: NodeId| {
+        plan.is_pruned(v) || failures.get(&v).is_some_and(|&n| n >= policy.fallback_after)
+    };
 
     while !pending.is_empty() {
         // Step 1: candidate selection with incremental relaxation.
@@ -90,8 +170,9 @@ pub fn run_with_boosting(
             let ctx = SelectCtx { tag: exec.tag, labels, max_neighbors: exec.max_neighbors };
             let mut c = Vec::new();
             for &v in &pending {
-                if plan.is_pruned(v) {
-                    // Pruned queries can't be enriched; run them now.
+                if force_prune(&failures, v) {
+                    // Pruned (or failure-downgraded) queries can't be
+                    // enriched; run them now.
                     c.push(v);
                     continue;
                 }
@@ -116,11 +197,9 @@ pub fn run_with_boosting(
             }
         };
 
-        traces.push(RoundTrace { executed: candidates.len(), gamma1, gamma2 });
-
         // Scope query spans under this round's span (restored after the
         // round so a trailing caller-side scope survives).
-        let round_index = traces.len() - 1;
+        let round_index = traces.len();
         let round_span = exec.tracer.span(
             exec.sink,
             "round",
@@ -132,13 +211,25 @@ pub fn run_with_boosting(
 
         // Steps 2–3: execute candidates, then fold their pseudo-labels in.
         // Labels are frozen during the round (all candidates see the same
-        // knowledge state, as in Algorithm 2).
+        // knowledge state, as in Algorithm 2). A failed candidate stays
+        // pending (no record yet) unless it has exhausted its retries.
         let mut round_records = Vec::with_capacity(candidates.len());
         for &v in &candidates {
             let mut rng = exec.query_rng(v);
-            let record = exec.run_one(predictor, labels, v, &mut rng, plan.is_pruned(v));
+            let record =
+                exec.run_one(predictor, labels, v, &mut rng, force_prune(&failures, v));
             match record {
-                Ok(r) => round_records.push(r),
+                Ok(r) if r.failed() => {
+                    let n = failures.entry(v).or_insert(0);
+                    *n += 1;
+                    if *n >= policy.give_up_after {
+                        round_records.push(r); // permanent failed outcome
+                    }
+                }
+                Ok(r) => {
+                    failures.remove(&v);
+                    round_records.push(r);
+                }
                 Err(e) => {
                     exec.set_span_scope(outer_scope);
                     return Err(e);
@@ -147,19 +238,30 @@ pub fn run_with_boosting(
         }
         exec.set_span_scope(outer_scope);
         drop(round_span);
+        traces.push(RoundTrace { executed: round_records.len(), gamma1, gamma2 });
         for r in &round_records {
-            labels.add_pseudo(r.node, r.predicted);
+            if !r.failed() {
+                labels.add_pseudo(r.node, r.predicted);
+            }
         }
         exec.sink.emit(&mqo_obs::Event::RoundCompleted {
-            round: (traces.len() - 1) as u32,
+            round: round_index as u32,
             executed: round_records.len() as u64,
             gamma1: gamma1 as u64,
             gamma2: gamma2 as u64,
             pseudo_label_uses: round_records.iter().map(|r| r.pseudo_neighbors as u64).sum(),
         });
+        // Journal the round's *final* outcomes (retried failures are not
+        // final), then seal: the seal fsyncs, making the round durable.
+        for r in &round_records {
+            exec.journal_record(r);
+        }
+        if let Some(j) = exec.journal {
+            j.seal_round(round_index as u32);
+        }
+        let finished: HashSet<NodeId> = round_records.iter().map(|r| r.node).collect();
         out.records.extend(round_records);
-        let executed: HashSet<NodeId> = candidates.into_iter().collect();
-        pending.retain(|v| !executed.contains(v));
+        pending.retain(|v| !finished.contains(v));
     }
     Ok((out, traces))
 }
@@ -254,7 +356,7 @@ mod tests {
     use crate::predictor::test_fixtures::two_cliques;
     use crate::predictor::KhopRandom;
     use mqo_graph::ClassId;
-    use mqo_llm::ScriptedLlm;
+    use mqo_llm::{LanguageModel, ScriptedLlm};
 
     #[test]
     fn boosting_executes_every_query_exactly_once() {
@@ -402,6 +504,105 @@ mod tests {
         let rec2 = out.records.iter().find(|r| r.node == NodeId(2)).unwrap();
         assert!(rec2.pruned);
         assert_eq!(rec2.neighbors_included, 0);
+    }
+
+    #[test]
+    fn failed_queries_retry_then_give_up_without_pseudo_labels() {
+        let tag = two_cliques();
+        // Three good answers, then the script runs dry: every later call
+        // fails. Under degrade the failing queries retry per the policy
+        // and are finally recorded as failed.
+        let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 3]);
+        let exec = Executor::new(&tag, &llm, 4, 0).with_degrade();
+        let mut labels = LabelStore::empty(tag.num_nodes());
+        labels.add_pseudo(NodeId(1), ClassId(0));
+        let p = KhopRandom::new(1, tag.num_nodes());
+        let qs: Vec<NodeId> = vec![NodeId(0), NodeId(2), NodeId(4), NodeId(7), NodeId(9)];
+        let policy = DegradePolicy { fallback_after: 1, give_up_after: 3 };
+        let (out, _) = run_with_boosting_policy(
+            &exec,
+            &p,
+            &mut labels,
+            &qs,
+            BoostConfig { gamma1: 1, gamma2: 2 },
+            &PrunePlan::default(),
+            policy,
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), qs.len(), "every query got a final record");
+        assert_eq!(out.failed(), qs.len() - 3, "script had three answers");
+        for r in out.records.iter().filter(|r| r.failed()) {
+            // After `fallback_after` failures retries go text-only, so the
+            // final (given-up) attempt is neighbor-free.
+            assert!(r.pruned, "given-up query retried with neighbor text");
+            assert_eq!(r.neighbors_included, 0);
+            assert!(!labels.is_pseudo(r.node), "failed query pseudo-labeled itself");
+        }
+        for r in out.records.iter().filter(|r| !r.failed()) {
+            assert!(labels.is_labeled(r.node));
+        }
+    }
+
+    #[test]
+    fn journaled_boosting_resumes_with_zero_rebilled_tokens() {
+        let tag = two_cliques();
+        let header = crate::journal::RunHeader {
+            dataset: "two-cliques".into(),
+            method: "khop".into(),
+            seed: 0,
+            queries: 4,
+            boost: true,
+            budget: None,
+        };
+        let dir = std::env::temp_dir().join("mqo-boost-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let qs: Vec<NodeId> = vec![NodeId(0), NodeId(2), NodeId(7), NodeId(9)];
+        let p = KhopRandom::new(1, tag.num_nodes());
+
+        // First run: everything completes and lands in the journal.
+        let llm = ScriptedLlm::new(vec!["Category: ['Alpha']"; 12]);
+        let journal = crate::journal::RunJournal::create(&path, &header).unwrap();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_journal(&journal);
+        let mut labels = LabelStore::empty(tag.num_nodes());
+        labels.add_pseudo(NodeId(1), ClassId(0));
+        let (first, _) = run_with_boosting(
+            &exec,
+            &p,
+            &mut labels,
+            &qs,
+            BoostConfig { gamma1: 2, gamma2: 2 },
+            &PrunePlan::default(),
+        )
+        .unwrap();
+        let billed = llm.meter().totals();
+        assert!(billed.requests > 0);
+        drop(journal);
+
+        // Resume against a model that would fail if asked anything: every
+        // query replays from the journal, bit-identical, for free.
+        let empty = ScriptedLlm::new(Vec::<String>::new());
+        let journal = crate::journal::RunJournal::resume(&path, &header).unwrap();
+        let exec = Executor::new(&tag, &empty, 4, 0).with_journal(&journal);
+        let mut labels = LabelStore::empty(tag.num_nodes());
+        labels.add_pseudo(NodeId(1), ClassId(0));
+        let (second, _) = run_with_boosting(
+            &exec,
+            &p,
+            &mut labels,
+            &qs,
+            BoostConfig { gamma1: 2, gamma2: 2 },
+            &PrunePlan::default(),
+        )
+        .unwrap();
+        assert_eq!(empty.meter().totals().requests, 0, "replay sent a request");
+        assert_eq!(empty.meter().totals().prompt_tokens, 0, "replay re-billed tokens");
+        assert_eq!(journal.replayed(), qs.len() as u64);
+        let mut a = first.records.clone();
+        let mut b = second.records.clone();
+        a.sort_by_key(|r| r.node.0);
+        b.sort_by_key(|r| r.node.0);
+        assert_eq!(a, b, "replayed records differ from the originals");
     }
 
     #[test]

@@ -14,14 +14,6 @@ pub enum Error {
         /// What is wrong.
         detail: String,
     },
-    /// A worker thread panicked while executing a query. The panic is
-    /// contained to the offending query instead of aborting the process.
-    WorkerPanic {
-        /// The node whose query was in flight.
-        node: mqo_graph::NodeId,
-        /// The panic payload rendered to text.
-        detail: String,
-    },
 }
 
 impl fmt::Display for Error {
@@ -30,9 +22,6 @@ impl fmt::Display for Error {
             Error::Llm(e) => write!(f, "llm error: {e}"),
             Error::Graph(e) => write!(f, "graph error: {e}"),
             Error::Config { detail } => write!(f, "configuration error: {detail}"),
-            Error::WorkerPanic { node, detail } => {
-                write!(f, "worker panicked on node {}: {detail}", node.0)
-            }
         }
     }
 }
@@ -42,7 +31,7 @@ impl std::error::Error for Error {
         match self {
             Error::Llm(e) => Some(e),
             Error::Graph(e) => Some(e),
-            Error::Config { .. } | Error::WorkerPanic { .. } => None,
+            Error::Config { .. } => None,
         }
     }
 }

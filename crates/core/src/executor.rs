@@ -46,6 +46,19 @@ pub struct QueryRecord {
     /// no request was sent and the deterministic fallback prediction was
     /// recorded instead.
     pub budget_starved: bool,
+    /// Why the query failed, if it did. A failed query carries the
+    /// deterministic fallback prediction and `correct == false`: it is a
+    /// recorded outcome, not a prediction. Only populated when the
+    /// executor runs in degraded mode (see [`Executor::with_degrade`]);
+    /// otherwise model errors abort the run.
+    pub failure: Option<String>,
+}
+
+impl QueryRecord {
+    /// Whether this query failed (degraded-mode outcome).
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 /// Aggregated outcome of a multi-query run.
@@ -85,6 +98,11 @@ impl ExecOutcome {
     pub fn budget_starved(&self) -> usize {
         self.records.iter().filter(|r| r.budget_starved).count()
     }
+
+    /// Queries that failed and were recorded as degraded outcomes.
+    pub fn failed(&self) -> usize {
+        self.records.iter().filter(|r| r.failed()).count()
+    }
 }
 
 /// The execution engine, bound to one dataset and one model.
@@ -108,6 +126,12 @@ pub struct Executor<'a> {
     /// Causal-span tracer (defaults to the disabled tracer, which makes
     /// every span a no-op).
     pub tracer: &'a Tracer,
+    /// Degraded mode: a model error becomes a recorded failed outcome
+    /// (fallback prediction, `failure` set) instead of aborting the run.
+    pub degrade: bool,
+    /// Crash-safe run journal: completed queries are appended as they
+    /// finish, and previously journaled queries replay without re-billing.
+    pub journal: Option<&'a crate::journal::RunJournal>,
     /// Fallback parent for query spans on threads with no open span (set
     /// to the run/round span id by the orchestration layers).
     span_scope: AtomicU64,
@@ -130,6 +154,8 @@ impl<'a> Executor<'a> {
             sink: &NULL_SINK,
             clock: &MONOTONIC_CLOCK,
             tracer: &DISABLED_TRACER,
+            degrade: false,
+            journal: None,
             span_scope: AtomicU64::new(SpanId::NONE.0),
         }
     }
@@ -156,6 +182,55 @@ impl<'a> Executor<'a> {
     pub fn with_tracer(mut self, tracer: &'a Tracer) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Degrade gracefully: record model errors as failed outcomes instead
+    /// of aborting the run.
+    pub fn with_degrade(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
+    /// Append completed queries to `journal` and replay queries it already
+    /// holds (crash-safe resume; see [`crate::journal::RunJournal`]).
+    pub fn with_journal(mut self, journal: &'a crate::journal::RunJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// If the journal already holds a completed record for `v`, replay it:
+    /// emit [`Event::QueryReplayed`] and return the record without touching
+    /// the model or the meter.
+    pub fn replay_journaled(&self, v: NodeId) -> Option<QueryRecord> {
+        let rec = self.journal?.replay(v)?;
+        self.sink.emit(&Event::QueryReplayed { node: v.0 });
+        Some(rec)
+    }
+
+    /// Append a freshly completed record to the journal, if one is attached.
+    pub fn journal_record(&self, rec: &QueryRecord) {
+        if let Some(j) = self.journal {
+            j.record(rec);
+        }
+    }
+
+    /// A failed outcome for `v` produced outside `run_one` (worker panic
+    /// containment): the fallback prediction, zero tokens, `failure` set.
+    pub fn failed_record(&self, v: NodeId, failure: String) -> QueryRecord {
+        self.sink.emit(&Event::QueryFailed { node: v.0, error: failure.clone() });
+        QueryRecord {
+            node: v,
+            predicted: ClassId::from(0usize),
+            correct: false,
+            neighbors_included: 0,
+            labeled_neighbors: 0,
+            pseudo_neighbors: 0,
+            prompt_tokens: 0,
+            pruned: true,
+            parse_failed: false,
+            budget_starved: false,
+            failure: Some(failure),
+        }
     }
 
     /// Set the fallback parent span for queries executed from threads
@@ -267,31 +342,49 @@ impl<'a> Executor<'a> {
         let pseudo_neighbors = used_neighbors.iter().filter(|&&n| labels.is_pseudo(n)).count();
         let final_tokens = if observing { Tokenizer.count(&prompt) as u64 } else { 0 };
 
+        let mut failure: Option<String> = None;
         let (predicted, parse_failed, prompt_tokens, cache_saved_tokens) = if budget_starved {
             // No tokens to spend: answer with the same deterministic
             // fallback used for unparseable responses, without touching
             // the model or the meter.
             (ClassId::from(0usize), false, 0, 0)
         } else {
-            let completion = {
+            let result = {
                 let _llm_span = self.tracer.span(
                     self.sink,
                     "llm_call",
                     || format!("{} tokens", Tokenizer.count(&prompt)),
                     self.tracer.current(),
                 );
-                self.llm.complete(&prompt)?
+                self.llm.complete(&prompt)
             };
-            let parsed = parse_category(&completion.text, self.tag.class_names());
-            // Fallback for unparseable responses: the first category. Real
-            // clients would retry; the deterministic fallback keeps runs
-            // reproducible and is exercised by < 1% of simulated responses.
-            (
-                ClassId::from(parsed.unwrap_or(0)),
-                parsed.is_none(),
-                completion.usage.prompt_tokens,
-                completion.cache_saved_tokens,
-            )
+            match result {
+                Ok(completion) => {
+                    let parsed = parse_category(&completion.text, self.tag.class_names());
+                    // Fallback for unparseable responses: the first
+                    // category. Real clients would retry; the deterministic
+                    // fallback keeps runs reproducible and is exercised by
+                    // < 1% of simulated responses.
+                    (
+                        ClassId::from(parsed.unwrap_or(0)),
+                        parsed.is_none(),
+                        completion.usage.prompt_tokens,
+                        completion.cache_saved_tokens,
+                    )
+                }
+                Err(e) if self.degrade => {
+                    // Graceful degradation: the error becomes a recorded
+                    // failed outcome. Tokens the retry/resilience layers
+                    // already metered for the doomed attempts surface in
+                    // the ledger's unattributed bucket; this query's own
+                    // prompt lands in the `failed` bucket below.
+                    let error = e.to_string();
+                    self.sink.emit(&Event::QueryFailed { node: v.0, error: error.clone() });
+                    failure = Some(error);
+                    (ClassId::from(0usize), false, 0, 0)
+                }
+                Err(e) => return Err(e.into()),
+            }
         };
 
         self.sink.emit(&Event::QueryExecuted {
@@ -318,12 +411,14 @@ impl<'a> Executor<'a> {
             // tokens beyond these flows; the ledger surfaces that
             // difference as its unattributed bucket, so the per-query
             // identity below holds unconditionally.
-            let (billed, cache_saved, starved) = if budget_starved {
-                (0, 0, final_tokens)
+            let (billed, cache_saved, starved, failed) = if budget_starved {
+                (0, 0, final_tokens, 0)
+            } else if failure.is_some() {
+                (0, 0, 0, final_tokens)
             } else if cache_saved_tokens > 0 {
-                (0, final_tokens, 0)
+                (0, final_tokens, 0, 0)
             } else {
-                (final_tokens, 0, 0)
+                (final_tokens, 0, 0, 0)
             };
             self.sink.emit(&Event::QueryCost {
                 node: v.0,
@@ -332,6 +427,7 @@ impl<'a> Executor<'a> {
                 pruned_saved_tokens: rendered_tokens.saturating_sub(final_tokens),
                 cache_saved_tokens: cache_saved,
                 starved_tokens: starved,
+                failed_tokens: failed,
                 enrichment_tokens,
             });
         }
@@ -340,7 +436,9 @@ impl<'a> Executor<'a> {
         Ok(QueryRecord {
             node: v,
             predicted,
-            correct: predicted == self.tag.label(v),
+            // A failed query produced no prediction; never score its
+            // fallback class against ground truth.
+            correct: failure.is_none() && predicted == self.tag.label(v),
             neighbors_included: used_neighbors.len(),
             labeled_neighbors,
             pseudo_neighbors,
@@ -348,6 +446,7 @@ impl<'a> Executor<'a> {
             pruned,
             parse_failed,
             budget_starved,
+            failure,
         })
     }
 
@@ -392,8 +491,14 @@ impl<'a> Executor<'a> {
     ) -> Result<ExecOutcome> {
         let mut out = ExecOutcome::default();
         for &v in queries {
+            if let Some(rec) = self.replay_journaled(v) {
+                out.records.push(rec);
+                continue;
+            }
             let mut rng = self.query_rng(v);
-            out.records.push(self.run_one(predictor, labels, v, &mut rng, prune_set(v))?);
+            let rec = self.run_one(predictor, labels, v, &mut rng, prune_set(v))?;
+            self.journal_record(&rec);
+            out.records.push(rec);
         }
         Ok(out)
     }
@@ -568,6 +673,61 @@ mod tests {
         let out = exec.run_all(&ZeroShot, &labels, &[NodeId(0)], |_| false).unwrap();
         assert!(out.records[0].parse_failed);
         assert_eq!(out.records[0].predicted, ClassId(0));
+    }
+
+    #[test]
+    fn transport_failures_abort_without_degrade() {
+        let tag = two_cliques();
+        // An empty script exhausts on the first call.
+        let llm = ScriptedLlm::new(Vec::<String>::new());
+        let exec = Executor::new(&tag, &llm, 4, 0);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let err = exec.run_all(&ZeroShot, &labels, &[NodeId(0)], |_| false);
+        assert!(err.is_err(), "errors must propagate when degrade is off");
+    }
+
+    #[test]
+    fn degraded_mode_records_failures_instead_of_aborting() {
+        let tag = two_cliques();
+        // One good answer, then the script runs dry: query 2 fails.
+        let llm = ScriptedLlm::new(["Category: ['Alpha']"]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink).with_degrade();
+        let labels = LabelStore::empty(tag.num_nodes());
+        let out = exec.run_all(&ZeroShot, &labels, &[NodeId(0), NodeId(7)], |_| false).unwrap();
+        assert_eq!(out.records.len(), 2, "the run completed despite the failure");
+        assert_eq!(out.failed(), 1);
+        let failed = &out.records[1];
+        assert!(failed.failed());
+        assert!(!failed.correct, "failed queries never score");
+        assert_eq!(failed.prompt_tokens, 0, "no tokens were billed to the failed query");
+        assert_eq!(sink.of_kind("query_failed").len(), 1);
+    }
+
+    #[test]
+    fn failed_query_cost_lands_in_the_failed_bucket() {
+        let tag = two_cliques();
+        let llm = ScriptedLlm::new(Vec::<String>::new());
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink).with_degrade();
+        let labels = LabelStore::empty(tag.num_nodes());
+        let out = exec.run_all(&ZeroShot, &labels, &[NodeId(0)], |_| false).unwrap();
+        assert_eq!(out.failed(), 1);
+        match &sink.of_kind("query_cost")[0] {
+            mqo_obs::Event::QueryCost {
+                rendered_tokens,
+                billed_tokens,
+                failed_tokens,
+                starved_tokens,
+                ..
+            } => {
+                assert_eq!(*billed_tokens, 0);
+                assert_eq!(*starved_tokens, 0);
+                assert!(*failed_tokens > 0);
+                assert!(failed_tokens <= rendered_tokens);
+            }
+            other => panic!("expected QueryCost, got {other:?}"),
+        }
     }
 
     #[test]

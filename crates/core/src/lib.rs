@@ -67,6 +67,7 @@ pub mod executor;
 pub mod graphlevel;
 pub mod inadequacy;
 pub mod joint;
+pub mod journal;
 pub mod labels;
 pub mod linkpred;
 pub mod metrics;
@@ -81,5 +82,6 @@ pub mod tuned;
 pub use error::{Error, Result};
 pub use executor::{ExecOutcome, Executor, QueryRecord};
 pub use inadequacy::InadequacyScorer;
+pub use journal::{RunHeader, RunJournal};
 pub use labels::LabelStore;
 pub use predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};

@@ -121,6 +121,7 @@ mod tests {
                     pruned: false,
                     parse_failed: false,
                     budget_starved: false,
+                    failure: None,
                 })
                 .collect(),
         }

@@ -12,8 +12,10 @@
 //!
 //! Scoped threads come from `std::thread::scope` (no `'static` bounds on
 //! the executor borrows). A panic inside one query is contained to that
-//! query and surfaced as [`Error::WorkerPanic`] rather than tearing down
-//! the process.
+//! query: the survivors drain the remaining work, the panicked query is
+//! recorded as a failed outcome ([`QueryRecord::failure`]), and
+//! [`mqo_obs::Event::WorkerLost`] reports the containment — a run is
+//! never lost to one bad query.
 
 use crate::error::{Error, Result};
 use crate::executor::{ExecOutcome, Executor, QueryRecord};
@@ -56,6 +58,13 @@ pub fn run_all_parallel(
     }
     let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
         queries.iter().map(|_| Mutex::new(None)).collect();
+    // Crash-safe resume: journaled queries replay before any worker
+    // starts, so workers only ever see genuinely unfinished work.
+    for (i, &v) in queries.iter().enumerate() {
+        if let Some(rec) = exec.replay_journaled(v) {
+            *slots[i].lock() = Some(Ok(rec));
+        }
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -75,17 +84,30 @@ pub fn run_all_parallel(
                     if i >= queries.len() {
                         break;
                     }
+                    if slots[i].lock().is_some() {
+                        continue; // replayed from the journal
+                    }
                     let v = queries[i];
                     // Contain per-query panics: a poisoned predictor or a bug
-                    // in one prompt path must not abort the other workers'
-                    // queries.
+                    // in one prompt path must not lose the other workers'
+                    // completed queries — the panicked query becomes a failed
+                    // record and the survivors drain the rest.
                     let record = catch_unwind(AssertUnwindSafe(|| {
                         let mut rng = exec.query_rng(v);
                         exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
                     }))
                     .unwrap_or_else(|payload| {
-                        Err(Error::WorkerPanic { node: v, detail: panic_message(payload) })
+                        let detail = panic_message(payload);
+                        exec.sink.emit(&mqo_obs::Event::WorkerLost {
+                            worker: worker as u32,
+                            node: v.0,
+                            detail: detail.clone(),
+                        });
+                        Ok(exec.failed_record(v, format!("worker panicked: {detail}")))
                     });
+                    if let Ok(rec) = &record {
+                        exec.journal_record(rec);
+                    }
                     handled += 1;
                     *slots[i].lock() = Some(record);
                 }
@@ -144,8 +166,8 @@ pub fn run_all_batched(
 
     // Pre-render every prompt for ordering. A panicking predictor is
     // tolerated here (empty sort key); the worker's `catch_unwind` around
-    // `run_one` surfaces it as `Error::WorkerPanic` exactly as the
-    // unbatched path does.
+    // `run_one` contains it as a failed record exactly as the unbatched
+    // path does.
     let prompts: Vec<String> = queries
         .iter()
         .map(|&v| {
@@ -163,6 +185,11 @@ pub fn run_all_batched(
 
     let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
         queries.iter().map(|_| Mutex::new(None)).collect();
+    for (i, &v) in queries.iter().enumerate() {
+        if let Some(rec) = exec.replay_journaled(v) {
+            *slots[i].lock() = Some(Ok(rec));
+        }
+    }
     let next_batch = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -200,14 +227,26 @@ pub fn run_all_batched(
                         shared_prefix_tokens: shared,
                     });
                     for &i in batch {
+                        if slots[i].lock().is_some() {
+                            continue; // replayed from the journal
+                        }
                         let v = queries[i];
                         let record = catch_unwind(AssertUnwindSafe(|| {
                             let mut rng = exec.query_rng(v);
                             exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
                         }))
                         .unwrap_or_else(|payload| {
-                            Err(Error::WorkerPanic { node: v, detail: panic_message(payload) })
+                            let detail = panic_message(payload);
+                            exec.sink.emit(&mqo_obs::Event::WorkerLost {
+                                worker: worker as u32,
+                                node: v.0,
+                                detail: detail.clone(),
+                            });
+                            Ok(exec.failed_record(v, format!("worker panicked: {detail}")))
                         });
+                        if let Ok(rec) = &record {
+                            exec.journal_record(rec);
+                        }
                         handled += 1;
                         *slots[i].lock() = Some(record);
                     }
@@ -418,20 +457,49 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_becomes_error_not_abort() {
+    fn worker_panic_yields_failed_record_not_lost_run() {
+        let tag = two_cliques();
+        let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 6]);
+        let sink = mqo_obs::Recorder::new();
+        let exec = Executor::new(&tag, &llm, 4, 0).with_sink(&sink);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let p = PanicOn(NodeId(2));
+        let qs: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let out = run_all_parallel(&exec, &p, &labels, &qs, |_| false, 2).unwrap();
+        assert_eq!(out.records.len(), 4, "no completed query was lost");
+        assert_eq!(out.failed(), 1);
+        let failed = out.records.iter().find(|r| r.node == NodeId(2)).unwrap();
+        assert!(failed.failed());
+        assert!(
+            failed.failure.as_deref().unwrap().contains("deliberate test panic"),
+            "got: {:?}",
+            failed.failure
+        );
+        assert!(!failed.correct);
+        // The survivors completed normally.
+        assert!(out.records.iter().filter(|r| r.node != NodeId(2)).all(|r| !r.failed()));
+        // Containment is observable.
+        match &sink.of_kind("worker_lost")[..] {
+            [mqo_obs::Event::WorkerLost { node, detail, .. }] => {
+                assert_eq!(*node, 2);
+                assert!(detail.contains("deliberate test panic"));
+            }
+            other => panic!("expected one WorkerLost, got {other:?}"),
+        }
+        assert_eq!(sink.of_kind("query_failed").len(), 1);
+    }
+
+    #[test]
+    fn batched_worker_panic_is_contained_too() {
         let tag = two_cliques();
         let llm = mqo_llm::ScriptedLlm::new(vec!["Category: ['Alpha']"; 6]);
         let exec = Executor::new(&tag, &llm, 4, 0);
         let labels = LabelStore::empty(tag.num_nodes());
-        let p = PanicOn(NodeId(2));
+        let p = PanicOn(NodeId(1));
         let qs: Vec<NodeId> = (0..4).map(NodeId).collect();
-        let err = run_all_parallel(&exec, &p, &labels, &qs, |_| false, 2).unwrap_err();
-        match err {
-            Error::WorkerPanic { node, detail } => {
-                assert_eq!(node, NodeId(2));
-                assert!(detail.contains("deliberate test panic"), "got: {detail}");
-            }
-            other => panic!("expected WorkerPanic, got {other:?}"),
-        }
+        let out = run_all_batched(&exec, &p, &labels, &qs, |_| false, 2, 2).unwrap();
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.failed(), 1);
+        assert!(out.records.iter().find(|r| r.node == NodeId(1)).unwrap().failed());
     }
 }

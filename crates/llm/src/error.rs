@@ -17,6 +17,56 @@ pub enum Error {
         /// What was missing.
         detail: String,
     },
+    /// The transport failed transiently (injected fault, dropped
+    /// connection, 5xx): safe to retry.
+    Transient {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The provider refused the request with a rate-limit reply.
+    RateLimited {
+        /// The provider's `retry-after` hint in microseconds (0 = none).
+        retry_after_micros: u64,
+    },
+    /// The call outlived its per-call deadline; any completion that
+    /// eventually arrived was discarded (its tokens were still metered).
+    DeadlineExceeded {
+        /// Time the call actually took, in microseconds.
+        elapsed_micros: u64,
+        /// The deadline it violated.
+        deadline_micros: u64,
+    },
+    /// The circuit breaker is open: the call was refused without touching
+    /// the transport.
+    CircuitOpen {
+        /// Microseconds until the breaker will allow a half-open probe.
+        retry_in_micros: u64,
+    },
+    /// A retried prompt would blow the Eq. 2 hard budget, so the retry
+    /// was withheld (each attempt's tokens are metered).
+    RetryBudgetExhausted {
+        /// Tokens the withheld retry would have cost.
+        retry_cost: u64,
+        /// The hard budget in effect.
+        budget: u64,
+    },
+}
+
+impl Error {
+    /// Whether retrying the same request can plausibly succeed. Breaker
+    /// refusals and budget refusals are deliberate, not transient;
+    /// scripted exhaustion counts as retriable because it stands in for
+    /// provider failures in tests.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            Error::MalformedResponse { .. }
+                | Error::ScriptExhausted
+                | Error::Transient { .. }
+                | Error::RateLimited { .. }
+                | Error::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -27,6 +77,19 @@ impl fmt::Display for Error {
             }
             Error::ScriptExhausted => write!(f, "scripted LLM has no more queued responses"),
             Error::MalformedPrompt { detail } => write!(f, "malformed prompt: {detail}"),
+            Error::Transient { detail } => write!(f, "transient transport failure: {detail}"),
+            Error::RateLimited { retry_after_micros } => {
+                write!(f, "rate limited (retry after {retry_after_micros}µs)")
+            }
+            Error::DeadlineExceeded { elapsed_micros, deadline_micros } => {
+                write!(f, "call took {elapsed_micros}µs, deadline {deadline_micros}µs")
+            }
+            Error::CircuitOpen { retry_in_micros } => {
+                write!(f, "circuit breaker open (probe in {retry_in_micros}µs)")
+            }
+            Error::RetryBudgetExhausted { retry_cost, budget } => {
+                write!(f, "retry withheld: {retry_cost} tokens would exceed budget {budget}")
+            }
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod openai;
 pub mod parse;
 pub mod profile;
 pub mod prompt;
+pub mod resilience;
 pub mod retry;
 pub mod simllm;
 pub mod validate;
@@ -52,6 +53,7 @@ pub use link::SimLinkLlm;
 pub use model::{Completion, LanguageModel, ScriptedLlm};
 pub use profile::ModelProfile;
 pub use prompt::{LinkPromptSpec, NeighborEntry, NodePromptSpec};
-pub use retry::RetryingLlm;
+pub use resilience::{ResilienceConfig, ResilientLlm};
+pub use retry::{RetryingLlm, RETRY_SUFFIX};
 pub use simllm::SimLlm;
 pub use validate::{LenientLlm, ValidatingLlm};

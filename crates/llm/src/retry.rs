@@ -8,20 +8,28 @@
 //! setting — and every retry is visible to telemetry as
 //! [`Event::RetryAttempt`] / [`Event::RetryExhausted`].
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::model::{Completion, LanguageModel};
 use mqo_obs::{Event, EventSink, NullSink, Tracer};
-use mqo_token::UsageMeter;
+use mqo_token::{Tokenizer, UsageMeter};
 use std::sync::Arc;
 
 /// Marker appended to retried prompts (also used by tests to detect
-/// retries).
+/// retries). Appended to the *original* prompt exactly once, no matter
+/// how many attempts follow — attempt 3 sees the same prompt as attempt 2.
 pub const RETRY_SUFFIX: &str = "\nPlease answer strictly in the requested format.";
 
 /// Wraps a client with bounded retries on error.
+///
+/// Retries are not free: the underlying client meters every attempt's
+/// prompt tokens. Under an Eq. 2 hard budget that spend is real, so a
+/// budget-aware instance ([`RetryingLlm::with_budget`]) re-checks each
+/// re-send against the meter before issuing it and withholds retries the
+/// budget cannot afford ([`Error::RetryBudgetExhausted`]).
 pub struct RetryingLlm<L> {
     inner: L,
     max_attempts: u32,
+    budget: Option<u64>,
     sink: Arc<dyn EventSink>,
     tracer: Option<Arc<Tracer>>,
 }
@@ -30,7 +38,20 @@ impl<L: LanguageModel> RetryingLlm<L> {
     /// Retry up to `max_attempts` total attempts (≥ 1).
     pub fn new(inner: L, max_attempts: u32) -> Self {
         assert!(max_attempts >= 1, "need at least one attempt");
-        RetryingLlm { inner, max_attempts, sink: Arc::new(NullSink), tracer: None }
+        RetryingLlm {
+            inner,
+            max_attempts,
+            budget: None,
+            sink: Arc::new(NullSink),
+            tracer: None,
+        }
+    }
+
+    /// Enforce the Eq. 2 hard budget on re-sends: a retry whose prompt
+    /// (base + suffix) no longer fits inside `budget` is withheld.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// Report retries to `sink`.
@@ -59,10 +80,12 @@ impl<L: LanguageModel> LanguageModel for RetryingLlm<L> {
     }
 
     fn complete(&self, prompt: &str) -> Result<Completion> {
-        let mut last_err = None;
-        let mut attempt_prompt = prompt.to_string();
-        for attempt in 0..self.max_attempts {
-            let _retry_span = match (&self.tracer, attempt) {
+        // Built once from the original prompt: the suffix can never stack.
+        let retry_prompt = format!("{prompt}{RETRY_SUFFIX}");
+        let retry_cost = Tokenizer.count(&retry_prompt) as u64;
+        let mut attempts = 0;
+        let err = loop {
+            let _retry_span = match (&self.tracer, attempts) {
                 (Some(t), a) if a > 0 => Some(t.span(
                     &*self.sink,
                     "retry",
@@ -71,26 +94,28 @@ impl<L: LanguageModel> LanguageModel for RetryingLlm<L> {
                 )),
                 _ => None,
             };
-            match self.inner.complete(&attempt_prompt) {
+            let attempt_prompt = if attempts == 0 { prompt } else { retry_prompt.as_str() };
+            attempts += 1;
+            match self.inner.complete(attempt_prompt) {
                 Ok(c) => return Ok(c),
-                Err(e) => {
-                    if attempt + 1 < self.max_attempts {
-                        self.sink.emit(&Event::RetryAttempt {
-                            attempt: attempt + 1,
-                            max_attempts: self.max_attempts,
-                            error: e.to_string(),
-                        });
-                        attempt_prompt = format!("{prompt}{RETRY_SUFFIX}");
+                Err(e) if attempts < self.max_attempts && e.is_retriable() => {
+                    // Each attempt is metered, so the re-send must fit the
+                    // Eq. 2 hard budget like any first send would.
+                    if let Some(budget) = self.budget {
+                        if self.inner.meter().would_exceed(retry_cost, budget) {
+                            break Error::RetryBudgetExhausted { retry_cost, budget };
+                        }
                     }
-                    last_err = Some(e);
+                    self.sink.emit(&Event::RetryAttempt {
+                        attempt: attempts,
+                        max_attempts: self.max_attempts,
+                        error: e.to_string(),
+                    });
                 }
+                Err(e) => break e,
             }
-        }
-        let err = last_err.expect("at least one attempt was made");
-        self.sink.emit(&Event::RetryExhausted {
-            attempts: self.max_attempts,
-            error: err.to_string(),
-        });
+        };
+        self.sink.emit(&Event::RetryExhausted { attempts, error: err.to_string() });
         Err(err)
     }
 
@@ -195,6 +220,82 @@ mod tests {
     #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
         RetryingLlm::new(ScriptedLlm::new(["x"]), 0);
+    }
+
+    #[test]
+    fn the_suffix_never_stacks_even_on_attempt_three() {
+        let scripted = ScriptedLlm::new(Vec::<String>::new());
+        let retrying = RetryingLlm::new(scripted, 4);
+        assert!(retrying.complete("base").is_err());
+        let prompts = retrying.inner().prompts_seen();
+        assert_eq!(prompts.len(), 4);
+        for (i, p) in prompts.iter().enumerate().skip(1) {
+            assert_eq!(
+                p.matches(RETRY_SUFFIX).count(),
+                1,
+                "attempt {} must carry exactly one reminder: {p:?}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn budget_gated_retries_are_withheld_not_sent() {
+        // Each failed ScriptedLlm attempt still meters its prompt, so a
+        // tight budget runs out between attempts; the retry layer must
+        // notice *before* re-sending.
+        let scripted = ScriptedLlm::new(Vec::<String>::new());
+        let base = "one two three four five six seven eight";
+        let budget = (Tokenizer.count(base) + 2) as u64;
+        let sink = Arc::new(Recorder::new());
+        let retrying =
+            RetryingLlm::new(scripted, 3).with_budget(budget).with_sink(sink.clone());
+        let err = retrying.complete(base).unwrap_err();
+        match err {
+            Error::RetryBudgetExhausted { retry_cost, budget: b } => {
+                assert_eq!(b, budget);
+                assert!(retry_cost > budget, "suffix pushed the re-send over");
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(
+            retrying.inner().prompts_seen().len(),
+            1,
+            "the unaffordable re-send never reaches the model"
+        );
+        assert!(sink.of_kind("retry_attempt").is_empty(), "no re-send, no retry event");
+        assert_eq!(sink.of_kind("retry_exhausted").len(), 1);
+    }
+
+    #[test]
+    fn affordable_retries_still_run_under_a_budget() {
+        let scripted = ScriptedLlm::new(Vec::<String>::new());
+        let retrying = RetryingLlm::new(scripted, 3).with_budget(1_000_000);
+        assert!(retrying.complete("base").is_err());
+        assert_eq!(retrying.inner().prompts_seen().len(), 3, "budget is not binding");
+    }
+
+    #[test]
+    fn non_retriable_errors_short_circuit() {
+        struct Refusing(UsageMeter);
+        impl LanguageModel for Refusing {
+            fn name(&self) -> &str {
+                "refusing"
+            }
+            fn complete(&self, _prompt: &str) -> Result<Completion> {
+                Err(Error::CircuitOpen { retry_in_micros: 500 })
+            }
+            fn meter(&self) -> &UsageMeter {
+                &self.0
+            }
+        }
+        let sink = Arc::new(Recorder::new());
+        let retrying = RetryingLlm::new(Refusing(UsageMeter::new()), 5).with_sink(sink.clone());
+        assert_eq!(
+            retrying.complete("p").unwrap_err(),
+            Error::CircuitOpen { retry_in_micros: 500 }
+        );
+        assert!(sink.of_kind("retry_attempt").is_empty(), "breaker refusals are not retried");
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub trait Clock: Send + Sync {
     fn now_micros(&self) -> u64;
 }
 
+/// A clock that can also *spend* time: the seam for backoff waits,
+/// rate-limit pacing, and injected latency spikes.
+///
+/// [`MonotonicClock`] really sleeps; [`ManualClock`] advances itself
+/// instead, so the entire resilience stack is deterministic and instant
+/// under test — waiting and reading the time agree by construction.
+pub trait WaitClock: Clock {
+    /// Block until `now_micros()` has advanced by at least `micros`.
+    fn sleep_micros(&self, micros: u64);
+}
+
 /// Process-wide anchor for [`MonotonicClock`]: all instances share one
 /// origin, so readings from different call sites are comparable.
 fn anchor() -> Instant {
@@ -40,6 +51,12 @@ pub static MONOTONIC_CLOCK: MonotonicClock = MonotonicClock;
 impl Clock for MonotonicClock {
     fn now_micros(&self) -> u64 {
         anchor().elapsed().as_micros() as u64
+    }
+}
+
+impl WaitClock for MonotonicClock {
+    fn sleep_micros(&self, micros: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(micros));
     }
 }
 
@@ -76,6 +93,14 @@ impl Clock for ManualClock {
     }
 }
 
+impl WaitClock for ManualClock {
+    /// "Sleeping" on a manual clock advances it: no real time passes, but
+    /// durations computed across the wait are exactly `micros` larger.
+    fn sleep_micros(&self, micros: u64) {
+        self.advance(micros);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +128,13 @@ mod tests {
         let manual = ManualClock::at(5);
         let clocks: [&dyn Clock; 2] = [&MONOTONIC_CLOCK, &manual];
         assert_eq!(clocks[1].now_micros(), 5);
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_instead_of_blocking() {
+        let c = ManualClock::at(100);
+        let w: &dyn WaitClock = &c;
+        w.sleep_micros(250);
+        assert_eq!(c.now_micros(), 350, "wait is visible as elapsed time");
     }
 }

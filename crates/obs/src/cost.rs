@@ -8,7 +8,7 @@
 //! whole-run total, and checks the conservation identity
 //!
 //! ```text
-//! billed == rendered - pruned_saved - cache_saved - starved
+//! billed == rendered - pruned_saved - cache_saved - starved - failed
 //! ```
 //!
 //! per query, per round, and against the usage meter's billed total.
@@ -38,6 +38,8 @@ pub struct RoundCost {
     pub cache_saved_tokens: u64,
     /// Tokens of final prompts refused outright by the hard budget.
     pub starved_tokens: u64,
+    /// Tokens of final prompts whose query terminally failed.
+    pub failed_tokens: u64,
     /// Tokens spent on pseudo-label cue lines (subset of billed).
     pub enrichment_tokens: u64,
 }
@@ -50,6 +52,7 @@ impl RoundCost {
             pruned_saved_tokens,
             cache_saved_tokens,
             starved_tokens,
+            failed_tokens,
             enrichment_tokens,
             ..
         } = e
@@ -60,6 +63,7 @@ impl RoundCost {
             self.pruned_saved_tokens += pruned_saved_tokens;
             self.cache_saved_tokens += cache_saved_tokens;
             self.starved_tokens += starved_tokens;
+            self.failed_tokens += failed_tokens;
             self.enrichment_tokens += enrichment_tokens;
         }
     }
@@ -71,6 +75,7 @@ impl RoundCost {
         self.pruned_saved_tokens += other.pruned_saved_tokens;
         self.cache_saved_tokens += other.cache_saved_tokens;
         self.starved_tokens += other.starved_tokens;
+        self.failed_tokens += other.failed_tokens;
         self.enrichment_tokens += other.enrichment_tokens;
     }
 
@@ -80,6 +85,7 @@ impl RoundCost {
             .checked_sub(self.pruned_saved_tokens)
             .and_then(|r| r.checked_sub(self.cache_saved_tokens))
             .and_then(|r| r.checked_sub(self.starved_tokens))
+            .and_then(|r| r.checked_sub(self.failed_tokens))
             == Some(self.billed_tokens)
     }
 
@@ -87,13 +93,15 @@ impl RoundCost {
         format!(
             "{{\"queries\":{},\"rendered_tokens\":{},\"billed_tokens\":{},\
              \"pruned_saved_tokens\":{},\"cache_saved_tokens\":{},\
-             \"starved_tokens\":{},\"enrichment_tokens\":{},\"conserves\":{}}}",
+             \"starved_tokens\":{},\"failed_tokens\":{},\
+             \"enrichment_tokens\":{},\"conserves\":{}}}",
             self.queries,
             self.rendered_tokens,
             self.billed_tokens,
             self.pruned_saved_tokens,
             self.cache_saved_tokens,
             self.starved_tokens,
+            self.failed_tokens,
             self.enrichment_tokens,
             self.conserves(),
         )
@@ -208,7 +216,7 @@ impl fmt::Display for CostReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "cost ledger (tokens)\n  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+            "cost ledger (tokens)\n  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>7} {:>11}",
             "round",
             "queries",
             "rendered",
@@ -216,25 +224,27 @@ impl fmt::Display for CostReport {
             "pruned-saved",
             "cache-saved",
             "starved",
+            "failed",
             "enrichment"
         )?;
         for (i, r) in self.rounds.iter().enumerate() {
             writeln!(
                 f,
-                "  {i:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+                "  {i:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>7} {:>11}",
                 r.queries,
                 r.rendered_tokens,
                 r.billed_tokens,
                 r.pruned_saved_tokens,
                 r.cache_saved_tokens,
                 r.starved_tokens,
+                r.failed_tokens,
                 r.enrichment_tokens,
             )?;
         }
         let t = &self.total;
         writeln!(
             f,
-            "  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>11}",
+            "  {:>6} {:>8} {:>9} {:>8} {:>13} {:>12} {:>8} {:>7} {:>11}",
             "total",
             t.queries,
             t.rendered_tokens,
@@ -242,16 +252,18 @@ impl fmt::Display for CostReport {
             t.pruned_saved_tokens,
             t.cache_saved_tokens,
             t.starved_tokens,
+            t.failed_tokens,
             t.enrichment_tokens,
         )?;
         writeln!(
             f,
-            "  conservation: {} == {} - {} - {} - {} [{}]",
+            "  conservation: {} == {} - {} - {} - {} - {} [{}]",
             t.billed_tokens,
             t.rendered_tokens,
             t.pruned_saved_tokens,
             t.cache_saved_tokens,
             t.starved_tokens,
+            t.failed_tokens,
             if t.conserves() { "ok" } else { "VIOLATED" },
         )
     }
@@ -276,6 +288,7 @@ mod tests {
             pruned_saved_tokens: pruned,
             cache_saved_tokens: cached,
             starved_tokens: starved,
+            failed_tokens: 0,
             enrichment_tokens: 2,
         }
     }
@@ -324,6 +337,23 @@ mod tests {
     }
 
     #[test]
+    fn failed_queries_conserve_via_their_own_bucket() {
+        let mut rc = RoundCost::default();
+        rc.absorb(&Event::QueryCost {
+            node: 9,
+            rendered_tokens: 240,
+            billed_tokens: 0,
+            pruned_saved_tokens: 40,
+            cache_saved_tokens: 0,
+            starved_tokens: 0,
+            failed_tokens: 200,
+            enrichment_tokens: 0,
+        });
+        assert!(rc.conserves(), "rendered 240 = pruned 40 + failed 200 + billed 0");
+        assert_eq!(rc.failed_tokens, 200);
+    }
+
+    #[test]
     fn unattributed_surfaces_retry_overhead() {
         let ledger = CostLedger::new();
         ledger.emit(&cost(1, 100, 100, 0, 0, 0));
@@ -356,6 +386,6 @@ mod tests {
         let text = ledger.report().to_string();
         assert!(text.contains("cost ledger"), "got: {text}");
         assert!(text.contains("total"));
-        assert!(text.contains("conservation: 60 == 100 - 40 - 0 - 0 [ok]"), "got: {text}");
+        assert!(text.contains("conservation: 60 == 100 - 40 - 0 - 0 - 0 [ok]"), "got: {text}");
     }
 }

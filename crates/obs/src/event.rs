@@ -122,12 +122,65 @@ pub enum Event {
         /// Monotonic exit time in microseconds.
         at_micros: u64,
     },
+    /// The resilience layer paced before issuing a call: exponential
+    /// backoff after a failure, or a rate-limit `retry-after` hint.
+    BackoffWait {
+        /// Consecutive failures that produced this wait (0 when the wait
+        /// comes purely from a rate-limit hint).
+        consecutive_failures: u32,
+        /// Microseconds waited (through the [`crate::WaitClock`]).
+        wait_micros: u64,
+        /// Whether a provider rate-limit hint set (or extended) the wait.
+        rate_limited: bool,
+    },
+    /// The circuit breaker changed state.
+    BreakerTransition {
+        /// State left: `closed`, `open`, or `half_open`.
+        from: String,
+        /// State entered.
+        to: String,
+        /// Consecutive failures observed at the transition.
+        consecutive_failures: u32,
+    },
+    /// The fault harness injected one scheduled fault.
+    FaultInjected {
+        /// 0-based transport call index the fault fired on.
+        call: u64,
+        /// Fault kind: `transient`, `rate_limited`, `latency`,
+        /// `truncated`, `malformed`, `outage`.
+        fault: String,
+    },
+    /// A query exhausted every recovery path and was recorded as failed
+    /// instead of aborting the run (graceful degradation).
+    QueryFailed {
+        /// Query node id.
+        node: u32,
+        /// The terminal error.
+        error: String,
+    },
+    /// A parallel worker died mid-query (panic); its query was recorded
+    /// as failed and the remaining workers drained normally.
+    WorkerLost {
+        /// Worker index (0-based).
+        worker: u32,
+        /// Node the worker was executing when it died.
+        node: u32,
+        /// Panic payload or failure detail.
+        detail: String,
+    },
+    /// A query's outcome was served from the run journal on `--resume`:
+    /// no prompt was rendered, no request sent, no tokens billed.
+    QueryReplayed {
+        /// Query node id.
+        node: u32,
+    },
     /// Token-cost attribution for one executed query: where its tokens
-    /// went or were saved. Conservation: `billed_tokens == rendered_tokens
-    /// - pruned_saved_tokens - cache_saved_tokens - starved_tokens` holds
-    /// unconditionally; retry re-sends and lenient parse recoveries spend
-    /// extra metered tokens *outside* these flows and surface as the
-    /// unattributed bucket in [`crate::CostLedger`] reconciliation.
+    /// went or were saved. Conservation holds unconditionally:
+    /// `billed == rendered − pruned_saved − cache_saved − starved −
+    /// failed` (all in tokens); retry re-sends and lenient parse
+    /// recoveries spend extra metered tokens *outside* these flows and
+    /// surface as the unattributed bucket in [`crate::CostLedger`]
+    /// reconciliation.
     QueryCost {
         /// Query node id.
         node: u32,
@@ -145,6 +198,10 @@ pub enum Event {
         /// Tokens of the final prompt refused outright by the hard
         /// budget (no request was sent).
         starved_tokens: u64,
+        /// Tokens of the final prompt whose query terminally failed (the
+        /// provider billed nothing attributable; metered attempt tokens
+        /// surface as unattributed instead).
+        failed_tokens: u64,
         /// Tokens the final prompt spends on Algorithm 2 pseudo-label
         /// cue lines (a subset of `billed_tokens`, not a separate flow).
         enrichment_tokens: u64,
@@ -184,6 +241,12 @@ impl Event {
             Event::BudgetPressure { .. } => "budget_pressure",
             Event::SpanEnter { .. } => "span_enter",
             Event::SpanExit { .. } => "span_exit",
+            Event::BackoffWait { .. } => "backoff_wait",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::QueryFailed { .. } => "query_failed",
+            Event::WorkerLost { .. } => "worker_lost",
+            Event::QueryReplayed { .. } => "query_replayed",
             Event::QueryCost { .. } => "query_cost",
         }
     }
@@ -268,6 +331,35 @@ impl Event {
             Event::SpanExit { id, at_micros } => {
                 let _ = write!(s, ",\"id\":{id},\"at_micros\":{at_micros}");
             }
+            Event::BackoffWait { consecutive_failures, wait_micros, rate_limited } => {
+                let _ = write!(
+                    s,
+                    ",\"consecutive_failures\":{consecutive_failures},\
+                     \"wait_micros\":{wait_micros},\"rate_limited\":{rate_limited}"
+                );
+            }
+            Event::BreakerTransition { from, to, consecutive_failures } => {
+                s.push_str(",\"from\":");
+                escape_json(&mut s, from);
+                s.push_str(",\"to\":");
+                escape_json(&mut s, to);
+                let _ = write!(s, ",\"consecutive_failures\":{consecutive_failures}");
+            }
+            Event::FaultInjected { call, fault } => {
+                let _ = write!(s, ",\"call\":{call},\"fault\":");
+                escape_json(&mut s, fault);
+            }
+            Event::QueryFailed { node, error } => {
+                let _ = write!(s, ",\"node\":{node},\"error\":");
+                escape_json(&mut s, error);
+            }
+            Event::WorkerLost { worker, node, detail } => {
+                let _ = write!(s, ",\"worker\":{worker},\"node\":{node},\"detail\":");
+                escape_json(&mut s, detail);
+            }
+            Event::QueryReplayed { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
             Event::QueryCost {
                 node,
                 rendered_tokens,
@@ -275,6 +367,7 @@ impl Event {
                 pruned_saved_tokens,
                 cache_saved_tokens,
                 starved_tokens,
+                failed_tokens,
                 enrichment_tokens,
             } => {
                 let _ = write!(
@@ -284,6 +377,7 @@ impl Event {
                      \"pruned_saved_tokens\":{pruned_saved_tokens},\
                      \"cache_saved_tokens\":{cache_saved_tokens},\
                      \"starved_tokens\":{starved_tokens},\
+                     \"failed_tokens\":{failed_tokens},\
                      \"enrichment_tokens\":{enrichment_tokens}"
                 );
             }
@@ -393,6 +487,29 @@ mod tests {
             ),
             (Event::SpanExit { id: 3, at_micros: 120 }, "span_exit"),
             (
+                Event::BackoffWait {
+                    consecutive_failures: 2,
+                    wait_micros: 4000,
+                    rate_limited: false,
+                },
+                "backoff_wait",
+            ),
+            (
+                Event::BreakerTransition {
+                    from: "closed".into(),
+                    to: "open".into(),
+                    consecutive_failures: 5,
+                },
+                "breaker_transition",
+            ),
+            (Event::FaultInjected { call: 9, fault: "transient".into() }, "fault_injected"),
+            (Event::QueryFailed { node: 4, error: "outage".into() }, "query_failed"),
+            (
+                Event::WorkerLost { worker: 1, node: 9, detail: "panicked".into() },
+                "worker_lost",
+            ),
+            (Event::QueryReplayed { node: 12 }, "query_replayed"),
+            (
                 Event::QueryCost {
                     node: 17,
                     rendered_tokens: 500,
@@ -400,6 +517,7 @@ mod tests {
                     pruned_saved_tokens: 200,
                     cache_saved_tokens: 0,
                     starved_tokens: 0,
+                    failed_tokens: 0,
                     enrichment_tokens: 12,
                 },
                 "query_cost",

@@ -58,7 +58,7 @@ mod span;
 mod summary;
 
 pub use chrome::ChromeTraceSink;
-pub use clock::{Clock, ManualClock, MonotonicClock, MONOTONIC_CLOCK};
+pub use clock::{Clock, ManualClock, MonotonicClock, WaitClock, MONOTONIC_CLOCK};
 pub use cost::{CostLedger, CostReport, RoundCost};
 pub use event::Event;
 pub use http::{http_get, MetricsServer};

@@ -160,7 +160,16 @@ pub struct MetricsSink {
     cost_pruned_saved: Arc<Counter>,
     cost_cache_saved: Arc<Counter>,
     cost_starved: Arc<Counter>,
+    cost_failed: Arc<Counter>,
     cost_enrichment: Arc<Counter>,
+    backoff_waits: Arc<Counter>,
+    backoff_wait_hist: Arc<Histogram>,
+    breaker_state: Arc<Gauge>,
+    breaker_transitions: Arc<Counter>,
+    faults_injected: Arc<Counter>,
+    queries_failed: Arc<Counter>,
+    workers_lost: Arc<Counter>,
+    queries_replayed: Arc<Counter>,
 }
 
 impl Default for MetricsSink {
@@ -238,9 +247,35 @@ impl MetricsSink {
                 "mqo_cost_starved_tokens_total",
                 "Ledger: tokens refused by the hard budget",
             ),
+            cost_failed: r.counter(
+                "mqo_cost_failed_tokens_total",
+                "Ledger: tokens of prompts whose query terminally failed",
+            ),
             cost_enrichment: r.counter(
                 "mqo_cost_enrichment_tokens_total",
                 "Ledger: tokens spent on pseudo-label cues",
+            ),
+            backoff_waits: r.counter("mqo_backoff_waits_total", "Backoff/pacing waits taken"),
+            backoff_wait_hist: r.histogram(
+                "mqo_backoff_wait_micros",
+                "Backoff/pacing wait per occurrence in microseconds",
+                || Histogram::exponential(32),
+            ),
+            breaker_state: r.gauge(
+                "mqo_breaker_state",
+                "Circuit breaker state (0=closed, 1=half_open, 2=open)",
+            ),
+            breaker_transitions: r
+                .counter("mqo_breaker_transitions_total", "Circuit breaker state changes"),
+            faults_injected: r
+                .counter("mqo_faults_injected_total", "Faults injected by the chaos harness"),
+            queries_failed: r
+                .counter("mqo_queries_failed_total", "Queries recorded as terminally failed"),
+            workers_lost: r
+                .counter("mqo_workers_lost_total", "Parallel workers lost to panics"),
+            queries_replayed: r.counter(
+                "mqo_queries_replayed_total",
+                "Queries served from the run journal on resume",
             ),
             registry,
         }
@@ -258,7 +293,8 @@ impl MetricsSink {
             "{{\"queries\":{},\"rounds_completed\":{},\"current_round\":{},\
              \"billed_tokens\":{},\"rendered_tokens\":{},\"pruned_saved_tokens\":{},\
              \"cache_saved_tokens\":{},\"starved_tokens\":{},\"enrichment_tokens\":{},\
-             \"retries\":{},\"parse_failures\":{},\"batches\":{}}}",
+             \"failed_tokens\":{},\"retries\":{},\"parse_failures\":{},\
+             \"batches\":{},\"queries_failed\":{},\"queries_replayed\":{}}}",
             self.queries.get(),
             self.rounds.get(),
             self.current_round.get(),
@@ -268,9 +304,12 @@ impl MetricsSink {
             self.cost_cache_saved.get(),
             self.cost_starved.get(),
             self.cost_enrichment.get(),
+            self.cost_failed.get(),
             self.retries.get(),
             self.parse_failures.get(),
             self.batches.get(),
+            self.queries_failed.get(),
+            self.queries_replayed.get(),
         )
     }
 }
@@ -309,12 +348,29 @@ impl EventSink for MetricsSink {
             Event::BudgetPressure { .. } => self.budget_pressure.inc(),
             Event::SpanEnter { .. } => self.spans.inc(),
             Event::SpanExit { .. } => {}
+            Event::BackoffWait { wait_micros, .. } => {
+                self.backoff_waits.inc();
+                self.backoff_wait_hist.record(*wait_micros);
+            }
+            Event::BreakerTransition { to, .. } => {
+                self.breaker_transitions.inc();
+                self.breaker_state.set(match to.as_str() {
+                    "open" => 2,
+                    "half_open" => 1,
+                    _ => 0,
+                });
+            }
+            Event::FaultInjected { .. } => self.faults_injected.inc(),
+            Event::QueryFailed { .. } => self.queries_failed.inc(),
+            Event::WorkerLost { .. } => self.workers_lost.inc(),
+            Event::QueryReplayed { .. } => self.queries_replayed.inc(),
             Event::QueryCost {
                 rendered_tokens,
                 billed_tokens,
                 pruned_saved_tokens,
                 cache_saved_tokens,
                 starved_tokens,
+                failed_tokens,
                 enrichment_tokens,
                 ..
             } => {
@@ -323,6 +379,7 @@ impl EventSink for MetricsSink {
                 self.cost_pruned_saved.add(*pruned_saved_tokens);
                 self.cost_cache_saved.add(*cache_saved_tokens);
                 self.cost_starved.add(*starved_tokens);
+                self.cost_failed.add(*failed_tokens);
                 self.cost_enrichment.add(*enrichment_tokens);
             }
         }
@@ -410,6 +467,7 @@ mod tests {
             pruned_saved_tokens: 50,
             cache_saved_tokens: 0,
             starved_tokens: 0,
+            failed_tokens: 0,
             enrichment_tokens: 8,
         });
         let text = sink.registry().render_prometheus();
@@ -424,5 +482,49 @@ mod tests {
         assert!(progress.contains("\"queries\":1"));
         assert!(progress.contains("\"billed_tokens\":100"));
         assert!(progress.contains("\"rendered_tokens\":150"));
+    }
+
+    #[test]
+    fn resilience_events_feed_their_series() {
+        let sink = MetricsSink::new();
+        sink.emit(&Event::BackoffWait {
+            consecutive_failures: 1,
+            wait_micros: 2500,
+            rate_limited: false,
+        });
+        sink.emit(&Event::BreakerTransition {
+            from: "closed".into(),
+            to: "open".into(),
+            consecutive_failures: 5,
+        });
+        sink.emit(&Event::FaultInjected { call: 3, fault: "transient".into() });
+        sink.emit(&Event::QueryFailed { node: 7, error: "outage".into() });
+        sink.emit(&Event::WorkerLost { worker: 0, node: 8, detail: "panicked".into() });
+        sink.emit(&Event::QueryReplayed { node: 9 });
+        let text = sink.registry().render_prometheus();
+        assert!(text.contains("mqo_backoff_waits_total 1"));
+        assert!(text.contains("mqo_backoff_wait_micros_sum 2500"));
+        assert!(text.contains("mqo_breaker_state 2"));
+        assert!(text.contains("mqo_breaker_transitions_total 1"));
+        assert!(text.contains("mqo_faults_injected_total 1"));
+        assert!(text.contains("mqo_queries_failed_total 1"));
+        assert!(text.contains("mqo_workers_lost_total 1"));
+        assert!(text.contains("mqo_queries_replayed_total 1"));
+
+        sink.emit(&Event::BreakerTransition {
+            from: "open".into(),
+            to: "half_open".into(),
+            consecutive_failures: 5,
+        });
+        assert!(sink.registry().render_prometheus().contains("mqo_breaker_state 1"));
+        sink.emit(&Event::BreakerTransition {
+            from: "half_open".into(),
+            to: "closed".into(),
+            consecutive_failures: 0,
+        });
+        assert!(sink.registry().render_prometheus().contains("mqo_breaker_state 0"));
+        let progress = sink.progress_json();
+        assert!(progress.contains("\"queries_failed\":1"));
+        assert!(progress.contains("\"queries_replayed\":1"));
     }
 }

@@ -59,8 +59,24 @@ pub struct Summary {
     pub cost_cache_saved_tokens: u64,
     /// Ledger: tokens refused by the hard budget.
     pub cost_starved_tokens: u64,
+    /// Ledger: tokens of prompts whose query terminally failed.
+    pub cost_failed_tokens: u64,
     /// Ledger: tokens spent on pseudo-label cue lines.
     pub cost_enrichment_tokens: u64,
+    /// Backoff/pacing waits taken by the resilience layer.
+    pub backoff_waits: u64,
+    /// Microseconds spent in backoff/pacing waits.
+    pub backoff_wait_micros: u64,
+    /// Circuit-breaker state transitions.
+    pub breaker_transitions: u64,
+    /// Faults injected by the chaos harness.
+    pub faults_injected: u64,
+    /// Queries recorded as terminally failed.
+    pub queries_failed: u64,
+    /// Parallel workers lost to panics.
+    pub workers_lost: u64,
+    /// Queries served from the run journal on resume.
+    pub queries_replayed: u64,
 }
 
 impl Summary {
@@ -93,7 +109,15 @@ impl Summary {
             cost_pruned_saved_tokens: 0,
             cost_cache_saved_tokens: 0,
             cost_starved_tokens: 0,
+            cost_failed_tokens: 0,
             cost_enrichment_tokens: 0,
+            backoff_waits: 0,
+            backoff_wait_micros: 0,
+            breaker_transitions: 0,
+            faults_injected: 0,
+            queries_failed: 0,
+            workers_lost: 0,
+            queries_replayed: 0,
         };
         for e in events {
             match e {
@@ -141,12 +165,22 @@ impl Summary {
                 }
                 Event::SpanEnter { .. } => s.spans += 1,
                 Event::SpanExit { .. } => {}
+                Event::BackoffWait { wait_micros, .. } => {
+                    s.backoff_waits += 1;
+                    s.backoff_wait_micros += wait_micros;
+                }
+                Event::BreakerTransition { .. } => s.breaker_transitions += 1,
+                Event::FaultInjected { .. } => s.faults_injected += 1,
+                Event::QueryFailed { .. } => s.queries_failed += 1,
+                Event::WorkerLost { .. } => s.workers_lost += 1,
+                Event::QueryReplayed { .. } => s.queries_replayed += 1,
                 Event::QueryCost {
                     rendered_tokens,
                     billed_tokens,
                     pruned_saved_tokens,
                     cache_saved_tokens,
                     starved_tokens,
+                    failed_tokens,
                     enrichment_tokens,
                     ..
                 } => {
@@ -155,6 +189,7 @@ impl Summary {
                     s.cost_pruned_saved_tokens += pruned_saved_tokens;
                     s.cost_cache_saved_tokens += cache_saved_tokens;
                     s.cost_starved_tokens += starved_tokens;
+                    s.cost_failed_tokens += failed_tokens;
                     s.cost_enrichment_tokens += enrichment_tokens;
                 }
             }
@@ -239,15 +274,36 @@ impl fmt::Display for Summary {
         if self.spans > 0 {
             writeln!(f, "  causal spans       {:>8}", self.spans)?;
         }
+        if self.faults_injected + self.backoff_waits + self.breaker_transitions > 0 {
+            writeln!(
+                f,
+                "  resilience         {:>8} fault(s)   {} backoff wait(s) ({} µs), {} breaker transition(s)",
+                self.faults_injected,
+                self.backoff_waits,
+                self.backoff_wait_micros,
+                self.breaker_transitions,
+            )?;
+        }
+        if self.queries_failed + self.workers_lost > 0 {
+            writeln!(
+                f,
+                "  degraded           {:>8} failed query(ies), {} worker(s) lost",
+                self.queries_failed, self.workers_lost,
+            )?;
+        }
+        if self.queries_replayed > 0 {
+            writeln!(f, "  journal replays    {:>8}", self.queries_replayed)?;
+        }
         if self.cost_rendered_tokens > 0 {
             writeln!(
                 f,
-                "  token cost         {:>8} billed = {} rendered - {} pruned - {} cached - {} starved",
+                "  token cost         {:>8} billed = {} rendered - {} pruned - {} cached - {} starved - {} failed",
                 self.cost_billed_tokens,
                 self.cost_rendered_tokens,
                 self.cost_pruned_saved_tokens,
                 self.cost_cache_saved_tokens,
                 self.cost_starved_tokens,
+                self.cost_failed_tokens,
             )?;
             writeln!(f, "  enrichment tokens  {:>8}", self.cost_enrichment_tokens)?;
         }
@@ -314,8 +370,23 @@ mod tests {
                 pruned_saved_tokens: 100,
                 cache_saved_tokens: 50,
                 starved_tokens: 0,
+                failed_tokens: 0,
                 enrichment_tokens: 6,
             },
+            Event::BackoffWait {
+                consecutive_failures: 1,
+                wait_micros: 800,
+                rate_limited: true,
+            },
+            Event::BreakerTransition {
+                from: "closed".into(),
+                to: "open".into(),
+                consecutive_failures: 5,
+            },
+            Event::FaultInjected { call: 0, fault: "transient".into() },
+            Event::QueryFailed { node: 3, error: "outage".into() },
+            Event::WorkerLost { worker: 1, node: 4, detail: "panicked".into() },
+            Event::QueryReplayed { node: 5 },
         ];
         let s = Summary::from_events(&events);
         assert_eq!(s.queries, 4);
@@ -338,6 +409,12 @@ mod tests {
         assert_eq!(s.cost_billed_tokens, 350);
         assert_eq!(s.cost_cache_saved_tokens, 50);
         assert_eq!(s.cost_enrichment_tokens, 6);
+        assert_eq!((s.backoff_waits, s.backoff_wait_micros), (1, 800));
+        assert_eq!(s.breaker_transitions, 1);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.queries_failed, 1);
+        assert_eq!(s.workers_lost, 1);
+        assert_eq!(s.queries_replayed, 1);
         // p50 of {100, 300, 500, 700} resolves to 300's bucket.
         assert_eq!(s.prompt_tokens.quantile(0.5), 320);
     }

@@ -2,8 +2,8 @@
 # Deterministic cache-efficiency smoke bench + regression gate, plus the
 # observability artifact check.
 #
-#   scripts/bench_smoke.sh            # run and gate against BENCH_PR3.json
-#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR3.json
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR4.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR4.json
 #
 # The gated workload replays a fixed Cora query set three times through
 # the simulated LLM with the response cache on, so tokens_sent and
@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR3.json
+BASELINE=BENCH_PR4.json
 CURRENT=target/bench_smoke_current.json
 OBS_TRACE=target/obs_trace.json
 OBS_COST=target/obs_cost.json

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Chaos smoke: the resilience stack and crash-safe resume, end to end on
+# the release binary.
+#
+#   scripts/chaos_smoke.sh
+#
+# Four gated legs:
+#
+#   1. A seeded 10%-error / 5%-malformed run must complete every query
+#      (degraded mode), and its Chrome trace + cost ledger must pass
+#      obs_check — span nesting intact (backoff/retry under llm_call)
+#      and token conservation to the token.
+#   2. A journaled run killed mid-campaign (--fault-kill-after) must die
+#      with the fault injector's exit code and leave a non-empty,
+#      resumable journal.
+#   3. `--resume` must finish that campaign and produce record-for-record
+#      the same dump as a never-crashed run of the same seed.
+#   4. Resuming the *completed* journal must replay everything: zero
+#      requests, zero re-billed tokens, identical records again.
+#
+# Everything is seeded, so each gate is exact — no tolerances.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KILL_EXIT=86 # mqo_fault::KILL_EXIT_CODE
+OUT=target/chaos
+mkdir -p "$OUT"
+
+echo "==> building release binaries"
+cargo build --release -q -p mqo-bench --bin mqo --bin obs_check
+
+echo "==> leg 1: chaos run (10% transient, 5% malformed) completes and conserves"
+./target/release/mqo classify cora \
+  --queries 120 --seed 42 --faults error=0.10,malformed=0.05 \
+  --journal "$OUT/chaos.jsonl" \
+  --trace-chrome "$OUT/chaos_trace.json" --cost-json "$OUT/chaos_cost.json" \
+  --stats-json "$OUT/chaos_stats.json"
+./target/release/obs_check "$OUT/chaos_trace.json" "$OUT/chaos_cost.json"
+
+echo "==> leg 2: kill the run mid-campaign"
+rc=0
+./target/release/mqo classify cora \
+  --queries 120 --seed 42 --fault-kill-after 60 \
+  --journal "$OUT/killed.jsonl" >"$OUT/killed.log" 2>&1 || rc=$?
+if [[ "$rc" -ne "$KILL_EXIT" ]]; then
+  echo "FAIL: expected kill exit $KILL_EXIT, got $rc" >&2
+  exit 1
+fi
+lines=$(wc -l <"$OUT/killed.jsonl")
+if [[ "$lines" -lt 2 ]]; then
+  echo "FAIL: killed journal holds no records ($lines lines)" >&2
+  exit 1
+fi
+echo "    killed at exit $rc with $((lines - 1)) records journaled"
+
+echo "==> leg 3: resume matches the never-crashed run"
+./target/release/mqo classify cora \
+  --queries 120 --seed 42 --dump-records "$OUT/clean_records.jsonl" >/dev/null
+./target/release/mqo classify cora \
+  --queries 120 --seed 42 --journal "$OUT/killed.jsonl" --resume \
+  --dump-records "$OUT/resumed_records.jsonl" >/dev/null
+diff "$OUT/clean_records.jsonl" "$OUT/resumed_records.jsonl" >/dev/null || {
+  echo "FAIL: resumed records differ from the clean run" >&2
+  exit 1
+}
+echo "    resumed records are bit-identical to the clean run"
+
+echo "==> leg 4: replaying the completed journal re-bills nothing"
+./target/release/mqo classify cora \
+  --queries 120 --seed 42 --journal "$OUT/killed.jsonl" --resume \
+  --dump-records "$OUT/replayed_records.jsonl" \
+  --stats-json "$OUT/replay_stats.json" >/dev/null
+grep -q '"requests_sent": 0' "$OUT/replay_stats.json" || {
+  echo "FAIL: full replay still sent requests" >&2
+  cat "$OUT/replay_stats.json" >&2
+  exit 1
+}
+grep -q '"tokens_sent": 0' "$OUT/replay_stats.json" || {
+  echo "FAIL: full replay re-billed tokens" >&2
+  cat "$OUT/replay_stats.json" >&2
+  exit 1
+}
+diff "$OUT/clean_records.jsonl" "$OUT/replayed_records.jsonl" >/dev/null || {
+  echo "FAIL: replayed records differ from the clean run" >&2
+  exit 1
+}
+echo "    full replay: 0 requests, 0 tokens, records identical"
+
+echo "chaos smoke: PASS"

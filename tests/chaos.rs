@@ -1,0 +1,229 @@
+//! Chaos tests: seeded fault schedules driven through the full
+//! resilience stack, crash-safe journaling, and cost-ledger conservation
+//! under faults, retries, and breaker trips.
+//!
+//! Every wait in these tests runs on a [`ManualClock`]: latency spikes,
+//! backoff, rate-limit pacing, and breaker cooldowns advance simulated
+//! time, so the whole suite finishes in real milliseconds.
+
+use mqo_core::journal::record_to_json;
+use mqo_core::predictor::KhopRandom;
+use mqo_core::{Executor, LabelStore, RunHeader, RunJournal};
+use mqo_data::{dataset, DatasetBundle, DatasetId};
+use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
+use mqo_graph::{LabeledSplit, SplitConfig};
+use mqo_llm::{
+    LanguageModel, ModelProfile, ResilienceConfig, ResilientLlm, RetryingLlm, ScriptedLlm,
+    SimLlm, ValidatingLlm,
+};
+use mqo_obs::{CostLedger, ManualClock, WaitClock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn world(queries: usize) -> (DatasetBundle, LabeledSplit, SimLlm) {
+    let bundle = dataset(DatasetId::Cora, Some(0.3), 81);
+    let split = LabeledSplit::generate(
+        &bundle.tag,
+        SplitConfig::PerClass { per_class: 20, num_queries: queries },
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+    let llm = SimLlm::new(
+        bundle.lexicon.clone(),
+        bundle.tag.class_names().to_vec(),
+        ModelProfile::gpt35(),
+    );
+    (bundle, split, llm)
+}
+
+/// The CLI's transport + resilience + validation + retry stack (cache
+/// omitted: chaos tests want every call to reach the fault injector).
+fn stack<L: LanguageModel>(
+    inner: L,
+    fault_seed: u64,
+    cfg: FaultConfig,
+    clock: &Arc<ManualClock>,
+    class_names: Vec<String>,
+) -> RetryingLlm<ValidatingLlm<ResilientLlm<FaultyLlm<L>>>> {
+    let wait: Arc<dyn WaitClock> = clock.clone();
+    let faulty = FaultyLlm::new(inner, FaultSchedule::seeded(fault_seed, cfg), wait.clone());
+    let resilient = ResilientLlm::new(
+        faulty,
+        ResilienceConfig { seed: fault_seed, ..ResilienceConfig::default() },
+        wait,
+    );
+    RetryingLlm::new(ValidatingLlm::new(resilient, class_names), 3)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mqo-chaos-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+fn dump(records: &[mqo_core::QueryRecord]) -> Vec<String> {
+    let mut sorted: Vec<_> = records.to_vec();
+    sorted.sort_by_key(|r| (r.node.0, r.prompt_tokens));
+    sorted.iter().map(|r| serde_json::to_string(&record_to_json(r)).unwrap()).collect()
+}
+
+/// A 10%-error / 5%-malformed run completes every query through the
+/// resilience stack, and the cost ledger still conserves to the token.
+#[test]
+fn chaos_run_completes_with_conserved_ledger() {
+    let (bundle, split, sim) = world(120);
+    let clock = Arc::new(ManualClock::new());
+    let cfg = FaultConfig {
+        transient_rate: 0.10,
+        malformed_rate: 0.05,
+        rate_limited_rate: 0.03,
+        latency_rate: 0.03,
+        ..FaultConfig::default()
+    };
+    let llm = stack(sim, 17, cfg, &clock, bundle.tag.class_names().to_vec());
+    let ledger = CostLedger::new();
+    let exec = Executor::new(&bundle.tag, &llm, 4, 1).with_sink(&ledger).with_degrade();
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+
+    assert_eq!(out.records.len(), 120, "degraded mode must answer every query");
+    let report = ledger.report();
+    assert!(report.total.conserves(), "ledger must conserve under faults: {report}");
+    let billed = llm.meter().totals().prompt_tokens;
+    assert!(
+        report.unattributed(billed) >= 0,
+        "attribution can never exceed the meter ({billed} billed)"
+    );
+    // Failed queries never bill: their tokens land in the failed bucket
+    // and their records carry no spend.
+    for r in out.records.iter().filter(|r| r.failed()) {
+        assert_eq!(r.prompt_tokens, 0, "failed query {:?} claims tokens", r.node);
+    }
+    assert!(out.accuracy() > 0.4, "accuracy survived the chaos: {}", out.accuracy());
+}
+
+/// A hard outage aborts a non-degraded run mid-campaign; resuming the
+/// journal finishes the run and lands on exactly the records a clean,
+/// never-crashed run produces. Resuming the *completed* journal replays
+/// everything without a single model call.
+#[test]
+fn aborted_run_resumes_to_the_clean_run_records() {
+    let (bundle, split, sim) = world(60);
+    let header = RunHeader {
+        dataset: bundle.tag.name().to_string(),
+        method: "1hop".to_string(),
+        seed: 1,
+        queries: 60,
+        boost: false,
+        budget: None,
+    };
+    let labels = LabelStore::from_split(&bundle.tag, &split);
+    let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+    let path = tmp("outage-resume.jsonl");
+
+    // The reference: the same campaign through the same stack, with no
+    // faults and no crash. (The stack shape matters — format retries
+    // lengthen prompts, so the crashed and clean legs must share it.)
+    let clean = {
+        let clock = Arc::new(ManualClock::new());
+        let llm =
+            stack(sim, 0, FaultConfig::default(), &clock, bundle.tag.class_names().to_vec());
+        let exec = Executor::new(&bundle.tag, &llm, 4, 1);
+        exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap()
+    };
+
+    // Crash leg: a permanent outage from call 30 on; without degraded
+    // mode the retries drain and the run aborts, journal half-written.
+    let journaled = {
+        let (_, _, sim) = world(60);
+        let clock = Arc::new(ManualClock::new());
+        let cfg = FaultConfig { outage: Some((30, u64::MAX - 30)), ..FaultConfig::default() };
+        let llm = stack(sim, 5, cfg, &clock, bundle.tag.class_names().to_vec());
+        let journal = RunJournal::create(&path, &header).unwrap();
+        let exec = Executor::new(&bundle.tag, &llm, 4, 1).with_journal(&journal);
+        let err = exec.run_all(&predictor, &labels, split.queries(), |_| false);
+        assert!(err.is_err(), "the outage must abort the non-degraded run");
+        let recorded = journal.recorded();
+        assert!(recorded > 0 && recorded < 60, "crash left a partial journal: {recorded}");
+        recorded
+    };
+
+    // Resume leg: clean transport, journal replayed, remainder executed.
+    let resumed = {
+        let (_, _, sim) = world(60);
+        let clock = Arc::new(ManualClock::new());
+        let llm =
+            stack(sim, 0, FaultConfig::default(), &clock, bundle.tag.class_names().to_vec());
+        let journal = RunJournal::resume(&path, &header).unwrap();
+        let exec = Executor::new(&bundle.tag, &llm, 4, 1).with_journal(&journal).with_degrade();
+        let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+        assert_eq!(journal.replayed(), journaled, "every journaled record replays");
+        out
+    };
+    assert_eq!(dump(&resumed.records), dump(&clean.records), "resume must be bit-identical");
+
+    // Replay-only leg: the journal is now complete, so an empty scripted
+    // model proves zero model calls and zero re-billed tokens.
+    let replayed = {
+        let scripted = ScriptedLlm::new(Vec::<&str>::new());
+        let journal = RunJournal::resume(&path, &header).unwrap();
+        let exec =
+            Executor::new(&bundle.tag, &scripted, 4, 1).with_journal(&journal).with_degrade();
+        let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+        assert_eq!(journal.replayed(), 60);
+        assert_eq!(scripted.meter().totals().requests, 0, "replay must not touch the model");
+        assert_eq!(scripted.meter().totals().prompt_tokens, 0, "replay re-bills nothing");
+        out
+    };
+    assert_eq!(dump(&replayed.records), dump(&clean.records));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ledger conservation is seed-independent: whatever mix of
+    /// transients, rate limits, malformed replies, and outage windows a
+    /// schedule throws (including ones long enough to trip the breaker),
+    /// every query gets a final record, conservation holds, and the
+    /// attributed spend never exceeds the meter.
+    #[test]
+    fn ledger_conserves_under_any_fault_schedule(
+        fault_seed in 0u64..1_000_000,
+        transient in 0.0f64..0.30,
+        malformed in 0.0f64..0.15,
+        rate_limited in 0.0f64..0.15,
+        outage_start in 0u64..80,
+        outage_len in 0u64..40,
+    ) {
+        let (bundle, split, sim) = world(40);
+        let clock = Arc::new(ManualClock::new());
+        let cfg = FaultConfig {
+            transient_rate: transient,
+            malformed_rate: malformed,
+            rate_limited_rate: rate_limited,
+            outage: Some((outage_start, outage_len)),
+            ..FaultConfig::default()
+        };
+        let llm = stack(sim, fault_seed, cfg, &clock, bundle.tag.class_names().to_vec());
+        let ledger = CostLedger::new();
+        let exec = Executor::new(&bundle.tag, &llm, 4, 1).with_sink(&ledger).with_degrade();
+        let labels = LabelStore::from_split(&bundle.tag, &split);
+        let predictor = KhopRandom::new(1, bundle.tag.num_nodes());
+        let out = exec.run_all(&predictor, &labels, split.queries(), |_| false).unwrap();
+
+        prop_assert_eq!(out.records.len(), 40);
+        let report = ledger.report();
+        prop_assert!(report.total.conserves(), "conservation violated: {}", report);
+        let billed = llm.meter().totals().prompt_tokens;
+        prop_assert!(report.unattributed(billed) >= 0);
+        prop_assert_eq!(report.total.queries, 40);
+        for r in out.records.iter().filter(|r| r.failed()) {
+            prop_assert_eq!(r.prompt_tokens, 0);
+            prop_assert!(!r.correct, "failed queries never score");
+        }
+    }
+}
