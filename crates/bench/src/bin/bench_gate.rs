@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [--tolerance PCT]
+//!            [--serve-tolerance PCT]
 //! ```
 //!
 //! Compares a fresh `mqo classify --stats-json` snapshot against the
-//! committed baseline (`BENCH_PR3.json`) and exits non-zero when the two
+//! committed baseline (`BENCH_PR5.json`) and exits non-zero when the two
 //! cache-efficiency contracts regress beyond the tolerance (default 5%):
 //!
 //! * **tokens_sent** — metered prompt tokens must not *increase* by more
@@ -17,15 +18,29 @@
 //! split races (a waiter may find the entry cached by the time it looks),
 //! but their sum — lookups that sent nothing — is deterministic.
 //!
-//! Accuracy and wall time are reported for context but never gate:
-//! accuracy is checked bit-exactly by the test suite, and wall time is
-//! noise on shared CI runners.
+//! When both files carry serving metrics (`loadgen --merge-into` folds
+//! `serve_rps` / `serve_p50_ms` / `serve_p99_ms` into the snapshot),
+//! those gate too, against the much coarser `--serve-tolerance`
+//! (default 90%): throughput must not collapse and tail latency must
+//! not explode relative to baseline. Serving numbers are wall-clock
+//! measurements, so this gate is calibrated to catch *structural*
+//! regressions — a serialized worker pool, an accidentally synchronous
+//! queue — not runner-speed noise. `serve_rps` must also simply be
+//! non-zero. Baselines without serving fields skip the serving gate, so
+//! pre-serving baselines keep working.
+//!
+//! Accuracy, wall time, and `serve_p50_ms` are reported for context but
+//! never gate: accuracy is checked bit-exactly by the test suite, and
+//! absolute wall time is noise on shared CI runners.
 
 use std::process::ExitCode;
 
 fn die(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
-    eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance PCT]");
+    eprintln!(
+        "usage: bench_gate <baseline.json> <current.json> [--tolerance PCT] \\
+         [--serve-tolerance PCT]"
+    );
     ExitCode::from(2)
 }
 
@@ -44,11 +59,16 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 5.0f64;
+    let mut serve_tolerance = 90.0f64;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
             tolerance =
                 args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("bad --tolerance")?;
+            i += 2;
+        } else if args[i] == "--serve-tolerance" {
+            serve_tolerance =
+                args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("bad --serve-tolerance")?;
             i += 2;
         } else {
             paths.push(args[i].clone());
@@ -85,6 +105,48 @@ fn run() -> Result<bool, String> {
         if rate_ok { "ok" } else { "REGRESSED" }
     );
     ok &= rate_ok;
+
+    // Serving metrics: gate only when the baseline has them.
+    match (
+        field(&baseline, "serve_rps", baseline_path),
+        field(&current, "serve_rps", current_path),
+    ) {
+        (Ok(base_rps), Ok(cur_rps)) => {
+            let rps_delta =
+                if base_rps > 0.0 { 100.0 * (cur_rps - base_rps) / base_rps } else { 0.0 };
+            let rps_ok = cur_rps > 0.0 && rps_delta >= -serve_tolerance;
+            println!(
+                "  serve_rps   : {cur_rps:.0} vs {base_rps:.0}  ({rps_delta:+.2}%)  {}",
+                if rps_ok { "ok" } else { "REGRESSED" }
+            );
+            ok &= rps_ok;
+
+            let base_p99 = field(&baseline, "serve_p99_ms", baseline_path)?;
+            let cur_p99 = field(&current, "serve_p99_ms", current_path)?;
+            // Tolerance is symmetric in spirit: a T% throughput drop
+            // corresponds to a 1/(1-T) latency blow-up.
+            let p99_limit = if serve_tolerance < 100.0 {
+                base_p99 / (1.0 - serve_tolerance / 100.0)
+            } else {
+                f64::INFINITY
+            };
+            let p99_ok = cur_p99 <= p99_limit;
+            println!(
+                "  serve_p99_ms: {cur_p99:.2} vs {base_p99:.2}  (limit {p99_limit:.2})  {}",
+                if p99_ok { "ok" } else { "REGRESSED" }
+            );
+            ok &= p99_ok;
+
+            if let (Ok(b), Ok(c)) = (
+                field(&baseline, "serve_p50_ms", baseline_path),
+                field(&current, "serve_p50_ms", current_path),
+            ) {
+                println!("  serve_p50_ms: {c:.2} vs {b:.2}  (informational)");
+            }
+        }
+        (Err(_), _) => println!("  serving     : baseline has no serve_rps — gate skipped"),
+        (Ok(_), Err(e)) => return Err(format!("baseline gates serving but {e}")),
+    }
 
     // Context only — never gates.
     if let (Ok(b), Ok(c)) =

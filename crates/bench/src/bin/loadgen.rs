@@ -1,0 +1,372 @@
+//! `loadgen` — deterministic load generator for `mqo serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT | --addr-file FILE
+//!         [--requests N] [--concurrency C] [--batch B] [--node-max N]
+//!         [--seed S] [--tenant T] [--mode closed|open] [--rate R]
+//!         [--out FILE] [--merge-into FILE]
+//! ```
+//!
+//! Two driving disciplines:
+//!
+//! * **closed** (default) — C threads each fire the next request the
+//!   moment the previous response lands. Measures service capacity;
+//!   latency excludes client-side queueing.
+//! * **open** — requests depart on a fixed schedule (`--rate` per
+//!   second, round-robin across threads) regardless of completion, and
+//!   latency is measured from the *scheduled* departure so server-side
+//!   queueing shows up in the tail (avoids coordinated omission).
+//!
+//! Node choices derive from `(--seed, request index)` — not from
+//! per-thread state — so a given seed produces the same request
+//! multiset regardless of how threads race to claim work. That is what
+//! lets a resumed server replay a repeated burst entirely from its
+//! journal. `--node-max 0` (default) discovers the node range from
+//! `GET /v1/stats`. Summary JSON (rps, p50/p99 ms, status counts) goes
+//! to stdout and `--out`; `--merge-into` folds the three serving
+//! metrics into an existing stats JSON, which is how the bench baseline
+//! acquires `serve_*` fields for the CI gate; `--drain` requests a
+//! graceful drain once the burst completes.
+
+use mqo_obs::{http_get, http_post};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         loadgen --addr HOST:PORT | --addr-file FILE\n          \
+         [--requests N] [--concurrency C] [--batch B] [--node-max N]\n          \
+         [--seed S] [--tenant T] [--mode closed|open] [--rate R]\n          \
+         [--out FILE] [--merge-into FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if name == "drain" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            eprintln!("error: unexpected positional argument {:?}", args[i]);
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// One request's outcome, tagged with when it (nominally) departed.
+struct Sample {
+    latency: Duration,
+    status: u16,
+}
+
+fn status_code(status_line: &str) -> u16 {
+    status_line.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+struct Plan {
+    addr: SocketAddr,
+    requests: usize,
+    concurrency: usize,
+    batch: usize,
+    node_max: usize,
+    seed: u64,
+    tenant: String,
+    open_loop: bool,
+    rate: f64,
+}
+
+/// Body for request `k`. The RNG is keyed by `(seed, k)` alone so the
+/// request multiset for a seed is scheduling-independent: whichever
+/// thread claims request `k`, it sends the same nodes.
+fn build_body(k: usize, plan: &Plan) -> String {
+    let mix = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(k as u64 + 1);
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ mix);
+    if plan.batch == 1 {
+        let node = rng.gen_range(0..plan.node_max);
+        format!("{{\"node\": {node}, \"tenant\": \"{}\"}}", plan.tenant)
+    } else {
+        let nodes: Vec<String> =
+            (0..plan.batch).map(|_| rng.gen_range(0..plan.node_max).to_string()).collect();
+        format!("{{\"nodes\": [{}], \"tenant\": \"{}\"}}", nodes.join(", "), plan.tenant)
+    }
+}
+
+/// Fire requests and collect samples. Threads race to claim request
+/// indices; in open-loop mode request `k` departs at `start + k/rate`.
+fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..plan.concurrency {
+        let plan = Arc::clone(&plan);
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            loop {
+                let k = next.fetch_add(1, Ordering::SeqCst);
+                if k >= plan.requests {
+                    break;
+                }
+                let body = build_body(k, &plan);
+                let departs = if plan.open_loop {
+                    let scheduled = Duration::from_secs_f64(k as f64 / plan.rate);
+                    while start.elapsed() < scheduled {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    start + scheduled
+                } else {
+                    Instant::now()
+                };
+                let status = match http_post(plan.addr, "/v1/classify", &body) {
+                    Ok((status_line, _)) => status_code(&status_line),
+                    Err(_) => 0,
+                };
+                samples.push(Sample { latency: departs.elapsed(), status });
+            }
+            samples
+        }));
+    }
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().expect("load thread panicked"));
+    }
+    (samples, start.elapsed())
+}
+
+fn discover_node_max(addr: SocketAddr) -> Result<usize, String> {
+    let (status, body) = http_get(addr, "/v1/stats")
+        .map_err(|e| format!("cannot reach {addr}/v1/stats: {e}"))?;
+    if !status.contains("200") {
+        return Err(format!("/v1/stats returned {status}"));
+    }
+    let stats: serde_json::Value =
+        serde_json::from_str(body.trim()).map_err(|e| format!("bad stats JSON: {e}"))?;
+    stats
+        .get("nodes")
+        .and_then(|n| n.as_u64())
+        .map(|n| n as usize)
+        .ok_or_else(|| "stats JSON has no \"nodes\" field".to_string())
+}
+
+/// Fold the serving metrics into an existing stats JSON (e.g. a bench
+/// baseline), preserving every other key. The vendored `Map` is a
+/// `BTreeMap`, so output stays canonically sorted for clean diffs.
+fn merge_into(path: &str, rps: f64, p50_ms: f64, p99_ms: f64) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut doc: serde_json::Value =
+        serde_json::from_str(raw.trim()).map_err(|e| format!("bad JSON in {path}: {e}"))?;
+    let serde_json::Value::Object(map) = &mut doc else {
+        return Err(format!("{path} is not a JSON object"));
+    };
+    map.insert("serve_rps".into(), serde_json::json!(rps));
+    map.insert("serve_p50_ms".into(), serde_json::json!(p50_ms));
+    map.insert("serve_p99_ms".into(), serde_json::json!(p99_ms));
+    let mut out = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    out.push('\n');
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr_text = match (flags.get("addr"), flags.get("addr-file")) {
+        (Some(a), _) => a.clone(),
+        (None, Some(f)) => std::fs::read_to_string(f)
+            .map_err(|e| format!("cannot read {f}: {e}"))?
+            .trim()
+            .to_string(),
+        (None, None) => return Err("need --addr or --addr-file".into()),
+    };
+    let addr: SocketAddr =
+        addr_text.parse().map_err(|_| format!("bad address {addr_text:?}"))?;
+    let requests =
+        flags.get("requests").map_or(Ok(100), |s| s.parse().map_err(|_| "bad --requests"))?;
+    let concurrency: usize = flags
+        .get("concurrency")
+        .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --concurrency"))?;
+    let batch: usize =
+        flags.get("batch").map_or(Ok(1), |s| s.parse().map_err(|_| "bad --batch"))?;
+    let seed = flags.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let open_loop = match flags.get("mode").map(String::as_str) {
+        None | Some("closed") => false,
+        Some("open") => true,
+        Some(other) => return Err(format!("bad --mode {other:?} (want closed|open)")),
+    };
+    let rate: f64 =
+        flags.get("rate").map_or(Ok(50.0), |s| s.parse().map_err(|_| "bad --rate"))?;
+    if open_loop && rate <= 0.0 {
+        return Err("--rate must be positive in open-loop mode".into());
+    }
+    let node_max = match flags
+        .get("node-max")
+        .map_or(Ok(0), |s| s.parse().map_err(|_| "bad --node-max"))?
+    {
+        0 => discover_node_max(addr)?,
+        n => n,
+    };
+    if node_max == 0 {
+        return Err("node range is empty".into());
+    }
+
+    let plan = Arc::new(Plan {
+        addr,
+        requests,
+        concurrency: concurrency.max(1),
+        batch: batch.max(1),
+        node_max,
+        seed,
+        tenant: flags.get("tenant").cloned().unwrap_or_else(|| "default".into()),
+        open_loop,
+        rate,
+    });
+    let (samples, wall) = drive(Arc::clone(&plan));
+
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    let mut drained = 0usize;
+    let mut errors = 0usize;
+    let mut ok_ms: Vec<f64> = Vec::new();
+    for s in &samples {
+        match s.status {
+            200 => {
+                ok += 1;
+                ok_ms.push(s.latency.as_secs_f64() * 1e3);
+            }
+            429 => rejected += 1,
+            503 => drained += 1,
+            _ => errors += 1,
+        }
+    }
+    ok_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    let rps = if wall.as_secs_f64() > 0.0 { ok as f64 / wall.as_secs_f64() } else { 0.0 };
+    let p50 = percentile(&ok_ms, 0.50);
+    let p99 = percentile(&ok_ms, 0.99);
+
+    let summary = serde_json::json!({
+        "mode": if plan.open_loop { "open" } else { "closed" },
+        "requests": requests,
+        "concurrency": plan.concurrency,
+        "batch": plan.batch,
+        "seed": seed,
+        "ok": ok,
+        "rejected_429": rejected,
+        "rejected_503": drained,
+        "errors": errors,
+        "wall_s": wall.as_secs_f64(),
+        "serve_rps": rps,
+        "serve_p50_ms": p50,
+        "serve_p99_ms": p99,
+    });
+    let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    text.push('\n');
+    print!("{text}");
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("merge-into") {
+        merge_into(path, rps, p50, p99)?;
+    }
+    if flags.contains_key("drain") {
+        let (status, _) = http_post(addr, "/v1/drain", "{}")
+            .map_err(|e| format!("drain request failed: {e}"))?;
+        if !status.contains("202") {
+            return Err(format!("drain request refused: {status}"));
+        }
+    }
+    if ok == 0 {
+        return Err("no request succeeded".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        return usage();
+    }
+    let flags = parse_flags(&args);
+    match run(&flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let ms = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&ms, 0.50), 3.0);
+        assert_eq!(percentile(&ms, 0.99), 100.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn status_line_parses() {
+        assert_eq!(status_code("HTTP/1.1 200 OK"), 200);
+        assert_eq!(status_code("HTTP/1.1 429 Too Many Requests"), 429);
+        assert_eq!(status_code("garbage"), 0);
+    }
+
+    fn plan(batch: usize, seed: u64) -> Plan {
+        Plan {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            requests: 8,
+            concurrency: 2,
+            batch,
+            node_max: 50,
+            seed,
+            tenant: "default".into(),
+            open_loop: false,
+            rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn body_shape_matches_batch_flag() {
+        let single = build_body(0, &plan(1, 7));
+        assert!(single.contains("\"node\":"), "{single}");
+        let multi = build_body(0, &plan(3, 7));
+        assert!(multi.contains("\"nodes\": ["), "{multi}");
+    }
+
+    #[test]
+    fn request_bodies_depend_only_on_seed_and_index() {
+        let p = plan(2, 13);
+        for k in 0..8 {
+            assert_eq!(build_body(k, &p), build_body(k, &p));
+        }
+        assert_ne!(build_body(0, &p), build_body(1, &p), "indices draw distinct nodes");
+        assert_ne!(build_body(0, &p), build_body(0, &plan(2, 14)), "seeds shift the stream");
+    }
+}

@@ -11,6 +11,12 @@
 //!              [--repeat K] [--batch B] [--stats-json FILE]
 //!              [--faults SPEC] [--fault-kill-after N]
 //!              [--journal FILE] [--resume] [--dump-records FILE]
+//! mqo serve    <dataset|FILE> [--addr A] [--method M] [--queries N]
+//!              [--workers W] [--queue-cap Q] [--budget B] [--boost]
+//!              [--tenants a=1000,b=500] [--tenant-budget N]
+//!              [--cache-cap N] [--no-cache] [--retries N] [--faults SPEC]
+//!              [--journal FILE] [--resume] [--trace-chrome FILE]
+//!              [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -42,10 +48,12 @@ use mqo_obs::{
     ChromeTraceSink, CostLedger, Fanout, MetricsServer, MetricsSink, MonotonicClock, SpanId,
     Tracer, WaitClock,
 };
+use mqo_serve::{ServeConfig, ServerOptions};
 use mqo_token::GPT_35_TURBO_0125;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -61,6 +69,11 @@ fn usage() -> ExitCode {
          [--repeat K] [--batch B] [--stats-json FILE]\n               \
          [--faults error=R,malformed=R,rate-limit=R,latency=R,truncate=R,outage=S+L]\n               \
          [--fault-kill-after N] [--journal FILE] [--resume] [--dump-records FILE]\n  \
+         mqo serve    <dataset|FILE> [--addr A] [--method M] [--queries N] [--workers W]\n               \
+         [--queue-cap Q] [--budget B] [--boost] [--tenants a=1000,b=500]\n               \
+         [--tenant-budget N] [--cache-cap N] [--no-cache] [--retries N]\n               \
+         [--faults SPEC] [--journal FILE] [--resume] [--trace-chrome FILE]\n               \
+         [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -551,6 +564,123 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     Ok(())
 }
 
+/// Long-running classification service over the same stack as
+/// `classify`. Blocks until SIGTERM/SIGINT or `POST /v1/drain`, then
+/// drains gracefully: in-flight work completes, the journal is sealed,
+/// and artifacts (chrome trace, cost ledger, stats) are written — so a
+/// `--resume` restart re-bills zero tokens.
+fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let arg = pos.first().ok_or("missing dataset or file")?;
+    let seed = flags.get("seed").map_or(Ok(42u64), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let bundle = resolve_bundle(arg, flags.get("scale").and_then(|s| s.parse().ok()), seed)?;
+
+    let mut tenant_budgets = HashMap::new();
+    if let Some(spec) = flags.get("tenants") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (name, tokens) =
+                part.split_once('=').ok_or("bad --tenants (want name=tokens,...)")?;
+            tenant_budgets.insert(
+                name.to_string(),
+                tokens.parse().map_err(|_| "bad --tenants token budget")?,
+            );
+        }
+    }
+    let cache_cap: usize = if flags.contains_key("no-cache") {
+        0
+    } else {
+        flags.get("cache-cap").map_or(Ok(4096), |s| s.parse().map_err(|_| "bad --cache-cap"))?
+    };
+    let cfg = ServeConfig {
+        method: flags.get("method").cloned().unwrap_or_else(|| "1hop".into()),
+        seed,
+        split_queries: flags
+            .get("queries")
+            .map_or(Ok(200), |s| s.parse().map_err(|_| "bad --queries"))?,
+        max_neighbors: 0,
+        budget: flags
+            .get("budget")
+            .map(|b| b.parse().map_err(|_| "bad --budget"))
+            .transpose()?,
+        retries: flags
+            .get("retries")
+            .map_or(Ok(3), |s| s.parse().map_err(|_| "bad --retries"))?,
+        cache_cap,
+        boost: flags.contains_key("boost"),
+        faults: flags.get("faults").cloned(),
+        journal: flags.get("journal").map(PathBuf::from),
+        resume: flags.contains_key("resume"),
+        trace_chrome: flags.get("trace-chrome").map(PathBuf::from),
+        tenant_budgets,
+        default_tenant_budget: flags
+            .get("tenant-budget")
+            .map(|b| b.parse().map_err(|_| "bad --tenant-budget"))
+            .transpose()?,
+    };
+    let engine = Arc::new(mqo_serve::Engine::new(bundle, cfg)?);
+    let options = ServerOptions {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8080".into()),
+        workers: flags
+            .get("workers")
+            .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --workers"))?,
+        queue_capacity: flags
+            .get("queue-cap")
+            .map_or(Ok(64), |s| s.parse().map_err(|_| "bad --queue-cap"))?,
+    };
+    let workers = options.workers;
+    let server = mqo_serve::Server::start(Arc::clone(&engine), options)
+        .map_err(|e| format!("cannot serve: {e}"))?;
+    println!("serving         : http://{}/v1/classify", server.addr());
+    println!("endpoints       : /v1/healthz /v1/stats /v1/drain /metrics /progress");
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, format!("{}\n", server.addr()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    mqo_serve::signal::install_term_handler();
+    while !mqo_serve::signal::term_requested() && !engine.drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("drain requested : finishing in-flight work");
+    let report = server.drain();
+
+    let totals = engine.totals();
+    println!("queries         : {} ({} replayed)", report.queries, report.replayed);
+    println!("tokens billed   : {}", totals.prompt_tokens);
+    if report.journal_sealed {
+        if let Some(j) = engine.journal() {
+            println!("journal sealed  : {}", j.path().display());
+        }
+    }
+    let cstats = engine.cache_stats();
+    if cache_cap > 0 {
+        println!(
+            "cache           : {} hit, {} miss, {} coalesced ({:.1}% served)",
+            cstats.cache.hits,
+            cstats.cache.misses,
+            cstats.coalesced,
+            100.0 * cstats.serve_rate(),
+        );
+    }
+    if let Some(path) = flags.get("cost-json") {
+        let ledger_report = engine.ledger().report();
+        std::fs::write(path, ledger_report.to_json(totals.prompt_tokens))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "cost ledger     : {path} (reconciles with meter: {})",
+            ledger_report.reconciles_with(totals.prompt_tokens)
+        );
+    }
+    if let Some(spans) = engine.chrome_span_count() {
+        println!("chrome trace    : {} ({spans} spans)", flags["trace-chrome"]);
+    }
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(path, engine.stats_json(None, workers))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("stats written   : {path}");
+    }
+    Ok(())
+}
+
 fn cmd_plan(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
     let arg = pos.first().ok_or("missing dataset")?;
     let seed = 42;
@@ -639,6 +769,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&pos),
         "classify" => cmd_classify(&pos, &flags),
         "plan" => cmd_plan(&pos, &flags),
+        "serve" => cmd_serve(&pos, &flags),
         "tables" => {
             cmd_tables();
             Ok(())

@@ -32,6 +32,8 @@
 //!   stream (the introduction's dynamic-node scenario).
 //! * [`planner`] — dollars → tokens → τ campaign planning before any LLM
 //!   call (§V-C arithmetic over rendered-prompt estimates).
+//! * [`queue`] — the bounded MPMC work queue behind the `mqo-serve`
+//!   request scheduler (non-blocking admission, drain-aware pop).
 
 //! ```
 //! use mqo_core::{Executor, LabelStore, ZeroShot};
@@ -75,6 +77,7 @@ pub mod parallel;
 pub mod planner;
 pub mod predictor;
 pub mod pruning;
+pub mod queue;
 pub mod stream;
 pub mod surrogate;
 pub mod tuned;
@@ -85,3 +88,4 @@ pub use inadequacy::InadequacyScorer;
 pub use journal::{RunHeader, RunJournal};
 pub use labels::LabelStore;
 pub use predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
+pub use queue::{BoundedQueue, PushError};

@@ -4,11 +4,19 @@
 //! the Prometheus text exposition of a [`MetricsSink`]'s registry and
 //! `GET /progress` with its compact JSON snapshot, and shuts down cleanly
 //! on drop. It is deliberately not a web server: one short-lived
-//! connection at a time, request line only, `Connection: close` — exactly
-//! enough for `curl` and a Prometheus scraper, with zero dependencies.
+//! connection at a time, `Connection: close` — exactly enough for `curl`
+//! and a Prometheus scraper, with zero dependencies. Request parsing and
+//! response writing live in [`crate::httpd`], shared with the serving
+//! stack in `mqo-serve`.
+//!
+//! Serving failures are not silent: every connection that dies with an
+//! I/O error increments the `mqo_http_errors_total` counter on the
+//! sink's own registry, so a flaky scraper (or a broken response path)
+//! shows up in the very endpoint it scrapes.
 
+use crate::httpd::{read_request, respond};
 use crate::registry::MetricsSink;
-use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,17 +42,26 @@ impl MetricsServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_worker = Arc::clone(&stop);
+        let errors = sink
+            .registry()
+            .counter("mqo_http_errors_total", "HTTP connections that died with an I/O error");
         let handle = thread::Builder::new().name("mqo-metrics".into()).spawn(move || {
             while !stop_worker.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        // A broken scrape must not take the server down.
-                        let _ = serve_one(stream, &sink);
+                        // A broken scrape must not take the server down —
+                        // but it must be visible in the metrics it broke.
+                        if serve_one(stream, &sink).is_err() {
+                            errors.inc();
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
                     }
-                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                    Err(_) => {
+                        errors.inc();
+                        thread::sleep(Duration::from_millis(5));
+                    }
                 }
             }
         })?;
@@ -66,22 +83,12 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_nonblocking(false)?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // "GET /metrics HTTP/1.1" — method and path are all we route on.
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let mut stream = reader.into_inner();
-    if method != "GET" {
+fn serve_one(mut stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
+    let req = read_request(&mut stream)?;
+    if req.method != "GET" {
         return respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET\n");
     }
-    match path {
+    match req.path.as_str() {
         "/metrics" => {
             let body = sink.registry().render_prometheus();
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
@@ -95,40 +102,13 @@ fn serve_one(stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
-}
-
-/// Blocking one-shot `GET` against a [`MetricsServer`] — test helper kept
-/// in the crate so integration tests and the smoke script share one
-/// correct client.
-pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n")?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
-    let status = head.lines().next().unwrap_or("").to_string();
-    Ok((status, body.to_string()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::httpd::http_get;
     use crate::sink::EventSink;
+    use std::io::Write as _;
 
     fn sink_with_traffic() -> Arc<MetricsSink> {
         let sink = Arc::new(MetricsSink::new());
@@ -185,6 +165,29 @@ mod tests {
         });
         let (_, after) = http_get(server.addr(), "/metrics").unwrap();
         assert!(after.contains("mqo_queries_total 1"), "scrape is live: {after}");
+    }
+
+    #[test]
+    fn connection_errors_are_counted_not_swallowed() {
+        let sink = Arc::new(MetricsSink::new());
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&sink)).unwrap();
+        // A client that sends garbage framing and hangs up: the request
+        // parse fails, the connection dies, and the error is counted.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"\r\n").unwrap();
+        drop(stream);
+        // The error lands asynchronously in the accept thread; poll the
+        // live exposition until the counter moves.
+        let mut seen = String::new();
+        for _ in 0..100 {
+            let (_, body) = http_get(server.addr(), "/metrics").unwrap();
+            seen = body;
+            if seen.contains("mqo_http_errors_total 1") {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(seen.contains("mqo_http_errors_total 1"), "errors stayed invisible: {seen}");
     }
 
     #[test]

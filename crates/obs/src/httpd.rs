@@ -1,0 +1,283 @@
+//! Minimal std-only HTTP/1.1 plumbing shared by every endpoint in the
+//! workspace.
+//!
+//! Two hand-rolled servers grew the same request/response code — the
+//! metrics endpoint in [`crate::MetricsServer`] and the classification
+//! service in `mqo-serve`. This module is the one copy both use: parse a
+//! request ([`read_request`]), write a response ([`respond`] /
+//! [`respond_with_headers`]), and a pair of blocking one-shot clients
+//! ([`http_get`], [`http_post`]) so integration tests, the load
+//! generator, and the smoke scripts all speak through one correct
+//! implementation.
+//!
+//! It is deliberately not a web framework: `Connection: close`, one
+//! request per connection, headers folded to lowercase names, bodies only
+//! via `Content-Length`. Exactly enough for `curl`, a Prometheus
+//! scraper, and the serving API.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Cap on accepted request bodies: a classification batch is a few KB of
+/// node ids; anything near this size is a client bug or abuse.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an empty string if it is not valid UTF-8.
+    pub fn body_utf8(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Read one request from `stream`: request line, headers, and a
+/// `Content-Length` body. Fails on malformed framing (no request line,
+/// header without `:`, oversized or truncated body) — callers count the
+/// error and drop the connection.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+    };
+    let mut req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+            })?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+            }
+        }
+        req.headers.push((name, value));
+    }
+
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Write a complete `Connection: close` response with no extra headers.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    respond_with_headers(stream, status, content_type, &[], body)
+}
+
+/// Write a complete response with extra headers (e.g. `Retry-After`).
+pub fn respond_with_headers(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn one_shot(addr: SocketAddr, raw_request: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(raw_request.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+/// Blocking one-shot `GET`: returns `(status line, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    one_shot(addr, &format!("GET {path} HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n"))
+}
+
+/// Blocking one-shot `POST` with a JSON body: returns `(status line, body)`.
+pub fn http_post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(String, String)> {
+    one_shot(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: mqo\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Serve exactly one connection with `handler`, return the bound addr.
+    fn serve_once(
+        handler: impl FnOnce(Request, &mut TcpStream) + Send + 'static,
+    ) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream) {
+                Ok(req) => handler(req, &mut stream),
+                Err(e) => {
+                    let _ =
+                        respond(&mut stream, "400 Bad Request", "text/plain", &e.to_string());
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn get_round_trips_method_path_and_headers() {
+        let addr = serve_once(|req, stream| {
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.path, "/hello?x=1");
+            assert_eq!(req.header("host"), Some("mqo"));
+            assert!(req.body.is_empty());
+            respond(stream, "200 OK", "text/plain", "hi\n").unwrap();
+        });
+        let (status, body) = http_get(addr, "/hello?x=1").unwrap();
+        assert!(status.contains("200"), "status: {status}");
+        assert_eq!(body, "hi\n");
+    }
+
+    #[test]
+    fn post_carries_the_body_both_ways() {
+        let addr = serve_once(|req, stream| {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.body_utf8(), "{\"nodes\":[1,2]}");
+            assert_eq!(req.header("content-type"), Some("application/json"));
+            respond(stream, "200 OK", "application/json", "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = http_post(addr, "/v1/classify", "{\"nodes\":[1,2]}").unwrap();
+        assert!(status.contains("200"), "status: {status}");
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn extra_headers_reach_the_client() {
+        let addr = serve_once(|_, stream| {
+            respond_with_headers(
+                stream,
+                "429 Too Many Requests",
+                "application/json",
+                &[("Retry-After", "2".to_string())],
+                "{\"error\":\"saturated\"}",
+            )
+            .unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.contains("429 Too Many Requests"), "got: {raw}");
+        assert!(raw.contains("Retry-After: 2\r\n"), "got: {raw}");
+        assert!(raw.ends_with("{\"error\":\"saturated\"}"), "got: {raw}");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"\r\n").unwrap();
+            stream.flush().unwrap();
+            // Keep the stream open until the server has parsed.
+            let mut buf = String::new();
+            let _ = stream.read_to_string(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        assert!(read_request(&mut stream).is_err(), "empty request line must fail");
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_without_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    format!(
+                        "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                        MAX_BODY_BYTES + 1
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            let mut buf = String::new();
+            let _ = stream.read_to_string(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(err.to_string().contains("too large"), "got: {err}");
+        drop(stream);
+        client.join().unwrap();
+    }
+}

@@ -21,6 +21,10 @@
 //! - [`Registry`] / [`MetricsSink`] / [`MetricsServer`] — live named
 //!   counters, gauges and histograms with Prometheus text exposition over
 //!   a std-only HTTP endpoint (`GET /metrics`, `GET /progress`).
+//! - [`httpd`] — the minimal HTTP/1.1 request/response plumbing shared
+//!   by [`MetricsServer`] and the `mqo-serve` classification service,
+//!   plus one-shot [`http_get`] / [`http_post`] clients for tests and
+//!   load generation.
 //! - [`CostLedger`] — the token-cost attribution ledger: where every
 //!   prompt token went (billed, pruned, cache-saved, starved), reconciled
 //!   exactly against the usage meter.
@@ -51,6 +55,7 @@ mod clock;
 mod cost;
 mod event;
 mod http;
+pub mod httpd;
 mod metrics;
 mod registry;
 mod sink;
@@ -61,7 +66,8 @@ pub use chrome::ChromeTraceSink;
 pub use clock::{Clock, ManualClock, MonotonicClock, WaitClock, MONOTONIC_CLOCK};
 pub use cost::{CostLedger, CostReport, RoundCost};
 pub use event::Event;
-pub use http::{http_get, MetricsServer};
+pub use http::MetricsServer;
+pub use httpd::{http_get, http_post};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{MetricsSink, Registry};
 pub use sink::{

@@ -1,0 +1,523 @@
+//! The classification engine behind the HTTP surface.
+//!
+//! An [`Engine`] loads one TAG and builds the full production client
+//! stack once — simulated model → fault injection → resilience →
+//! validation → retries → lenient recovery → response cache — then
+//! answers classification batches from any number of worker threads.
+//! Every query runs through the same [`mqo_core::Executor`] as the batch
+//! CLI: same per-node RNG derivation, same Eq. 2 budget enforcement,
+//! same telemetry events, same journal format. That sharing is what
+//! makes served responses bit-identical to a batch run of the same
+//! nodes (with the order-dependent optimizations, boosting and the
+//! response cache, off), and what lets a drained server resume
+//! billing-free from its journal.
+
+use crate::config::ServeConfig;
+use crate::tenant::{TenantExhausted, TenantTable};
+use mqo_core::journal::{record_to_json, RunHeader, RunJournal};
+use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
+use mqo_core::{Executor, LabelStore, QueryRecord};
+use mqo_data::DatasetBundle;
+use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
+use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
+use mqo_llm::{
+    CachedLlm, CachedLlmStats, LanguageModel, LenientLlm, ModelProfile, ResilienceConfig,
+    ResilientLlm, RetryingLlm, SimLlm, ValidatingLlm,
+};
+use mqo_obs::{
+    ChromeTraceSink, CostLedger, Counter, EventSink, Fanout, MetricsSink, MonotonicClock,
+    SpanId, Tracer, WaitClock,
+};
+use mqo_token::ledger::Totals;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The one concrete client stack serving runs — identical layering to the
+/// batch CLI so behavior (and records) match exactly.
+type ServeStack =
+    CachedLlm<LenientLlm<RetryingLlm<ValidatingLlm<ResilientLlm<FaultyLlm<SimLlm>>>>>>;
+
+/// Why a request was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The server is draining: no new work is admitted.
+    Draining,
+    /// The tenant's admission budget is exhausted.
+    TenantExhausted(TenantExhausted),
+    /// The request queue is full — backpressure; retry later.
+    Saturated,
+}
+
+/// Result of processing one admitted classification batch.
+#[derive(Debug, Clone)]
+pub struct ProcessedBatch {
+    /// Per-node records, in request order — exactly the journal format.
+    pub records: Vec<QueryRecord>,
+    /// How many records were replayed from the journal (zero re-billing).
+    pub replayed: u64,
+    /// Prompt tokens recorded against the tenant for this batch.
+    pub billed_tokens: u64,
+}
+
+impl ProcessedBatch {
+    /// The response body for `POST /v1/classify`.
+    pub fn to_json(&self, tenant: &str) -> Value {
+        json!({
+            "tenant": tenant,
+            "records": self.records.iter().map(record_to_json).collect::<Vec<_>>(),
+            "replayed": self.replayed,
+            "billed_tokens": self.billed_tokens,
+        })
+    }
+}
+
+/// The serving engine; see the module docs. Shared as `Arc<Engine>`
+/// between the accept loop, connection handlers, and the worker pool.
+pub struct Engine {
+    bundle: DatasetBundle,
+    predictor: Box<dyn Predictor>,
+    llm: ServeStack,
+    labels: RwLock<LabelStore>,
+    journal: Option<RunJournal>,
+    fanout: Arc<Fanout>,
+    tracer: Arc<Tracer>,
+    chrome: Option<Arc<ChromeTraceSink>>,
+    ledger: Arc<CostLedger>,
+    metrics: Arc<MetricsSink>,
+    tenants: TenantTable,
+    method: String,
+    seed: u64,
+    max_neighbors: usize,
+    budget: Option<u64>,
+    boost: bool,
+    cache_cap: usize,
+    run_scope: AtomicU64,
+    draining: AtomicBool,
+    drain_requested: AtomicBool,
+    // Registry-backed counters double as /metrics series and /v1/stats
+    // fields.
+    requests_total: Arc<Counter>,
+    queries_total: Arc<Counter>,
+    replayed_total: Arc<Counter>,
+    rejected_queue: Arc<Counter>,
+    rejected_tenant: Arc<Counter>,
+    rejected_draining: Arc<Counter>,
+}
+
+fn make_predictor(method: &str, bundle: &DatasetBundle) -> Result<Box<dyn Predictor>, String> {
+    let n = bundle.tag.num_nodes();
+    Ok(match method {
+        "zero-shot" => Box::new(ZeroShot),
+        "1hop" => Box::new(KhopRandom::new(1, n)),
+        "2hop" => Box::new(KhopRandom::new(2, n)),
+        "sns" => Box::new(Sns::fit(&bundle.tag)),
+        "llmrank" => Box::new(LlmRanked::fit(&bundle.tag, 2)),
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn split_for(
+    bundle: &DatasetBundle,
+    queries: usize,
+    seed: u64,
+) -> Result<LabeledSplit, String> {
+    let cfg = match bundle.spec.split {
+        SplitConfig::PerClass { per_class, .. } => {
+            SplitConfig::PerClass { per_class, num_queries: queries }
+        }
+        SplitConfig::Fraction { labeled_fraction, .. } => {
+            SplitConfig::Fraction { labeled_fraction, num_queries: queries }
+        }
+    };
+    LabeledSplit::generate(&bundle.tag, cfg, &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| format!("cannot split: {e}"))
+}
+
+impl Engine {
+    /// Build the engine: labeled split, predictor, client stack,
+    /// telemetry fanout, tenant table, and (optionally) the crash-safe
+    /// journal — created fresh or resumed from a previous server's
+    /// sealed journal, in which case already-answered nodes replay with
+    /// zero re-billing.
+    pub fn new(bundle: DatasetBundle, cfg: ServeConfig) -> Result<Engine, String> {
+        let split = split_for(&bundle, cfg.split_queries, cfg.seed)?;
+        let labels = LabelStore::from_split(&bundle.tag, &split);
+        let predictor = make_predictor(&cfg.method, &bundle)?;
+
+        let metrics = Arc::new(MetricsSink::new());
+        let ledger = Arc::new(CostLedger::new());
+        let chrome = cfg
+            .trace_chrome
+            .as_ref()
+            .map(ChromeTraceSink::create)
+            .transpose()
+            .map_err(|e| format!("cannot create chrome trace file: {e}"))?
+            .map(Arc::new);
+        let tracer = Arc::new(if chrome.is_some() {
+            Tracer::new(Arc::new(MonotonicClock))
+        } else {
+            Tracer::disabled()
+        });
+        let fanout = Arc::new(Fanout::new());
+        fanout.push(metrics.clone());
+        fanout.push(ledger.clone());
+        if let Some(c) = &chrome {
+            fanout.push(c.clone());
+        }
+
+        // Same stack, same order, same defaults as `mqo classify`:
+        // validation above resilience so the breaker counts transport
+        // failures only; the cache wraps everything so hits skip the
+        // whole chain.
+        let wait_clock: Arc<dyn WaitClock> = Arc::new(MonotonicClock);
+        let sim = SimLlm::new(
+            bundle.lexicon.clone(),
+            bundle.tag.class_names().to_vec(),
+            ModelProfile::gpt35(),
+        );
+        let schedule = match &cfg.faults {
+            Some(spec) => FaultSchedule::seeded(
+                cfg.seed,
+                FaultConfig::parse(spec).map_err(|e| format!("bad fault spec: {e}"))?,
+            ),
+            None => FaultSchedule::clean(),
+        };
+        let faulty =
+            FaultyLlm::new(sim, schedule, wait_clock.clone()).with_sink(fanout.clone());
+        let mut resilient = ResilientLlm::new(
+            faulty,
+            ResilienceConfig { seed: cfg.seed, ..ResilienceConfig::default() },
+            wait_clock,
+        )
+        .with_sink(fanout.clone());
+        if tracer.enabled() {
+            resilient = resilient.with_tracer(tracer.clone());
+        }
+        let mut retrying = RetryingLlm::new(
+            ValidatingLlm::new(resilient, bundle.tag.class_names().to_vec()),
+            cfg.retries.max(1),
+        )
+        .with_sink(fanout.clone());
+        if let Some(b) = cfg.budget {
+            retrying = retrying.with_budget(b);
+        }
+        if tracer.enabled() {
+            retrying = retrying.with_tracer(tracer.clone());
+        }
+        let llm = CachedLlm::new(LenientLlm::new(retrying), cfg.cache_cap);
+        llm.meter().attach_sink(fanout.clone());
+
+        let journal = match &cfg.journal {
+            Some(path) => {
+                // `queries: 0` fingerprints an open-ended server — the
+                // request count isn't known up front, and create/resume
+                // headers must agree across restarts.
+                let header = RunHeader {
+                    dataset: bundle.tag.name().to_string(),
+                    method: cfg.method.clone(),
+                    seed: cfg.seed,
+                    queries: 0,
+                    boost: cfg.boost,
+                    budget: cfg.budget,
+                };
+                Some(if cfg.resume {
+                    RunJournal::resume(path, &header)
+                        .map_err(|e| format!("cannot resume journal {}: {e}", path.display()))?
+                } else {
+                    RunJournal::create(path, &header)
+                        .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?
+                })
+            }
+            None => None,
+        };
+
+        let max_neighbors = if cfg.max_neighbors > 0 {
+            cfg.max_neighbors
+        } else if bundle.tag.name() == "ogbn-products" {
+            10
+        } else {
+            4
+        };
+
+        let registry = metrics.registry();
+        let counter = |name: &str, help: &str| registry.counter(name, help);
+        Ok(Engine {
+            requests_total: counter(
+                "mqo_serve_requests_total",
+                "classification requests answered successfully",
+            ),
+            queries_total: counter(
+                "mqo_serve_queries_total",
+                "node queries executed or replayed by the serving engine",
+            ),
+            replayed_total: counter(
+                "mqo_serve_replayed_total",
+                "node queries served from the journal without re-billing",
+            ),
+            rejected_queue: counter(
+                "mqo_serve_rejected_queue_total",
+                "requests refused with 429 because the queue was full",
+            ),
+            rejected_tenant: counter(
+                "mqo_serve_rejected_tenant_total",
+                "requests refused with 429 because the tenant budget was exhausted",
+            ),
+            rejected_draining: counter(
+                "mqo_serve_rejected_draining_total",
+                "requests refused with 503 because the server was draining",
+            ),
+            tenants: TenantTable::new(cfg.tenant_budgets, cfg.default_tenant_budget),
+            labels: RwLock::new(labels),
+            method: cfg.method,
+            seed: cfg.seed,
+            max_neighbors,
+            budget: cfg.budget,
+            boost: cfg.boost,
+            cache_cap: cfg.cache_cap,
+            run_scope: AtomicU64::new(SpanId::NONE.0),
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            bundle,
+            predictor,
+            llm,
+            journal,
+            fanout,
+            tracer,
+            chrome,
+            ledger,
+            metrics,
+        })
+    }
+
+    /// One executor view over the engine, ready for a worker thread.
+    fn executor(&self) -> Executor<'_> {
+        let mut exec =
+            Executor::new(&self.bundle.tag, &self.llm, self.max_neighbors, self.seed)
+                .with_sink(&*self.fanout)
+                .with_tracer(&self.tracer)
+                .with_degrade();
+        if let Some(j) = &self.journal {
+            exec = exec.with_journal(j);
+        }
+        if let Some(b) = self.budget {
+            exec = exec.with_budget(b);
+        }
+        exec.set_span_scope(self.run_scope());
+        exec
+    }
+
+    /// Classify `nodes` for `tenant`. Called from worker threads after
+    /// admission; journal replay short-circuits already-answered nodes,
+    /// fresh queries run the full stack, and (with boosting on)
+    /// successful predictions become pseudo-labels that enrich later
+    /// prompts on neighboring nodes.
+    pub fn process(&self, nodes: &[NodeId], tenant: &str) -> ProcessedBatch {
+        let exec = self.executor();
+        let mut records = Vec::with_capacity(nodes.len());
+        let mut replayed = 0u64;
+        let mut billed_tokens = 0u64;
+        {
+            let labels = self.labels.read();
+            for &v in nodes {
+                if let Some(rec) = exec.replay_journaled(v) {
+                    replayed += 1;
+                    records.push(rec);
+                    continue;
+                }
+                let mut rng = exec.query_rng(v);
+                let rec = match exec.run_one(&*self.predictor, &labels, v, &mut rng, false) {
+                    Ok(rec) => rec,
+                    // Degraded mode handles model errors inside run_one;
+                    // this arm only fires on internal errors, which still
+                    // must produce a recorded outcome.
+                    Err(e) => exec.failed_record(v, e.to_string()),
+                };
+                exec.journal_record(&rec);
+                billed_tokens += rec.prompt_tokens;
+                records.push(rec);
+            }
+        }
+        if self.boost {
+            let mut labels = self.labels.write();
+            for rec in &records {
+                if rec.failure.is_none() && !rec.parse_failed && !rec.budget_starved {
+                    labels.add_pseudo(rec.node, rec.predicted);
+                }
+            }
+        }
+        self.queries_total.add(records.len() as u64);
+        self.replayed_total.add(replayed);
+        self.tenants.charge(tenant, billed_tokens);
+        ProcessedBatch { records, replayed, billed_tokens }
+    }
+
+    /// Admission check for one request (draining, then tenant budget).
+    /// Queue backpressure is the server's third gate. Nothing is charged
+    /// on refusal.
+    pub fn admit(&self, tenant: &str) -> Result<(), Rejection> {
+        if self.draining() {
+            self.rejected_draining.inc();
+            return Err(Rejection::Draining);
+        }
+        self.tenants.admit(tenant).map_err(|e| {
+            self.rejected_tenant.inc();
+            Rejection::TenantExhausted(e)
+        })
+    }
+
+    /// Count one answered request (for `/v1/stats` and `/metrics`).
+    pub fn count_request(&self) {
+        self.requests_total.inc();
+    }
+
+    /// Count one queue-full refusal.
+    pub fn count_queue_rejection(&self) {
+        self.rejected_queue.inc();
+    }
+
+    /// The `/v1/stats` document.
+    pub fn stats_json(&self, queue: Option<(usize, usize)>, workers: usize) -> String {
+        let totals = self.totals();
+        let cache = self.cache_stats();
+        let mut stats = json!({
+            "dataset": self.bundle.tag.name(),
+            "nodes": self.bundle.tag.num_nodes(),
+            "method": self.method,
+            "seed": self.seed,
+            "draining": self.draining(),
+            "workers": workers,
+            "requests": self.requests_total.get(),
+            "queries": self.queries_total.get(),
+            "replayed": self.replayed_total.get(),
+            "rejected": {
+                "queue": self.rejected_queue.get(),
+                "tenant": self.rejected_tenant.get(),
+                "draining": self.rejected_draining.get(),
+            },
+            "tokens_billed": totals.prompt_tokens,
+            "requests_sent": totals.requests,
+            "budget": self.budget,
+            "cache": {
+                "capacity": self.cache_cap,
+                "hits": cache.cache.hits,
+                "misses": cache.cache.misses,
+                "coalesced": cache.coalesced,
+                "serve_rate": cache.serve_rate(),
+                "tokens_saved": cache.tokens_saved,
+            },
+            "pseudo_labels": self.labels.read().num_pseudo(),
+            "journal": self.journal.as_ref().map(|j| json!({
+                "path": j.path().display().to_string(),
+                "recorded": j.recorded(),
+                "replayed": j.replayed(),
+                "pending_replays": j.pending_replays(),
+            })),
+            "tenants": self.tenants.to_json(),
+        });
+        if let (Some((depth, capacity)), Value::Object(map)) = (queue, &mut stats) {
+            map.insert("queue".into(), json!({"depth": depth, "capacity": capacity}));
+        }
+        let mut body = serde_json::to_string(&stats).expect("stats serialization");
+        body.push('\n');
+        body
+    }
+
+    /// End-of-life reporting, called once after the worker pool has
+    /// drained and the run span closed: emit the cache summary and flush
+    /// the Chrome trace so artifacts are complete on disk.
+    pub fn finish(&self) {
+        self.llm.report(&*self.fanout);
+        if let Some(c) = &self.chrome {
+            EventSink::flush(&**c);
+        }
+    }
+
+    /// Whether new work is refused (drain in progress or complete).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Stop admitting classification work. Set by the drain sequence
+    /// before the listener closes, so requests racing the drain get a
+    /// clean `503` instead of a dead socket.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether something (SIGTERM, `POST /v1/drain`) asked the lifecycle
+    /// owner to drain. The flag does not drain by itself: whoever owns
+    /// the [`crate::Server`] polls it and calls
+    /// [`crate::Server::drain`].
+    pub fn drain_requested(&self) -> bool {
+        self.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Request a drain (see [`Engine::drain_requested`]).
+    pub fn request_drain(&self) {
+        self.drain_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Fallback parent span for worker queries (the run span).
+    pub fn run_scope(&self) -> SpanId {
+        SpanId(self.run_scope.load(Ordering::Relaxed))
+    }
+
+    /// Set the fallback parent span (done once, before serving starts).
+    pub fn set_run_scope(&self, scope: SpanId) {
+        self.run_scope.store(scope.0, Ordering::Relaxed);
+    }
+
+    /// The span factory (enabled only when a Chrome trace was requested).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The shared telemetry fanout.
+    pub fn fanout(&self) -> &Fanout {
+        &self.fanout
+    }
+
+    /// The live metrics sink backing `/metrics` and `/progress`.
+    pub fn metrics(&self) -> &Arc<MetricsSink> {
+        &self.metrics
+    }
+
+    /// The token-cost attribution ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The crash-safe journal, if one was configured.
+    pub fn journal(&self) -> Option<&RunJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Usage-meter totals of the underlying model (global billed spend).
+    pub fn totals(&self) -> Totals {
+        self.llm.meter().totals()
+    }
+
+    /// Response-cache statistics.
+    pub fn cache_stats(&self) -> CachedLlmStats {
+        self.llm.stats()
+    }
+
+    /// Spans written to the Chrome trace so far, if tracing is on.
+    pub fn chrome_span_count(&self) -> Option<usize> {
+        self.chrome.as_ref().map(|c| c.span_count())
+    }
+
+    /// Dataset name.
+    pub fn dataset_name(&self) -> &str {
+        self.bundle.tag.name()
+    }
+
+    /// Node-id bound for request validation.
+    pub fn num_nodes(&self) -> usize {
+        self.bundle.tag.num_nodes()
+    }
+}

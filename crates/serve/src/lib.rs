@@ -1,0 +1,42 @@
+//! # mqo-serve — the online classification service
+//!
+//! Everything before this crate runs the paper's pipeline as a one-shot
+//! batch job. This crate turns it into a long-running service: load a
+//! TAG and build the client stack once, then answer classification
+//! requests over std-only HTTP/1.1 (the same no-dependency style as
+//! `mqo_obs::MetricsServer`, sharing its [`mqo_obs::httpd`] plumbing).
+//!
+//! The pieces:
+//!
+//! * [`Engine`] — the shared brain: dataset + predictor + the full
+//!   `CachedLlm → … → SimLlm` stack, a pseudo-label store (responses can
+//!   boost later requests on neighboring nodes), per-tenant admission
+//!   accounting, and the same crash-safe journal as the batch CLI.
+//! * [`Server`] — the HTTP surface: bounded MPMC queue
+//!   ([`mqo_core::queue::BoundedQueue`]) feeding a worker pool, with
+//!   three admission gates (draining → tenant budget → queue
+//!   backpressure) and a graceful drain that finishes in-flight work and
+//!   seals the journal.
+//! * [`ServeConfig`] / [`ServerOptions`] — how the engine is built and
+//!   how the server schedules.
+//! * [`signal`] — SIGTERM/SIGINT → drain-requested flag (the only FFI in
+//!   the workspace).
+//!
+//! Served records are bit-identical to a batch run of the same nodes
+//! (with the two order-dependent optimizations — boosting and the
+//! response cache — off): queries derive their RNG from `(seed, node)`,
+//! so arrival order and worker interleaving cannot perturb results, and
+//! the response embeds records in the exact journal format.
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod server;
+pub mod signal;
+mod tenant;
+
+pub use config::{ServeConfig, ServerOptions};
+pub use engine::{Engine, ProcessedBatch, Rejection};
+pub use server::{DrainReport, Server};
+pub use tenant::{TenantAccount, TenantExhausted, TenantTable};

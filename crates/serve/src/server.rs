@@ -1,0 +1,412 @@
+//! The HTTP surface and its lifecycle.
+//!
+//! ```text
+//! POST /v1/classify   {"node": 3} | {"nodes":[3,4], "tenant":"acme"}
+//! GET  /v1/healthz    200 ok | 503 draining
+//! GET  /v1/stats      serving counters, tenants, cache, journal
+//! GET  /metrics       Prometheus exposition (shared registry)
+//! GET  /progress      compact JSON progress snapshot
+//! POST /v1/drain      request a graceful drain (202)
+//! ```
+//!
+//! Three admission gates guard `/v1/classify`, in order: draining
+//! (`503`), tenant budget (`429`, nothing billed), queue backpressure
+//! (`429 Retry-After`, the [`BoundedQueue`] is full). Admitted work is
+//! scheduled over a fixed worker pool; each connection handler blocks on
+//! its reply channel, so concurrency is bounded by the queue + pool, not
+//! by accepted sockets.
+//!
+//! ## Graceful drain
+//!
+//! [`Server::drain`] runs the shutdown sequence in dependency order:
+//! mark draining (late requests get a clean `503`) → stop the accept
+//! loop and close the listener (later connections are refused outright)
+//! → join connection handlers (their enqueued work completes, workers
+//! still running) → close the queue → join workers → seal the journal
+//! (fsync) → close the run span → flush trace artifacts. Accepted work
+//! always finishes; a restarted server resumes from the sealed journal
+//! re-billing zero tokens.
+
+use crate::config::ServerOptions;
+use crate::engine::{Engine, Rejection};
+use mqo_core::queue::{BoundedQueue, PushError};
+use mqo_graph::NodeId;
+use mqo_obs::httpd::{read_request, respond, respond_with_headers, Request};
+use mqo_obs::SpanId;
+use serde_json::{json, Value};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One admitted classification batch, queued for the worker pool.
+struct Job {
+    nodes: Vec<NodeId>,
+    tenant: String,
+    reply: mpsc::Sender<crate::engine::ProcessedBatch>,
+}
+
+/// What the drain sequence observed, for operator logs and exit status.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Node queries executed or replayed over the server's lifetime.
+    pub queries: u64,
+    /// Queries served from the journal without re-billing.
+    pub replayed: u64,
+    /// Whether a journal was sealed (fsync'd) by this drain.
+    pub journal_sealed: bool,
+}
+
+/// A running classification server; see the module docs. Construct with
+/// [`Server::start`], stop with [`Server::drain`] (dropping an
+/// undrained server drains it too, discarding the report).
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    stop_accept: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    span_close: Option<mpsc::Sender<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    options: ServerOptions,
+}
+
+impl Server {
+    /// Bind, open the run span, start the worker pool and accept loop.
+    pub fn start(engine: Arc<Engine>, options: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(options.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        // The run span lives on a dedicated supervisor thread: it must
+        // open before the first query (so query spans have a "run"
+        // ancestor) and close after the last worker exits (so span
+        // intervals nest), and span guards borrow engine internals —
+        // a thread's stack frame is the one place that satisfies all
+        // three.
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        let (span_close_tx, span_close_rx) = mpsc::channel::<()>();
+        let span_engine = Arc::clone(&engine);
+        let supervisor =
+            thread::Builder::new().name("mqo-serve-span".into()).spawn(move || {
+                let span = span_engine.tracer().span(
+                    span_engine.fanout(),
+                    "run",
+                    || format!("serve {}", span_engine.dataset_name()),
+                    SpanId::NONE,
+                );
+                span_engine.set_run_scope(span.id());
+                let _ = ready_tx.send(());
+                let _ = span_close_rx.recv();
+            })?;
+        ready_rx.recv().map_err(|_| io::Error::other("span supervisor died before serving"))?;
+
+        let queue: Arc<BoundedQueue<Job>> =
+            Arc::new(BoundedQueue::new(options.queue_capacity.max(1)));
+        let workers: Vec<JoinHandle<()>> = (0..options.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let queue = Arc::clone(&queue);
+                thread::Builder::new().name(format!("mqo-serve-worker-{i}")).spawn(move || {
+                    mqo_obs::set_thread_track(i as u32 + 1);
+                    while let Some(job) = queue.pop() {
+                        let batch = engine.process(&job.nodes, &job.tenant);
+                        // A dead reply channel means the handler gave up
+                        // (client hung up); the work is already journaled.
+                        let _ = job.reply.send(batch);
+                    }
+                })
+            })
+            .collect::<io::Result<_>>()?;
+
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop_accept);
+            let handlers = Arc::clone(&handlers);
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let worker_count = options.workers.max(1);
+            thread::Builder::new().name("mqo-serve-accept".into()).spawn(move || {
+                let errors = engine.metrics().registry().counter(
+                    "mqo_http_errors_total",
+                    "HTTP connections that died with an I/O error",
+                );
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let engine = Arc::clone(&engine);
+                            let queue = Arc::clone(&queue);
+                            let errors_conn = Arc::clone(&errors);
+                            let handle = thread::spawn(move || {
+                                if handle_connection(&engine, &queue, worker_count, stream)
+                                    .is_err()
+                                {
+                                    errors_conn.inc();
+                                }
+                            });
+                            let mut reg = handlers.lock().expect("handler registry");
+                            // Reap finished handlers so the registry stays
+                            // bounded under sustained load.
+                            reg.retain(|h| !h.is_finished());
+                            reg.push(handle);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => {
+                            errors.inc();
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            })?
+        };
+
+        Ok(Server {
+            engine,
+            addr,
+            queue,
+            stop_accept,
+            accept: Some(accept),
+            handlers,
+            workers,
+            span_close: Some(span_close_tx),
+            supervisor: Some(supervisor),
+            options,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Graceful drain; see the module docs for the sequence.
+    pub fn drain(mut self) -> DrainReport {
+        self.drain_in_place()
+    }
+
+    fn drain_in_place(&mut self) -> DrainReport {
+        // 1. Refuse new classification work with a clean 503.
+        self.engine.set_draining();
+        // 2. Stop accepting; joining the accept thread drops the
+        //    listener, so later connections are refused at the socket.
+        self.stop_accept.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // 3. Let in-flight connections finish: every accepted handler
+        //    either already answered or is blocked on its reply channel —
+        //    workers are still draining the queue behind them.
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        // 4. Close the queue; workers finish the remainder and exit.
+        self.queue.close();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        // 5. Seal the journal: everything answered is now durable, so a
+        //    restarted server replays it without re-billing a token.
+        let journal_sealed = match self.engine.journal() {
+            Some(j) => {
+                j.seal_round(0);
+                true
+            }
+            None => false,
+        };
+        // 6. Close the run span (after the last query span) and flush
+        //    trace artifacts.
+        self.span_close.take();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        self.engine.finish();
+        DrainReport {
+            queries: self.engine.journal().map_or(0, |j| j.recorded() + j.replayed()),
+            replayed: self.engine.journal().map_or(0, |j| j.replayed()),
+            journal_sealed,
+        }
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.options.workers.max(1)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.drain_in_place();
+        }
+    }
+}
+
+fn json_response(stream: &mut TcpStream, status: &str, body: &Value) -> io::Result<()> {
+    let mut text = serde_json::to_string(body).expect("response serialization");
+    text.push('\n');
+    respond(stream, status, "application/json", &text)
+}
+
+/// Parse the classify request body: `{"node": N}` or `{"nodes": [..]}`,
+/// optional `"tenant"`. Errors are client errors (400).
+fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, String), String> {
+    let body: Value =
+        serde_json::from_str(req.body_utf8()).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let mut raw: Vec<u64> = Vec::new();
+    match (body.get("node"), body.get("nodes")) {
+        (Some(n), None) => raw.push(n.as_u64().ok_or("'node' must be a non-negative integer")?),
+        (None, Some(list)) => {
+            let list = list.as_array().ok_or("'nodes' must be an array")?;
+            if list.is_empty() {
+                return Err("'nodes' must not be empty".into());
+            }
+            for n in list {
+                raw.push(n.as_u64().ok_or("'nodes' entries must be non-negative integers")?);
+            }
+        }
+        _ => return Err("body must have exactly one of 'node' or 'nodes'".into()),
+    }
+    let mut nodes = Vec::with_capacity(raw.len());
+    for n in raw {
+        if n >= num_nodes as u64 {
+            return Err(format!("node {n} out of range (dataset has {num_nodes} nodes)"));
+        }
+        nodes.push(NodeId(n as u32));
+    }
+    let tenant = match body.get("tenant") {
+        None => "default".to_string(),
+        Some(t) => t.as_str().ok_or("'tenant' must be a string")?.to_string(),
+    };
+    Ok((nodes, tenant))
+}
+
+fn handle_classify(
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    req: &Request,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let (nodes, tenant) = match parse_classify(req, engine.num_nodes()) {
+        Ok(parsed) => parsed,
+        Err(e) => return json_response(stream, "400 Bad Request", &json!({"error": e})),
+    };
+    match engine.admit(&tenant) {
+        Ok(()) => {}
+        Err(Rejection::Draining) => {
+            return json_response(
+                stream,
+                "503 Service Unavailable",
+                &json!({"error": "draining", "tenant": tenant}),
+            )
+        }
+        Err(Rejection::TenantExhausted(t)) => {
+            return json_response(
+                stream,
+                "429 Too Many Requests",
+                &json!({
+                    "error": "tenant budget exhausted",
+                    "tenant": t.tenant,
+                    "budget": t.budget,
+                    "spent_tokens": t.spent_tokens,
+                }),
+            )
+        }
+        Err(Rejection::Saturated) => unreachable!("admit never reports queue saturation"),
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    match queue.try_push(Job { nodes, tenant: tenant.clone(), reply: reply_tx }) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            engine.count_queue_rejection();
+            let mut body =
+                serde_json::to_string(&json!({"error": "saturated", "tenant": tenant}))
+                    .expect("response serialization");
+            body.push('\n');
+            return respond_with_headers(
+                stream,
+                "429 Too Many Requests",
+                "application/json",
+                &[("Retry-After", "1".to_string())],
+                &body,
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            return json_response(
+                stream,
+                "503 Service Unavailable",
+                &json!({"error": "draining", "tenant": tenant}),
+            )
+        }
+    }
+    match reply_rx.recv() {
+        Ok(batch) => {
+            engine.count_request();
+            json_response(stream, "200 OK", &batch.to_json(&tenant))
+        }
+        Err(_) => json_response(
+            stream,
+            "500 Internal Server Error",
+            &json!({"error": "worker pool unavailable"}),
+        ),
+    }
+}
+
+fn handle_connection(
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    workers: usize,
+    mut stream: TcpStream,
+) -> io::Result<()> {
+    let req = read_request(&mut stream)?;
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/classify") => handle_classify(engine, queue, &req, &mut stream),
+        ("GET", "/v1/healthz") => {
+            if engine.draining() {
+                json_response(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    &json!({"status": "draining"}),
+                )
+            } else {
+                json_response(&mut stream, "200 OK", &json!({"status": "ok"}))
+            }
+        }
+        ("GET", "/v1/stats") => {
+            let body = engine.stats_json(Some((queue.len(), queue.capacity())), workers);
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        ("POST", "/v1/drain") => {
+            engine.request_drain();
+            json_response(&mut stream, "202 Accepted", &json!({"draining": true}))
+        }
+        ("GET", "/metrics") => {
+            let body = engine.metrics().registry().render_prometheus();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        ("GET", "/progress") => {
+            let mut body = engine.metrics().progress_json();
+            body.push('\n');
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        ("POST" | "GET", _) => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "try /v1/classify, /v1/healthz, /v1/stats, /metrics\n",
+        ),
+        _ => respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET/POST\n"),
+    }
+}

@@ -1,0 +1,56 @@
+//! SIGTERM/SIGINT → a drain request the serve loop can poll.
+//!
+//! std has no signal API, so this is the one place in the workspace with
+//! FFI: a handler that does nothing but store into a static
+//! `AtomicBool` (async-signal-safe). The lifecycle owner polls
+//! [`term_requested`] and runs the graceful drain on its own thread —
+//! never from the handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT has arrived since [`install_term_handler`].
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to the [`term_requested`] flag.
+#[cfg(unix)]
+pub fn install_term_handler() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `signal` is the C standard library's handler registration;
+    // the handler only performs an atomic store, which is
+    // async-signal-safe, and the extern fn matches libc's expected
+    // `void (*)(int)` shape.
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+}
+
+/// No-op off unix: drain via `POST /v1/drain` instead.
+#[cfg(not(unix))]
+pub fn install_term_handler() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_handler_installs() {
+        install_term_handler();
+        // Can't raise a real signal without taking the test process down
+        // a platform-specific path; assert the installed state is inert.
+        assert!(!term_requested());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-tenant admission accounting.
+//!
+//! A tenant account tracks recorded prompt-token spend against an
+//! optional budget. Admission is checked *before* a request takes a
+//! queue slot: an exhausted tenant is refused with `429` and no LLM
+//! call, queue slot, or metered token is spent on it. Charging happens
+//! after completion, so a tenant can overshoot by at most one in-flight
+//! batch — the standard soft-admission trade-off; the hard Eq. 2 budget
+//! still bounds global spend exactly.
+
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+
+/// One tenant's ledger.
+#[derive(Debug, Clone, Default)]
+pub struct TenantAccount {
+    /// Admission budget in prompt tokens (`None` = unmetered).
+    pub budget: Option<u64>,
+    /// Prompt tokens recorded against this tenant so far. Cache-served
+    /// queries still count (the saving accrues to the operator);
+    /// journal-replayed queries charge zero.
+    pub spent_tokens: u64,
+    /// Requests admitted past the tenant check.
+    pub admitted: u64,
+    /// Requests refused because the budget was exhausted.
+    pub rejected: u64,
+}
+
+/// Thread-safe tenant table with lazily created accounts.
+pub struct TenantTable {
+    accounts: Mutex<HashMap<String, TenantAccount>>,
+    default_budget: Option<u64>,
+}
+
+/// Outcome of a refused admission: the tenant's budget and spend, for the
+/// error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantExhausted {
+    /// The refusing tenant.
+    pub tenant: String,
+    /// Its admission budget.
+    pub budget: u64,
+    /// Tokens already recorded against it.
+    pub spent_tokens: u64,
+}
+
+impl TenantTable {
+    /// A table with explicit per-tenant budgets; unknown tenants get
+    /// `default_budget`.
+    pub fn new(budgets: HashMap<String, u64>, default_budget: Option<u64>) -> Self {
+        let accounts = budgets
+            .into_iter()
+            .map(|(name, b)| {
+                (name, TenantAccount { budget: Some(b), ..TenantAccount::default() })
+            })
+            .collect();
+        TenantTable { accounts: Mutex::new(accounts), default_budget }
+    }
+
+    fn account_mut<'a>(
+        &self,
+        accounts: &'a mut HashMap<String, TenantAccount>,
+        tenant: &str,
+    ) -> &'a mut TenantAccount {
+        if !accounts.contains_key(tenant) {
+            accounts.insert(
+                tenant.to_string(),
+                TenantAccount { budget: self.default_budget, ..TenantAccount::default() },
+            );
+        }
+        accounts.get_mut(tenant).expect("account just ensured")
+    }
+
+    /// Admit or refuse `tenant`. Refusal means its recorded spend already
+    /// reached its budget; nothing is charged either way.
+    pub fn admit(&self, tenant: &str) -> Result<(), TenantExhausted> {
+        let mut accounts = self.accounts.lock();
+        let acct = self.account_mut(&mut accounts, tenant);
+        if let Some(budget) = acct.budget {
+            if acct.spent_tokens >= budget {
+                acct.rejected += 1;
+                return Err(TenantExhausted {
+                    tenant: tenant.to_string(),
+                    budget,
+                    spent_tokens: acct.spent_tokens,
+                });
+            }
+        }
+        acct.admitted += 1;
+        Ok(())
+    }
+
+    /// Record `tokens` of completed spend against `tenant`.
+    pub fn charge(&self, tenant: &str, tokens: u64) {
+        let mut accounts = self.accounts.lock();
+        self.account_mut(&mut accounts, tenant).spent_tokens += tokens;
+    }
+
+    /// Snapshot of every account, for `/v1/stats`.
+    pub fn to_json(&self) -> Value {
+        let accounts = self.accounts.lock();
+        let mut map = serde_json::Map::new();
+        for (name, acct) in accounts.iter() {
+            map.insert(
+                name.clone(),
+                json!({
+                    "budget": acct.budget,
+                    "spent_tokens": acct.spent_tokens,
+                    "admitted": acct.admitted,
+                    "rejected": acct.rejected,
+                }),
+            );
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmetered_tenants_always_admit() {
+        let t = TenantTable::new(HashMap::new(), None);
+        for _ in 0..100 {
+            t.admit("anyone").unwrap();
+            t.charge("anyone", 10_000);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_refuses_without_charging() {
+        let t = TenantTable::new(HashMap::from([("acme".to_string(), 100u64)]), None);
+        t.admit("acme").unwrap();
+        t.charge("acme", 100); // soft admission: the completing batch may overshoot
+        let err = t.admit("acme").unwrap_err();
+        assert_eq!(
+            err,
+            TenantExhausted { tenant: "acme".into(), budget: 100, spent_tokens: 100 }
+        );
+        // The refusal itself recorded nothing.
+        let snap = t.to_json();
+        assert_eq!(snap["acme"]["spent_tokens"].as_u64(), Some(100));
+        assert_eq!(snap["acme"]["rejected"].as_u64(), Some(1));
+        assert_eq!(snap["acme"]["admitted"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn default_budget_applies_to_unknown_tenants() {
+        let t = TenantTable::new(HashMap::new(), Some(50));
+        t.admit("new").unwrap();
+        t.charge("new", 50);
+        assert!(t.admit("new").is_err());
+        // Explicit budgets are independent of the default.
+        let t = TenantTable::new(HashMap::from([("vip".to_string(), 1000u64)]), Some(0));
+        assert!(t.admit("vip").is_ok());
+        assert!(t.admit("walk-in").is_err(), "zero default budget refuses immediately");
+    }
+}

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Deterministic cache-efficiency smoke bench + regression gate, plus the
-# observability artifact check.
+# Deterministic cache-efficiency smoke bench + regression gate, the
+# observability artifact check, and the serving throughput snapshot.
 #
-#   scripts/bench_smoke.sh            # run and gate against BENCH_PR4.json
-#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR4.json
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR5.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR5.json
 #
 # The gated workload replays a fixed Cora query set three times through
 # the simulated LLM with the response cache on, so tokens_sent and
@@ -17,16 +17,23 @@
 # a cost ledger whose conservation identity holds (obs_check exits
 # non-zero otherwise). Both artifacts are left under target/ for CI to
 # upload.
+#
+# The third stage serves the same dataset over loopback HTTP and fires a
+# seeded loadgen burst; loadgen folds serve_rps / serve_p50_ms /
+# serve_p99_ms into the stats snapshot, and bench_gate checks them
+# against the baseline with its coarse serving tolerance — wall-clock
+# numbers gate structure (a serialized pool), not runner speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR4.json
+BASELINE=BENCH_PR5.json
 CURRENT=target/bench_smoke_current.json
 OBS_TRACE=target/obs_trace.json
 OBS_COST=target/obs_cost.json
+SERVE_ADDR=target/bench_serve_addr
 
 echo "==> building release binaries"
-cargo build --release -q -p mqo-bench --bin mqo --bin bench_gate --bin obs_check
+cargo build --release -q -p mqo-bench --bin mqo --bin loadgen --bin bench_gate --bin obs_check
 
 echo "==> smoke workload (cora x3, cached, batched)"
 ./target/release/mqo classify cora \
@@ -38,6 +45,19 @@ echo "==> observability workload (cora, boosted, traced + cost ledger)"
   --queries 60 --boost --seed 42 \
   --trace-chrome "$OBS_TRACE" --cost-json "$OBS_COST"
 ./target/release/obs_check "$OBS_TRACE" "$OBS_COST"
+
+echo "==> serving workload (loopback server + seeded loadgen burst)"
+rm -f "$SERVE_ADDR"
+./target/release/mqo serve cora \
+  --addr 127.0.0.1:0 --addr-file "$SERVE_ADDR" --workers 4 --queue-cap 32 \
+  --queries 120 --seed 42 > target/bench_serve.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$SERVE_ADDR" ] && break; sleep 0.1; done
+[ -s "$SERVE_ADDR" ] || { echo "bench_smoke: server never bound" >&2; exit 1; }
+./target/release/loadgen --addr-file "$SERVE_ADDR" \
+  --requests 80 --concurrency 8 --batch 4 --seed 42 \
+  --merge-into "$CURRENT" --drain > /dev/null
+wait "$SERVE_PID" || { echo "bench_smoke: server exited non-zero" >&2; exit 1; }
 
 if [[ "${1:-}" == "--update" ]]; then
   cp "$CURRENT" "$BASELINE"

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Serving smoke: the online classification service end to end on the
+# release binaries.
+#
+#   scripts/serve_smoke.sh
+#
+# Five gated legs, all seeded:
+#
+#   1. A server over a generated Cora file answers a seeded loadgen
+#      burst with non-zero throughput (loadgen exits non-zero if no
+#      request succeeds), then drains cleanly on request — the `mqo
+#      serve` process must exit 0 with the journal sealed.
+#   2. The drained run's Chrome trace and cost ledger must pass
+#      obs_check: every query span under the run span, intervals
+#      nested, and the token-conservation identity holding.
+#   3. A tenant with an undersized admission budget must see 429s —
+#      and the server must keep answering other work afterwards.
+#   4. A restarted server (--resume) replaying the *same* seeded burst
+#      must re-bill zero tokens: everything comes from the journal.
+#   5. The resumed server must also drain cleanly (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/serve
+mkdir -p "$OUT"
+rm -f "$OUT"/addr "$OUT"/addr2 "$OUT"/serve.jsonl
+
+echo "==> building release binaries"
+cargo build --release -q -p mqo-bench --bin mqo --bin loadgen --bin obs_check
+
+echo "==> generating dataset"
+./target/release/mqo generate cora --scale 0.5 --seed 42 --out "$OUT/cora.bin" > /dev/null
+
+wait_for_file() { # path what
+  for _ in $(seq 1 200); do [ -s "$1" ] && return 0; sleep 0.1; done
+  echo "serve_smoke: timed out waiting for $2 ($1)" >&2
+  return 1
+}
+
+echo "==> leg 1: serve + seeded burst + clean drain"
+./target/release/mqo serve "$OUT/cora.bin" \
+  --addr 127.0.0.1:0 --addr-file "$OUT/addr" --workers 4 --queue-cap 32 \
+  --queries 120 --seed 42 \
+  --tenants throttled=2000 \
+  --journal "$OUT/serve.jsonl" \
+  --trace-chrome "$OUT/serve_trace.json" --cost-json "$OUT/serve_cost.json" \
+  --stats-json "$OUT/serve_stats.json" > "$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+wait_for_file "$OUT/addr" "server address"
+
+./target/release/loadgen --addr-file "$OUT/addr" \
+  --requests 60 --concurrency 6 --batch 3 --seed 42 \
+  --out "$OUT/load.json"
+
+echo "==> leg 3: undersized tenant budget answers 429"
+# 2000 tokens admit only the first few requests; the rest must bounce.
+./target/release/loadgen --addr-file "$OUT/addr" \
+  --requests 20 --concurrency 4 --batch 2 --seed 43 --tenant throttled \
+  --out "$OUT/load_throttled.json"
+grep -Eq '"rejected_429": [1-9]' "$OUT/load_throttled.json" || {
+  echo "serve_smoke: expected tenant-budget 429s, got:" >&2
+  cat "$OUT/load_throttled.json" >&2
+  exit 1
+}
+# The burst after the throttled one proves rejections didn't wedge the
+# pool; --drain then asks for a graceful shutdown.
+./target/release/loadgen --addr-file "$OUT/addr" \
+  --requests 20 --concurrency 4 --batch 3 --seed 44 --drain > /dev/null
+
+wait "$SERVE_PID" || { echo "serve_smoke: server exited non-zero" >&2; exit 1; }
+grep -q "journal sealed" "$OUT/serve.log" || {
+  echo "serve_smoke: drain did not seal the journal" >&2
+  cat "$OUT/serve.log" >&2
+  exit 1
+}
+
+echo "==> leg 2: serving trace + ledger pass obs_check"
+./target/release/obs_check "$OUT/serve_trace.json" "$OUT/serve_cost.json"
+
+echo "==> leg 4: resumed server re-bills zero tokens for the same burst"
+./target/release/mqo serve "$OUT/cora.bin" \
+  --addr 127.0.0.1:0 --addr-file "$OUT/addr2" --workers 4 --queue-cap 32 \
+  --queries 120 --seed 42 \
+  --journal "$OUT/serve.jsonl" --resume \
+  --stats-json "$OUT/resume_stats.json" > "$OUT/resume.log" 2>&1 &
+RESUME_PID=$!
+wait_for_file "$OUT/addr2" "resumed server address"
+
+# Same seeds as legs 1 and 3's final burst: every node is journaled.
+./target/release/loadgen --addr-file "$OUT/addr2" \
+  --requests 60 --concurrency 6 --batch 3 --seed 42 > /dev/null
+./target/release/loadgen --addr-file "$OUT/addr2" \
+  --requests 20 --concurrency 4 --batch 3 --seed 44 --drain > /dev/null
+
+echo "==> leg 5: resumed server drains cleanly"
+wait "$RESUME_PID" || { echo "serve_smoke: resumed server exited non-zero" >&2; exit 1; }
+grep -q '"tokens_billed":0' "$OUT/resume_stats.json" || {
+  echo "serve_smoke: resume re-billed tokens:" >&2
+  cat "$OUT/resume_stats.json" >&2
+  exit 1
+}
+grep -Eq '"replayed":[1-9]' "$OUT/resume_stats.json" || {
+  echo "serve_smoke: resume served nothing from the journal" >&2
+  exit 1
+}
+
+echo "serve smoke: PASS"
