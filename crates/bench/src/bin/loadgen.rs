@@ -4,38 +4,58 @@
 //! loadgen --addr HOST:PORT | --addr-file FILE
 //!         [--requests N] [--concurrency C] [--batch B] [--node-max N]
 //!         [--seed S] [--tenant T] [--mode closed|open] [--rate R]
-//!         [--out FILE] [--merge-into FILE]
+//!         [--warmup W] [--out FILE] [--merge-into FILE] [--drain]
+//!         [--malformed]
 //! ```
 //!
-//! Two driving disciplines:
+//! Each worker thread holds one **keep-alive connection** for its whole
+//! run (reconnecting if the server closes it), so the harness measures
+//! request service time, not TCP setup. Two driving disciplines:
 //!
-//! * **closed** (default) — C threads each fire the next request the
+//! * **closed** (default) — C workers each fire the next request the
 //!   moment the previous response lands. Measures service capacity;
 //!   latency excludes client-side queueing.
 //! * **open** — requests depart on a fixed schedule (`--rate` per
-//!   second, round-robin across threads) regardless of completion, and
+//!   second, shared across workers) regardless of completion, and
 //!   latency is measured from the *scheduled* departure so server-side
 //!   queueing shows up in the tail (avoids coordinated omission).
+//!   Pacing sleeps until just before each deadline and spins only the
+//!   final sliver, so the waiting client does not burn a core that
+//!   competes with the server under test.
 //!
-//! Node choices derive from `(--seed, request index)` — not from
-//! per-thread state — so a given seed produces the same request
-//! multiset regardless of how threads race to claim work. That is what
-//! lets a resumed server replay a repeated burst entirely from its
-//! journal. `--node-max 0` (default) discovers the node range from
-//! `GET /v1/stats`. Summary JSON (rps, p50/p99 ms, status counts) goes
-//! to stdout and `--out`; `--merge-into` folds the three serving
-//! metrics into an existing stats JSON, which is how the bench baseline
+//! `--warmup W` sends W extra requests (request indices `0..W`) before
+//! the measured window and discards their samples; all workers cross a
+//! barrier between the phases, so the measured wall clock contains only
+//! measured requests. Node choices derive from `(--seed, request
+//! index)` — not from per-thread state — so a given seed produces the
+//! same request multiset regardless of how threads race to claim work.
+//! That is what lets a resumed server replay a repeated burst entirely
+//! from its journal. `--node-max 0` (default) discovers the node range
+//! from `GET /v1/stats`.
+//!
+//! Summary JSON (rps, p50/p90/p99/p99.9/max/mean ms, status counts)
+//! goes to stdout and `--out`; `--merge-into` folds the serving metrics
+//! into an existing stats JSON, which is how the bench baseline
 //! acquires `serve_*` fields for the CI gate; `--drain` requests a
 //! graceful drain once the burst completes.
+//!
+//! `--malformed` runs a framing-abuse probe instead of a load run: it
+//! sends requests with conflicting duplicate `Content-Length` headers,
+//! truncated header blocks, and header floods, expects a `400` for
+//! each, and then verifies the server still answers `/v1/healthz` —
+//! the smoke-test hook proving malformed framing is rejected without
+//! taking the server down.
 
+use mqo_obs::httpd::HttpClient;
 use mqo_obs::{http_get, http_post};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
@@ -44,7 +64,8 @@ fn usage() -> ExitCode {
          loadgen --addr HOST:PORT | --addr-file FILE\n          \
          [--requests N] [--concurrency C] [--batch B] [--node-max N]\n          \
          [--seed S] [--tenant T] [--mode closed|open] [--rate R]\n          \
-         [--out FILE] [--merge-into FILE]"
+         [--warmup W] [--out FILE] [--merge-into FILE] [--drain]\n          \
+         [--malformed]"
     );
     ExitCode::from(2)
 }
@@ -54,7 +75,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "drain" {
+            if name == "drain" || name == "malformed" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -90,9 +111,34 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.min(sorted_ms.len() - 1)]
 }
 
+/// How long before a deadline [`pace_until`] switches from sleeping to
+/// spinning. Sleeps undershoot by scheduler latency (typically well under
+/// this), so the spin window stays short while departures stay precise.
+const SPIN_SLIVER: Duration = Duration::from_micros(200);
+
+/// Wait until `deadline`: sleep for the bulk of the wait, spin only the
+/// final sliver. (The previous pacing loop slept in 1ms polls — a
+/// busy-ish wait that burned a core competing with the server under
+/// test on the bench box.)
+fn pace_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SPIN_SLIVER {
+            std::thread::sleep(remaining - SPIN_SLIVER);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 struct Plan {
     addr: SocketAddr,
     requests: usize,
+    warmup: usize,
     concurrency: usize,
     batch: usize,
     node_max: usize,
@@ -118,41 +164,87 @@ fn build_body(k: usize, plan: &Plan) -> String {
     }
 }
 
-/// Fire requests and collect samples. Threads race to claim request
-/// indices; in open-loop mode request `k` departs at `start + k/rate`.
+/// POST over the worker's persistent connection. A transport error gets
+/// one retry — the client reconnects transparently — because a keep-alive
+/// peer may close an idle connection between our read of its response
+/// and our next write.
+fn post_classify(client: &mut HttpClient, body: &str) -> u16 {
+    for attempt in 0..2 {
+        match client.post("/v1/classify", body) {
+            Ok((status_line, _)) => return status_code(&status_line),
+            Err(_) if attempt == 0 => {}
+            Err(_) => break,
+        }
+    }
+    0
+}
+
+/// Fire requests and collect measured samples. Workers hold one
+/// keep-alive connection each and race to claim request indices; warmup
+/// requests (indices `0..warmup`) are sent and discarded before the
+/// measured window opens at a barrier. In open-loop mode measured
+/// request `k` departs at `epoch + (k - warmup)/rate`.
 fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
-    let next = Arc::new(AtomicUsize::new(0));
-    let start = Instant::now();
+    let warm_next = Arc::new(AtomicUsize::new(0));
+    let next = Arc::new(AtomicUsize::new(plan.warmup));
+    // Workers + this thread: everyone meets between warmup and measure.
+    let barrier = Arc::new(Barrier::new(plan.concurrency + 1));
+    // The measured epoch is set by whichever thread exits the barrier
+    // first; all pacing and the wall clock share it.
+    let epoch: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
     let mut handles = Vec::new();
     for _ in 0..plan.concurrency {
         let plan = Arc::clone(&plan);
+        let warm_next = Arc::clone(&warm_next);
         let next = Arc::clone(&next);
+        let barrier = Arc::clone(&barrier);
+        let epoch = Arc::clone(&epoch);
         handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(plan.addr).ok();
+            let mut post = |body: &str| match &mut client {
+                Some(c) => post_classify(c, body),
+                None => match HttpClient::connect(plan.addr) {
+                    Ok(mut c) => {
+                        let status = post_classify(&mut c, body);
+                        client = Some(c);
+                        status
+                    }
+                    Err(_) => 0,
+                },
+            };
+            loop {
+                let k = warm_next.fetch_add(1, Ordering::SeqCst);
+                if k >= plan.warmup {
+                    break;
+                }
+                let body = build_body(k, &plan);
+                let _ = post(&body);
+            }
+            barrier.wait();
+            let start = *epoch.get_or_init(Instant::now);
             let mut samples = Vec::new();
             loop {
                 let k = next.fetch_add(1, Ordering::SeqCst);
-                if k >= plan.requests {
+                if k >= plan.warmup + plan.requests {
                     break;
                 }
                 let body = build_body(k, &plan);
                 let departs = if plan.open_loop {
-                    let scheduled = Duration::from_secs_f64(k as f64 / plan.rate);
-                    while start.elapsed() < scheduled {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
+                    let scheduled =
+                        Duration::from_secs_f64((k - plan.warmup) as f64 / plan.rate);
+                    pace_until(start + scheduled);
                     start + scheduled
                 } else {
                     Instant::now()
                 };
-                let status = match http_post(plan.addr, "/v1/classify", &body) {
-                    Ok((status_line, _)) => status_code(&status_line),
-                    Err(_) => 0,
-                };
+                let status = post(&body);
                 samples.push(Sample { latency: departs.elapsed(), status });
             }
             samples
         }));
     }
+    barrier.wait();
+    let start = *epoch.get_or_init(Instant::now);
     let mut samples = Vec::new();
     for h in handles {
         samples.extend(h.join().expect("load thread panicked"));
@@ -193,6 +285,107 @@ fn merge_into(path: &str, rps: f64, p50_ms: f64, p99_ms: f64) -> Result<(), Stri
     std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// One framing-abuse probe: raw bytes on a fresh connection, optionally
+/// half-closed (EOF mid-request), returning the response status (0 when
+/// the server just dropped us).
+fn raw_probe(addr: SocketAddr, raw: &[u8], half_close: bool) -> Result<u16, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream.write_all(raw).map_err(|e| format!("write: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    if half_close {
+        stream.shutdown(Shutdown::Write).map_err(|e| format!("shutdown: {e}"))?;
+    }
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    let text = String::from_utf8_lossy(&buf);
+    Ok(text.lines().next().map_or(0, status_code))
+}
+
+/// The `--malformed` stage: framing-abuse probes that must each earn a
+/// `400`, followed by a health check proving the server survived. Probes
+/// run in-process (not shell `/dev/tcp` hacks) so smoke scripts get one
+/// portable binary.
+fn run_malformed(addr: SocketAddr, out: Option<&str>) -> Result<(), String> {
+    let mut flood = b"GET /v1/healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..200 {
+        flood.extend_from_slice(format!("X-Flood-{i}: value\r\n").as_bytes());
+    }
+    flood.extend_from_slice(b"\r\n");
+    let probes: Vec<(&str, Vec<u8>, bool)> = vec![
+        (
+            "conflicting_content_length",
+            b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\nhello"
+                .to_vec(),
+            false,
+        ),
+        (
+            "truncated_headers",
+            b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Le".to_vec(),
+            true,
+        ),
+        ("header_flood", flood, false),
+    ];
+    let mut results = Vec::new();
+    let mut failed = false;
+    for (name, raw, half_close) in probes {
+        let status = raw_probe(addr, &raw, half_close)?;
+        let pass = status == 400;
+        failed |= !pass;
+        results.push(serde_json::json!({"probe": name, "status": status, "pass": pass}));
+    }
+    // The point of rejecting malformed framing is that the server keeps
+    // serving everyone else.
+    let (health_status, _) = http_get(addr, "/v1/healthz")
+        .map_err(|e| format!("server unreachable after malformed probes: {e}"))?;
+    let alive = health_status.contains("200");
+    failed |= !alive;
+    results.push(serde_json::json!({
+        "probe": "healthz_after_abuse",
+        "status": status_code(&health_status),
+        "pass": alive,
+    }));
+    // Every rejected connection must be visible in the error counter.
+    // The increment happens in the handler thread after the 400 goes
+    // out, so poll briefly.
+    let want = 3u64;
+    let mut errors_total = 0u64;
+    for _ in 0..100 {
+        let (_, text) = http_get(addr, "/metrics")
+            .map_err(|e| format!("cannot scrape /metrics after probes: {e}"))?;
+        errors_total = text
+            .lines()
+            .find_map(|l| l.strip_prefix("mqo_http_errors_total "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if errors_total >= want {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let counted = errors_total >= want;
+    failed |= !counted;
+    results.push(serde_json::json!({
+        "probe": "errors_counted_in_metrics",
+        "mqo_http_errors_total": errors_total,
+        "pass": counted,
+    }));
+    let summary = serde_json::json!({"mode": "malformed", "probes": results});
+    let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    text.push('\n');
+    if let Some(path) = out {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    print!("{text}");
+    if failed {
+        return Err("malformed-request probes failed".into());
+    }
+    Ok(())
+}
+
 fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr_text = match (flags.get("addr"), flags.get("addr-file")) {
         (Some(a), _) => a.clone(),
@@ -204,8 +397,13 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let addr: SocketAddr =
         addr_text.parse().map_err(|_| format!("bad address {addr_text:?}"))?;
+    if flags.contains_key("malformed") {
+        return run_malformed(addr, flags.get("out").map(String::as_str));
+    }
     let requests =
         flags.get("requests").map_or(Ok(100), |s| s.parse().map_err(|_| "bad --requests"))?;
+    let warmup: usize =
+        flags.get("warmup").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --warmup"))?;
     let concurrency: usize = flags
         .get("concurrency")
         .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --concurrency"))?;
@@ -236,6 +434,7 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     let plan = Arc::new(Plan {
         addr,
         requests,
+        warmup,
         concurrency: concurrency.max(1),
         batch: batch.max(1),
         node_max,
@@ -265,11 +464,17 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     ok_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
     let rps = if wall.as_secs_f64() > 0.0 { ok as f64 / wall.as_secs_f64() } else { 0.0 };
     let p50 = percentile(&ok_ms, 0.50);
+    let p90 = percentile(&ok_ms, 0.90);
     let p99 = percentile(&ok_ms, 0.99);
+    let p999 = percentile(&ok_ms, 0.999);
+    let max = ok_ms.last().copied().unwrap_or(0.0);
+    let mean =
+        if ok_ms.is_empty() { 0.0 } else { ok_ms.iter().sum::<f64>() / ok_ms.len() as f64 };
 
     let summary = serde_json::json!({
         "mode": if plan.open_loop { "open" } else { "closed" },
         "requests": requests,
+        "warmup": warmup,
         "concurrency": plan.concurrency,
         "batch": plan.batch,
         "seed": seed,
@@ -280,7 +485,11 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         "wall_s": wall.as_secs_f64(),
         "serve_rps": rps,
         "serve_p50_ms": p50,
+        "serve_p90_ms": p90,
         "serve_p99_ms": p99,
+        "serve_p999_ms": p999,
+        "serve_max_ms": max,
+        "serve_mean_ms": mean,
     });
     let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
     text.push('\n');
@@ -292,6 +501,8 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         merge_into(path, rps, p50, p99)?;
     }
     if flags.contains_key("drain") {
+        // Worker connections are already closed (drive joined them), so
+        // the server's handlers can join promptly once draining starts.
         let (status, _) = http_post(addr, "/v1/drain", "{}")
             .map_err(|e| format!("drain request failed: {e}"))?;
         if !status.contains("202") {
@@ -342,6 +553,7 @@ mod tests {
         Plan {
             addr: "127.0.0.1:1".parse().unwrap(),
             requests: 8,
+            warmup: 0,
             concurrency: 2,
             batch,
             node_max: 50,
@@ -368,5 +580,26 @@ mod tests {
         }
         assert_ne!(build_body(0, &p), build_body(1, &p), "indices draw distinct nodes");
         assert_ne!(build_body(0, &p), build_body(0, &plan(2, 14)), "seeds shift the stream");
+    }
+
+    #[test]
+    fn pace_until_reaches_the_deadline_without_oversleeping_wildly() {
+        let deadline = Instant::now() + Duration::from_millis(5);
+        pace_until(deadline);
+        let now = Instant::now();
+        assert!(now >= deadline, "returned before the deadline");
+        assert!(
+            now.duration_since(deadline) < Duration::from_millis(50),
+            "overslept by {:?}",
+            now.duration_since(deadline)
+        );
+    }
+
+    #[test]
+    fn pace_until_with_past_deadline_returns_immediately() {
+        let deadline = Instant::now();
+        let started = Instant::now();
+        pace_until(deadline);
+        assert!(started.elapsed() < Duration::from_millis(5));
     }
 }

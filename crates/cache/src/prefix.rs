@@ -89,11 +89,45 @@ struct Node {
     children: HashMap<u64, Node>,
 }
 
+/// Memoized segment token counts, keyed by segment fingerprint.
+///
+/// Serving traffic re-observes the same structural segments (the target
+/// block of a replayed node, shared neighbor blocks, the task block on
+/// every single prompt) over and over; counting is O(len) per segment,
+/// so the store pays tokenization once per *distinct* segment instead of
+/// once per observation. The key is the same fingerprint the trie edge
+/// uses, so hits cost one hash lookup and no extra hashing.
+#[derive(Default)]
+struct TokenCountCache {
+    counts: HashMap<u64, usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TokenCountCache {
+    /// Token count of `seg` whose fingerprint is `key`.
+    fn count(&mut self, key: u64, seg: &str) -> usize {
+        match self.counts.get(&key) {
+            Some(&n) => {
+                self.hits += 1;
+                n
+            }
+            None => {
+                self.misses += 1;
+                let n = Tokenizer.count(seg);
+                self.counts.insert(key, n);
+                n
+            }
+        }
+    }
+}
+
 /// A radix-style trie over prompt segments, accumulating realized
 /// prefix-reuse statistics across the traffic it observes.
 #[derive(Default)]
 pub struct PrefixStore {
     root: Node,
+    token_counts: TokenCountCache,
     prompts: usize,
     reused_tokens: u64,
     total_tokens: u64,
@@ -118,9 +152,9 @@ impl PrefixStore {
         let mut node = &mut self.root;
         let mut matching = true;
         for seg in segments {
-            let tokens = Tokenizer.count(seg);
-            reuse.total_tokens += tokens;
             let key = crate::fingerprint::fingerprint("", seg).0;
+            let tokens = self.token_counts.count(key, seg);
+            reuse.total_tokens += tokens;
             if matching && node.children.contains_key(&key) {
                 reuse.reused_tokens += tokens;
                 reuse.reused_segments += 1;
@@ -157,6 +191,13 @@ impl PrefixStore {
         } else {
             self.reused_tokens as f64 / self.total_tokens as f64
         }
+    }
+
+    /// Token-count memo effectiveness: `(hits, misses)`. A miss
+    /// tokenizes the segment (O(len)); a hit is one hash lookup. Misses
+    /// equal the number of distinct segments observed.
+    pub fn token_count_cache_stats(&self) -> (u64, u64) {
+        (self.token_counts.hits, self.token_counts.misses)
     }
 }
 
@@ -233,6 +274,32 @@ mod tests {
 
         assert_eq!(store.prompts(), 3);
         assert!(store.reuse_fraction() > 0.0 && store.reuse_fraction() < 1.0);
+    }
+
+    #[test]
+    fn token_counts_are_memoized_per_distinct_segment() {
+        let mut store = PrefixStore::new();
+        store.observe_segments(&["SYS", "task A", "body A"]);
+        store.observe_segments(&["SYS", "task A", "body B"]);
+        store.observe_segments(&["SYS", "task A", "body A"]);
+        // 9 observations over 4 distinct segments: 4 misses, 5 hits.
+        let (hits, misses) = store.token_count_cache_stats();
+        assert_eq!(misses, 4, "one tokenization per distinct segment");
+        assert_eq!(hits, 5, "repeat observations hit the memo");
+    }
+
+    #[test]
+    fn memoized_counts_match_direct_tokenization() {
+        // The memo must be invisible in the numbers: reuse accounting
+        // with the cache equals what direct counting would produce.
+        let mut store = PrefixStore::new();
+        let segs = ["Target paper: Title: t", "Neighbor Paper0: n", "Task: classify"];
+        store.observe_segments(&segs);
+        let again = store.observe_segments(&segs);
+        let direct: usize = segs.iter().map(|s| Tokenizer.count(s)).sum();
+        assert_eq!(again.total_tokens, direct);
+        assert_eq!(again.reused_tokens, direct);
+        assert_eq!(store.total_tokens(), 2 * direct as u64);
     }
 
     #[test]

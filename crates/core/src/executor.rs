@@ -105,6 +105,26 @@ impl ExecOutcome {
     }
 }
 
+/// Reusable render buffers for the query hot path. One render needs a
+/// neighbor-entry list and a prompt string, and a query may render up to
+/// three prompts (main, hypothetical-full for cost attribution, budget
+/// fallback); holding the buffers here lets a loop of queries reuse the
+/// allocations instead of paying them per render. Create one per worker
+/// (or per batch) and pass it to [`Executor::run_one_reusing`].
+#[derive(Debug, Default)]
+pub struct RenderScratch {
+    entries: Vec<NeighborEntry>,
+    prompt: String,
+    alt: String,
+}
+
+impl RenderScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The execution engine, bound to one dataset and one model.
 pub struct Executor<'a> {
     /// The graph being queried.
@@ -254,22 +274,43 @@ impl<'a> Executor<'a> {
         labels: &LabelStore,
         ranked: bool,
     ) -> String {
+        let mut entries = Vec::new();
+        let mut out = String::new();
+        self.render_into(predictor, v, neighbors, labels, ranked, &mut entries, &mut out);
+        out
+    }
+
+    /// Render into caller-owned buffers (`entries` and `out` are cleared
+    /// and reused). The allocation-free steady state behind
+    /// [`RenderScratch`].
+    #[allow(clippy::too_many_arguments)]
+    fn render_into(
+        &self,
+        predictor: &dyn Predictor,
+        v: NodeId,
+        neighbors: &[NodeId],
+        labels: &LabelStore,
+        ranked: bool,
+        entries: &mut Vec<NeighborEntry>,
+        out: &mut String,
+    ) {
         let ctx = SelectCtx { tag: self.tag, labels, max_neighbors: self.max_neighbors };
-        let entries: Vec<NeighborEntry> =
-            neighbors.iter().map(|&n| predictor.entry_for(&ctx, n)).collect();
+        entries.clear();
+        entries.extend(neighbors.iter().map(|&n| predictor.entry_for(&ctx, n)));
         let t = self.tag.text(v);
         NodePromptSpec {
             title: &t.title,
             abstract_text: &t.body,
-            neighbors: &entries,
+            neighbors: entries,
             categories: self.tag.class_names(),
             ranked: ranked && !entries.is_empty(),
         }
-        .render()
+        .render_into(out);
     }
 
     /// Execute one query. `force_prune` omits neighbor text regardless of
-    /// the predictor (token pruning / budget exhaustion).
+    /// the predictor (token pruning / budget exhaustion). Allocates fresh
+    /// render buffers; loops should prefer [`Executor::run_one_reusing`].
     pub fn run_one(
         &self,
         predictor: &dyn Predictor,
@@ -277,6 +318,21 @@ impl<'a> Executor<'a> {
         v: NodeId,
         rng: &mut StdRng,
         force_prune: bool,
+    ) -> Result<QueryRecord> {
+        let mut scratch = RenderScratch::new();
+        self.run_one_reusing(predictor, labels, v, rng, force_prune, &mut scratch)
+    }
+
+    /// [`Executor::run_one`] with caller-owned render buffers, so a loop
+    /// of queries re-renders into the same allocations.
+    pub fn run_one_reusing(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        v: NodeId,
+        rng: &mut StdRng,
+        force_prune: bool,
+        scratch: &mut RenderScratch,
     ) -> Result<QueryRecord> {
         let started = self.clock.now_micros();
         let query_span = self.tracer.span(
@@ -288,7 +344,10 @@ impl<'a> Executor<'a> {
         let ctx = SelectCtx { tag: self.tag, labels, max_neighbors: self.max_neighbors };
         let neighbors =
             if force_prune { Vec::new() } else { predictor.select_neighbors(&ctx, v, rng) };
-        let mut prompt = self.render(predictor, v, &neighbors, labels, predictor.ranked());
+        // Split the scratch so the main prompt can be counted while the
+        // alternate buffer holds a second render.
+        let RenderScratch { entries, prompt, alt } = scratch;
+        self.render_into(predictor, v, &neighbors, labels, predictor.ranked(), entries, prompt);
         let mut pruned = force_prune || neighbors.is_empty();
         let mut used_neighbors = neighbors;
         let mut budget_starved = false;
@@ -301,18 +360,35 @@ impl<'a> Executor<'a> {
         // otherwise unused on the pruned path, so drawing the hypothetical
         // selection from it cannot perturb results.
         let observing = self.sink.observing();
+        // Token count of the *current* contents of `prompt`, computed at
+        // most once: counting is O(len) and the serving hot path would
+        // otherwise tokenize the same unchanged prompt three times
+        // (attribution, budget, final accounting). Invalidated when the
+        // budget fallback swaps the prompt.
+        let mut prompt_count: Option<u64> = None;
+        fn count_once(prompt: &str, memo: &mut Option<u64>) -> u64 {
+            *memo.get_or_insert_with(|| Tokenizer.count(prompt) as u64)
+        }
         let rendered_tokens = if !observing {
             0
         } else if force_prune {
             let would = predictor.select_neighbors(&ctx, v, rng);
             if would.is_empty() {
-                Tokenizer.count(&prompt) as u64
+                count_once(prompt, &mut prompt_count)
             } else {
-                let full = self.render(predictor, v, &would, labels, predictor.ranked());
-                Tokenizer.count(&full) as u64
+                self.render_into(
+                    predictor,
+                    v,
+                    &would,
+                    labels,
+                    predictor.ranked(),
+                    entries,
+                    alt,
+                );
+                Tokenizer.count(alt) as u64
             }
         } else {
-            Tokenizer.count(&prompt) as u64
+            count_once(prompt, &mut prompt_count)
         };
 
         // Budget enforcement (Eq. 2), applied to the *final* prompt. The
@@ -323,15 +399,17 @@ impl<'a> Executor<'a> {
         // query is budget-starved: no request is sent at all, so a
         // budgeted run can never overshoot.
         if let Some(b) = self.budget {
-            let cost = Tokenizer.count(&prompt) as u64;
+            let cost = count_once(prompt, &mut prompt_count);
             if !pruned && self.llm.meter().would_exceed(cost, b) {
-                used_neighbors = Vec::new();
-                prompt = self.render(predictor, v, &used_neighbors, labels, false);
+                used_neighbors.clear();
+                self.render_into(predictor, v, &used_neighbors, labels, false, entries, alt);
+                std::mem::swap(prompt, alt);
+                prompt_count = None;
                 pruned = true;
             }
-            let final_cost = Tokenizer.count(&prompt) as u64;
+            let final_cost = count_once(prompt, &mut prompt_count);
             if self.llm.meter().would_exceed(final_cost, b) {
-                used_neighbors = Vec::new();
+                used_neighbors.clear();
                 pruned = true;
                 budget_starved = true;
             }
@@ -340,7 +418,7 @@ impl<'a> Executor<'a> {
         let labeled_neighbors =
             used_neighbors.iter().filter(|&&n| labels.is_labeled(n)).count();
         let pseudo_neighbors = used_neighbors.iter().filter(|&&n| labels.is_pseudo(n)).count();
-        let final_tokens = if observing { Tokenizer.count(&prompt) as u64 } else { 0 };
+        let final_tokens = if observing { count_once(prompt, &mut prompt_count) } else { 0 };
 
         let mut failure: Option<String> = None;
         let (predicted, parse_failed, prompt_tokens, cache_saved_tokens) = if budget_starved {
@@ -353,10 +431,10 @@ impl<'a> Executor<'a> {
                 let _llm_span = self.tracer.span(
                     self.sink,
                     "llm_call",
-                    || format!("{} tokens", Tokenizer.count(&prompt)),
+                    || format!("{} tokens", Tokenizer.count(prompt)),
                     self.tracer.current(),
                 );
-                self.llm.complete(&prompt)
+                self.llm.complete(prompt)
             };
             match result {
                 Ok(completion) => {
@@ -490,13 +568,21 @@ impl<'a> Executor<'a> {
         prune_set: impl Fn(NodeId) -> bool,
     ) -> Result<ExecOutcome> {
         let mut out = ExecOutcome::default();
+        let mut scratch = RenderScratch::new();
         for &v in queries {
             if let Some(rec) = self.replay_journaled(v) {
                 out.records.push(rec);
                 continue;
             }
             let mut rng = self.query_rng(v);
-            let rec = self.run_one(predictor, labels, v, &mut rng, prune_set(v))?;
+            let rec = self.run_one_reusing(
+                predictor,
+                labels,
+                v,
+                &mut rng,
+                prune_set(v),
+                &mut scratch,
+            )?;
             self.journal_record(&rec);
             out.records.push(rec);
         }

@@ -83,7 +83,7 @@ pub mod surrogate;
 pub mod tuned;
 
 pub use error::{Error, Result};
-pub use executor::{ExecOutcome, Executor, QueryRecord};
+pub use executor::{ExecOutcome, Executor, QueryRecord, RenderScratch};
 pub use inadequacy::InadequacyScorer;
 pub use journal::{RunHeader, RunJournal};
 pub use labels::LabelStore;

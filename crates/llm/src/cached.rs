@@ -79,6 +79,10 @@ pub struct CachedLlm<L> {
     in_flight: Mutex<HashMap<u64, Arc<Flight>>>,
     coalesced: AtomicU64,
     tokens_saved: AtomicU64,
+    /// Prompt token counts memoized by the same fingerprint the cache is
+    /// keyed on: a served hit re-sees a prompt the wrapper has already
+    /// tokenized, so the O(len) count collapses to a hash lookup.
+    prompt_tokens: Mutex<HashMap<u64, u64>>,
 }
 
 impl<L: LanguageModel> CachedLlm<L> {
@@ -93,6 +97,7 @@ impl<L: LanguageModel> CachedLlm<L> {
             in_flight: Mutex::new(HashMap::new()),
             coalesced: AtomicU64::new(0),
             tokens_saved: AtomicU64::new(0),
+            prompt_tokens: Mutex::new(HashMap::new()),
         }
     }
 
@@ -144,8 +149,12 @@ impl<L: LanguageModel> CachedLlm<L> {
     /// the tokens the serve avoided carried in `cache_saved_tokens` so the
     /// cost ledger can attribute the saving (zeroed `usage` alone is
     /// ambiguous — lenient parse recoveries also return zero usage).
-    fn served(&self, prompt: &str, cached: &Completion) -> Completion {
-        let saved = Tokenizer.count(prompt) as u64;
+    fn served(&self, fp_key: u64, prompt: &str, cached: &Completion) -> Completion {
+        let saved = *self
+            .prompt_tokens
+            .lock()
+            .entry(fp_key)
+            .or_insert_with(|| Tokenizer.count(prompt) as u64);
         self.tokens_saved.fetch_add(saved, Ordering::Relaxed);
         Completion {
             text: cached.text.clone(),
@@ -166,7 +175,7 @@ impl<L: LanguageModel> LanguageModel for CachedLlm<L> {
         }
         let fp = fingerprint(self.inner.name(), prompt);
         if let Some(c) = self.cache.get(fp) {
-            return Ok(self.served(prompt, &c));
+            return Ok(self.served(fp.0, prompt, &c));
         }
 
         // Miss: either join an identical in-flight request or lead one.
@@ -190,7 +199,7 @@ impl<L: LanguageModel> LanguageModel for CachedLlm<L> {
                 state = flight.done.wait(state).unwrap_or_else(|e| e.into_inner());
             }
             return match state.as_ref().expect("published") {
-                Ok(c) => Ok(self.served(prompt, c)),
+                Ok(c) => Ok(self.served(fp.0, prompt, c)),
                 Err(e) => Err(e.clone()),
             };
         }

@@ -47,7 +47,19 @@ pub struct NodePromptSpec<'a> {
 impl NodePromptSpec<'_> {
     /// Render the full prompt per Table III.
     pub fn render(&self) -> String {
-        let mut s = String::with_capacity(
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    /// Render into a caller-owned buffer, reusing its capacity. The hot
+    /// serving path renders thousands of prompts; this is the
+    /// allocation-free (steady state) variant [`NodePromptSpec::render`]
+    /// wraps.
+    pub fn render_into(&self, s: &mut String) {
+        use std::fmt::Write as _;
+        s.clear();
+        s.reserve(
             64 + self.title.len()
                 + self.abstract_text.len()
                 + self.neighbors.iter().map(|n| n.title.len() + 48).sum::<usize>()
@@ -67,9 +79,14 @@ impl NodePromptSpec<'_> {
             }
             s.push_str(":\n");
             for (i, n) in self.neighbors.iter().enumerate() {
-                s.push_str(&format!("Neighbor Paper{i}: {{{{\nTitle: {}\n", n.title));
+                let _ = write!(s, "{NEIGHBOR_BLOCK_PREFIX}{i}: {{{{\n{TITLE_PREFIX} ");
+                s.push_str(&n.title);
+                s.push('\n');
                 if let Some(label) = &n.label {
-                    s.push_str(&format!("Category: {label}\n"));
+                    s.push_str(CATEGORY_PREFIX);
+                    s.push(' ');
+                    s.push_str(label);
+                    s.push('\n');
                 }
                 s.push_str("}}\n");
             }
@@ -77,9 +94,13 @@ impl NodePromptSpec<'_> {
         s.push('\n');
         s.push_str(TASK_HEADER);
         s.push_str("\nCategories:\n[");
-        s.push_str(&self.categories.join(", "));
+        for (i, c) in self.categories.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(c);
+        }
         s.push_str("]\nWhich category does the target paper belong to?\nPlease output the most likely category as a Python list: Category: ['XX'].");
-        s
     }
 }
 

@@ -14,7 +14,7 @@
 //! sink's own registry, so a flaky scraper (or a broken response path)
 //! shows up in the very endpoint it scrapes.
 
-use crate::httpd::{read_request, respond};
+use crate::httpd::{HttpConnection, ReadOutcome, Request};
 use crate::registry::MetricsSink;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -83,22 +83,38 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
-    let req = read_request(&mut stream)?;
+fn serve_one(stream: TcpStream, sink: &MetricsSink) -> io::Result<()> {
+    let mut conn = HttpConnection::new(stream)?;
+    let mut req = Request::default();
+    let outcome = match conn.read_request(&mut req) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // Best-effort 400 so the client sees why, then surface the
+            // error for counting.
+            let _ = conn.respond("400 Bad Request", "text/plain", "bad request\n");
+            return Err(e);
+        }
+    };
+    if outcome == ReadOutcome::Closed {
+        return Ok(());
+    }
+    // The accept loop is single-threaded: honoring keep-alive would let
+    // one scraper monopolize the serving thread. Always close.
+    conn.set_keep_alive(false);
     if req.method != "GET" {
-        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET\n");
+        return conn.respond("405 Method Not Allowed", "text/plain", "only GET\n");
     }
     match req.path.as_str() {
         "/metrics" => {
             let body = sink.registry().render_prometheus();
-            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+            conn.respond("200 OK", "text/plain; version=0.0.4", &body)
         }
         "/progress" => {
             let mut body = sink.progress_json();
             body.push('\n');
-            respond(&mut stream, "200 OK", "application/json", &body)
+            conn.respond("200 OK", "application/json", &body)
         }
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "try /metrics or /progress\n"),
+        _ => conn.respond("404 Not Found", "text/plain", "try /metrics or /progress\n"),
     }
 }
 

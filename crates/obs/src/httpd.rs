@@ -3,102 +3,345 @@
 //!
 //! Two hand-rolled servers grew the same request/response code — the
 //! metrics endpoint in [`crate::MetricsServer`] and the classification
-//! service in `mqo-serve`. This module is the one copy both use: parse a
-//! request ([`read_request`]), write a response ([`respond`] /
-//! [`respond_with_headers`]), and a pair of blocking one-shot clients
-//! ([`http_get`], [`http_post`]) so integration tests, the load
-//! generator, and the smoke scripts all speak through one correct
-//! implementation.
+//! service in `mqo-serve`. This module is the one copy both use: a
+//! per-connection parser ([`HttpConnection`]) that reads requests and
+//! writes responses, and a persistent client ([`HttpClient`]) plus a
+//! pair of blocking one-shot helpers ([`http_get`], [`http_post`]) so
+//! integration tests, the load generator, and the smoke scripts all
+//! speak through one correct implementation.
 //!
-//! It is deliberately not a web framework: `Connection: close`, one
-//! request per connection, headers folded to lowercase names, bodies only
-//! via `Content-Length`. Exactly enough for `curl`, a Prometheus
-//! scraper, and the serving API.
+//! It is deliberately not a web framework: headers folded to lowercase
+//! names, bodies only via `Content-Length`, no chunked encoding. But it
+//! is careful about the things a trustworthy serving layer must get
+//! right:
+//!
+//! * **Keep-alive.** HTTP/1.1 connections persist across requests by
+//!   default (`Connection: close` or HTTP/1.0 opt out), so a loaded
+//!   client pays connection setup once, not per request.
+//! * **Bounded framing.** Total header bytes and header count are
+//!   capped ([`MAX_HEADER_BYTES`], [`MAX_HEADERS`]), so a slow-loris
+//!   client cannot grow server memory without limit; bodies are capped
+//!   at [`MAX_BODY_BYTES`] before allocation.
+//! * **Strict framing.** Conflicting duplicate `Content-Length` headers
+//!   (the classic request-smuggling shape) and EOF before the blank
+//!   header terminator (a truncated request) are hard errors, never
+//!   silently accepted.
+//! * **Buffer reuse.** The connection owns its line, header, and
+//!   response buffers; steady-state request parsing allocates nothing
+//!   per header line.
+//! * **Binary-safe responses.** The client frames response bodies by
+//!   `Content-Length` as raw bytes and decodes them lossily; a non-UTF-8
+//!   body is data, not an I/O error.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Cap on accepted request bodies: a classification batch is a few KB of
 /// node ids; anything near this size is a client bug or abuse.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// One parsed HTTP request.
+/// Cap on total request-line + header bytes per request. Part of the
+/// admission story: a client drip-feeding header lines is cut off here,
+/// before it can tie up memory.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Cap on the number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request. Reused across requests on a connection: all
+/// internal storage (method/path strings, the header arena, the body
+/// buffer) retains its capacity between [`HttpConnection::read_request`]
+/// calls.
 #[derive(Debug, Clone, Default)]
 pub struct Request {
     /// Request method (`GET`, `POST`, …), as sent.
     pub method: String,
     /// Request path, query string included.
     pub path: String,
-    /// Headers with lowercased names, in arrival order.
-    pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Flat arena holding lowercased header names and raw values.
+    head: String,
+    /// `(name_start, value_start, value_end)` spans into `head`; the name
+    /// ends where the value starts.
+    spans: Vec<(u32, u32, u32)>,
+    /// What the request's framing said about connection reuse.
+    keep_alive: bool,
 }
 
 impl Request {
-    /// First value of header `name` (lowercase), if present.
+    /// Value of header `name` (lowercase), if present.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.headers().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// All headers, lowercased names, in arrival order.
+    pub fn headers(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.spans.iter().map(|&(n, v, e)| {
+            (&self.head[n as usize..v as usize], &self.head[v as usize..e as usize])
+        })
+    }
+
+    /// Number of headers.
+    pub fn num_headers(&self) -> usize {
+        self.spans.len()
     }
 
     /// The body as UTF-8, or an empty string if it is not valid UTF-8.
     pub fn body_utf8(&self) -> &str {
         std::str::from_utf8(&self.body).unwrap_or("")
     }
+
+    /// Whether the request's framing permits reusing the connection.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    fn clear(&mut self) {
+        self.method.clear();
+        self.path.clear();
+        self.body.clear();
+        self.head.clear();
+        self.spans.clear();
+        self.keep_alive = false;
+    }
+
+    fn push_header(&mut self, name: &str, value: &str) {
+        let n = self.head.len() as u32;
+        for c in name.chars() {
+            self.head.push(c.to_ascii_lowercase());
+        }
+        let v = self.head.len() as u32;
+        self.head.push_str(value);
+        self.spans.push((n, v, self.head.len() as u32));
+    }
 }
 
-/// Read one request from `stream`: request line, headers, and a
-/// `Content-Length` body. Fails on malformed framing (no request line,
-/// header without `:`, oversized or truncated body) — callers count the
-/// error and drop the connection.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
-    };
-    let mut req = Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers: Vec::new(),
-        body: Vec::new(),
-    };
+/// What [`HttpConnection::read_request`] found on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A complete request was parsed into the caller's [`Request`].
+    Request,
+    /// The peer closed (or idled out) cleanly between requests — the
+    /// normal end of a keep-alive conversation, not an error.
+    Closed,
+}
 
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end_matches(['\r', '\n']);
-        if line.is_empty() {
-            break;
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Server side of one TCP connection: parses a stream of requests and
+/// writes framed responses, reusing every internal buffer across
+/// requests. Create one per accepted socket and loop:
+///
+/// ```text
+/// let mut conn = HttpConnection::new(stream)?;
+/// let mut req = Request::default();
+/// loop {
+///     match conn.read_request(&mut req)? {
+///         ReadOutcome::Closed => break,
+///         ReadOutcome::Request => { /* route, conn.respond(...) */ }
+///     }
+///     if !conn.keep_alive() { break; }
+/// }
+/// ```
+pub struct HttpConnection {
+    reader: BufReader<TcpStream>,
+    /// Reused line buffer — the "no per-request `String` per header
+    /// line" part of the contract.
+    line: String,
+    /// Reused response assembly buffer (head + body, one `write_all`).
+    write_buf: Vec<u8>,
+    keep_alive: bool,
+}
+
+impl HttpConnection {
+    /// Wrap an accepted stream: 5s read/write timeouts, `TCP_NODELAY`
+    /// (responses are written whole; Nagle only adds latency here).
+    pub fn new(stream: TcpStream) -> io::Result<HttpConnection> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpConnection {
+            reader: BufReader::with_capacity(8 * 1024, stream),
+            line: String::with_capacity(256),
+            write_buf: Vec::with_capacity(1024),
+            keep_alive: false,
+        })
+    }
+
+    /// Whether the connection should be kept open after the response to
+    /// the last parsed request.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    /// Force `Connection: close` on the next response regardless of what
+    /// the request asked for (single-threaded endpoints like the metrics
+    /// server use this so one client cannot monopolize the serving
+    /// thread).
+    pub fn set_keep_alive(&mut self, keep_alive: bool) {
+        self.keep_alive = keep_alive;
+    }
+
+    /// Read one request into `req` (previous contents are cleared, the
+    /// allocations reused). Returns [`ReadOutcome::Closed`] on clean EOF
+    /// or idle timeout *between* requests; fails on malformed framing —
+    /// truncated requests, conflicting duplicate `Content-Length`,
+    /// header floods, oversized bodies. Callers should answer
+    /// `InvalidData` errors with a `400` and drop the connection.
+    pub fn read_request(&mut self, req: &mut Request) -> io::Result<ReadOutcome> {
+        req.clear();
+        self.keep_alive = false;
+
+        self.line.clear();
+        match self.reader.read_line(&mut self.line) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            // An idle timeout with no bytes of a new request on the wire
+            // is a clean keep-alive expiry, not an error; a timeout
+            // mid-line means a stalled client and stays fatal.
+            Err(e) if is_timeout(&e) && self.line.is_empty() => return Ok(ReadOutcome::Closed),
+            Err(e) => return Err(e),
+            Ok(_) => {}
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed header"));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim().to_string();
-        if name == "content-length" {
-            content_length = value.parse().map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-            })?;
-            if content_length > MAX_BODY_BYTES {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        let mut header_bytes = self.line.len();
+        {
+            let mut parts = self.line.split_whitespace();
+            let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+                return Err(invalid("malformed request line"));
+            };
+            req.method.push_str(method);
+            req.path.push_str(path);
+            // HTTP/1.1 defaults to keep-alive; HTTP/1.0 (and anything
+            // unrecognized) to close. A `Connection` header overrides.
+            req.keep_alive = parts.next() == Some("HTTP/1.1");
+        }
+
+        let mut content_length: Option<usize> = None;
+        loop {
+            self.line.clear();
+            let n = match self.reader.read_line(&mut self.line) {
+                Ok(n) => n,
+                Err(e) if is_timeout(&e) => {
+                    return Err(invalid("timed out mid-headers (truncated request)"))
+                }
+                Err(e) => return Err(e),
+            };
+            if n == 0 || !self.line.ends_with('\n') {
+                // EOF before the blank terminator line — whether between
+                // header lines or mid-line: the request is truncated, not
+                // complete. (This used to parse as a finished header
+                // block — a framing hole.)
+                return Err(invalid("EOF mid-headers (truncated request)"));
             }
+            header_bytes += n;
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(invalid("header block too large"));
+            }
+            let line = self.line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if req.num_headers() >= MAX_HEADERS {
+                return Err(invalid("too many headers"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(invalid("malformed header"));
+            };
+            let (name, value) = (name.trim(), value.trim());
+            if name.eq_ignore_ascii_case("content-length") {
+                let parsed: usize = value.parse().map_err(|_| invalid("bad content-length"))?;
+                match content_length {
+                    // Conflicting duplicates are the request-smuggling
+                    // shape: two framings of one message. Reject.
+                    Some(prev) if prev != parsed => {
+                        return Err(invalid("conflicting duplicate content-length headers"))
+                    }
+                    _ => content_length = Some(parsed),
+                }
+                if parsed > MAX_BODY_BYTES {
+                    return Err(invalid("body too large"));
+                }
+            }
+            req.push_header(name, value);
         }
-        req.headers.push((name, value));
+
+        match req.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => req.keep_alive = false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => req.keep_alive = true,
+            _ => {}
+        }
+
+        if let Some(n) = content_length.filter(|&n| n > 0) {
+            req.body.resize(n, 0);
+            self.reader.read_exact(&mut req.body)?;
+        }
+        self.keep_alive = req.keep_alive;
+        Ok(ReadOutcome::Request)
     }
 
-    if content_length > 0 {
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
-        req.body = body;
+    /// Write a complete response with no extra headers.
+    pub fn respond(&mut self, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+        self.respond_with_headers(status, content_type, &[], body)
     }
-    Ok(req)
+
+    /// Write a complete response with extra headers (e.g. `Retry-After`).
+    /// The `Connection` header reflects [`HttpConnection::keep_alive`];
+    /// head and body go out in a single `write_all`.
+    pub fn respond_with_headers(
+        &mut self,
+        status: &str,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        body: &str,
+    ) -> io::Result<()> {
+        self.write_buf.clear();
+        let _ = write!(
+            self.write_buf,
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            let _ = write!(self.write_buf, "{name}: {value}\r\n");
+        }
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        let _ = write!(self.write_buf, "Connection: {connection}\r\n\r\n");
+        self.write_buf.extend_from_slice(body.as_bytes());
+        let stream = self.reader.get_mut();
+        stream.write_all(&self.write_buf)?;
+        stream.flush()
+    }
+}
+
+impl Write for HttpConnection {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.reader.get_mut().write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.reader.get_mut().flush()
+    }
+}
+
+/// Read one request from `stream` with a fresh single-use parser.
+/// Convenience for tests and one-connection-at-a-time endpoints; the hot
+/// path should hold an [`HttpConnection`] instead.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut conn = HttpConnection::new(stream.try_clone()?)?;
+    let mut req = Request::default();
+    match conn.read_request(&mut req)? {
+        ReadOutcome::Request => Ok(req),
+        ReadOutcome::Closed => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a request arrived",
+        )),
+    }
 }
 
 /// Write a complete `Connection: close` response with no extra headers.
@@ -111,7 +354,7 @@ pub fn respond(
     respond_with_headers(stream, status, content_type, &[], body)
 }
 
-/// Write a complete response with extra headers (e.g. `Retry-After`).
+/// Write a complete `Connection: close` response with extra headers.
 pub fn respond_with_headers(
     stream: &mut TcpStream,
     status: &str,
@@ -130,39 +373,185 @@ pub fn respond_with_headers(
         head.push_str("\r\n");
     }
     head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut buf = head.into_bytes();
+    buf.extend_from_slice(body.as_bytes());
+    stream.write_all(&buf)?;
     stream.flush()
 }
 
-fn one_shot(addr: SocketAddr, raw_request: &str) -> io::Result<(String, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    stream.write_all(raw_request.as_bytes())?;
-    stream.flush()?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
-    let status = head.lines().next().unwrap_or("").to_string();
-    Ok((status, body.to_string()))
+/// A persistent HTTP/1.1 client over one TCP connection: requests reuse
+/// the connection (and the internal buffers) until the server closes it.
+/// Response bodies are framed by `Content-Length` and read as raw bytes;
+/// [`HttpClient::get`] / [`HttpClient::post`] decode them lossily, so a
+/// binary body can never turn into an I/O error.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    line: String,
+    write_buf: Vec<u8>,
+    body_buf: Vec<u8>,
+    /// Set when the last response said `Connection: close` (or the
+    /// stream died): the next request must reconnect.
+    dead: bool,
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Connect to `addr` with 30s timeouts and `TCP_NODELAY`.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        Ok(HttpClient {
+            reader: BufReader::with_capacity(16 * 1024, Self::open(addr)?),
+            line: String::with_capacity(256),
+            write_buf: Vec::with_capacity(512),
+            body_buf: Vec::new(),
+            dead: false,
+            addr,
+        })
+    }
+
+    fn open(addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Blocking `GET`: returns `(status line, lossily decoded body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(String, String)> {
+        self.request("GET", path, None, false)
+    }
+
+    /// Blocking `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(String, String)> {
+        self.request("POST", path, Some(body), false)
+    }
+
+    /// One request/response exchange. `close` asks the server to close
+    /// afterwards (used by the one-shot helpers).
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+    ) -> io::Result<(String, String)> {
+        if self.dead {
+            self.reader = BufReader::with_capacity(16 * 1024, Self::open(self.addr)?);
+            self.dead = false;
+        }
+        self.write_buf.clear();
+        let _ = write!(self.write_buf, "{method} {path} HTTP/1.1\r\nHost: mqo\r\n");
+        if let Some(body) = body {
+            let _ = write!(
+                self.write_buf,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            );
+        }
+        if close {
+            let _ = write!(self.write_buf, "Connection: close\r\n");
+        }
+        let _ = write!(self.write_buf, "\r\n");
+        if let Some(body) = body {
+            self.write_buf.extend_from_slice(body.as_bytes());
+        }
+        let result = self.exchange(close);
+        if result.is_err() {
+            self.dead = true;
+        }
+        result
+    }
+
+    fn exchange(&mut self, close: bool) -> io::Result<(String, String)> {
+        {
+            let stream = self.reader.get_mut();
+            stream.write_all(&self.write_buf)?;
+            stream.flush()?;
+        }
+
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a status line arrived",
+            ));
+        }
+        let status = self.line.trim_end_matches(['\r', '\n']).to_string();
+
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = close;
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Err(invalid("EOF mid-headers in response"));
+            }
+            let line = self.line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(invalid("malformed response header"));
+            };
+            let (name, value) = (name.trim(), value.trim());
+            if name.eq_ignore_ascii_case("content-length") {
+                let parsed: usize =
+                    value.parse().map_err(|_| invalid("bad response content-length"))?;
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(invalid("conflicting response content-length headers"))
+                    }
+                    _ => content_length = Some(parsed),
+                }
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.eq_ignore_ascii_case("close")
+            {
+                server_closes = true;
+            }
+        }
+
+        // Body: framed by Content-Length when present; otherwise (a
+        // close-delimited response) everything until EOF. Bytes, not
+        // UTF-8 — decoding is lossy, never an error.
+        self.body_buf.clear();
+        match content_length {
+            Some(n) => {
+                self.body_buf.resize(n, 0);
+                self.reader.read_exact(&mut self.body_buf)?;
+            }
+            None => {
+                self.reader.read_to_end(&mut self.body_buf)?;
+                server_closes = true;
+            }
+        }
+        if server_closes {
+            self.dead = true;
+        }
+        Ok((status, String::from_utf8_lossy(&self.body_buf).into_owned()))
+    }
+}
+
+fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(String, String)> {
+    let mut client = HttpClient::connect(addr)?;
+    let result = client.request(method, path, body, true);
+    // Politely signal we are done writing even if the server ignored
+    // `Connection: close`.
+    let _ = client.reader.get_ref().shutdown(Shutdown::Write);
+    result
 }
 
 /// Blocking one-shot `GET`: returns `(status line, body)`.
 pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
-    one_shot(addr, &format!("GET {path} HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n"))
+    one_shot(addr, "GET", path, None)
 }
 
 /// Blocking one-shot `POST` with a JSON body: returns `(status line, body)`.
 pub fn http_post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(String, String)> {
-    one_shot(
-        addr,
-        &format!(
-            "POST {path} HTTP/1.1\r\nHost: mqo\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        ),
-    )
+    one_shot(addr, "POST", path, Some(body))
 }
 
 #[cfg(test)]
@@ -173,31 +562,48 @@ mod tests {
 
     /// Serve exactly one connection with `handler`, return the bound addr.
     fn serve_once(
-        handler: impl FnOnce(Request, &mut TcpStream) + Send + 'static,
+        handler: impl FnOnce(&Request, &mut HttpConnection) + Send + 'static,
     ) -> SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         thread::spawn(move || {
-            let (mut stream, _) = listener.accept().unwrap();
-            match read_request(&mut stream) {
-                Ok(req) => handler(req, &mut stream),
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream).unwrap();
+            let mut req = Request::default();
+            match conn.read_request(&mut req) {
+                Ok(ReadOutcome::Request) => handler(&req, &mut conn),
+                Ok(ReadOutcome::Closed) => {}
                 Err(e) => {
-                    let _ =
-                        respond(&mut stream, "400 Bad Request", "text/plain", &e.to_string());
+                    let _ = conn.respond("400 Bad Request", "text/plain", &e.to_string());
                 }
             }
         });
         addr
     }
 
+    /// Send raw bytes, optionally half-close, and read whatever comes
+    /// back (bytes, lossily decoded).
+    fn raw_exchange(addr: SocketAddr, raw: &[u8], half_close: bool) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(raw).unwrap();
+        stream.flush().unwrap();
+        if half_close {
+            stream.shutdown(Shutdown::Write).unwrap();
+        }
+        let mut buf = Vec::new();
+        let _ = stream.read_to_end(&mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+
     #[test]
     fn get_round_trips_method_path_and_headers() {
-        let addr = serve_once(|req, stream| {
+        let addr = serve_once(|req, conn| {
             assert_eq!(req.method, "GET");
             assert_eq!(req.path, "/hello?x=1");
             assert_eq!(req.header("host"), Some("mqo"));
             assert!(req.body.is_empty());
-            respond(stream, "200 OK", "text/plain", "hi\n").unwrap();
+            conn.respond("200 OK", "text/plain", "hi\n").unwrap();
         });
         let (status, body) = http_get(addr, "/hello?x=1").unwrap();
         assert!(status.contains("200"), "status: {status}");
@@ -206,11 +612,11 @@ mod tests {
 
     #[test]
     fn post_carries_the_body_both_ways() {
-        let addr = serve_once(|req, stream| {
+        let addr = serve_once(|req, conn| {
             assert_eq!(req.method, "POST");
             assert_eq!(req.body_utf8(), "{\"nodes\":[1,2]}");
             assert_eq!(req.header("content-type"), Some("application/json"));
-            respond(stream, "200 OK", "application/json", "{\"ok\":true}").unwrap();
+            conn.respond("200 OK", "application/json", "{\"ok\":true}").unwrap();
         });
         let (status, body) = http_post(addr, "/v1/classify", "{\"nodes\":[1,2]}").unwrap();
         assert!(status.contains("200"), "status: {status}");
@@ -219,9 +625,8 @@ mod tests {
 
     #[test]
     fn extra_headers_reach_the_client() {
-        let addr = serve_once(|_, stream| {
-            respond_with_headers(
-                stream,
+        let addr = serve_once(|_, conn| {
+            conn.respond_with_headers(
                 "429 Too Many Requests",
                 "application/json",
                 &[("Retry-After", "2".to_string())],
@@ -229,10 +634,11 @@ mod tests {
             )
             .unwrap();
         });
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
+        let raw = raw_exchange(
+            addr,
+            b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+            false,
+        );
         assert!(raw.contains("429 Too Many Requests"), "got: {raw}");
         assert!(raw.contains("Retry-After: 2\r\n"), "got: {raw}");
         assert!(raw.ends_with("{\"error\":\"saturated\"}"), "got: {raw}");
@@ -250,34 +656,204 @@ mod tests {
             let mut buf = String::new();
             let _ = stream.read_to_string(&mut buf);
         });
-        let (mut stream, _) = listener.accept().unwrap();
-        assert!(read_request(&mut stream).is_err(), "empty request line must fail");
-        drop(stream);
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = HttpConnection::new(stream).unwrap();
+        let mut req = Request::default();
+        assert!(conn.read_request(&mut req).is_err(), "empty request line must fail");
+        drop(conn);
         client.join().unwrap();
     }
 
     #[test]
     fn oversized_bodies_are_rejected_without_allocation() {
+        let addr = serve_once(|_, _| panic!("request must not parse"));
+        let raw = raw_exchange(
+            addr,
+            format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1)
+                .as_bytes(),
+            false,
+        );
+        assert!(raw.contains("400"), "got: {raw}");
+        assert!(raw.contains("too large"), "got: {raw}");
+    }
+
+    /// Bugfix regression: duplicate `Content-Length` headers with
+    /// *conflicting* values used to let the last one win — the classic
+    /// request-smuggling framing ambiguity. They must be a 400 now.
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        let addr = serve_once(|_, _| panic!("request must not parse"));
+        let raw = raw_exchange(
+            addr,
+            b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\nhello",
+            false,
+        );
+        assert!(raw.contains("400"), "got: {raw}");
+        assert!(raw.contains("conflicting"), "got: {raw}");
+    }
+
+    /// Duplicate `Content-Length` headers that *agree* are harmless
+    /// redundancy, not smuggling; the request still parses.
+    #[test]
+    fn agreeing_duplicate_content_length_is_accepted() {
+        let addr = serve_once(|req, conn| {
+            assert_eq!(req.body_utf8(), "hello");
+            conn.respond("200 OK", "text/plain", "ok").unwrap();
+        });
+        let raw = raw_exchange(
+            addr,
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+            false,
+        );
+        assert!(raw.contains("200"), "got: {raw}");
+    }
+
+    /// Bugfix regression: EOF in the middle of the header block used to
+    /// look like the blank end-of-headers line, so a truncated request
+    /// parsed as complete. It must be an error now.
+    #[test]
+    fn eof_mid_headers_is_a_truncated_request_not_a_complete_one() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let client = thread::spawn(move || {
             let mut stream = TcpStream::connect(addr).unwrap();
-            stream
-                .write_all(
-                    format!(
-                        "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-                        MAX_BODY_BYTES + 1
-                    )
-                    .as_bytes(),
-                )
-                .unwrap();
+            // No terminating blank line; half-close instead.
+            stream.write_all(b"POST /x HTTP/1.1\r\nHost: x\r\nContent-Le").unwrap();
+            stream.shutdown(Shutdown::Write).unwrap();
             let mut buf = String::new();
             let _ = stream.read_to_string(&mut buf);
+            buf
         });
-        let (mut stream, _) = listener.accept().unwrap();
-        let err = read_request(&mut stream).unwrap_err();
-        assert!(err.to_string().contains("too large"), "got: {err}");
-        drop(stream);
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = HttpConnection::new(stream).unwrap();
+        let mut req = Request::default();
+        let err = conn.read_request(&mut req).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "got: {err}");
+        drop(conn);
         client.join().unwrap();
+    }
+
+    /// Bugfix regression: header bytes are bounded, so a client feeding
+    /// an endless header block is cut off instead of growing memory.
+    #[test]
+    fn header_floods_are_rejected() {
+        // Byte flood: one huge header value.
+        let addr = serve_once(|_, _| panic!("request must not parse"));
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(b"X-Flood: ");
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let got = raw_exchange(addr, &raw, false);
+        assert!(got.contains("400"), "got: {got}");
+        assert!(got.contains("too large"), "got: {got}");
+
+        // Count flood: too many small headers.
+        let addr = serve_once(|_, _| panic!("request must not parse"));
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let got = raw_exchange(addr, &raw, false);
+        assert!(got.contains("400"), "got: {got}");
+        assert!(got.contains("too many"), "got: {got}");
+    }
+
+    /// Bugfix regression: the one-shot client used `read_to_string`, so
+    /// a non-UTF-8 response body became an I/O error. Bodies are bytes;
+    /// invalid UTF-8 decodes lossily instead of failing.
+    #[test]
+    fn binary_response_bodies_round_trip_lossily() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream.try_clone().unwrap()).unwrap();
+            let mut req = Request::default();
+            conn.read_request(&mut req).unwrap();
+            // 0xFF 0xFE is invalid UTF-8; the body also contains the
+            // \r\n\r\n separator to make naive whole-response splitting
+            // misbehave.
+            let body: &[u8] = b"\xff\xfebinary\r\n\r\ntail";
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body).unwrap();
+        });
+        let (status, body) = http_get(addr, "/blob").expect("binary body is not an I/O error");
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.contains("binary"), "body: {body:?}");
+        assert!(body.ends_with("tail"), "body split on the wrong \\r\\n\\r\\n: {body:?}");
+        assert!(body.contains('\u{FFFD}'), "invalid bytes decode lossily: {body:?}");
+    }
+
+    /// Keep-alive: one connection serves several requests, reusing the
+    /// parser's buffers; a `Connection: close` request ends it.
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream).unwrap();
+            let mut req = Request::default();
+            let mut served = 0usize;
+            loop {
+                match conn.read_request(&mut req).unwrap() {
+                    ReadOutcome::Closed => break,
+                    ReadOutcome::Request => {
+                        served += 1;
+                        let body = format!("echo {}", req.path);
+                        conn.respond("200 OK", "text/plain", &body).unwrap();
+                        if !conn.keep_alive() {
+                            break;
+                        }
+                    }
+                }
+            }
+            served
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        for i in 0..5 {
+            let (status, body) = client.get(&format!("/r{i}")).unwrap();
+            assert!(status.contains("200"), "status: {status}");
+            assert_eq!(body, format!("echo /r{i}"));
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), 5, "all requests rode one connection");
+    }
+
+    /// HTTP/1.0 requests and explicit `Connection: close` both disable
+    /// keep-alive; `Connection: keep-alive` re-enables it on HTTP/1.0.
+    #[test]
+    fn connection_reuse_follows_version_and_header() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+        ];
+        for (raw, expect) in cases {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let raw = raw.to_vec();
+            let client = thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(&raw).unwrap();
+                let mut buf = String::new();
+                let _ = stream.read_to_string(&mut buf);
+            });
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream).unwrap();
+            let mut req = Request::default();
+            assert_eq!(conn.read_request(&mut req).unwrap(), ReadOutcome::Request);
+            assert_eq!(conn.keep_alive(), *expect, "request: {:?}", req.method);
+            conn.respond("200 OK", "text/plain", "ok").unwrap();
+            drop(conn);
+            client.join().unwrap();
+        }
     }
 }

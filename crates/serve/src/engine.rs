@@ -320,6 +320,9 @@ impl Engine {
         let mut records = Vec::with_capacity(nodes.len());
         let mut replayed = 0u64;
         let mut billed_tokens = 0u64;
+        // Render buffers shared by every query in the batch — the serve
+        // hot path re-renders into the same allocations.
+        let mut scratch = mqo_core::RenderScratch::new();
         {
             let labels = self.labels.read();
             for &v in nodes {
@@ -329,7 +332,14 @@ impl Engine {
                     continue;
                 }
                 let mut rng = exec.query_rng(v);
-                let rec = match exec.run_one(&*self.predictor, &labels, v, &mut rng, false) {
+                let rec = match exec.run_one_reusing(
+                    &*self.predictor,
+                    &labels,
+                    v,
+                    &mut rng,
+                    false,
+                    &mut scratch,
+                ) {
                     Ok(rec) => rec,
                     // Degraded mode handles model errors inside run_one;
                     // this arm only fires on internal errors, which still

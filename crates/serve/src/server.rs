@@ -31,7 +31,7 @@ use crate::config::ServerOptions;
 use crate::engine::{Engine, Rejection};
 use mqo_core::queue::{BoundedQueue, PushError};
 use mqo_graph::NodeId;
-use mqo_obs::httpd::{read_request, respond, respond_with_headers, Request};
+use mqo_obs::httpd::{HttpConnection, ReadOutcome, Request};
 use mqo_obs::SpanId;
 use serde_json::{json, Value};
 use std::io::{self, ErrorKind};
@@ -254,10 +254,10 @@ impl Drop for Server {
     }
 }
 
-fn json_response(stream: &mut TcpStream, status: &str, body: &Value) -> io::Result<()> {
+fn json_response(conn: &mut HttpConnection, status: &str, body: &Value) -> io::Result<()> {
     let mut text = serde_json::to_string(body).expect("response serialization");
     text.push('\n');
-    respond(stream, status, "application/json", &text)
+    conn.respond(status, "application/json", &text)
 }
 
 /// Parse the classify request body: `{"node": N}` or `{"nodes": [..]}`,
@@ -297,24 +297,24 @@ fn handle_classify(
     engine: &Engine,
     queue: &BoundedQueue<Job>,
     req: &Request,
-    stream: &mut TcpStream,
+    conn: &mut HttpConnection,
 ) -> io::Result<()> {
     let (nodes, tenant) = match parse_classify(req, engine.num_nodes()) {
         Ok(parsed) => parsed,
-        Err(e) => return json_response(stream, "400 Bad Request", &json!({"error": e})),
+        Err(e) => return json_response(conn, "400 Bad Request", &json!({"error": e})),
     };
     match engine.admit(&tenant) {
         Ok(()) => {}
         Err(Rejection::Draining) => {
             return json_response(
-                stream,
+                conn,
                 "503 Service Unavailable",
                 &json!({"error": "draining", "tenant": tenant}),
             )
         }
         Err(Rejection::TenantExhausted(t)) => {
             return json_response(
-                stream,
+                conn,
                 "429 Too Many Requests",
                 &json!({
                     "error": "tenant budget exhausted",
@@ -335,8 +335,7 @@ fn handle_classify(
                 serde_json::to_string(&json!({"error": "saturated", "tenant": tenant}))
                     .expect("response serialization");
             body.push('\n');
-            return respond_with_headers(
-                stream,
+            return conn.respond_with_headers(
                 "429 Too Many Requests",
                 "application/json",
                 &[("Retry-After", "1".to_string())],
@@ -345,7 +344,7 @@ fn handle_classify(
         }
         Err(PushError::Closed(_)) => {
             return json_response(
-                stream,
+                conn,
                 "503 Service Unavailable",
                 &json!({"error": "draining", "tenant": tenant}),
             )
@@ -354,59 +353,95 @@ fn handle_classify(
     match reply_rx.recv() {
         Ok(batch) => {
             engine.count_request();
-            json_response(stream, "200 OK", &batch.to_json(&tenant))
+            json_response(conn, "200 OK", &batch.to_json(&tenant))
         }
         Err(_) => json_response(
-            stream,
+            conn,
             "500 Internal Server Error",
             &json!({"error": "worker pool unavailable"}),
         ),
     }
 }
 
-fn handle_connection(
+/// Route one parsed request and write its response.
+fn handle_request(
     engine: &Engine,
     queue: &BoundedQueue<Job>,
     workers: usize,
-    mut stream: TcpStream,
+    req: &Request,
+    conn: &mut HttpConnection,
 ) -> io::Result<()> {
-    let req = read_request(&mut stream)?;
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/classify") => handle_classify(engine, queue, &req, &mut stream),
+        ("POST", "/v1/classify") => handle_classify(engine, queue, req, conn),
         ("GET", "/v1/healthz") => {
             if engine.draining() {
-                json_response(
-                    &mut stream,
-                    "503 Service Unavailable",
-                    &json!({"status": "draining"}),
-                )
+                json_response(conn, "503 Service Unavailable", &json!({"status": "draining"}))
             } else {
-                json_response(&mut stream, "200 OK", &json!({"status": "ok"}))
+                json_response(conn, "200 OK", &json!({"status": "ok"}))
             }
         }
         ("GET", "/v1/stats") => {
             let body = engine.stats_json(Some((queue.len(), queue.capacity())), workers);
-            respond(&mut stream, "200 OK", "application/json", &body)
+            conn.respond("200 OK", "application/json", &body)
         }
         ("POST", "/v1/drain") => {
             engine.request_drain();
-            json_response(&mut stream, "202 Accepted", &json!({"draining": true}))
+            json_response(conn, "202 Accepted", &json!({"draining": true}))
         }
         ("GET", "/metrics") => {
             let body = engine.metrics().registry().render_prometheus();
-            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+            conn.respond("200 OK", "text/plain; version=0.0.4", &body)
         }
         ("GET", "/progress") => {
             let mut body = engine.metrics().progress_json();
             body.push('\n');
-            respond(&mut stream, "200 OK", "application/json", &body)
+            conn.respond("200 OK", "application/json", &body)
         }
-        ("POST" | "GET", _) => respond(
-            &mut stream,
+        ("POST" | "GET", _) => conn.respond(
             "404 Not Found",
             "text/plain",
             "try /v1/classify, /v1/healthz, /v1/stats, /metrics\n",
         ),
-        _ => respond(&mut stream, "405 Method Not Allowed", "text/plain", "only GET/POST\n"),
+        _ => conn.respond("405 Method Not Allowed", "text/plain", "only GET/POST\n"),
+    }
+}
+
+/// Serve one connection: a keep-alive loop reusing one request buffer.
+/// Malformed framing (truncated requests, conflicting `Content-Length`,
+/// header floods) gets a best-effort `400` and surfaces as an error so
+/// the accept loop counts it in `mqo_http_errors_total` — the server
+/// itself stays up.
+fn handle_connection(
+    engine: &Engine,
+    queue: &BoundedQueue<Job>,
+    workers: usize,
+    stream: TcpStream,
+) -> io::Result<()> {
+    let mut conn = HttpConnection::new(stream)?;
+    let mut req = Request::default();
+    loop {
+        match conn.read_request(&mut req) {
+            Ok(ReadOutcome::Closed) => return Ok(()),
+            Ok(ReadOutcome::Request) => {}
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                conn.set_keep_alive(false);
+                let _ = json_response(
+                    &mut conn,
+                    "400 Bad Request",
+                    &json!({"error": e.to_string()}),
+                );
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+        // During a drain, finish this response but stop reusing the
+        // connection so the handler joins promptly.
+        if engine.draining() {
+            conn.set_keep_alive(false);
+        }
+        handle_request(engine, queue, workers, &req, &mut conn)?;
+        if !conn.keep_alive() {
+            return Ok(());
+        }
     }
 }

@@ -19,14 +19,18 @@
 # upload.
 #
 # The third stage serves the same dataset over loopback HTTP and fires a
-# seeded loadgen burst; loadgen folds serve_rps / serve_p50_ms /
-# serve_p99_ms into the stats snapshot, and bench_gate checks them
-# against the baseline with its coarse serving tolerance — wall-clock
-# numbers gate structure (a serialized pool), not runner speed.
+# seeded loadgen burst over keep-alive connections with a warmup window;
+# loadgen folds serve_rps / serve_p50_ms / serve_p99_ms into the stats
+# snapshot, and bench_gate checks them against the baseline at
+# --serve-tolerance 65 (tightened from the pre-keep-alive 90): wall-clock
+# numbers still gate structure, not runner speed, but a large regression
+# now fails instead of hiding inside the slack. The remaining slack
+# absorbs shared-runner noise (observed run-to-run spread is roughly 2x
+# on rps and p99 tails on a single-core runner), not code regressions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR5.json
+BASELINE=BENCH_PR6.json
 CURRENT=target/bench_smoke_current.json
 OBS_TRACE=target/obs_trace.json
 OBS_COST=target/obs_cost.json
@@ -55,7 +59,7 @@ SERVE_PID=$!
 for _ in $(seq 1 200); do [ -s "$SERVE_ADDR" ] && break; sleep 0.1; done
 [ -s "$SERVE_ADDR" ] || { echo "bench_smoke: server never bound" >&2; exit 1; }
 ./target/release/loadgen --addr-file "$SERVE_ADDR" \
-  --requests 80 --concurrency 8 --batch 4 --seed 42 \
+  --requests 400 --warmup 40 --concurrency 8 --batch 4 --seed 42 \
   --merge-into "$CURRENT" --drain > /dev/null
 wait "$SERVE_PID" || { echo "bench_smoke: server exited non-zero" >&2; exit 1; }
 
@@ -63,5 +67,5 @@ if [[ "${1:-}" == "--update" ]]; then
   cp "$CURRENT" "$BASELINE"
   echo "baseline updated: $BASELINE"
 else
-  ./target/release/bench_gate "$BASELINE" "$CURRENT"
+  ./target/release/bench_gate "$BASELINE" "$CURRENT" --serve-tolerance 65
 fi

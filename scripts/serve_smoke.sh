@@ -4,7 +4,7 @@
 #
 #   scripts/serve_smoke.sh
 #
-# Five gated legs, all seeded:
+# Six gated legs, all seeded:
 #
 #   1. A server over a generated Cora file answers a seeded loadgen
 #      burst with non-zero throughput (loadgen exits non-zero if no
@@ -13,11 +13,16 @@
 #   2. The drained run's Chrome trace and cost ledger must pass
 #      obs_check: every query span under the run span, intervals
 #      nested, and the token-conservation identity holding.
-#   3. A tenant with an undersized admission budget must see 429s —
+#   3. Malformed framing (conflicting duplicate Content-Length,
+#      truncated headers, a header flood) must each draw a 400, the
+#      rejections must be counted in mqo_http_errors_total, and the
+#      server must keep answering /v1/healthz afterwards (loadgen
+#      --malformed exits non-zero otherwise).
+#   4. A tenant with an undersized admission budget must see 429s —
 #      and the server must keep answering other work afterwards.
-#   4. A restarted server (--resume) replaying the *same* seeded burst
+#   5. A restarted server (--resume) replaying the *same* seeded burst
 #      must re-bill zero tokens: everything comes from the journal.
-#   5. The resumed server must also drain cleanly (exit 0).
+#   6. The resumed server must also drain cleanly (exit 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,7 +57,14 @@ wait_for_file "$OUT/addr" "server address"
   --requests 60 --concurrency 6 --batch 3 --seed 42 \
   --out "$OUT/load.json"
 
-echo "==> leg 3: undersized tenant budget answers 429"
+echo "==> leg 3: malformed framing draws 400s and the server stays up"
+# Conflicting duplicate Content-Length, truncated headers, and a header
+# flood must each be rejected with 400, the rejections must show in
+# mqo_http_errors_total, and /v1/healthz must still answer 200.
+./target/release/loadgen --addr-file "$OUT/addr" --malformed \
+  --out "$OUT/load_malformed.json"
+
+echo "==> leg 4: undersized tenant budget answers 429"
 # 2000 tokens admit only the first few requests; the rest must bounce.
 ./target/release/loadgen --addr-file "$OUT/addr" \
   --requests 20 --concurrency 4 --batch 2 --seed 43 --tenant throttled \
@@ -77,7 +89,7 @@ grep -q "journal sealed" "$OUT/serve.log" || {
 echo "==> leg 2: serving trace + ledger pass obs_check"
 ./target/release/obs_check "$OUT/serve_trace.json" "$OUT/serve_cost.json"
 
-echo "==> leg 4: resumed server re-bills zero tokens for the same burst"
+echo "==> leg 5: resumed server re-bills zero tokens for the same burst"
 ./target/release/mqo serve "$OUT/cora.bin" \
   --addr 127.0.0.1:0 --addr-file "$OUT/addr2" --workers 4 --queue-cap 32 \
   --queries 120 --seed 42 \
@@ -86,13 +98,13 @@ echo "==> leg 4: resumed server re-bills zero tokens for the same burst"
 RESUME_PID=$!
 wait_for_file "$OUT/addr2" "resumed server address"
 
-# Same seeds as legs 1 and 3's final burst: every node is journaled.
+# Same seeds as legs 1 and 4's final burst: every node is journaled.
 ./target/release/loadgen --addr-file "$OUT/addr2" \
   --requests 60 --concurrency 6 --batch 3 --seed 42 > /dev/null
 ./target/release/loadgen --addr-file "$OUT/addr2" \
   --requests 20 --concurrency 4 --batch 3 --seed 44 --drain > /dev/null
 
-echo "==> leg 5: resumed server drains cleanly"
+echo "==> leg 6: resumed server drains cleanly"
 wait "$RESUME_PID" || { echo "serve_smoke: resumed server exited non-zero" >&2; exit 1; }
 grep -q '"tokens_billed":0' "$OUT/resume_stats.json" || {
   echo "serve_smoke: resume re-billed tokens:" >&2

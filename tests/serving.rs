@@ -8,6 +8,7 @@ use mqo_core::journal::record_from_json;
 use mqo_core::QueryRecord;
 use mqo_data::{dataset, DatasetBundle, DatasetId};
 use mqo_graph::NodeId;
+use mqo_obs::httpd::HttpClient;
 use mqo_obs::{http_get, http_post};
 use mqo_serve::{Engine, Rejection, ServeConfig, Server, ServerOptions};
 use std::collections::HashMap;
@@ -121,6 +122,112 @@ fn served_records_are_bit_identical_to_a_batch_run() {
             "served record for node {node} diverged from the batch run"
         );
     }
+}
+
+/// One keep-alive connection carrying a whole session of classify
+/// requests produces records bit-identical to a sequential batch run —
+/// connection reuse is a transport optimization, never a behavioral one.
+#[test]
+fn keep_alive_session_is_bit_identical_to_batch() {
+    let cfg = || ServeConfig { cache_cap: 0, ..serve_cfg() };
+    let union: Vec<NodeId> = (0..20).map(NodeId).collect();
+    let batch_engine = Engine::new(bundle(), cfg()).unwrap();
+    let batch = batch_engine.process(&union, "default");
+
+    let engine = Engine::new(bundle(), cfg()).map(Arc::new).unwrap();
+    let server = start(Arc::clone(&engine), 2, 8);
+    // One persistent connection for the whole session: every request
+    // rides the same socket unless the server closes it (it must not).
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let mut served: Vec<QueryRecord> = Vec::new();
+    for chunk in (0..20u32).collect::<Vec<_>>().chunks(4) {
+        let (status, text) =
+            client.post("/v1/classify", &nodes_json(chunk)).expect("keep-alive round-trip");
+        assert!(status.contains("200"), "got {status}");
+        let response: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        served.extend(records_of(&response));
+    }
+    drop(client);
+    server.drain();
+
+    assert_eq!(served.len(), union.len());
+    for (rec, expected) in served.iter().zip(&batch.records) {
+        assert_eq!(rec, expected, "keep-alive session diverged from the batch run");
+    }
+}
+
+/// Two requests written on one raw socket both get answered — the server
+/// really does keep HTTP/1.1 connections alive rather than closing after
+/// the first response.
+#[test]
+fn one_socket_carries_multiple_requests() {
+    use std::io::{Read, Write};
+    let engine = Engine::new(bundle(), serve_cfg()).map(Arc::new).unwrap();
+    let server = start(Arc::clone(&engine), 1, 4);
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET /v1/healthz HTTP/1.1\r\nHost: mqo\r\n\r\n").unwrap();
+    write!(stream, "GET /v1/healthz HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read both responses");
+    assert_eq!(raw.matches("HTTP/1.1 200 OK").count(), 2, "got: {raw}");
+    assert!(raw.contains("Connection: keep-alive"), "first response keeps alive: {raw}");
+    assert!(raw.contains("Connection: close"), "second response closes: {raw}");
+    server.drain();
+}
+
+/// Malformed framing — conflicting duplicate `Content-Length`, truncated
+/// header blocks — earns a `400`, lands in `mqo_http_errors_total`, and
+/// leaves the server fully alive for well-formed clients.
+#[test]
+fn malformed_framing_gets_400_and_server_stays_up() {
+    use std::io::{Read, Write};
+    let engine = Engine::new(bundle(), serve_cfg()).map(Arc::new).unwrap();
+    let server = start(Arc::clone(&engine), 1, 4);
+    let addr = server.addr();
+
+    // Request-smuggling shape: two different Content-Length framings.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(
+            b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\nhello",
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("400 Bad Request"), "got: {raw}");
+    assert!(raw.contains("conflicting"), "got: {raw}");
+
+    // Truncated mid-headers: EOF before the blank line is not a request.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"POST /v1/classify HTTP/1.1\r\nHost: x\r\nContent-Le").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("400 Bad Request"), "got: {raw}");
+
+    // Both abuses are visible in metrics, and the server still serves.
+    let mut errors_seen = 0u64;
+    for _ in 0..200 {
+        let (_, text) = http_get(addr, "/metrics").unwrap();
+        errors_seen = text
+            .lines()
+            .find_map(|l| l.strip_prefix("mqo_http_errors_total "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if errors_seen >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(errors_seen >= 2, "framing abuse must be counted, saw {errors_seen}");
+    let (status, _) = classify(addr, "{\"node\": 1}");
+    assert!(status.contains("200"), "server must survive abuse, got {status}");
+    server.drain();
 }
 
 /// A tenant over its admission budget gets `429` before any queue slot
