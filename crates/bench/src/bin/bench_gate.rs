@@ -33,6 +33,7 @@
 //! never gate: accuracy is checked bit-exactly by the test suite, and
 //! absolute wall time is noise on shared CI runners.
 
+use mqo_bench::gate::{drift, latency_blowup, Direction};
 use std::process::ExitCode;
 
 fn die(msg: &str) -> ExitCode {
@@ -86,25 +87,23 @@ fn run() -> Result<bool, String> {
 
     let base_tokens = field(&baseline, "tokens_sent", baseline_path)?;
     let cur_tokens = field(&current, "tokens_sent", current_path)?;
-    let token_delta =
-        if base_tokens > 0.0 { 100.0 * (cur_tokens - base_tokens) / base_tokens } else { 0.0 };
-    let token_ok = token_delta <= tolerance;
+    let tokens = drift(Direction::LowerIsBetter, base_tokens, cur_tokens, tolerance);
     println!(
-        "  tokens_sent : {cur_tokens:.0} vs {base_tokens:.0}  ({token_delta:+.2}%)  {}",
-        if token_ok { "ok" } else { "REGRESSED" }
+        "  tokens_sent : {cur_tokens:.0} vs {base_tokens:.0}  ({:+.2}%)  {}",
+        tokens.delta_pct,
+        if tokens.ok { "ok" } else { "REGRESSED" }
     );
-    ok &= token_ok;
+    ok &= tokens.ok;
 
     let base_rate = field(&baseline, "serve_rate", baseline_path)?;
     let cur_rate = field(&current, "serve_rate", current_path)?;
-    let rate_delta =
-        if base_rate > 0.0 { 100.0 * (cur_rate - base_rate) / base_rate } else { 0.0 };
-    let rate_ok = rate_delta >= -tolerance;
+    let rate = drift(Direction::HigherIsBetter, base_rate, cur_rate, tolerance);
     println!(
-        "  serve_rate  : {cur_rate:.4} vs {base_rate:.4}  ({rate_delta:+.2}%)  {}",
-        if rate_ok { "ok" } else { "REGRESSED" }
+        "  serve_rate  : {cur_rate:.4} vs {base_rate:.4}  ({:+.2}%)  {}",
+        rate.delta_pct,
+        if rate.ok { "ok" } else { "REGRESSED" }
     );
-    ok &= rate_ok;
+    ok &= rate.ok;
 
     // Serving metrics: gate only when the baseline has them.
     match (
@@ -112,30 +111,24 @@ fn run() -> Result<bool, String> {
         field(&current, "serve_rps", current_path),
     ) {
         (Ok(base_rps), Ok(cur_rps)) => {
-            let rps_delta =
-                if base_rps > 0.0 { 100.0 * (cur_rps - base_rps) / base_rps } else { 0.0 };
-            let rps_ok = cur_rps > 0.0 && rps_delta >= -serve_tolerance;
+            let rps = drift(Direction::HigherIsBetter, base_rps, cur_rps, serve_tolerance);
+            let rps_ok = cur_rps > 0.0 && rps.ok;
             println!(
-                "  serve_rps   : {cur_rps:.0} vs {base_rps:.0}  ({rps_delta:+.2}%)  {}",
+                "  serve_rps   : {cur_rps:.0} vs {base_rps:.0}  ({:+.2}%)  {}",
+                rps.delta_pct,
                 if rps_ok { "ok" } else { "REGRESSED" }
             );
             ok &= rps_ok;
 
             let base_p99 = field(&baseline, "serve_p99_ms", baseline_path)?;
             let cur_p99 = field(&current, "serve_p99_ms", current_path)?;
-            // Tolerance is symmetric in spirit: a T% throughput drop
-            // corresponds to a 1/(1-T) latency blow-up.
-            let p99_limit = if serve_tolerance < 100.0 {
-                base_p99 / (1.0 - serve_tolerance / 100.0)
-            } else {
-                f64::INFINITY
-            };
-            let p99_ok = cur_p99 <= p99_limit;
+            let p99 = latency_blowup(base_p99, cur_p99, serve_tolerance);
             println!(
-                "  serve_p99_ms: {cur_p99:.2} vs {base_p99:.2}  (limit {p99_limit:.2})  {}",
-                if p99_ok { "ok" } else { "REGRESSED" }
+                "  serve_p99_ms: {cur_p99:.2} vs {base_p99:.2}  (limit {:.2})  {}",
+                p99.limit.unwrap_or(f64::INFINITY),
+                if p99.ok { "ok" } else { "REGRESSED" }
             );
-            ok &= p99_ok;
+            ok &= p99.ok;
 
             if let (Ok(b), Ok(c)) = (
                 field(&baseline, "serve_p50_ms", baseline_path),

@@ -5,7 +5,7 @@
 //! mqo inspect  FILE
 //! mqo classify <dataset|FILE> [--method M] [--queries N] [--prune TAU]
 //!              [--boost] [--model gpt35|gpt4o-mini] [--threads T]
-//!              [--budget B] [--retries N] [--trace FILE]
+//!              [--deterministic] [--budget B] [--retries N] [--trace FILE]
 //!              [--trace-chrome FILE] [--serve-metrics ADDR]
 //!              [--cost-json FILE] [--cache-cap N] [--no-cache]
 //!              [--repeat K] [--batch B] [--stats-json FILE]
@@ -28,15 +28,14 @@
 //! and a dozen flags, not enough to justify a parser dependency.
 
 use mqo_bench::harness::Trace;
-use mqo_core::boosting::{run_with_boosting_policy, BoostConfig, DegradePolicy};
+use mqo_core::boosting::{BoostConfig, DegradePolicy};
 use mqo_core::journal::{RunHeader, RunJournal};
 use mqo_core::metrics::ConfusionMatrix;
-use mqo_core::parallel::{run_all_batched, run_all_parallel};
 use mqo_core::planner::plan_campaign;
 use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
 use mqo_core::pruning::PrunePlan;
 use mqo_core::surrogate::SurrogateConfig;
-use mqo_core::{Executor, InadequacyScorer, LabelStore};
+use mqo_core::{Executor, InadequacyScorer, LabelStore, Labels, SchedulePolicy, Scheduler};
 use mqo_data::{dataset, persist, DatasetBundle, DatasetId};
 use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
 use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
@@ -64,7 +63,7 @@ fn usage() -> ExitCode {
          mqo inspect  FILE\n  \
          mqo classify <dataset|FILE> [--method zero-shot|1hop|2hop|sns|llmrank]\n               \
          [--queries N] [--prune TAU] [--boost] [--model gpt35|gpt4o-mini] [--threads T]\n               \
-         [--budget B] [--retries N] [--trace FILE] [--trace-chrome FILE]\n               \
+         [--deterministic] [--budget B] [--retries N] [--trace FILE] [--trace-chrome FILE]\n               \
          [--serve-metrics ADDR] [--cost-json FILE] [--cache-cap N] [--no-cache]\n               \
          [--repeat K] [--batch B] [--stats-json FILE]\n               \
          [--faults error=R,malformed=R,rate-limit=R,latency=R,truncate=R,outage=S+L]\n               \
@@ -88,7 +87,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value; value flags consume the next arg.
             match name {
-                "boost" | "no-cache" | "resume" => {
+                "boost" | "no-cache" | "resume" | "deterministic" => {
                     flags.insert(name.to_string(), "true".to_string());
                     i += 1;
                 }
@@ -405,48 +404,44 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     exec.set_span_scope(run_span.id());
 
     let run_started = std::time::Instant::now();
+    // One execution core for every shape of run: the scheduler policy is
+    // the only thing the flags choose.
+    let deterministic = flags.contains_key("deterministic");
     let outcome = if flags.contains_key("boost") {
         let mut labels = LabelStore::from_split(&bundle.tag, &split);
-        let (out, rounds) = run_with_boosting_policy(
+        let report = Scheduler::new(
             &exec,
-            predictor.as_ref(),
-            &mut labels,
-            &run_queries,
-            BoostConfig::default(),
-            &plan,
-            DegradePolicy::default(),
+            SchedulePolicy::CueGated {
+                config: BoostConfig::default(),
+                policy: DegradePolicy::default(),
+                threads: threads.max(1),
+                // Width 1 is deterministic by construction; wider runs
+                // free-run unless --deterministic asks for wave barriers.
+                deterministic: deterministic || threads <= 1,
+            },
         )
+        .run(predictor.as_ref(), Labels::Boosting(&mut labels), &run_queries, |v| {
+            plan.is_pruned(v)
+        })
         .map_err(|e| format!("boosting: {e}"))?;
-        println!("boosting rounds: {}", rounds.len());
-        out
+        println!("boosting rounds: {}", report.rounds.len());
+        report.outcome
     } else {
         let labels = LabelStore::from_split(&bundle.tag, &split);
-        if let Some(b) = flags.get("batch") {
+        let policy = if let Some(b) = flags.get("batch") {
             let batch: usize = b.parse().map_err(|_| "bad --batch")?;
-            run_all_batched(
-                &exec,
-                predictor.as_ref(),
-                &labels,
-                &run_queries,
-                |v| plan.is_pruned(v),
-                threads,
-                batch.max(1),
-            )
-            .map_err(|e| format!("run: {e}"))?
+            SchedulePolicy::Batched { threads: threads.max(1), batch_size: batch.max(1) }
         } else if threads > 1 {
-            run_all_parallel(
-                &exec,
-                predictor.as_ref(),
-                &labels,
-                &run_queries,
-                |v| plan.is_pruned(v),
-                threads,
-            )
-            .map_err(|e| format!("run: {e}"))?
+            SchedulePolicy::Parallel { threads }
         } else {
-            exec.run_all(predictor.as_ref(), &labels, &run_queries, |v| plan.is_pruned(v))
-                .map_err(|e| format!("run: {e}"))?
-        }
+            SchedulePolicy::Fifo
+        };
+        Scheduler::new(&exec, policy)
+            .run(predictor.as_ref(), Labels::Fixed(&labels), &run_queries, |v| {
+                plan.is_pruned(v)
+            })
+            .map_err(|e| format!("run: {e}"))?
+            .outcome
     };
     let wall_seconds = run_started.elapsed().as_secs_f64();
     drop(run_span);

@@ -1,0 +1,132 @@
+//! Regression-gate arithmetic shared by `bench_gate`.
+//!
+//! The gate compares a fresh stats snapshot against a committed baseline
+//! and has to know, per metric, *which way is worse*: `tokens_sent` and
+//! `serve_p99_ms` regress by going **up**, `serve_rate` and `serve_rps`
+//! regress by going **down**. Getting a direction backwards turns the
+//! gate into a ratchet that blesses regressions and rejects
+//! improvements, so the directions live here as an explicit
+//! [`Direction`] with unit tests for both orientations instead of
+//! inline sign conventions in the binary.
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-shaped: regression = the value dropped (e.g.
+    /// `serve_rps`, `serve_rate`).
+    HigherIsBetter,
+    /// Cost-shaped: regression = the value rose (e.g. `tokens_sent`,
+    /// `serve_p99_ms`).
+    LowerIsBetter,
+}
+
+/// Outcome of one gated comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Relative change, in percent of baseline (`0` when the baseline
+    /// is zero: nothing meaningful to drift from).
+    pub delta_pct: f64,
+    /// The absolute bound the current value was held to, when the check
+    /// is expressed as a limit rather than a drift band.
+    pub limit: Option<f64>,
+    /// Whether the metric is within tolerance.
+    pub ok: bool,
+}
+
+fn delta_pct(baseline: f64, current: f64) -> f64 {
+    if baseline > 0.0 {
+        100.0 * (current - baseline) / baseline
+    } else {
+        0.0
+    }
+}
+
+/// Symmetric drift check: the metric may move against its [`Direction`]
+/// by at most `tolerance_pct` percent of baseline. Movement in the good
+/// direction is unbounded.
+pub fn drift(direction: Direction, baseline: f64, current: f64, tolerance_pct: f64) -> Verdict {
+    let delta = delta_pct(baseline, current);
+    let ok = match direction {
+        Direction::HigherIsBetter => delta >= -tolerance_pct,
+        Direction::LowerIsBetter => delta <= tolerance_pct,
+    };
+    Verdict { delta_pct: delta, limit: None, ok }
+}
+
+/// Latency check matched to a throughput tolerance: a `T`% throughput
+/// drop corresponds to a `1/(1−T)` latency blow-up, so the current
+/// value must stay under `baseline / (1 − T/100)`. A tolerance of 100%
+/// or more disables the bound. Lower-is-better by construction — a
+/// faster tail always passes.
+pub fn latency_blowup(baseline: f64, current: f64, tolerance_pct: f64) -> Verdict {
+    let limit = if tolerance_pct < 100.0 {
+        baseline / (1.0 - tolerance_pct / 100.0)
+    } else {
+        f64::INFINITY
+    };
+    Verdict {
+        delta_pct: delta_pct(baseline, current),
+        limit: Some(limit),
+        ok: current <= limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_is_better_fails_on_drop_beyond_tolerance() {
+        // serve_rps-shaped: 1000 → 940 is -6%, outside a 5% band.
+        let v = drift(Direction::HigherIsBetter, 1000.0, 940.0, 5.0);
+        assert!(!v.ok);
+        assert!((v.delta_pct - -6.0).abs() < 1e-9);
+        // A drop within the band passes.
+        assert!(drift(Direction::HigherIsBetter, 1000.0, 960.0, 5.0).ok);
+    }
+
+    #[test]
+    fn higher_is_better_never_penalizes_improvement() {
+        assert!(drift(Direction::HigherIsBetter, 1000.0, 5000.0, 5.0).ok);
+    }
+
+    #[test]
+    fn lower_is_better_fails_on_rise_beyond_tolerance() {
+        // tokens_sent-shaped: 1000 → 1060 is +6%, outside a 5% band.
+        let v = drift(Direction::LowerIsBetter, 1000.0, 1060.0, 5.0);
+        assert!(!v.ok);
+        assert!((v.delta_pct - 6.0).abs() < 1e-9);
+        assert!(drift(Direction::LowerIsBetter, 1000.0, 1040.0, 5.0).ok);
+    }
+
+    #[test]
+    fn lower_is_better_never_penalizes_improvement() {
+        // Spending *fewer* tokens than baseline must never trip the gate.
+        assert!(drift(Direction::LowerIsBetter, 1000.0, 1.0, 5.0).ok);
+    }
+
+    #[test]
+    fn zero_baseline_reports_zero_drift_and_passes() {
+        let v = drift(Direction::HigherIsBetter, 0.0, 42.0, 5.0);
+        assert!(v.ok);
+        assert_eq!(v.delta_pct, 0.0);
+    }
+
+    #[test]
+    fn latency_blowup_is_lower_is_better() {
+        // 90% tolerance → limit = base / 0.1 = 10× base.
+        let v = latency_blowup(4.0, 39.0, 90.0);
+        assert!(v.ok);
+        assert!((v.limit.unwrap() - 40.0).abs() < 1e-9);
+        // Just past the blow-up limit fails …
+        assert!(!latency_blowup(4.0, 40.1, 90.0).ok);
+        // … and a *faster* tail always passes: the direction must not be
+        // inverted into "latency may not improve".
+        assert!(latency_blowup(4.0, 0.5, 90.0).ok);
+    }
+
+    #[test]
+    fn latency_blowup_full_tolerance_disables_bound() {
+        assert!(latency_blowup(4.0, 1.0e12, 100.0).ok);
+    }
+}

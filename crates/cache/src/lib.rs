@@ -4,7 +4,7 @@
 //! tokens *across* prompts, on the client side of the black-box boundary,
 //! where a serving deployment amortizes repeated and overlapping traffic:
 //!
-//! * [`fingerprint`] — canonical prompt identity: a 64-bit FNV-1a hash of
+//! * [`mod@fingerprint`] — canonical prompt identity: a 64-bit FNV-1a hash of
 //!   `(model profile name, rendered prompt)`. Two requests with the same
 //!   fingerprint are the same request for caching purposes.
 //! * [`ResponseCache`] — a bounded LRU response cache with explicit

@@ -69,7 +69,7 @@ impl Default for DegradePolicy {
 }
 
 /// Count `|N_i^L|` and `LC_i` over a query's *selected* neighbor set.
-fn label_support(
+pub(crate) fn label_support(
     predictor: &dyn Predictor,
     ctx: &SelectCtx<'_>,
     v: NodeId,
@@ -124,7 +124,37 @@ pub fn run_with_boosting(
 /// attached ([`Executor::with_journal`]), previously completed queries
 /// replay before round one and each round is sealed (fsync'd) as it
 /// completes.
+///
+/// Shim over the event-driven scheduler's cue-gated policy in
+/// deterministic (wave) mode at width 1 (see
+/// [`crate::sched::Scheduler`]); semantics are unchanged.
 pub fn run_with_boosting_policy(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &mut LabelStore,
+    queries: &[NodeId],
+    config: BoostConfig,
+    plan: &PrunePlan,
+    policy: DegradePolicy,
+) -> Result<(ExecOutcome, Vec<RoundTrace>)> {
+    let report = crate::sched::Scheduler::new(
+        exec,
+        crate::sched::SchedulePolicy::CueGated {
+            config,
+            policy,
+            threads: 1,
+            deterministic: true,
+        },
+    )
+    .run(predictor, crate::sched::Labels::Boosting(labels), queries, |v| plan.is_pruned(v))?;
+    Ok((report.outcome, report.rounds))
+}
+
+/// The pre-scheduler round loop, kept verbatim as the oracle for the
+/// scheduler-equivalence proptests in [`crate::sched`].
+#[cfg(test)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_with_boosting_policy_legacy(
     exec: &Executor<'_>,
     predictor: &dyn Predictor,
     labels: &mut LabelStore,

@@ -560,7 +560,25 @@ impl<'a> Executor<'a> {
     /// Execute `queries` in order with a fixed label store (no boosting).
     /// `prune_set` marks queries to execute without neighbor text
     /// (Algorithm 1 step 2).
+    ///
+    /// Shim over the event-driven scheduler's FIFO policy (see
+    /// [`crate::sched::Scheduler`]); semantics are unchanged.
     pub fn run_all(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        queries: &[NodeId],
+        prune_set: impl Fn(NodeId) -> bool + Sync,
+    ) -> Result<ExecOutcome> {
+        let report = crate::sched::Scheduler::new(self, crate::sched::SchedulePolicy::Fifo)
+            .run(predictor, crate::sched::Labels::Fixed(labels), queries, prune_set)?;
+        Ok(report.outcome)
+    }
+
+    /// The pre-scheduler sequential loop, kept verbatim as the oracle
+    /// for the scheduler-equivalence proptests.
+    #[cfg(test)]
+    pub(crate) fn run_all_legacy(
         &self,
         predictor: &dyn Predictor,
         labels: &LabelStore,

@@ -26,8 +26,13 @@
 //!   (Table X).
 //! * [`graphlevel`] — the future-work extension (§VII): graph-level token
 //!   pruning that excludes irrelevant subgraph tokens.
-//! * [`parallel`] — a result-identical multi-threaded execution path
-//!   (queries within a round are independent).
+//! * [`sched`] — the event-driven execution core: one readiness queue
+//!   (keyed by the γ₁/γ₂ cue rule for boosting), a fixed worker pool
+//!   with a completion channel, and pluggable [`sched::SchedulePolicy`]
+//!   implementations recovering FIFO, width-N, prefix-coherent batched,
+//!   and cue-gated execution.
+//! * [`parallel`] — shims for the historical multi-threaded entry points
+//!   (now thin wrappers over [`sched`]).
 //! * [`stream`] — online classification with boosting over an arrival
 //!   stream (the introduction's dynamic-node scenario).
 //! * [`planner`] — dollars → tokens → τ campaign planning before any LLM
@@ -78,6 +83,7 @@ pub mod planner;
 pub mod predictor;
 pub mod pruning;
 pub mod queue;
+pub mod sched;
 pub mod stream;
 pub mod surrogate;
 pub mod tuned;
@@ -89,3 +95,4 @@ pub use journal::{RunHeader, RunJournal};
 pub use labels::LabelStore;
 pub use predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
 pub use queue::{BoundedQueue, PushError};
+pub use sched::{Labels, RunReport, SchedulePolicy, Scheduler};

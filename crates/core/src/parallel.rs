@@ -13,21 +13,26 @@
 //! Scoped threads come from `std::thread::scope` (no `'static` bounds on
 //! the executor borrows). A panic inside one query is contained to that
 //! query: the survivors drain the remaining work, the panicked query is
-//! recorded as a failed outcome ([`QueryRecord::failure`]), and
+//! recorded as a failed outcome ([`crate::executor::QueryRecord::failure`]), and
 //! [`mqo_obs::Event::WorkerLost`] reports the containment — a run is
 //! never lost to one bad query.
 
-use crate::error::{Error, Result};
-use crate::executor::{ExecOutcome, Executor, QueryRecord};
+use crate::error::Result;
+use crate::executor::{ExecOutcome, Executor};
 use crate::labels::LabelStore;
 use crate::predictor::Predictor;
 use mqo_graph::NodeId;
-use parking_lot::Mutex;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+#[cfg(test)]
+use {
+    crate::error::Error,
+    crate::executor::QueryRecord,
+    parking_lot::Mutex,
+    std::panic::{catch_unwind, AssertUnwindSafe},
+};
 
 /// Render a caught panic payload to text (panics carry `&str` or `String`
 /// in practice; anything else gets a placeholder).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -40,6 +45,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Execute `queries` across `threads` workers. Semantically identical to
 /// [`Executor::run_all`] (same records, same order); only wall-clock and
 /// the interleaving of meter updates differ.
+///
+/// Shim over the event-driven scheduler's width-N policy (see
+/// [`crate::sched::Scheduler`]); semantics are unchanged.
 pub fn run_all_parallel(
     exec: &Executor<'_>,
     predictor: &dyn Predictor,
@@ -48,84 +56,10 @@ pub fn run_all_parallel(
     prune_set: impl Fn(NodeId) -> bool + Sync,
     threads: usize,
 ) -> Result<ExecOutcome> {
-    assert!(threads >= 1, "need at least one worker");
-    if exec.budget.is_some() {
-        // The hard-budget path is order-dependent (the meter decides when
-        // to start stripping neighbor text); run it sequentially.
-        return Err(Error::Config {
-            detail: "hard budgets require sequential execution".into(),
-        });
-    }
-    let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
-        queries.iter().map(|_| Mutex::new(None)).collect();
-    // Crash-safe resume: journaled queries replay before any worker
-    // starts, so workers only ever see genuinely unfinished work.
-    for (i, &v) in queries.iter().enumerate() {
-        if let Some(rec) = exec.replay_journaled(v) {
-            *slots[i].lock() = Some(Ok(rec));
-        }
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        // Shadow the owned values with references so the `move` closures
-        // (which must own their `worker` index) only copy borrows.
-        let (next, slots, prune_set) = (&next, &slots, &prune_set);
-        for worker in 0..threads {
-            scope.spawn(move || {
-                // Fresh threads have no span stack: name their trace track
-                // (1-based; 0 is the main thread) so query spans land on
-                // per-worker rows, parented to the executor's span scope.
-                mqo_obs::set_thread_track(worker as u32 + 1);
-                let started = exec.clock.now_micros();
-                let mut handled = 0u64;
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    if slots[i].lock().is_some() {
-                        continue; // replayed from the journal
-                    }
-                    let v = queries[i];
-                    // Contain per-query panics: a poisoned predictor or a bug
-                    // in one prompt path must not lose the other workers'
-                    // completed queries — the panicked query becomes a failed
-                    // record and the survivors drain the rest.
-                    let record = catch_unwind(AssertUnwindSafe(|| {
-                        let mut rng = exec.query_rng(v);
-                        exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
-                    }))
-                    .unwrap_or_else(|payload| {
-                        let detail = panic_message(payload);
-                        exec.sink.emit(&mqo_obs::Event::WorkerLost {
-                            worker: worker as u32,
-                            node: v.0,
-                            detail: detail.clone(),
-                        });
-                        Ok(exec.failed_record(v, format!("worker panicked: {detail}")))
-                    });
-                    if let Ok(rec) = &record {
-                        exec.journal_record(rec);
-                    }
-                    handled += 1;
-                    *slots[i].lock() = Some(record);
-                }
-                exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
-                    worker: worker as u32,
-                    queries: handled,
-                    wall_micros: exec.clock.now_micros().saturating_sub(started),
-                });
-            });
-        }
-    });
-
-    let mut out = ExecOutcome::default();
-    for slot in slots {
-        let record = slot.into_inner().expect("every slot filled")?;
-        out.records.push(record);
-    }
-    Ok(out)
+    let report =
+        crate::sched::Scheduler::new(exec, crate::sched::SchedulePolicy::Parallel { threads })
+            .run(predictor, crate::sched::Labels::Fixed(labels), queries, prune_set)?;
+    Ok(report.outcome)
 }
 
 /// Execute `queries` across `threads` workers in **prefix-coherent
@@ -145,6 +79,9 @@ pub fn run_all_parallel(
 /// the tokens shared between consecutive prompts inside the batch (measured
 /// with [`mqo_cache::common_prefix_tokens`]) — the realized reuse a
 /// prefix-caching endpoint would see from this ordering.
+///
+/// Shim over the event-driven scheduler's batched policy (see
+/// [`crate::sched::Scheduler`]); semantics are unchanged.
 pub fn run_all_batched(
     exec: &Executor<'_>,
     predictor: &dyn Predictor,
@@ -154,79 +91,55 @@ pub fn run_all_batched(
     threads: usize,
     batch_size: usize,
 ) -> Result<ExecOutcome> {
-    assert!(threads >= 1, "need at least one worker");
-    assert!(batch_size >= 1, "need a positive batch size");
-    if exec.budget.is_some() {
-        // Same constraint as `run_all_parallel`: the hard-budget path is
-        // order-dependent, and batching reorders execution.
-        return Err(Error::Config {
-            detail: "hard budgets require sequential execution".into(),
-        });
-    }
+    let report = crate::sched::Scheduler::new(
+        exec,
+        crate::sched::SchedulePolicy::Batched { threads, batch_size },
+    )
+    .run(predictor, crate::sched::Labels::Fixed(labels), queries, prune_set)?;
+    Ok(report.outcome)
+}
 
-    // Pre-render every prompt for ordering. A panicking predictor is
-    // tolerated here (empty sort key); the worker's `catch_unwind` around
-    // `run_one` contains it as a failed record exactly as the unbatched
-    // path does.
-    let prompts: Vec<String> = queries
-        .iter()
-        .map(|&v| {
-            catch_unwind(AssertUnwindSafe(|| {
-                let mut rng = exec.query_rng(v);
-                exec.render_for_estimate(predictor, labels, v, &mut rng, prune_set(v))
-            }))
-            .unwrap_or_default()
-        })
-        .collect();
+/// The pre-scheduler pooled paths, kept verbatim as oracles for the
+/// scheduler-equivalence proptests in [`crate::sched`].
+#[cfg(test)]
+pub(crate) mod legacy {
+    use super::*;
 
-    let mut order: Vec<usize> = (0..queries.len()).collect();
-    order.sort_by(|&a, &b| prompts[a].cmp(&prompts[b]).then(a.cmp(&b)));
-    let batches: Vec<&[usize]> = order.chunks(batch_size).collect();
-
-    let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
-        queries.iter().map(|_| Mutex::new(None)).collect();
-    for (i, &v) in queries.iter().enumerate() {
-        if let Some(rec) = exec.replay_journaled(v) {
-            *slots[i].lock() = Some(Ok(rec));
+    pub(crate) fn run_all_parallel(
+        exec: &Executor<'_>,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        queries: &[NodeId],
+        prune_set: impl Fn(NodeId) -> bool + Sync,
+        threads: usize,
+    ) -> Result<ExecOutcome> {
+        assert!(threads >= 1, "need at least one worker");
+        if exec.budget.is_some() {
+            return Err(Error::Config {
+                detail: "hard budgets require sequential execution".into(),
+            });
         }
-    }
-    let next_batch = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        for (i, &v) in queries.iter().enumerate() {
+            if let Some(rec) = exec.replay_journaled(v) {
+                *slots[i].lock() = Some(Ok(rec));
+            }
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        let (next_batch, slots, prompts, batches, prune_set) =
-            (&next_batch, &slots, &prompts, &batches, &prune_set);
-        for worker in 0..threads {
-            scope.spawn(move || {
-                mqo_obs::set_thread_track(worker as u32 + 1);
-                let started = exec.clock.now_micros();
-                let mut handled = 0u64;
-                loop {
-                    let b = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if b >= batches.len() {
-                        break;
-                    }
-                    let batch = batches[b];
-                    // Queries executed while this guard is live nest under
-                    // the batch span via the worker's thread-local stack.
-                    let batch_span = exec.tracer.span(
-                        exec.sink,
-                        "batch",
-                        || format!("batch {b} ({} queries)", batch.len()),
-                        exec.tracer.current_or(exec.span_scope()),
-                    );
-                    let shared: u64 = batch
-                        .windows(2)
-                        .map(|w| {
-                            mqo_cache::common_prefix_tokens(&prompts[w[0]], &prompts[w[1]])
-                                as u64
-                        })
-                        .sum();
-                    exec.sink.emit(&mqo_obs::Event::BatchDispatched {
-                        batch: b as u32,
-                        queries: batch.len() as u64,
-                        shared_prefix_tokens: shared,
-                    });
-                    for &i in batch {
+        std::thread::scope(|scope| {
+            let (next, slots, prune_set) = (&next, &slots, &prune_set);
+            for worker in 0..threads {
+                scope.spawn(move || {
+                    mqo_obs::set_thread_track(worker as u32 + 1);
+                    let started = exec.clock.now_micros();
+                    let mut handled = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
                         if slots[i].lock().is_some() {
                             continue; // replayed from the journal
                         }
@@ -250,23 +163,138 @@ pub fn run_all_batched(
                         handled += 1;
                         *slots[i].lock() = Some(record);
                     }
-                    drop(batch_span);
-                }
-                exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
-                    worker: worker as u32,
-                    queries: handled,
-                    wall_micros: exec.clock.now_micros().saturating_sub(started),
+                    exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
+                        worker: worker as u32,
+                        queries: handled,
+                        wall_micros: exec.clock.now_micros().saturating_sub(started),
+                    });
                 });
+            }
+        });
+
+        let mut out = ExecOutcome::default();
+        for slot in slots {
+            let record = slot.into_inner().expect("every slot filled")?;
+            out.records.push(record);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn run_all_batched(
+        exec: &Executor<'_>,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        queries: &[NodeId],
+        prune_set: impl Fn(NodeId) -> bool + Sync,
+        threads: usize,
+        batch_size: usize,
+    ) -> Result<ExecOutcome> {
+        assert!(threads >= 1, "need at least one worker");
+        assert!(batch_size >= 1, "need a positive batch size");
+        if exec.budget.is_some() {
+            return Err(Error::Config {
+                detail: "hard budgets require sequential execution".into(),
             });
         }
-    });
 
-    let mut out = ExecOutcome::default();
-    for slot in slots {
-        let record = slot.into_inner().expect("every slot filled")?;
-        out.records.push(record);
+        let prompts: Vec<String> = queries
+            .iter()
+            .map(|&v| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut rng = exec.query_rng(v);
+                    exec.render_for_estimate(predictor, labels, v, &mut rng, prune_set(v))
+                }))
+                .unwrap_or_default()
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by(|&a, &b| prompts[a].cmp(&prompts[b]).then(a.cmp(&b)));
+        let batches: Vec<&[usize]> = order.chunks(batch_size).collect();
+
+        let slots: Vec<Mutex<Option<Result<QueryRecord>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        for (i, &v) in queries.iter().enumerate() {
+            if let Some(rec) = exec.replay_journaled(v) {
+                *slots[i].lock() = Some(Ok(rec));
+            }
+        }
+        let next_batch = std::sync::atomic::AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let (next_batch, slots, prompts, batches, prune_set) =
+                (&next_batch, &slots, &prompts, &batches, &prune_set);
+            for worker in 0..threads {
+                scope.spawn(move || {
+                    mqo_obs::set_thread_track(worker as u32 + 1);
+                    let started = exec.clock.now_micros();
+                    let mut handled = 0u64;
+                    loop {
+                        let b = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if b >= batches.len() {
+                            break;
+                        }
+                        let batch = batches[b];
+                        let batch_span = exec.tracer.span(
+                            exec.sink,
+                            "batch",
+                            || format!("batch {b} ({} queries)", batch.len()),
+                            exec.tracer.current_or(exec.span_scope()),
+                        );
+                        let shared: u64 = batch
+                            .windows(2)
+                            .map(|w| {
+                                mqo_cache::common_prefix_tokens(&prompts[w[0]], &prompts[w[1]])
+                                    as u64
+                            })
+                            .sum();
+                        exec.sink.emit(&mqo_obs::Event::BatchDispatched {
+                            batch: b as u32,
+                            queries: batch.len() as u64,
+                            shared_prefix_tokens: shared,
+                        });
+                        for &i in batch {
+                            if slots[i].lock().is_some() {
+                                continue; // replayed from the journal
+                            }
+                            let v = queries[i];
+                            let record = catch_unwind(AssertUnwindSafe(|| {
+                                let mut rng = exec.query_rng(v);
+                                exec.run_one(predictor, labels, v, &mut rng, prune_set(v))
+                            }))
+                            .unwrap_or_else(|payload| {
+                                let detail = panic_message(payload);
+                                exec.sink.emit(&mqo_obs::Event::WorkerLost {
+                                    worker: worker as u32,
+                                    node: v.0,
+                                    detail: detail.clone(),
+                                });
+                                Ok(exec.failed_record(v, format!("worker panicked: {detail}")))
+                            });
+                            if let Ok(rec) = &record {
+                                exec.journal_record(rec);
+                            }
+                            handled += 1;
+                            *slots[i].lock() = Some(record);
+                        }
+                        drop(batch_span);
+                    }
+                    exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
+                        worker: worker as u32,
+                        queries: handled,
+                        wall_micros: exec.clock.now_micros().saturating_sub(started),
+                    });
+                });
+            }
+        });
+
+        let mut out = ExecOutcome::default();
+        for slot in slots {
+            let record = slot.into_inner().expect("every slot filled")?;
+            out.records.push(record);
+        }
+        Ok(out)
     }
-    Ok(out)
 }
 
 #[cfg(test)]

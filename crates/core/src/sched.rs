@@ -1,0 +1,1342 @@
+//! The event-driven execution scheduler.
+//!
+//! One entry point — [`Scheduler::run`] — replaces the four historical
+//! orchestration paths (`run_all`, `run_all_parallel`, `run_all_batched`,
+//! and the boosting round loop), which survive as thin shims. A
+//! [`SchedulePolicy`] picks how work becomes *ready*:
+//!
+//! * [`SchedulePolicy::Fifo`] — queries run inline, in input order, on the
+//!   caller's thread. The only policy that supports the Eq. 2 hard budget
+//!   (budget enforcement is meter-order-dependent) and the policy the
+//!   serving hot path uses (no cross-thread hand-off per request).
+//! * [`SchedulePolicy::Parallel`] — every query is ready immediately; a
+//!   fixed worker pool pulls work from a bounded dispatch queue and pushes
+//!   [`QueryRecord`]s back through a completion channel. Records are
+//!   re-assembled in input order.
+//! * [`SchedulePolicy::Batched`] — like `Parallel`, but prompts are
+//!   pre-rendered and sorted so prefix-coherent batches dispatch as a
+//!   unit (maximizing provider-side prefix-cache adjacency).
+//! * [`SchedulePolicy::CueGated`] — Algorithm 2: a query becomes ready
+//!   when its neighbor pseudo-label support satisfies the γ₁/γ₂ rule.
+//!   In **deterministic** mode readiness is evaluated in waves (the
+//!   paper's rounds): candidates are selected against a frozen label
+//!   store, executed (inline at width 1, by the pool at width N), and
+//!   their pseudo-labels folded in at a barrier — byte-identical record
+//!   streams across runs. In **free-running** mode the barrier is gone:
+//!   each completion folds its pseudo-label immediately and newly
+//!   qualified queries dispatch while their siblings are still in
+//!   flight, overlapping LLM latency with readiness evaluation.
+//!
+//! ## Determinism contract
+//!
+//! Under `CueGated { deterministic: true }` the ready queue is drained in
+//! a stable order (input arrival order, which the CLI derives from the
+//! seeded split; ties cannot arise because a node is pending at most
+//! once), candidate waves see a frozen label store, and records are
+//! assembled in candidate order — so two runs with the same seed produce
+//! byte-identical record dumps whenever the model itself is
+//! call-order-insensitive (the simulated backends are; a response cache
+//! or call-indexed fault schedule is not, which is why the scheduler
+//! smoke runs with `--no-cache` and no faults).
+//!
+//! ## Invariants preserved (checked by `obs_check` and the equivalence
+//! proptests below)
+//!
+//! * Span causality: query spans parent to the round span in wave mode
+//!   and to the run scope in free-running mode; `llm_call` under `query`.
+//! * Ledger conservation: per-query cost accounting is untouched — any
+//!   grouping of [`Executor::run_one_reusing`] calls conserves.
+//! * Journal replay/resume: journaled queries replay before dispatch and
+//!   fresh records are journaled on completion; cue-gated runs seal
+//!   rounds (wave mode) or fold batches (free-running) with an fsync.
+//! * Eq. 2 hard budget: order-dependent, so pooled policies reject it
+//!   (`Error::Config`) and cue-gated runs clamp to the width-1 wave path.
+
+use crate::boosting::{label_support, BoostConfig, DegradePolicy, RoundTrace};
+use crate::error::{Error, Result};
+use crate::executor::{ExecOutcome, Executor, QueryRecord, RenderScratch};
+use crate::labels::LabelStore;
+use crate::parallel::panic_message;
+use crate::predictor::{Predictor, SelectCtx};
+use crate::queue::BoundedQueue;
+use mqo_graph::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+
+/// How the scheduler decides what is ready to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Run queries inline, in input order, on the caller's thread
+    /// (recovers `Executor::run_all`). Supports the hard budget.
+    Fifo,
+    /// Dispatch every query immediately across a fixed worker pool
+    /// (recovers `run_all_parallel`).
+    Parallel {
+        /// Worker-pool width (must be ≥ 1).
+        threads: usize,
+    },
+    /// Dispatch prefix-coherent batches across a fixed worker pool
+    /// (recovers `run_all_batched`).
+    Batched {
+        /// Worker-pool width (must be ≥ 1).
+        threads: usize,
+        /// Queries per dispatched batch (must be ≥ 1).
+        batch_size: usize,
+    },
+    /// Algorithm 2 query boosting: readiness keyed by the γ₁/γ₂
+    /// neighbor-cue rule, with incremental relaxation when nothing
+    /// qualifies (recovers the boosting round loop).
+    CueGated {
+        /// Candidacy thresholds (γ₁/γ₂) before relaxation.
+        config: BoostConfig,
+        /// Failure escalation policy under a degraded executor.
+        policy: DegradePolicy,
+        /// Worker-pool width (clamped to 1 under a hard budget).
+        threads: usize,
+        /// `true` → wave (round) execution with a barrier per wave:
+        /// byte-identical records across runs. `false` → free-running:
+        /// completions fold immediately and newly ready queries dispatch
+        /// without waiting for the wave to drain.
+        deterministic: bool,
+    },
+}
+
+/// The label knowledge a run reads (and, for cue-gated runs, writes).
+pub enum Labels<'l> {
+    /// A frozen label store: no pseudo-labels are folded back.
+    Fixed(&'l LabelStore),
+    /// A mutable label store: executed queries contribute pseudo-labels
+    /// (required by [`SchedulePolicy::CueGated`]).
+    Boosting(&'l mut LabelStore),
+}
+
+impl Labels<'_> {
+    fn store(&self) -> &LabelStore {
+        match self {
+            Labels::Fixed(l) => l,
+            Labels::Boosting(l) => l,
+        }
+    }
+}
+
+/// What a scheduled run produced.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Per-query records. Input order for `Fifo`/`Parallel`/`Batched`,
+    /// candidate order per wave for deterministic cue-gated runs,
+    /// completion order for free-running cue-gated runs.
+    pub outcome: ExecOutcome,
+    /// One trace per executed wave (cue-gated wave mode) or fold batch
+    /// (free-running). Empty for the fixed policies.
+    pub rounds: Vec<RoundTrace>,
+    /// Queries replayed from the journal without touching the model.
+    pub replayed: u64,
+    /// Prompt tokens billed to freshly executed (non-replayed) records.
+    pub fresh_billed_tokens: u64,
+}
+
+/// One unit of dispatched work: a single query, or a whole
+/// prefix-coherent batch claimed by one worker.
+struct Work {
+    items: Vec<WorkItem>,
+    batch: Option<BatchMeta>,
+    /// Label snapshot for free-running cue-gated dispatch; pooled fixed
+    /// policies read the caller's store directly instead.
+    labels: Option<Arc<LabelStore>>,
+}
+
+struct WorkItem {
+    slot: usize,
+    node: NodeId,
+    force_prune: bool,
+}
+
+struct BatchMeta {
+    index: u32,
+    /// Chunk size including journal-replayed members (the dispatch event
+    /// reports planned coverage, as the pre-scheduler path did).
+    queries: u64,
+    shared_prefix_tokens: u64,
+}
+
+/// A completion pushed back through the completion channel.
+struct Done {
+    slot: usize,
+    node: NodeId,
+    record: Result<QueryRecord>,
+}
+
+/// The event-driven execution core: one readiness queue, one fixed
+/// worker pool, one completion channel, pluggable [`SchedulePolicy`].
+pub struct Scheduler<'s, 'e> {
+    exec: &'s Executor<'e>,
+    policy: SchedulePolicy,
+}
+
+impl<'s, 'e> Scheduler<'s, 'e> {
+    /// A scheduler driving `exec` under `policy`.
+    pub fn new(exec: &'s Executor<'e>, policy: SchedulePolicy) -> Self {
+        Scheduler { exec, policy }
+    }
+
+    /// Execute `queries` to completion under the configured policy.
+    ///
+    /// `prune_set` marks queries that execute without neighbor text
+    /// (Algorithm 1 pruning; cue-gated runs treat pruned queries as
+    /// immediately ready since they cannot be enriched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pooled policy is configured with zero threads or a
+    /// zero batch size, or a cue-gated policy with `give_up_after == 0`.
+    pub fn run(
+        &self,
+        predictor: &dyn Predictor,
+        labels: Labels<'_>,
+        queries: &[NodeId],
+        prune_set: impl Fn(NodeId) -> bool + Sync,
+    ) -> Result<RunReport> {
+        match self.policy {
+            SchedulePolicy::Fifo => {
+                self.run_fifo(predictor, labels.store(), queries, &prune_set)
+            }
+            SchedulePolicy::Parallel { threads } => {
+                self.run_pooled(predictor, labels.store(), queries, &prune_set, threads, None)
+            }
+            SchedulePolicy::Batched { threads, batch_size } => self.run_pooled(
+                predictor,
+                labels.store(),
+                queries,
+                &prune_set,
+                threads,
+                Some(batch_size),
+            ),
+            SchedulePolicy::CueGated { config, policy, threads, deterministic } => {
+                let labels = match labels {
+                    Labels::Boosting(l) => l,
+                    Labels::Fixed(_) => {
+                        return Err(Error::Config {
+                            detail: "cue-gated scheduling needs a boosting label store".into(),
+                        })
+                    }
+                };
+                assert!(policy.give_up_after >= 1, "give_up_after must be positive");
+                // The hard budget is meter-order-dependent: clamp to the
+                // sequential wave path so spend order is reproducible.
+                let width = if self.exec.budget.is_some() { 1 } else { threads.max(1) };
+                if deterministic || width == 1 {
+                    self.cue_gated_waves(
+                        predictor, labels, queries, &prune_set, config, policy, width,
+                    )
+                } else {
+                    self.cue_gated_free(
+                        predictor, labels, queries, &prune_set, config, policy, width,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Inline FIFO: the zero-hand-off hot path (and the only
+    /// budget-capable one).
+    fn run_fifo(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        queries: &[NodeId],
+        prune_set: &(impl Fn(NodeId) -> bool + Sync),
+    ) -> Result<RunReport> {
+        let exec = self.exec;
+        let mut report = RunReport::default();
+        let mut scratch = RenderScratch::new();
+        for &v in queries {
+            if let Some(rec) = exec.replay_journaled(v) {
+                report.replayed += 1;
+                report.outcome.records.push(rec);
+                continue;
+            }
+            let mut rng = exec.query_rng(v);
+            let rec = exec.run_one_reusing(
+                predictor,
+                labels,
+                v,
+                &mut rng,
+                prune_set(v),
+                &mut scratch,
+            )?;
+            exec.journal_record(&rec);
+            report.fresh_billed_tokens += rec.prompt_tokens;
+            report.outcome.records.push(rec);
+        }
+        Ok(report)
+    }
+
+    /// The pooled fixed policies: dispatch everything up front (one item
+    /// per work unit, or prefix-coherent batches), then drain the
+    /// completion channel and re-assemble in input order.
+    fn run_pooled(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        queries: &[NodeId],
+        prune_set: &(impl Fn(NodeId) -> bool + Sync),
+        threads: usize,
+        batch_size: Option<usize>,
+    ) -> Result<RunReport> {
+        assert!(threads >= 1, "need at least one worker");
+        if let Some(bs) = batch_size {
+            assert!(bs >= 1, "need a positive batch size");
+        }
+        let exec = self.exec;
+        if exec.budget.is_some() {
+            // The hard-budget path is order-dependent (the meter decides
+            // when to start stripping neighbor text); run it sequentially.
+            return Err(Error::Config {
+                detail: "hard budgets require sequential execution".into(),
+            });
+        }
+        let mut report = RunReport::default();
+        let mut slots: Vec<Option<Result<QueryRecord>>> =
+            queries.iter().map(|_| None).collect();
+        // Crash-safe resume: journaled queries replay before any worker
+        // starts, so workers only ever see genuinely unfinished work.
+        for (i, &v) in queries.iter().enumerate() {
+            if let Some(rec) = exec.replay_journaled(v) {
+                report.replayed += 1;
+                slots[i] = Some(Ok(rec));
+            }
+        }
+
+        let works: Vec<Work> = match batch_size {
+            None => queries
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| slots[*i].is_none())
+                .map(|(i, &v)| Work {
+                    items: vec![WorkItem { slot: i, node: v, force_prune: prune_set(v) }],
+                    batch: None,
+                    labels: None,
+                })
+                .collect(),
+            Some(bs) => {
+                // Pre-render every prompt for ordering. A panicking
+                // predictor is tolerated here (empty sort key); the
+                // worker's `catch_unwind` contains it as a failed record.
+                let prompts: Vec<String> = queries
+                    .iter()
+                    .map(|&v| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut rng = exec.query_rng(v);
+                            exec.render_for_estimate(
+                                predictor,
+                                labels,
+                                v,
+                                &mut rng,
+                                prune_set(v),
+                            )
+                        }))
+                        .unwrap_or_default()
+                    })
+                    .collect();
+                let mut order: Vec<usize> = (0..queries.len()).collect();
+                order.sort_by(|&a, &b| prompts[a].cmp(&prompts[b]).then(a.cmp(&b)));
+                order
+                    .chunks(bs)
+                    .enumerate()
+                    .map(|(b, chunk)| Work {
+                        items: chunk
+                            .iter()
+                            .filter(|&&i| slots[i].is_none())
+                            .map(|&i| WorkItem {
+                                slot: i,
+                                node: queries[i],
+                                force_prune: prune_set(queries[i]),
+                            })
+                            .collect(),
+                        batch: Some(BatchMeta {
+                            index: b as u32,
+                            queries: chunk.len() as u64,
+                            shared_prefix_tokens: chunk
+                                .windows(2)
+                                .map(|w| {
+                                    mqo_cache::common_prefix_tokens(
+                                        &prompts[w[0]],
+                                        &prompts[w[1]],
+                                    ) as u64
+                                })
+                                .sum(),
+                        }),
+                        labels: None,
+                    })
+                    .collect()
+            }
+        };
+        let expected: usize = works.iter().map(|w| w.items.len()).sum();
+
+        let dispatch = BoundedQueue::new(works.len().max(1));
+        for w in works {
+            dispatch.try_push(w).ok().expect("dispatch queue sized for all work");
+        }
+        dispatch.close();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+
+        std::thread::scope(|scope| {
+            let dispatch = &dispatch;
+            for worker in 0..threads {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    worker_loop(exec, predictor, Some(labels), dispatch, done_tx, worker as u32)
+                });
+            }
+            drop(done_tx);
+            for _ in 0..expected {
+                let done = done_rx.recv().expect("worker pool hung up early");
+                if let Ok(rec) = &done.record {
+                    exec.journal_record(rec);
+                    report.fresh_billed_tokens += rec.prompt_tokens;
+                }
+                slots[done.slot] = Some(done.record);
+            }
+        });
+
+        for slot in slots {
+            report.outcome.records.push(slot.expect("every slot filled")?);
+        }
+        Ok(report)
+    }
+
+    /// Deterministic cue-gated execution: Algorithm 2's rounds as waves.
+    /// Candidate selection, relaxation, failure escalation, folding,
+    /// journaling, and span structure match the pre-scheduler boosting
+    /// loop exactly at width 1; width N executes each wave's candidates
+    /// on the pool against a frozen label store and re-assembles them in
+    /// candidate order at the wave barrier.
+    #[allow(clippy::too_many_arguments)]
+    fn cue_gated_waves(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &mut LabelStore,
+        queries: &[NodeId],
+        prune_set: &(impl Fn(NodeId) -> bool + Sync),
+        config: BoostConfig,
+        policy: DegradePolicy,
+        width: usize,
+    ) -> Result<RunReport> {
+        let exec = self.exec;
+        let mut report = RunReport::default();
+        let mut pending: Vec<NodeId> = queries.to_vec();
+        self.predrain_replays(labels, &mut pending, &mut report);
+
+        let mut gamma1 = config.gamma1;
+        let mut gamma2 = config.gamma2;
+        let k = exec.tag.num_classes();
+        // Consecutive failures per node, for the fallback/give-up escalation.
+        let mut failures: HashMap<NodeId, usize> = HashMap::new();
+        let force_prune = |failures: &HashMap<NodeId, usize>, v: NodeId| {
+            prune_set(v) || failures.get(&v).is_some_and(|&n| n >= policy.fallback_after)
+        };
+        let mut scratch = RenderScratch::new();
+
+        while !pending.is_empty() {
+            // Readiness pass with incremental relaxation: pending is
+            // drained in stable input order (a node is pending at most
+            // once, so no tie-break is needed beyond queue position).
+            let candidates: Vec<NodeId> = loop {
+                let ctx =
+                    SelectCtx { tag: exec.tag, labels, max_neighbors: exec.max_neighbors };
+                let mut c = Vec::new();
+                for &v in &pending {
+                    if force_prune(&failures, v) {
+                        // Pruned (or failure-downgraded) queries can't be
+                        // enriched; run them now.
+                        c.push(v);
+                        continue;
+                    }
+                    // Per-node rng: N_i only changes when label knowledge does.
+                    let mut rng = exec.query_rng(v);
+                    let (n_l, lc) = label_support(predictor, &ctx, v, &mut rng);
+                    if n_l >= gamma1 && lc <= gamma2 {
+                        c.push(v);
+                    }
+                }
+                if !c.is_empty() {
+                    break c;
+                }
+                // Relax: γ1 down to zero first, then γ2 up to K (at (0, K)
+                // every query qualifies, so this terminates).
+                if gamma1 > 0 {
+                    gamma1 -= 1;
+                } else if gamma2 < k {
+                    gamma2 += 1;
+                } else {
+                    break pending.clone();
+                }
+            };
+
+            // Scope query spans under this wave's round span (restored
+            // after the wave so a trailing caller-side scope survives).
+            let round_index = report.rounds.len();
+            let round_span = exec.tracer.span(
+                exec.sink,
+                "round",
+                || format!("round {round_index}"),
+                exec.tracer.current_or(exec.span_scope()),
+            );
+            let outer_scope = exec.span_scope();
+            exec.set_span_scope(round_span.id());
+
+            // Execute the wave. Labels are frozen until the barrier (all
+            // candidates see the same knowledge state, as in Algorithm 2).
+            // A failed candidate stays pending (no record yet) unless it
+            // has exhausted its retries.
+            let mut round_records = Vec::with_capacity(candidates.len());
+            if width == 1 {
+                for &v in &candidates {
+                    let mut rng = exec.query_rng(v);
+                    let record = exec.run_one_reusing(
+                        predictor,
+                        labels,
+                        v,
+                        &mut rng,
+                        force_prune(&failures, v),
+                        &mut scratch,
+                    );
+                    match record {
+                        Ok(r) if r.failed() => {
+                            let n = failures.entry(v).or_insert(0);
+                            *n += 1;
+                            if *n >= policy.give_up_after {
+                                round_records.push(r); // permanent failed outcome
+                            }
+                        }
+                        Ok(r) => {
+                            failures.remove(&v);
+                            round_records.push(r);
+                        }
+                        Err(e) => {
+                            exec.set_span_scope(outer_scope);
+                            return Err(e);
+                        }
+                    }
+                }
+            } else {
+                let results = self.run_wave_pooled(
+                    predictor,
+                    labels,
+                    &candidates,
+                    &failures,
+                    &force_prune,
+                    width,
+                );
+                for (&v, record) in candidates.iter().zip(results) {
+                    match record {
+                        Ok(r) if r.failed() => {
+                            let n = failures.entry(v).or_insert(0);
+                            *n += 1;
+                            if *n >= policy.give_up_after {
+                                round_records.push(r);
+                            }
+                        }
+                        Ok(r) => {
+                            failures.remove(&v);
+                            round_records.push(r);
+                        }
+                        Err(e) => {
+                            exec.set_span_scope(outer_scope);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            exec.set_span_scope(outer_scope);
+            drop(round_span);
+            report.rounds.push(RoundTrace { executed: round_records.len(), gamma1, gamma2 });
+            for r in &round_records {
+                if !r.failed() {
+                    labels.add_pseudo(r.node, r.predicted);
+                }
+            }
+            exec.sink.emit(&mqo_obs::Event::RoundCompleted {
+                round: round_index as u32,
+                executed: round_records.len() as u64,
+                gamma1: gamma1 as u64,
+                gamma2: gamma2 as u64,
+                pseudo_label_uses: round_records
+                    .iter()
+                    .map(|r| r.pseudo_neighbors as u64)
+                    .sum(),
+            });
+            // Journal the wave's *final* outcomes (retried failures are not
+            // final), then seal: the seal fsyncs, making the wave durable.
+            for r in &round_records {
+                exec.journal_record(r);
+                report.fresh_billed_tokens += r.prompt_tokens;
+            }
+            if let Some(j) = exec.journal {
+                j.seal_round(round_index as u32);
+            }
+            let finished: HashSet<NodeId> = round_records.iter().map(|r| r.node).collect();
+            report.outcome.records.extend(round_records);
+            pending.retain(|v| !finished.contains(v));
+        }
+        Ok(report)
+    }
+
+    /// One deterministic wave on the worker pool: candidates execute
+    /// against the frozen label store, results return in candidate order.
+    fn run_wave_pooled(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &LabelStore,
+        candidates: &[NodeId],
+        failures: &HashMap<NodeId, usize>,
+        force_prune: &impl Fn(&HashMap<NodeId, usize>, NodeId) -> bool,
+        width: usize,
+    ) -> Vec<Result<QueryRecord>> {
+        let exec = self.exec;
+        let dispatch = BoundedQueue::new(candidates.len().max(1));
+        for (i, &v) in candidates.iter().enumerate() {
+            let work = Work {
+                items: vec![WorkItem {
+                    slot: i,
+                    node: v,
+                    force_prune: force_prune(failures, v),
+                }],
+                batch: None,
+                labels: None,
+            };
+            dispatch.try_push(work).ok().expect("dispatch queue sized for the wave");
+        }
+        dispatch.close();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let mut slots: Vec<Option<Result<QueryRecord>>> =
+            candidates.iter().map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let dispatch = &dispatch;
+            for worker in 0..width.min(candidates.len()).max(1) {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    worker_loop(exec, predictor, Some(labels), dispatch, done_tx, worker as u32)
+                });
+            }
+            drop(done_tx);
+            for _ in 0..candidates.len() {
+                let done = done_rx.recv().expect("wave pool hung up early");
+                slots[done.slot] = Some(done.record);
+            }
+        });
+        slots.into_iter().map(|s| s.expect("every wave slot filled")).collect()
+    }
+
+    /// Free-running cue-gated execution: no wave barrier. Completions
+    /// fold their pseudo-labels the moment they land, readiness is
+    /// re-evaluated over the still-pending set, and newly qualified
+    /// queries dispatch against a fresh label snapshot while earlier
+    /// queries are still in flight. Thresholds relax only when nothing
+    /// is ready *and* nothing is in flight — an in-flight completion may
+    /// yet unlock a pending query at the current (γ1, γ2).
+    #[allow(clippy::too_many_arguments)]
+    fn cue_gated_free(
+        &self,
+        predictor: &dyn Predictor,
+        labels: &mut LabelStore,
+        queries: &[NodeId],
+        prune_set: &(impl Fn(NodeId) -> bool + Sync),
+        config: BoostConfig,
+        policy: DegradePolicy,
+        width: usize,
+    ) -> Result<RunReport> {
+        let exec = self.exec;
+        let mut report = RunReport::default();
+        let mut pending: Vec<NodeId> = queries.to_vec();
+        self.predrain_replays(labels, &mut pending, &mut report);
+
+        let mut gamma1 = config.gamma1;
+        let mut gamma2 = config.gamma2;
+        let k = exec.tag.num_classes();
+        let mut failures: HashMap<NodeId, usize> = HashMap::new();
+        let force_prune = |failures: &HashMap<NodeId, usize>, v: NodeId| {
+            prune_set(v) || failures.get(&v).is_some_and(|&n| n >= policy.fallback_after)
+        };
+
+        // A node is pending, queued/in-flight, or final — never two at
+        // once — so the dispatch queue can never hold more than the
+        // query count even across give-up retries.
+        let dispatch = BoundedQueue::<Work>::new(queries.len().max(1));
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let mut in_flight = 0usize;
+        let mut snapshot = Arc::new(labels.clone());
+        let mut dirty = false;
+        let mut first_err: Option<Error> = None;
+
+        std::thread::scope(|scope| {
+            let dispatch_ref = &dispatch;
+            for worker in 0..width {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    worker_loop(exec, predictor, None, dispatch_ref, done_tx, worker as u32)
+                });
+            }
+            drop(done_tx);
+
+            loop {
+                if first_err.is_none() && !pending.is_empty() {
+                    let mut ready = ready_set(
+                        exec,
+                        predictor,
+                        labels,
+                        &pending,
+                        &failures,
+                        &force_prune,
+                        gamma1,
+                        gamma2,
+                    );
+                    while ready.is_empty() && in_flight == 0 {
+                        // Nothing runnable and nothing that could unlock
+                        // more: relax γ1 toward 0, then γ2 toward K.
+                        if gamma1 > 0 {
+                            gamma1 -= 1;
+                        } else if gamma2 < k {
+                            gamma2 += 1;
+                        } else {
+                            ready = pending.clone();
+                            break;
+                        }
+                        ready = ready_set(
+                            exec,
+                            predictor,
+                            labels,
+                            &pending,
+                            &failures,
+                            &force_prune,
+                            gamma1,
+                            gamma2,
+                        );
+                    }
+                    if !ready.is_empty() {
+                        if dirty {
+                            snapshot = Arc::new(labels.clone());
+                            dirty = false;
+                        }
+                        let ready_lookup: HashSet<NodeId> = ready.iter().copied().collect();
+                        pending.retain(|v| !ready_lookup.contains(v));
+                        for v in ready {
+                            let work = Work {
+                                items: vec![WorkItem {
+                                    slot: 0,
+                                    node: v,
+                                    force_prune: force_prune(&failures, v),
+                                }],
+                                batch: None,
+                                labels: Some(snapshot.clone()),
+                            };
+                            in_flight += 1;
+                            dispatch
+                                .try_push(work)
+                                .ok()
+                                .expect("dispatch queue sized for all outstanding work");
+                        }
+                    }
+                }
+                if in_flight == 0 {
+                    break; // drained (or error-aborted with nothing left in flight)
+                }
+
+                // Block for one completion, then opportunistically drain
+                // whatever else has landed: one fold batch.
+                let Ok(first) = done_rx.recv() else { break };
+                let mut fold = vec![first];
+                while let Ok(more) = done_rx.try_recv() {
+                    fold.push(more);
+                }
+                in_flight -= fold.len();
+                let mut executed = 0u64;
+                let mut pseudo_uses = 0u64;
+                for done in fold {
+                    match done.record {
+                        Ok(r) if r.failed() => {
+                            let n = failures.entry(r.node).or_insert(0);
+                            *n += 1;
+                            if *n >= policy.give_up_after {
+                                executed += 1;
+                                pseudo_uses += r.pseudo_neighbors as u64;
+                                exec.journal_record(&r);
+                                report.outcome.records.push(r);
+                            } else {
+                                pending.push(done.node); // retry once re-ready
+                            }
+                        }
+                        Ok(r) => {
+                            failures.remove(&r.node);
+                            executed += 1;
+                            pseudo_uses += r.pseudo_neighbors as u64;
+                            labels.add_pseudo(r.node, r.predicted);
+                            dirty = true;
+                            exec.journal_record(&r);
+                            report.fresh_billed_tokens += r.prompt_tokens;
+                            report.outcome.records.push(r);
+                        }
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if executed > 0 {
+                    // Each fold batch that produced final records is a
+                    // "round" to downstream consumers: the cache-epoch
+                    // invalidator and the per-round ledger both key on it.
+                    let round_index = report.rounds.len();
+                    report.rounds.push(RoundTrace {
+                        executed: executed as usize,
+                        gamma1,
+                        gamma2,
+                    });
+                    exec.sink.emit(&mqo_obs::Event::RoundCompleted {
+                        round: round_index as u32,
+                        executed,
+                        gamma1: gamma1 as u64,
+                        gamma2: gamma2 as u64,
+                        pseudo_label_uses: pseudo_uses,
+                    });
+                    if let Some(j) = exec.journal {
+                        j.seal_round(round_index as u32);
+                    }
+                }
+            }
+            dispatch.close();
+        });
+
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Crash-safe resume shared by the cue-gated paths: queries the
+    /// journal already holds replay with zero LLM requests, and their
+    /// pseudo-labels fold in up front so the remaining waves see the
+    /// same label knowledge they would have accumulated live (failed
+    /// queries never pseudo-label).
+    fn predrain_replays(
+        &self,
+        labels: &mut LabelStore,
+        pending: &mut Vec<NodeId>,
+        report: &mut RunReport,
+    ) {
+        let replayed: Vec<_> =
+            pending.iter().filter_map(|&v| self.exec.replay_journaled(v)).collect();
+        if !replayed.is_empty() {
+            let done: HashSet<NodeId> = replayed.iter().map(|r| r.node).collect();
+            pending.retain(|v| !done.contains(v));
+            for r in &replayed {
+                if !r.failed() {
+                    labels.add_pseudo(r.node, r.predicted);
+                }
+            }
+            report.replayed = replayed.len() as u64;
+            report.outcome.records.extend(replayed);
+        }
+    }
+}
+
+/// The γ₁/γ₂ readiness pass for free-running dispatch: pending queries
+/// that qualify right now, in stable input order.
+#[allow(clippy::too_many_arguments)]
+fn ready_set(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    labels: &LabelStore,
+    pending: &[NodeId],
+    failures: &HashMap<NodeId, usize>,
+    force_prune: &impl Fn(&HashMap<NodeId, usize>, NodeId) -> bool,
+    gamma1: usize,
+    gamma2: usize,
+) -> Vec<NodeId> {
+    let ctx = SelectCtx { tag: exec.tag, labels, max_neighbors: exec.max_neighbors };
+    let mut ready = Vec::new();
+    for &v in pending {
+        if force_prune(failures, v) {
+            ready.push(v);
+            continue;
+        }
+        let mut rng = exec.query_rng(v);
+        let (n_l, lc) = label_support(predictor, &ctx, v, &mut rng);
+        if n_l >= gamma1 && lc <= gamma2 {
+            ready.push(v);
+        }
+    }
+    ready
+}
+
+/// The worker side of the pool: pull work from the dispatch queue, run
+/// each query with panic containment, push records back through the
+/// completion channel, and report throughput on exit.
+fn worker_loop(
+    exec: &Executor<'_>,
+    predictor: &dyn Predictor,
+    fixed_labels: Option<&LabelStore>,
+    dispatch: &BoundedQueue<Work>,
+    done_tx: mpsc::Sender<Done>,
+    worker: u32,
+) {
+    // Fresh threads have no span stack: name their trace track (1-based;
+    // 0 is the main thread) so query spans land on per-worker rows,
+    // parented to the executor's span scope.
+    mqo_obs::set_thread_track(worker + 1);
+    let started = exec.clock.now_micros();
+    let mut handled = 0u64;
+    let mut scratch = RenderScratch::new();
+    while let Some(work) = dispatch.pop() {
+        // Queries executed while this guard is live nest under the batch
+        // span via the worker's thread-local stack.
+        let batch_span = work.batch.as_ref().map(|meta| {
+            let span = exec.tracer.span(
+                exec.sink,
+                "batch",
+                || format!("batch {} ({} queries)", meta.index, meta.queries),
+                exec.tracer.current_or(exec.span_scope()),
+            );
+            exec.sink.emit(&mqo_obs::Event::BatchDispatched {
+                batch: meta.index,
+                queries: meta.queries,
+                shared_prefix_tokens: meta.shared_prefix_tokens,
+            });
+            span
+        });
+        for item in &work.items {
+            let labels = work
+                .labels
+                .as_deref()
+                .or(fixed_labels)
+                .expect("dispatched work carries no label store");
+            // Contain per-query panics: a poisoned predictor or a bug in
+            // one prompt path must not lose the other workers' completed
+            // queries — the panicked query becomes a failed record and
+            // the survivors drain the rest.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = exec.query_rng(item.node);
+                exec.run_one_reusing(
+                    predictor,
+                    labels,
+                    item.node,
+                    &mut rng,
+                    item.force_prune,
+                    &mut scratch,
+                )
+            }));
+            let record = match outcome {
+                Ok(record) => record,
+                Err(payload) => {
+                    // The render buffers may hold a half-written prompt.
+                    scratch = RenderScratch::new();
+                    let detail = panic_message(payload);
+                    exec.sink.emit(&mqo_obs::Event::WorkerLost {
+                        worker,
+                        node: item.node.0,
+                        detail: detail.clone(),
+                    });
+                    Ok(exec.failed_record(item.node, format!("worker panicked: {detail}")))
+                }
+            };
+            handled += 1;
+            let _ = done_tx.send(Done { slot: item.slot, node: item.node, record });
+        }
+        drop(batch_span);
+    }
+    exec.sink.emit(&mqo_obs::Event::WorkerThroughput {
+        worker,
+        queries: handled,
+        wall_micros: exec.clock.now_micros().saturating_sub(started),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boosting::{
+        run_with_boosting_policy, run_with_boosting_policy_legacy, RoundTrace,
+    };
+    use crate::parallel::{legacy, run_all_batched, run_all_parallel};
+    use crate::predictor::KhopRandom;
+    use crate::pruning::PrunePlan;
+    use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
+    use mqo_graph::{ClassId, GraphBuilder, NodeText, Tag};
+    use mqo_llm::{Completion, LanguageModel};
+    use mqo_obs::{CostLedger, ManualClock, WaitClock};
+    use mqo_token::{Tokenizer, Usage, UsageMeter};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// An order-insensitive test model: the answer is a pure function of
+    /// the prompt (hash → class), so records cannot depend on the order
+    /// in which concurrent schedulers happen to issue calls. (ScriptedLlm
+    /// is call-order-sensitive, which would make every pooled comparison
+    /// vacuously flaky.)
+    struct HashLlm {
+        classes: Vec<String>,
+        meter: UsageMeter,
+    }
+
+    impl HashLlm {
+        fn new(classes: Vec<String>) -> Self {
+            HashLlm { classes, meter: UsageMeter::new() }
+        }
+    }
+
+    impl LanguageModel for HashLlm {
+        fn name(&self) -> &str {
+            "hash"
+        }
+
+        fn complete(&self, prompt: &str) -> mqo_llm::Result<Completion> {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in prompt.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let class = &self.classes[(h % self.classes.len() as u64) as usize];
+            let text = format!("Category: ['{class}']");
+            let usage = Usage {
+                prompt_tokens: Tokenizer.count(prompt) as u64,
+                completion_tokens: Tokenizer.count(&text) as u64,
+            };
+            self.meter.record(usage);
+            Ok(Completion::billed(text, usage))
+        }
+
+        fn meter(&self) -> &UsageMeter {
+            &self.meter
+        }
+    }
+
+    /// A random small TAG: `n` nodes, ~2n random edges, 2–4 classes.
+    fn random_tag(seed: u64, n: usize, k: usize) -> Tag {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..(2 * n) {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                let _ = b.add_edge(u, v);
+            }
+        }
+        let texts = (0..n)
+            .map(|i| NodeText::new(format!("paper {i}"), format!("about topic {}", i % k)))
+            .collect();
+        let labels = (0..n).map(|i| ClassId((i % k) as u16)).collect();
+        let class_names = (0..k).map(|c| format!("Topic{c}")).collect();
+        Tag::new("random", b.build(), texts, labels, class_names).unwrap()
+    }
+
+    /// Queries (every other node) and a seed label on the rest.
+    fn split(tag: &Tag) -> (Vec<NodeId>, LabelStore) {
+        let mut labels = LabelStore::empty(tag.num_nodes());
+        let mut queries = Vec::new();
+        for i in 0..tag.num_nodes() {
+            if i % 2 == 0 {
+                queries.push(NodeId(i as u32));
+            } else {
+                labels.add_pseudo(NodeId(i as u32), tag.label(NodeId(i as u32)));
+            }
+        }
+        (queries, labels)
+    }
+
+    fn trace_fields(traces: &[RoundTrace]) -> Vec<(usize, usize, usize)> {
+        traces.iter().map(|t| (t.executed, t.gamma1, t.gamma2)).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// FIFO scheduling is the legacy sequential loop, bit for bit —
+        /// same records in the same order, same metered spend — for
+        /// arbitrary small TAGs and prune sets.
+        #[test]
+        fn fifo_matches_legacy_run_all(seed in 0u64..10_000, n in 4usize..12, k in 2usize..4) {
+            let tag = random_tag(seed, n, k);
+            let (queries, labels) = split(&tag);
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+            let prune = |v: NodeId| v.0.is_multiple_of(3);
+
+            let llm_a = HashLlm::new(tag.class_names().to_vec());
+            let exec_a = Executor::new(&tag, &llm_a, 3, seed);
+            let legacy = exec_a.run_all_legacy(&predictor, &labels, &queries, prune).unwrap();
+
+            let llm_b = HashLlm::new(tag.class_names().to_vec());
+            let exec_b = Executor::new(&tag, &llm_b, 3, seed);
+            let sched = Scheduler::new(&exec_b, SchedulePolicy::Fifo)
+                .run(&predictor, Labels::Fixed(&labels), &queries, prune)
+                .unwrap();
+
+            prop_assert_eq!(&legacy.records, &sched.outcome.records);
+            prop_assert_eq!(llm_a.meter().totals(), llm_b.meter().totals());
+            prop_assert_eq!(sched.replayed, 0);
+            prop_assert_eq!(
+                sched.fresh_billed_tokens,
+                sched.outcome.records.iter().map(|r| r.prompt_tokens).sum::<u64>()
+            );
+        }
+
+        /// FIFO equivalence holds under arbitrary seeded fault schedules:
+        /// the scheduler issues calls in the same sequential order, so the
+        /// `(seed, call-index)`-keyed injector fires identically.
+        #[test]
+        fn fifo_matches_legacy_under_faults(
+            seed in 0u64..10_000,
+            fault_seed in 0u64..10_000,
+            transient in 0.0f64..0.4,
+            malformed in 0.0f64..0.3,
+        ) {
+            let tag = random_tag(seed, 8, 2);
+            let (queries, labels) = split(&tag);
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+            let cfg = FaultConfig {
+                transient_rate: transient,
+                malformed_rate: malformed,
+                ..FaultConfig::default()
+            };
+            let clock = Arc::new(ManualClock::new());
+            let wait: Arc<dyn WaitClock> = clock;
+
+            let faulty_a = FaultyLlm::new(
+                HashLlm::new(tag.class_names().to_vec()),
+                FaultSchedule::seeded(fault_seed, cfg),
+                wait.clone(),
+            );
+            let exec_a = Executor::new(&tag, &faulty_a, 3, seed).with_degrade();
+            let legacy =
+                exec_a.run_all_legacy(&predictor, &labels, &queries, |_| false).unwrap();
+
+            let faulty_b = FaultyLlm::new(
+                HashLlm::new(tag.class_names().to_vec()),
+                FaultSchedule::seeded(fault_seed, cfg),
+                wait.clone(),
+            );
+            let exec_b = Executor::new(&tag, &faulty_b, 3, seed).with_degrade();
+            let sched = Scheduler::new(&exec_b, SchedulePolicy::Fifo)
+                .run(&predictor, Labels::Fixed(&labels), &queries, |_| false)
+                .unwrap();
+
+            prop_assert_eq!(&legacy.records, &sched.outcome.records);
+        }
+
+        /// The pooled fixed policies produce the same input-order record
+        /// stream as their pre-scheduler implementations (and the
+        /// sequential path) for arbitrary TAGs and widths.
+        #[test]
+        fn pooled_policies_match_legacy(
+            seed in 0u64..10_000,
+            n in 4usize..12,
+            threads in 1usize..4,
+            batch in 1usize..5,
+        ) {
+            let tag = random_tag(seed, n, 3);
+            let (queries, labels) = split(&tag);
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+            let llm = HashLlm::new(tag.class_names().to_vec());
+            let exec = Executor::new(&tag, &llm, 3, seed);
+
+            let seq = exec.run_all_legacy(&predictor, &labels, &queries, |_| false).unwrap();
+            let par_legacy = legacy::run_all_parallel(
+                &exec, &predictor, &labels, &queries, |_| false, threads,
+            )
+            .unwrap();
+            let par = run_all_parallel(&exec, &predictor, &labels, &queries, |_| false, threads)
+                .unwrap();
+            let bat_legacy = legacy::run_all_batched(
+                &exec, &predictor, &labels, &queries, |_| false, threads, batch,
+            )
+            .unwrap();
+            let bat =
+                run_all_batched(&exec, &predictor, &labels, &queries, |_| false, threads, batch)
+                    .unwrap();
+
+            prop_assert_eq!(&seq.records, &par_legacy.records);
+            prop_assert_eq!(&seq.records, &par.records);
+            prop_assert_eq!(&seq.records, &bat_legacy.records);
+            prop_assert_eq!(&seq.records, &bat.records);
+        }
+
+        /// Deterministic cue-gated scheduling at width 1 *is* the legacy
+        /// boosting loop: same records in the same order, same round
+        /// traces, same relaxation path.
+        #[test]
+        fn cue_gated_deterministic_matches_legacy_boosting(
+            seed in 0u64..10_000,
+            n in 4usize..12,
+            gamma1 in 0usize..4,
+            gamma2 in 1usize..3,
+        ) {
+            let tag = random_tag(seed, n, 3);
+            let (queries, labels) = split(&tag);
+            let config = BoostConfig { gamma1, gamma2 };
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+            let plan = PrunePlan::default();
+
+            let llm_a = HashLlm::new(tag.class_names().to_vec());
+            let exec_a = Executor::new(&tag, &llm_a, 3, seed);
+            let mut labels_a = labels.clone();
+            let (out_a, traces_a) = run_with_boosting_policy_legacy(
+                &exec_a, &predictor, &mut labels_a, &queries, config, &plan,
+                DegradePolicy::default(),
+            )
+            .unwrap();
+
+            let llm_b = HashLlm::new(tag.class_names().to_vec());
+            let exec_b = Executor::new(&tag, &llm_b, 3, seed);
+            let mut labels_b = labels.clone();
+            let (out_b, traces_b) = run_with_boosting_policy(
+                &exec_b, &predictor, &mut labels_b, &queries, config, &plan,
+                DegradePolicy::default(),
+            )
+            .unwrap();
+
+            prop_assert_eq!(&out_a.records, &out_b.records);
+            prop_assert_eq!(trace_fields(&traces_a), trace_fields(&traces_b));
+            prop_assert_eq!(llm_a.meter().totals(), llm_b.meter().totals());
+        }
+
+        /// Width-N deterministic waves reproduce the width-1 stream bit
+        /// for bit: labels are frozen per wave and records re-assemble in
+        /// candidate order, so the pool width is unobservable.
+        #[test]
+        fn deterministic_waves_are_width_invariant(
+            seed in 0u64..10_000,
+            n in 4usize..12,
+            threads in 2usize..5,
+        ) {
+            let tag = random_tag(seed, n, 3);
+            let (queries, labels) = split(&tag);
+            let config = BoostConfig { gamma1: 2, gamma2: 2 };
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+
+            let mut runs = Vec::new();
+            for width in [1, threads, threads] {
+                let llm = HashLlm::new(tag.class_names().to_vec());
+                let exec = Executor::new(&tag, &llm, 3, seed);
+                let mut l = labels.clone();
+                let report = Scheduler::new(
+                    &exec,
+                    SchedulePolicy::CueGated {
+                        config,
+                        policy: DegradePolicy::default(),
+                        threads: width,
+                        deterministic: true,
+                    },
+                )
+                .run(&predictor, Labels::Boosting(&mut l), &queries, |_| false)
+                .unwrap();
+                runs.push(report.outcome.records);
+            }
+            prop_assert_eq!(&runs[0], &runs[1], "width-N wave diverged from width 1");
+            prop_assert_eq!(&runs[1], &runs[2], "two identical runs diverged");
+        }
+
+        /// Free-running cue-gated execution keeps the hard guarantees even
+        /// though record order is timing-dependent: every query gets
+        /// exactly one record and the cost ledger conserves.
+        #[test]
+        fn free_running_covers_every_query_and_conserves(
+            seed in 0u64..10_000,
+            n in 4usize..12,
+            threads in 2usize..5,
+        ) {
+            let tag = random_tag(seed, n, 3);
+            let (queries, labels) = split(&tag);
+            let predictor = KhopRandom::new(1, tag.num_nodes());
+            let llm = HashLlm::new(tag.class_names().to_vec());
+            let ledger = CostLedger::new();
+            let exec = Executor::new(&tag, &llm, 3, seed).with_sink(&ledger).with_degrade();
+            let mut l = labels.clone();
+            let report = Scheduler::new(
+                &exec,
+                SchedulePolicy::CueGated {
+                    config: BoostConfig::default(),
+                    policy: DegradePolicy::default(),
+                    threads,
+                    deterministic: false,
+                },
+            )
+            .run(&predictor, Labels::Boosting(&mut l), &queries, |_| false)
+            .unwrap();
+
+            prop_assert_eq!(report.outcome.records.len(), queries.len());
+            let mut nodes: Vec<u32> =
+                report.outcome.records.iter().map(|r| r.node.0).collect();
+            nodes.sort_unstable();
+            let mut expected: Vec<u32> = queries.iter().map(|v| v.0).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(nodes, expected, "a query was lost or duplicated");
+            let cost = ledger.report();
+            prop_assert!(cost.total.conserves(), "conservation violated: {}", cost);
+            // Every executed (non-failed) query pseudo-labeled itself.
+            for r in report.outcome.records.iter().filter(|r| !r.failed()) {
+                prop_assert!(l.is_labeled(r.node));
+            }
+            prop_assert_eq!(
+                report.rounds.iter().map(|t| t.executed).sum::<usize>(),
+                queries.len()
+            );
+        }
+    }
+
+    /// Cue-gated scheduling without a boosting label store is a config
+    /// error, not a silent fixed-label run.
+    #[test]
+    fn cue_gated_requires_boosting_labels() {
+        let tag = random_tag(7, 6, 2);
+        let (queries, labels) = split(&tag);
+        let llm = HashLlm::new(tag.class_names().to_vec());
+        let exec = Executor::new(&tag, &llm, 3, 7);
+        let err = Scheduler::new(
+            &exec,
+            SchedulePolicy::CueGated {
+                config: BoostConfig::default(),
+                policy: DegradePolicy::default(),
+                threads: 2,
+                deterministic: false,
+            },
+        )
+        .run(
+            &KhopRandom::new(1, tag.num_nodes()),
+            Labels::Fixed(&labels),
+            &queries,
+            |_| false,
+        );
+        assert!(matches!(err, Err(Error::Config { .. })));
+    }
+
+    /// A hard budget forces cue-gated runs onto the sequential wave path
+    /// (spend order must be reproducible) and still never overshoots.
+    #[test]
+    fn cue_gated_budget_clamps_to_sequential_and_holds() {
+        let tag = random_tag(11, 10, 2);
+        let (queries, labels) = split(&tag);
+        let llm = HashLlm::new(tag.class_names().to_vec());
+        let exec = Executor::new(&tag, &llm, 3, 11).with_budget(200);
+        let mut l = labels.clone();
+        let report = Scheduler::new(
+            &exec,
+            SchedulePolicy::CueGated {
+                config: BoostConfig::default(),
+                policy: DegradePolicy::default(),
+                threads: 4,
+                deterministic: false,
+            },
+        )
+        .run(&KhopRandom::new(1, tag.num_nodes()), Labels::Boosting(&mut l), &queries, |_| {
+            false
+        })
+        .unwrap();
+        assert_eq!(report.outcome.records.len(), queries.len());
+        assert!(llm.meter().totals().prompt_tokens <= 200, "budget overshot");
+    }
+}

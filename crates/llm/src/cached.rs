@@ -2,7 +2,7 @@
 //!
 //! [`CachedLlm`] is the client-side MQO layer: it serves repeated prompts
 //! from an LRU response cache (keyed by the canonical
-//! [`mqo_cache::fingerprint`] of model name + rendered prompt), coalesces
+//! [`mqo_cache::fingerprint()`] of model name + rendered prompt), coalesces
 //! identical prompts that are *in flight* concurrently so only one request
 //! reaches the model, and feeds every prompt it actually sends through a
 //! [`mqo_cache::PrefixStore`] to account the prefix reuse a white-box

@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 /// One observable occurrence inside the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
-    /// One query finished in [`Executor::run_one`]: the prompt was built
+    /// One query finished in `Executor::run_one`: the prompt was built
     /// (and possibly budget-pruned), sent, and the response parsed.
     QueryExecuted {
         /// Query node id.

@@ -16,7 +16,7 @@ use crate::config::ServeConfig;
 use crate::tenant::{TenantExhausted, TenantTable};
 use mqo_core::journal::{record_to_json, RunHeader, RunJournal};
 use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
-use mqo_core::{Executor, LabelStore, QueryRecord};
+use mqo_core::{Executor, LabelStore, Labels, QueryRecord, SchedulePolicy, Scheduler};
 use mqo_data::DatasetBundle;
 use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
 use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
@@ -293,7 +293,8 @@ impl Engine {
         })
     }
 
-    /// One executor view over the engine, ready for a worker thread.
+    /// One executor view over the engine, ready for whichever thread
+    /// holds a slot permit.
     fn executor(&self) -> Executor<'_> {
         let mut exec =
             Executor::new(&self.bundle.tag, &self.llm, self.max_neighbors, self.seed)
@@ -310,47 +311,40 @@ impl Engine {
         exec
     }
 
-    /// Classify `nodes` for `tenant`. Called from worker threads after
-    /// admission; journal replay short-circuits already-answered nodes,
-    /// fresh queries run the full stack, and (with boosting on)
-    /// successful predictions become pseudo-labels that enrich later
-    /// prompts on neighboring nodes.
+    /// Classify `nodes` for `tenant`, via the FIFO schedule of the
+    /// shared [`Scheduler`] — the same execution core as the batch CLI.
+    /// Called from connection handlers holding a slot permit; journal
+    /// replay short-circuits already-answered nodes, fresh queries run
+    /// the full stack, and (with boosting on) successful predictions
+    /// become pseudo-labels that enrich later prompts on neighboring
+    /// nodes.
     pub fn process(&self, nodes: &[NodeId], tenant: &str) -> ProcessedBatch {
         let exec = self.executor();
-        let mut records = Vec::with_capacity(nodes.len());
-        let mut replayed = 0u64;
-        let mut billed_tokens = 0u64;
-        // Render buffers shared by every query in the batch — the serve
-        // hot path re-renders into the same allocations.
-        let mut scratch = mqo_core::RenderScratch::new();
-        {
+        let report = {
             let labels = self.labels.read();
-            for &v in nodes {
-                if let Some(rec) = exec.replay_journaled(v) {
-                    replayed += 1;
-                    records.push(rec);
-                    continue;
+            Scheduler::new(&exec, SchedulePolicy::Fifo).run(
+                &*self.predictor,
+                Labels::Fixed(&labels),
+                nodes,
+                |_| false,
+            )
+        };
+        let (records, replayed, billed_tokens) = match report {
+            Ok(r) => (r.outcome.records, r.replayed, r.fresh_billed_tokens),
+            // The executor runs degraded, so model errors already became
+            // recorded failed outcomes inside the scheduler; this arm
+            // only fires on internal errors, which still must answer
+            // with recorded (and journaled) outcomes, not a 500.
+            Err(e) => {
+                let detail = e.to_string();
+                let records: Vec<QueryRecord> =
+                    nodes.iter().map(|&v| exec.failed_record(v, detail.clone())).collect();
+                for rec in &records {
+                    exec.journal_record(rec);
                 }
-                let mut rng = exec.query_rng(v);
-                let rec = match exec.run_one_reusing(
-                    &*self.predictor,
-                    &labels,
-                    v,
-                    &mut rng,
-                    false,
-                    &mut scratch,
-                ) {
-                    Ok(rec) => rec,
-                    // Degraded mode handles model errors inside run_one;
-                    // this arm only fires on internal errors, which still
-                    // must produce a recorded outcome.
-                    Err(e) => exec.failed_record(v, e.to_string()),
-                };
-                exec.journal_record(&rec);
-                billed_tokens += rec.prompt_tokens;
-                records.push(rec);
+                (records, 0, 0)
             }
-        }
+        };
         if self.boost {
             let mut labels = self.labels.write();
             for rec in &records {

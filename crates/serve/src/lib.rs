@@ -12,11 +12,12 @@
 //!   `CachedLlm → … → SimLlm` stack, a pseudo-label store (responses can
 //!   boost later requests on neighboring nodes), per-tenant admission
 //!   accounting, and the same crash-safe journal as the batch CLI.
-//! * [`Server`] — the HTTP surface: bounded MPMC queue
-//!   ([`mqo_core::queue::BoundedQueue`]) feeding a worker pool, with
-//!   three admission gates (draining → tenant budget → queue
+//! * [`Server`] — the HTTP surface: a slot gate bounding execution
+//!   concurrency in place of the old queue-and-worker-pool hand-off,
+//!   with three admission gates (draining → tenant budget → slot
 //!   backpressure) and a graceful drain that finishes in-flight work and
-//!   seals the journal.
+//!   seals the journal. Admitted batches run on the connection handler's
+//!   thread through the engine's [`mqo_core::Scheduler`] FIFO path.
 //! * [`ServeConfig`] / [`ServerOptions`] — how the engine is built and
 //!   how the server schedules.
 //! * [`signal`] — SIGTERM/SIGINT → drain-requested flag (the only FFI in
@@ -34,6 +35,7 @@ mod config;
 mod engine;
 mod server;
 pub mod signal;
+mod slots;
 mod tenant;
 
 pub use config::{ServeConfig, ServerOptions};

@@ -10,26 +10,29 @@
 //! ```
 //!
 //! Three admission gates guard `/v1/classify`, in order: draining
-//! (`503`), tenant budget (`429`, nothing billed), queue backpressure
-//! (`429 Retry-After`, the [`BoundedQueue`] is full). Admitted work is
-//! scheduled over a fixed worker pool; each connection handler blocks on
-//! its reply channel, so concurrency is bounded by the queue + pool, not
-//! by accepted sockets.
+//! (`503`), tenant budget (`429`, nothing billed), slot backpressure
+//! (`429 Retry-After`, the [`SlotGate`]'s wait room is full). Admitted
+//! work executes *on the connection handler's own thread* under a
+//! [`SlotPermit`]: the permit bounds concurrency exactly like the old
+//! worker pool did (at most `workers` batches running, at most
+//! `queue_capacity` waiting), but the request never crosses a queue or
+//! a reply channel — the handler calls straight into the engine's
+//! [`mqo_core::Scheduler`] FIFO path and writes the response itself.
 //!
 //! ## Graceful drain
 //!
 //! [`Server::drain`] runs the shutdown sequence in dependency order:
 //! mark draining (late requests get a clean `503`) → stop the accept
 //! loop and close the listener (later connections are refused outright)
-//! → join connection handlers (their enqueued work completes, workers
-//! still running) → close the queue → join workers → seal the journal
+//! → join connection handlers (every admitted batch finishes on its
+//! handler's thread; permits release as they go) → seal the journal
 //! (fsync) → close the run span → flush trace artifacts. Accepted work
 //! always finishes; a restarted server resumes from the sealed journal
 //! re-billing zero tokens.
 
 use crate::config::ServerOptions;
 use crate::engine::{Engine, Rejection};
-use mqo_core::queue::{BoundedQueue, PushError};
+use crate::slots::SlotGate;
 use mqo_graph::NodeId;
 use mqo_obs::httpd::{HttpConnection, ReadOutcome, Request};
 use mqo_obs::SpanId;
@@ -40,13 +43,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
-
-/// One admitted classification batch, queued for the worker pool.
-struct Job {
-    nodes: Vec<NodeId>,
-    tenant: String,
-    reply: mpsc::Sender<crate::engine::ProcessedBatch>,
-}
 
 /// What the drain sequence observed, for operator logs and exit status.
 #[derive(Debug, Clone)]
@@ -65,18 +61,17 @@ pub struct DrainReport {
 pub struct Server {
     engine: Arc<Engine>,
     addr: SocketAddr,
-    queue: Arc<BoundedQueue<Job>>,
     stop_accept: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    workers: Vec<JoinHandle<()>>,
     span_close: Option<mpsc::Sender<()>>,
     supervisor: Option<JoinHandle<()>>,
     options: ServerOptions,
 }
 
 impl Server {
-    /// Bind, open the run span, start the worker pool and accept loop.
+    /// Bind, open the run span, build the slot gate, start the accept
+    /// loop.
     pub fn start(engine: Arc<Engine>, options: ServerOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(options.addr.as_str())?;
         let addr = listener.local_addr()?;
@@ -84,7 +79,7 @@ impl Server {
 
         // The run span lives on a dedicated supervisor thread: it must
         // open before the first query (so query spans have a "run"
-        // ancestor) and close after the last worker exits (so span
+        // ancestor) and close after the last handler exits (so span
         // intervals nest), and span guards borrow engine internals —
         // a thread's stack frame is the one place that satisfies all
         // three.
@@ -105,23 +100,8 @@ impl Server {
             })?;
         ready_rx.recv().map_err(|_| io::Error::other("span supervisor died before serving"))?;
 
-        let queue: Arc<BoundedQueue<Job>> =
-            Arc::new(BoundedQueue::new(options.queue_capacity.max(1)));
-        let workers: Vec<JoinHandle<()>> = (0..options.workers.max(1))
-            .map(|i| {
-                let engine = Arc::clone(&engine);
-                let queue = Arc::clone(&queue);
-                thread::Builder::new().name(format!("mqo-serve-worker-{i}")).spawn(move || {
-                    mqo_obs::set_thread_track(i as u32 + 1);
-                    while let Some(job) = queue.pop() {
-                        let batch = engine.process(&job.nodes, &job.tenant);
-                        // A dead reply channel means the handler gave up
-                        // (client hung up); the work is already journaled.
-                        let _ = job.reply.send(batch);
-                    }
-                })
-            })
-            .collect::<io::Result<_>>()?;
+        let gate: Arc<SlotGate> =
+            Arc::new(SlotGate::new(options.workers.max(1), options.queue_capacity.max(1)));
 
         let stop_accept = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -129,8 +109,7 @@ impl Server {
             let stop = Arc::clone(&stop_accept);
             let handlers = Arc::clone(&handlers);
             let engine = Arc::clone(&engine);
-            let queue = Arc::clone(&queue);
-            let worker_count = options.workers.max(1);
+            let gate = Arc::clone(&gate);
             thread::Builder::new().name("mqo-serve-accept".into()).spawn(move || {
                 let errors = engine.metrics().registry().counter(
                     "mqo_http_errors_total",
@@ -140,12 +119,10 @@ impl Server {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let engine = Arc::clone(&engine);
-                            let queue = Arc::clone(&queue);
+                            let gate = Arc::clone(&gate);
                             let errors_conn = Arc::clone(&errors);
                             let handle = thread::spawn(move || {
-                                if handle_connection(&engine, &queue, worker_count, stream)
-                                    .is_err()
-                                {
+                                if handle_connection(&engine, &gate, stream).is_err() {
                                     errors_conn.inc();
                                 }
                             });
@@ -170,11 +147,9 @@ impl Server {
         Ok(Server {
             engine,
             addr,
-            queue,
             stop_accept,
             accept: Some(accept),
             handlers,
-            workers,
             span_close: Some(span_close_tx),
             supervisor: Some(supervisor),
             options,
@@ -205,19 +180,15 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // 3. Let in-flight connections finish: every accepted handler
-        //    either already answered or is blocked on its reply channel —
-        //    workers are still draining the queue behind them.
+        // 3. Let in-flight connections finish: every admitted batch runs
+        //    on its handler's thread, so joining the handlers *is*
+        //    draining the work — permits release as batches complete and
+        //    parked waiters run to completion behind them.
         let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
         for h in handlers {
             let _ = h.join();
         }
-        // 4. Close the queue; workers finish the remainder and exit.
-        self.queue.close();
-        for w in std::mem::take(&mut self.workers) {
-            let _ = w.join();
-        }
-        // 5. Seal the journal: everything answered is now durable, so a
+        // 4. Seal the journal: everything answered is now durable, so a
         //    restarted server replays it without re-billing a token.
         let journal_sealed = match self.engine.journal() {
             Some(j) => {
@@ -226,7 +197,7 @@ impl Server {
             }
             None => false,
         };
-        // 6. Close the run span (after the last query span) and flush
+        // 5. Close the run span (after the last query span) and flush
         //    trace artifacts.
         self.span_close.take();
         if let Some(s) = self.supervisor.take() {
@@ -240,7 +211,7 @@ impl Server {
         }
     }
 
-    /// Worker-pool size.
+    /// Concurrent-execution bound (slot count).
     pub fn workers(&self) -> usize {
         self.options.workers.max(1)
     }
@@ -248,7 +219,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept.is_some() || !self.workers.is_empty() {
+        if self.accept.is_some() {
             self.drain_in_place();
         }
     }
@@ -295,7 +266,7 @@ fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, Strin
 
 fn handle_classify(
     engine: &Engine,
-    queue: &BoundedQueue<Job>,
+    gate: &SlotGate,
     req: &Request,
     conn: &mut HttpConnection,
 ) -> io::Result<()> {
@@ -324,12 +295,11 @@ fn handle_classify(
                 }),
             )
         }
-        Err(Rejection::Saturated) => unreachable!("admit never reports queue saturation"),
+        Err(Rejection::Saturated) => unreachable!("admit never reports slot saturation"),
     }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    match queue.try_push(Job { nodes, tenant: tenant.clone(), reply: reply_tx }) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
+    let permit = match gate.acquire() {
+        Ok(permit) => permit,
+        Err(_) => {
             engine.count_queue_rejection();
             let mut body =
                 serde_json::to_string(&json!({"error": "saturated", "tenant": tenant}))
@@ -342,37 +312,25 @@ fn handle_classify(
                 &body,
             );
         }
-        Err(PushError::Closed(_)) => {
-            return json_response(
-                conn,
-                "503 Service Unavailable",
-                &json!({"error": "draining", "tenant": tenant}),
-            )
-        }
-    }
-    match reply_rx.recv() {
-        Ok(batch) => {
-            engine.count_request();
-            json_response(conn, "200 OK", &batch.to_json(&tenant))
-        }
-        Err(_) => json_response(
-            conn,
-            "500 Internal Server Error",
-            &json!({"error": "worker pool unavailable"}),
-        ),
-    }
+    };
+    // Run the batch right here, on the handler's thread, under the
+    // permit's bounded telemetry track — no queue, no reply channel.
+    mqo_obs::set_thread_track(permit.slot() + 1);
+    let batch = engine.process(&nodes, &tenant);
+    drop(permit);
+    engine.count_request();
+    json_response(conn, "200 OK", &batch.to_json(&tenant))
 }
 
 /// Route one parsed request and write its response.
 fn handle_request(
     engine: &Engine,
-    queue: &BoundedQueue<Job>,
-    workers: usize,
+    gate: &SlotGate,
     req: &Request,
     conn: &mut HttpConnection,
 ) -> io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/classify") => handle_classify(engine, queue, req, conn),
+        ("POST", "/v1/classify") => handle_classify(engine, gate, req, conn),
         ("GET", "/v1/healthz") => {
             if engine.draining() {
                 json_response(conn, "503 Service Unavailable", &json!({"status": "draining"}))
@@ -381,7 +339,7 @@ fn handle_request(
             }
         }
         ("GET", "/v1/stats") => {
-            let body = engine.stats_json(Some((queue.len(), queue.capacity())), workers);
+            let body = engine.stats_json(Some((gate.waiting(), gate.wait_cap())), gate.slots());
             conn.respond("200 OK", "application/json", &body)
         }
         ("POST", "/v1/drain") => {
@@ -411,12 +369,7 @@ fn handle_request(
 /// header floods) gets a best-effort `400` and surfaces as an error so
 /// the accept loop counts it in `mqo_http_errors_total` — the server
 /// itself stays up.
-fn handle_connection(
-    engine: &Engine,
-    queue: &BoundedQueue<Job>,
-    workers: usize,
-    stream: TcpStream,
-) -> io::Result<()> {
+fn handle_connection(engine: &Engine, gate: &SlotGate, stream: TcpStream) -> io::Result<()> {
     let mut conn = HttpConnection::new(stream)?;
     let mut req = Request::default();
     loop {
@@ -439,7 +392,7 @@ fn handle_connection(
         if engine.draining() {
             conn.set_keep_alive(false);
         }
-        handle_request(engine, queue, workers, &req, &mut conn)?;
+        handle_request(engine, gate, &req, &mut conn)?;
         if !conn.keep_alive() {
             return Ok(());
         }

@@ -2,8 +2,8 @@
 # Deterministic cache-efficiency smoke bench + regression gate, the
 # observability artifact check, and the serving throughput snapshot.
 #
-#   scripts/bench_smoke.sh            # run and gate against BENCH_PR5.json
-#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR5.json
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR7.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR7.json
 #
 # The gated workload replays a fixed Cora query set three times through
 # the simulated LLM with the response cache on, so tokens_sent and
@@ -27,10 +27,14 @@
 # now fails instead of hiding inside the slack. The remaining slack
 # absorbs shared-runner noise (observed run-to-run spread is roughly 2x
 # on rps and p99 tails on a single-core runner), not code regressions.
+# The burst is 6000 requests after a 500-request warmup: the short
+# pre-PR7 burst (400) measured mostly cold-start (thread spawn, page
+# faults, connection setup) and undersold steady-state by 2-3x, and a
+# sub-second measured window leaves 20-30% run-to-run jitter on rps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR6.json
+BASELINE=BENCH_PR7.json
 CURRENT=target/bench_smoke_current.json
 OBS_TRACE=target/obs_trace.json
 OBS_COST=target/obs_cost.json
@@ -59,7 +63,7 @@ SERVE_PID=$!
 for _ in $(seq 1 200); do [ -s "$SERVE_ADDR" ] && break; sleep 0.1; done
 [ -s "$SERVE_ADDR" ] || { echo "bench_smoke: server never bound" >&2; exit 1; }
 ./target/release/loadgen --addr-file "$SERVE_ADDR" \
-  --requests 400 --warmup 40 --concurrency 8 --batch 4 --seed 42 \
+  --requests 6000 --warmup 500 --concurrency 8 --batch 4 --seed 42 \
   --merge-into "$CURRENT" --drain > /dev/null
 wait "$SERVE_PID" || { echo "bench_smoke: server exited non-zero" >&2; exit 1; }
 
