@@ -4,8 +4,8 @@
 //! loadgen --addr HOST:PORT | --addr-file FILE
 //!         [--requests N] [--concurrency C] [--batch B] [--node-max N]
 //!         [--seed S] [--tenant T] [--mode closed|open] [--rate R]
-//!         [--warmup W] [--out FILE] [--merge-into FILE] [--drain]
-//!         [--malformed]
+//!         [--warmup W] [--trace-id HEX] [--out FILE] [--merge-into FILE]
+//!         [--drain] [--malformed]
 //! ```
 //!
 //! Each worker thread holds one **keep-alive connection** for its whole
@@ -39,6 +39,12 @@
 //! acquires `serve_*` fields for the CI gate; `--drain` requests a
 //! graceful drain once the burst completes.
 //!
+//! Every response's `x-mqo-trace-id` header is captured per sample, the
+//! summary lists the 5 slowest requests with their trace ids (paste one
+//! into `GET /v1/debug/flight` to see where the time went server-side),
+//! and `--trace-id HEX` stamps a caller-supplied id on every request —
+//! the smoke-test hook proving ids round-trip through the server.
+//!
 //! `--malformed` runs a framing-abuse probe instead of a load run: it
 //! sends requests with conflicting duplicate `Content-Length` headers,
 //! truncated header blocks, and header floods, expects a `400` for
@@ -64,8 +70,8 @@ fn usage() -> ExitCode {
          loadgen --addr HOST:PORT | --addr-file FILE\n          \
          [--requests N] [--concurrency C] [--batch B] [--node-max N]\n          \
          [--seed S] [--tenant T] [--mode closed|open] [--rate R]\n          \
-         [--warmup W] [--out FILE] [--merge-into FILE] [--drain]\n          \
-         [--malformed]"
+         [--warmup W] [--trace-id HEX] [--out FILE] [--merge-into FILE]\n          \
+         [--drain] [--malformed]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +103,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 struct Sample {
     latency: Duration,
     status: u16,
+    /// The server's `x-mqo-trace-id` response header (empty on
+    /// transport failure) — the key into `GET /v1/debug/flight`.
+    trace: String,
 }
 
 fn status_code(status_line: &str) -> u16 {
@@ -146,6 +155,8 @@ struct Plan {
     tenant: String,
     open_loop: bool,
     rate: f64,
+    /// Caller-supplied trace id stamped on every request (`--trace-id`).
+    trace_id: Option<String>,
 }
 
 /// Body for request `k`. The RNG is keyed by `(seed, k)` alone so the
@@ -164,19 +175,28 @@ fn build_body(k: usize, plan: &Plan) -> String {
     }
 }
 
-/// POST over the worker's persistent connection. A transport error gets
-/// one retry — the client reconnects transparently — because a keep-alive
-/// peer may close an idle connection between our read of its response
-/// and our next write.
-fn post_classify(client: &mut HttpClient, body: &str) -> u16 {
+/// POST over the worker's persistent connection, returning the status
+/// and the response's trace id. A transport error gets one retry — the
+/// client reconnects transparently — because a keep-alive peer may close
+/// an idle connection between our read of its response and our next
+/// write.
+fn post_classify(client: &mut HttpClient, body: &str, trace_id: Option<&str>) -> (u16, String) {
     for attempt in 0..2 {
-        match client.post("/v1/classify", body) {
-            Ok((status_line, _)) => return status_code(&status_line),
+        let result = match trace_id {
+            Some(t) => client.post_with_header("/v1/classify", body, ("x-mqo-trace-id", t)),
+            None => client.post("/v1/classify", body),
+        };
+        match result {
+            Ok((status_line, _)) => {
+                let trace =
+                    client.last_header("x-mqo-trace-id").unwrap_or_default().to_string();
+                return (status_code(&status_line), trace);
+            }
             Err(_) if attempt == 0 => {}
             Err(_) => break,
         }
     }
-    0
+    (0, String::new())
 }
 
 /// Fire requests and collect measured samples. Workers hold one
@@ -202,14 +222,14 @@ fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
         handles.push(std::thread::spawn(move || {
             let mut client = HttpClient::connect(plan.addr).ok();
             let mut post = |body: &str| match &mut client {
-                Some(c) => post_classify(c, body),
+                Some(c) => post_classify(c, body, plan.trace_id.as_deref()),
                 None => match HttpClient::connect(plan.addr) {
                     Ok(mut c) => {
-                        let status = post_classify(&mut c, body);
+                        let outcome = post_classify(&mut c, body, plan.trace_id.as_deref());
                         client = Some(c);
-                        status
+                        outcome
                     }
-                    Err(_) => 0,
+                    Err(_) => (0, String::new()),
                 },
             };
             loop {
@@ -237,8 +257,8 @@ fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
                 } else {
                     Instant::now()
                 };
-                let status = post(&body);
-                samples.push(Sample { latency: departs.elapsed(), status });
+                let (status, trace) = post(&body);
+                samples.push(Sample { latency: departs.elapsed(), status, trace });
             }
             samples
         }));
@@ -442,6 +462,7 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         tenant: flags.get("tenant").cloned().unwrap_or_else(|| "default".into()),
         open_loop,
         rate,
+        trace_id: flags.get("trace-id").cloned(),
     });
     let (samples, wall) = drive(Arc::clone(&plan));
 
@@ -471,6 +492,19 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     let mean =
         if ok_ms.is_empty() { 0.0 } else { ok_ms.iter().sum::<f64>() / ok_ms.len() as f64 };
 
+    // The tail, with handles: these trace ids key straight into the
+    // server's GET /v1/debug/flight.
+    let mut slowest: Vec<&Sample> = samples.iter().filter(|s| s.status == 200).collect();
+    slowest.sort_by_key(|s| std::cmp::Reverse(s.latency));
+    slowest.truncate(5);
+    for s in &slowest {
+        println!(
+            "slow request    : {:9.3} ms  trace {}",
+            s.latency.as_secs_f64() * 1e3,
+            if s.trace.is_empty() { "-" } else { &s.trace },
+        );
+    }
+
     let summary = serde_json::json!({
         "mode": if plan.open_loop { "open" } else { "closed" },
         "requests": requests,
@@ -490,6 +524,15 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         "serve_p999_ms": p999,
         "serve_max_ms": max,
         "serve_mean_ms": mean,
+        "slowest": slowest
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "trace": s.trace,
+                    "ms": s.latency.as_secs_f64() * 1e3,
+                })
+            })
+            .collect::<Vec<_>>(),
     });
     let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
     text.push('\n');
@@ -561,6 +604,7 @@ mod tests {
             tenant: "default".into(),
             open_loop: false,
             rate: 1.0,
+            trace_id: None,
         }
     }
 

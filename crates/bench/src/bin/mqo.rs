@@ -72,6 +72,8 @@ fn usage() -> ExitCode {
          [--queue-cap Q] [--budget B] [--boost] [--tenants a=1000,b=500]\n               \
          [--tenant-budget N] [--cache-cap N] [--no-cache] [--retries N]\n               \
          [--faults SPEC] [--journal FILE] [--resume] [--trace-chrome FILE]\n               \
+         [--slo-p99-ms MS] [--slo-availability F] [--flight-slow N]\n               \
+         [--flight-errors N] [--flight-dump FILE]\n               \
          [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
@@ -501,6 +503,16 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
         mqo_obs::EventSink::flush(t);
         print!("{}", t.summary());
         println!("trace written   : {}", flags["trace"]);
+        let dropped = t.dropped();
+        if dropped > 0 {
+            if let Some(m) = &metrics {
+                m.add_events_dropped(dropped);
+            }
+            println!(
+                "warning         : {dropped} event(s) evicted from the summary ring \
+                 (the JSONL trace file is complete)"
+            );
+        }
     }
     if let Some(c) = &chrome {
         mqo_obs::EventSink::flush(&**c);
@@ -610,6 +622,19 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             .get("tenant-budget")
             .map(|b| b.parse().map_err(|_| "bad --tenant-budget"))
             .transpose()?,
+        slo_p99_ms: flags
+            .get("slo-p99-ms")
+            .map(|b| b.parse().map_err(|_| "bad --slo-p99-ms"))
+            .transpose()?,
+        slo_availability: flags
+            .get("slo-availability")
+            .map_or(Ok(0.999), |s| s.parse().map_err(|_| "bad --slo-availability"))?,
+        flight_slow: flags
+            .get("flight-slow")
+            .map_or(Ok(32), |s| s.parse().map_err(|_| "bad --flight-slow"))?,
+        flight_errors: flags
+            .get("flight-errors")
+            .map_or(Ok(64), |s| s.parse().map_err(|_| "bad --flight-errors"))?,
     };
     let engine = Arc::new(mqo_serve::Engine::new(bundle, cfg)?);
     let options = ServerOptions {
@@ -625,7 +650,10 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
     let server = mqo_serve::Server::start(Arc::clone(&engine), options)
         .map_err(|e| format!("cannot serve: {e}"))?;
     println!("serving         : http://{}/v1/classify", server.addr());
-    println!("endpoints       : /v1/healthz /v1/stats /v1/drain /metrics /progress");
+    println!(
+        "endpoints       : /v1/healthz /v1/stats /v1/slo /v1/debug/flight /v1/drain \
+         /metrics /progress"
+    );
     if let Some(path) = flags.get("addr-file") {
         std::fs::write(path, format!("{}\n", server.addr()))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -654,6 +682,27 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             cstats.cache.misses,
             cstats.coalesced,
             100.0 * cstats.serve_rate(),
+        );
+    }
+    let (flight_slow, flight_errors) = engine.flight().retained();
+    println!(
+        "flight recorder : {flight_slow} slow + {flight_errors} error request(s) retained"
+    );
+    if let Some(path) = flags.get("flight-dump") {
+        std::fs::write(path, engine.flight().to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("flight dump     : {path}");
+    }
+    for t in &engine.slo().report().tenants {
+        println!(
+            "slo [{}]        : short burn {:.2} ({} good / {} bad), long burn {:.2} ({} good / {} bad)",
+            t.tenant,
+            t.short.burn_rate,
+            t.short.good,
+            t.short.bad,
+            t.long.burn_rate,
+            t.long.good,
+            t.long.bad,
         );
     }
     if let Some(path) = flags.get("cost-json") {

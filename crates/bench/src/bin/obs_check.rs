@@ -1,11 +1,12 @@
 //! `obs_check` — CI validator for the observability artifacts.
 //!
 //! ```text
-//! obs_check <chrome_trace.json> <cost.json>
+//! obs_check <chrome_trace.json> <cost.json> [flight.json]
 //! ```
 //!
-//! Checks the two artifacts `mqo classify --trace-chrome --cost-json`
-//! produces on the smoke workload:
+//! Checks the artifacts `mqo classify --trace-chrome --cost-json`
+//! produces on the smoke workload (plus, optionally, a flight-recorder
+//! dump from `mqo serve`):
 //!
 //! * the Chrome trace is valid JSON in trace-event format, every span's
 //!   parent exists, children nest *inside* their parent's interval, and
@@ -18,6 +19,12 @@
 //!   total, the total is the sum of the rounds, and the recorded
 //!   `unattributed` / `reconciles` fields match what the numbers
 //!   actually say.
+//! * the flight dump (when given): every retained entry carries a
+//!   16-hex trace id, its span ids are unique, parent links resolve
+//!   inside the entry (or to the serving run span outside it), children
+//!   nest inside their parent's interval, and every slow-ring entry has
+//!   a `request` span — so `/v1/debug/flight` output is always a
+//!   causally well-formed tree, never a soup of orphaned spans.
 //!
 //! The gate is structural, not statistical: it holds on any workload, so
 //! there is no baseline and no tolerance.
@@ -27,7 +34,7 @@ use std::process::ExitCode;
 
 fn die(msg: &str) -> ExitCode {
     eprintln!("obs_check: {msg}");
-    eprintln!("usage: obs_check <chrome_trace.json> <cost.json>");
+    eprintln!("usage: obs_check <chrome_trace.json> <cost.json> [flight.json]");
     ExitCode::from(2)
 }
 
@@ -229,14 +236,118 @@ fn check_cost(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One reconstructed span from a flight entry's `spans` array.
+struct FlightSpanRow {
+    parent: u64,
+    start: u64,
+    end: u64,
+    name: String,
+}
+
+/// Validate one flight entry's span tree; returns its span count.
+fn check_flight_entry(entry: &serde_json::Value, ctx: &str) -> Result<usize, String> {
+    let trace = entry
+        .get("trace")
+        .and_then(|t| t.as_str())
+        .ok_or_else(|| format!("{ctx} has no trace id"))?;
+    if trace.len() != 16 || !trace.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("{ctx} trace id {trace:?} is not 16 hex digits"));
+    }
+    let status = u64_field(entry, "status", ctx)?;
+    u64_field(entry, "latency_micros", ctx)?;
+    let rows = entry
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .ok_or_else(|| format!("{ctx} has no spans array"))?;
+
+    let mut spans: HashMap<u64, FlightSpanRow> = HashMap::new();
+    for (j, row) in rows.iter().enumerate() {
+        let rctx = format!("{ctx} span {j}");
+        let id = u64_field(row, "id", &rctx)?;
+        let span = FlightSpanRow {
+            parent: u64_field(row, "parent", &rctx)?,
+            start: u64_field(row, "start_micros", &rctx)?,
+            end: u64_field(row, "end_micros", &rctx)?,
+            name: row
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or_else(|| format!("{rctx} has no name"))?
+                .to_string(),
+        };
+        if spans.insert(id, span).is_some() {
+            return Err(format!("{ctx} has duplicate span id {id}"));
+        }
+    }
+    // Parent links either resolve inside the entry (and must nest) or
+    // point at the serving run span outside it (a root of this tree).
+    let mut roots = 0usize;
+    for (id, span) in &spans {
+        match spans.get(&span.parent) {
+            None => roots += 1,
+            Some(parent) => {
+                if span.start < parent.start {
+                    return Err(format!(
+                        "{ctx} span {id} ({}) starts before its parent",
+                        span.name
+                    ));
+                }
+                if parent.end != 0 && (span.end == 0 || span.end > parent.end) {
+                    return Err(format!(
+                        "{ctx} span {id} ({}) escapes its closed parent's interval",
+                        span.name
+                    ));
+                }
+            }
+        }
+    }
+    if status == 200 {
+        if !spans.values().any(|s| s.name == "request") {
+            return Err(format!("{ctx} succeeded but has no request span"));
+        }
+        if spans.values().any(|s| s.end == 0) {
+            return Err(format!("{ctx} succeeded but holds an unclosed span"));
+        }
+    }
+    if !spans.is_empty() && roots == 0 {
+        return Err(format!("{ctx} span parents form a cycle (no root)"));
+    }
+    Ok(spans.len())
+}
+
+fn check_flight(path: &str) -> Result<(usize, usize), String> {
+    let doc = load(path)?;
+    let mut entries = 0usize;
+    let mut spans = 0usize;
+    for ring in ["slow", "errors"] {
+        let list = doc
+            .get(ring)
+            .and_then(|e| e.as_array())
+            .ok_or_else(|| format!("{path} has no {ring} array"))?;
+        for (i, entry) in list.iter().enumerate() {
+            spans += check_flight_entry(entry, &format!("{path} {ring}[{i}]"))?;
+            entries += 1;
+        }
+    }
+    if entries == 0 {
+        return Err(format!("{path} retained no requests at all"));
+    }
+    Ok((entries, spans))
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [chrome_path, cost_path] = args.as_slice() else {
-        return Err("expected exactly two artifact paths".into());
+    let (chrome_path, cost_path, flight_path) = match args.as_slice() {
+        [chrome, cost] => (chrome, cost, None),
+        [chrome, cost, flight] => (chrome, cost, Some(flight)),
+        _ => return Err("expected two or three artifact paths".into()),
     };
     let spans = check_chrome(chrome_path)?;
     println!("  chrome trace: {spans} spans, nesting and causal chain intact");
     check_cost(cost_path)?;
+    if let Some(path) = flight_path {
+        let (entries, spans) = check_flight(path)?;
+        println!("  flight dump : {entries} entries, {spans} spans, causally well-formed");
+    }
     Ok(())
 }
 

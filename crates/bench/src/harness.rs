@@ -97,6 +97,13 @@ impl Trace {
     pub fn summary(&self) -> Summary {
         Summary::from_events(&self.recorder.events())
     }
+
+    /// Events evicted from the in-memory recorder's bounded ring: the
+    /// summary above under-counts by exactly this many events (the JSONL
+    /// file keeps everything).
+    pub fn dropped(&self) -> u64 {
+        self.recorder.dropped()
+    }
 }
 
 impl EventSink for Trace {

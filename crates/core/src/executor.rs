@@ -155,6 +155,9 @@ pub struct Executor<'a> {
     /// Fallback parent for query spans on threads with no open span (set
     /// to the run/round span id by the orchestration layers).
     span_scope: AtomicU64,
+    /// Request trace id stamped on cost events and journal records when
+    /// the executor runs inside a served request (empty for batch runs).
+    trace: String,
 }
 
 impl<'a> Executor<'a> {
@@ -177,6 +180,7 @@ impl<'a> Executor<'a> {
             degrade: false,
             journal: None,
             span_scope: AtomicU64::new(SpanId::NONE.0),
+            trace: String::new(),
         }
     }
 
@@ -218,6 +222,15 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Stamp `trace` (a served request's 16-hex trace id) on this
+    /// executor's cost events and journal records. The id never enters
+    /// [`QueryRecord`] itself, so served records stay bit-identical to
+    /// batch records.
+    pub fn with_trace(mut self, trace: String) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// If the journal already holds a completed record for `v`, replay it:
     /// emit [`Event::QueryReplayed`] and return the record without touching
     /// the model or the meter.
@@ -230,7 +243,7 @@ impl<'a> Executor<'a> {
     /// Append a freshly completed record to the journal, if one is attached.
     pub fn journal_record(&self, rec: &QueryRecord) {
         if let Some(j) = self.journal {
-            j.record(rec);
+            j.record_traced(rec, &self.trace);
         }
     }
 
@@ -507,6 +520,7 @@ impl<'a> Executor<'a> {
                 starved_tokens: starved,
                 failed_tokens: failed,
                 enrichment_tokens,
+                trace: self.trace.clone(),
             });
         }
         drop(query_span);

@@ -88,7 +88,15 @@ impl RunHeader {
 /// Serialize one final record as a journal line (also the `--dump-records`
 /// format, so resume comparisons diff the exact bytes the journal stores).
 pub fn record_to_json(r: &QueryRecord) -> Value {
-    json!({
+    record_to_json_traced(r, "")
+}
+
+/// [`record_to_json`] plus a `"trace"` key carrying the served request's
+/// trace id when `trace` is non-empty. [`record_from_json`] ignores
+/// unknown keys, so traced journals replay identically to untraced ones —
+/// the trace annotates the line without entering the [`QueryRecord`].
+pub fn record_to_json_traced(r: &QueryRecord, trace: &str) -> Value {
+    let mut v = json!({
         "kind": "record",
         "node": r.node.0,
         "predicted": r.predicted.0,
@@ -101,7 +109,13 @@ pub fn record_to_json(r: &QueryRecord) -> Value {
         "parse_failed": r.parse_failed,
         "budget_starved": r.budget_starved,
         "failure": r.failure,
-    })
+    });
+    if !trace.is_empty() {
+        if let Value::Object(o) = &mut v {
+            o.insert("trace".into(), Value::String(trace.to_string()));
+        }
+    }
+    v
 }
 
 /// Parse a record line written by [`record_to_json`]; `None` when the
@@ -238,8 +252,15 @@ impl RunJournal {
     /// must not fail silently (a missing record re-bills tokens on
     /// resume), so an I/O error here is fatal.
     pub fn record(&self, rec: &QueryRecord) {
-        let mut line =
-            serde_json::to_string(&record_to_json(rec)).expect("record serialization");
+        self.record_traced(rec, "");
+    }
+
+    /// [`record`](Self::record) with a request trace id annotated on the
+    /// journal line (omitted when empty). Replay ignores the extra key, so
+    /// traced and untraced journals resume identically.
+    pub fn record_traced(&self, rec: &QueryRecord, trace: &str) {
+        let mut line = serde_json::to_string(&record_to_json_traced(rec, trace))
+            .expect("record serialization");
         line.push('\n');
         let mut inner = self.inner.lock();
         inner.file.write_all(line.as_bytes()).expect("journal append failed");
@@ -330,6 +351,23 @@ mod tests {
         assert_eq!(j.replay(NodeId(2)), Some(failed));
         assert_eq!(j.replay(NodeId(1)), None, "node 1 never completed");
         assert_eq!(j.replayed(), 2);
+    }
+
+    #[test]
+    fn traced_records_annotate_the_line_and_replay_identically() {
+        let path = tmp("traced.jsonl");
+        let j = RunJournal::create(&path, &header()).unwrap();
+        j.record_traced(&record(0), "00f1e2d3c4b5a697");
+        j.record_traced(&record(1), "");
+        drop(j);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"trace\":\"00f1e2d3c4b5a697\""), "got: {text}");
+        assert_eq!(text.matches("\"trace\"").count(), 1, "empty trace must not emit a key");
+
+        let j = RunJournal::resume(&path, &header()).unwrap();
+        assert_eq!(j.replay(NodeId(0)), Some(record(0)), "trace key is replay-inert");
+        assert_eq!(j.replay(NodeId(1)), Some(record(1)));
     }
 
     #[test]

@@ -290,6 +290,7 @@ mod tests {
             starved_tokens: starved,
             failed_tokens: 0,
             enrichment_tokens: 2,
+            trace: String::new(),
         }
     }
 
@@ -348,6 +349,7 @@ mod tests {
             starved_tokens: 0,
             failed_tokens: 200,
             enrichment_tokens: 0,
+            trace: String::new(),
         });
         assert!(rc.conserves(), "rendered 240 = pruned 40 + failed 200 + billed 0");
         assert_eq!(rc.failed_tokens, 200);

@@ -205,6 +205,11 @@ pub enum Event {
         /// Tokens the final prompt spends on Algorithm 2 pseudo-label
         /// cue lines (a subset of `billed_tokens`, not a separate flow).
         enrichment_tokens: u64,
+        /// Request trace id when the query ran inside a served request
+        /// (16 lowercase hex digits); empty for batch runs. Joins the
+        /// cost ledger line to the request's span tree and journal
+        /// record.
+        trace: String,
     },
 }
 
@@ -369,6 +374,7 @@ impl Event {
                 starved_tokens,
                 failed_tokens,
                 enrichment_tokens,
+                trace,
             } => {
                 let _ = write!(
                     s,
@@ -380,6 +386,10 @@ impl Event {
                      \"failed_tokens\":{failed_tokens},\
                      \"enrichment_tokens\":{enrichment_tokens}"
                 );
+                if !trace.is_empty() {
+                    s.push_str(",\"trace\":");
+                    escape_json(&mut s, trace);
+                }
             }
         }
         s.push('}');
@@ -519,6 +529,7 @@ mod tests {
                     starved_tokens: 0,
                     failed_tokens: 0,
                     enrichment_tokens: 12,
+                    trace: "00f1e2d3c4b5a697".into(),
                 },
                 "query_cost",
             ),

@@ -389,6 +389,8 @@ pub struct HttpClient {
     line: String,
     write_buf: Vec<u8>,
     body_buf: Vec<u8>,
+    /// Headers of the last response, in arrival order (names lowercased).
+    resp_headers: Vec<(String, String)>,
     /// Set when the last response said `Connection: close` (or the
     /// stream died): the next request must reconnect.
     dead: bool,
@@ -403,6 +405,7 @@ impl HttpClient {
             line: String::with_capacity(256),
             write_buf: Vec::with_capacity(512),
             body_buf: Vec::new(),
+            resp_headers: Vec::new(),
             dead: false,
             addr,
         })
@@ -426,6 +429,25 @@ impl HttpClient {
         self.request("POST", path, Some(body), false)
     }
 
+    /// Blocking `POST` carrying one extra request header (e.g. a
+    /// caller-supplied trace id).
+    pub fn post_with_header(
+        &mut self,
+        path: &str,
+        body: &str,
+        header: (&str, &str),
+    ) -> io::Result<(String, String)> {
+        self.request_full("POST", path, Some(body), false, Some(header))
+    }
+
+    /// A header of the last response, by case-insensitive name.
+    pub fn last_header(&self, name: &str) -> Option<&str> {
+        self.resp_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// One request/response exchange. `close` asks the server to close
     /// afterwards (used by the one-shot helpers).
     fn request(
@@ -435,12 +457,26 @@ impl HttpClient {
         body: Option<&str>,
         close: bool,
     ) -> io::Result<(String, String)> {
+        self.request_full(method, path, body, close, None)
+    }
+
+    fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+        extra_header: Option<(&str, &str)>,
+    ) -> io::Result<(String, String)> {
         if self.dead {
             self.reader = BufReader::with_capacity(16 * 1024, Self::open(self.addr)?);
             self.dead = false;
         }
         self.write_buf.clear();
         let _ = write!(self.write_buf, "{method} {path} HTTP/1.1\r\nHost: mqo\r\n");
+        if let Some((name, value)) = extra_header {
+            let _ = write!(self.write_buf, "{name}: {value}\r\n");
+        }
         if let Some(body) = body {
             let _ = write!(
                 self.write_buf,
@@ -480,6 +516,7 @@ impl HttpClient {
 
         let mut content_length: Option<usize> = None;
         let mut server_closes = close;
+        self.resp_headers.clear();
         loop {
             self.line.clear();
             if self.reader.read_line(&mut self.line)? == 0 {
@@ -493,6 +530,7 @@ impl HttpClient {
                 return Err(invalid("malformed response header"));
             };
             let (name, value) = (name.trim(), value.trim());
+            self.resp_headers.push((name.to_ascii_lowercase(), value.to_string()));
             if name.eq_ignore_ascii_case("content-length") {
                 let parsed: usize =
                     value.parse().map_err(|_| invalid("bad response content-length"))?;

@@ -28,6 +28,11 @@
 //! - [`CostLedger`] — the token-cost attribution ledger: where every
 //!   prompt token went (billed, pruned, cache-saved, starved), reconciled
 //!   exactly against the usage meter.
+//! - [`FlightRecorder`] — tail-sampled per-request span trees: the N
+//!   slowest and all recent error requests, with trace ids, for
+//!   `GET /v1/debug/flight`.
+//! - [`SloTracker`] — per-tenant rolling good/bad windows and error-budget
+//!   burn rates against a configured latency/availability objective.
 //! - [`Histogram`] / [`Counter`] / [`Gauge`] — fixed-bucket, lock-free
 //!   aggregation primitives.
 //! - [`Summary`] — the one-screen digest (p50/p99 prompt tokens, retry
@@ -54,11 +59,13 @@ mod chrome;
 mod clock;
 mod cost;
 mod event;
+mod flight;
 mod http;
 pub mod httpd;
 mod metrics;
 mod registry;
 mod sink;
+mod slo;
 mod span;
 mod summary;
 
@@ -66,12 +73,17 @@ pub use chrome::ChromeTraceSink;
 pub use clock::{Clock, ManualClock, MonotonicClock, WaitClock, MONOTONIC_CLOCK};
 pub use cost::{CostLedger, CostReport, RoundCost};
 pub use event::Event;
+pub use flight::{spans_from_events, FlightEntry, FlightRecorder, FlightSpan};
 pub use http::MetricsServer;
 pub use httpd::{http_get, http_post};
 pub use metrics::{Counter, Gauge, Histogram};
-pub use registry::{MetricsSink, Registry};
+pub use registry::{CounterVec, GaugeVec, HistogramVec, MetricsSink, Registry};
 pub use sink::{
     EventSink, Fanout, FileSink, NullSink, Recorder, Tee, NULL_SINK, RECORDER_DEFAULT_CAPACITY,
+};
+pub use slo::{
+    SloConfig, SloReport, SloTracker, TenantSlo, WindowSlo, LONG_WINDOW_MICROS,
+    SHORT_WINDOW_MICROS,
 };
 pub use span::{set_thread_track, thread_track, SpanGuard, SpanId, Tracer, DISABLED_TRACER};
 pub use summary::Summary;

@@ -21,6 +21,7 @@ use crate::metrics::{Counter, Gauge, Histogram};
 use crate::sink::EventSink;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One registered metric.
 #[derive(Clone)]
@@ -28,6 +29,9 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    CounterVec(Arc<CounterVec>),
+    GaugeVec(Arc<GaugeVec>),
+    HistogramVec(Arc<HistogramVec>),
 }
 
 struct Entry {
@@ -38,9 +42,15 @@ struct Entry {
 
 /// A collection of named metrics, rendered for scraping. Registration is
 /// get-or-create: two callers registering the same name share one metric.
-#[derive(Default)]
 pub struct Registry {
     entries: Mutex<Vec<Entry>>,
+    start: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry { entries: Mutex::new(Vec::new()), start: Instant::now() }
+    }
 }
 
 fn assert_metric_name(name: &str) {
@@ -50,6 +60,187 @@ fn assert_metric_name(name: &str) {
         head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
         "invalid Prometheus metric name: {name:?}"
     );
+}
+
+fn assert_label_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "invalid Prometheus label name: {name:?}"
+    );
+}
+
+/// Append `v` escaped per the Prometheus exposition rules for label
+/// values: backslash, double-quote, and line-feed are escaped; everything
+/// else (including other control characters and unicode) passes through.
+fn escape_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append `{a="x",b="y"}` (plus an optional extra pair — the histogram
+/// `le` bound) onto `out`. Writes nothing when both are empty.
+fn write_label_set(
+    out: &mut String,
+    names: &[String],
+    values: &[String],
+    extra: Option<(&str, &str)>,
+) {
+    if names.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (n, v) in names.iter().zip(values) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    if let Some((n, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(n);
+        out.push_str("=\"");
+        // `le` bounds are numeric or `+Inf`; nothing to escape.
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// A family of [`Counter`]s distinguished by label values. The label
+/// *names* are fixed at registration; each distinct value tuple gets its
+/// own child counter on first use and shares it thereafter.
+///
+/// Children live in a linear-scanned `Mutex<Vec>`: callers are expected to
+/// keep cardinality small and bounded (routes, tenants, status classes) —
+/// hot paths should cache the child `Arc` rather than re-resolve per
+/// event when the labels are known up front.
+pub struct CounterVec {
+    label_names: Vec<String>,
+    children: Mutex<Vec<(Vec<String>, Arc<Counter>)>>,
+}
+
+impl CounterVec {
+    fn new(label_names: &[&str]) -> Self {
+        assert!(!label_names.is_empty(), "a labeled family needs at least one label");
+        label_names.iter().for_each(|n| assert_label_name(n));
+        CounterVec {
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            children: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Get or create the child for one label-value tuple. Panics if the
+    /// tuple arity does not match the registered label names.
+    pub fn with(&self, values: &[&str]) -> Arc<Counter> {
+        assert_eq!(values.len(), self.label_names.len(), "label value arity mismatch");
+        let mut children = self.children.lock().expect("counter vec lock");
+        if let Some((_, c)) = children
+            .iter()
+            .find(|(v, _)| v.iter().map(String::as_str).eq(values.iter().copied()))
+        {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        children.push((values.iter().map(|s| s.to_string()).collect(), c.clone()));
+        c
+    }
+
+    fn snapshot(&self) -> Vec<(Vec<String>, Arc<Counter>)> {
+        self.children.lock().expect("counter vec lock").clone()
+    }
+}
+
+/// A family of [`Gauge`]s distinguished by label values (see
+/// [`CounterVec`] for the cardinality contract).
+pub struct GaugeVec {
+    label_names: Vec<String>,
+    children: Mutex<Vec<(Vec<String>, Arc<Gauge>)>>,
+}
+
+impl GaugeVec {
+    fn new(label_names: &[&str]) -> Self {
+        assert!(!label_names.is_empty(), "a labeled family needs at least one label");
+        label_names.iter().for_each(|n| assert_label_name(n));
+        GaugeVec {
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            children: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Get or create the child for one label-value tuple.
+    pub fn with(&self, values: &[&str]) -> Arc<Gauge> {
+        assert_eq!(values.len(), self.label_names.len(), "label value arity mismatch");
+        let mut children = self.children.lock().expect("gauge vec lock");
+        if let Some((_, g)) = children
+            .iter()
+            .find(|(v, _)| v.iter().map(String::as_str).eq(values.iter().copied()))
+        {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::new());
+        children.push((values.iter().map(|s| s.to_string()).collect(), g.clone()));
+        g
+    }
+
+    fn snapshot(&self) -> Vec<(Vec<String>, Arc<Gauge>)> {
+        self.children.lock().expect("gauge vec lock").clone()
+    }
+}
+
+/// A family of [`Histogram`]s distinguished by label values. Every child
+/// shares the bucket layout fixed at registration, so the family renders
+/// as one Prometheus histogram with `le` merged into each child's label
+/// set (see [`CounterVec`] for the cardinality contract).
+pub struct HistogramVec {
+    label_names: Vec<String>,
+    bounds: Vec<u64>,
+    children: Mutex<Vec<(Vec<String>, Arc<Histogram>)>>,
+}
+
+impl HistogramVec {
+    fn new(label_names: &[&str], bounds: Vec<u64>) -> Self {
+        assert!(!label_names.is_empty(), "a labeled family needs at least one label");
+        label_names.iter().for_each(|n| assert_label_name(n));
+        HistogramVec {
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            bounds,
+            children: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Get or create the child for one label-value tuple.
+    pub fn with(&self, values: &[&str]) -> Arc<Histogram> {
+        assert_eq!(values.len(), self.label_names.len(), "label value arity mismatch");
+        let mut children = self.children.lock().expect("histogram vec lock");
+        if let Some((_, h)) = children
+            .iter()
+            .find(|(v, _)| v.iter().map(String::as_str).eq(values.iter().copied()))
+        {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new(self.bounds.clone()));
+        children.push((values.iter().map(|s| s.to_string()).collect(), h.clone()));
+        h
+    }
+
+    fn snapshot(&self) -> Vec<(Vec<String>, Arc<Histogram>)> {
+        self.children.lock().expect("histogram vec lock").clone()
+    }
 }
 
 impl Registry {
@@ -100,10 +291,64 @@ impl Registry {
         }
     }
 
+    /// Register (or fetch) a labeled counter family. `label_names` is
+    /// fixed on first registration; children come from
+    /// [`CounterVec::with`].
+    pub fn counter_vec(&self, name: &str, help: &str, label_names: &[&str]) -> Arc<CounterVec> {
+        match self.get_or_insert(name, help, || {
+            Metric::CounterVec(Arc::new(CounterVec::new(label_names)))
+        }) {
+            Metric::CounterVec(c) => c,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a labeled gauge family.
+    pub fn gauge_vec(&self, name: &str, help: &str, label_names: &[&str]) -> Arc<GaugeVec> {
+        match self.get_or_insert(name, help, || {
+            Metric::GaugeVec(Arc::new(GaugeVec::new(label_names)))
+        }) {
+            Metric::GaugeVec(g) => g,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a labeled histogram family; every child shares
+    /// the `bounds` bucket layout fixed on first registration.
+    pub fn histogram_vec(
+        &self,
+        name: &str,
+        help: &str,
+        label_names: &[&str],
+        bounds: impl FnOnce() -> Vec<u64>,
+    ) -> Arc<HistogramVec> {
+        match self.get_or_insert(name, help, || {
+            Metric::HistogramVec(Arc::new(HistogramVec::new(label_names, bounds())))
+        }) {
+            Metric::HistogramVec(h) => h,
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Seconds since this registry was created — the scrape-time value of
+    /// `mqo_uptime_seconds`.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
     /// Render every metric in the Prometheus text exposition format, in
-    /// registration order.
+    /// registration order. Labeled families render one HELP/TYPE header
+    /// and one line per child, with label values escaped per the
+    /// exposition rules.
     pub fn render_prometheus(&self) -> String {
         let entries = self.entries.lock().expect("registry lock");
+        // The uptime gauge reads wall-clock-at-scrape, not at-update:
+        // refresh it (when registered) before rendering.
+        if let Some(e) = entries.iter().find(|e| e.name == "mqo_uptime_seconds") {
+            if let Metric::Gauge(g) = &e.metric {
+                g.set(self.start.elapsed().as_secs());
+            }
+        }
         let mut out = String::with_capacity(64 * entries.len());
         for e in entries.iter() {
             let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
@@ -124,6 +369,52 @@ impl Registry {
                     let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, h.count());
                     let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
                     let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+                Metric::CounterVec(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    for (values, c) in v.snapshot() {
+                        out.push_str(&e.name);
+                        write_label_set(&mut out, &v.label_names, &values, None);
+                        let _ = writeln!(out, " {}", c.get());
+                    }
+                }
+                Metric::GaugeVec(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    for (values, g) in v.snapshot() {
+                        out.push_str(&e.name);
+                        write_label_set(&mut out, &v.label_names, &values, None);
+                        let _ = writeln!(out, " {}", g.get());
+                    }
+                }
+                Metric::HistogramVec(v) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    for (values, h) in v.snapshot() {
+                        for (le, cumulative) in h.cumulative_buckets() {
+                            let _ = write!(out, "{}_bucket", e.name);
+                            let le = le.to_string();
+                            write_label_set(
+                                &mut out,
+                                &v.label_names,
+                                &values,
+                                Some(("le", &le)),
+                            );
+                            let _ = writeln!(out, " {cumulative}");
+                        }
+                        let _ = write!(out, "{}_bucket", e.name);
+                        write_label_set(
+                            &mut out,
+                            &v.label_names,
+                            &values,
+                            Some(("le", "+Inf")),
+                        );
+                        let _ = writeln!(out, " {}", h.count());
+                        let _ = write!(out, "{}_sum", e.name);
+                        write_label_set(&mut out, &v.label_names, &values, None);
+                        let _ = writeln!(out, " {}", h.sum());
+                        let _ = write!(out, "{}_count", e.name);
+                        write_label_set(&mut out, &v.label_names, &values, None);
+                        let _ = writeln!(out, " {}", h.count());
+                    }
                 }
             }
         }
@@ -170,6 +461,7 @@ pub struct MetricsSink {
     queries_failed: Arc<Counter>,
     workers_lost: Arc<Counter>,
     queries_replayed: Arc<Counter>,
+    events_dropped: Arc<Counter>,
 }
 
 impl Default for MetricsSink {
@@ -277,13 +569,36 @@ impl MetricsSink {
                 "mqo_queries_replayed_total",
                 "Queries served from the run journal on resume",
             ),
-            registry,
+            events_dropped: r.counter(
+                "mqo_events_dropped_total",
+                "Telemetry events evicted from bounded recorder rings",
+            ),
+            registry: {
+                // Scrape-identity series: which build is up and for how
+                // long. The uptime gauge is refreshed at render time.
+                let build = registry.gauge_vec(
+                    "mqo_build_info",
+                    "Build information (value is always 1)",
+                    &["version"],
+                );
+                build.with(&[env!("CARGO_PKG_VERSION")]).set(1);
+                let _ = registry
+                    .gauge("mqo_uptime_seconds", "Seconds since the metrics registry came up");
+                registry
+            },
         }
     }
 
     /// The registry this sink feeds.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Fold ring-buffer evictions into `mqo_events_dropped_total`. Callers
+    /// poll [`crate::Recorder::dropped`] (once per run, or per transient
+    /// collector) and add the count here.
+    pub fn add_events_dropped(&self, n: u64) {
+        self.events_dropped.add(n);
     }
 
     /// Compact machine-readable snapshot for `GET /progress`: enough to
@@ -444,6 +759,97 @@ mod tests {
     }
 
     #[test]
+    fn labeled_families_render_one_line_per_child() {
+        let r = Registry::new();
+        let reqs = r.counter_vec("mqo_reqs_total", "requests", &["route", "tenant"]);
+        reqs.with(&["/v1/classify", "acme"]).add(3);
+        reqs.with(&["/v1/classify", "zipf"]).inc();
+        reqs.with(&["/metrics", "-"]).inc();
+        let burn = r.gauge_vec("mqo_burn", "burn rate", &["tenant"]);
+        burn.with(&["acme"]).set(1500);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE mqo_reqs_total counter").count(), 1);
+        assert!(text.contains("mqo_reqs_total{route=\"/v1/classify\",tenant=\"acme\"} 3"));
+        assert!(text.contains("mqo_reqs_total{route=\"/v1/classify\",tenant=\"zipf\"} 1"));
+        assert!(text.contains("mqo_reqs_total{route=\"/metrics\",tenant=\"-\"} 1"));
+        assert!(text.contains("mqo_burn{tenant=\"acme\"} 1500"));
+    }
+
+    #[test]
+    fn labeled_children_are_get_or_create() {
+        let r = Registry::new();
+        let v = r.counter_vec("mqo_shared_vec_total", "shared", &["k"]);
+        v.with(&["a"]).inc();
+        v.with(&["a"]).inc();
+        assert_eq!(v.with(&["a"]).get(), 2, "same underlying child");
+        let again = r.counter_vec("mqo_shared_vec_total", "shared", &["ignored"]);
+        again.with(&["a"]).inc();
+        assert_eq!(v.with(&["a"]).get(), 3, "family itself is get-or-create");
+    }
+
+    #[test]
+    fn histogram_vec_merges_le_into_label_sets() {
+        let r = Registry::new();
+        let h = r.histogram_vec("mqo_lat", "latency", &["route"], || vec![10, 20]);
+        h.with(&["/v1/classify"]).record(5);
+        h.with(&["/v1/classify"]).record(15);
+        h.with(&["/v1/classify"]).record(99);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE mqo_lat histogram").count(), 1);
+        assert!(text.contains("mqo_lat_bucket{route=\"/v1/classify\",le=\"10\"} 1"));
+        assert!(text.contains("mqo_lat_bucket{route=\"/v1/classify\",le=\"20\"} 2"));
+        assert!(text.contains("mqo_lat_bucket{route=\"/v1/classify\",le=\"+Inf\"} 3"));
+        assert!(text.contains("mqo_lat_sum{route=\"/v1/classify\"} 119"));
+        assert!(text.contains("mqo_lat_count{route=\"/v1/classify\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let v = r.counter_vec("mqo_esc_total", "escapes", &["who"]);
+        v.with(&["a\"b\\c\nd"]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("mqo_esc_total{who=\"a\\\"b\\\\c\\nd\"} 1"), "got: {text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn label_arity_mismatch_is_rejected() {
+        let r = Registry::new();
+        let v = r.counter_vec("mqo_arity_total", "x", &["a", "b"]);
+        let _ = v.with(&["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    fn bad_label_names_are_rejected() {
+        let _ = Registry::new().counter_vec("mqo_ok_total", "x", &["bad-name"]);
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_registered_by_the_sink() {
+        let sink = MetricsSink::new();
+        let text = sink.registry().render_prometheus();
+        assert!(
+            text.contains(&format!(
+                "mqo_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "got: {text}"
+        );
+        assert!(text.contains("# TYPE mqo_uptime_seconds gauge"));
+        assert!(text.contains("mqo_uptime_seconds "));
+    }
+
+    #[test]
+    fn events_dropped_total_accumulates() {
+        let sink = MetricsSink::new();
+        sink.add_events_dropped(0);
+        sink.add_events_dropped(7);
+        assert!(sink.registry().render_prometheus().contains("mqo_events_dropped_total 7"));
+    }
+
+    #[test]
     fn sink_turns_events_into_series() {
         let sink = MetricsSink::new();
         sink.emit(&Event::QueryExecuted {
@@ -469,6 +875,7 @@ mod tests {
             starved_tokens: 0,
             failed_tokens: 0,
             enrichment_tokens: 8,
+            trace: String::new(),
         });
         let text = sink.registry().render_prometheus();
         assert!(text.contains("mqo_queries_total 1"));

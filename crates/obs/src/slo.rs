@@ -1,0 +1,437 @@
+//! Per-tenant SLO tracking: rolling good/bad windows and burn rates.
+//!
+//! An SLO here is the standard two-part serving objective:
+//!
+//! - **availability** — the fraction of requests that must be *good*
+//!   (e.g. `0.999` leaves a 0.1% error budget), and
+//! - an optional **latency target** — a request slower than the target
+//!   is bad even when it succeeded.
+//!
+//! A request is **bad** when the server failed it (status ≥ 500) or it
+//! breached the latency target; client-caused rejections (4xx, including
+//! budget 429s) spend no error budget — the server did its job. Every
+//! request lands in two rolling windows per tenant (short ≈ 1 min, long
+//! ≈ 10 min), each a bucketed ring rotated by the injected
+//! [`Clock`] — a [`crate::ManualClock`] rotates them deterministically
+//! under test, no wall-clock sleeps.
+//!
+//! The **burn rate** of a window is `bad_ratio / (1 − availability)`:
+//! burn 1.0 means the error budget is being spent exactly as fast as it
+//! accrues; above 1.0 the SLO will be violated if the rate holds. The
+//! short window catches fast burns (page), the long window slow leaks
+//! (ticket) — the multiwindow alerting shape from the SRE workbook.
+
+use crate::clock::Clock;
+use crate::registry::{CounterVec, GaugeVec, Registry};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The configured objective.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Latency target in microseconds; 0 disables the latency objective
+    /// (only server failures are bad).
+    pub p99_target_micros: u64,
+    /// Required good fraction, e.g. `0.999`. Values ≥ 1 are clamped to
+    /// an infinitesimal error budget (everything burns fast).
+    pub availability: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { p99_target_micros: 0, availability: 0.999 }
+    }
+}
+
+/// Short window span: 60 s in 12 five-second buckets.
+pub const SHORT_WINDOW_MICROS: u64 = 60_000_000;
+const SHORT_BUCKETS: usize = 12;
+/// Long window span: 600 s in 30 twenty-second buckets.
+pub const LONG_WINDOW_MICROS: u64 = 600_000_000;
+const LONG_BUCKETS: usize = 30;
+
+/// A rolling window as a ring of good/bad buckets keyed by absolute
+/// bucket index. Rotation clears buckets skipped since the last touch,
+/// so an idle window decays to empty the moment it is next read.
+struct Ring {
+    bucket_micros: u64,
+    good: Vec<u64>,
+    bad: Vec<u64>,
+    head: u64,
+}
+
+impl Ring {
+    fn new(window_micros: u64, buckets: usize) -> Self {
+        Ring {
+            bucket_micros: window_micros / buckets as u64,
+            good: vec![0; buckets],
+            bad: vec![0; buckets],
+            head: 0,
+        }
+    }
+
+    fn rotate(&mut self, now_micros: u64) {
+        let now_bucket = now_micros / self.bucket_micros;
+        if now_bucket <= self.head {
+            return;
+        }
+        let n = self.good.len() as u64;
+        for step in 1..=(now_bucket - self.head).min(n) {
+            let idx = ((self.head + step) % n) as usize;
+            self.good[idx] = 0;
+            self.bad[idx] = 0;
+        }
+        self.head = now_bucket;
+    }
+
+    fn observe(&mut self, now_micros: u64, good: bool) {
+        self.rotate(now_micros);
+        let idx = ((now_micros / self.bucket_micros) % self.good.len() as u64) as usize;
+        if good {
+            self.good[idx] += 1;
+        } else {
+            self.bad[idx] += 1;
+        }
+    }
+
+    fn totals(&mut self, now_micros: u64) -> (u64, u64) {
+        self.rotate(now_micros);
+        (self.good.iter().sum(), self.bad.iter().sum())
+    }
+}
+
+struct TenantState {
+    short: Ring,
+    long: Ring,
+}
+
+impl TenantState {
+    fn new() -> Self {
+        TenantState {
+            short: Ring::new(SHORT_WINDOW_MICROS, SHORT_BUCKETS),
+            long: Ring::new(LONG_WINDOW_MICROS, LONG_BUCKETS),
+        }
+    }
+}
+
+struct Gauges {
+    burn_short: Arc<GaugeVec>,
+    burn_long: Arc<GaugeVec>,
+    good: Arc<CounterVec>,
+    bad: Arc<CounterVec>,
+}
+
+/// One window's totals and burn rate in a [`SloReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSlo {
+    /// Good requests currently inside the window.
+    pub good: u64,
+    /// Bad requests currently inside the window.
+    pub bad: u64,
+    /// `bad_ratio / error_budget`; 0 when the window is empty.
+    pub burn_rate: f64,
+}
+
+/// One tenant's SLO standing.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// Tenant name (`-` for requests with no tenant).
+    pub tenant: String,
+    /// The ~1-minute window.
+    pub short: WindowSlo,
+    /// The ~10-minute window.
+    pub long: WindowSlo,
+}
+
+/// A point-in-time report over every tenant seen.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// The objective in effect.
+    pub config: SloConfig,
+    /// Per-tenant standings, in first-seen order.
+    pub tenants: Vec<TenantSlo>,
+}
+
+/// The tracker: one pair of rolling windows per tenant, burn-rate gauges
+/// refreshed on every observation.
+pub struct SloTracker {
+    cfg: SloConfig,
+    clock: Arc<dyn Clock>,
+    tenants: Mutex<Vec<(String, TenantState)>>,
+    gauges: Option<Gauges>,
+}
+
+impl SloTracker {
+    /// A tracker reading window time from `clock`.
+    pub fn new(cfg: SloConfig, clock: Arc<dyn Clock>) -> Self {
+        SloTracker { cfg, clock, tenants: Mutex::new(Vec::new()), gauges: None }
+    }
+
+    /// Also surface standings as registry series: per-tenant
+    /// `mqo_slo_good_total` / `mqo_slo_bad_total` counters and
+    /// `mqo_slo_burn_rate_{short,long}_milli` gauges (burn × 1000,
+    /// because gauges are integers: 1000 = burning exactly at budget).
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.gauges = Some(Gauges {
+            burn_short: registry.gauge_vec(
+                "mqo_slo_burn_rate_short_milli",
+                "Short-window (1m) error-budget burn rate x1000",
+                &["tenant"],
+            ),
+            burn_long: registry.gauge_vec(
+                "mqo_slo_burn_rate_long_milli",
+                "Long-window (10m) error-budget burn rate x1000",
+                &["tenant"],
+            ),
+            good: registry.counter_vec(
+                "mqo_slo_good_total",
+                "Requests meeting the SLO",
+                &["tenant"],
+            ),
+            bad: registry.counter_vec(
+                "mqo_slo_bad_total",
+                "Requests spending error budget",
+                &["tenant"],
+            ),
+        });
+        self
+    }
+
+    /// The objective in effect.
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    fn error_budget(&self) -> f64 {
+        (1.0 - self.cfg.availability).max(1e-9)
+    }
+
+    fn is_good(&self, status: u16, latency_micros: u64) -> bool {
+        if status >= 500 {
+            return false;
+        }
+        self.cfg.p99_target_micros == 0 || latency_micros <= self.cfg.p99_target_micros
+    }
+
+    fn burn(&self, good: u64, bad: u64) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.error_budget()
+    }
+
+    /// Record one finished request for `tenant`.
+    pub fn observe(&self, tenant: &str, status: u16, latency_micros: u64) {
+        let good = self.is_good(status, latency_micros);
+        let now = self.clock.now_micros();
+        let (sg, sb, lg, lb) = {
+            let mut tenants = self.tenants.lock().expect("slo lock");
+            let state = match tenants.iter_mut().find(|(t, _)| t == tenant) {
+                Some((_, s)) => s,
+                None => {
+                    tenants.push((tenant.to_string(), TenantState::new()));
+                    &mut tenants.last_mut().expect("just pushed").1
+                }
+            };
+            state.short.observe(now, good);
+            state.long.observe(now, good);
+            let (sg, sb) = state.short.totals(now);
+            let (lg, lb) = state.long.totals(now);
+            (sg, sb, lg, lb)
+        };
+        if let Some(g) = &self.gauges {
+            if good {
+                g.good.with(&[tenant]).inc();
+            } else {
+                g.bad.with(&[tenant]).inc();
+            }
+            g.burn_short.with(&[tenant]).set((self.burn(sg, sb) * 1000.0).round() as u64);
+            g.burn_long.with(&[tenant]).set((self.burn(lg, lb) * 1000.0).round() as u64);
+        }
+    }
+
+    /// Current standings for every tenant (windows rotated to now).
+    pub fn report(&self) -> SloReport {
+        let now = self.clock.now_micros();
+        let mut tenants = self.tenants.lock().expect("slo lock");
+        let rows = tenants
+            .iter_mut()
+            .map(|(name, state)| {
+                let (sg, sb) = state.short.totals(now);
+                let (lg, lb) = state.long.totals(now);
+                TenantSlo {
+                    tenant: name.clone(),
+                    short: WindowSlo { good: sg, bad: sb, burn_rate: self.burn(sg, sb) },
+                    long: WindowSlo { good: lg, bad: lb, burn_rate: self.burn(lg, lb) },
+                }
+            })
+            .collect();
+        SloReport { config: self.cfg, tenants: rows }
+    }
+
+    /// Render the report as JSON for `GET /v1/slo`.
+    pub fn report_json(&self) -> String {
+        let report = self.report();
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"p99_target_micros\":{},\"availability\":{},\"tenants\":[",
+            report.config.p99_target_micros, report.config.availability,
+        );
+        for (i, t) in report.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"tenant\":{},\"short\":{{\"good\":{},\"bad\":{},\"burn_rate\":{:.4}}},\
+                 \"long\":{{\"good\":{},\"bad\":{},\"burn_rate\":{:.4}}}}}",
+                {
+                    let mut q = String::new();
+                    crate::event::escape_json(&mut q, &t.tenant);
+                    q
+                },
+                t.short.good,
+                t.short.bad,
+                t.short.burn_rate,
+                t.long.good,
+                t.long.bad,
+                t.long.burn_rate,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn tracker(p99_ms: u64, availability: f64, clock: Arc<ManualClock>) -> SloTracker {
+        SloTracker::new(SloConfig { p99_target_micros: p99_ms * 1000, availability }, clock)
+    }
+
+    #[test]
+    fn burn_crosses_one_exactly_at_the_configured_ratio() {
+        let clock = Arc::new(ManualClock::new());
+        // 1% error budget: 1 bad in 100 burns at exactly rate 1.
+        let t = tracker(0, 0.99, clock.clone());
+        for _ in 0..99 {
+            t.observe("acme", 200, 500);
+        }
+        t.observe("acme", 503, 500);
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.good, 99);
+        assert_eq!(r.tenants[0].short.bad, 1);
+        assert!(
+            (r.tenants[0].short.burn_rate - 1.0).abs() < 1e-9,
+            "burn at exactly the budget ratio: {}",
+            r.tenants[0].short.burn_rate
+        );
+        // One more bad request tips it over.
+        t.observe("acme", 503, 500);
+        let r = t.report();
+        assert!(r.tenants[0].short.burn_rate > 1.0);
+        // And a clean tenant stays at 0 independently.
+        t.observe("zipf", 200, 500);
+        let r = t.report();
+        let zipf = r.tenants.iter().find(|t| t.tenant == "zipf").unwrap();
+        assert_eq!(zipf.short.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn latency_breaches_spend_error_budget() {
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(1, 0.999, clock); // 1ms target
+        t.observe("acme", 200, 999);
+        t.observe("acme", 200, 1000);
+        t.observe("acme", 200, 1001); // breach
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.good, 2);
+        assert_eq!(r.tenants[0].short.bad, 1);
+        assert!(r.tenants[0].short.burn_rate > 1.0, "1/3 bad vs 0.1% budget");
+    }
+
+    #[test]
+    fn client_errors_spend_no_budget() {
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(0, 0.999, clock);
+        t.observe("acme", 429, 100);
+        t.observe("acme", 400, 100);
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.good, 2, "4xx count as served");
+        assert_eq!(r.tenants[0].short.bad, 0);
+    }
+
+    #[test]
+    fn windows_expire_under_manual_clock_without_sleeps() {
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(0, 0.999, clock.clone());
+        t.observe("acme", 503, 100);
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.bad, 1);
+        assert_eq!(r.tenants[0].long.bad, 1);
+        assert!(r.tenants[0].short.burn_rate > 1.0);
+
+        // Just past the short window: the bad request ages out of the
+        // 1-minute ring but still burns the 10-minute one.
+        clock.advance(SHORT_WINDOW_MICROS + 5_000_000);
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.bad, 0, "short window expired");
+        assert_eq!(r.tenants[0].short.burn_rate, 0.0);
+        assert_eq!(r.tenants[0].long.bad, 1, "long window still holds it");
+        assert!(r.tenants[0].long.burn_rate > 1.0);
+
+        // Past the long window too: clean slate.
+        clock.advance(LONG_WINDOW_MICROS);
+        let r = t.report();
+        assert_eq!(r.tenants[0].long.bad, 0, "long window expired");
+        assert_eq!(r.tenants[0].long.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn rotation_only_clears_skipped_buckets() {
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(0, 0.5, clock.clone());
+        t.observe("acme", 200, 1);
+        // Half the short window later the first observation must survive.
+        clock.advance(SHORT_WINDOW_MICROS / 2);
+        t.observe("acme", 503, 1);
+        let r = t.report();
+        assert_eq!(r.tenants[0].short.good, 1);
+        assert_eq!(r.tenants[0].short.bad, 1);
+        assert!((r.tenants[0].short.burn_rate - 1.0).abs() < 1e-9, "1/2 bad vs 50% budget");
+    }
+
+    #[test]
+    fn registry_series_track_observations() {
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(0, 0.999, clock).with_registry(&registry);
+        t.observe("acme", 200, 1);
+        t.observe("acme", 503, 1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("mqo_slo_good_total{tenant=\"acme\"} 1"), "got: {text}");
+        assert!(text.contains("mqo_slo_bad_total{tenant=\"acme\"} 1"));
+        // 1/2 bad against a 0.1% budget = burn 500; x1000 = 500000.
+        assert!(text.contains("mqo_slo_burn_rate_short_milli{tenant=\"acme\"} 500000"));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let clock = Arc::new(ManualClock::new());
+        let t = tracker(2, 0.999, clock);
+        t.observe("acme", 200, 100);
+        let j = t.report_json();
+        assert!(
+            j.starts_with("{\"p99_target_micros\":2000,\"availability\":0.999,"),
+            "got: {j}"
+        );
+        assert!(j.contains("\"tenant\":\"acme\""));
+        assert!(j.contains("\"short\":{\"good\":1,\"bad\":0,\"burn_rate\":0.0000}"));
+        assert!(!j.contains('\n'));
+    }
+}

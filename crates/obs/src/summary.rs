@@ -372,6 +372,7 @@ mod tests {
                 starved_tokens: 0,
                 failed_tokens: 0,
                 enrichment_tokens: 6,
+                trace: String::new(),
             },
             Event::BackoffWait {
                 consecutive_failures: 1,

@@ -56,6 +56,17 @@ pub struct ServeConfig {
     /// Admission budget for tenants not in [`ServeConfig::tenant_budgets`]
     /// (`None` = unmetered).
     pub default_tenant_budget: Option<u64>,
+    /// Per-tenant SLO latency objective for `/v1/classify` in
+    /// milliseconds (`None` = latency does not burn error budget; only
+    /// 5xx responses do).
+    pub slo_p99_ms: Option<u64>,
+    /// SLO availability objective (e.g. `0.999`): the good-request ratio
+    /// below which burn rate exceeds 1.
+    pub slo_availability: f64,
+    /// Flight-recorder capacity for the slowest successful requests.
+    pub flight_slow: usize,
+    /// Flight-recorder capacity for error responses (4xx/5xx).
+    pub flight_errors: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +86,10 @@ impl Default for ServeConfig {
             trace_chrome: None,
             tenant_budgets: HashMap::new(),
             default_tenant_budget: None,
+            slo_p99_ms: None,
+            slo_availability: 0.999,
+            flight_slow: 32,
+            flight_errors: 64,
         }
     }
 }

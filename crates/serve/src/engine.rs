@@ -25,8 +25,9 @@ use mqo_llm::{
     ResilientLlm, RetryingLlm, SimLlm, ValidatingLlm,
 };
 use mqo_obs::{
-    ChromeTraceSink, CostLedger, Counter, EventSink, Fanout, MetricsSink, MonotonicClock,
-    SpanId, Tracer, WaitClock,
+    ChromeTraceSink, CostLedger, Counter, CounterVec, EventSink, Fanout, FlightRecorder,
+    HistogramVec, MetricsSink, MonotonicClock, SloConfig, SloTracker, SpanId, Tee, Tracer,
+    WaitClock,
 };
 use mqo_token::ledger::Totals;
 use parking_lot::RwLock;
@@ -61,17 +62,26 @@ pub struct ProcessedBatch {
     pub replayed: u64,
     /// Prompt tokens recorded against the tenant for this batch.
     pub billed_tokens: u64,
+    /// The request's trace id (empty when processed outside a traced
+    /// request, e.g. from tests calling [`Engine::process`] directly).
+    pub trace: String,
 }
 
 impl ProcessedBatch {
     /// The response body for `POST /v1/classify`.
     pub fn to_json(&self, tenant: &str) -> Value {
-        json!({
+        let mut v = json!({
             "tenant": tenant,
             "records": self.records.iter().map(record_to_json).collect::<Vec<_>>(),
             "replayed": self.replayed,
             "billed_tokens": self.billed_tokens,
-        })
+        });
+        if !self.trace.is_empty() {
+            if let Value::Object(o) = &mut v {
+                o.insert("trace".into(), Value::String(self.trace.clone()));
+            }
+        }
+        v
     }
 }
 
@@ -88,6 +98,8 @@ pub struct Engine {
     chrome: Option<Arc<ChromeTraceSink>>,
     ledger: Arc<CostLedger>,
     metrics: Arc<MetricsSink>,
+    flight: FlightRecorder,
+    slo: SloTracker,
     tenants: TenantTable,
     method: String,
     seed: u64,
@@ -95,6 +107,11 @@ pub struct Engine {
     budget: Option<u64>,
     boost: bool,
     cache_cap: usize,
+    // Monotone request counter feeding minted trace ids: the nth minted
+    // id is a pure function of (seed, n), so a restarted server facing
+    // the same request sequence mints the same ids and `--resume`
+    // journals carry stable trace annotations.
+    trace_counter: AtomicU64,
     run_scope: AtomicU64,
     draining: AtomicBool,
     drain_requested: AtomicBool,
@@ -106,6 +123,17 @@ pub struct Engine {
     rejected_queue: Arc<Counter>,
     rejected_tenant: Arc<Counter>,
     rejected_draining: Arc<Counter>,
+    http_requests: Arc<CounterVec>,
+    http_micros: Arc<HistogramVec>,
+}
+
+/// The 64-bit finalizer from `splitmix64` — a cheap, well-mixed hash
+/// used to derive trace ids from `(seed, counter)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 fn make_predictor(method: &str, bundle: &DatasetBundle) -> Result<Box<dyn Predictor>, String> {
@@ -157,11 +185,10 @@ impl Engine {
             .transpose()
             .map_err(|e| format!("cannot create chrome trace file: {e}"))?
             .map(Arc::new);
-        let tracer = Arc::new(if chrome.is_some() {
-            Tracer::new(Arc::new(MonotonicClock))
-        } else {
-            Tracer::disabled()
-        });
+        // The tracer is always on while serving: every request carries a
+        // span tree into the flight recorder whether or not a Chrome
+        // trace file was requested (the file is the optional part).
+        let tracer = Arc::new(Tracer::new(Arc::new(MonotonicClock)));
         let fanout = Arc::new(Fanout::new());
         fanout.push(metrics.clone());
         fanout.push(ledger.clone());
@@ -188,25 +215,21 @@ impl Engine {
         };
         let faulty =
             FaultyLlm::new(sim, schedule, wait_clock.clone()).with_sink(fanout.clone());
-        let mut resilient = ResilientLlm::new(
+        let resilient = ResilientLlm::new(
             faulty,
             ResilienceConfig { seed: cfg.seed, ..ResilienceConfig::default() },
             wait_clock,
         )
-        .with_sink(fanout.clone());
-        if tracer.enabled() {
-            resilient = resilient.with_tracer(tracer.clone());
-        }
+        .with_sink(fanout.clone())
+        .with_tracer(tracer.clone());
         let mut retrying = RetryingLlm::new(
             ValidatingLlm::new(resilient, bundle.tag.class_names().to_vec()),
             cfg.retries.max(1),
         )
-        .with_sink(fanout.clone());
+        .with_sink(fanout.clone())
+        .with_tracer(tracer.clone());
         if let Some(b) = cfg.budget {
             retrying = retrying.with_budget(b);
-        }
-        if tracer.enabled() {
-            retrying = retrying.with_tracer(tracer.clone());
         }
         let llm = CachedLlm::new(LenientLlm::new(retrying), cfg.cache_cap);
         llm.meter().attach_sink(fanout.clone());
@@ -244,8 +267,34 @@ impl Engine {
         };
 
         let registry = metrics.registry();
+        let slo = SloTracker::new(
+            SloConfig {
+                p99_target_micros: cfg.slo_p99_ms.map_or(0, |ms| ms.saturating_mul(1000)),
+                availability: cfg.slo_availability,
+            },
+            Arc::new(MonotonicClock),
+        )
+        .with_registry(registry);
+        let http_requests = registry.counter_vec(
+            "mqo_server_requests_total",
+            "HTTP requests answered, by route, tenant, and status",
+            &["route", "tenant", "status"],
+        );
+        // Doubling bounds from 1µs to ~67s: requests run tens of
+        // microseconds hot and seconds under injected faults.
+        let http_micros = registry.histogram_vec(
+            "mqo_server_request_micros",
+            "server-side request latency from read to flush, by route and tenant",
+            &["route", "tenant"],
+            || (0..27u32).map(|i| 1u64 << i).collect(),
+        );
         let counter = |name: &str, help: &str| registry.counter(name, help);
         Ok(Engine {
+            flight: FlightRecorder::new(cfg.flight_slow, cfg.flight_errors),
+            slo,
+            http_requests,
+            http_micros,
+            trace_counter: AtomicU64::new(0),
             requests_total: counter(
                 "mqo_serve_requests_total",
                 "classification requests answered successfully",
@@ -294,13 +343,16 @@ impl Engine {
     }
 
     /// One executor view over the engine, ready for whichever thread
-    /// holds a slot permit.
-    fn executor(&self) -> Executor<'_> {
+    /// holds a slot permit. `sink` is the telemetry destination (the
+    /// shared fanout, possibly teed with a per-request collector) and
+    /// `trace` annotates journal lines and cost events.
+    fn executor<'a>(&'a self, sink: &'a dyn EventSink, trace: &str) -> Executor<'a> {
         let mut exec =
             Executor::new(&self.bundle.tag, &self.llm, self.max_neighbors, self.seed)
-                .with_sink(&*self.fanout)
+                .with_sink(sink)
                 .with_tracer(&self.tracer)
-                .with_degrade();
+                .with_degrade()
+                .with_trace(trace.to_string());
         if let Some(j) = &self.journal {
             exec = exec.with_journal(j);
         }
@@ -319,7 +371,38 @@ impl Engine {
     /// become pseudo-labels that enrich later prompts on neighboring
     /// nodes.
     pub fn process(&self, nodes: &[NodeId], tenant: &str) -> ProcessedBatch {
-        let exec = self.executor();
+        self.process_traced(nodes, tenant, "", None)
+    }
+
+    /// [`process`](Self::process) under a request trace: the trace id
+    /// annotates the batch's journal lines and `QueryCost` events, and an
+    /// optional per-request `collector` is teed alongside the engine's
+    /// shared fanout so the handler can rebuild this request's span tree
+    /// for the flight recorder.
+    pub fn process_traced(
+        &self,
+        nodes: &[NodeId],
+        tenant: &str,
+        trace: &str,
+        collector: Option<&dyn EventSink>,
+    ) -> ProcessedBatch {
+        match collector {
+            Some(extra) => {
+                let tee = Tee::new(&*self.fanout, extra);
+                self.process_with(nodes, tenant, &tee, trace)
+            }
+            None => self.process_with(nodes, tenant, &*self.fanout, trace),
+        }
+    }
+
+    fn process_with(
+        &self,
+        nodes: &[NodeId],
+        tenant: &str,
+        sink: &dyn EventSink,
+        trace: &str,
+    ) -> ProcessedBatch {
+        let exec = self.executor(sink, trace);
         let report = {
             let labels = self.labels.read();
             Scheduler::new(&exec, SchedulePolicy::Fifo).run(
@@ -356,7 +439,38 @@ impl Engine {
         self.queries_total.add(records.len() as u64);
         self.replayed_total.add(replayed);
         self.tenants.charge(tenant, billed_tokens);
-        ProcessedBatch { records, replayed, billed_tokens }
+        ProcessedBatch { records, replayed, billed_tokens, trace: trace.to_string() }
+    }
+
+    /// Mint a trace id for a request that supplied none. The nth minted
+    /// id is a pure function of `(seed, n)`, so a restarted (`--resume`)
+    /// server facing the same request sequence mints identical ids.
+    pub fn mint_trace(&self) -> String {
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        let mut id = splitmix64(self.seed ^ splitmix64(n));
+        if id == 0 {
+            id = 0x9e37_79b9_7f4a_7c15; // the all-zero id is reserved/invalid
+        }
+        format!("{id:016x}")
+    }
+
+    /// Record one finished HTTP exchange in the labeled request metrics
+    /// (`mqo_server_requests_total` / `mqo_server_request_micros`).
+    /// `route` must be a bounded label — a known path or `"other"` — and
+    /// `tenant` is `"-"` for routes with no tenant.
+    pub fn observe_http(&self, route: &str, tenant: &str, status: u16, latency_micros: u64) {
+        self.http_micros.with(&[route, tenant]).record(latency_micros);
+        self.http_requests.with(&[route, tenant, &status.to_string()]).inc();
+    }
+
+    /// The tail-sampling flight recorder behind `/v1/debug/flight`.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The per-tenant SLO tracker behind `/v1/slo`.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// Admission check for one request (draining, then tenant budget).
@@ -414,6 +528,10 @@ impl Engine {
                 "tokens_saved": cache.tokens_saved,
             },
             "pseudo_labels": self.labels.read().num_pseudo(),
+            "flight": {
+                "slow": self.flight.retained().0,
+                "errors": self.flight.retained().1,
+            },
             "journal": self.journal.as_ref().map(|j| json!({
                 "path": j.path().display().to_string(),
                 "recorded": j.recorded(),

@@ -1,13 +1,26 @@
 //! The HTTP surface and its lifecycle.
 //!
 //! ```text
-//! POST /v1/classify   {"node": 3} | {"nodes":[3,4], "tenant":"acme"}
-//! GET  /v1/healthz    200 ok | 503 draining
-//! GET  /v1/stats      serving counters, tenants, cache, journal
-//! GET  /metrics       Prometheus exposition (shared registry)
-//! GET  /progress      compact JSON progress snapshot
-//! POST /v1/drain      request a graceful drain (202)
+//! POST /v1/classify      {"node": 3} | {"nodes":[3,4], "tenant":"acme"}
+//! GET  /v1/healthz       200 ok | 503 draining
+//! GET  /v1/stats         serving counters, tenants, cache, journal
+//! GET  /v1/slo           per-tenant SLO windows and burn rates
+//! GET  /v1/debug/flight  flight recorder: slowest + recent errors
+//! GET  /metrics          Prometheus exposition (shared registry)
+//! GET  /progress         compact JSON progress snapshot
+//! POST /v1/drain         request a graceful drain (202)
 //! ```
+//!
+//! ## Request tracing
+//!
+//! Every `/v1/classify` request runs under a 16-hex trace id: honored
+//! from an `x-mqo-trace-id` header (or the trace-id field of a W3C
+//! `traceparent`), minted deterministically from the engine's seed
+//! otherwise. The id is echoed in the `x-mqo-trace-id` response header
+//! and the response JSON, stamped on the request's span tree, and
+//! annotated onto journal lines and cost-ledger events — so one grep
+//! connects a client timeout to its server-side spans, its journal
+//! record, and its token bill.
 //!
 //! Three admission gates guard `/v1/classify`, in order: draining
 //! (`503`), tenant budget (`429`, nothing billed), slot backpressure
@@ -35,7 +48,9 @@ use crate::engine::{Engine, Rejection};
 use crate::slots::SlotGate;
 use mqo_graph::NodeId;
 use mqo_obs::httpd::{HttpConnection, ReadOutcome, Request};
-use mqo_obs::SpanId;
+use mqo_obs::{
+    spans_from_events, Clock, FlightEntry, FlightSpan, Recorder, SpanId, Tee, MONOTONIC_CLOCK,
+};
 use serde_json::{json, Value};
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -231,6 +246,107 @@ fn json_response(conn: &mut HttpConnection, status: &str, body: &Value) -> io::R
     conn.respond(status, "application/json", &text)
 }
 
+/// JSON response stamped with the request's trace id, both as the
+/// `x-mqo-trace-id` header and as a `"trace"` field in the body.
+fn traced_json(
+    conn: &mut HttpConnection,
+    status: &str,
+    trace: &str,
+    body: &Value,
+) -> io::Result<()> {
+    let mut body = body.clone();
+    if let Value::Object(o) = &mut body {
+        o.insert("trace".into(), Value::String(trace.to_string()));
+    }
+    let mut text = serde_json::to_string(&body).expect("response serialization");
+    text.push('\n');
+    conn.respond_with_headers(
+        status,
+        "application/json",
+        &[("x-mqo-trace-id", trace.to_string())],
+        &text,
+    )
+}
+
+/// Bounded route label for the request metrics: known paths keep their
+/// own series, everything else folds into `other`.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/v1/classify" => "/v1/classify",
+        "/v1/healthz" => "/v1/healthz",
+        "/v1/stats" => "/v1/stats",
+        "/v1/slo" => "/v1/slo",
+        "/v1/debug/flight" => "/v1/debug/flight",
+        "/v1/drain" => "/v1/drain",
+        "/metrics" => "/metrics",
+        "/progress" => "/progress",
+        _ => "other",
+    }
+}
+
+fn is_hex16(s: &str) -> bool {
+    s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// The trace id a classify request runs under: a caller-supplied
+/// `x-mqo-trace-id` (16 hex digits) wins, then the trace-id field of a
+/// W3C `traceparent` (first 16 of its 32 hex digits), else a fresh id
+/// minted deterministically from the engine's seed. The all-zero id is
+/// invalid in both conventions and falls through to minting.
+fn trace_for(req: &Request, engine: &Engine) -> String {
+    if let Some(h) = req.header("x-mqo-trace-id") {
+        let h = h.trim().to_ascii_lowercase();
+        if is_hex16(&h) && h != "0000000000000000" {
+            return h;
+        }
+    }
+    if let Some(tp) = req.header("traceparent") {
+        // version-traceid-parentid-flags, e.g. 00-<32 hex>-<16 hex>-01
+        let mut parts = tp.trim().split('-');
+        let (Some(_version), Some(trace_id)) = (parts.next(), parts.next()) else {
+            return engine.mint_trace();
+        };
+        if trace_id.len() == 32 && trace_id.bytes().all(|b| b.is_ascii_hexdigit()) {
+            let short = trace_id[..16].to_ascii_lowercase();
+            if short != "0000000000000000" {
+                return short;
+            }
+        }
+    }
+    engine.mint_trace()
+}
+
+/// Classify epilogue, run after the response is flushed: stamp the
+/// exchange into the labeled request metrics, the tenant's SLO windows,
+/// and the flight recorder. Returns `status` for the connection loop.
+#[allow(clippy::too_many_arguments)]
+fn finish_classify(
+    engine: &Engine,
+    trace: String,
+    tenant: &str,
+    status: u16,
+    started_micros: u64,
+    spans: Vec<FlightSpan>,
+    request_summary: String,
+    response_summary: String,
+) -> u16 {
+    let latency = MONOTONIC_CLOCK.now_micros().saturating_sub(started_micros);
+    engine.observe_http("/v1/classify", tenant, status, latency);
+    engine.slo().observe(tenant, status, latency);
+    engine.flight().offer(FlightEntry {
+        trace,
+        tenant: tenant.to_string(),
+        route: "/v1/classify".to_string(),
+        status,
+        latency_micros: latency,
+        started_micros,
+        request_summary,
+        response_summary,
+        spans,
+    });
+    status
+}
+
 /// Parse the classify request body: `{"node": N}` or `{"nodes": [..]}`,
 /// optional `"tenant"`. Errors are client errors (400).
 fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, String), String> {
@@ -269,31 +385,68 @@ fn handle_classify(
     gate: &SlotGate,
     req: &Request,
     conn: &mut HttpConnection,
-) -> io::Result<()> {
+) -> io::Result<u16> {
+    let started = MONOTONIC_CLOCK.now_micros();
+    let trace = trace_for(req, engine);
     let (nodes, tenant) = match parse_classify(req, engine.num_nodes()) {
         Ok(parsed) => parsed,
-        Err(e) => return json_response(conn, "400 Bad Request", &json!({"error": e})),
+        Err(e) => {
+            traced_json(conn, "400 Bad Request", &trace, &json!({"error": e}))?;
+            return Ok(finish_classify(
+                engine,
+                trace,
+                "-",
+                400,
+                started,
+                Vec::new(),
+                "unparseable classify body".into(),
+                e,
+            ));
+        }
     };
+    let request_summary = format!("classify {} node(s), tenant {}", nodes.len(), tenant);
     match engine.admit(&tenant) {
         Ok(()) => {}
         Err(Rejection::Draining) => {
-            return json_response(
+            traced_json(
                 conn,
                 "503 Service Unavailable",
+                &trace,
                 &json!({"error": "draining", "tenant": tenant}),
-            )
+            )?;
+            return Ok(finish_classify(
+                engine,
+                trace,
+                &tenant,
+                503,
+                started,
+                Vec::new(),
+                request_summary,
+                "refused: draining".into(),
+            ));
         }
         Err(Rejection::TenantExhausted(t)) => {
-            return json_response(
+            traced_json(
                 conn,
                 "429 Too Many Requests",
+                &trace,
                 &json!({
                     "error": "tenant budget exhausted",
                     "tenant": t.tenant,
                     "budget": t.budget,
                     "spent_tokens": t.spent_tokens,
                 }),
-            )
+            )?;
+            return Ok(finish_classify(
+                engine,
+                trace,
+                &tenant,
+                429,
+                started,
+                Vec::new(),
+                request_summary,
+                format!("refused: {} of {} budget tokens spent", t.spent_tokens, t.budget),
+            ));
         }
         Err(Rejection::Saturated) => unreachable!("admit never reports slot saturation"),
     }
@@ -301,66 +454,122 @@ fn handle_classify(
         Ok(permit) => permit,
         Err(_) => {
             engine.count_queue_rejection();
-            let mut body =
-                serde_json::to_string(&json!({"error": "saturated", "tenant": tenant}))
-                    .expect("response serialization");
+            let mut body = serde_json::to_string(
+                &json!({"error": "saturated", "tenant": tenant, "trace": trace}),
+            )
+            .expect("response serialization");
             body.push('\n');
-            return conn.respond_with_headers(
+            conn.respond_with_headers(
                 "429 Too Many Requests",
                 "application/json",
-                &[("Retry-After", "1".to_string())],
+                &[("Retry-After", "1".to_string()), ("x-mqo-trace-id", trace.clone())],
                 &body,
-            );
+            )?;
+            return Ok(finish_classify(
+                engine,
+                trace,
+                &tenant,
+                429,
+                started,
+                Vec::new(),
+                request_summary,
+                "refused: saturated".into(),
+            ));
         }
     };
     // Run the batch right here, on the handler's thread, under the
-    // permit's bounded telemetry track — no queue, no reply channel.
+    // permit's bounded telemetry track — no queue, no reply channel. A
+    // per-request collector rides alongside the shared fanout so the
+    // flight recorder can rebuild this request's span tree afterwards.
     mqo_obs::set_thread_track(permit.slot() + 1);
-    let batch = engine.process(&nodes, &tenant);
+    let collector = Recorder::with_capacity(4096);
+    let batch = {
+        let tee = Tee::new(engine.fanout(), &collector);
+        let _span = engine.tracer().span(
+            &tee,
+            "request",
+            || format!("{request_summary} [{trace}]"),
+            engine.run_scope(),
+        );
+        engine.process_traced(&nodes, &tenant, &trace, Some(&collector))
+    };
     drop(permit);
     engine.count_request();
-    json_response(conn, "200 OK", &batch.to_json(&tenant))
+    engine.metrics().add_events_dropped(collector.dropped());
+    traced_json(conn, "200 OK", &trace, &batch.to_json(&tenant))?;
+    let response_summary = format!(
+        "{} record(s), {} replayed, {} tokens billed",
+        batch.records.len(),
+        batch.replayed,
+        batch.billed_tokens
+    );
+    Ok(finish_classify(
+        engine,
+        trace,
+        &tenant,
+        200,
+        started,
+        spans_from_events(&collector.events()),
+        request_summary,
+        response_summary,
+    ))
 }
 
-/// Route one parsed request and write its response.
+/// Route one parsed request, write its response, and return the HTTP
+/// status for the connection loop's request metrics.
 fn handle_request(
     engine: &Engine,
     gate: &SlotGate,
     req: &Request,
     conn: &mut HttpConnection,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/classify") => handle_classify(engine, gate, req, conn),
         ("GET", "/v1/healthz") => {
             if engine.draining() {
                 json_response(conn, "503 Service Unavailable", &json!({"status": "draining"}))
+                    .map(|()| 503)
             } else {
-                json_response(conn, "200 OK", &json!({"status": "ok"}))
+                json_response(conn, "200 OK", &json!({"status": "ok"})).map(|()| 200)
             }
         }
         ("GET", "/v1/stats") => {
             let body = engine.stats_json(Some((gate.waiting(), gate.wait_cap())), gate.slots());
-            conn.respond("200 OK", "application/json", &body)
+            conn.respond("200 OK", "application/json", &body).map(|()| 200)
+        }
+        ("GET", "/v1/slo") => {
+            let mut body = engine.slo().report_json();
+            body.push('\n');
+            conn.respond("200 OK", "application/json", &body).map(|()| 200)
+        }
+        ("GET", "/v1/debug/flight") => {
+            let mut body = engine.flight().to_json();
+            body.push('\n');
+            conn.respond("200 OK", "application/json", &body).map(|()| 200)
         }
         ("POST", "/v1/drain") => {
             engine.request_drain();
-            json_response(conn, "202 Accepted", &json!({"draining": true}))
+            json_response(conn, "202 Accepted", &json!({"draining": true})).map(|()| 202)
         }
         ("GET", "/metrics") => {
             let body = engine.metrics().registry().render_prometheus();
-            conn.respond("200 OK", "text/plain; version=0.0.4", &body)
+            conn.respond("200 OK", "text/plain; version=0.0.4", &body).map(|()| 200)
         }
         ("GET", "/progress") => {
             let mut body = engine.metrics().progress_json();
             body.push('\n');
-            conn.respond("200 OK", "application/json", &body)
+            conn.respond("200 OK", "application/json", &body).map(|()| 200)
         }
-        ("POST" | "GET", _) => conn.respond(
-            "404 Not Found",
-            "text/plain",
-            "try /v1/classify, /v1/healthz, /v1/stats, /metrics\n",
-        ),
-        _ => conn.respond("405 Method Not Allowed", "text/plain", "only GET/POST\n"),
+        ("POST" | "GET", _) => conn
+            .respond(
+                "404 Not Found",
+                "text/plain",
+                "try /v1/classify, /v1/healthz, /v1/stats, /v1/slo, /metrics\n",
+            )
+            .map(|()| 404),
+        _ => conn
+            .respond("405 Method Not Allowed", "text/plain", "only GET/POST\n")
+            .map(|()| 405),
     }
 }
 
@@ -392,7 +601,14 @@ fn handle_connection(engine: &Engine, gate: &SlotGate, stream: TcpStream) -> io:
         if engine.draining() {
             conn.set_keep_alive(false);
         }
-        handle_request(engine, gate, &req, &mut conn)?;
+        let started = MONOTONIC_CLOCK.now_micros();
+        let status = handle_request(engine, gate, &req, &mut conn)?;
+        // Classify observes itself (it knows the tenant); everything
+        // else lands here under the tenantless label.
+        if req.path != "/v1/classify" {
+            let latency = MONOTONIC_CLOCK.now_micros().saturating_sub(started);
+            engine.observe_http(route_label(&req.path), "-", status, latency);
+        }
         if !conn.keep_alive() {
             return Ok(());
         }

@@ -23,6 +23,12 @@
 #   5. A restarted server (--resume) replaying the *same* seeded burst
 #      must re-bill zero tokens: everything comes from the journal.
 #   6. The resumed server must also drain cleanly (exit 0).
+#   7. A caller-supplied trace id must round-trip: loadgen sends it in
+#      x-mqo-trace-id, reads it back from the response header, and the
+#      same id must then appear in the live /v1/debug/flight ring, the
+#      Chrome trace export, and the journal record. /v1/slo must report
+#      burn rate <= 1 for the clean run, and the drained flight dump
+#      must pass obs_check's causal span-tree validation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +54,7 @@ echo "==> leg 1: serve + seeded burst + clean drain"
   --queries 120 --seed 42 \
   --tenants throttled=2000 \
   --journal "$OUT/serve.jsonl" \
+  --slo-p99-ms 250 --flight-dump "$OUT/serve_flight.json" \
   --trace-chrome "$OUT/serve_trace.json" --cost-json "$OUT/serve_cost.json" \
   --stats-json "$OUT/serve_stats.json" > "$OUT/serve.log" 2>&1 &
 SERVE_PID=$!
@@ -56,6 +63,38 @@ wait_for_file "$OUT/addr" "server address"
 ./target/release/loadgen --addr-file "$OUT/addr" \
   --requests 60 --concurrency 6 --batch 3 --seed 42 \
   --out "$OUT/load.json"
+
+http_get_raw() { # path outfile — tiny GET client over bash /dev/tcp
+  local host port
+  host=${ADDR%:*}; port=${ADDR##*:}
+  exec 3<>"/dev/tcp/$host/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: mqo\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3 > "$2"
+  exec 3>&- 3<&-
+}
+ADDR=$(cat "$OUT/addr")
+
+echo "==> leg 7: caller-supplied trace id round-trips live"
+# loadgen stamps the id on its request, reads it back from the
+# response's x-mqo-trace-id header, and prints it under "slowest" —
+# so the grep fails unless the server echoed it. The oversized batch
+# deliberately slows the request so tail sampling must retain it.
+TRACE_ID=cafef00dcafef00d
+./target/release/loadgen --addr-file "$OUT/addr" \
+  --requests 1 --concurrency 1 --batch 24 --seed 45 --trace-id "$TRACE_ID" \
+  --out "$OUT/load_trace.json"
+grep -q "$TRACE_ID" "$OUT/load_trace.json" || {
+  echo "serve_smoke: trace id did not round-trip through the response header" >&2
+  cat "$OUT/load_trace.json" >&2
+  exit 1
+}
+# The same request must be retained in the live flight-recorder ring.
+http_get_raw /v1/debug/flight "$OUT/flight_live.json"
+grep -q "$TRACE_ID" "$OUT/flight_live.json" || {
+  echo "serve_smoke: traced request missing from /v1/debug/flight" >&2
+  cat "$OUT/flight_live.json" >&2
+  exit 1
+}
 
 echo "==> leg 3: malformed framing draws 400s and the server stays up"
 # Conflicting duplicate Content-Length, truncated headers, and a header
@@ -74,6 +113,20 @@ grep -Eq '"rejected_429": [1-9]' "$OUT/load_throttled.json" || {
   cat "$OUT/load_throttled.json" >&2
   exit 1
 }
+# A clean run must not burn error budget: every per-tenant burn rate on
+# /v1/slo stays below 1 (429s are client errors and spend nothing).
+http_get_raw /v1/slo "$OUT/slo_live.json"
+grep -q '"tenants":\[' "$OUT/slo_live.json" || {
+  echo "serve_smoke: /v1/slo reported no tenants" >&2
+  cat "$OUT/slo_live.json" >&2
+  exit 1
+}
+if grep -Eq '"burn_rate":[1-9]' "$OUT/slo_live.json"; then
+  echo "serve_smoke: clean run burned error budget:" >&2
+  cat "$OUT/slo_live.json" >&2
+  exit 1
+fi
+
 # The burst after the throttled one proves rejections didn't wedge the
 # pool; --drain then asks for a graceful shutdown.
 ./target/release/loadgen --addr-file "$OUT/addr" \
@@ -86,8 +139,24 @@ grep -q "journal sealed" "$OUT/serve.log" || {
   exit 1
 }
 
-echo "==> leg 2: serving trace + ledger pass obs_check"
-./target/release/obs_check "$OUT/serve_trace.json" "$OUT/serve_cost.json"
+echo "==> leg 2: serving trace, ledger, and flight dump pass obs_check"
+# The traced request must have reached the Chrome export (request-span
+# detail carries "[<id>]") and the journal record ("trace":"<id>").
+grep -q "$TRACE_ID" "$OUT/serve_trace.json" || {
+  echo "serve_smoke: trace id missing from the Chrome trace export" >&2
+  exit 1
+}
+grep -q "\"trace\":\"$TRACE_ID\"" "$OUT/serve.jsonl" || {
+  echo "serve_smoke: trace id missing from the journal record" >&2
+  exit 1
+}
+grep -q "flight recorder" "$OUT/serve.log" || {
+  echo "serve_smoke: drain summary did not report the flight recorder" >&2
+  cat "$OUT/serve.log" >&2
+  exit 1
+}
+./target/release/obs_check "$OUT/serve_trace.json" "$OUT/serve_cost.json" \
+  "$OUT/serve_flight.json"
 
 echo "==> leg 5: resumed server re-bills zero tokens for the same burst"
 ./target/release/mqo serve "$OUT/cora.bin" \

@@ -249,6 +249,14 @@ fn live_endpoint_serves_metrics_and_progress_mid_run() {
         assert!(status.contains("200"), "status: {status}");
         assert!(body.contains("mqo_queries_total 1"), "mid-run scrape: {body}");
         assert!(body.contains("mqo_prompt_tokens_total"));
+        // Fleet-identification series every scrape carries: which build
+        // is running, and for how long.
+        assert!(body.contains("mqo_build_info{version=\""), "build info: {body}");
+        assert!(
+            body.contains("mqo_build_info{") && body.contains("\"} 1"),
+            "build info: {body}"
+        );
+        assert!(body.contains("mqo_uptime_seconds "), "uptime gauge: {body}");
         let (_, progress) = http_get(server.addr(), "/progress").unwrap();
         let p: serde_json::Value = serde_json::from_str(&progress).unwrap();
         assert_eq!(p["queries"].as_u64(), Some(1), "progress mid-run: {progress}");

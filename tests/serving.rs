@@ -453,3 +453,176 @@ fn stats_metrics_and_client_errors() {
     assert!(status.contains("404"), "got {status}");
     server.drain();
 }
+
+/// A caller-supplied trace id round-trips through the response header
+/// and JSON, the flight recorder's span tree, and the journal line; W3C
+/// `traceparent` is honored; requests without either get a minted
+/// 16-hex id; and error responses land in the flight error ring.
+#[test]
+fn trace_ids_round_trip_response_flight_and_journal() {
+    let journal = tmp("trace.journal");
+    std::fs::remove_file(&journal).ok();
+    let cfg = ServeConfig { journal: Some(journal.clone()), ..serve_cfg() };
+    let engine = Engine::new(bundle(), cfg).map(Arc::new).unwrap();
+    let server = start(Arc::clone(&engine), 2, 8);
+    let addr = server.addr();
+    let mut client = HttpClient::connect(addr).expect("connect");
+
+    // Caller-supplied id (uppercase in, normalized lowercase out).
+    let (status, text) = client
+        .post_with_header(
+            "/v1/classify",
+            "{\"nodes\": [1, 2, 3]}",
+            ("x-mqo-trace-id", "00F1E2D3C4B5A697"),
+        )
+        .expect("traced classify");
+    assert!(status.contains("200"), "got {status}");
+    assert_eq!(
+        client.last_header("x-mqo-trace-id"),
+        Some("00f1e2d3c4b5a697"),
+        "response header echoes the id"
+    );
+    let response: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(response.get("trace").and_then(|t| t.as_str()), Some("00f1e2d3c4b5a697"));
+
+    // W3C traceparent: first 16 hex of the 32-hex trace-id field.
+    let (status, text) = client
+        .post_with_header(
+            "/v1/classify",
+            "{\"node\": 5}",
+            ("traceparent", "00-abcdef0123456789aaaaaaaaaaaaaaaa-b7ad6b7169203331-01"),
+        )
+        .expect("traceparent classify");
+    assert!(status.contains("200"), "got {status}");
+    let response: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(response.get("trace").and_then(|t| t.as_str()), Some("abcdef0123456789"));
+
+    // No header at all: a 16-hex id is minted.
+    let (status, text) = client.post("/v1/classify", "{\"node\": 6}").expect("plain classify");
+    assert!(status.contains("200"), "got {status}");
+    let response: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    let minted = response.get("trace").and_then(|t| t.as_str()).expect("minted trace");
+    assert_eq!(minted.len(), 16, "minted id {minted:?}");
+    assert!(minted.bytes().all(|b| b.is_ascii_hexdigit()), "minted id {minted:?}");
+
+    // A client error is tail-sampled into the flight error ring, with
+    // its own echoed trace id.
+    let (status, text) = client
+        .post_with_header("/v1/classify", "not json", ("x-mqo-trace-id", "aaaabbbbccccdddd"))
+        .expect("bad classify");
+    assert!(status.contains("400"), "got {status}");
+    let response: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(response.get("trace").and_then(|t| t.as_str()), Some("aaaabbbbccccdddd"));
+
+    // The flight recorder retains the traced request with a causally
+    // well-formed span tree: request → query → llm_call.
+    let (status, text) = http_get(addr, "/v1/debug/flight").unwrap();
+    assert!(status.contains("200"), "got {status}");
+    let flight: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    let slow = flight.get("slow").and_then(|s| s.as_array()).expect("slow ring");
+    let entry = slow
+        .iter()
+        .find(|e| e.get("trace").and_then(|t| t.as_str()) == Some("00f1e2d3c4b5a697"))
+        .expect("traced request retained in the slow ring");
+    assert_eq!(entry.get("status").and_then(|s| s.as_u64()), Some(200));
+    let spans = entry.get("spans").and_then(|s| s.as_array()).expect("entry spans");
+    let request_id = spans
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("request"))
+        .and_then(|s| s.get("id").and_then(|i| i.as_u64()))
+        .expect("request span");
+    let query_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| {
+            s.get("name").and_then(|n| n.as_str()) == Some("query")
+                && s.get("parent").and_then(|p| p.as_u64()) == Some(request_id)
+        })
+        .map(|s| s.get("id").and_then(|i| i.as_u64()).unwrap())
+        .collect();
+    assert_eq!(query_ids.len(), 3, "one query span per node under the request span");
+    let llm_calls = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(|n| n.as_str()) == Some("llm_call"))
+        .filter(|s| query_ids.contains(&s.get("parent").and_then(|p| p.as_u64()).unwrap_or(0)))
+        .count();
+    assert!(llm_calls >= 1, "llm_call spans hang off query spans");
+    let errors = flight.get("errors").and_then(|e| e.as_array()).expect("error ring");
+    let bad = errors
+        .iter()
+        .find(|e| e.get("trace").and_then(|t| t.as_str()) == Some("aaaabbbbccccdddd"))
+        .expect("400 retained in the error ring");
+    assert_eq!(bad.get("status").and_then(|s| s.as_u64()), Some(400));
+
+    server.drain();
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        journal_text.contains("\"trace\":\"00f1e2d3c4b5a697\""),
+        "journal lines carry the trace id"
+    );
+    std::fs::remove_file(&journal).ok();
+}
+
+/// `/v1/slo` tracks per-tenant windows; a clean run burns no error
+/// budget and the registry exports the per-tenant series.
+#[test]
+fn slo_endpoint_reports_clean_burn_for_served_tenants() {
+    // A 10s latency objective nothing breaches in a sim-backed test.
+    let cfg = ServeConfig { slo_p99_ms: Some(10_000), ..serve_cfg() };
+    let engine = Engine::new(bundle(), cfg).map(Arc::new).unwrap();
+    let server = start(Arc::clone(&engine), 2, 8);
+    let addr = server.addr();
+
+    let (status, _) = classify(addr, "{\"nodes\": [1, 2], \"tenant\": \"acme\"}");
+    assert!(status.contains("200"), "got {status}");
+    let (status, _) = classify(addr, "{\"node\": 3, \"tenant\": \"acme\"}");
+    assert!(status.contains("200"), "got {status}");
+    let (status, _) = classify(addr, "{\"node\": 4}");
+    assert!(status.contains("200"), "got {status}");
+
+    let (status, text) = http_get(addr, "/v1/slo").unwrap();
+    assert!(status.contains("200"), "got {status}");
+    let slo: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(slo.get("p99_target_micros").and_then(|p| p.as_u64()), Some(10_000_000));
+    let tenants = slo.get("tenants").and_then(|t| t.as_array()).expect("tenants");
+    let acme = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(|n| n.as_str()) == Some("acme"))
+        .expect("acme tracked");
+    let short = acme.get("short").expect("short window");
+    assert_eq!(short.get("good").and_then(|g| g.as_u64()), Some(2), "2 acme requests");
+    assert_eq!(short.get("bad").and_then(|b| b.as_u64()), Some(0));
+    assert_eq!(short.get("burn_rate").and_then(|b| b.as_f64()), Some(0.0));
+    assert!(
+        tenants.iter().any(|t| t.get("tenant").and_then(|n| n.as_str()) == Some("default")),
+        "untagged requests track under the default tenant"
+    );
+
+    let (status, text) = http_get(addr, "/metrics").unwrap();
+    assert!(status.contains("200"), "got {status}");
+    assert!(text.contains("mqo_slo_good_total{tenant=\"acme\"} 2"), "got:\n{text}");
+    assert!(
+        text.contains(
+            "mqo_server_request_micros_count{route=\"/v1/classify\",tenant=\"acme\"} 2"
+        ),
+        "labeled request histogram, got:\n{text}"
+    );
+    server.drain();
+}
+
+/// The trace id rides the batch's `QueryCost` telemetry events, so the
+/// cost of a served request is attributable from any event sink.
+#[test]
+fn query_cost_events_carry_the_request_trace() {
+    use mqo_obs::{Event, Recorder};
+    let engine = Engine::new(bundle(), serve_cfg()).unwrap();
+    let collector = Recorder::new();
+    let batch =
+        engine.process_traced(&[NodeId(3)], "default", "deadbeefdeadbeef", Some(&collector));
+    assert_eq!(batch.trace, "deadbeefdeadbeef");
+    let traced_costs = collector
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::QueryCost { trace, .. } if trace == "deadbeefdeadbeef"))
+        .count();
+    assert_eq!(traced_costs, 1, "the query's cost event carries the trace id");
+}
