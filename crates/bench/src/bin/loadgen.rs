@@ -51,6 +51,14 @@
 //! each, and then verifies the server still answers `/v1/healthz` —
 //! the smoke-test hook proving malformed framing is rejected without
 //! taking the server down.
+//!
+//! `--overload` calibrates sustainable throughput closed-loop, then
+//! offers a multiple of it (`--overload-factor`, default 5×) open-loop
+//! and reports admitted-vs-offered goodput, shed rate, and the
+//! degraded-response rate — self-gating on admitted p99
+//! (`--slo-p99-ms`) and on every shed response carrying a well-formed
+//! computed `Retry-After`. `--deadline-ms` stamps an `x-mqo-deadline-ms`
+//! header on every request in any mode.
 
 use mqo_obs::httpd::HttpClient;
 use mqo_obs::{http_get, http_post};
@@ -70,8 +78,9 @@ fn usage() -> ExitCode {
          loadgen --addr HOST:PORT | --addr-file FILE\n          \
          [--requests N] [--concurrency C] [--batch B] [--node-max N]\n          \
          [--seed S] [--tenant T] [--mode closed|open] [--rate R]\n          \
-         [--warmup W] [--trace-id HEX] [--out FILE] [--merge-into FILE]\n          \
-         [--drain] [--malformed]"
+         [--warmup W] [--trace-id HEX] [--deadline-ms MS] [--out FILE]\n          \
+         [--merge-into FILE] [--drain] [--malformed]\n          \
+         [--overload] [--overload-factor F] [--cal-requests N] [--slo-p99-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -81,7 +90,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "drain" || name == "malformed" {
+            if name == "drain" || name == "malformed" || name == "overload" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -106,6 +115,10 @@ struct Sample {
     /// The server's `x-mqo-trace-id` response header (empty on
     /// transport failure) — the key into `GET /v1/debug/flight`.
     trace: String,
+    /// Whether the server answered under brown-out (`"degraded": true`).
+    degraded: bool,
+    /// The `Retry-After` header of a shed response, if any.
+    retry_after: Option<u64>,
 }
 
 fn status_code(status_line: &str) -> u16 {
@@ -144,6 +157,7 @@ fn pace_until(deadline: Instant) {
     }
 }
 
+#[derive(Clone)]
 struct Plan {
     addr: SocketAddr,
     requests: usize,
@@ -157,6 +171,19 @@ struct Plan {
     rate: f64,
     /// Caller-supplied trace id stamped on every request (`--trace-id`).
     trace_id: Option<String>,
+    /// Per-request deadline stamped as `x-mqo-deadline-ms`.
+    deadline_ms: Option<u64>,
+}
+
+impl Plan {
+    /// The one extra header a request carries: a caller-supplied trace
+    /// id wins; otherwise the per-request deadline, if any.
+    fn extra_header(&self) -> Option<(&str, String)> {
+        if let Some(t) = &self.trace_id {
+            return Some(("x-mqo-trace-id", t.clone()));
+        }
+        self.deadline_ms.map(|ms| ("x-mqo-deadline-ms", ms.to_string()))
+    }
 }
 
 /// Body for request `k`. The RNG is keyed by `(seed, k)` alone so the
@@ -180,23 +207,30 @@ fn build_body(k: usize, plan: &Plan) -> String {
 /// client reconnects transparently — because a keep-alive peer may close
 /// an idle connection between our read of its response and our next
 /// write.
-fn post_classify(client: &mut HttpClient, body: &str, trace_id: Option<&str>) -> (u16, String) {
+fn post_classify(
+    client: &mut HttpClient,
+    body: &str,
+    extra_header: Option<(&str, &str)>,
+) -> (u16, String, bool, Option<u64>) {
     for attempt in 0..2 {
-        let result = match trace_id {
-            Some(t) => client.post_with_header("/v1/classify", body, ("x-mqo-trace-id", t)),
+        let result = match extra_header {
+            Some((name, value)) => client.post_with_header("/v1/classify", body, (name, value)),
             None => client.post("/v1/classify", body),
         };
         match result {
-            Ok((status_line, _)) => {
+            Ok((status_line, resp_body)) => {
                 let trace =
                     client.last_header("x-mqo-trace-id").unwrap_or_default().to_string();
-                return (status_code(&status_line), trace);
+                let degraded = resp_body.contains("\"degraded\":true");
+                let retry_after =
+                    client.last_header("retry-after").and_then(|v| v.trim().parse().ok());
+                return (status_code(&status_line), trace, degraded, retry_after);
             }
             Err(_) if attempt == 0 => {}
             Err(_) => break,
         }
     }
-    (0, String::new())
+    (0, String::new(), false, None)
 }
 
 /// Fire requests and collect measured samples. Workers hold one
@@ -221,15 +255,17 @@ fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
         let epoch = Arc::clone(&epoch);
         handles.push(std::thread::spawn(move || {
             let mut client = HttpClient::connect(plan.addr).ok();
+            let extra = plan.extra_header();
+            let extra = extra.as_ref().map(|(n, v)| (*n, v.as_str()));
             let mut post = |body: &str| match &mut client {
-                Some(c) => post_classify(c, body, plan.trace_id.as_deref()),
+                Some(c) => post_classify(c, body, extra),
                 None => match HttpClient::connect(plan.addr) {
                     Ok(mut c) => {
-                        let outcome = post_classify(&mut c, body, plan.trace_id.as_deref());
+                        let outcome = post_classify(&mut c, body, extra);
                         client = Some(c);
                         outcome
                     }
-                    Err(_) => (0, String::new()),
+                    Err(_) => (0, String::new(), false, None),
                 },
             };
             loop {
@@ -257,8 +293,14 @@ fn drive(plan: Arc<Plan>) -> (Vec<Sample>, Duration) {
                 } else {
                     Instant::now()
                 };
-                let (status, trace) = post(&body);
-                samples.push(Sample { latency: departs.elapsed(), status, trace });
+                let (status, trace, degraded, retry_after) = post(&body);
+                samples.push(Sample {
+                    latency: departs.elapsed(),
+                    status,
+                    trace,
+                    degraded,
+                    retry_after,
+                });
             }
             samples
         }));
@@ -406,6 +448,160 @@ fn run_malformed(addr: SocketAddr, out: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--overload` stage: drive the server well past saturation and
+/// check it degrades *gracefully* instead of falling over.
+///
+/// Phase 1 calibrates sustainable throughput with a short closed-loop
+/// run. Phase 2 offers a multiple of that rate (`--overload-factor`,
+/// default 5×) open-loop, so shedding is guaranteed. The report splits
+/// offered load into admitted goodput, shed (429), drained (503),
+/// deadline-expired (504), and transport errors, and measures the
+/// degraded-response rate among admitted requests.
+///
+/// Self-gating checks (non-zero exit on violation):
+/// * at least one request must be admitted — shedding everything is an
+///   outage, not overload control;
+/// * every `429` must carry a well-formed `Retry-After` in `[1, 30]`;
+/// * with `--slo-p99-ms N`, admitted p99 must stay under N — admitted
+///   work must still meet its SLO *while* the excess is refused.
+fn run_overload(flags: &HashMap<String, String>, plan: Plan) -> Result<(), String> {
+    let factor: f64 = flags
+        .get("overload-factor")
+        .map_or(Ok(5.0), |s| s.parse().map_err(|_| "bad --overload-factor"))?;
+    if factor <= 1.0 {
+        return Err("--overload-factor must be > 1".into());
+    }
+    let cal_requests: usize = flags
+        .get("cal-requests")
+        .map_or(Ok(32), |s| s.parse().map_err(|_| "bad --cal-requests"))?;
+
+    // Phase 1: closed-loop calibration of sustainable throughput.
+    let mut cal = plan.clone();
+    cal.requests = cal_requests.max(plan.concurrency);
+    cal.warmup = 0;
+    cal.open_loop = false;
+    let (cal_samples, cal_wall) = drive(Arc::new(cal));
+    let cal_ok = cal_samples.iter().filter(|s| s.status == 200).count();
+    if cal_ok == 0 {
+        return Err("calibration run had no successful request".into());
+    }
+    let sustainable = cal_ok as f64 / cal_wall.as_secs_f64().max(1e-9);
+    let rate = (sustainable * factor).max(10.0);
+    println!(
+        "calibration     : {cal_ok} ok in {:.2}s → {sustainable:.1} rps sustainable, \
+         offering {rate:.1} rps ({factor:.1}×)",
+        cal_wall.as_secs_f64(),
+    );
+
+    // Phase 2: open-loop burst past saturation.
+    let mut burst = plan;
+    burst.open_loop = true;
+    burst.rate = rate;
+    let slo_p99_ms: Option<f64> = flags
+        .get("slo-p99-ms")
+        .map(|s| s.parse().map_err(|_| "bad --slo-p99-ms"))
+        .transpose()?;
+    let addr = burst.addr;
+    let (samples, wall) = drive(Arc::new(burst));
+
+    let offered = samples.len();
+    let mut ok = 0usize;
+    let mut degraded_ok = 0usize;
+    let mut shed = 0usize;
+    let mut bad_shed = 0usize;
+    let mut drained = 0usize;
+    let mut deadline_expired = 0usize;
+    let mut errors = 0usize;
+    let mut ok_ms: Vec<f64> = Vec::new();
+    for s in &samples {
+        match s.status {
+            200 => {
+                ok += 1;
+                if s.degraded {
+                    degraded_ok += 1;
+                }
+                ok_ms.push(s.latency.as_secs_f64() * 1e3);
+            }
+            429 => {
+                shed += 1;
+                if !matches!(s.retry_after, Some(r) if (1..=30).contains(&r)) {
+                    bad_shed += 1;
+                }
+            }
+            503 => drained += 1,
+            504 => deadline_expired += 1,
+            _ => errors += 1,
+        }
+    }
+    ok_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    let p50 = percentile(&ok_ms, 0.50);
+    let p99 = percentile(&ok_ms, 0.99);
+    let goodput = if wall.as_secs_f64() > 0.0 { ok as f64 / wall.as_secs_f64() } else { 0.0 };
+    let shed_rate = if offered > 0 { (shed + drained) as f64 / offered as f64 } else { 0.0 };
+    let degraded_rate = if ok > 0 { degraded_ok as f64 / ok as f64 } else { 0.0 };
+    println!(
+        "overload        : offered {offered} at {rate:.1} rps → {ok} admitted \
+         ({goodput:.1} rps goodput), {shed} shed, {drained} drained, \
+         {deadline_expired} past deadline, {errors} errors"
+    );
+    println!(
+        "overload        : shed rate {:.1}%, degraded rate {:.1}%, admitted p99 {p99:.1} ms",
+        100.0 * shed_rate,
+        100.0 * degraded_rate,
+    );
+
+    let summary = serde_json::json!({
+        "mode": "overload",
+        "offered": offered,
+        "offered_rate_rps": rate,
+        "sustainable_rps": sustainable,
+        "overload_factor": factor,
+        "admitted": ok,
+        "degraded": degraded_ok,
+        "degraded_rate": degraded_rate,
+        "shed_429": shed,
+        "shed_without_valid_retry_after": bad_shed,
+        "rejected_503": drained,
+        "deadline_504": deadline_expired,
+        "errors": errors,
+        "shed_rate": shed_rate,
+        "goodput_rps": goodput,
+        "wall_s": wall.as_secs_f64(),
+        "admitted_p50_ms": p50,
+        "admitted_p99_ms": p99,
+    });
+    let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    text.push('\n');
+    print!("{text}");
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if flags.contains_key("drain") {
+        let (status, _) = http_post(addr, "/v1/drain", "{}")
+            .map_err(|e| format!("drain request failed: {e}"))?;
+        if !status.contains("202") {
+            return Err(format!("drain request refused: {status}"));
+        }
+    }
+
+    if ok == 0 {
+        return Err("overload run admitted nothing — that is an outage, not shedding".into());
+    }
+    if bad_shed > 0 {
+        return Err(format!(
+            "{bad_shed} shed response(s) lacked a well-formed Retry-After in [1, 30]"
+        ));
+    }
+    if let Some(slo) = slo_p99_ms {
+        if p99 > slo {
+            return Err(format!(
+                "admitted p99 {p99:.1} ms breaches --slo-p99-ms {slo:.1} under overload"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr_text = match (flags.get("addr"), flags.get("addr-file")) {
         (Some(a), _) => a.clone(),
@@ -451,7 +647,7 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("node range is empty".into());
     }
 
-    let plan = Arc::new(Plan {
+    let plan = Plan {
         addr,
         requests,
         warmup,
@@ -463,7 +659,15 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         open_loop,
         rate,
         trace_id: flags.get("trace-id").cloned(),
-    });
+        deadline_ms: flags
+            .get("deadline-ms")
+            .map(|s| s.parse().map_err(|_| "bad --deadline-ms"))
+            .transpose()?,
+    };
+    if flags.contains_key("overload") {
+        return run_overload(flags, plan);
+    }
+    let plan = Arc::new(plan);
     let (samples, wall) = drive(Arc::clone(&plan));
 
     let mut ok = 0usize;
@@ -605,6 +809,7 @@ mod tests {
             open_loop: false,
             rate: 1.0,
             trace_id: None,
+            deadline_ms: None,
         }
     }
 

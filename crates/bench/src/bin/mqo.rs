@@ -74,7 +74,11 @@ fn usage() -> ExitCode {
          [--faults SPEC] [--journal FILE] [--resume] [--trace-chrome FILE]\n               \
          [--slo-p99-ms MS] [--slo-availability F] [--flight-slow N]\n               \
          [--flight-errors N] [--flight-dump FILE]\n               \
-         [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]\n  \
+         [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]\n               \
+         [--sojourn-target-ms MS] [--shed-interval-ms MS] [--tenant-share-permille P]\n               \
+         [--brownout-enter MILLI] [--brownout-exit MILLI]\n               \
+         [--chaos reset=R,stall=R,partial=R,abort=R,stall-millis=MS]\n               \
+         [--chaos-seed N] [--chaos-addr-file FILE]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -637,24 +641,83 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             .map_or(Ok(64), |s| s.parse().map_err(|_| "bad --flight-errors"))?,
     };
     let engine = Arc::new(mqo_serve::Engine::new(bundle, cfg)?);
+    let mut overload = mqo_serve::OverloadConfig::default();
+    if let Some(ms) = flags.get("sojourn-target-ms") {
+        overload.sojourn_target_micros =
+            ms.parse::<u64>().map_err(|_| "bad --sojourn-target-ms")?.saturating_mul(1_000);
+    }
+    if let Some(ms) = flags.get("shed-interval-ms") {
+        overload.shed_interval_micros =
+            ms.parse::<u64>().map_err(|_| "bad --shed-interval-ms")?.saturating_mul(1_000);
+    }
+    if let Some(p) = flags.get("tenant-share-permille") {
+        overload.tenant_share_permille =
+            p.parse().map_err(|_| "bad --tenant-share-permille")?;
+    }
+    if let Some(m) = flags.get("brownout-enter") {
+        overload.brownout_enter_milli = m.parse().map_err(|_| "bad --brownout-enter")?;
+    }
+    if let Some(m) = flags.get("brownout-exit") {
+        overload.brownout_exit_milli = m.parse().map_err(|_| "bad --brownout-exit")?;
+    }
+    let public_addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8080".into());
+    let chaos = flags
+        .get("chaos")
+        .map(|spec| mqo_fault::NetFaultConfig::parse(spec))
+        .transpose()
+        .map_err(|e| format!("bad --chaos: {e}"))?;
     let options = ServerOptions {
-        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8080".into()),
+        // Under network chaos the proxy owns the public address and the
+        // server hides behind it on a free port.
+        addr: if chaos.is_some() { "127.0.0.1:0".into() } else { public_addr.clone() },
         workers: flags
             .get("workers")
             .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --workers"))?,
         queue_capacity: flags
             .get("queue-cap")
             .map_or(Ok(64), |s| s.parse().map_err(|_| "bad --queue-cap"))?,
+        overload,
     };
     let workers = options.workers;
     let server = mqo_serve::Server::start(Arc::clone(&engine), options)
         .map_err(|e| format!("cannot serve: {e}"))?;
-    println!("serving         : http://{}/v1/classify", server.addr());
+    // Chaos injections are announced through the engine's own fanout so
+    // they land in the same metrics registry and flight recorder as
+    // everything else.
+    struct EngineSink(Arc<mqo_serve::Engine>);
+    impl mqo_obs::EventSink for EngineSink {
+        fn emit(&self, event: &mqo_obs::Event) {
+            self.0.fanout().emit(event);
+        }
+    }
+    let proxy = match chaos {
+        None => None,
+        Some(net_cfg) => {
+            let chaos_seed = flags
+                .get("chaos-seed")
+                .map_or(Ok(seed), |s| s.parse().map_err(|_| "bad --chaos-seed"))?;
+            let schedule = mqo_fault::NetFaultSchedule::seeded(chaos_seed, net_cfg);
+            let sink: Arc<dyn mqo_obs::EventSink> = Arc::new(EngineSink(Arc::clone(&engine)));
+            Some(
+                mqo_fault::ChaosProxy::start(&public_addr, server.addr(), schedule, sink)
+                    .map_err(|e| format!("cannot start chaos proxy on {public_addr}: {e}"))?,
+            )
+        }
+    };
+    let public = proxy.as_ref().map_or(server.addr(), |p| p.addr());
+    println!("serving         : http://{public}/v1/classify");
     println!(
         "endpoints       : /v1/healthz /v1/stats /v1/slo /v1/debug/flight /v1/drain \
          /metrics /progress"
     );
+    if proxy.is_some() {
+        println!("chaos proxy     : fronting http://{} (direct, fault-free)", server.addr());
+    }
     if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, format!("{public}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = flags.get("chaos-addr-file") {
         std::fs::write(path, format!("{}\n", server.addr()))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
@@ -664,6 +727,11 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     println!("drain requested : finishing in-flight work");
+    if let Some(p) = proxy {
+        let injected = p.injected();
+        p.stop();
+        println!("chaos proxy     : stopped after {injected} injected fault(s)");
+    }
     let report = server.drain();
 
     let totals = engine.totals();

@@ -347,6 +347,14 @@ impl<'a> Executor<'a> {
         force_prune: bool,
         scratch: &mut RenderScratch,
     ) -> Result<QueryRecord> {
+        // A served request's propagated deadline (installed thread-local
+        // by the serving layer; see `mqo_llm::deadline`): once it passes,
+        // remaining queries become cheap failed outcomes — no render, no
+        // request, zero tokens — instead of burning budget on answers
+        // nobody is waiting for. Batch runs never install one.
+        if mqo_llm::request_deadline_expired(self.clock.now_micros()) {
+            return Ok(self.failed_record(v, "request deadline exceeded".to_string()));
+        }
         let started = self.clock.now_micros();
         let query_span = self.tracer.span(
             self.sink,
@@ -846,6 +854,22 @@ mod tests {
             }
             other => panic!("expected QueryCost, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_request_deadline_fails_remaining_queries_cheaply() {
+        let tag = two_cliques();
+        // An empty script panics if any query reaches the model.
+        let llm = ScriptedLlm::new(Vec::<String>::new());
+        let clock = mqo_obs::ManualClock::new();
+        clock.advance(10);
+        let exec = Executor::new(&tag, &llm, 4, 0).with_clock(&clock);
+        let labels = LabelStore::empty(tag.num_nodes());
+        let _g = mqo_llm::with_request_deadline(10);
+        let out = exec.run_all(&ZeroShot, &labels, &queries(), |_| false).unwrap();
+        assert_eq!(out.failed(), 2, "every query is a recorded failed outcome");
+        assert_eq!(llm.meter().totals().requests, 0, "no request was sent");
+        assert!(out.records.iter().all(|r| r.prompt_tokens == 0), "zero tokens billed");
     }
 
     #[test]

@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
+
+pub use net::{ChaosProxy, NetFault, NetFaultConfig, NetFaultSchedule};
+
 use mqo_llm::{Completion, Error, LanguageModel, Result};
 use mqo_obs::{Event, EventSink, NullSink, WaitClock};
 use mqo_token::UsageMeter;
@@ -181,7 +185,7 @@ pub struct FaultSchedule {
 
 /// splitmix64: the same stationary hash `mqo-core` uses for per-query
 /// RNGs, giving a uniform u64 per (seed, call) pair.
-fn mix(seed: u64, call: u64) -> u64 {
+pub(crate) fn mix(seed: u64, call: u64) -> u64 {
     let mut z = seed ^ call.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

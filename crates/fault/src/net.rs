@@ -1,0 +1,541 @@
+//! Network chaos: a seeded TCP proxy that breaks connections on purpose.
+//!
+//! [`FaultyLlm`](crate::FaultyLlm) injects faults *inside* the process —
+//! the transport call fails, but the bytes on the wire were never real.
+//! [`ChaosProxy`] attacks the other surface: the HTTP server's socket
+//! handling. It sits between a client and an upstream server and, per
+//! connection, either passes bytes through untouched or injects one of
+//! four wire-level faults:
+//!
+//! * **reset** — the response is cut off after a few bytes and the
+//!   connection dropped, so the client sees a mid-response hangup;
+//! * **stall** — a slow-loris request: a few request bytes trickle
+//!   upstream, then the connection goes silent and dies. The server must
+//!   give up within its read budget instead of pinning a handler thread;
+//! * **partial_write** — the response is truncated mid-headers;
+//! * **abort** — one exchange is allowed to complete, then the keep-alive
+//!   session is torn down, forcing the client to reconnect.
+//!
+//! Like [`FaultSchedule`](crate::FaultSchedule), the draw is pure in
+//! `(seed, connection index)` — the same seed always breaks the same
+//! connections the same way, so a chaos run is reproducible bit for bit.
+//! Every injection is announced as [`Event::ChaosInjected`] so the
+//! server's metrics and flight recorder show the attack as it lands.
+
+use mqo_obs::{Event, EventSink};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One wire-level fault drawn from a schedule for a specific connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Pass the connection through untouched.
+    None,
+    /// Drop the connection after forwarding a few response bytes.
+    Reset,
+    /// Slow-loris: trickle a few request bytes, then go silent and die.
+    Stall,
+    /// Truncate the response mid-headers.
+    PartialWrite,
+    /// Allow one exchange, then tear down the keep-alive session.
+    AbortKeepAlive,
+}
+
+impl NetFault {
+    /// Stable name used in [`Event::ChaosInjected`].
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFault::None => "none",
+            NetFault::Reset => "reset",
+            NetFault::Stall => "stall",
+            NetFault::PartialWrite => "partial_write",
+            NetFault::AbortKeepAlive => "abort",
+        }
+    }
+}
+
+/// Independent per-fault probabilities, checked in order (reset, stall,
+/// partial, abort) against one uniform draw per connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultConfig {
+    /// Probability of a mid-response connection drop.
+    pub reset_rate: f64,
+    /// Probability of a slow-loris stalled request.
+    pub stall_rate: f64,
+    /// Probability of a truncated response.
+    pub partial_rate: f64,
+    /// Probability of a keep-alive abort after one exchange.
+    pub abort_rate: f64,
+    /// How long a stalled connection stays silent before dying.
+    pub stall_millis: u64,
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        NetFaultConfig {
+            reset_rate: 0.0,
+            stall_rate: 0.0,
+            partial_rate: 0.0,
+            abort_rate: 0.0,
+            stall_millis: 200,
+        }
+    }
+}
+
+impl NetFaultConfig {
+    /// Parse a CLI spec like
+    /// `"reset=0.1,stall=0.05,partial=0.05,abort=0.1,stall-millis=200"`.
+    /// Unknown keys are rejected; omitted keys keep their defaults.
+    pub fn parse(spec: &str) -> std::result::Result<Self, String> {
+        let mut cfg = NetFaultConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("net chaos spec item {part:?} is not key=value"))?;
+            let rate = || -> std::result::Result<f64, String> {
+                let r: f64 = value.parse().map_err(|_| format!("bad rate in {part:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("rate out of [0,1] in {part:?}"));
+                }
+                Ok(r)
+            };
+            match key {
+                "reset" => cfg.reset_rate = rate()?,
+                "stall" => cfg.stall_rate = rate()?,
+                "partial" | "partial-write" => cfg.partial_rate = rate()?,
+                "abort" => cfg.abort_rate = rate()?,
+                "stall-millis" => {
+                    cfg.stall_millis =
+                        value.parse().map_err(|_| format!("bad millis in {part:?}"))?;
+                }
+                other => return Err(format!("unknown net chaos key {other:?}")),
+            }
+        }
+        let total = cfg.reset_rate + cfg.stall_rate + cfg.partial_rate + cfg.abort_rate;
+        if total > 1.0 {
+            return Err(format!("net chaos rates sum to {total:.3} > 1"));
+        }
+        Ok(cfg)
+    }
+}
+
+/// A seeded, deterministic mapping from connection index to [`NetFault`].
+/// The draw for connection `i` depends only on `(seed, i)` — the same
+/// splitmix64 stationary hash [`FaultSchedule`](crate::FaultSchedule)
+/// uses, so a chaos run can be replayed or inspected ahead of time.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultSchedule {
+    seed: u64,
+    cfg: NetFaultConfig,
+}
+
+impl NetFaultSchedule {
+    /// A schedule drawing faults per `cfg` under `seed`.
+    pub fn seeded(seed: u64, cfg: NetFaultConfig) -> Self {
+        NetFaultSchedule { seed, cfg }
+    }
+
+    /// The fault (or [`NetFault::None`]) for connection `conn`.
+    pub fn fault_for(&self, conn: u64) -> NetFault {
+        let u = super::mix(self.seed, conn) as f64 / u64::MAX as f64;
+        let mut edge = self.cfg.reset_rate;
+        if u < edge {
+            return NetFault::Reset;
+        }
+        edge += self.cfg.stall_rate;
+        if u < edge {
+            return NetFault::Stall;
+        }
+        edge += self.cfg.partial_rate;
+        if u < edge {
+            return NetFault::PartialWrite;
+        }
+        edge += self.cfg.abort_rate;
+        if u < edge {
+            return NetFault::AbortKeepAlive;
+        }
+        NetFault::None
+    }
+
+    /// The configured stall duration.
+    pub fn stall(&self) -> Duration {
+        Duration::from_millis(self.cfg.stall_millis)
+    }
+}
+
+/// Hard ceiling on how long either pump waits on a silent socket, so a
+/// wedged peer cannot pin a proxy thread past a drain.
+const PUMP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How one direction of a proxied connection forwards bytes.
+enum Pump {
+    /// Forward everything until EOF or error.
+    Copy,
+    /// Forward at most this many bytes, then tear the connection down.
+    Truncate(usize),
+    /// Forward until the stream goes idle for this long *after* at least
+    /// one byte moved, then tear the connection down (keep-alive abort).
+    CloseAfterIdle(Duration),
+}
+
+/// Copy bytes `from → to` per `plan`; on exit, shut both streams down so
+/// the opposite pump unblocks too. Returns bytes forwarded.
+fn pump(mut from: TcpStream, mut to: TcpStream, plan: Pump) -> u64 {
+    let idle = match &plan {
+        Pump::CloseAfterIdle(idle) => *idle,
+        _ => PUMP_TIMEOUT,
+    };
+    let _ = from.set_read_timeout(Some(idle));
+    let mut buf = [0u8; 8192];
+    let mut forwarded: u64 = 0;
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let take = match plan {
+                    Pump::Truncate(limit) => (limit.saturating_sub(forwarded as usize)).min(n),
+                    _ => n,
+                };
+                if take > 0 && to.write_all(&buf[..take]).is_err() {
+                    break;
+                }
+                forwarded += take as u64;
+                if matches!(plan, Pump::Truncate(limit) if forwarded as usize >= limit) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && matches!(plan, Pump::CloseAfterIdle(_))
+                    && forwarded > 0 =>
+            {
+                // One exchange went through and the line went quiet:
+                // this is where the keep-alive abort strikes.
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+    forwarded
+}
+
+/// Serve one proxied connection, applying `fault` to it.
+fn handle_conn(client: TcpStream, upstream_addr: SocketAddr, fault: NetFault, stall: Duration) {
+    if fault == NetFault::Stall {
+        // Slow-loris: never contact the upstream with a whole request.
+        // Read a little of the client's bytes, forward *some* of them
+        // upstream, then go silent for the stall window and vanish.
+        if let Ok(mut upstream) = TcpStream::connect(upstream_addr) {
+            let mut c = client;
+            let _ = c.set_read_timeout(Some(PUMP_TIMEOUT));
+            let mut buf = [0u8; 64];
+            if let Ok(n) = c.read(&mut buf) {
+                let _ = upstream.write_all(&buf[..n.min(16)]);
+            }
+            thread::sleep(stall);
+            let _ = upstream.shutdown(Shutdown::Both);
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        return;
+    }
+    let Ok(upstream) = TcpStream::connect(upstream_addr) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+        return;
+    };
+    // Request path runs on its own thread; the response path (where most
+    // faults land) runs here. Each pump shuts both sockets down when it
+    // finishes, so neither thread outlives the connection.
+    let request_pump = thread::spawn(move || pump(client_r, upstream_r, Pump::Copy));
+    let response_plan = match fault {
+        NetFault::Reset => Pump::Truncate(8),
+        NetFault::PartialWrite => Pump::Truncate(64),
+        NetFault::AbortKeepAlive => Pump::CloseAfterIdle(Duration::from_millis(50)),
+        NetFault::None | NetFault::Stall => Pump::Copy,
+    };
+    pump(upstream, client, response_plan);
+    let _ = request_pump.join();
+}
+
+/// The chaos proxy: accepts client connections, draws a [`NetFault`] per
+/// connection index, and forwards traffic to the upstream server through
+/// that fault. Stop with [`ChaosProxy::stop`] (dropping stops it too).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    injected: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (e.g. `127.0.0.1:0`) and start proxying to
+    /// `upstream`. Injections are announced on `sink` as
+    /// [`Event::ChaosInjected`].
+    pub fn start(
+        listen: &str,
+        upstream: SocketAddr,
+        schedule: NetFaultSchedule,
+        sink: Arc<dyn EventSink>,
+    ) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let injected = Arc::new(AtomicU64::new(0));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            let injected = Arc::clone(&injected);
+            thread::Builder::new().name("mqo-chaos-accept".into()).spawn(move || {
+                let mut conn_index: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let conn = conn_index;
+                            conn_index += 1;
+                            let fault = schedule.fault_for(conn);
+                            if fault != NetFault::None {
+                                injected.fetch_add(1, Ordering::Relaxed);
+                                sink.emit(&Event::ChaosInjected {
+                                    conn,
+                                    action: fault.name().into(),
+                                });
+                            }
+                            let stall = schedule.stall();
+                            let handle = thread::spawn(move || {
+                                handle_conn(client, upstream, fault, stall);
+                            });
+                            let mut reg = handlers.lock().expect("chaos handler registry");
+                            reg.retain(|h| !h.is_finished());
+                            reg.push(handle);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })?
+        };
+        Ok(ChaosProxy { addr, stop, accept: Some(accept), handlers, injected })
+    }
+
+    /// The proxy's listen address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections that had a fault injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the connection pumps.
+    pub fn stop(mut self) {
+        self.stop_in_place();
+    }
+
+    fn stop_in_place(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().expect("chaos handler registry"));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_in_place();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_obs::Recorder;
+    use std::io::BufRead;
+
+    /// A tiny upstream: answers every HTTP request on a connection with
+    /// a fixed 200 until the client hangs up.
+    fn tiny_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            // Serve a bounded number of connections, then exit.
+            for _ in 0..16 {
+                let Ok((stream, _)) = listener.accept() else { return };
+                thread::spawn(move || {
+                    let mut reader = io::BufReader::new(stream.try_clone().unwrap());
+                    let mut stream = stream;
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    loop {
+                        // Read one request's header block.
+                        let mut saw_any = false;
+                        loop {
+                            let mut line = String::new();
+                            match reader.read_line(&mut line) {
+                                Ok(0) => return,
+                                Ok(_) if line == "\r\n" || line == "\n" => break,
+                                Ok(_) => saw_any = true,
+                                Err(_) => return,
+                            }
+                        }
+                        if !saw_any {
+                            return;
+                        }
+                        let body = "{\"status\":\"ok\"}\n";
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                             content-length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        if stream.write_all(resp.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn get(addr: SocketAddr) -> io::Result<String> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(2)))?;
+        s.write_all(b"GET / HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")?;
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    out.extend_from_slice(&buf[..n]);
+                    // The tiny upstream never closes first; one complete
+                    // response body is all a test needs.
+                    if out.ends_with(b"}\n") {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_cover_every_fault() {
+        let cfg = NetFaultConfig {
+            reset_rate: 0.2,
+            stall_rate: 0.2,
+            partial_rate: 0.2,
+            abort_rate: 0.2,
+            ..NetFaultConfig::default()
+        };
+        let a = NetFaultSchedule::seeded(11, cfg);
+        let b = NetFaultSchedule::seeded(11, cfg);
+        let draw = |s: &NetFaultSchedule| (0..200).map(|i| s.fault_for(i)).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b), "same seed, same schedule");
+        for name in ["reset", "stall", "partial_write", "abort", "none"] {
+            assert!(draw(&a).iter().any(|f| f.name() == name), "no {name} in 200 draws");
+        }
+    }
+
+    #[test]
+    fn config_parsing_round_trips_the_cli_spec() {
+        let cfg = NetFaultConfig::parse(
+            "reset=0.1, stall=0.05,partial=0.2,abort=0.1,stall-millis=50",
+        )
+        .unwrap();
+        assert_eq!(cfg.reset_rate, 0.1);
+        assert_eq!(cfg.stall_rate, 0.05);
+        assert_eq!(cfg.partial_rate, 0.2);
+        assert_eq!(cfg.abort_rate, 0.1);
+        assert_eq!(cfg.stall_millis, 50);
+        assert!(NetFaultConfig::parse("bogus=1").is_err(), "unknown keys rejected");
+        assert!(NetFaultConfig::parse("reset=0.9,abort=0.9").is_err(), "sum > 1 rejected");
+        assert_eq!(NetFaultConfig::parse("").unwrap(), NetFaultConfig::default());
+    }
+
+    #[test]
+    fn clean_proxy_passes_requests_through() {
+        let (upstream, _server) = tiny_upstream();
+        let sink = Arc::new(Recorder::new());
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            upstream,
+            NetFaultSchedule::seeded(1, NetFaultConfig::default()),
+            sink.clone(),
+        )
+        .unwrap();
+        let resp = get(proxy.addr()).unwrap();
+        assert!(resp.contains("200 OK"), "got: {resp}");
+        assert!(resp.contains("\"ok\""), "got: {resp}");
+        assert_eq!(proxy.injected(), 0);
+        assert!(sink.of_kind("chaos_injected").is_empty());
+        proxy.stop();
+    }
+
+    #[test]
+    fn injected_faults_break_connections_and_announce_themselves() {
+        let (upstream, _server) = tiny_upstream();
+        let sink = Arc::new(Recorder::new());
+        // Every connection resets: the client never sees a whole response.
+        let cfg = NetFaultConfig { reset_rate: 1.0, ..NetFaultConfig::default() };
+        let proxy = ChaosProxy::start(
+            "127.0.0.1:0",
+            upstream,
+            NetFaultSchedule::seeded(1, cfg),
+            sink.clone(),
+        )
+        .unwrap();
+        let resp = get(proxy.addr()).unwrap_or_default();
+        assert!(
+            resp.len() <= 8,
+            "a reset connection must not deliver the response, got {} bytes",
+            resp.len()
+        );
+        assert!(proxy.injected() >= 1);
+        let events = sink.of_kind("chaos_injected");
+        assert!(!events.is_empty(), "injection must announce itself");
+        proxy.stop();
+    }
+
+    #[test]
+    fn stalled_connections_die_without_wedging_the_proxy() {
+        let (upstream, _server) = tiny_upstream();
+        let sink = Arc::new(Recorder::new());
+        let cfg =
+            NetFaultConfig { stall_rate: 1.0, stall_millis: 30, ..NetFaultConfig::default() };
+        let proxy =
+            ChaosProxy::start("127.0.0.1:0", upstream, NetFaultSchedule::seeded(2, cfg), sink)
+                .unwrap();
+        let started = std::time::Instant::now();
+        let resp = get(proxy.addr()).unwrap_or_default();
+        assert!(!resp.contains("\"ok\""), "a stalled request must not complete: {resp}");
+        assert!(started.elapsed() < Duration::from_secs(5), "stall must be bounded");
+        proxy.stop();
+    }
+}

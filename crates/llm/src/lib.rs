@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cached;
+pub mod deadline;
 pub mod error;
 pub mod graphllm;
 pub mod link;
@@ -48,6 +49,9 @@ pub mod validate;
 pub(crate) use simllm::fnv64 as simllm_fnv;
 
 pub use cached::{CachedLlm, CachedLlmStats};
+pub use deadline::{
+    request_deadline_expired, request_deadline_micros, with_request_deadline, DeadlineGuard,
+};
 pub use error::{Error, Result};
 pub use link::SimLinkLlm;
 pub use model::{Completion, LanguageModel, ScriptedLlm};

@@ -275,11 +275,35 @@ impl<L: LanguageModel> LanguageModel for ResilientLlm<L> {
     }
 
     fn complete(&self, prompt: &str) -> Result<Completion> {
+        // A served request's propagated deadline (see [`crate::deadline`]):
+        // once it passes, fail fast without pacing, tripping the breaker,
+        // or touching the transport — nothing is metered, and retries of
+        // this error drain instantly because every attempt fails the same
+        // check.
+        let now = self.clock.now_micros();
+        if let Some(request_deadline) = crate::deadline::request_deadline_micros() {
+            if now >= request_deadline {
+                return Err(Error::DeadlineExceeded {
+                    elapsed_micros: now,
+                    deadline_micros: request_deadline,
+                });
+            }
+        }
+        // Remaining request time tightens the static per-call deadline: a
+        // call that outlives its request is discarded like any
+        // over-deadline call (its metered tokens surface as unattributed
+        // spend in the ledger).
+        let remaining =
+            crate::deadline::request_deadline_micros().map(|d| d.saturating_sub(now));
+        let call_deadline = match (self.cfg.deadline_micros, remaining) {
+            (Some(d), Some(r)) => Some(d.min(r)),
+            (d, r) => d.or(r),
+        };
         self.admit()?;
         let start = self.clock.now_micros();
         let result = self.inner.complete(prompt);
         let elapsed = self.clock.now_micros().saturating_sub(start);
-        let result = match (result, self.cfg.deadline_micros) {
+        let result = match (result, call_deadline) {
             (Ok(_), Some(deadline)) if elapsed > deadline => {
                 // The completion is discarded, but its tokens were
                 // metered by `inner`: they become unattributed spend.
@@ -567,5 +591,40 @@ mod tests {
         assert!(llm.complete("p").is_ok());
         assert!(clock.now_micros() >= 120_000_000, "minutes passed virtually");
         assert!(wall.elapsed().as_millis() < 1_000, "…but not in wall time");
+    }
+
+    #[test]
+    fn expired_request_deadline_fails_fast_without_touching_the_transport() {
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(10_000);
+        // An empty script panics if the transport is ever reached.
+        let t = Transport::new(&clock, Vec::new());
+        let llm = ResilientLlm::new(t, cfg(), clock.clone() as _);
+        let _g = crate::deadline::with_request_deadline(10_000);
+        let err = llm.complete("p").unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got: {err}");
+        assert_eq!(llm.inner().meter().totals().requests, 0, "nothing was metered");
+        // The breaker must not count deadline fail-fasts as provider
+        // failures: the next call (with the deadline lifted) goes through
+        // admission as if nothing happened.
+        drop(_g);
+    }
+
+    #[test]
+    fn request_deadline_tightens_the_per_call_deadline() {
+        let clock = Arc::new(ManualClock::new());
+        // One slow success: the call takes 5_000µs, finishing past the
+        // request deadline at 2_000µs. The completion is discarded and its
+        // metered tokens become unattributed spend.
+        let t = Transport::new(&clock, vec![Step::SlowOk(5_000)]);
+        let llm = ResilientLlm::new(t, cfg(), clock.clone() as _);
+        let _g = crate::deadline::with_request_deadline(2_000);
+        let err = llm.complete("p").unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded { .. }), "got: {err}");
+        assert_eq!(
+            llm.inner().meter().totals().requests,
+            1,
+            "the transport was reached; its spend is unattributed"
+        );
     }
 }

@@ -211,6 +211,48 @@ pub enum Event {
         /// record.
         trace: String,
     },
+    /// The overload controller shed a request before it reached a slot
+    /// (adaptive sojourn-time shedding, tenant fair-share cap, or hard
+    /// wait-room saturation).
+    RequestShed {
+        /// Tenant whose request was shed.
+        tenant: String,
+        /// Why: `sojourn`, `tenant_share`, or `saturated`.
+        reason: String,
+        /// The computed `Retry-After` the client was told, in seconds.
+        retry_after_secs: u64,
+    },
+    /// A request's propagated deadline (`x-mqo-deadline-ms`) expired
+    /// before useful work could be done; the request was answered 504
+    /// and billed nothing.
+    DeadlineExpired {
+        /// Request trace id (16 lowercase hex digits).
+        trace: String,
+        /// Where the deadline was discovered blown: `queue`, `admitted`,
+        /// or `executing`.
+        stage: String,
+        /// Microseconds the request had already spent in the server.
+        waited_micros: u64,
+    },
+    /// Brown-out engaged: admitted classify requests switch to pruned,
+    /// neighbor-free prompts (Algorithm 1's top-τ% treatment applied to
+    /// the whole admitted stream) until pressure subsides.
+    BrownoutEnter {
+        /// Pressure signal at the transition, in milli-units.
+        pressure_milli: u64,
+    },
+    /// Brown-out disengaged: admitted requests get full prompts again.
+    BrownoutExit {
+        /// Pressure signal at the transition, in milli-units.
+        pressure_milli: u64,
+    },
+    /// The network-chaos layer injected one connection-level fault.
+    ChaosInjected {
+        /// 0-based accepted-connection index the fault fired on.
+        conn: u64,
+        /// Fault action: `reset`, `stall`, `partial_write`, `abort`.
+        action: String,
+    },
 }
 
 /// Append `s` JSON-escaped (quoted) onto `out`.
@@ -253,6 +295,11 @@ impl Event {
             Event::WorkerLost { .. } => "worker_lost",
             Event::QueryReplayed { .. } => "query_replayed",
             Event::QueryCost { .. } => "query_cost",
+            Event::RequestShed { .. } => "request_shed",
+            Event::DeadlineExpired { .. } => "deadline_expired",
+            Event::BrownoutEnter { .. } => "brownout_enter",
+            Event::BrownoutExit { .. } => "brownout_exit",
+            Event::ChaosInjected { .. } => "chaos_injected",
         }
     }
 
@@ -390,6 +437,28 @@ impl Event {
                     s.push_str(",\"trace\":");
                     escape_json(&mut s, trace);
                 }
+            }
+            Event::RequestShed { tenant, reason, retry_after_secs } => {
+                s.push_str(",\"tenant\":");
+                escape_json(&mut s, tenant);
+                s.push_str(",\"reason\":");
+                escape_json(&mut s, reason);
+                let _ = write!(s, ",\"retry_after_secs\":{retry_after_secs}");
+            }
+            Event::DeadlineExpired { trace, stage, waited_micros } => {
+                s.push_str(",\"trace\":");
+                escape_json(&mut s, trace);
+                s.push_str(",\"stage\":");
+                escape_json(&mut s, stage);
+                let _ = write!(s, ",\"waited_micros\":{waited_micros}");
+            }
+            Event::BrownoutEnter { pressure_milli }
+            | Event::BrownoutExit { pressure_milli } => {
+                let _ = write!(s, ",\"pressure_milli\":{pressure_milli}");
+            }
+            Event::ChaosInjected { conn, action } => {
+                let _ = write!(s, ",\"conn\":{conn},\"action\":");
+                escape_json(&mut s, action);
             }
         }
         s.push('}');
@@ -533,6 +602,25 @@ mod tests {
                 },
                 "query_cost",
             ),
+            (
+                Event::RequestShed {
+                    tenant: "acme".into(),
+                    reason: "sojourn".into(),
+                    retry_after_secs: 3,
+                },
+                "request_shed",
+            ),
+            (
+                Event::DeadlineExpired {
+                    trace: "00f1e2d3c4b5a697".into(),
+                    stage: "queue".into(),
+                    waited_micros: 1500,
+                },
+                "deadline_expired",
+            ),
+            (Event::BrownoutEnter { pressure_milli: 1800 }, "brownout_enter"),
+            (Event::BrownoutExit { pressure_milli: 400 }, "brownout_exit"),
+            (Event::ChaosInjected { conn: 5, action: "reset".into() }, "chaos_injected"),
         ];
         for (e, kind) in cases {
             assert_eq!(e.kind(), kind);

@@ -35,7 +35,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cap on accepted request bodies: a classification batch is a few KB of
 /// node ids; anything near this size is a client bug or abuse.
@@ -159,6 +159,12 @@ pub struct HttpConnection {
     /// Reused response assembly buffer (head + body, one `write_all`).
     write_buf: Vec<u8>,
     keep_alive: bool,
+    /// Cumulative wall-clock budget for reading one request body. The
+    /// socket read timeout alone resets on every received byte, so a
+    /// slow-loris client trickling the body one byte at a time would pin
+    /// the connection thread forever; the body loop clamps the socket
+    /// timeout to what remains of this budget instead.
+    body_budget: Duration,
 }
 
 impl HttpConnection {
@@ -173,7 +179,14 @@ impl HttpConnection {
             line: String::with_capacity(256),
             write_buf: Vec::with_capacity(1024),
             keep_alive: false,
+            body_budget: Duration::from_secs(5),
         })
+    }
+
+    /// Shrink the cumulative body-read budget (tests use this to exercise
+    /// the stalled-body path without waiting out the 5s default).
+    pub fn set_body_budget(&mut self, budget: Duration) {
+        self.body_budget = budget;
     }
 
     /// Whether the connection should be kept open after the response to
@@ -280,10 +293,46 @@ impl HttpConnection {
 
         if let Some(n) = content_length.filter(|&n| n > 0) {
             req.body.resize(n, 0);
-            self.reader.read_exact(&mut req.body)?;
+            let result = self.read_body_within_budget(&mut req.body);
+            // Restore the steady-state socket timeout whatever happened
+            // mid-body; the next request (or the error response) must not
+            // inherit a shrunken timeout.
+            self.reader.get_ref().set_read_timeout(Some(Duration::from_secs(5)))?;
+            result?;
         }
         self.keep_alive = req.keep_alive;
         Ok(ReadOutcome::Request)
+    }
+
+    /// Read exactly `buf.len()` body bytes under one cumulative
+    /// wall-clock budget. Unlike `read_exact`, whose socket timeout
+    /// resets on every received byte, the remaining budget here shrinks
+    /// with elapsed time and the socket timeout is clamped to it — a
+    /// stalled or trickling body fails within ~[`body_budget`] total, no
+    /// matter how the client paces its bytes.
+    ///
+    /// [`body_budget`]: HttpConnection::set_body_budget
+    fn read_body_within_budget(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let started = Instant::now();
+        let mut filled = 0;
+        while filled < buf.len() {
+            let remaining = self
+                .body_budget
+                .checked_sub(started.elapsed())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| invalid("timed out mid-body (stalled client)"))?;
+            self.reader.get_ref().set_read_timeout(Some(remaining))?;
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => return Err(invalid("EOF mid-body (truncated request)")),
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) => {
+                    return Err(invalid("timed out mid-body (stalled client)"))
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Write a complete response with no extra headers.
@@ -728,6 +777,73 @@ mod tests {
         );
         assert!(raw.contains("400"), "got: {raw}");
         assert!(raw.contains("conflicting"), "got: {raw}");
+    }
+
+    /// Bugfix regression: the body used to be read with one `read_exact`,
+    /// whose socket timeout resets on every received byte — a client that
+    /// sends headers then stalls the body pinned the connection thread
+    /// for the full socket timeout (and a trickling client, forever). The
+    /// body read now runs under one cumulative budget.
+    #[test]
+    fn stalled_body_times_out_within_the_cumulative_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nhel").unwrap();
+            stream.flush().unwrap();
+            // Stall: keep the socket open, never send the remaining bytes.
+            let mut buf = Vec::new();
+            let _ = stream.read_to_end(&mut buf);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = HttpConnection::new(stream).unwrap();
+        conn.set_body_budget(Duration::from_millis(100));
+        let mut req = Request::default();
+        let started = Instant::now();
+        let err = conn.read_request(&mut req).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "stalled body must fail within the budget, not the 5s socket timeout"
+        );
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mid-body"), "got: {err}");
+        drop(conn);
+        client.join().unwrap();
+    }
+
+    /// The slow-loris shape proper: each byte arrives inside the socket
+    /// timeout, so per-byte timeouts never fire — only the cumulative
+    /// budget can cut the client off.
+    #[test]
+    fn trickled_body_cannot_extend_the_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n").unwrap();
+            stream.flush().unwrap();
+            for _ in 0..20 {
+                if stream.write_all(b"x").is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+                thread::sleep(Duration::from_millis(25));
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = HttpConnection::new(stream).unwrap();
+        conn.set_body_budget(Duration::from_millis(120));
+        let mut req = Request::default();
+        let started = Instant::now();
+        let err = conn.read_request(&mut req).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "trickled body must fail once the cumulative budget drains"
+        );
+        assert!(err.to_string().contains("mid-body"), "got: {err}");
+        drop(conn);
+        client.join().unwrap();
     }
 
     /// Duplicate `Content-Length` headers that *agree* are harmless

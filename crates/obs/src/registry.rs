@@ -462,6 +462,11 @@ pub struct MetricsSink {
     workers_lost: Arc<Counter>,
     queries_replayed: Arc<Counter>,
     events_dropped: Arc<Counter>,
+    requests_shed: Arc<CounterVec>,
+    deadline_expired: Arc<Counter>,
+    brownout_state: Arc<Gauge>,
+    brownout_transitions: Arc<Counter>,
+    chaos_injected: Arc<CounterVec>,
 }
 
 impl Default for MetricsSink {
@@ -572,6 +577,23 @@ impl MetricsSink {
             events_dropped: r.counter(
                 "mqo_events_dropped_total",
                 "Telemetry events evicted from bounded recorder rings",
+            ),
+            requests_shed: r.counter_vec(
+                "mqo_requests_shed_total",
+                "Requests shed by the overload controller",
+                &["reason"],
+            ),
+            deadline_expired: r.counter(
+                "mqo_deadline_expired_total",
+                "Requests whose propagated deadline expired (answered 504)",
+            ),
+            brownout_state: r.gauge("mqo_brownout", "Brown-out engaged (1) or not (0)"),
+            brownout_transitions: r
+                .counter("mqo_brownout_transitions_total", "Brown-out enter/exit transitions"),
+            chaos_injected: r.counter_vec(
+                "mqo_chaos_injected_total",
+                "Connection-level faults injected by the network-chaos layer",
+                &["action"],
             ),
             registry: {
                 // Scrape-identity series: which build is up and for how
@@ -696,6 +718,21 @@ impl EventSink for MetricsSink {
                 self.cost_starved.add(*starved_tokens);
                 self.cost_failed.add(*failed_tokens);
                 self.cost_enrichment.add(*enrichment_tokens);
+            }
+            Event::RequestShed { reason, .. } => {
+                self.requests_shed.with(&[reason.as_str()]).inc();
+            }
+            Event::DeadlineExpired { .. } => self.deadline_expired.inc(),
+            Event::BrownoutEnter { .. } => {
+                self.brownout_state.set(1);
+                self.brownout_transitions.inc();
+            }
+            Event::BrownoutExit { .. } => {
+                self.brownout_state.set(0);
+                self.brownout_transitions.inc();
+            }
+            Event::ChaosInjected { action, .. } => {
+                self.chaos_injected.with(&[action.as_str()]).inc();
             }
         }
     }

@@ -192,6 +192,14 @@ impl Summary {
                     s.cost_failed_tokens += failed_tokens;
                     s.cost_enrichment_tokens += enrichment_tokens;
                 }
+                // Serve-side overload/chaos transitions don't aggregate
+                // into the batch-run summary; they surface through the
+                // metrics registry and the flight recorder instead.
+                Event::RequestShed { .. }
+                | Event::DeadlineExpired { .. }
+                | Event::BrownoutEnter { .. }
+                | Event::BrownoutExit { .. }
+                | Event::ChaosInjected { .. } => {}
             }
         }
         s

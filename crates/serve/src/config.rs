@@ -103,10 +103,18 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Bounded queue capacity; a full queue answers `429 Retry-After`.
     pub queue_capacity: usize,
+    /// Overload-controller tunables: sojourn target, shed interval,
+    /// tenant fair share, and the brown-out thresholds.
+    pub overload: crate::shed::OverloadConfig,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        ServerOptions { addr: "127.0.0.1:0".into(), workers: 4, queue_capacity: 64 }
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            overload: crate::shed::OverloadConfig::default(),
+        }
     }
 }

@@ -65,6 +65,9 @@ pub struct ProcessedBatch {
     /// The request's trace id (empty when processed outside a traced
     /// request, e.g. from tests calling [`Engine::process`] directly).
     pub trace: String,
+    /// Whether brown-out degraded this batch: every query ran with a
+    /// pruned, neighbor-free prompt (Algorithm 1's top-τ% treatment).
+    pub degraded: bool,
 }
 
 impl ProcessedBatch {
@@ -75,6 +78,7 @@ impl ProcessedBatch {
             "records": self.records.iter().map(record_to_json).collect::<Vec<_>>(),
             "replayed": self.replayed,
             "billed_tokens": self.billed_tokens,
+            "degraded": self.degraded,
         });
         if !self.trace.is_empty() {
             if let Value::Object(o) = &mut v {
@@ -123,6 +127,9 @@ pub struct Engine {
     rejected_queue: Arc<Counter>,
     rejected_tenant: Arc<Counter>,
     rejected_draining: Arc<Counter>,
+    rejected_shed: Arc<Counter>,
+    deadline_expired_total: Arc<Counter>,
+    degraded_total: Arc<Counter>,
     http_requests: Arc<CounterVec>,
     http_micros: Arc<HistogramVec>,
 }
@@ -319,6 +326,18 @@ impl Engine {
                 "mqo_serve_rejected_draining_total",
                 "requests refused with 503 because the server was draining",
             ),
+            rejected_shed: counter(
+                "mqo_serve_rejected_shed_total",
+                "requests shed with 429 by the adaptive overload controller",
+            ),
+            deadline_expired_total: counter(
+                "mqo_serve_deadline_expired_total",
+                "requests answered 504 because their propagated deadline expired",
+            ),
+            degraded_total: counter(
+                "mqo_serve_degraded_total",
+                "requests served degraded (brown-out pruned prompts)",
+            ),
             tenants: TenantTable::new(cfg.tenant_budgets, cfg.default_tenant_budget),
             labels: RwLock::new(labels),
             method: cfg.method,
@@ -386,12 +405,28 @@ impl Engine {
         trace: &str,
         collector: Option<&dyn EventSink>,
     ) -> ProcessedBatch {
+        self.process_shaped(nodes, tenant, trace, collector, false)
+    }
+
+    /// [`process_traced`](Self::process_traced) with an overload shape:
+    /// when `degraded` is set (brown-out), every query in the batch is
+    /// force-pruned — neighbor text omitted, exactly the treatment
+    /// Algorithm 1 applies to its top-τ% adequate nodes — trading
+    /// accuracy for throughput instead of refusing the request.
+    pub fn process_shaped(
+        &self,
+        nodes: &[NodeId],
+        tenant: &str,
+        trace: &str,
+        collector: Option<&dyn EventSink>,
+        degraded: bool,
+    ) -> ProcessedBatch {
         match collector {
             Some(extra) => {
                 let tee = Tee::new(&*self.fanout, extra);
-                self.process_with(nodes, tenant, &tee, trace)
+                self.process_with(nodes, tenant, &tee, trace, degraded)
             }
-            None => self.process_with(nodes, tenant, &*self.fanout, trace),
+            None => self.process_with(nodes, tenant, &*self.fanout, trace, degraded),
         }
     }
 
@@ -401,6 +436,7 @@ impl Engine {
         tenant: &str,
         sink: &dyn EventSink,
         trace: &str,
+        degraded: bool,
     ) -> ProcessedBatch {
         let exec = self.executor(sink, trace);
         let report = {
@@ -409,7 +445,7 @@ impl Engine {
                 &*self.predictor,
                 Labels::Fixed(&labels),
                 nodes,
-                |_| false,
+                |_| degraded,
             )
         };
         let (records, replayed, billed_tokens) = match report {
@@ -438,8 +474,11 @@ impl Engine {
         }
         self.queries_total.add(records.len() as u64);
         self.replayed_total.add(replayed);
+        if degraded {
+            self.degraded_total.inc();
+        }
         self.tenants.charge(tenant, billed_tokens);
-        ProcessedBatch { records, replayed, billed_tokens, trace: trace.to_string() }
+        ProcessedBatch { records, replayed, billed_tokens, trace: trace.to_string(), degraded }
     }
 
     /// Mint a trace id for a request that supplied none. The nth minted
@@ -497,6 +536,16 @@ impl Engine {
         self.rejected_queue.inc();
     }
 
+    /// Count one adaptive-controller shed.
+    pub fn count_shed(&self) {
+        self.rejected_shed.inc();
+    }
+
+    /// Count one deadline-expired 504.
+    pub fn count_deadline_expired(&self) {
+        self.deadline_expired_total.inc();
+    }
+
     /// The `/v1/stats` document.
     pub fn stats_json(&self, queue: Option<(usize, usize)>, workers: usize) -> String {
         let totals = self.totals();
@@ -515,6 +564,12 @@ impl Engine {
                 "queue": self.rejected_queue.get(),
                 "tenant": self.rejected_tenant.get(),
                 "draining": self.rejected_draining.get(),
+                "shed": self.rejected_shed.get(),
+            },
+            "overload": {
+                "shed": self.rejected_shed.get(),
+                "deadline_expired": self.deadline_expired_total.get(),
+                "degraded": self.degraded_total.get(),
             },
             "tokens_billed": totals.prompt_tokens,
             "requests_sent": totals.requests,

@@ -34,6 +34,7 @@
 mod config;
 mod engine;
 mod server;
+pub mod shed;
 pub mod signal;
 mod slots;
 mod tenant;
@@ -41,4 +42,5 @@ mod tenant;
 pub use config::{ServeConfig, ServerOptions};
 pub use engine::{Engine, ProcessedBatch, Rejection};
 pub use server::{DrainReport, Server};
+pub use shed::{Admit, BrownoutTransition, OverloadConfig, OverloadControl};
 pub use tenant::{TenantAccount, TenantExhausted, TenantTable};

@@ -22,15 +22,34 @@
 //! connects a client timeout to its server-side spans, its journal
 //! record, and its token bill.
 //!
-//! Three admission gates guard `/v1/classify`, in order: draining
-//! (`503`), tenant budget (`429`, nothing billed), slot backpressure
-//! (`429 Retry-After`, the [`SlotGate`]'s wait room is full). Admitted
-//! work executes *on the connection handler's own thread* under a
-//! [`SlotPermit`]: the permit bounds concurrency exactly like the old
-//! worker pool did (at most `workers` batches running, at most
-//! `queue_capacity` waiting), but the request never crosses a queue or
-//! a reply channel — the handler calls straight into the engine's
-//! [`mqo_core::Scheduler`] FIFO path and writes the response itself.
+//! Four admission gates guard `/v1/classify`, in order: draining
+//! (`503`), tenant budget (`429`, nothing billed), the adaptive
+//! [`OverloadControl`] (`429` with a *computed* `Retry-After` when the
+//! controller is shedding or the tenant is over its fair share of the
+//! wait room), and slot backpressure (`429 Retry-After`, the
+//! [`SlotGate`]'s wait room is full). Admitted work executes *on the
+//! connection handler's own thread* under a [`SlotPermit`]: the permit
+//! bounds concurrency exactly like the old worker pool did (at most
+//! `workers` batches running, at most `queue_capacity` waiting), but
+//! the request never crosses a queue or a reply channel — the handler
+//! calls straight into the engine's [`mqo_core::Scheduler`] FIFO path
+//! and writes the response itself.
+//!
+//! ## Deadlines and brown-out
+//!
+//! An `x-mqo-deadline-ms` request header bounds the whole request: the
+//! slot wait is capped at the remaining budget, the deadline is
+//! re-checked at admission, and it rides a thread-local into the
+//! resilient LLM client so in-flight work stops metering the moment it
+//! cannot finish in time. An expired deadline answers `504` with zero
+//! tokens billed, at whichever stage it died (`queue`, `admitted`,
+//! `executing`).
+//!
+//! Under sustained pressure (shed rate + sojourn past the brown-out
+//! threshold) admitted requests are served *degraded*: the paper's
+//! pruned, neighbor-free prompts (Algorithm 1's top-τ% treatment
+//! applied to the whole stream), flagged `"degraded": true` in the
+//! response. Accuracy dips, goodput survives.
 //!
 //! ## Graceful drain
 //!
@@ -45,11 +64,13 @@
 
 use crate::config::ServerOptions;
 use crate::engine::{Engine, Rejection};
-use crate::slots::SlotGate;
+use crate::shed::{Admit, BrownoutTransition, OverloadControl};
+use crate::slots::{AcquireError, SlotGate};
 use mqo_graph::NodeId;
 use mqo_obs::httpd::{HttpConnection, ReadOutcome, Request};
 use mqo_obs::{
-    spans_from_events, Clock, FlightEntry, FlightSpan, Recorder, SpanId, Tee, MONOTONIC_CLOCK,
+    spans_from_events, Clock, Event, EventSink, FlightEntry, FlightSpan, Recorder, SpanId, Tee,
+    MONOTONIC_CLOCK,
 };
 use serde_json::{json, Value};
 use std::io::{self, ErrorKind};
@@ -117,6 +138,10 @@ impl Server {
 
         let gate: Arc<SlotGate> =
             Arc::new(SlotGate::new(options.workers.max(1), options.queue_capacity.max(1)));
+        let overload: Arc<OverloadControl> = Arc::new(OverloadControl::new(
+            options.overload.clone(),
+            options.queue_capacity.max(1),
+        ));
 
         let stop_accept = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -125,6 +150,7 @@ impl Server {
             let handlers = Arc::clone(&handlers);
             let engine = Arc::clone(&engine);
             let gate = Arc::clone(&gate);
+            let overload = Arc::clone(&overload);
             thread::Builder::new().name("mqo-serve-accept".into()).spawn(move || {
                 let errors = engine.metrics().registry().counter(
                     "mqo_http_errors_total",
@@ -135,9 +161,11 @@ impl Server {
                         Ok((stream, _)) => {
                             let engine = Arc::clone(&engine);
                             let gate = Arc::clone(&gate);
+                            let overload = Arc::clone(&overload);
                             let errors_conn = Arc::clone(&errors);
                             let handle = thread::spawn(move || {
-                                if handle_connection(&engine, &gate, stream).is_err() {
+                                if handle_connection(&engine, &gate, &overload, stream).is_err()
+                                {
                                     errors_conn.inc();
                                 }
                             });
@@ -380,14 +408,130 @@ fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, Strin
     Ok((nodes, tenant))
 }
 
+/// The absolute deadline (monotonic micros) a classify request runs
+/// under, parsed from its `x-mqo-deadline-ms` header. Errors are client
+/// errors (400).
+fn deadline_for(req: &Request, now_micros: u64) -> Result<Option<u64>, String> {
+    let Some(h) = req.header("x-mqo-deadline-ms") else {
+        return Ok(None);
+    };
+    let ms: u64 = h.trim().parse().map_err(|_| {
+        format!("invalid x-mqo-deadline-ms '{}': must be a non-negative integer", h.trim())
+    })?;
+    Ok(Some(now_micros.saturating_add(ms.saturating_mul(1_000))))
+}
+
+/// Refuse a classify request with `429` and a computed `Retry-After`.
+/// Used for both controller sheds and slot-gate saturation; the caller
+/// has already done the bookkeeping (counters, events, seat release).
+#[allow(clippy::too_many_arguments)]
+fn respond_shed(
+    engine: &Engine,
+    conn: &mut HttpConnection,
+    trace: String,
+    tenant: &str,
+    started: u64,
+    request_summary: String,
+    retry_after_secs: u64,
+    reason: &str,
+) -> io::Result<u16> {
+    let mut body = serde_json::to_string(&json!({
+        "error": "saturated",
+        "reason": reason,
+        "tenant": tenant,
+        "retry_after_secs": retry_after_secs,
+        "trace": trace,
+    }))
+    .expect("response serialization");
+    body.push('\n');
+    conn.respond_with_headers(
+        "429 Too Many Requests",
+        "application/json",
+        &[("Retry-After", retry_after_secs.to_string()), ("x-mqo-trace-id", trace.clone())],
+        &body,
+    )?;
+    Ok(finish_classify(
+        engine,
+        trace,
+        tenant,
+        429,
+        started,
+        Vec::new(),
+        request_summary,
+        format!("refused: {reason}, retry after {retry_after_secs}s"),
+    ))
+}
+
+/// Answer `504` for a request whose deadline expired at `stage`
+/// (`queue`, `admitted`, or `executing`), announcing the expiry as an
+/// event and a counter. Nothing is billed on this path: the request
+/// either never reached the engine or every query in it failed cheaply.
+#[allow(clippy::too_many_arguments)]
+fn respond_deadline_expired(
+    engine: &Engine,
+    conn: &mut HttpConnection,
+    trace: String,
+    tenant: &str,
+    started: u64,
+    request_summary: String,
+    stage: &str,
+    waited_micros: u64,
+    spans: Vec<FlightSpan>,
+) -> io::Result<u16> {
+    engine.count_deadline_expired();
+    engine.fanout().emit(&Event::DeadlineExpired {
+        trace: trace.clone(),
+        stage: stage.to_string(),
+        waited_micros,
+    });
+    traced_json(
+        conn,
+        "504 Gateway Timeout",
+        &trace,
+        &json!({
+            "error": "deadline exceeded",
+            "stage": stage,
+            "tenant": tenant,
+            "waited_micros": waited_micros,
+        }),
+    )?;
+    Ok(finish_classify(
+        engine,
+        trace,
+        tenant,
+        504,
+        started,
+        spans,
+        request_summary,
+        format!("deadline exceeded at {stage} after {waited_micros}us"),
+    ))
+}
+
 fn handle_classify(
     engine: &Engine,
     gate: &SlotGate,
+    overload: &OverloadControl,
     req: &Request,
     conn: &mut HttpConnection,
 ) -> io::Result<u16> {
     let started = MONOTONIC_CLOCK.now_micros();
     let trace = trace_for(req, engine);
+    let deadline = match deadline_for(req, started) {
+        Ok(d) => d,
+        Err(e) => {
+            traced_json(conn, "400 Bad Request", &trace, &json!({"error": e}))?;
+            return Ok(finish_classify(
+                engine,
+                trace,
+                "-",
+                400,
+                started,
+                Vec::new(),
+                "bad x-mqo-deadline-ms".into(),
+                e,
+            ));
+        }
+    };
     let (nodes, tenant) = match parse_classify(req, engine.num_nodes()) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -450,40 +594,114 @@ fn handle_classify(
         }
         Err(Rejection::Saturated) => unreachable!("admit never reports slot saturation"),
     }
-    let permit = match gate.acquire() {
-        Ok(permit) => permit,
-        Err(_) => {
+    // Adaptive shedding: the controller may refuse before the slot gate
+    // is consulted — standing-queue sojourn or a tenant past its fair
+    // share of the wait room.
+    if let Admit::Shed(reason) = overload.admit(&tenant, gate.waiting(), started) {
+        let retry_after = overload.retry_after_secs(gate.waiting());
+        engine.count_shed();
+        engine.fanout().emit(&Event::RequestShed {
+            tenant: tenant.clone(),
+            reason: reason.to_string(),
+            retry_after_secs: retry_after,
+        });
+        return respond_shed(
+            engine,
+            conn,
+            trace,
+            &tenant,
+            started,
+            request_summary,
+            retry_after,
+            reason,
+        );
+    }
+    // A fair-share seat is held from here on: every exit path below must
+    // release it exactly once.
+    let wait_budget =
+        deadline.map(|d| Duration::from_micros(d.saturating_sub(MONOTONIC_CLOCK.now_micros())));
+    let (permit, sojourn) = match gate.acquire_within(wait_budget) {
+        Ok(granted) => granted,
+        Err(AcquireError::Saturated) => {
+            overload.release(&tenant);
+            overload.note_shed(started);
             engine.count_queue_rejection();
-            let mut body = serde_json::to_string(
-                &json!({"error": "saturated", "tenant": tenant, "trace": trace}),
-            )
-            .expect("response serialization");
-            body.push('\n');
-            conn.respond_with_headers(
-                "429 Too Many Requests",
-                "application/json",
-                &[("Retry-After", "1".to_string()), ("x-mqo-trace-id", trace.clone())],
-                &body,
-            )?;
-            return Ok(finish_classify(
+            let retry_after = overload.retry_after_secs(gate.waiting());
+            engine.fanout().emit(&Event::RequestShed {
+                tenant: tenant.clone(),
+                reason: "saturated".to_string(),
+                retry_after_secs: retry_after,
+            });
+            return respond_shed(
                 engine,
+                conn,
                 trace,
                 &tenant,
-                429,
                 started,
-                Vec::new(),
                 request_summary,
-                "refused: saturated".into(),
-            ));
+                retry_after,
+                "saturated",
+            );
+        }
+        Err(AcquireError::DeadlineExpired) => {
+            overload.release(&tenant);
+            let now = MONOTONIC_CLOCK.now_micros();
+            overload.note_shed(now);
+            return respond_deadline_expired(
+                engine,
+                conn,
+                trace,
+                &tenant,
+                started,
+                request_summary,
+                "queue",
+                now.saturating_sub(started),
+                Vec::new(),
+            );
         }
     };
+    let admitted_at = MONOTONIC_CLOCK.now_micros();
+    overload.note_sojourn(sojourn.as_micros() as u64, admitted_at);
+    // The wait may have consumed the whole budget even though a slot
+    // freed up: fail fast rather than render a prompt nobody can bill.
+    if deadline.is_some_and(|d| admitted_at >= d) {
+        drop(permit);
+        overload.release(&tenant);
+        return respond_deadline_expired(
+            engine,
+            conn,
+            trace,
+            &tenant,
+            started,
+            request_summary,
+            "admitted",
+            admitted_at.saturating_sub(started),
+            Vec::new(),
+        );
+    }
+    // Brown-out: past the pressure threshold, admitted work runs with
+    // pruned neighbor-free prompts. Transitions are announced once.
+    let (degraded, transition) = overload.brownout(admitted_at);
+    if let Some(t) = transition {
+        engine.fanout().emit(&match t {
+            BrownoutTransition::Entered { pressure_milli } => {
+                Event::BrownoutEnter { pressure_milli }
+            }
+            BrownoutTransition::Exited { pressure_milli } => {
+                Event::BrownoutExit { pressure_milli }
+            }
+        });
+    }
     // Run the batch right here, on the handler's thread, under the
     // permit's bounded telemetry track — no queue, no reply channel. A
     // per-request collector rides alongside the shared fanout so the
     // flight recorder can rebuild this request's span tree afterwards.
+    // The request deadline rides a thread-local into the resilient LLM
+    // client, which stops metering the moment it cannot finish in time.
     mqo_obs::set_thread_track(permit.slot() + 1);
     let collector = Recorder::with_capacity(4096);
     let batch = {
+        let _deadline_guard = deadline.map(mqo_llm::with_request_deadline);
         let tee = Tee::new(engine.fanout(), &collector);
         let _span = engine.tracer().span(
             &tee,
@@ -491,17 +709,42 @@ fn handle_classify(
             || format!("{request_summary} [{trace}]"),
             engine.run_scope(),
         );
-        engine.process_traced(&nodes, &tenant, &trace, Some(&collector))
+        engine.process_shaped(&nodes, &tenant, &trace, Some(&collector), degraded)
     };
     drop(permit);
+    let done = MONOTONIC_CLOCK.now_micros();
+    overload.note_service(done.saturating_sub(admitted_at));
+    overload.release(&tenant);
     engine.count_request();
     engine.metrics().add_events_dropped(collector.dropped());
+    // A deadline that expired mid-execution leaves a batch where every
+    // query failed cheaply and nothing was billed: that is a `504`, not
+    // a `200` full of fallback predictions.
+    if deadline.is_some_and(|d| done >= d)
+        && batch.billed_tokens == 0
+        && batch.replayed == 0
+        && !batch.records.is_empty()
+        && batch.records.iter().all(|r| r.failed())
+    {
+        return respond_deadline_expired(
+            engine,
+            conn,
+            trace,
+            &tenant,
+            started,
+            request_summary,
+            "executing",
+            done.saturating_sub(started),
+            spans_from_events(&collector.events()),
+        );
+    }
     traced_json(conn, "200 OK", &trace, &batch.to_json(&tenant))?;
     let response_summary = format!(
-        "{} record(s), {} replayed, {} tokens billed",
+        "{} record(s), {} replayed, {} tokens billed{}",
         batch.records.len(),
         batch.replayed,
-        batch.billed_tokens
+        batch.billed_tokens,
+        if batch.degraded { ", degraded" } else { "" }
     );
     Ok(finish_classify(
         engine,
@@ -520,11 +763,12 @@ fn handle_classify(
 fn handle_request(
     engine: &Engine,
     gate: &SlotGate,
+    overload: &OverloadControl,
     req: &Request,
     conn: &mut HttpConnection,
 ) -> io::Result<u16> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/classify") => handle_classify(engine, gate, req, conn),
+        ("POST", "/v1/classify") => handle_classify(engine, gate, overload, req, conn),
         ("GET", "/v1/healthz") => {
             if engine.draining() {
                 json_response(conn, "503 Service Unavailable", &json!({"status": "draining"}))
@@ -578,7 +822,12 @@ fn handle_request(
 /// header floods) gets a best-effort `400` and surfaces as an error so
 /// the accept loop counts it in `mqo_http_errors_total` — the server
 /// itself stays up.
-fn handle_connection(engine: &Engine, gate: &SlotGate, stream: TcpStream) -> io::Result<()> {
+fn handle_connection(
+    engine: &Engine,
+    gate: &SlotGate,
+    overload: &OverloadControl,
+    stream: TcpStream,
+) -> io::Result<()> {
     let mut conn = HttpConnection::new(stream)?;
     let mut req = Request::default();
     loop {
@@ -602,7 +851,7 @@ fn handle_connection(engine: &Engine, gate: &SlotGate, stream: TcpStream) -> io:
             conn.set_keep_alive(false);
         }
         let started = MONOTONIC_CLOCK.now_micros();
-        let status = handle_request(engine, gate, &req, &mut conn)?;
+        let status = handle_request(engine, gate, overload, &req, &mut conn)?;
         // Classify observes itself (it knows the tenant); everything
         // else lands here under the tenantless label.
         if req.path != "/v1/classify" {

@@ -17,10 +17,16 @@
 //! same bounded Chrome-trace track a pool worker would have owned.
 
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Why [`SlotGate::acquire`] refused.
+/// Why [`SlotGate::acquire_within`] refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Saturated;
+pub enum AcquireError {
+    /// Wait room full: immediate backpressure, nothing queued.
+    Saturated,
+    /// The caller's wait budget drained before a slot freed up.
+    DeadlineExpired,
+}
 
 struct GateState {
     /// Free slot indices, used as a stack so a lightly loaded server
@@ -55,23 +61,46 @@ impl SlotGate {
         }
     }
 
-    /// Claim a slot, blocking while all are busy — unless the wait room
-    /// is already full, in which case the caller gets backpressure
-    /// immediately (nothing queued, nothing billed).
-    pub fn acquire(&self) -> Result<SlotPermit<'_>, Saturated> {
+    /// Claim a slot with a wait budget: block for a slot at most
+    /// `budget` (forever when `None`), and report how long the caller
+    /// actually waited — the *sojourn time* the overload controller keys
+    /// its shedding decisions on. A `None` budget never returns
+    /// [`AcquireError::DeadlineExpired`].
+    pub fn acquire_within(
+        &self,
+        budget: Option<Duration>,
+    ) -> Result<(SlotPermit<'_>, Duration), AcquireError> {
+        let started = Instant::now();
         let mut s = self.state.lock().expect("slot gate poisoned");
         if s.free.is_empty() {
             if s.waiting >= self.wait_cap {
-                return Err(Saturated);
+                return Err(AcquireError::Saturated);
             }
             s.waiting += 1;
             while s.free.is_empty() {
-                s = self.available.wait(s).expect("slot gate poisoned");
+                match budget {
+                    None => s = self.available.wait(s).expect("slot gate poisoned"),
+                    Some(budget) => {
+                        let Some(remaining) = budget.checked_sub(started.elapsed()) else {
+                            s.waiting -= 1;
+                            return Err(AcquireError::DeadlineExpired);
+                        };
+                        let (guard, timed_out) = self
+                            .available
+                            .wait_timeout(s, remaining)
+                            .expect("slot gate poisoned");
+                        s = guard;
+                        if timed_out.timed_out() && s.free.is_empty() {
+                            s.waiting -= 1;
+                            return Err(AcquireError::DeadlineExpired);
+                        }
+                    }
+                }
             }
             s.waiting -= 1;
         }
         let slot = s.free.pop().expect("non-empty free list");
-        Ok(SlotPermit { gate: self, slot })
+        Ok((SlotPermit { gate: self, slot }, started.elapsed()))
     }
 
     /// Handlers currently parked waiting for a slot (the queue depth the
@@ -122,15 +151,20 @@ mod tests {
     use std::thread;
     use std::time::Duration;
 
+    /// Unbudgeted claim, for tests that only exercise the permit logic.
+    fn acquire(gate: &SlotGate) -> SlotPermit<'_> {
+        gate.acquire_within(None).map(|(p, _)| p).expect("unbudgeted acquire")
+    }
+
     #[test]
     fn permits_are_exclusive_and_recycle() {
         let gate = SlotGate::new(2, 1);
-        let a = gate.acquire().unwrap();
-        let b = gate.acquire().unwrap();
+        let a = acquire(&gate);
+        let b = acquire(&gate);
         assert_ne!(a.slot(), b.slot());
         let (sa, sb) = (a.slot(), b.slot());
         drop(a);
-        let c = gate.acquire().unwrap();
+        let c = acquire(&gate);
         assert!(c.slot() == sa || c.slot() == sb);
         drop(b);
         drop(c);
@@ -140,23 +174,79 @@ mod tests {
     #[test]
     fn full_wait_room_saturates_immediately() {
         let gate = Arc::new(SlotGate::new(1, 1));
-        let held = gate.acquire().unwrap();
+        let held = acquire(&gate);
         let waiter = {
             let gate = Arc::clone(&gate);
             thread::spawn(move || {
-                let _p = gate.acquire().unwrap();
+                let _p = acquire(&gate);
             })
         };
         // Let the waiter park.
         while gate.waiting() == 0 {
             thread::sleep(Duration::from_millis(1));
         }
-        // Slot busy + wait room full → immediate backpressure.
-        assert_eq!(gate.acquire().err(), Some(Saturated));
+        // Slot busy + wait room full → immediate backpressure, even with
+        // no budget at all.
+        match gate.acquire_within(None) {
+            Ok(_) => panic!("a full wait room must refuse immediately"),
+            Err(e) => assert_eq!(e, AcquireError::Saturated),
+        }
         drop(held);
         waiter.join().unwrap();
         assert_eq!(gate.waiting(), 0);
-        assert!(gate.acquire().is_ok());
+        assert!(gate.acquire_within(None).is_ok());
+    }
+
+    #[test]
+    fn acquire_within_reports_sojourn_and_expires() {
+        let gate = Arc::new(SlotGate::new(1, 4));
+        // Free slot: immediate grant, near-zero sojourn.
+        let (p, sojourn) = gate.acquire_within(Some(Duration::from_secs(1))).unwrap();
+        assert!(sojourn < Duration::from_millis(100), "sojourn: {sojourn:?}");
+        // Slot busy: a tiny budget drains before the slot frees.
+        {
+            let gate = Arc::clone(&gate);
+            let err = thread::spawn(move || {
+                match gate.acquire_within(Some(Duration::from_millis(20))) {
+                    Ok(_) => panic!("a 20ms budget must not outlast a held slot"),
+                    Err(e) => e,
+                }
+            })
+            .join()
+            .unwrap();
+            assert_eq!(err, AcquireError::DeadlineExpired);
+        }
+        assert_eq!(gate.waiting(), 0, "an expired waiter leaves no ghost in the wait room");
+        // Slot busy but freed within the budget: granted, sojourn ≈ hold.
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || gate.acquire_within(Some(Duration::from_secs(5))).unwrap().1)
+        };
+        while gate.waiting() == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        drop(p);
+        let waited = waiter.join().unwrap();
+        assert!(waited >= Duration::from_millis(1), "waited: {waited:?}");
+    }
+
+    #[test]
+    fn acquire_within_without_budget_never_expires() {
+        let gate = Arc::new(SlotGate::new(1, 4));
+        let held = acquire(&gate);
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                let (p, _) = gate.acquire_within(None).unwrap();
+                drop(p);
+            })
+        };
+        while gate.waiting() == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(gate.waiting(), 0);
     }
 
     #[test]
@@ -169,7 +259,7 @@ mod tests {
                 let (gate, live, peak) =
                     (Arc::clone(&gate), Arc::clone(&live), Arc::clone(&peak));
                 thread::spawn(move || {
-                    let _p = gate.acquire().unwrap();
+                    let _p = acquire(&gate);
                     let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                     peak.fetch_max(now, Ordering::SeqCst);
                     thread::sleep(Duration::from_millis(2));

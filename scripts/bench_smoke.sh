@@ -67,6 +67,35 @@ for _ in $(seq 1 200); do [ -s "$SERVE_ADDR" ] && break; sleep 0.1; done
   --merge-into "$CURRENT" --drain > /dev/null
 wait "$SERVE_PID" || { echo "bench_smoke: server exited non-zero" >&2; exit 1; }
 
+echo "==> overload workload (open-loop burst past saturation, self-gating)"
+# loadgen --overload calibrates sustainable throughput, then offers 5x
+# open-loop. It exits non-zero itself when admitted goodput hits zero, a
+# 429 lacks a well-formed Retry-After in [1, 30], or the admitted p99
+# breaches the (deliberately generous, runner-noise-proof) SLO — the
+# point is that admitted work still finishes while the excess sheds.
+# A 20ms latency fault on every LLM call makes saturation real: without
+# it the simulated model absorbs any open-loop burst a single runner can
+# generate and the shedding path never fires.
+rm -f "$SERVE_ADDR"
+./target/release/mqo serve cora \
+  --addr 127.0.0.1:0 --addr-file "$SERVE_ADDR" --workers 4 --queue-cap 32 \
+  --queries 120 --seed 42 --no-cache \
+  --faults latency=1.0,latency-micros=20000 > target/bench_overload_serve.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$SERVE_ADDR" ] && break; sleep 0.1; done
+[ -s "$SERVE_ADDR" ] || { echo "bench_smoke: overload server never bound" >&2; exit 1; }
+# Concurrency must exceed the server's slots + wait room (4 + 32) or the
+# closed client population itself caps the in-flight count and the wait
+# room never fills — shedding would be untestable.
+./target/release/loadgen --addr-file "$SERVE_ADDR" \
+  --overload --requests 1200 --concurrency 48 --batch 2 --seed 42 \
+  --slo-p99-ms 10000 --out target/bench_overload.json --drain
+wait "$SERVE_PID" || { echo "bench_smoke: overload server exited non-zero" >&2; exit 1; }
+grep -q '"shed_429": 0,' target/bench_overload.json && {
+  echo "bench_smoke: a 5x overload burst shed nothing — controller asleep" >&2
+  exit 1
+}
+
 if [[ "${1:-}" == "--update" ]]; then
   cp "$CURRENT" "$BASELINE"
   echo "baseline updated: $BASELINE"

@@ -4,7 +4,7 @@
 #
 #   scripts/chaos_smoke.sh
 #
-# Four gated legs:
+# Five gated legs:
 #
 #   1. A seeded 10%-error / 5%-malformed run must complete every query
 #      (degraded mode), and its Chrome trace + cost ledger must pass
@@ -17,6 +17,11 @@
 #      the same dump as a never-crashed run of the same seed.
 #   4. Resuming the *completed* journal must replay everything: zero
 #      requests, zero re-billed tokens, identical records again.
+#   5. A server fronted by the seeded network-chaos proxy (connection
+#      resets, slow-loris stalls, truncated responses, keep-alive aborts)
+#      must keep serving: the direct listener answers healthz 200 for the
+#      whole burst, injected faults land in /metrics, the drain is clean,
+#      and the server log holds no panics.
 #
 # Everything is seeded, so each gate is exact — no tolerances.
 set -euo pipefail
@@ -27,7 +32,7 @@ OUT=target/chaos
 mkdir -p "$OUT"
 
 echo "==> building release binaries"
-cargo build --release -q -p mqo-bench --bin mqo --bin obs_check
+cargo build --release -q -p mqo-bench --bin mqo --bin obs_check --bin loadgen
 
 echo "==> leg 1: chaos run (10% transient, 5% malformed) completes and conserves"
 ./target/release/mqo classify cora \
@@ -85,5 +90,97 @@ diff "$OUT/clean_records.jsonl" "$OUT/replayed_records.jsonl" >/dev/null || {
   exit 1
 }
 echo "    full replay: 0 requests, 0 tokens, records identical"
+
+echo "==> leg 5: network chaos — serving survives resets, stalls, and aborts"
+PROXY_ADDR_FILE="$OUT/chaos_proxy_addr"
+DIRECT_ADDR_FILE="$OUT/chaos_direct_addr"
+rm -f "$PROXY_ADDR_FILE" "$DIRECT_ADDR_FILE"
+./target/release/mqo serve cora \
+  --addr 127.0.0.1:0 --addr-file "$PROXY_ADDR_FILE" \
+  --chaos reset=0.15,stall=0.05,partial=0.15,abort=0.15,stall-millis=50 \
+  --chaos-seed 42 --chaos-addr-file "$DIRECT_ADDR_FILE" \
+  --workers 4 --queue-cap 32 --queries 120 --seed 42 \
+  >"$OUT/chaos_serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  [ -s "$PROXY_ADDR_FILE" ] && [ -s "$DIRECT_ADDR_FILE" ] && break
+  sleep 0.1
+done
+if [[ ! -s "$PROXY_ADDR_FILE" || ! -s "$DIRECT_ADDR_FILE" ]]; then
+  echo "FAIL: chaos server never bound" >&2
+  cat "$OUT/chaos_serve.log" >&2
+  exit 1
+fi
+DIRECT=$(cat "$DIRECT_ADDR_FILE")
+DIRECT_HOST=${DIRECT%:*}
+DIRECT_PORT=${DIRECT##*:}
+
+# One HTTP request to the direct (fault-free) listener over /dev/tcp.
+http_direct() { # METHOD PATH [BODY]
+  local method=$1 path=$2 body=${3:-}
+  exec 3<>"/dev/tcp/$DIRECT_HOST/$DIRECT_PORT"
+  printf '%s %s HTTP/1.1\r\nHost: mqo\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "$method" "$path" "${#body}" "$body" >&3
+  cat <&3
+  exec 3>&-
+}
+
+# Burst through the faulty proxy while probing the direct listener:
+# healthz must answer 200 the whole time, or chaos starved the server.
+./target/release/loadgen --addr-file "$PROXY_ADDR_FILE" \
+  --requests 600 --concurrency 8 --batch 2 --seed 42 \
+  >"$OUT/chaos_loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+while kill -0 "$LOADGEN_PID" 2>/dev/null; do
+  status=$(http_direct GET /v1/healthz | head -1)
+  case "$status" in
+    *200*) ;;
+    *)
+      echo "FAIL: healthz degraded under network chaos: $status" >&2
+      exit 1
+      ;;
+  esac
+  sleep 0.2
+done
+wait "$LOADGEN_PID" || {
+  echo "FAIL: loadgen through the chaos proxy" >&2
+  cat "$OUT/chaos_loadgen.log" >&2
+  exit 1
+}
+status=$(http_direct GET /v1/healthz | head -1)
+case "$status" in
+  *200*) ;;
+  *)
+    echo "FAIL: healthz unhealthy after the chaos burst: $status" >&2
+    exit 1
+    ;;
+esac
+
+# The injected faults are visible in metrics (seeded, so some fired).
+http_direct GET /metrics >"$OUT/chaos_metrics.txt"
+grep -Eq 'mqo_chaos_injected_total\{action="[a-z_]+"\} [1-9]' "$OUT/chaos_metrics.txt" || {
+  echo "FAIL: no injected chaos fault surfaced in /metrics" >&2
+  grep 'mqo_chaos' "$OUT/chaos_metrics.txt" >&2 || true
+  exit 1
+}
+
+# Clean drain through the direct listener, and a panic-free log.
+http_direct POST /v1/drain '{}' | head -1 | grep -q 202 || {
+  echo "FAIL: drain refused after chaos" >&2
+  exit 1
+}
+wait "$SERVE_PID" || {
+  echo "FAIL: chaos-fronted server exited non-zero" >&2
+  cat "$OUT/chaos_serve.log" >&2
+  exit 1
+}
+if grep -qi panic "$OUT/chaos_serve.log"; then
+  echo "FAIL: server panicked under network chaos" >&2
+  grep -i panic "$OUT/chaos_serve.log" >&2
+  exit 1
+fi
+injected=$(grep -Eo 'mqo_chaos_injected_total\{action="[a-z_]+"\} [0-9]+' \
+  "$OUT/chaos_metrics.txt" | awk '{sum += $2} END {print sum}')
+echo "    survived the burst with $injected injected fault(s), healthz 200 throughout"
 
 echo "chaos smoke: PASS"
