@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [--tolerance PCT]
-//!            [--serve-tolerance PCT]
+//!            [--serve-tolerance PCT] [--rss-tolerance PCT]
+//!            [--routed-only]
 //! ```
 //!
 //! Compares a fresh `mqo classify --stats-json` snapshot against the
-//! committed baseline (`BENCH_PR5.json`) and exits non-zero when the two
+//! committed baseline (`BENCH_PR10.json`) and exits non-zero when the two
 //! cache-efficiency contracts regress beyond the tolerance (default 5%):
 //!
 //! * **tokens_sent** — metered prompt tokens must not *increase* by more
@@ -29,6 +30,23 @@
 //! non-zero. Baselines without serving fields skip the serving gate, so
 //! pre-serving baselines keep working.
 //!
+//! When both files carry *routed* serving metrics (`loadgen --router
+//! --merge-into` folds `routed_serve_rps` / `routed_p99_ms` /
+//! `peak_rss_mb` into the snapshot after driving a sharded cluster
+//! through its router), those gate the same way: routed throughput
+//! against `--serve-tolerance`, and cluster peak RSS — the max
+//! `VmHWM` across shard workers — against `--rss-tolerance` (default
+//! 25%, `LowerIsBetter`: a worker suddenly holding the whole graph
+//! instead of its partition is exactly the regression this catches).
+//! Baselines without the fields skip these gates.
+//!
+//! `--routed-only` gates *only* the routed + RSS fields and makes them
+//! mandatory — `shard_smoke.sh` uses it, because its snapshot carries
+//! no cache or single-server serving numbers. The combined mode
+//! conversely skips routed fields missing from the *current* snapshot
+//! (with a note), so `bench_smoke.sh` and `shard_smoke.sh` can gate
+//! different halves of the same rolled baseline.
+//!
 //! Accuracy, wall time, and `serve_p50_ms` are reported for context but
 //! never gate: accuracy is checked bit-exactly by the test suite, and
 //! absolute wall time is noise on shared CI runners.
@@ -40,7 +58,7 @@ fn die(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
     eprintln!(
         "usage: bench_gate <baseline.json> <current.json> [--tolerance PCT] \\
-         [--serve-tolerance PCT]"
+         [--serve-tolerance PCT] [--rss-tolerance PCT] [--routed-only]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +79,8 @@ fn run() -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut tolerance = 5.0f64;
     let mut serve_tolerance = 90.0f64;
+    let mut rss_tolerance = 25.0f64;
+    let mut routed_only = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -71,6 +91,13 @@ fn run() -> Result<bool, String> {
             serve_tolerance =
                 args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("bad --serve-tolerance")?;
             i += 2;
+        } else if args[i] == "--rss-tolerance" {
+            rss_tolerance =
+                args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("bad --rss-tolerance")?;
+            i += 2;
+        } else if args[i] == "--routed-only" {
+            routed_only = true;
+            i += 1;
         } else {
             paths.push(args[i].clone());
             i += 1;
@@ -85,60 +112,122 @@ fn run() -> Result<bool, String> {
     let mut ok = true;
     println!("bench gate: {current_path} vs {baseline_path} (tolerance {tolerance}%)");
 
-    let base_tokens = field(&baseline, "tokens_sent", baseline_path)?;
-    let cur_tokens = field(&current, "tokens_sent", current_path)?;
-    let tokens = drift(Direction::LowerIsBetter, base_tokens, cur_tokens, tolerance);
-    println!(
-        "  tokens_sent : {cur_tokens:.0} vs {base_tokens:.0}  ({:+.2}%)  {}",
-        tokens.delta_pct,
-        if tokens.ok { "ok" } else { "REGRESSED" }
-    );
-    ok &= tokens.ok;
+    if !routed_only {
+        let base_tokens = field(&baseline, "tokens_sent", baseline_path)?;
+        let cur_tokens = field(&current, "tokens_sent", current_path)?;
+        let tokens = drift(Direction::LowerIsBetter, base_tokens, cur_tokens, tolerance);
+        println!(
+            "  tokens_sent : {cur_tokens:.0} vs {base_tokens:.0}  ({:+.2}%)  {}",
+            tokens.delta_pct,
+            if tokens.ok { "ok" } else { "REGRESSED" }
+        );
+        ok &= tokens.ok;
 
-    let base_rate = field(&baseline, "serve_rate", baseline_path)?;
-    let cur_rate = field(&current, "serve_rate", current_path)?;
-    let rate = drift(Direction::HigherIsBetter, base_rate, cur_rate, tolerance);
-    println!(
-        "  serve_rate  : {cur_rate:.4} vs {base_rate:.4}  ({:+.2}%)  {}",
-        rate.delta_pct,
-        if rate.ok { "ok" } else { "REGRESSED" }
-    );
-    ok &= rate.ok;
+        let base_rate = field(&baseline, "serve_rate", baseline_path)?;
+        let cur_rate = field(&current, "serve_rate", current_path)?;
+        let rate = drift(Direction::HigherIsBetter, base_rate, cur_rate, tolerance);
+        println!(
+            "  serve_rate  : {cur_rate:.4} vs {base_rate:.4}  ({:+.2}%)  {}",
+            rate.delta_pct,
+            if rate.ok { "ok" } else { "REGRESSED" }
+        );
+        ok &= rate.ok;
 
-    // Serving metrics: gate only when the baseline has them.
+        // Serving metrics: gate only when the baseline has them.
+        match (
+            field(&baseline, "serve_rps", baseline_path),
+            field(&current, "serve_rps", current_path),
+        ) {
+            (Ok(base_rps), Ok(cur_rps)) => {
+                let rps = drift(Direction::HigherIsBetter, base_rps, cur_rps, serve_tolerance);
+                let rps_ok = cur_rps > 0.0 && rps.ok;
+                println!(
+                    "  serve_rps   : {cur_rps:.0} vs {base_rps:.0}  ({:+.2}%)  {}",
+                    rps.delta_pct,
+                    if rps_ok { "ok" } else { "REGRESSED" }
+                );
+                ok &= rps_ok;
+
+                let base_p99 = field(&baseline, "serve_p99_ms", baseline_path)?;
+                let cur_p99 = field(&current, "serve_p99_ms", current_path)?;
+                let p99 = latency_blowup(base_p99, cur_p99, serve_tolerance);
+                println!(
+                    "  serve_p99_ms: {cur_p99:.2} vs {base_p99:.2}  (limit {:.2})  {}",
+                    p99.limit.unwrap_or(f64::INFINITY),
+                    if p99.ok { "ok" } else { "REGRESSED" }
+                );
+                ok &= p99.ok;
+
+                if let (Ok(b), Ok(c)) = (
+                    field(&baseline, "serve_p50_ms", baseline_path),
+                    field(&current, "serve_p50_ms", current_path),
+                ) {
+                    println!("  serve_p50_ms: {c:.2} vs {b:.2}  (informational)");
+                }
+            }
+            (Err(_), _) => println!("  serving     : baseline has no serve_rps — gate skipped"),
+            (Ok(_), Err(e)) => return Err(format!("baseline gates serving but {e}")),
+        }
+    }
+
+    // Routed (sharded-cluster) serving metrics. Mandatory on both sides
+    // under --routed-only; otherwise gate only when both files carry
+    // them (bench_smoke's snapshot never does — shard_smoke gates them).
     match (
-        field(&baseline, "serve_rps", baseline_path),
-        field(&current, "serve_rps", current_path),
+        field(&baseline, "routed_serve_rps", baseline_path),
+        field(&current, "routed_serve_rps", current_path),
     ) {
         (Ok(base_rps), Ok(cur_rps)) => {
             let rps = drift(Direction::HigherIsBetter, base_rps, cur_rps, serve_tolerance);
             let rps_ok = cur_rps > 0.0 && rps.ok;
             println!(
-                "  serve_rps   : {cur_rps:.0} vs {base_rps:.0}  ({:+.2}%)  {}",
+                "  routed_rps  : {cur_rps:.0} vs {base_rps:.0}  ({:+.2}%)  {}",
                 rps.delta_pct,
                 if rps_ok { "ok" } else { "REGRESSED" }
             );
             ok &= rps_ok;
 
-            let base_p99 = field(&baseline, "serve_p99_ms", baseline_path)?;
-            let cur_p99 = field(&current, "serve_p99_ms", current_path)?;
+            let base_p99 = field(&baseline, "routed_p99_ms", baseline_path)?;
+            let cur_p99 = field(&current, "routed_p99_ms", current_path)?;
             let p99 = latency_blowup(base_p99, cur_p99, serve_tolerance);
             println!(
-                "  serve_p99_ms: {cur_p99:.2} vs {base_p99:.2}  (limit {:.2})  {}",
+                "  routed_p99  : {cur_p99:.2} vs {base_p99:.2}  (limit {:.2})  {}",
                 p99.limit.unwrap_or(f64::INFINITY),
                 if p99.ok { "ok" } else { "REGRESSED" }
             );
             ok &= p99.ok;
-
-            if let (Ok(b), Ok(c)) = (
-                field(&baseline, "serve_p50_ms", baseline_path),
-                field(&current, "serve_p50_ms", current_path),
-            ) {
-                println!("  serve_p50_ms: {c:.2} vs {b:.2}  (informational)");
-            }
         }
-        (Err(_), _) => println!("  serving     : baseline has no serve_rps — gate skipped"),
-        (Ok(_), Err(e)) => return Err(format!("baseline gates serving but {e}")),
+        (Err(e), _) if routed_only => return Err(format!("--routed-only but {e}")),
+        (_, Err(e)) if routed_only => return Err(format!("--routed-only but {e}")),
+        (Err(_), _) => println!("  routed      : baseline has no routed_serve_rps — gate skipped"),
+        (Ok(_), Err(_)) => println!(
+            "  routed      : current has no routed_serve_rps — gate skipped (shard_smoke gates it)"
+        ),
+    }
+
+    // Cluster peak RSS (max VmHWM across shard workers). Lower is
+    // better — a worker holding the full graph instead of its partition
+    // is the regression this catches. Same presence rules as routed.
+    match (
+        field(&baseline, "peak_rss_mb", baseline_path),
+        field(&current, "peak_rss_mb", current_path),
+    ) {
+        (Ok(base_rss), Ok(cur_rss)) => {
+            let rss = drift(Direction::LowerIsBetter, base_rss, cur_rss, rss_tolerance);
+            let rss_ok = cur_rss > 0.0 && rss.ok;
+            println!(
+                "  peak_rss_mb : {cur_rss:.0} vs {base_rss:.0}  ({:+.2}%, tolerance {rss_tolerance}%)  {}",
+                rss.delta_pct,
+                if rss_ok { "ok" } else { "REGRESSED" }
+            );
+            ok &= rss_ok;
+        }
+        (Err(e), _) if routed_only => return Err(format!("--routed-only but {e}")),
+        (_, Err(e)) if routed_only => return Err(format!("--routed-only but {e}")),
+        (Err(_), _) => println!("  peak_rss    : baseline has no peak_rss_mb — gate skipped"),
+        (Ok(_), Err(_)) => println!(
+            "  peak_rss    : current has no peak_rss_mb — gate skipped (shard_smoke gates it)"
+        ),
     }
 
     // Context only — never gates.
@@ -163,7 +252,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("bench gate: FAIL — cache efficiency regressed beyond tolerance");
+            eprintln!("bench gate: FAIL — a gated metric regressed beyond tolerance");
             ExitCode::FAILURE
         }
         Err(e) => die(&e),

@@ -59,9 +59,22 @@
 //! (`--slo-p99-ms`) and on every shed response carrying a well-formed
 //! computed `Retry-After`. `--deadline-ms` stamps an `x-mqo-deadline-ms`
 //! header on every request in any mode.
+//!
+//! `--router --shard-map FILE` targets a `mqo route` front instead of a
+//! single worker. Node picks still derive from `(seed, request index)`
+//! but range over the **whole global id space** (the shard map's node
+//! count), so multi-node batches routinely straddle shard boundaries
+//! and exercise the router's fan-out/reassembly path. The summary then
+//! carries per-shard node-pick counts (attributed through the loaded
+//! map — the same ownership function the router uses), the number of
+//! batches that spanned more than one shard, and the cluster's peak
+//! worker RSS scraped from the router's aggregated `/v1/stats`;
+//! `--merge-into` folds `routed_serve_rps`, `routed_p99_ms`, and
+//! `peak_rss_mb` into the stats JSON for the bench gate.
 
 use mqo_obs::httpd::HttpClient;
 use mqo_obs::{http_get, http_post};
+use mqo_shard::ShardMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -80,7 +93,8 @@ fn usage() -> ExitCode {
          [--seed S] [--tenant T] [--mode closed|open] [--rate R]\n          \
          [--warmup W] [--trace-id HEX] [--deadline-ms MS] [--out FILE]\n          \
          [--merge-into FILE] [--drain] [--malformed]\n          \
-         [--overload] [--overload-factor F] [--cal-requests N] [--slo-p99-ms MS]"
+         [--overload] [--overload-factor F] [--cal-requests N] [--slo-p99-ms MS]\n          \
+         [--router --shard-map FILE]"
     );
     ExitCode::from(2)
 }
@@ -90,7 +104,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "drain" || name == "malformed" || name == "overload" {
+            if name == "drain" || name == "malformed" || name == "overload" || name == "router"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -186,18 +201,24 @@ impl Plan {
     }
 }
 
-/// Body for request `k`. The RNG is keyed by `(seed, k)` alone so the
-/// request multiset for a seed is scheduling-independent: whichever
-/// thread claims request `k`, it sends the same nodes.
-fn build_body(k: usize, plan: &Plan) -> String {
+/// The nodes request `k` names. The RNG is keyed by `(seed, k)` alone
+/// so the request multiset for a seed is scheduling-independent:
+/// whichever thread claims request `k`, it sends the same nodes. The
+/// router-mode summary recomputes these picks offline to attribute each
+/// to its owning shard.
+fn node_picks(k: usize, plan: &Plan) -> Vec<usize> {
     let mix = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(k as u64 + 1);
     let mut rng = StdRng::seed_from_u64(plan.seed ^ mix);
+    (0..plan.batch).map(|_| rng.gen_range(0..plan.node_max)).collect()
+}
+
+/// Body for request `k` (see [`node_picks`] for determinism).
+fn build_body(k: usize, plan: &Plan) -> String {
+    let picks = node_picks(k, plan);
     if plan.batch == 1 {
-        let node = rng.gen_range(0..plan.node_max);
-        format!("{{\"node\": {node}, \"tenant\": \"{}\"}}", plan.tenant)
+        format!("{{\"node\": {}, \"tenant\": \"{}\"}}", picks[0], plan.tenant)
     } else {
-        let nodes: Vec<String> =
-            (0..plan.batch).map(|_| rng.gen_range(0..plan.node_max).to_string()).collect();
+        let nodes: Vec<String> = picks.iter().map(usize::to_string).collect();
         format!("{{\"nodes\": [{}], \"tenant\": \"{}\"}}", nodes.join(", "), plan.tenant)
     }
 }
@@ -329,19 +350,36 @@ fn discover_node_max(addr: SocketAddr) -> Result<usize, String> {
         .ok_or_else(|| "stats JSON has no \"nodes\" field".to_string())
 }
 
-/// Fold the serving metrics into an existing stats JSON (e.g. a bench
+/// Best-effort scrape of the router's aggregated peak worker RSS (the
+/// `max` across shard workers it computes in `/v1/stats`); 0 when the
+/// router or field is unavailable — the bench gate treats a genuine
+/// regression, not a scrape hiccup mid-drain, as the failure.
+fn discover_peak_rss(addr: SocketAddr) -> u64 {
+    let Ok((status, body)) = http_get(addr, "/v1/stats") else {
+        return 0;
+    };
+    if !status.contains("200") {
+        return 0;
+    }
+    serde_json::from_str(body.trim())
+        .ok()
+        .and_then(|v: serde_json::Value| v.get("peak_rss_mb").and_then(|n| n.as_u64()))
+        .unwrap_or(0)
+}
+
+/// Fold serving metrics into an existing stats JSON (e.g. a bench
 /// baseline), preserving every other key. The vendored `Map` is a
 /// `BTreeMap`, so output stays canonically sorted for clean diffs.
-fn merge_into(path: &str, rps: f64, p50_ms: f64, p99_ms: f64) -> Result<(), String> {
+fn merge_into(path: &str, entries: &[(&str, f64)]) -> Result<(), String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut doc: serde_json::Value =
         serde_json::from_str(raw.trim()).map_err(|e| format!("bad JSON in {path}: {e}"))?;
     let serde_json::Value::Object(map) = &mut doc else {
         return Err(format!("{path} is not a JSON object"));
     };
-    map.insert("serve_rps".into(), serde_json::json!(rps));
-    map.insert("serve_p50_ms".into(), serde_json::json!(p50_ms));
-    map.insert("serve_p99_ms".into(), serde_json::json!(p99_ms));
+    for &(key, value) in entries {
+        map.insert(key.into(), serde_json::json!(value));
+    }
     let mut out = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
     out.push('\n');
     std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
@@ -636,15 +674,37 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     if open_loop && rate <= 0.0 {
         return Err("--rate must be positive in open-loop mode".into());
     }
+    // Router mode: picks must range over the whole global id space so
+    // batches straddle shard boundaries. The loaded map is the source of
+    // truth for both the range and per-shard attribution.
+    let shard_map = if flags.contains_key("router") {
+        let path = flags
+            .get("shard-map")
+            .ok_or("--router needs --shard-map FILE for per-shard attribution")?;
+        Some(ShardMap::load(path).map_err(|e| format!("cannot load shard map: {e}"))?)
+    } else {
+        None
+    };
     let node_max = match flags
         .get("node-max")
         .map_or(Ok(0), |s| s.parse().map_err(|_| "bad --node-max"))?
     {
-        0 => discover_node_max(addr)?,
+        0 => match &shard_map {
+            Some(map) => map.num_nodes() as usize,
+            None => discover_node_max(addr)?,
+        },
         n => n,
     };
     if node_max == 0 {
         return Err("node range is empty".into());
+    }
+    if let Some(map) = &shard_map {
+        if node_max > map.num_nodes() as usize {
+            return Err(format!(
+                "--node-max {node_max} exceeds the shard map's {} nodes",
+                map.num_nodes()
+            ));
+        }
     }
 
     let plan = Plan {
@@ -696,6 +756,35 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
     let mean =
         if ok_ms.is_empty() { 0.0 } else { ok_ms.iter().sum::<f64>() / ok_ms.len() as f64 };
 
+    // Router-mode attribution: recompute the measured window's node
+    // picks offline (they are pure functions of `(seed, k)`) and charge
+    // each to its owning shard via the same map the router consults.
+    let mut router_extra: Option<(Vec<u64>, usize, u64)> = None;
+    if let Some(map) = &shard_map {
+        let mut per_shard = vec![0u64; map.num_shards() as usize];
+        let mut mixed = 0usize;
+        for k in plan.warmup..plan.warmup + plan.requests {
+            let mut seen: Vec<u32> = Vec::new();
+            for n in node_picks(k, &plan) {
+                let owner = map.owner(n as u32);
+                per_shard[owner as usize] += 1;
+                if !seen.contains(&owner) {
+                    seen.push(owner);
+                }
+            }
+            if seen.len() > 1 {
+                mixed += 1;
+            }
+        }
+        for (s, count) in per_shard.iter().enumerate() {
+            println!("shard {s:<11}: {count} node picks");
+        }
+        println!("mixed batches   : {mixed} of {} spanned more than one shard", plan.requests);
+        let peak_rss = discover_peak_rss(addr);
+        println!("cluster peak rss: {peak_rss} MiB (max across workers)");
+        router_extra = Some((per_shard, mixed, peak_rss));
+    }
+
     // The tail, with handles: these trace ids key straight into the
     // server's GET /v1/debug/flight.
     let mut slowest: Vec<&Sample> = samples.iter().filter(|s| s.status == 200).collect();
@@ -709,7 +798,7 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
-    let summary = serde_json::json!({
+    let mut summary = serde_json::json!({
         "mode": if plan.open_loop { "open" } else { "closed" },
         "requests": requests,
         "warmup": warmup,
@@ -738,6 +827,14 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
             })
             .collect::<Vec<_>>(),
     });
+    if let (Some((per_shard, mixed, peak_rss)), serde_json::Value::Object(o)) =
+        (&router_extra, &mut summary)
+    {
+        o.insert("router".into(), serde_json::json!(true));
+        o.insert("per_shard_nodes".into(), serde_json::json!(per_shard.clone()));
+        o.insert("mixed_shard_requests".into(), serde_json::json!(*mixed));
+        o.insert("peak_rss_mb".into(), serde_json::json!(*peak_rss));
+    }
     let mut text = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
     text.push('\n');
     print!("{text}");
@@ -745,7 +842,20 @@ fn run(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if let Some(path) = flags.get("merge-into") {
-        merge_into(path, rps, p50, p99)?;
+        match &router_extra {
+            Some((_, _, peak_rss)) => merge_into(
+                path,
+                &[
+                    ("routed_serve_rps", rps),
+                    ("routed_p99_ms", p99),
+                    ("peak_rss_mb", *peak_rss as f64),
+                ],
+            )?,
+            None => merge_into(
+                path,
+                &[("serve_rps", rps), ("serve_p50_ms", p50), ("serve_p99_ms", p99)],
+            )?,
+        }
     }
     if flags.contains_key("drain") {
         // Worker connections are already closed (drive joined them), so
@@ -842,6 +952,42 @@ mod tests {
             "overslept by {:?}",
             now.duration_since(deadline)
         );
+    }
+
+    #[test]
+    fn build_body_matches_node_picks() {
+        // The summary's per-shard attribution replays node_picks offline;
+        // it must see exactly the nodes the wire bodies named.
+        let p = plan(3, 21);
+        for k in 0..4 {
+            let picks = node_picks(k, &p);
+            let body = build_body(k, &p);
+            for n in picks {
+                assert!(body.contains(&n.to_string()), "{body} lacks {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn router_mode_attribution_counts_every_pick_once() {
+        // A 2-shard map over 50 nodes: every pick lands on exactly one
+        // shard, so the per-shard counts sum to requests × batch.
+        let mut b = mqo_graph::GraphBuilder::new(50);
+        for v in 1..50u32 {
+            b.add_edge(v - 1, v).unwrap();
+        }
+        let map = mqo_shard::partition(&b.build(), 2, 9, mqo_shard::PartitionStrategy::EdgeCut);
+        let p = plan(4, 33);
+        let mut per_shard = [0u64; 2];
+        let mut total = 0u64;
+        for k in 0..p.requests {
+            for n in node_picks(k, &p) {
+                per_shard[map.owner(n as u32) as usize] += 1;
+                total += 1;
+            }
+        }
+        assert_eq!(per_shard.iter().sum::<u64>(), total);
+        assert_eq!(total, (p.requests * p.batch) as u64);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!              [--cache-cap N] [--no-cache] [--retries N] [--faults SPEC]
 //!              [--journal FILE] [--resume] [--trace-chrome FILE]
 //!              [--cost-json FILE] [--stats-json FILE] [--addr-file FILE]
+//! mqo partition <dataset|FILE> --shards K --out-dir DIR [--seed N]
+//!              [--scale S] [--strategy edge-cut|ring] [--stats-json FILE]
+//! mqo route    MAPFILE --workers ADDR,ADDR,... [--addr A] [--addr-file F]
+//!              [--eject-after N] [--probe-interval-ms MS]
 //! mqo plan     <dataset> --dollars X [--queries N] [--method M]
 //! mqo tables
 //! ```
@@ -24,8 +28,14 @@
 //! Datasets: cora, citeseer, pubmed, ogbn-arxiv, ogbn-products.
 //! Methods: zero-shot, 1hop, 2hop, sns, llmrank.
 //!
-//! Argument parsing is hand-rolled (std only) — the tool has five verbs
-//! and a dozen flags, not enough to justify a parser dependency.
+//! Scale-out: `mqo partition` cuts a dataset into per-shard bundles plus
+//! a shard map; `mqo serve --shard-id I --shard-map F [--router A]`
+//! serves one shard (pushing boundary pseudo-labels to the router when
+//! boosting); `mqo route` fronts the workers with ownership routing,
+//! batch fan-out, health ejection, and the label exchange relay.
+//!
+//! Argument parsing is hand-rolled (std only) — the tool has seven verbs
+//! and a few dozen flags, not enough to justify a parser dependency.
 
 use mqo_bench::harness::Trace;
 use mqo_core::boosting::{BoostConfig, DegradePolicy};
@@ -78,7 +88,13 @@ fn usage() -> ExitCode {
          [--sojourn-target-ms MS] [--shed-interval-ms MS] [--tenant-share-permille P]\n               \
          [--brownout-enter MILLI] [--brownout-exit MILLI]\n               \
          [--chaos reset=R,stall=R,partial=R,abort=R,stall-millis=MS]\n               \
-         [--chaos-seed N] [--chaos-addr-file FILE]\n  \
+         [--chaos-seed N] [--chaos-addr-file FILE]\n               \
+         [--shard-id I --shard-map FILE] [--router ADDR]\n               \
+         [--exchange-interval-ms MS]\n  \
+         mqo partition <dataset|FILE> --shards K --out-dir DIR [--seed N] [--scale S]\n               \
+         [--strategy edge-cut|ring] [--stats-json FILE]\n  \
+         mqo route    MAPFILE --workers ADDR,ADDR,... [--addr A] [--addr-file FILE]\n               \
+         [--eject-after N] [--probe-interval-ms MS]\n  \
          mqo plan     <dataset> --dollars X [--queries N] [--method M]\n  \
          mqo tables"
     );
@@ -580,10 +596,23 @@ fn cmd_classify(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
 /// drains gracefully: in-flight work completes, the journal is sealed,
 /// and artifacts (chrome trace, cost ledger, stats) are written — so a
 /// `--resume` restart re-bills zero tokens.
+/// Load a per-shard bundle file, probing the stored dataset name for
+/// its spec (same two-pass trick as [`resolve_bundle`]).
+fn load_shard_bundle(path: &str) -> Result<mqo_shard::ShardBundle, String> {
+    let probe = mqo_shard::ShardBundle::load(path, DatasetId::Cora.spec())
+        .map_err(|e| format!("cannot load shard bundle {path}: {e}"))?;
+    let spec = dataset_by_name(probe.data.tag.name())
+        .map(|id| id.spec())
+        .unwrap_or_else(|| DatasetId::Cora.spec());
+    mqo_shard::ShardBundle::load(path, spec)
+        .map_err(|e| format!("cannot load shard bundle {path}: {e}"))
+}
+
 fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
     let arg = pos.first().ok_or("missing dataset or file")?;
     let seed = flags.get("seed").map_or(Ok(42u64), |s| s.parse().map_err(|_| "bad --seed"))?;
-    let bundle = resolve_bundle(arg, flags.get("scale").and_then(|s| s.parse().ok()), seed)?;
+    let shard_id: Option<u32> =
+        flags.get("shard-id").map(|s| s.parse().map_err(|_| "bad --shard-id")).transpose()?;
 
     let mut tenant_budgets = HashMap::new();
     if let Some(spec) = flags.get("tenants") {
@@ -640,7 +669,28 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             .get("flight-errors")
             .map_or(Ok(64), |s| s.parse().map_err(|_| "bad --flight-errors"))?,
     };
-    let engine = Arc::new(mqo_serve::Engine::new(bundle, cfg)?);
+    let engine = Arc::new(match shard_id {
+        Some(id) => {
+            // Sharded worker: the positional argument is a per-shard
+            // bundle file cut by `mqo partition`.
+            let map_path = flags.get("shard-map").ok_or("--shard-id needs --shard-map FILE")?;
+            let map = mqo_shard::ShardMap::load(map_path)
+                .map_err(|e| format!("cannot load shard map {map_path}: {e}"))?;
+            let sb = load_shard_bundle(arg)?;
+            if sb.identity.shard_id != id {
+                return Err(format!(
+                    "{arg} holds shard {} but --shard-id asked for {id}",
+                    sb.identity.shard_id
+                ));
+            }
+            mqo_serve::Engine::new_sharded(sb, map, cfg)?
+        }
+        None => {
+            let bundle =
+                resolve_bundle(arg, flags.get("scale").and_then(|s| s.parse().ok()), seed)?;
+            mqo_serve::Engine::new(bundle, cfg)?
+        }
+    });
     let mut overload = mqo_serve::OverloadConfig::default();
     if let Some(ms) = flags.get("sojourn-target-ms") {
         overload.sojourn_target_micros =
@@ -721,6 +771,37 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         std::fs::write(path, format!("{}\n", server.addr()))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    // Sharded worker extras: announce the identity, and (when a router
+    // address was given) start the background label exchanger pushing
+    // boundary pseudo-labels for cross-shard boosting.
+    if let Some(ctx) = engine.shard() {
+        println!(
+            "shard           : {} of {} ({} owned + {} halo nodes)",
+            ctx.identity.shard_id,
+            ctx.identity.num_shards,
+            ctx.identity.num_owned(),
+            ctx.identity.num_locals() - ctx.identity.num_owned(),
+        );
+    }
+    let exchanger = match (engine.shard(), flags.get("router")) {
+        (Some(_), Some(router)) => {
+            let addr: std::net::SocketAddr = router
+                .parse()
+                .map_err(|_| format!("bad --router '{router}' (want IP:PORT)"))?;
+            let interval_ms: u64 = flags
+                .get("exchange-interval-ms")
+                .map_or(Ok(200), |s| s.parse().map_err(|_| "bad --exchange-interval-ms"))?;
+            println!(
+                "label exchange  : pushing to http://{addr}/v1/labels every {interval_ms}ms"
+            );
+            Some(mqo_serve::LabelExchanger::start(
+                Arc::clone(&engine),
+                addr,
+                std::time::Duration::from_millis(interval_ms),
+            ))
+        }
+        _ => None,
+    };
 
     mqo_serve::signal::install_term_handler();
     while !mqo_serve::signal::term_requested() && !engine.drain_requested() {
@@ -733,6 +814,11 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
         println!("chaos proxy     : stopped after {injected} injected fault(s)");
     }
     let report = server.drain();
+    // Stop the exchanger after the drain so the last in-flight batch's
+    // boundary labels still get a final push.
+    if let Some(ex) = exchanger {
+        ex.stop();
+    }
 
     let totals = engine.totals();
     println!("queries         : {} ({} replayed)", report.queries, report.replayed);
@@ -790,6 +876,121 @@ fn cmd_serve(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("stats written   : {path}");
     }
+    Ok(())
+}
+
+/// Cut a dataset into per-shard bundles plus the shard map.
+fn cmd_partition(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let arg = pos.first().ok_or("missing dataset or file")?;
+    let seed = flags.get("seed").map_or(Ok(42u64), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let bundle = resolve_bundle(arg, flags.get("scale").and_then(|s| s.parse().ok()), seed)?;
+    let shards: u32 =
+        flags.get("shards").ok_or("missing --shards K")?.parse().map_err(|_| "bad --shards")?;
+    if shards == 0 || shards as usize > bundle.tag.num_nodes() {
+        return Err(format!(
+            "--shards must be in 1..={} for this graph",
+            bundle.tag.num_nodes()
+        ));
+    }
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        None | Some("edge-cut") => mqo_shard::PartitionStrategy::EdgeCut,
+        Some("ring") => mqo_shard::PartitionStrategy::Ring,
+        Some(other) => return Err(format!("unknown strategy '{other}' (edge-cut|ring)")),
+    };
+    let out_dir = flags.get("out-dir").ok_or("missing --out-dir DIR")?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+
+    let map = mqo_shard::partition(bundle.tag.graph(), shards, seed, strategy);
+    let map_path = format!("{out_dir}/shard-map.bin");
+    map.save(&map_path).map_err(|e| format!("cannot save shard map: {e}"))?;
+    println!(
+        "partitioned {} ({} nodes, {} edges) into {} shard(s), seed {}",
+        bundle.tag.name(),
+        bundle.tag.num_nodes(),
+        bundle.tag.num_edges(),
+        shards,
+        seed
+    );
+    println!("shard map       : {map_path}");
+    for s in 0..shards {
+        let sb = mqo_shard::extract_shard(&bundle, &map, s);
+        let path = format!("{out_dir}/shard-{s}.bin");
+        sb.save(&path).map_err(|e| format!("cannot save shard {s}: {e}"))?;
+        let stats = map.stats(s);
+        println!(
+            "  shard {s}      : {} owned + {} halo nodes, {} internal / {} cut edges → {path}",
+            stats.owned_nodes,
+            sb.num_locals() - sb.num_owned(),
+            stats.internal_edges,
+            stats.cut_edges,
+        );
+    }
+    let cut_pct = if bundle.tag.num_edges() == 0 {
+        0.0
+    } else {
+        100.0 * map.total_cut() as f64 / bundle.tag.num_edges() as f64
+    };
+    println!(
+        "total cut       : {} of {} edges ({cut_pct:.2}%)",
+        map.total_cut(),
+        bundle.tag.num_edges()
+    );
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(path, map.stats_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("stats written   : {path}");
+    }
+    Ok(())
+}
+
+/// Front a set of shard workers with the consistent routing layer.
+fn cmd_route(pos: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let map_path = pos.first().ok_or("missing shard-map file")?;
+    let map = mqo_shard::ShardMap::load(map_path)
+        .map_err(|e| format!("cannot load shard map {map_path}: {e}"))?;
+    let workers_spec = flags
+        .get("workers")
+        .ok_or("missing --workers ADDR,ADDR,... (one per shard, in shard-id order)")?;
+    let shards: Vec<std::net::SocketAddr> = workers_spec
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad worker address '{}'", s.trim())))
+        .collect::<Result<_, String>>()?;
+    if shards.len() as u32 != map.num_shards() {
+        return Err(format!(
+            "map has {} shards but --workers lists {} address(es)",
+            map.num_shards(),
+            shards.len()
+        ));
+    }
+    let mut cfg = mqo_shard::RouterConfig::new(shards);
+    if let Some(n) = flags.get("eject-after") {
+        cfg.eject_after = n.parse().map_err(|_| "bad --eject-after")?;
+    }
+    if let Some(ms) = flags.get("probe-interval-ms") {
+        cfg.probe_interval = std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "bad --probe-interval-ms")?,
+        );
+    }
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:9090".into());
+    let num_shards = map.num_shards();
+    let router = mqo_shard::Router::start(&addr, map, cfg)
+        .map_err(|e| format!("cannot route on {addr}: {e}"))?;
+    println!(
+        "routing         : http://{}/v1/classify over {num_shards} shard(s)",
+        router.addr()
+    );
+    println!("endpoints       : /v1/healthz /v1/stats /v1/labels /metrics");
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, format!("{}\n", router.addr()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    mqo_serve::signal::install_term_handler();
+    while !mqo_serve::signal::term_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down   : router");
+    router.shutdown();
     Ok(())
 }
 
@@ -882,6 +1083,8 @@ fn main() -> ExitCode {
         "classify" => cmd_classify(&pos, &flags),
         "plan" => cmd_plan(&pos, &flags),
         "serve" => cmd_serve(&pos, &flags),
+        "partition" => cmd_partition(&pos, &flags),
+        "route" => cmd_route(&pos, &flags),
         "tables" => {
             cmd_tables();
             Ok(())

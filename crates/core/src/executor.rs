@@ -36,6 +36,11 @@ pub struct QueryRecord {
     pub labeled_neighbors: usize,
     /// Of those labels, how many were pseudo-labels.
     pub pseudo_neighbors: usize,
+    /// Of the pseudo-labels, how many arrived over the cross-shard label
+    /// exchange rather than from local execution. Zero in single-shard
+    /// deployments; in a sharded cluster `pseudo_neighbors >
+    /// remote_neighbors` means local boosting contributed cues too.
+    pub remote_neighbors: usize,
     /// Prompt tokens consumed by this query.
     pub prompt_tokens: u64,
     /// Whether neighbor text was omitted (pruned or budget-forced).
@@ -258,6 +263,7 @@ impl<'a> Executor<'a> {
             neighbors_included: 0,
             labeled_neighbors: 0,
             pseudo_neighbors: 0,
+            remote_neighbors: 0,
             prompt_tokens: 0,
             pruned: true,
             parse_failed: false,
@@ -439,6 +445,7 @@ impl<'a> Executor<'a> {
         let labeled_neighbors =
             used_neighbors.iter().filter(|&&n| labels.is_labeled(n)).count();
         let pseudo_neighbors = used_neighbors.iter().filter(|&&n| labels.is_pseudo(n)).count();
+        let remote_neighbors = used_neighbors.iter().filter(|&&n| labels.is_remote(n)).count();
         let final_tokens = if observing { count_once(prompt, &mut prompt_count) } else { 0 };
 
         let mut failure: Option<String> = None;
@@ -542,6 +549,7 @@ impl<'a> Executor<'a> {
             neighbors_included: used_neighbors.len(),
             labeled_neighbors,
             pseudo_neighbors,
+            remote_neighbors,
             prompt_tokens,
             pruned,
             parse_failed,

@@ -104,6 +104,7 @@ pub fn record_to_json_traced(r: &QueryRecord, trace: &str) -> Value {
         "neighbors_included": r.neighbors_included,
         "labeled_neighbors": r.labeled_neighbors,
         "pseudo_neighbors": r.pseudo_neighbors,
+        "remote_neighbors": r.remote_neighbors,
         "prompt_tokens": r.prompt_tokens,
         "pruned": r.pruned,
         "parse_failed": r.parse_failed,
@@ -131,6 +132,10 @@ pub fn record_from_json(v: &Value) -> Option<QueryRecord> {
         neighbors_included: v.get("neighbors_included")?.as_u64()? as usize,
         labeled_neighbors: v.get("labeled_neighbors")?.as_u64()? as usize,
         pseudo_neighbors: v.get("pseudo_neighbors")?.as_u64()? as usize,
+        // Absent in journals written before the sharding release; those
+        // records predate the exchange, so zero is the true value.
+        remote_neighbors: v.get("remote_neighbors").and_then(Value::as_u64).unwrap_or(0)
+            as usize,
         prompt_tokens: v.get("prompt_tokens")?.as_u64()?,
         pruned: v.get("pruned")?.as_bool()?,
         parse_failed: v.get("parse_failed")?.as_bool()?,
@@ -319,6 +324,7 @@ mod tests {
             neighbors_included: 2,
             labeled_neighbors: 1,
             pseudo_neighbors: 1,
+            remote_neighbors: 0,
             prompt_tokens: 120,
             pruned: false,
             parse_failed: false,

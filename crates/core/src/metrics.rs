@@ -117,6 +117,7 @@ mod tests {
                     neighbors_included: 0,
                     labeled_neighbors: 0,
                     pseudo_neighbors: 0,
+                    remote_neighbors: 0,
                     prompt_tokens: 0,
                     pruned: false,
                     parse_failed: false,

@@ -8,10 +8,10 @@
 //! binary format framed with `bytes` (the workspace's one binary-IO
 //! dependency; see DESIGN.md).
 //!
-//! Format (`MQOTAG1\n` magic, then little-endian fields):
+//! Format (`MQOTAG2\n` magic, then little-endian fields):
 //!
 //! ```text
-//! header   magic[8] | name | scale f64
+//! header   magic[8] | fingerprint u64 | name | scale f64
 //! lexicon  seed u64 | classes u16 | per_class u32 | shared u32 | markers u32
 //! classes  count u16 | name*
 //! graph    nodes u32 | edges u64 | (u32, u32)*        (each edge once)
@@ -21,6 +21,14 @@
 //! Strings are `u32` length + UTF-8 bytes. The spec is *not* persisted
 //! (it is code, not data); [`load`] returns the bundle with the spec the
 //! caller supplies.
+//!
+//! The fingerprint is FNV-1a 64 over every byte after the fingerprint
+//! field. A truncated copy, a flipped bit, or a file whose tail belongs
+//! to a different dataset fails the check at load — loudly, as
+//! [`PersistError::Corrupt`] — instead of deserializing garbage that is
+//! only caught (or worse, not caught) thousands of records later. This
+//! matters most for sharded deployments, where per-shard files are
+//! copied between machines.
 
 use crate::generate::DatasetBundle;
 use crate::spec::DatasetSpec;
@@ -32,7 +40,20 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"MQOTAG1\n";
+const MAGIC: &[u8; 8] = b"MQOTAG2\n";
+
+/// FNV-1a 64-bit over `bytes` — the persistence fingerprint. Not
+/// cryptographic; it exists to catch truncation, bit rot, and
+/// mismatched shard files, all of which it detects with probability
+/// ~1 − 2⁻⁶⁴ per corruption.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Errors from persistence.
 #[derive(Debug)]
@@ -81,7 +102,6 @@ fn get_str(buf: &mut Bytes) -> Result<String, PersistError> {
 pub fn to_bytes(bundle: &DatasetBundle) -> Bytes {
     let tag = &bundle.tag;
     let mut buf = BytesMut::with_capacity(tag.num_nodes() * 256);
-    buf.put_slice(MAGIC);
     put_str(&mut buf, tag.name());
     buf.put_f64_le(bundle.scale);
 
@@ -112,13 +132,25 @@ pub fn to_bytes(bundle: &DatasetBundle) -> Bytes {
         put_str(&mut buf, &t.title);
         put_str(&mut buf, &t.body);
     }
-    buf.freeze()
+    let payload = buf.freeze();
+    let mut framed = BytesMut::with_capacity(MAGIC.len() + 8 + payload.len());
+    framed.put_slice(MAGIC);
+    framed.put_u64_le(fingerprint(&payload));
+    framed.put_slice(&payload);
+    framed.freeze()
 }
 
 /// Deserialize a bundle; the caller supplies the spec (code, not data).
 pub fn from_bytes(mut buf: Bytes, spec: DatasetSpec) -> Result<DatasetBundle, PersistError> {
     if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
         return Err(PersistError::Corrupt("bad magic"));
+    }
+    if buf.remaining() < 8 {
+        return Err(PersistError::Corrupt("truncated fingerprint"));
+    }
+    let stored = buf.get_u64_le();
+    if fingerprint(&buf) != stored {
+        return Err(PersistError::Corrupt("fingerprint mismatch (truncated or corrupt file)"));
     }
     let name = get_str(&mut buf)?;
     if buf.remaining() < 8 + 8 + 2 + 4 + 4 + 4 {
@@ -251,6 +283,41 @@ mod tests {
         buf.put_u32_le(3);
         buf.put_slice(b"co"); // promised 3 bytes, gave 2
         assert!(matches!(from_bytes(buf.freeze(), spec), Err(PersistError::Corrupt(_))));
+    }
+
+    /// Bugfix regression: the header used to carry no fingerprint, so a
+    /// truncated or bit-flipped file deserialized as far as its damage
+    /// allowed — or worse, all the way, yielding a silently wrong
+    /// dataset. Both must now fail loudly at load.
+    #[test]
+    fn truncated_and_corrupted_images_fail_the_fingerprint() {
+        let original = dataset(DatasetId::Cora, Some(0.1), 64);
+        let bytes = to_bytes(&original);
+
+        // Truncation: drop the tail (the old format often survived this
+        // when the cut landed between node records).
+        let cut = Bytes::from(bytes[..bytes.len() - 16].to_vec());
+        match from_bytes(cut, original.spec.clone()) {
+            Err(PersistError::Corrupt(what)) => {
+                assert!(what.contains("fingerprint"), "got: {what}")
+            }
+            other => panic!("truncated image must fail the fingerprint, got {other:?}"),
+        }
+
+        // Single flipped bit deep in the payload: previously undetected
+        // (it would alter one text or label in place).
+        let mut flipped = bytes.to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        match from_bytes(Bytes::from(flipped), original.spec.clone()) {
+            Err(PersistError::Corrupt(what)) => {
+                assert!(what.contains("fingerprint"), "got: {what}")
+            }
+            other => panic!("corrupt image must fail the fingerprint, got {other:?}"),
+        }
+
+        // Fingerprint of the intact image still verifies.
+        assert!(from_bytes(bytes, original.spec.clone()).is_ok());
     }
 
     #[test]

@@ -253,6 +253,22 @@ pub enum Event {
         /// Fault action: `reset`, `stall`, `partial_write`, `abort`.
         action: String,
     },
+    /// A shard worker pushed a batch of boundary-node pseudo-labels to
+    /// the router for cross-shard exchange.
+    ShardLabelsPushed {
+        /// The pushing worker's shard id.
+        shard: u32,
+        /// Pseudo-labels in the push.
+        labels: u64,
+    },
+    /// A shard worker accepted remote pseudo-labels (forwarded by the
+    /// router from a neighbor shard) into its halo label store.
+    ShardLabelsIngested {
+        /// The ingesting worker's shard id.
+        shard: u32,
+        /// Remote labels accepted into the halo.
+        labels: u64,
+    },
 }
 
 /// Append `s` JSON-escaped (quoted) onto `out`.
@@ -300,6 +316,8 @@ impl Event {
             Event::BrownoutEnter { .. } => "brownout_enter",
             Event::BrownoutExit { .. } => "brownout_exit",
             Event::ChaosInjected { .. } => "chaos_injected",
+            Event::ShardLabelsPushed { .. } => "shard_labels_pushed",
+            Event::ShardLabelsIngested { .. } => "shard_labels_ingested",
         }
     }
 
@@ -459,6 +477,10 @@ impl Event {
             Event::ChaosInjected { conn, action } => {
                 let _ = write!(s, ",\"conn\":{conn},\"action\":");
                 escape_json(&mut s, action);
+            }
+            Event::ShardLabelsPushed { shard, labels }
+            | Event::ShardLabelsIngested { shard, labels } => {
+                let _ = write!(s, ",\"shard\":{shard},\"labels\":{labels}");
             }
         }
         s.push('}');
@@ -621,6 +643,8 @@ mod tests {
             (Event::BrownoutEnter { pressure_milli: 1800 }, "brownout_enter"),
             (Event::BrownoutExit { pressure_milli: 400 }, "brownout_exit"),
             (Event::ChaosInjected { conn: 5, action: "reset".into() }, "chaos_injected"),
+            (Event::ShardLabelsPushed { shard: 2, labels: 9 }, "shard_labels_pushed"),
+            (Event::ShardLabelsIngested { shard: 1, labels: 4 }, "shard_labels_ingested"),
         ];
         for (e, kind) in cases {
             assert_eq!(e.kind(), kind);

@@ -467,6 +467,8 @@ pub struct MetricsSink {
     brownout_state: Arc<Gauge>,
     brownout_transitions: Arc<Counter>,
     chaos_injected: Arc<CounterVec>,
+    shard_labels_pushed: Arc<Counter>,
+    shard_labels_ingested: Arc<Counter>,
 }
 
 impl Default for MetricsSink {
@@ -594,6 +596,14 @@ impl MetricsSink {
                 "mqo_chaos_injected_total",
                 "Connection-level faults injected by the network-chaos layer",
                 &["action"],
+            ),
+            shard_labels_pushed: r.counter(
+                "mqo_shard_labels_pushed_total",
+                "Boundary pseudo-labels pushed to the router for exchange",
+            ),
+            shard_labels_ingested: r.counter(
+                "mqo_shard_labels_ingested_total",
+                "Remote pseudo-labels accepted into the halo label store",
             ),
             registry: {
                 // Scrape-identity series: which build is up and for how
@@ -733,6 +743,10 @@ impl EventSink for MetricsSink {
             }
             Event::ChaosInjected { action, .. } => {
                 self.chaos_injected.with(&[action.as_str()]).inc();
+            }
+            Event::ShardLabelsPushed { labels, .. } => self.shard_labels_pushed.add(*labels),
+            Event::ShardLabelsIngested { labels, .. } => {
+                self.shard_labels_ingested.add(*labels);
             }
         }
     }

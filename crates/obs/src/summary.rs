@@ -199,7 +199,9 @@ impl Summary {
                 | Event::DeadlineExpired { .. }
                 | Event::BrownoutEnter { .. }
                 | Event::BrownoutExit { .. }
-                | Event::ChaosInjected { .. } => {}
+                | Event::ChaosInjected { .. }
+                | Event::ShardLabelsPushed { .. }
+                | Event::ShardLabelsIngested { .. } => {}
             }
         }
         s

@@ -13,22 +13,24 @@
 //! billing-free from its journal.
 
 use crate::config::ServeConfig;
+use crate::shard::{peak_rss_mb, OutboundLabel, ShardContext};
 use crate::tenant::{TenantExhausted, TenantTable};
 use mqo_core::journal::{record_to_json, RunHeader, RunJournal};
 use mqo_core::predictor::{KhopRandom, LlmRanked, Predictor, Sns, ZeroShot};
 use mqo_core::{Executor, LabelStore, Labels, QueryRecord, SchedulePolicy, Scheduler};
 use mqo_data::DatasetBundle;
 use mqo_fault::{FaultConfig, FaultSchedule, FaultyLlm};
-use mqo_graph::{LabeledSplit, NodeId, SplitConfig};
+use mqo_graph::{ClassId, LabeledSplit, NodeId, SplitConfig};
 use mqo_llm::{
     CachedLlm, CachedLlmStats, LanguageModel, LenientLlm, ModelProfile, ResilienceConfig,
     ResilientLlm, RetryingLlm, SimLlm, ValidatingLlm,
 };
 use mqo_obs::{
-    ChromeTraceSink, CostLedger, Counter, CounterVec, EventSink, Fanout, FlightRecorder,
+    ChromeTraceSink, CostLedger, Counter, CounterVec, Event, EventSink, Fanout, FlightRecorder,
     HistogramVec, MetricsSink, MonotonicClock, SloConfig, SloTracker, SpanId, Tee, Tracer,
     WaitClock,
 };
+use mqo_shard::{ShardBundle, ShardMap};
 use mqo_token::ledger::Totals;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -132,6 +134,10 @@ pub struct Engine {
     degraded_total: Arc<Counter>,
     http_requests: Arc<CounterVec>,
     http_micros: Arc<HistogramVec>,
+    // Present on shard workers only: identity, cluster map, and the
+    // cross-shard pseudo-label outbox.
+    shard: Option<ShardContext>,
+    remote_labels_total: Arc<Counter>,
 }
 
 /// The 64-bit finalizer from `splitmix64` — a cheap, well-mixed hash
@@ -297,6 +303,11 @@ impl Engine {
         );
         let counter = |name: &str, help: &str| registry.counter(name, help);
         Ok(Engine {
+            remote_labels_total: counter(
+                "mqo_shard_remote_labels_total",
+                "remote pseudo-labels accepted into the halo label store",
+            ),
+            shard: None,
             flight: FlightRecorder::new(cfg.flight_slow, cfg.flight_errors),
             slo,
             http_requests,
@@ -359,6 +370,130 @@ impl Engine {
             ledger,
             metrics,
         })
+    }
+
+    /// Build a shard worker's engine from its [`ShardBundle`] and the
+    /// cluster's [`ShardMap`]: the same stack as [`Engine::new`] over
+    /// the shard's induced subgraph, plus global↔local translation at
+    /// the request boundary and the cross-shard pseudo-label outbox.
+    pub fn new_sharded(
+        bundle: ShardBundle,
+        map: ShardMap,
+        cfg: ServeConfig,
+    ) -> Result<Engine, String> {
+        if map.num_shards() != bundle.identity.num_shards {
+            return Err(format!(
+                "shard map has {} shards but the bundle was cut from {}",
+                map.num_shards(),
+                bundle.identity.num_shards
+            ));
+        }
+        let ShardBundle { identity, data } = bundle;
+        let mut engine = Engine::new(data, cfg)?;
+        engine.shard = Some(ShardContext::new(identity, map));
+        Ok(engine)
+    }
+
+    /// The shard context, when this engine is a shard worker.
+    pub fn shard(&self) -> Option<&ShardContext> {
+        self.shard.as_ref()
+    }
+
+    /// Read access to the label store (ground truth + pseudo + remote),
+    /// for callers reasoning about cue provenance — e.g. a serving test
+    /// picking a query node whose only labeled neighbors are
+    /// exchange-delivered.
+    pub fn labels(&self) -> parking_lot::RwLockReadGuard<'_, LabelStore> {
+        self.labels.read()
+    }
+
+    /// Resolve one raw request node id to the engine's internal id
+    /// space: a plain bounds check on single-node engines, a global→
+    /// local translation (owned nodes only) on shard workers. Errors
+    /// are client errors (400).
+    pub fn resolve_node(&self, raw: u64) -> Result<NodeId, String> {
+        match &self.shard {
+            None => {
+                let n = self.bundle.tag.num_nodes();
+                if raw < n as u64 {
+                    Ok(NodeId(raw as u32))
+                } else {
+                    Err(format!("node {raw} out of range (dataset has {n} nodes)"))
+                }
+            }
+            Some(ctx) => {
+                let global = u32::try_from(raw).map_err(|_| {
+                    format!(
+                        "node {raw} out of range (partition covers {} nodes)",
+                        ctx.map.num_nodes()
+                    )
+                })?;
+                match ctx.identity.local_of(global) {
+                    Some(local) if ctx.identity.is_owned_local(local) => Ok(NodeId(local)),
+                    _ => Err(format!(
+                        "node {raw} is not owned by shard {} (route via the shard map)",
+                        ctx.identity.shard_id
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Rewrite a processed batch's records into global id space so the
+    /// response (and the router's reassembly, which joins on `"node"`)
+    /// speaks the same ids the client sent. No-op on single-node
+    /// engines.
+    pub fn globalize(&self, batch: &mut ProcessedBatch) {
+        if let Some(ctx) = &self.shard {
+            for rec in &mut batch.records {
+                rec.node = NodeId(ctx.identity.global_of(rec.node.0));
+            }
+        }
+    }
+
+    /// Accept remote pseudo-labels `(global node, class)` forwarded by
+    /// the router from other shards. Only labels for *halo* locals are
+    /// ingested — an owned node's pseudo-labels are minted here, and a
+    /// node absent from this shard's halo cannot cue any local prompt.
+    /// Returns how many were accepted.
+    pub fn ingest_remote_labels(&self, labels: &[(u64, u16)]) -> usize {
+        let Some(ctx) = &self.shard else {
+            return 0;
+        };
+        let num_classes = self.bundle.tag.num_classes() as u16;
+        let mut accepted = 0usize;
+        {
+            let mut store = self.labels.write();
+            for &(global, label) in labels {
+                if label >= num_classes {
+                    continue;
+                }
+                let Ok(global) = u32::try_from(global) else {
+                    continue;
+                };
+                if let Some(local) = ctx.identity.local_of(global) {
+                    if !ctx.identity.is_owned_local(local)
+                        && store.ingest_remote(NodeId(local), ClassId(label))
+                    {
+                        accepted += 1;
+                    }
+                }
+            }
+        }
+        if accepted > 0 {
+            self.remote_labels_total.add(accepted as u64);
+            self.fanout.emit(&Event::ShardLabelsIngested {
+                shard: ctx.identity.shard_id,
+                labels: accepted as u64,
+            });
+        }
+        accepted
+    }
+
+    /// Drain the cross-shard label outbox (the [`crate::LabelExchanger`]
+    /// calls this each push interval). Empty on single-node engines.
+    pub fn drain_outbox(&self) -> Vec<OutboundLabel> {
+        self.shard.as_ref().map(|ctx| ctx.drain()).unwrap_or_default()
     }
 
     /// One executor view over the engine, ready for whichever thread
@@ -465,10 +600,31 @@ impl Engine {
             }
         };
         if self.boost {
-            let mut labels = self.labels.write();
-            for rec in &records {
-                if rec.failure.is_none() && !rec.parse_failed && !rec.budget_starved {
-                    labels.add_pseudo(rec.node, rec.predicted);
+            {
+                let mut labels = self.labels.write();
+                for rec in &records {
+                    if rec.failure.is_none() && !rec.parse_failed && !rec.budget_starved {
+                        labels.add_pseudo(rec.node, rec.predicted);
+                    }
+                }
+            }
+            // On a shard worker, a clean prediction on a *boundary* node
+            // is a pseudo-label other shards' γ₁/γ₂ readiness wants to
+            // see: queue it (in global id space) for the exchanger's
+            // next push to the router.
+            if let Some(ctx) = &self.shard {
+                let graph = self.bundle.tag.graph();
+                for rec in &records {
+                    if rec.failure.is_none() && !rec.parse_failed && !rec.budget_starved {
+                        let targets = ctx.identity.neighbor_shards(graph, &ctx.map, rec.node.0);
+                        if !targets.is_empty() {
+                            ctx.queue(OutboundLabel {
+                                node: ctx.identity.global_of(rec.node.0),
+                                label: rec.predicted.0,
+                                shards: targets,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -583,6 +739,7 @@ impl Engine {
                 "tokens_saved": cache.tokens_saved,
             },
             "pseudo_labels": self.labels.read().num_pseudo(),
+            "peak_rss_mb": peak_rss_mb(),
             "flight": {
                 "slow": self.flight.retained().0,
                 "errors": self.flight.retained().1,
@@ -597,6 +754,9 @@ impl Engine {
         });
         if let (Some((depth, capacity)), Value::Object(map)) = (queue, &mut stats) {
             map.insert("queue".into(), json!({"depth": depth, "capacity": capacity}));
+        }
+        if let (Some(shard), Value::Object(map)) = (self.shard_json(), &mut stats) {
+            map.insert("shard".into(), shard);
         }
         let mut body = serde_json::to_string(&stats).expect("stats serialization");
         body.push('\n');
@@ -696,5 +856,20 @@ impl Engine {
     /// Node-id bound for request validation.
     pub fn num_nodes(&self) -> usize {
         self.bundle.tag.num_nodes()
+    }
+
+    /// The shard-identity object embedded in `/v1/healthz` and
+    /// `/v1/stats` on shard workers; `None` on single-node engines.
+    pub fn shard_json(&self) -> Option<Value> {
+        let ctx = self.shard.as_ref()?;
+        let labels = self.labels.read();
+        Some(json!({
+            "id": ctx.identity.shard_id,
+            "num_shards": ctx.identity.num_shards,
+            "owned_nodes": ctx.identity.num_owned(),
+            "halo_nodes": ctx.identity.num_locals() - ctx.identity.num_owned(),
+            "remote_labels": labels.num_remote(),
+            "outbox_depth": ctx.outbox_depth(),
+        }))
     }
 }

@@ -34,6 +34,7 @@
 mod config;
 mod engine;
 mod server;
+pub mod shard;
 pub mod shed;
 pub mod signal;
 mod slots;
@@ -42,5 +43,6 @@ mod tenant;
 pub use config::{ServeConfig, ServerOptions};
 pub use engine::{Engine, ProcessedBatch, Rejection};
 pub use server::{DrainReport, Server};
+pub use shard::{LabelExchanger, OutboundLabel, ShardContext};
 pub use shed::{Admit, BrownoutTransition, OverloadConfig, OverloadControl};
 pub use tenant::{TenantAccount, TenantExhausted, TenantTable};

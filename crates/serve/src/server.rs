@@ -56,8 +56,11 @@
 //! [`Server::drain`] runs the shutdown sequence in dependency order:
 //! mark draining (late requests get a clean `503`) → stop the accept
 //! loop and close the listener (later connections are refused outright)
-//! → join connection handlers (every admitted batch finishes on its
-//! handler's thread; permits release as they go) → seal the journal
+//! → half-close the read side of open connections (idle keep-alive
+//! handlers wake immediately instead of stalling the drain until their
+//! read timeout) → join connection handlers (every admitted batch
+//! finishes on its handler's thread; permits release as they go, and
+//! in-flight responses still write) → seal the journal
 //! (fsync) → close the run span → flush trace artifacts. Accepted work
 //! always finishes; a restarted server resumes from the sealed journal
 //! re-billing zero tokens.
@@ -74,7 +77,7 @@ use mqo_obs::{
 };
 use serde_json::{json, Value};
 use std::io::{self, ErrorKind};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -91,6 +94,10 @@ pub struct DrainReport {
     pub journal_sealed: bool,
 }
 
+/// A handler thread plus a clone of its connection, kept so drain can
+/// half-close the socket and wake a handler parked in a blocking read.
+type HandlerRegistry = Arc<Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>>;
+
 /// A running classification server; see the module docs. Construct with
 /// [`Server::start`], stop with [`Server::drain`] (dropping an
 /// undrained server drains it too, discarding the report).
@@ -99,7 +106,7 @@ pub struct Server {
     addr: SocketAddr,
     stop_accept: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    handlers: HandlerRegistry,
     span_close: Option<mpsc::Sender<()>>,
     supervisor: Option<JoinHandle<()>>,
     options: ServerOptions,
@@ -144,7 +151,7 @@ impl Server {
         ));
 
         let stop_accept = Arc::new(AtomicBool::new(false));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handlers: HandlerRegistry = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let stop = Arc::clone(&stop_accept);
             let handlers = Arc::clone(&handlers);
@@ -163,17 +170,29 @@ impl Server {
                             let gate = Arc::clone(&gate);
                             let overload = Arc::clone(&overload);
                             let errors_conn = Arc::clone(&errors);
+                            // A clone of the stream lets drain half-close
+                            // idle keep-alive connections instead of
+                            // waiting out their read timeouts.
+                            let peer = stream.try_clone().ok();
+                            let closer = stream.try_clone().ok();
                             let handle = thread::spawn(move || {
                                 if handle_connection(&engine, &gate, &overload, stream).is_err()
                                 {
                                     errors_conn.inc();
                                 }
+                                // The registry may still hold a dup of this
+                                // socket; dropping our copy alone would not
+                                // send FIN, leaving a client that reads to
+                                // EOF hanging until the dup is reaped.
+                                if let Some(s) = closer {
+                                    let _ = s.shutdown(Shutdown::Both);
+                                }
                             });
                             let mut reg = handlers.lock().expect("handler registry");
                             // Reap finished handlers so the registry stays
                             // bounded under sustained load.
-                            reg.retain(|h| !h.is_finished());
-                            reg.push(handle);
+                            reg.retain(|(h, _)| !h.is_finished());
+                            reg.push((handle, peer));
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(2));
@@ -226,9 +245,17 @@ impl Server {
         // 3. Let in-flight connections finish: every admitted batch runs
         //    on its handler's thread, so joining the handlers *is*
         //    draining the work — permits release as batches complete and
-        //    parked waiters run to completion behind them.
+        //    parked waiters run to completion behind them. Half-closing
+        //    the read side first wakes handlers idling between keep-alive
+        //    requests (they would otherwise stall the drain until their
+        //    idle timeout) while leaving in-flight responses writable.
         let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
-        for h in handlers {
+        for (_, stream) in &handlers {
+            if let Some(s) = stream {
+                let _ = s.shutdown(Shutdown::Read);
+            }
+        }
+        for (h, _) in handlers {
             let _ = h.join();
         }
         // 4. Seal the journal: everything answered is now durable, so a
@@ -306,6 +333,7 @@ fn route_label(path: &str) -> &'static str {
         "/v1/slo" => "/v1/slo",
         "/v1/debug/flight" => "/v1/debug/flight",
         "/v1/drain" => "/v1/drain",
+        "/v1/labels" => "/v1/labels",
         "/metrics" => "/metrics",
         "/progress" => "/progress",
         _ => "other",
@@ -376,8 +404,10 @@ fn finish_classify(
 }
 
 /// Parse the classify request body: `{"node": N}` or `{"nodes": [..]}`,
-/// optional `"tenant"`. Errors are client errors (400).
-fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, String), String> {
+/// optional `"tenant"`. Node ids are validated (and, on shard workers,
+/// translated from global to local id space) by
+/// [`Engine::resolve_node`]. Errors are client errors (400).
+fn parse_classify(req: &Request, engine: &Engine) -> Result<(Vec<NodeId>, String), String> {
     let body: Value =
         serde_json::from_str(req.body_utf8()).map_err(|e| format!("invalid JSON body: {e}"))?;
     let mut raw: Vec<u64> = Vec::new();
@@ -396,10 +426,7 @@ fn parse_classify(req: &Request, num_nodes: usize) -> Result<(Vec<NodeId>, Strin
     }
     let mut nodes = Vec::with_capacity(raw.len());
     for n in raw {
-        if n >= num_nodes as u64 {
-            return Err(format!("node {n} out of range (dataset has {num_nodes} nodes)"));
-        }
-        nodes.push(NodeId(n as u32));
+        nodes.push(engine.resolve_node(n)?);
     }
     let tenant = match body.get("tenant") {
         None => "default".to_string(),
@@ -532,7 +559,7 @@ fn handle_classify(
             ));
         }
     };
-    let (nodes, tenant) = match parse_classify(req, engine.num_nodes()) {
+    let (nodes, tenant) = match parse_classify(req, engine) {
         Ok(parsed) => parsed,
         Err(e) => {
             traced_json(conn, "400 Bad Request", &trace, &json!({"error": e}))?;
@@ -700,7 +727,7 @@ fn handle_classify(
     // client, which stops metering the moment it cannot finish in time.
     mqo_obs::set_thread_track(permit.slot() + 1);
     let collector = Recorder::with_capacity(4096);
-    let batch = {
+    let mut batch = {
         let _deadline_guard = deadline.map(mqo_llm::with_request_deadline);
         let tee = Tee::new(engine.fanout(), &collector);
         let _span = engine.tracer().span(
@@ -711,6 +738,9 @@ fn handle_classify(
         );
         engine.process_shaped(&nodes, &tenant, &trace, Some(&collector), degraded)
     };
+    // Answer in the id space the client spoke: on shard workers the
+    // records come back in local ids and the router joins on "node".
+    engine.globalize(&mut batch);
     drop(permit);
     let done = MONOTONIC_CLOCK.now_micros();
     overload.note_service(done.saturating_sub(admitted_at));
@@ -758,6 +788,63 @@ fn handle_classify(
     ))
 }
 
+/// Ingest remote pseudo-labels forwarded by the router
+/// (`POST /v1/labels`, body `{"labels":[{"node":G,"label":L},..]}`).
+/// Only shard workers expose the route; the exchange is control-plane
+/// traffic, so it bypasses the classify admission gates (it bills
+/// nothing and must keep flowing while classify sheds).
+fn handle_labels(engine: &Engine, req: &Request, conn: &mut HttpConnection) -> io::Result<u16> {
+    if engine.shard().is_none() {
+        return json_response(conn, "404 Not Found", &json!({"error": "not a shard worker"}))
+            .map(|()| 404);
+    }
+    let body: Value = match serde_json::from_str(req.body_utf8()) {
+        Ok(v) => v,
+        Err(e) => {
+            return json_response(
+                conn,
+                "400 Bad Request",
+                &json!({"error": format!("invalid JSON body: {e}")}),
+            )
+            .map(|()| 400);
+        }
+    };
+    let Some(list) = body.get("labels").and_then(|l| l.as_array()) else {
+        return json_response(
+            conn,
+            "400 Bad Request",
+            &json!({"error": "body must have a 'labels' array"}),
+        )
+        .map(|()| 400);
+    };
+    let mut labels = Vec::with_capacity(list.len());
+    for entry in list {
+        let (Some(node), Some(label)) = (
+            entry.get("node").and_then(|n| n.as_u64()),
+            entry.get("label").and_then(|l| l.as_u64()),
+        ) else {
+            return json_response(
+                conn,
+                "400 Bad Request",
+                &json!({"error": "each label needs integer 'node' and 'label'"}),
+            )
+            .map(|()| 400);
+        };
+        let Ok(label) = u16::try_from(label) else {
+            return json_response(
+                conn,
+                "400 Bad Request",
+                &json!({"error": format!("label {label} out of class range")}),
+            )
+            .map(|()| 400);
+        };
+        labels.push((node, label));
+    }
+    let ingested = engine.ingest_remote_labels(&labels);
+    json_response(conn, "200 OK", &json!({"ingested": ingested, "received": labels.len()}))
+        .map(|()| 200)
+}
+
 /// Route one parsed request, write its response, and return the HTTP
 /// status for the connection loop's request metrics.
 fn handle_request(
@@ -770,12 +857,17 @@ fn handle_request(
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/classify") => handle_classify(engine, gate, overload, req, conn),
         ("GET", "/v1/healthz") => {
-            if engine.draining() {
-                json_response(conn, "503 Service Unavailable", &json!({"status": "draining"}))
-                    .map(|()| 503)
-            } else {
-                json_response(conn, "200 OK", &json!({"status": "ok"})).map(|()| 200)
+            let (status_text, code) =
+                if engine.draining() { ("draining", 503) } else { ("ok", 200) };
+            let mut body = json!({"status": status_text});
+            // A shard worker announces who it is, so the router (and an
+            // operator curling a worker directly) can tell the shards
+            // apart.
+            if let (Some(shard), Value::Object(o)) = (engine.shard_json(), &mut body) {
+                o.insert("shard".into(), shard);
             }
+            let status_line = if code == 503 { "503 Service Unavailable" } else { "200 OK" };
+            json_response(conn, status_line, &body).map(|()| code)
         }
         ("GET", "/v1/stats") => {
             let body = engine.stats_json(Some((gate.waiting(), gate.wait_cap())), gate.slots());
@@ -791,6 +883,7 @@ fn handle_request(
             body.push('\n');
             conn.respond("200 OK", "application/json", &body).map(|()| 200)
         }
+        ("POST", "/v1/labels") => handle_labels(engine, req, conn),
         ("POST", "/v1/drain") => {
             engine.request_drain();
             json_response(conn, "202 Accepted", &json!({"draining": true})).map(|()| 202)

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Deterministic cache-efficiency smoke bench + regression gate, the
-# observability artifact check, and the serving throughput snapshot.
+# observability artifact check, the serving throughput snapshot, and
+# (unless BENCH_SKIP_SHARD=1) the products-scale sharded-cluster stage,
+# which delegates to scripts/shard_smoke.sh for the routed-throughput
+# floor and the cluster peak-RSS ceiling.
 #
-#   scripts/bench_smoke.sh            # run and gate against BENCH_PR7.json
-#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR7.json
+#   scripts/bench_smoke.sh            # run and gate against BENCH_PR10.json
+#   scripts/bench_smoke.sh --update   # run and (re)write BENCH_PR10.json
+#                                     # (shard_smoke --update then folds in
+#                                     # the routed fields)
 #
 # The gated workload replays a fixed Cora query set three times through
 # the simulated LLM with the response cache on, so tokens_sent and
@@ -34,7 +39,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR7.json
+BASELINE=BENCH_PR10.json
 CURRENT=target/bench_smoke_current.json
 OBS_TRACE=target/obs_trace.json
 OBS_COST=target/obs_cost.json
@@ -98,7 +103,18 @@ grep -q '"shed_429": 0,' target/bench_overload.json && {
 
 if [[ "${1:-}" == "--update" ]]; then
   cp "$CURRENT" "$BASELINE"
-  echo "baseline updated: $BASELINE"
+  echo "baseline updated: $BASELINE (cache + serving fields)"
 else
   ./target/release/bench_gate "$BASELINE" "$CURRENT" --serve-tolerance 65
+fi
+
+# Products-scale sharded cluster: partition, 4 workers + router, routed
+# burst, cross-shard label exchange, peak-RSS ceiling + routed-rps floor.
+# CI runs shard_smoke.sh as its own step and sets BENCH_SKIP_SHARD=1 here
+# to avoid paying the multi-minute graph generation twice. Under
+# --update the delegate folds the routed fields into the baseline the
+# cp above just rewrote.
+if [[ "${BENCH_SKIP_SHARD:-0}" != 1 ]]; then
+  echo "==> products-scale sharded cluster (delegating to shard_smoke.sh)"
+  scripts/shard_smoke.sh "${1:-}"
 fi
